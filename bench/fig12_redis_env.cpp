@@ -1,0 +1,24 @@
+// Fig 12: Redis GET/SET throughput across ten execution environments
+// (redis-benchmark: 30 connections, pipeline 16).
+#include "bench/common.h"
+
+int main() {
+  bench::PrintHeader("Fig 12: Redis throughput across environments");
+  std::printf("%-18s %14s %14s\n", "platform", "GET (kreq/s)", "SET (kreq/s)");
+  double unikraft_get = 0, linux_kvm_get = 0, native_get = 0, docker_get = 0;
+  for (const env::Profile& profile : env::Profile::Fig12Set()) {
+    bench::NetBenchResult get = bench::RunRedisBench(profile, false);
+    bench::NetBenchResult set = bench::RunRedisBench(profile, true);
+    std::printf("%-18s %14.1f %14.1f\n", profile.name.c_str(), get.kreq_per_s,
+                set.kreq_per_s);
+    if (profile.name == "unikraft-kvm") unikraft_get = get.kreq_per_s;
+    if (profile.name == "linux-kvm") linux_kvm_get = get.kreq_per_s;
+    if (profile.name == "linux-native") native_get = get.kreq_per_s;
+    if (profile.name == "docker-native") docker_get = get.kreq_per_s;
+  }
+  std::printf("\nratios: unikraft/linux-kvm=%.2fx (paper ~1.8x)  unikraft/native=%.2fx "
+              "(paper ~1.35x)  unikraft/docker=%.2fx (paper ~1.47x)\n",
+              unikraft_get / linux_kvm_get, unikraft_get / native_get,
+              unikraft_get / docker_get);
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Fig 13: nginx throughput across environments (wrk: 30 conns, 612B page).
+#include "bench/common.h"
+
+int main() {
+  bench::PrintHeader("Fig 13: nginx throughput across environments");
+  std::printf("%-18s %16s\n", "platform", "kreq/s");
+  double unikraft = 0, linux_kvm = 0, native = 0;
+  for (const env::Profile& profile : env::Profile::Fig12Set()) {
+    bench::NetBenchResult r = bench::RunNginxBench(profile);
+    std::printf("%-18s %16.1f\n", profile.name.c_str(), r.kreq_per_s);
+    if (profile.name == "unikraft-kvm") unikraft = r.kreq_per_s;
+    if (profile.name == "linux-kvm") linux_kvm = r.kreq_per_s;
+    if (profile.name == "linux-native") native = r.kreq_per_s;
+  }
+  std::printf("\nratios: unikraft/linux-kvm=%.2fx (paper ~1.9x)  unikraft/native=%.2fx "
+              "(paper ~1.54x)\n",
+              unikraft / linux_kvm, unikraft / native);
+  return 0;
+}

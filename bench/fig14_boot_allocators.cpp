@@ -1,0 +1,100 @@
+// Fig 14: nginx boot time per allocator, with the per-stage breakdown
+// (virtio, rootfs, vfscore, lwip, pthreads stages registered as inittab
+// entries that do real allocation work against the chosen backend).
+#include <cstdio>
+#include <string>
+
+#include "ukboot/instance.h"
+#include "uknetdev/netbuf.h"
+#include "ukplat/memregion.h"
+
+namespace {
+
+void RegisterNginxInit(ukboot::Instance& vm) {
+  using ukboot::InitStage;
+  vm.RegisterInit(InitStage::kBus, "virtio", [](ukboot::Instance& inst) {
+    // Netbuf pools: the large contiguous boot-time allocations.
+    for (int i = 0; i < 2; ++i) {
+      if (inst.heap()->Memalign(64, 256 * 2048) == nullptr) {
+        return ukarch::Status::kNoMem;
+      }
+    }
+    return ukarch::Status::kOk;
+  });
+  vm.RegisterInit(InitStage::kRootfs, "rootfs", [](ukboot::Instance& inst) {
+    // ramfs files: many page-sized chunks.
+    for (int i = 0; i < 64; ++i) {
+      if (inst.heap()->Malloc(4096) == nullptr) {
+        return ukarch::Status::kNoMem;
+      }
+    }
+    return ukarch::Status::kOk;
+  });
+  vm.RegisterInit(InitStage::kSys, "lwip", [](ukboot::Instance& inst) {
+    // lwIP init: a burst of small control-block allocations + frees.
+    void* blocks[128];
+    for (int round = 0; round < 4; ++round) {
+      for (int i = 0; i < 128; ++i) {
+        blocks[i] = inst.heap()->Malloc(static_cast<std::size_t>(32 + (i % 24) * 16));
+        if (blocks[i] == nullptr) {
+          return ukarch::Status::kNoMem;
+        }
+      }
+      for (int i = 0; i < 128; i += 2) {
+        inst.heap()->Free(blocks[i]);
+      }
+    }
+    return ukarch::Status::kOk;
+  });
+  vm.RegisterInit(InitStage::kSys, "pthreads", [](ukboot::Instance& inst) {
+    if (inst.scheduler() == nullptr) {
+      return ukarch::Status::kOk;
+    }
+    for (int i = 0; i < 4; ++i) {
+      if (inst.scheduler()->CreateThread("worker", [] {}) == nullptr) {
+        return ukarch::Status::kNoMem;
+      }
+    }
+    inst.scheduler()->Run();
+    return ukarch::Status::kOk;
+  });
+  vm.RegisterInit(InitStage::kLate, "app-config", [](ukboot::Instance& inst) {
+    for (int i = 0; i < 128; ++i) {
+      if (inst.heap()->Malloc(static_cast<std::size_t>(64 + i * 8)) == nullptr) {
+        return ukarch::Status::kNoMem;
+      }
+    }
+    return ukarch::Status::kOk;
+  });
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==== Fig 14: nginx guest boot time per allocator ====\n");
+  std::printf("%-11s %11s | per-stage breakdown (us)\n", "allocator", "boot(us)");
+  for (ukalloc::Backend backend : ukalloc::AllBackends()) {
+    double best = 1e18;
+    ukboot::BootReport best_report;
+    for (int run = 0; run < 5; ++run) {
+      ukboot::InstanceConfig cfg;
+      cfg.memory_bytes = 64 << 20;
+      cfg.allocator = backend;
+      ukboot::Instance vm(cfg);
+      RegisterNginxInit(vm);
+      ukboot::BootReport report = vm.Boot();
+      if (report.ok && report.guest_us < best) {
+        best = report.guest_us;
+        best_report = report;
+      }
+    }
+    std::printf("%-11s %11.1f |", ukalloc::BackendName(backend), best);
+    for (const auto& stage : best_report.stages) {
+      std::printf(" %s=%.1f", stage.name.c_str(), stage.real_ns / 1000.0);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(shape criteria: bootalloc fastest, buddy slowest — paper 0.49ms vs "
+              "3.07ms)\n");
+  return 0;
+}

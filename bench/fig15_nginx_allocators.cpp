@@ -1,0 +1,17 @@
+// Fig 15: nginx sustained throughput with different allocators.
+#include "bench/common.h"
+
+int main() {
+  bench::PrintHeader("Fig 15: nginx throughput per allocator");
+  std::printf("%-11s %14s\n", "allocator", "kreq/s");
+  for (ukalloc::Backend backend :
+       {ukalloc::Backend::kMimalloc, ukalloc::Backend::kTlsf, ukalloc::Backend::kBuddy,
+        ukalloc::Backend::kTinyAlloc}) {
+    env::Profile profile = env::Profile::UnikraftKvm();
+    profile.allocator = backend;
+    bench::NetBenchResult r = bench::RunNginxBench(profile);
+    std::printf("%-11s %14.1f\n", ukalloc::BackendName(backend), r.kreq_per_s);
+  }
+  std::printf("\n(shape criteria: mimalloc/tlsf/buddy close; tinyalloc ~30%% behind)\n");
+  return 0;
+}

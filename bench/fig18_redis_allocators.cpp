@@ -1,0 +1,20 @@
+// Fig 18: Redis GET/SET throughput per allocator (30 conns, pipeline 16).
+#include "bench/common.h"
+
+int main() {
+  bench::PrintHeader("Fig 18: Redis throughput per allocator");
+  std::printf("%-11s %14s %14s\n", "allocator", "GET (kreq/s)", "SET (kreq/s)");
+  for (ukalloc::Backend backend :
+       {ukalloc::Backend::kMimalloc, ukalloc::Backend::kTlsf, ukalloc::Backend::kBuddy,
+        ukalloc::Backend::kTinyAlloc}) {
+    env::Profile profile = env::Profile::UnikraftKvm();
+    profile.allocator = backend;
+    bench::NetBenchResult get = bench::RunRedisBench(profile, false, 800);
+    bench::NetBenchResult set = bench::RunRedisBench(profile, true, 800);
+    std::printf("%-11s %14.1f %14.1f\n", ukalloc::BackendName(backend), get.kreq_per_s,
+                set.kreq_per_s);
+  }
+  std::printf("\n(shape criteria: mimalloc best, tinyalloc far behind — paper 2.7x "
+              "spread)\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Fig 21: boot time with static vs dynamically initialized page tables,
+// as a function of guest memory size — real 4-level page-table construction.
+#include <chrono>
+#include <cstdio>
+
+#include "ukboot/instance.h"
+
+namespace {
+
+double BootUs(ukboot::PagingMode mode, std::size_t mem_mb) {
+  double best = 1e18;
+  for (int run = 0; run < 5; ++run) {
+    ukboot::InstanceConfig cfg;
+    cfg.memory_bytes = mem_mb << 20;
+    cfg.paging = mode;
+    cfg.allocator = ukalloc::Backend::kBootAlloc;
+    cfg.enable_scheduler = false;
+    ukboot::Instance vm(cfg);
+    ukboot::BootReport report = vm.Boot();
+    if (report.ok) {
+      best = std::min(best, report.guest_us);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==== Fig 21: boot time, static vs dynamic page tables ====\n");
+  std::printf("%-16s %12s %16s\n", "memory", "boot (us)", "pt entries written");
+  std::printf("%-16s %12.1f %16s\n", "static 1GB", BootUs(ukboot::PagingMode::kStatic, 1024),
+              "(constant)");
+  for (std::size_t mb : {32u, 64u, 128u, 256u, 512u, 1024u, 2048u, 3072u}) {
+    ukboot::InstanceConfig cfg;
+    cfg.memory_bytes = mb << 20;
+    cfg.paging = ukboot::PagingMode::kDynamic;
+    cfg.allocator = ukalloc::Backend::kBootAlloc;
+    cfg.enable_scheduler = false;
+    ukboot::Instance probe(cfg);
+    probe.Boot();
+    std::uint64_t entries = probe.pagetable() ? probe.pagetable()->entries_written() : 0;
+    std::printf("dynamic %4zuMB   %12.1f %16llu\n", mb,
+                BootUs(ukboot::PagingMode::kDynamic, mb),
+                static_cast<unsigned long long>(entries));
+  }
+  std::printf("\n(shape criteria: static is constant and cheapest; dynamic grows with "
+              "memory — paper 46us@32MB to 114us@3GB)\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// kvstore_specialized: the §6.4 specialization story in one program — the
+// same UDP key-value service first through the sockets path, then rebuilt
+// against raw uknetdev (no stack, no scheduler), showing the rate jump.
+#include <cstdio>
+
+#include "apps/kvstore.h"
+#include "env/testbed.h"
+
+namespace {
+
+double RunSockets() {
+  env::TestBed bed(env::Profile::UnikraftKvm());
+  apps::KvServer server(&bed.api(), 7777, apps::KvMode::kSocketSingle);
+  server.Start();
+  auto client = bed.client().stack->UdpOpen();
+  for (int i = 0; i < 2000; ++i) {
+    client->SendTo(env::TestBed::kServerIp, 7777,
+                   apps::EncodeKvRequest({true, static_cast<std::uint16_t>(i % 100),
+                                          "v"}));
+    bed.Poll();
+    server.PumpOnce();
+    client->RecvFrom();
+  }
+  double us = bed.clock().microseconds();
+  return static_cast<double>(server.requests()) / (us / 1e6) / 1000.0;
+}
+
+double RunNetdev() {
+  ukplat::Clock clock;
+  ukplat::Wire::Config wcfg;
+  wcfg.queue_depth = 65536;
+  ukplat::Wire wire(&clock, wcfg);
+  ukplat::MemRegion mem(32 << 20);
+  std::uint64_t heap_gpa = mem.Carve(24 << 20, 4096);
+  auto alloc = ukalloc::CreateAllocator(ukalloc::Backend::kTlsf,
+                                        mem.At(heap_gpa, 24 << 20), 24 << 20);
+  uknetdev::VirtioNet::Config cfg;
+  cfg.backend = uknetdev::VirtioBackend::kVhostUser;
+  uknetdev::VirtioNet nic(&mem, &clock, &wire, cfg);
+  apps::KvServer server(&nic, &mem, alloc.get(), uknet::MakeIp(10, 0, 0, 1), 7777,
+                        apps::KvMode::kUkNetdev);
+  server.Start();
+
+  // Client side: a stack-owning host generating requests.
+  env::SimHost client_host(&clock, &wire, 1, uknet::MakeIp(10, 0, 0, 2),
+                           ukalloc::Backend::kTlsf,
+                           uknetdev::VirtioBackend::kVhostUser);
+  client_host.netif->AddArpEntry(uknet::MakeIp(10, 0, 0, 1), nic.mac());
+  auto client = client_host.stack->UdpOpen();
+  for (int i = 0; i < 2000; ++i) {
+    client->SendTo(uknet::MakeIp(10, 0, 0, 1), 7777,
+                   apps::EncodeKvRequest({true, static_cast<std::uint16_t>(i % 100),
+                                          "v"}));
+    client_host.stack->Poll();
+    server.PumpOnce();
+    client_host.stack->Poll();
+    client->RecvFrom();
+  }
+  double us = clock.microseconds();
+  return static_cast<double>(server.requests()) / (us / 1e6) / 1000.0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("UDP key-value store, two builds of the same app:\n");
+  double sockets = RunSockets();
+  std::printf("  sockets + lwip-style stack : %8.0f K req/s\n", sockets);
+  double netdev = RunNetdev();
+  std::printf("  raw uknetdev (specialized) : %8.0f K req/s  (%.1fx)\n", netdev,
+              netdev / sockets);
+  std::printf("same service, same wire — only the API level changed (Fig 4, (7)).\n");
+  return 0;
+}

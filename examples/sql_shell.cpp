@@ -1,0 +1,52 @@
+// sql_shell: ukdb (the SQLite stand-in) running inside an allocator arena —
+// a tiny non-interactive SQL session with results printed.
+#include <cstdio>
+#include <memory>
+
+#include "apps/sql.h"
+#include "ukalloc/registry.h"
+
+int main() {
+  constexpr std::size_t kHeap = 64 << 20;
+  auto arena = std::make_unique<std::byte[]>(kHeap);
+  auto alloc = ukalloc::CreateAllocator(ukalloc::Backend::kMimalloc, arena.get(), kHeap);
+  apps::Database db(alloc.get());
+
+  const char* statements[] = {
+      "CREATE TABLE unikernels (id INTEGER, name TEXT, year INTEGER)",
+      "INSERT INTO unikernels VALUES (1, 'MirageOS', 2013)",
+      "INSERT INTO unikernels VALUES (2, 'OSv', 2014)",
+      "INSERT INTO unikernels VALUES (3, 'Rump', 2012)",
+      "INSERT INTO unikernels VALUES (4, 'HermiTux', 2019)",
+      "INSERT INTO unikernels VALUES (5, 'Lupine', 2020)",
+      "INSERT INTO unikernels VALUES (6, 'Unikraft', 2021)",
+      "SELECT name, year FROM unikernels WHERE id >= 4",
+      "DELETE FROM unikernels WHERE id < 3",
+      "SELECT * FROM unikernels",
+  };
+  for (const char* sql : statements) {
+    std::printf("ukdb> %s\n", sql);
+    apps::SqlResult r = db.Execute(sql);
+    if (!r.ok) {
+      std::printf("  error: %s\n", r.error.c_str());
+      continue;
+    }
+    for (const apps::SqlRow& row : r.rows) {
+      std::printf("  |");
+      for (const apps::SqlValue& v : row.values) {
+        if (std::holds_alternative<std::int64_t>(v)) {
+          std::printf(" %lld |", static_cast<long long>(std::get<std::int64_t>(v)));
+        } else {
+          std::printf(" %s |", std::get<std::string>(v).c_str());
+        }
+      }
+      std::printf("\n");
+    }
+    if (r.rows_affected > 0) {
+      std::printf("  (%zu rows affected)\n", r.rows_affected);
+    }
+  }
+  std::printf("allocator: %s, peak %llu KB\n", alloc->name(),
+              static_cast<unsigned long long>(alloc->stats().peak_bytes / 1024));
+  return 0;
+}

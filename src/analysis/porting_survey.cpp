@@ -1,0 +1,101 @@
+#include "analysis/porting_survey.h"
+
+#include <map>
+#include <set>
+
+#include "ukarch/random.h"
+
+namespace analysis {
+
+namespace {
+
+// A port arriving in some quarter: the library, its external dependencies,
+// and the OS/build primitives it needs from the common base.
+struct PortJob {
+  std::string name;
+  int quarter;  // 0..3
+  std::vector<std::string> deps;
+  std::vector<std::string> os_primitives;
+  std::vector<std::string> build_primitives;
+  double library_days;
+};
+
+const std::vector<PortJob>& Jobs() {
+  // Port arrivals reconstructed from the project timeline: early ports drag
+  // in everything (libuv needs the scheduler and poll; openssl needs
+  // pthreads...), later ports find the base already there.
+  static const std::vector<PortJob> kJobs = {
+      // Q2 2019: the foundation quarter.
+      {"newlib", 0, {}, {"sbrk", "clock", "tls"}, {"extlib-build", "patch-queue"}, 9},
+      {"lwip", 0, {}, {"semaphores", "timers", "netdev-api"}, {"kconfig-select"}, 11},
+      {"pthread-embedded", 0, {}, {"tls", "sched-hooks"}, {"extlib-build"}, 6},
+      {"openssl", 0, {"pthread-embedded"}, {"getrandom"}, {"patch-queue"}, 8},
+      {"helloworld-suite", 0, {}, {}, {"app-template"}, 2},
+      // Q3 2019: servers and languages begin.
+      {"nginx", 1, {"lwip", "openssl"}, {"poll", "writev"}, {}, 7},
+      {"sqlite", 1, {"newlib"}, {"pread-pwrite"}, {}, 4},
+      {"micropython", 1, {"newlib"}, {}, {}, 5},
+      {"zlib", 1, {}, {}, {}, 1.5},
+      {"duktape", 1, {}, {}, {}, 2},
+      // Q4 2019: the base mostly exists.
+      {"redis", 2, {"lwip", "pthread-embedded"}, {"eventfd"}, {}, 6},
+      {"memcached", 2, {"lwip", "libevent"}, {}, {}, 4},
+      {"libevent", 2, {"lwip"}, {}, {}, 3},
+      {"pcre", 2, {}, {}, {}, 1},
+      {"lua", 2, {"newlib"}, {}, {}, 2},
+      // Q1 2020: ports are cheap now.
+      {"python3", 3, {"newlib", "zlib", "openssl"}, {}, {}, 8},
+      {"ruby", 3, {"newlib", "openssl"}, {}, {}, 6},
+      {"webassembly-wamr", 3, {"newlib"}, {}, {}, 3},
+      {"click", 3, {"lwip"}, {}, {}, 3},
+  };
+  return kJobs;
+}
+
+}  // namespace
+
+std::vector<QuarterEffort> SimulatePortingTimeline() {
+  const char* quarter_names[4] = {"Q2-2019", "Q3-2019", "Q4-2019", "Q1-2020"};
+  std::vector<QuarterEffort> out;
+  std::set<std::string> base_libs;
+  std::set<std::string> base_os;
+  std::set<std::string> base_build;
+
+  constexpr double kDepDays = 5.0;    // porting a missing dependency
+  constexpr double kOsDays = 6.5;     // implementing a missing OS primitive
+  constexpr double kBuildDays = 4.0;  // extending the build system
+
+  for (int q = 0; q < 4; ++q) {
+    QuarterEffort row;
+    row.quarter = quarter_names[q];
+    for (const PortJob& job : Jobs()) {
+      if (job.quarter != q) {
+        continue;
+      }
+      row.library_days += job.library_days;
+      for (const std::string& dep : job.deps) {
+        if (!base_libs.contains(dep)) {
+          row.dependency_days += kDepDays;
+          base_libs.insert(dep);
+        }
+      }
+      for (const std::string& prim : job.os_primitives) {
+        if (!base_os.contains(prim)) {
+          row.os_primitive_days += kOsDays;
+          base_os.insert(prim);
+        }
+      }
+      for (const std::string& prim : job.build_primitives) {
+        if (!base_build.contains(prim)) {
+          row.build_primitive_days += kBuildDays;
+          base_build.insert(prim);
+        }
+      }
+      base_libs.insert(job.name);
+    }
+    out.push_back(row);
+  }
+  return out;
+}
+
+}  // namespace analysis

@@ -1,0 +1,49 @@
+// analysis/syscall_study.h - syscall requirements of the top-30 Debian server
+// applications vs Unikraft's supported set (Figs 5 and 7).
+//
+// The paper combined static analysis with an strace-driven dynamic test
+// framework to find which syscalls each application actually needs. We embed
+// requirement sets reconstructed from their heatmap structure: a common core
+// every server needs (the black squares), server-class groups (sockets,
+// epoll, signalfd...), and per-application extras — then run the same
+// aggregations: per-syscall demand counts (the heatmap), per-app support
+// percentage, and the marginal gain from implementing the next most-wanted
+// 5/10 syscalls (the greedy set-cover of Fig 7).
+#ifndef ANALYSIS_SYSCALL_STUDY_H_
+#define ANALYSIS_SYSCALL_STUDY_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace analysis {
+
+struct AppSyscalls {
+  std::string app;
+  std::set<int> required;
+};
+
+// The 30 most popular Debian server applications with their requirement sets.
+const std::vector<AppSyscalls>& Top30ServerApps();
+
+// Heatmap cell: how many of the 30 apps need syscall |nr|.
+std::map<int, int> DemandCounts();
+
+struct AppSupport {
+  std::string app;
+  double supported_pct;         // with current Unikraft set
+  double with_top5_pct;         // if 5 most-demanded missing syscalls added
+  double with_top10_pct;        // if 10 added
+};
+
+// Fig 7 rows. |supported| defaults to posix::SupportedSyscalls().
+std::vector<AppSupport> ComputeSupport(const std::set<int>& supported);
+
+// The N most-demanded syscalls missing from |supported| (greedy frequency
+// order — what "implement the next 5" means in Fig 7).
+std::vector<int> TopMissing(const std::set<int>& supported, std::size_t n);
+
+}  // namespace analysis
+
+#endif  // ANALYSIS_SYSCALL_STUDY_H_

@@ -1,0 +1,246 @@
+#include "apps/http.h"
+
+#include <cstring>
+
+namespace apps {
+
+std::optional<HttpRequest> ParseHttpRequest(std::string* buf) {
+  std::size_t head_end = buf->find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    return std::nullopt;
+  }
+  HttpRequest req;
+  std::size_t line_end = buf->find("\r\n");
+  std::string line = buf->substr(0, line_end);
+  std::size_t sp1 = line.find(' ');
+  std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    buf->erase(0, head_end + 4);
+    return std::nullopt;
+  }
+  req.method = line.substr(0, sp1);
+  req.path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  // Headers: we only care about Connection.
+  std::string headers = buf->substr(line_end + 2, head_end - line_end - 2);
+  req.keep_alive = headers.find("Connection: close") == std::string::npos;
+  req.complete = true;
+  buf->erase(0, head_end + 4);
+  return req;
+}
+
+HttpServer::HttpServer(posix::PosixApi* api, std::uint16_t port, vfscore::Vfs* vfs)
+    : api_(api), port_(port), mode_(ContentMode::kVfs), vfs_(vfs) {}
+
+HttpServer::HttpServer(posix::PosixApi* api, std::uint16_t port,
+                       const shfs::Shfs* volume)
+    : api_(api), port_(port), mode_(ContentMode::kShfs), volume_(volume) {}
+
+bool HttpServer::Start() {
+  listen_fd_ = api_->Socket(posix::SockType::kStream);
+  if (listen_fd_ < 0 || api_->Bind(listen_fd_, port_) != 0) {
+    return false;
+  }
+  return api_->Listen(listen_fd_) == 0;
+}
+
+namespace {
+
+std::string StatusLine(int code) {
+  switch (code) {
+    case 200: return "HTTP/1.1 200 OK\r\n";
+    case 404: return "HTTP/1.1 404 Not Found\r\n";
+    default: return "HTTP/1.1 500 Internal Server Error\r\n";
+  }
+}
+
+std::string WithHeaders(int code, std::string_view body, bool keep_alive) {
+  std::string resp = StatusLine(code);
+  resp += "Server: ukhttp/0.1\r\n";
+  resp += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  resp += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  resp += "\r\n";
+  resp.append(body);
+  return resp;
+}
+
+}  // namespace
+
+std::string HttpServer::BuildResponse(const HttpRequest& req) {
+  if (mode_ == ContentMode::kShfs) {
+    // Specialized path: hash lookup straight into the volume, zero-copy view.
+    std::string_view name = req.path;
+    if (!name.empty() && name[0] == '/') {
+      name.remove_prefix(1);
+    }
+    auto handle = volume_->Open(name);
+    if (!handle.has_value()) {
+      return WithHeaders(404, "not found", req.keep_alive);
+    }
+    return WithHeaders(200,
+                       std::string_view(reinterpret_cast<const char*>(handle->data.data()),
+                                        handle->data.size()),
+                       req.keep_alive);
+  }
+  // Standard path: VFS open + read via the POSIX layer (syscalls charged).
+  int fd = api_->Open(req.path, vfscore::kRead);
+  if (fd < 0) {
+    return WithHeaders(404, "not found", req.keep_alive);
+  }
+  std::string body;
+  std::byte chunk[4096];
+  for (;;) {
+    std::int64_t n = api_->Read(fd, chunk);
+    if (n <= 0) {
+      break;
+    }
+    body.append(reinterpret_cast<char*>(chunk), static_cast<std::size_t>(n));
+  }
+  api_->Close(fd);
+  return WithHeaders(200, body, req.keep_alive);
+}
+
+void HttpServer::FlushOut(Conn& conn) {
+  while (!conn.out.empty()) {
+    std::int64_t n = api_->Send(
+        conn.fd, std::span(reinterpret_cast<const std::uint8_t*>(conn.out.data()),
+                           conn.out.size()));
+    if (n <= 0) {
+      break;
+    }
+    conn.out.erase(0, static_cast<std::size_t>(n));
+  }
+}
+
+std::size_t HttpServer::PumpOnce() {
+  for (;;) {
+    int fd = api_->Accept(listen_fd_);
+    if (fd < 0) {
+      break;
+    }
+    conns_.push_back(Conn{fd, {}, {}});
+  }
+  std::size_t sent = 0;
+  std::uint8_t buf[8192];
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    Conn& conn = *it;
+    bool closed = false;
+    for (;;) {
+      std::int64_t n = api_->Recv(conn.fd, buf);
+      if (n > 0) {
+        conn.in.append(reinterpret_cast<char*>(buf), static_cast<std::size_t>(n));
+        continue;
+      }
+      closed = n == 0;
+      break;
+    }
+    bool want_close = false;
+    while (auto req = ParseHttpRequest(&conn.in)) {
+      conn.out += BuildResponse(*req);
+      ++requests_;
+      ++sent;
+      want_close = want_close || !req->keep_alive;
+    }
+    FlushOut(conn);
+    if ((closed || want_close) && conn.out.empty()) {
+      api_->Close(conn.fd);
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return sent;
+}
+
+// ---- WrkClient --------------------------------------------------------------------
+
+WrkClient::WrkClient(uknet::NetStack* stack, uknet::Ip4Addr server, std::uint16_t port,
+                     Config config)
+    : stack_(stack), server_(server), port_(port), config_(config) {}
+
+bool WrkClient::ConnectAll(const std::function<void()>& pump) {
+  for (int i = 0; i < config_.connections; ++i) {
+    auto sock = stack_->TcpConnect(server_, port_);
+    if (sock == nullptr) {
+      return false;
+    }
+    conns_.push_back(ClientConn{std::move(sock), {}, 0});
+  }
+  for (int rounds = 0; rounds < 50000; ++rounds) {
+    bool all = true;
+    for (ClientConn& c : conns_) {
+      all = all && c.sock->connected();
+    }
+    if (all) {
+      return true;
+    }
+    pump();
+  }
+  return false;
+}
+
+namespace {
+
+// Counts complete HTTP responses in |buf| using Content-Length framing.
+std::size_t ConsumeHttpResponses(std::string* buf) {
+  std::size_t count = 0;
+  for (;;) {
+    std::size_t head_end = buf->find("\r\n\r\n");
+    if (head_end == std::string::npos) {
+      break;
+    }
+    std::size_t cl = buf->find("Content-Length: ");
+    if (cl == std::string::npos || cl > head_end) {
+      break;
+    }
+    long len = std::strtol(buf->c_str() + cl + 16, nullptr, 10);
+    std::size_t total = head_end + 4 + static_cast<std::size_t>(len);
+    if (buf->size() < total) {
+      break;
+    }
+    buf->erase(0, total);
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+std::size_t WrkClient::PumpOnce() {
+  std::string request = "GET " + config_.path +
+                        " HTTP/1.1\r\nHost: 10.0.0.1\r\nConnection: keep-alive\r\n\r\n";
+  std::size_t done = 0;
+  std::uint8_t buf[8192];
+  for (ClientConn& c : conns_) {
+    if (c.sock->failed()) {
+      continue;
+    }
+    if (c.in_flight < config_.pipeline) {
+      // Coalesced pipeline write, like wrk's batched request buffers.
+      std::string batch;
+      int batched = 0;
+      while (c.in_flight + batched < config_.pipeline) {
+        batch += request;
+        ++batched;
+      }
+      std::int64_t n = c.sock->Send(std::span(
+          reinterpret_cast<const std::uint8_t*>(batch.data()), batch.size()));
+      if (n == static_cast<std::int64_t>(batch.size())) {
+        c.in_flight += batched;
+      }
+    }
+    for (;;) {
+      std::int64_t n = c.sock->Recv(buf);
+      if (n <= 0) {
+        break;
+      }
+      c.rx.append(reinterpret_cast<char*>(buf), static_cast<std::size_t>(n));
+    }
+    std::size_t got = ConsumeHttpResponses(&c.rx);
+    c.in_flight -= static_cast<int>(got);
+    responses_ += got;
+    done += got;
+  }
+  return done;
+}
+
+}  // namespace apps

@@ -1,0 +1,74 @@
+// apps/kvstore.h - the specialized UDP key-value store of §6.4 / Table 4.
+//
+// One server, four data paths, exactly the ladder the paper climbs:
+//   kSocketSingle  — recvfrom/sendto, one syscall per packet;
+//   kSocketBatch   — recvmmsg/sendmmsg, one syscall per 32-packet batch;
+//   kUkNetdev      — no stack, no scheduler: poll-mode uknetdev bursts with
+//                    hand-parsed Ethernet/IP/UDP (the paper's specialized
+//                    unikernel that matches DPDK with one core);
+//   kDpdkStyle     — same poll-mode path plus the DPDK framework's per-burst
+//                    bookkeeping (mbuf pool churn), for the guest-DPDK rows.
+#ifndef APPS_KVSTORE_H_
+#define APPS_KVSTORE_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "posix/api.h"
+#include "uknet/wire_format.h"
+#include "uknetdev/netdev.h"
+
+namespace apps {
+
+enum class KvMode { kSocketSingle, kSocketBatch, kUkNetdev, kDpdkStyle };
+const char* KvModeName(KvMode mode);
+
+// Wire format: 'G'/'S' + u16 key [+ u16 value len + bytes]. Reply: value or 'E'.
+struct KvRequest {
+  bool is_set = false;
+  std::uint16_t key = 0;
+  std::string value;
+};
+std::vector<std::uint8_t> EncodeKvRequest(const KvRequest& req);
+
+class KvServer {
+ public:
+  // Socket modes.
+  KvServer(posix::PosixApi* api, std::uint16_t port, KvMode mode);
+  // Raw netdev modes: parses frames itself; needs its own TX pool.
+  KvServer(uknetdev::NetDev* dev, ukplat::MemRegion* mem, ukalloc::Allocator* alloc,
+           uknet::Ip4Addr ip, std::uint16_t port, KvMode mode);
+
+  bool Start();
+  std::size_t PumpOnce();  // requests answered this turn
+
+  std::uint64_t requests() const { return requests_; }
+  KvMode mode() const { return mode_; }
+
+ private:
+  std::size_t PumpSocketSingle();
+  std::size_t PumpSocketBatch();
+  std::size_t PumpNetdev();
+  std::string Handle(std::span<const std::uint8_t> payload);
+
+  KvMode mode_;
+  posix::PosixApi* api_ = nullptr;
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+
+  uknetdev::NetDev* dev_ = nullptr;
+  ukplat::MemRegion* mem_ = nullptr;
+  ukalloc::Allocator* alloc_ = nullptr;
+  uknet::Ip4Addr ip_ = 0;
+  std::unique_ptr<uknetdev::NetBufPool> tx_pool_;
+  std::unique_ptr<uknetdev::NetBufPool> rx_pool_;
+
+  std::unordered_map<std::uint16_t, std::string> store_;
+  std::uint64_t requests_ = 0;
+
+  static constexpr int kBatch = 32;
+};
+
+}  // namespace apps
+
+#endif  // APPS_KVSTORE_H_

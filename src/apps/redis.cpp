@@ -1,0 +1,268 @@
+#include "apps/redis.h"
+
+#include <cstring>
+
+namespace apps {
+
+// ---- ValueStore -------------------------------------------------------------------
+
+bool ValueStore::Set(const std::string& key, std::string_view value) {
+  char* data = static_cast<char*>(alloc_->Malloc(value.size() == 0 ? 1 : value.size()));
+  if (data == nullptr) {
+    return false;
+  }
+  std::memcpy(data, value.data(), value.size());
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    alloc_->Free(it->second.data);
+    it->second = Slot{data, value.size()};
+  } else {
+    map_.emplace(key, Slot{data, value.size()});
+  }
+  return true;
+}
+
+std::optional<std::string_view> ValueStore::Get(const std::string& key) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    return std::nullopt;
+  }
+  return std::string_view(it->second.data, it->second.len);
+}
+
+bool ValueStore::Del(const std::string& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    return false;
+  }
+  alloc_->Free(it->second.data);
+  map_.erase(it);
+  return true;
+}
+
+std::int64_t ValueStore::Incr(const std::string& key, bool* ok) {
+  *ok = true;
+  std::int64_t v = 0;
+  auto cur = Get(key);
+  if (cur.has_value()) {
+    v = std::strtoll(std::string(*cur).c_str(), nullptr, 10);
+  }
+  ++v;
+  std::string s = std::to_string(v);
+  if (!Set(key, s)) {
+    *ok = false;
+  }
+  return v;
+}
+
+void ValueStore::Clear() {
+  for (auto& [key, slot] : map_) {
+    alloc_->Free(slot.data);
+  }
+  map_.clear();
+}
+
+// ---- RedisServer ------------------------------------------------------------------
+
+RedisServer::RedisServer(posix::PosixApi* api, ukalloc::Allocator* alloc,
+                         std::uint16_t port)
+    : api_(api), port_(port), store_(alloc) {}
+
+bool RedisServer::Start() {
+  listen_fd_ = api_->Socket(posix::SockType::kStream);
+  if (listen_fd_ < 0) {
+    return false;
+  }
+  if (api_->Bind(listen_fd_, port_) != 0) {
+    return false;
+  }
+  return api_->Listen(listen_fd_) == 0;
+}
+
+std::string RedisServer::Execute(const std::vector<std::string>& argv) {
+  const std::string& cmd = argv[0];
+  auto eq = [](const std::string& a, const char* b) {
+    if (a.size() != std::strlen(b)) {
+      return false;
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if ((a[i] | 0x20) != (b[i] | 0x20)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (eq(cmd, "ping")) {
+    return RespSimpleString("PONG");
+  }
+  if (eq(cmd, "set") && argv.size() >= 3) {
+    return store_.Set(argv[1], argv[2]) ? RespSimpleString("OK")
+                                        : RespError("out of memory");
+  }
+  if (eq(cmd, "get") && argv.size() >= 2) {
+    auto v = store_.Get(argv[1]);
+    return v.has_value() ? RespBulk(*v) : RespNil();
+  }
+  if (eq(cmd, "del") && argv.size() >= 2) {
+    std::int64_t n = 0;
+    for (std::size_t i = 1; i < argv.size(); ++i) {
+      n += store_.Del(argv[i]) ? 1 : 0;
+    }
+    return RespInteger(n);
+  }
+  if (eq(cmd, "exists") && argv.size() >= 2) {
+    return RespInteger(store_.Get(argv[1]).has_value() ? 1 : 0);
+  }
+  if (eq(cmd, "incr") && argv.size() >= 2) {
+    bool ok = true;
+    std::int64_t v = store_.Incr(argv[1], &ok);
+    return ok ? RespInteger(v) : RespError("out of memory");
+  }
+  if (eq(cmd, "append") && argv.size() >= 3) {
+    std::string merged;
+    auto cur = store_.Get(argv[1]);
+    if (cur.has_value()) {
+      merged = std::string(*cur);
+    }
+    merged += argv[2];
+    store_.Set(argv[1], merged);
+    return RespInteger(static_cast<std::int64_t>(merged.size()));
+  }
+  if (eq(cmd, "strlen") && argv.size() >= 2) {
+    auto v = store_.Get(argv[1]);
+    return RespInteger(v.has_value() ? static_cast<std::int64_t>(v->size()) : 0);
+  }
+  if (eq(cmd, "flushall")) {
+    store_.Clear();
+    return RespSimpleString("OK");
+  }
+  if (eq(cmd, "dbsize")) {
+    return RespInteger(static_cast<std::int64_t>(store_.size()));
+  }
+  return RespError("unknown command '" + cmd + "'");
+}
+
+void RedisServer::FlushOut(Conn& conn) {
+  while (!conn.out.empty()) {
+    std::int64_t n = api_->Send(
+        conn.fd, std::span(reinterpret_cast<const std::uint8_t*>(conn.out.data()),
+                           conn.out.size()));
+    if (n <= 0) {
+      break;  // send buffer full; retry next pump
+    }
+    conn.out.erase(0, static_cast<std::size_t>(n));
+  }
+}
+
+std::size_t RedisServer::PumpOnce() {
+  // Accept new connections.
+  for (;;) {
+    int fd = api_->Accept(listen_fd_);
+    if (fd < 0) {
+      break;
+    }
+    conns_.push_back(Conn{fd, {}, {}});
+  }
+  std::size_t executed = 0;
+  std::uint8_t buf[8192];
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    Conn& conn = *it;
+    bool closed = false;
+    for (;;) {
+      std::int64_t n = api_->Recv(conn.fd, buf);
+      if (n > 0) {
+        conn.parser.Feed(std::string_view(reinterpret_cast<char*>(buf),
+                                          static_cast<std::size_t>(n)));
+        continue;
+      }
+      if (n == 0) {
+        closed = true;  // peer finished
+      }
+      break;
+    }
+    while (auto argv = conn.parser.Next()) {
+      conn.out += Execute(*argv);
+      ++commands_;
+      ++executed;
+    }
+    FlushOut(conn);
+    if (closed && conn.out.empty()) {
+      api_->Close(conn.fd);
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return executed;
+}
+
+// ---- RedisBenchClient -------------------------------------------------------------
+
+RedisBenchClient::RedisBenchClient(uknet::NetStack* stack, uknet::Ip4Addr server,
+                                   std::uint16_t port, Config config)
+    : stack_(stack), server_(server), port_(port), config_(config) {}
+
+bool RedisBenchClient::ConnectAll(const std::function<void()>& pump) {
+  for (int i = 0; i < config_.connections; ++i) {
+    auto sock = stack_->TcpConnect(server_, port_);
+    if (sock == nullptr) {
+      return false;
+    }
+    conns_.push_back(ClientConn{std::move(sock), {}, 0});
+  }
+  for (int rounds = 0; rounds < 50000; ++rounds) {
+    bool all = true;
+    for (ClientConn& c : conns_) {
+      all = all && c.sock->connected();
+    }
+    if (all) {
+      return true;
+    }
+    pump();
+  }
+  return false;
+}
+
+std::size_t RedisBenchClient::PumpOnce() {
+  std::size_t done = 0;
+  std::string value(static_cast<std::size_t>(config_.value_bytes), 'x');
+  for (ClientConn& c : conns_) {
+    if (c.sock->failed()) {
+      continue;
+    }
+    // Keep the pipeline full: coalesce the whole batch into one send, the
+    // way redis-benchmark writes its pipeline in a single write().
+    if (c.in_flight < config_.pipeline) {
+      std::string batch;
+      int batched = 0;
+      while (c.in_flight + batched < config_.pipeline) {
+        std::string key = "key:" + std::to_string(seq_++ % static_cast<std::uint64_t>(
+                                                               config_.keyspace));
+        batch += config_.use_set ? RespCommand({"SET", key, value})
+                                 : RespCommand({"GET", key});
+        ++batched;
+      }
+      std::int64_t n = c.sock->Send(
+          std::span(reinterpret_cast<const std::uint8_t*>(batch.data()), batch.size()));
+      if (n == static_cast<std::int64_t>(batch.size())) {
+        c.in_flight += batched;
+      }
+    }
+    // Reap replies.
+    std::uint8_t buf[8192];
+    for (;;) {
+      std::int64_t n = c.sock->Recv(buf);
+      if (n <= 0) {
+        break;
+      }
+      c.rx.append(reinterpret_cast<char*>(buf), static_cast<std::size_t>(n));
+    }
+    std::size_t got = ConsumeReplies(&c.rx);
+    c.in_flight -= static_cast<int>(got);
+    replies_ += got;
+    done += got;
+  }
+  return done;
+}
+
+}  // namespace apps

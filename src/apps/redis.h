@@ -1,0 +1,114 @@
+// apps/redis.h - ukredis: the in-memory key-value server of Figs 12 and 18,
+// plus a redis-benchmark work-alike client.
+//
+// The server is single-threaded and run-to-completion (the configuration the
+// paper selects: cooperative scheduling "fits well with Redis's single
+// threaded approach"). Value storage draws from the unikernel's own allocator
+// so the allocator comparison in Fig 18 measures real allocator work.
+#ifndef APPS_REDIS_H_
+#define APPS_REDIS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/resp.h"
+#include "posix/api.h"
+#include "uknet/stack.h"
+
+namespace apps {
+
+// String values held in allocator-backed buffers.
+class ValueStore {
+ public:
+  explicit ValueStore(ukalloc::Allocator* alloc) : alloc_(alloc) {}
+  ~ValueStore() { Clear(); }
+
+  bool Set(const std::string& key, std::string_view value);
+  std::optional<std::string_view> Get(const std::string& key) const;
+  bool Del(const std::string& key);
+  std::int64_t Incr(const std::string& key, bool* ok);
+  std::size_t size() const { return map_.size(); }
+  void Clear();
+
+ private:
+  struct Slot {
+    char* data = nullptr;
+    std::size_t len = 0;
+  };
+  ukalloc::Allocator* alloc_;
+  std::unordered_map<std::string, Slot> map_;
+};
+
+class RedisServer {
+ public:
+  RedisServer(posix::PosixApi* api, ukalloc::Allocator* alloc, std::uint16_t port);
+
+  // Starts listening. False on failure.
+  bool Start();
+  // One event-loop turn: accept, read, execute, reply. Returns commands run.
+  std::size_t PumpOnce();
+
+  std::uint64_t commands_processed() const { return commands_; }
+  std::size_t connections() const { return conns_.size(); }
+  ValueStore& store() { return store_; }
+
+ private:
+  struct Conn {
+    int fd;
+    RespCommandParser parser;
+    std::string out;  // pending reply bytes
+  };
+
+  std::string Execute(const std::vector<std::string>& argv);
+  void FlushOut(Conn& conn);
+
+  posix::PosixApi* api_;
+  std::uint16_t port_;
+  int listen_fd_ = -1;
+  std::vector<Conn> conns_;
+  ValueStore store_;
+  std::uint64_t commands_ = 0;
+};
+
+// redis-benchmark work-alike: N connections, pipelined GET/SET mix.
+class RedisBenchClient {
+ public:
+  struct Config {
+    int connections = 30;
+    int pipeline = 16;
+    bool use_set = false;       // false: GET workload, true: SET workload
+    int keyspace = 1000;
+    int value_bytes = 64;
+  };
+
+  RedisBenchClient(uknet::NetStack* stack, uknet::Ip4Addr server, std::uint16_t port,
+                   Config config);
+
+  bool ConnectAll(const std::function<void()>& pump);
+  // Issues pipelined requests and reaps replies; returns replies completed.
+  std::size_t PumpOnce();
+
+  std::uint64_t replies() const { return replies_; }
+
+ private:
+  struct ClientConn {
+    std::shared_ptr<uknet::TcpSocket> sock;
+    std::string rx;
+    int in_flight = 0;
+  };
+
+  uknet::NetStack* stack_;
+  uknet::Ip4Addr server_;
+  std::uint16_t port_;
+  Config config_;
+  std::vector<ClientConn> conns_;
+  std::uint64_t replies_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace apps
+
+#endif  // APPS_REDIS_H_

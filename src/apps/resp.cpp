@@ -1,0 +1,126 @@
+#include "apps/resp.h"
+
+namespace apps {
+
+void RespCommandParser::Compact() {
+  if (pos_ > 4096) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+}
+
+std::optional<std::string> RespCommandParser::ReadLine() {
+  std::size_t end = buf_.find("\r\n", pos_);
+  if (end == std::string::npos) {
+    return std::nullopt;
+  }
+  std::string line = buf_.substr(pos_, end - pos_);
+  pos_ = end + 2;
+  return line;
+}
+
+std::optional<std::vector<std::string>> RespCommandParser::Next() {
+  std::size_t saved = pos_;
+  auto fail = [this] {
+    error_ = true;
+    buf_.clear();
+    pos_ = 0;
+    return std::nullopt;
+  };
+  auto need_more = [this, saved]() {
+    pos_ = saved;
+    return std::nullopt;
+  };
+
+  auto header = ReadLine();
+  if (!header.has_value()) {
+    return need_more();
+  }
+  if (header->empty() || (*header)[0] != '*') {
+    return fail();
+  }
+  long nargs = std::strtol(header->c_str() + 1, nullptr, 10);
+  if (nargs <= 0 || nargs > 1024) {
+    return fail();
+  }
+  std::vector<std::string> argv;
+  argv.reserve(static_cast<std::size_t>(nargs));
+  for (long i = 0; i < nargs; ++i) {
+    auto len_line = ReadLine();
+    if (!len_line.has_value()) {
+      return need_more();
+    }
+    if (len_line->empty() || (*len_line)[0] != '$') {
+      return fail();
+    }
+    long len = std::strtol(len_line->c_str() + 1, nullptr, 10);
+    if (len < 0 || len > 512 * 1024) {
+      return fail();
+    }
+    if (buf_.size() - pos_ < static_cast<std::size_t>(len) + 2) {
+      return need_more();
+    }
+    argv.push_back(buf_.substr(pos_, static_cast<std::size_t>(len)));
+    pos_ += static_cast<std::size_t>(len) + 2;  // skip \r\n
+  }
+  Compact();
+  return argv;
+}
+
+std::string RespSimpleString(std::string_view s) { return "+" + std::string(s) + "\r\n"; }
+std::string RespError(std::string_view msg) { return "-ERR " + std::string(msg) + "\r\n"; }
+std::string RespInteger(std::int64_t v) { return ":" + std::to_string(v) + "\r\n"; }
+std::string RespNil() { return "$-1\r\n"; }
+
+std::string RespBulk(std::string_view data) {
+  std::string out = "$" + std::to_string(data.size()) + "\r\n";
+  out.append(data);
+  out += "\r\n";
+  return out;
+}
+
+std::string RespCommand(const std::vector<std::string>& argv) {
+  std::string out = "*" + std::to_string(argv.size()) + "\r\n";
+  for (const std::string& a : argv) {
+    out += RespBulk(a);
+  }
+  return out;
+}
+
+std::size_t ConsumeReplies(std::string* buf) {
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while (pos < buf->size()) {
+    char type = (*buf)[pos];
+    std::size_t line_end = buf->find("\r\n", pos);
+    if (line_end == std::string::npos) {
+      break;
+    }
+    if (type == '+' || type == '-' || type == ':') {
+      pos = line_end + 2;
+      ++count;
+      continue;
+    }
+    if (type == '$') {
+      long len = std::strtol(buf->c_str() + pos + 1, nullptr, 10);
+      if (len < 0) {
+        pos = line_end + 2;  // nil
+        ++count;
+        continue;
+      }
+      std::size_t total = line_end + 2 + static_cast<std::size_t>(len) + 2;
+      if (buf->size() < total) {
+        break;
+      }
+      pos = total;
+      ++count;
+      continue;
+    }
+    // Unknown type: drop the line to stay robust.
+    pos = line_end + 2;
+  }
+  buf->erase(0, pos);
+  return count;
+}
+
+}  // namespace apps

@@ -1,0 +1,51 @@
+// apps/resp.h - REdis Serialization Protocol (RESP2) codec, shared by the
+// ukredis server and the redis-benchmark-style client.
+#ifndef APPS_RESP_H_
+#define APPS_RESP_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace apps {
+
+// Incremental parser for client->server commands (arrays of bulk strings).
+// Feed bytes; Next() yields complete commands.
+class RespCommandParser {
+ public:
+  void Feed(std::string_view bytes) { buf_.append(bytes); }
+
+  // Returns the next complete command (argv), or nullopt if more bytes are
+  // needed. Malformed input sets error() and drains the buffer.
+  std::optional<std::vector<std::string>> Next();
+
+  bool error() const { return error_; }
+  std::size_t buffered() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;
+  bool error_ = false;
+
+  void Compact();
+  std::optional<std::string> ReadLine();
+};
+
+// Serializers for server replies and client commands.
+std::string RespSimpleString(std::string_view s);
+std::string RespError(std::string_view msg);
+std::string RespInteger(std::int64_t v);
+std::string RespBulk(std::string_view data);
+std::string RespNil();
+std::string RespCommand(const std::vector<std::string>& argv);
+
+// Counts complete top-level replies in a server->client byte stream
+// (what redis-benchmark needs to measure throughput under pipelining).
+// Consumes fully parsed replies from |buf| in place; returns how many.
+std::size_t ConsumeReplies(std::string* buf);
+
+}  // namespace apps
+
+#endif  // APPS_RESP_H_

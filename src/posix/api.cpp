@@ -1,0 +1,383 @@
+#include "posix/api.h"
+
+#include <cstring>
+
+namespace posix {
+
+namespace {
+
+constexpr std::int64_t Err(ukarch::Status s) { return ukarch::Raw(s); }
+
+std::uint64_t Ptr(const void* p) { return reinterpret_cast<std::uint64_t>(p); }
+
+template <typename T>
+T* AsPtr(std::uint64_t v) {
+  return reinterpret_cast<T*>(v);
+}
+
+}  // namespace
+
+PosixApi::PosixApi(ukplat::Clock* clock, vfscore::Vfs* vfs, uknet::NetStack* net,
+                   DispatchMode mode, uksched::Scheduler* sched)
+    : shim_(clock, mode, sched), vfs_(vfs), net_(net) {
+  RegisterHandlers();
+}
+
+void PosixApi::RegisterHandlers() {
+  // ---- file handlers ----
+  shim_.Register(SyscallNumber("open"), [this](const SyscallArgs& a) -> std::int64_t {
+    auto* path = AsPtr<const char>(a.a0);
+    std::shared_ptr<vfscore::File> file;
+    ukarch::Status st = vfs_->Open(std::string_view(path, a.a1),
+                                   static_cast<std::uint32_t>(a.a2), &file);
+    if (!Ok(st)) {
+      return Err(st);
+    }
+    return fdtab_.Install(std::move(file));
+  });
+  shim_.Register(SyscallNumber("read"), [this](const SyscallArgs& a) -> std::int64_t {
+    auto file = fdtab_.Get<vfscore::File>(static_cast<int>(a.a0));
+    if (file == nullptr) {
+      return Err(ukarch::Status::kBadF);
+    }
+    return file->Read(std::span(AsPtr<std::byte>(a.a1), a.a2));
+  });
+  shim_.Register(SyscallNumber("write"), [this](const SyscallArgs& a) -> std::int64_t {
+    auto file = fdtab_.Get<vfscore::File>(static_cast<int>(a.a0));
+    if (file == nullptr) {
+      return Err(ukarch::Status::kBadF);
+    }
+    return file->Write(std::span(AsPtr<const std::byte>(a.a1), a.a2));
+  });
+  shim_.Register(SyscallNumber("pread64"), [this](const SyscallArgs& a) -> std::int64_t {
+    auto file = fdtab_.Get<vfscore::File>(static_cast<int>(a.a0));
+    if (file == nullptr) {
+      return Err(ukarch::Status::kBadF);
+    }
+    return file->ReadAt(a.a3, std::span(AsPtr<std::byte>(a.a1), a.a2));
+  });
+  shim_.Register(SyscallNumber("pwrite64"), [this](const SyscallArgs& a) -> std::int64_t {
+    auto file = fdtab_.Get<vfscore::File>(static_cast<int>(a.a0));
+    if (file == nullptr) {
+      return Err(ukarch::Status::kBadF);
+    }
+    return file->WriteAt(a.a3, std::span(AsPtr<const std::byte>(a.a1), a.a2));
+  });
+  shim_.Register(SyscallNumber("lseek"), [this](const SyscallArgs& a) -> std::int64_t {
+    auto file = fdtab_.Get<vfscore::File>(static_cast<int>(a.a0));
+    if (file == nullptr) {
+      return Err(ukarch::Status::kBadF);
+    }
+    auto whence = static_cast<vfscore::File::Whence>(a.a2);
+    return file->Seek(static_cast<std::int64_t>(a.a1), whence);
+  });
+  shim_.Register(SyscallNumber("close"), [this](const SyscallArgs& a) -> std::int64_t {
+    return Err(fdtab_.Close(static_cast<int>(a.a0)));
+  });
+  shim_.Register(SyscallNumber("stat"), [this](const SyscallArgs& a) -> std::int64_t {
+    auto* path = AsPtr<const char>(a.a0);
+    return Err(vfs_->Stat(std::string_view(path, a.a1),
+                          AsPtr<vfscore::NodeStat>(a.a2)));
+  });
+  shim_.Register(SyscallNumber("unlink"), [this](const SyscallArgs& a) -> std::int64_t {
+    auto* path = AsPtr<const char>(a.a0);
+    return Err(vfs_->Unlink(std::string_view(path, a.a1)));
+  });
+  shim_.Register(SyscallNumber("mkdir"), [this](const SyscallArgs& a) -> std::int64_t {
+    auto* path = AsPtr<const char>(a.a0);
+    return Err(vfs_->Mkdir(std::string_view(path, a.a1)));
+  });
+  shim_.Register(SyscallNumber("fsync"), [](const SyscallArgs&) -> std::int64_t {
+    return 0;  // everything is RAM- or host-backed; nothing to flush
+  });
+  shim_.Register(SyscallNumber("getpid"), [](const SyscallArgs&) -> std::int64_t {
+    return 1;  // single-application domain: PID 1, always
+  });
+
+  // ---- socket handlers ----
+  shim_.Register(SyscallNumber("socket"), [this](const SyscallArgs& a) -> std::int64_t {
+    auto pending = std::make_shared<PendingSocket>();
+    pending->is_stream = a.a0 == static_cast<std::uint64_t>(SockType::kStream);
+    return fdtab_.Install(std::move(pending));
+  });
+  shim_.Register(SyscallNumber("bind"), [this](const SyscallArgs& a) -> std::int64_t {
+    int fd = static_cast<int>(a.a0);
+    auto pending = fdtab_.Get<PendingSocket>(fd);
+    if (pending == nullptr) {
+      return Err(ukarch::Status::kBadF);
+    }
+    auto port = static_cast<std::uint16_t>(a.a1);
+    if (!pending->is_stream) {
+      // Datagram sockets materialize at bind time.
+      auto udp = net_->UdpOpen();
+      ukarch::Status st = udp->Bind(port);
+      if (!Ok(st)) {
+        return Err(st);
+      }
+      fdtab_.Replace(fd, std::move(udp));
+      return 0;
+    }
+    pending->bound_port = port;
+    return 0;
+  });
+  shim_.Register(SyscallNumber("listen"), [this](const SyscallArgs& a) -> std::int64_t {
+    int fd = static_cast<int>(a.a0);
+    auto pending = fdtab_.Get<PendingSocket>(fd);
+    if (pending == nullptr || !pending->is_stream || pending->bound_port == 0) {
+      return Err(ukarch::Status::kBadF);
+    }
+    auto listener = net_->TcpListen(pending->bound_port);
+    if (listener == nullptr) {
+      return Err(ukarch::Status::kAddrInUse);
+    }
+    fdtab_.Replace(fd, std::move(listener));
+    return 0;
+  });
+  shim_.Register(SyscallNumber("accept"), [this](const SyscallArgs& a) -> std::int64_t {
+    auto listener = fdtab_.Get<uknet::TcpListener>(static_cast<int>(a.a0));
+    if (listener == nullptr) {
+      return Err(ukarch::Status::kBadF);
+    }
+    net_->Poll();
+    auto conn = listener->Accept();
+    if (conn == nullptr) {
+      return Err(ukarch::Status::kAgain);
+    }
+    return fdtab_.Install(std::move(conn));
+  });
+  shim_.Register(SyscallNumber("connect"), [this](const SyscallArgs& a) -> std::int64_t {
+    int fd = static_cast<int>(a.a0);
+    auto pending = fdtab_.Get<PendingSocket>(fd);
+    if (pending == nullptr || !pending->is_stream) {
+      return Err(ukarch::Status::kBadF);
+    }
+    auto conn = net_->TcpConnect(static_cast<uknet::Ip4Addr>(a.a1),
+                                 static_cast<std::uint16_t>(a.a2));
+    if (conn == nullptr) {
+      return Err(ukarch::Status::kNetUnreach);
+    }
+    fdtab_.Replace(fd, std::move(conn));
+    return Err(ukarch::Status::kInProgress);  // non-blocking connect
+  });
+  shim_.Register(SyscallNumber("sendto"), [this](const SyscallArgs& a) -> std::int64_t {
+    auto udp = fdtab_.Get<uknet::UdpSocket>(static_cast<int>(a.a0));
+    if (udp == nullptr) {
+      return Err(ukarch::Status::kBadF);
+    }
+    return udp->SendTo(static_cast<uknet::Ip4Addr>(a.a4),
+                       static_cast<std::uint16_t>(a.a5),
+                       std::span(AsPtr<const std::uint8_t>(a.a1), a.a2));
+  });
+  shim_.Register(SyscallNumber("recvfrom"), [this](const SyscallArgs& a) -> std::int64_t {
+    auto udp = fdtab_.Get<uknet::UdpSocket>(static_cast<int>(a.a0));
+    if (udp == nullptr) {
+      return Err(ukarch::Status::kBadF);
+    }
+    net_->Poll();
+    auto dgram = udp->RecvFrom();
+    if (!dgram.has_value()) {
+      return Err(ukarch::Status::kAgain);
+    }
+    std::size_t n = dgram->payload.size() < a.a2 ? dgram->payload.size() : a.a2;
+    std::memcpy(AsPtr<std::uint8_t>(a.a1), dgram->payload.data(), n);
+    if (a.a4 != 0) {
+      *AsPtr<uknet::Ip4Addr>(a.a4) = dgram->src_ip;
+    }
+    if (a.a5 != 0) {
+      *AsPtr<std::uint16_t>(a.a5) = dgram->src_port;
+    }
+    return static_cast<std::int64_t>(n);
+  });
+  shim_.Register(SyscallNumber("sendmmsg"), [this](const SyscallArgs& a) -> std::int64_t {
+    auto udp = fdtab_.Get<uknet::UdpSocket>(static_cast<int>(a.a0));
+    if (udp == nullptr) {
+      return Err(ukarch::Status::kBadF);
+    }
+    auto* vecs = AsPtr<const MmsgVec>(a.a1);
+    std::int64_t sent = 0;
+    for (std::uint64_t i = 0; i < a.a2; ++i) {
+      std::int64_t n = udp->SendTo(static_cast<uknet::Ip4Addr>(a.a4),
+                                   static_cast<std::uint16_t>(a.a5),
+                                   std::span(vecs[i].data, vecs[i].len));
+      if (n < 0) {
+        break;
+      }
+      ++sent;
+    }
+    return sent;
+  });
+  shim_.Register(SyscallNumber("recvmmsg"), [this](const SyscallArgs& a) -> std::int64_t {
+    auto udp = fdtab_.Get<uknet::UdpSocket>(static_cast<int>(a.a0));
+    if (udp == nullptr) {
+      return Err(ukarch::Status::kBadF);
+    }
+    net_->Poll();
+    auto* msgs = AsPtr<MmsgRecv>(a.a1);
+    std::int64_t got = 0;
+    for (std::uint64_t i = 0; i < a.a2; ++i) {
+      auto dgram = udp->RecvFrom();
+      if (!dgram.has_value()) {
+        break;
+      }
+      std::size_t n = dgram->payload.size() < msgs[i].cap ? dgram->payload.size()
+                                                          : msgs[i].cap;
+      std::memcpy(msgs[i].data, dgram->payload.data(), n);
+      msgs[i].len = n;
+      msgs[i].src_ip = dgram->src_ip;
+      msgs[i].src_port = dgram->src_port;
+      ++got;
+    }
+    return got == 0 ? Err(ukarch::Status::kAgain) : got;
+  });
+  auto tcp_send = [this](const SyscallArgs& a) -> std::int64_t {
+    auto tcp = fdtab_.Get<uknet::TcpSocket>(static_cast<int>(a.a0));
+    if (tcp == nullptr) {
+      return Err(ukarch::Status::kBadF);
+    }
+    std::int64_t n = tcp->Send(std::span(AsPtr<const std::uint8_t>(a.a1), a.a2));
+    if (n == 0 && a.a2 > 0) {
+      return Err(ukarch::Status::kAgain);  // send buffer full
+    }
+    return n;
+  };
+  auto tcp_recv = [this](const SyscallArgs& a) -> std::int64_t {
+    auto tcp = fdtab_.Get<uknet::TcpSocket>(static_cast<int>(a.a0));
+    if (tcp == nullptr) {
+      return Err(ukarch::Status::kBadF);
+    }
+    net_->Poll();
+    return tcp->Recv(std::span(AsPtr<std::uint8_t>(a.a1), a.a2));
+  };
+  shim_.Register(SyscallNumber("sendmsg"), tcp_send);
+  shim_.Register(SyscallNumber("recvmsg"), tcp_recv);
+}
+
+// ---- public wrappers: marshal into the register ABI ------------------------------
+
+int PosixApi::Open(std::string_view path, std::uint32_t flags) {
+  return static_cast<int>(shim_.Call(
+      SyscallNumber("open"), SyscallArgs{Ptr(path.data()), path.size(), flags}));
+}
+
+std::int64_t PosixApi::Read(int fd, std::span<std::byte> out) {
+  return shim_.Call(SyscallNumber("read"),
+                    SyscallArgs{static_cast<std::uint64_t>(fd), Ptr(out.data()),
+                                out.size()});
+}
+
+std::int64_t PosixApi::Write(int fd, std::span<const std::byte> in) {
+  return shim_.Call(SyscallNumber("write"),
+                    SyscallArgs{static_cast<std::uint64_t>(fd), Ptr(in.data()),
+                                in.size()});
+}
+
+std::int64_t PosixApi::Pread(int fd, std::uint64_t off, std::span<std::byte> out) {
+  return shim_.Call(SyscallNumber("pread64"),
+                    SyscallArgs{static_cast<std::uint64_t>(fd), Ptr(out.data()),
+                                out.size(), off});
+}
+
+std::int64_t PosixApi::Pwrite(int fd, std::uint64_t off, std::span<const std::byte> in) {
+  return shim_.Call(SyscallNumber("pwrite64"),
+                    SyscallArgs{static_cast<std::uint64_t>(fd), Ptr(in.data()),
+                                in.size(), off});
+}
+
+std::int64_t PosixApi::Lseek(int fd, std::int64_t off, int whence) {
+  return shim_.Call(SyscallNumber("lseek"),
+                    SyscallArgs{static_cast<std::uint64_t>(fd),
+                                static_cast<std::uint64_t>(off),
+                                static_cast<std::uint64_t>(whence)});
+}
+
+int PosixApi::Close(int fd) {
+  return static_cast<int>(
+      shim_.Call(SyscallNumber("close"), SyscallArgs{static_cast<std::uint64_t>(fd)}));
+}
+
+int PosixApi::Stat(std::string_view path, vfscore::NodeStat* out) {
+  return static_cast<int>(shim_.Call(
+      SyscallNumber("stat"), SyscallArgs{Ptr(path.data()), path.size(), Ptr(out)}));
+}
+
+int PosixApi::Unlink(std::string_view path) {
+  return static_cast<int>(shim_.Call(SyscallNumber("unlink"),
+                                     SyscallArgs{Ptr(path.data()), path.size()}));
+}
+
+int PosixApi::Mkdir(std::string_view path) {
+  return static_cast<int>(shim_.Call(SyscallNumber("mkdir"),
+                                     SyscallArgs{Ptr(path.data()), path.size()}));
+}
+
+int PosixApi::Fsync(int fd) {
+  return static_cast<int>(
+      shim_.Call(SyscallNumber("fsync"), SyscallArgs{static_cast<std::uint64_t>(fd)}));
+}
+
+int PosixApi::Socket(SockType type) {
+  return static_cast<int>(shim_.Call(
+      SyscallNumber("socket"), SyscallArgs{static_cast<std::uint64_t>(type)}));
+}
+
+int PosixApi::Bind(int fd, std::uint16_t port) {
+  return static_cast<int>(shim_.Call(
+      SyscallNumber("bind"), SyscallArgs{static_cast<std::uint64_t>(fd), port}));
+}
+
+int PosixApi::Listen(int fd) {
+  return static_cast<int>(
+      shim_.Call(SyscallNumber("listen"), SyscallArgs{static_cast<std::uint64_t>(fd)}));
+}
+
+int PosixApi::Accept(int fd) {
+  return static_cast<int>(
+      shim_.Call(SyscallNumber("accept"), SyscallArgs{static_cast<std::uint64_t>(fd)}));
+}
+
+int PosixApi::Connect(int fd, uknet::Ip4Addr ip, std::uint16_t port) {
+  return static_cast<int>(shim_.Call(
+      SyscallNumber("connect"),
+      SyscallArgs{static_cast<std::uint64_t>(fd), ip, port}));
+}
+
+std::int64_t PosixApi::Send(int fd, std::span<const std::uint8_t> data) {
+  return shim_.Call(SyscallNumber("sendmsg"),
+                    SyscallArgs{static_cast<std::uint64_t>(fd), Ptr(data.data()),
+                                data.size()});
+}
+
+std::int64_t PosixApi::Recv(int fd, std::span<std::uint8_t> out) {
+  return shim_.Call(SyscallNumber("recvmsg"),
+                    SyscallArgs{static_cast<std::uint64_t>(fd), Ptr(out.data()),
+                                out.size()});
+}
+
+std::int64_t PosixApi::SendTo(int fd, uknet::Ip4Addr ip, std::uint16_t port,
+                              std::span<const std::uint8_t> data) {
+  return shim_.Call(SyscallNumber("sendto"),
+                    SyscallArgs{static_cast<std::uint64_t>(fd), Ptr(data.data()),
+                                data.size(), 0, ip, port});
+}
+
+std::int64_t PosixApi::RecvFrom(int fd, std::span<std::uint8_t> out,
+                                uknet::Ip4Addr* src_ip, std::uint16_t* src_port) {
+  return shim_.Call(SyscallNumber("recvfrom"),
+                    SyscallArgs{static_cast<std::uint64_t>(fd), Ptr(out.data()),
+                                out.size(), 0, Ptr(src_ip), Ptr(src_port)});
+}
+
+std::int64_t PosixApi::SendMmsg(int fd, uknet::Ip4Addr ip, std::uint16_t port,
+                                std::span<const MmsgVec> msgs) {
+  return shim_.Call(SyscallNumber("sendmmsg"),
+                    SyscallArgs{static_cast<std::uint64_t>(fd), Ptr(msgs.data()),
+                                msgs.size(), 0, ip, port});
+}
+
+std::int64_t PosixApi::RecvMmsg(int fd, std::span<MmsgRecv> msgs) {
+  return shim_.Call(SyscallNumber("recvmmsg"),
+                    SyscallArgs{static_cast<std::uint64_t>(fd), Ptr(msgs.data()),
+                                msgs.size()});
+}
+
+}  // namespace posix

@@ -1,0 +1,95 @@
+// posix/api.h - the POSIX-compatibility layer: libc-level calls marshalled
+// through the syscall shim into VFS and network stack operations.
+//
+// Every operation goes through SyscallShim::Call with real argument
+// marshalling (pointers and lengths in registers, like the ABI), so switching
+// DispatchMode turns the same application into a "Linux guest" (trap costs),
+// a binary-compat unikernel, or a natively linked Unikraft image — which is
+// how the environment baselines of Figs 12/13/17 and Table 4 are built.
+//
+// Non-blocking by design: unikernel applications in the paper run
+// run-to-completion event loops; -EAGAIN means "pump the stack and retry".
+#ifndef POSIX_API_H_
+#define POSIX_API_H_
+
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "posix/fdtab.h"
+#include "posix/shim.h"
+
+namespace posix {
+
+enum class SockType { kDgram, kStream };
+
+// Scatter element for the batched (sendmmsg/recvmmsg) calls of Table 4.
+struct MmsgVec {
+  const std::uint8_t* data = nullptr;
+  std::size_t len = 0;
+};
+struct MmsgRecv {
+  std::uint8_t* data = nullptr;
+  std::size_t cap = 0;
+  std::size_t len = 0;  // filled in
+  uknet::Ip4Addr src_ip = 0;
+  std::uint16_t src_port = 0;
+};
+
+class PosixApi {
+ public:
+  PosixApi(ukplat::Clock* clock, vfscore::Vfs* vfs, uknet::NetStack* net,
+           DispatchMode mode, uksched::Scheduler* sched = nullptr);
+
+  // ---- files (through vfscore) ----
+  int Open(std::string_view path, std::uint32_t flags);
+  std::int64_t Read(int fd, std::span<std::byte> out);
+  std::int64_t Write(int fd, std::span<const std::byte> in);
+  std::int64_t Pread(int fd, std::uint64_t off, std::span<std::byte> out);
+  std::int64_t Pwrite(int fd, std::uint64_t off, std::span<const std::byte> in);
+  std::int64_t Lseek(int fd, std::int64_t off, int whence);  // 0 SET 1 CUR 2 END
+  int Close(int fd);
+  int Stat(std::string_view path, vfscore::NodeStat* out);
+  int Unlink(std::string_view path);
+  int Mkdir(std::string_view path);
+  int Fsync(int fd);
+
+  // ---- sockets (through uknet) ----
+  int Socket(SockType type);
+  int Bind(int fd, std::uint16_t port);
+  int Listen(int fd);
+  int Accept(int fd);  // returns new fd or -EAGAIN
+  int Connect(int fd, uknet::Ip4Addr ip, std::uint16_t port);
+  std::int64_t Send(int fd, std::span<const std::uint8_t> data);
+  std::int64_t Recv(int fd, std::span<std::uint8_t> out);
+  std::int64_t SendTo(int fd, uknet::Ip4Addr ip, std::uint16_t port,
+                      std::span<const std::uint8_t> data);
+  std::int64_t RecvFrom(int fd, std::span<std::uint8_t> out, uknet::Ip4Addr* src_ip,
+                        std::uint16_t* src_port);
+  // Batched datagram I/O: one syscall entry for the whole batch.
+  std::int64_t SendMmsg(int fd, uknet::Ip4Addr ip, std::uint16_t port,
+                        std::span<const MmsgVec> msgs);
+  std::int64_t RecvMmsg(int fd, std::span<MmsgRecv> msgs);
+
+  // ---- misc ----
+  std::int64_t GetPid() { return shim_.Call(SyscallNumber("getpid")); }
+  std::int64_t RawSyscall(int nr, const SyscallArgs& args = SyscallArgs{}) {
+    return shim_.Call(nr, args);
+  }
+
+  SyscallShim& shim() { return shim_; }
+  FdTable& fdtab() { return fdtab_; }
+  uknet::NetStack* net() { return net_; }
+
+ private:
+  void RegisterHandlers();
+
+  SyscallShim shim_;
+  FdTable fdtab_;
+  vfscore::Vfs* vfs_;
+  uknet::NetStack* net_;
+};
+
+}  // namespace posix
+
+#endif  // POSIX_API_H_

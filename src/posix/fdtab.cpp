@@ -1,0 +1,46 @@
+#include "posix/fdtab.h"
+
+namespace posix {
+
+int FdTable::Install(FdEntry entry) {
+  for (std::size_t fd = 3; fd < entries_.size(); ++fd) {
+    if (std::holds_alternative<std::monostate>(entries_[fd])) {
+      entries_[fd] = std::move(entry);
+      return static_cast<int>(fd);
+    }
+  }
+  return ukarch::Raw(ukarch::Status::kMFile);
+}
+
+int FdTable::Dup2(int oldfd, int newfd) {
+  if (!InUse(oldfd) || newfd < 0 ||
+      static_cast<std::size_t>(newfd) >= entries_.size()) {
+    return ukarch::Raw(ukarch::Status::kBadF);
+  }
+  entries_[static_cast<std::size_t>(newfd)] = entries_[static_cast<std::size_t>(oldfd)];
+  return newfd;
+}
+
+ukarch::Status FdTable::Close(int fd) {
+  if (!InUse(fd)) {
+    return ukarch::Status::kBadF;
+  }
+  // Graceful TCP teardown on close, like the socket layer does.
+  if (auto tcp = Get<uknet::TcpSocket>(fd)) {
+    tcp->Close();
+  }
+  entries_[static_cast<std::size_t>(fd)] = std::monostate{};
+  return ukarch::Status::kOk;
+}
+
+std::size_t FdTable::open_count() const {
+  std::size_t n = 0;
+  for (const FdEntry& e : entries_) {
+    if (!std::holds_alternative<std::monostate>(e)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace posix

@@ -1,0 +1,76 @@
+// posix/fdtab.h - the posix-fdtab micro-library: integer descriptors over
+// VFS files and network sockets.
+#ifndef POSIX_FDTAB_H_
+#define POSIX_FDTAB_H_
+
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "ukarch/status.h"
+#include "uknet/stack.h"
+#include "vfscore/vfs.h"
+
+namespace posix {
+
+// A socket created but not yet connected/listening (the state between
+// socket() and connect()/listen() in the BSD API).
+struct PendingSocket {
+  bool is_stream = false;
+  std::uint16_t bound_port = 0;
+};
+
+// One open description. monostate marks a free slot.
+using FdEntry = std::variant<std::monostate, std::shared_ptr<vfscore::File>,
+                             std::shared_ptr<uknet::UdpSocket>,
+                             std::shared_ptr<uknet::TcpSocket>,
+                             std::shared_ptr<uknet::TcpListener>,
+                             std::shared_ptr<PendingSocket>>;
+
+class FdTable {
+ public:
+  explicit FdTable(int max_fds = 1024) : entries_(static_cast<std::size_t>(max_fds)) {}
+
+  // Installs |entry| at the lowest free descriptor >= 3 (0-2 reserved for
+  // std streams). Returns -EMFILE when the table is full.
+  int Install(FdEntry entry);
+
+  // dup2 semantics: places a copy of |oldfd| at |newfd|.
+  int Dup2(int oldfd, int newfd);
+
+  // Replaces the entry at |fd| in place (socket state transitions:
+  // pending -> bound/listening/connected keep their descriptor).
+  bool Replace(int fd, FdEntry entry) {
+    if (!InUse(fd)) {
+      return false;
+    }
+    entries_[static_cast<std::size_t>(fd)] = std::move(entry);
+    return true;
+  }
+
+  ukarch::Status Close(int fd);
+
+  template <typename T>
+  std::shared_ptr<T> Get(int fd) const {
+    if (fd < 0 || static_cast<std::size_t>(fd) >= entries_.size()) {
+      return nullptr;
+    }
+    const auto* p = std::get_if<std::shared_ptr<T>>(&entries_[static_cast<std::size_t>(fd)]);
+    return p == nullptr ? nullptr : *p;
+  }
+
+  bool InUse(int fd) const {
+    return fd >= 0 && static_cast<std::size_t>(fd) < entries_.size() &&
+           !std::holds_alternative<std::monostate>(entries_[static_cast<std::size_t>(fd)]);
+  }
+
+  std::size_t open_count() const;
+  std::size_t capacity() const { return entries_.size(); }
+
+ private:
+  std::vector<FdEntry> entries_;
+};
+
+}  // namespace posix
+
+#endif  // POSIX_FDTAB_H_

@@ -1,0 +1,364 @@
+#include "uk9p/ninepfs.h"
+
+#include <cstring>
+
+namespace uk9p {
+
+namespace {
+
+// A vfscore node backed by a 9P fid. The fid references the *path*; reads and
+// writes clone a fresh fid per operation burst via walk, like the real 9pfs
+// keeps per-open fids.
+class NinePNode final : public vfscore::Node {
+ public:
+  NinePNode(Client* client, std::uint32_t fid, bool is_dir)
+      : client_(client), fid_(fid), is_dir_(is_dir) {}
+
+  ~NinePNode() override { client_->Clunk(fid_); }
+
+  vfscore::NodeType type() const override {
+    return is_dir_ ? vfscore::NodeType::kDirectory : vfscore::NodeType::kRegular;
+  }
+
+  vfscore::NodeStat Stat() const override {
+    uk9p::Stat st;
+    vfscore::NodeStat out;
+    if (client_->Stat(fid_, &st)) {
+      out.type = (st.qid.type & kQtDir) != 0 ? vfscore::NodeType::kDirectory
+                                             : vfscore::NodeType::kRegular;
+      out.size = st.length;
+      out.inode = st.qid.path;
+    }
+    return out;
+  }
+
+  ukarch::Status Lookup(std::string_view name,
+                        std::shared_ptr<vfscore::Node>* out) override {
+    if (!is_dir_) {
+      return ukarch::Status::kNotDir;
+    }
+    std::uint32_t newfid = client_->AllocFid();
+    std::vector<Qid> qids;
+    if (!client_->Walk(fid_, newfid, {std::string(name)}, &qids) || qids.size() != 1) {
+      return ukarch::Status::kNoEnt;
+    }
+    *out = std::make_shared<NinePNode>(client_, newfid, (qids[0].type & kQtDir) != 0);
+    return ukarch::Status::kOk;
+  }
+
+  ukarch::Status Create(std::string_view name, vfscore::NodeType ntype,
+                        std::shared_ptr<vfscore::Node>* out) override {
+    if (!is_dir_) {
+      return ukarch::Status::kNotDir;
+    }
+    // Tcreate moves the fid to the new file, so clone the dir fid first.
+    std::uint32_t newfid = client_->AllocFid();
+    std::vector<Qid> qids;
+    if (!client_->Walk(fid_, newfid, {}, &qids)) {
+      return ukarch::Status::kIo;
+    }
+    Qid qid;
+    if (!client_->Create(newfid, std::string(name),
+                         ntype == vfscore::NodeType::kDirectory, &qid)) {
+      client_->Clunk(newfid);
+      return ukarch::Status::kExist;
+    }
+    *out = std::make_shared<NinePNode>(client_, newfid,
+                                       ntype == vfscore::NodeType::kDirectory);
+    return ukarch::Status::kOk;
+  }
+
+  ukarch::Status Remove(std::string_view name) override {
+    std::uint32_t victim = client_->AllocFid();
+    std::vector<Qid> qids;
+    if (!client_->Walk(fid_, victim, {std::string(name)}, &qids) || qids.size() != 1) {
+      return ukarch::Status::kNoEnt;
+    }
+    if (!client_->RemoveFid(victim)) {
+      return ukarch::Status::kIo;
+    }
+    return ukarch::Status::kOk;
+  }
+
+  ukarch::Status ReadDir(std::vector<vfscore::DirEntry>* out) override {
+    if (!is_dir_) {
+      return ukarch::Status::kNotDir;
+    }
+    EnsureOpen();
+    std::vector<uk9p::Stat> entries;
+    if (!client_->ListDir(fid_, &entries)) {
+      return ukarch::Status::kIo;
+    }
+    out->clear();
+    for (const uk9p::Stat& st : entries) {
+      out->push_back(vfscore::DirEntry{
+          st.name, (st.qid.type & kQtDir) != 0 ? vfscore::NodeType::kDirectory
+                                               : vfscore::NodeType::kRegular});
+    }
+    return ukarch::Status::kOk;
+  }
+
+  std::int64_t Read(std::uint64_t offset, std::span<std::byte> out) override {
+    if (is_dir_) {
+      return ukarch::Raw(ukarch::Status::kIsDir);
+    }
+    EnsureOpen();
+    // Split into iounit-sized reads like the real client.
+    std::size_t done = 0;
+    while (done < out.size()) {
+      std::size_t chunk = out.size() - done;
+      if (chunk > client_->iounit()) {
+        chunk = client_->iounit();
+      }
+      std::int64_t n = client_->Read(fid_, offset + done, out.subspan(done, chunk));
+      if (n < 0) {
+        return done > 0 ? static_cast<std::int64_t>(done) : n;
+      }
+      done += static_cast<std::size_t>(n);
+      if (n == 0) {
+        break;  // EOF
+      }
+    }
+    return static_cast<std::int64_t>(done);
+  }
+
+  std::int64_t Write(std::uint64_t offset, std::span<const std::byte> in) override {
+    if (is_dir_) {
+      return ukarch::Raw(ukarch::Status::kIsDir);
+    }
+    EnsureOpen();
+    std::size_t done = 0;
+    while (done < in.size()) {
+      std::size_t chunk = in.size() - done;
+      if (chunk > client_->iounit()) {
+        chunk = client_->iounit();
+      }
+      std::int64_t n = client_->Write(fid_, offset + done, in.subspan(done, chunk));
+      if (n <= 0) {
+        return done > 0 ? static_cast<std::int64_t>(done) : n;
+      }
+      done += static_cast<std::size_t>(n);
+    }
+    return static_cast<std::int64_t>(done);
+  }
+
+  ukarch::Status Truncate(std::uint64_t size) override {
+    if (is_dir_) {
+      return ukarch::Status::kIsDir;
+    }
+    return client_->WstatSize(fid_, size) ? ukarch::Status::kOk : ukarch::Status::kIo;
+  }
+
+ private:
+  void EnsureOpen() {
+    if (!opened_) {
+      Qid qid;
+      opened_ = client_->Open(fid_, kORdWr, &qid);
+    }
+  }
+
+  Client* client_;
+  std::uint32_t fid_;
+  bool is_dir_;
+  bool opened_ = false;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> Client::Call(Writer& w, MsgType expect) {
+  std::vector<std::uint8_t> reply = transport_->Rpc(w.Finish());
+  auto hdr = ParseHeader(reply);
+  if (!hdr.has_value() || hdr->type != expect) {
+    return {};
+  }
+  return reply;
+}
+
+bool Client::Start() {
+  Writer w;
+  w.Begin(MsgType::kTversion, kNoTag);
+  w.U32(transport_->msize());
+  w.Str("9P2000");
+  if (Call(w, MsgType::kRversion).empty()) {
+    return false;
+  }
+  Writer a;
+  a.Begin(MsgType::kTattach, next_tag_++);
+  a.U32(kRootFid);
+  a.U32(kNoFid);
+  a.Str("unikraft");
+  a.Str("/");
+  return !Call(a, MsgType::kRattach).empty();
+}
+
+bool Client::Walk(std::uint32_t fid, std::uint32_t newfid,
+                  const std::vector<std::string>& names, std::vector<Qid>* qids) {
+  Writer w;
+  w.Begin(MsgType::kTwalk, next_tag_++);
+  w.U32(fid);
+  w.U32(newfid);
+  w.U16(static_cast<std::uint16_t>(names.size()));
+  for (const std::string& n : names) {
+    w.Str(n);
+  }
+  std::vector<std::uint8_t> reply = Call(w, MsgType::kRwalk);
+  if (reply.empty()) {
+    return false;
+  }
+  Reader r(Payload(reply));
+  std::uint16_t nwqid = r.U16();
+  qids->clear();
+  for (std::uint16_t i = 0; i < nwqid; ++i) {
+    qids->push_back(r.QidField());
+  }
+  return r.ok() && nwqid == names.size();
+}
+
+bool Client::Open(std::uint32_t fid, std::uint8_t mode, Qid* qid) {
+  Writer w;
+  w.Begin(MsgType::kTopen, next_tag_++);
+  w.U32(fid);
+  w.U8(mode);
+  std::vector<std::uint8_t> reply = Call(w, MsgType::kRopen);
+  if (reply.empty()) {
+    return false;
+  }
+  Reader r(Payload(reply));
+  *qid = r.QidField();
+  return r.ok();
+}
+
+bool Client::Create(std::uint32_t fid, const std::string& name, bool dir, Qid* qid) {
+  Writer w;
+  w.Begin(MsgType::kTcreate, next_tag_++);
+  w.U32(fid);
+  w.Str(name);
+  w.U32(dir ? kDmDir : 0);
+  w.U8(kORdWr);
+  std::vector<std::uint8_t> reply = Call(w, MsgType::kRcreate);
+  if (reply.empty()) {
+    return false;
+  }
+  Reader r(Payload(reply));
+  *qid = r.QidField();
+  return r.ok();
+}
+
+std::int64_t Client::Read(std::uint32_t fid, std::uint64_t offset,
+                          std::span<std::byte> out) {
+  Writer w;
+  w.Begin(MsgType::kTread, next_tag_++);
+  w.U32(fid);
+  w.U64(offset);
+  w.U32(static_cast<std::uint32_t>(out.size()));
+  std::vector<std::uint8_t> reply = Call(w, MsgType::kRread);
+  if (reply.empty()) {
+    return ukarch::Raw(ukarch::Status::kIo);
+  }
+  Reader r(Payload(reply));
+  std::uint32_t count = r.U32();
+  std::vector<std::uint8_t> data = r.Bytes(count);
+  if (!r.ok() || data.size() > out.size()) {
+    return ukarch::Raw(ukarch::Status::kIo);
+  }
+  std::memcpy(out.data(), data.data(), data.size());
+  return static_cast<std::int64_t>(data.size());
+}
+
+std::int64_t Client::Write(std::uint32_t fid, std::uint64_t offset,
+                           std::span<const std::byte> in) {
+  Writer w;
+  w.Begin(MsgType::kTwrite, next_tag_++);
+  w.U32(fid);
+  w.U64(offset);
+  w.U32(static_cast<std::uint32_t>(in.size()));
+  w.Bytes(std::span(reinterpret_cast<const std::uint8_t*>(in.data()), in.size()));
+  std::vector<std::uint8_t> reply = Call(w, MsgType::kRwrite);
+  if (reply.empty()) {
+    return ukarch::Raw(ukarch::Status::kIo);
+  }
+  Reader r(Payload(reply));
+  std::uint32_t count = r.U32();
+  return r.ok() ? static_cast<std::int64_t>(count) : ukarch::Raw(ukarch::Status::kIo);
+}
+
+bool Client::Clunk(std::uint32_t fid) {
+  Writer w;
+  w.Begin(MsgType::kTclunk, next_tag_++);
+  w.U32(fid);
+  return !Call(w, MsgType::kRclunk).empty();
+}
+
+bool Client::RemoveFid(std::uint32_t fid) {
+  Writer w;
+  w.Begin(MsgType::kTremove, next_tag_++);
+  w.U32(fid);
+  return !Call(w, MsgType::kRremove).empty();
+}
+
+bool Client::Stat(std::uint32_t fid, uk9p::Stat* out) {
+  Writer w;
+  w.Begin(MsgType::kTstat, next_tag_++);
+  w.U32(fid);
+  std::vector<std::uint8_t> reply = Call(w, MsgType::kRstat);
+  if (reply.empty()) {
+    return false;
+  }
+  Reader r(Payload(reply));
+  out->qid = r.QidField();
+  out->length = r.U64();
+  out->name = r.Str();
+  return r.ok();
+}
+
+bool Client::WstatSize(std::uint32_t fid, std::uint64_t size) {
+  Writer w;
+  w.Begin(MsgType::kTwstat, next_tag_++);
+  w.U32(fid);
+  w.U64(size);
+  return !Call(w, MsgType::kRwstat).empty();
+}
+
+bool Client::ListDir(std::uint32_t fid, std::vector<uk9p::Stat>* entries) {
+  Writer w;
+  w.Begin(MsgType::kTread, next_tag_++);
+  w.U32(fid);
+  w.U64(0);
+  w.U32(iounit());
+  std::vector<std::uint8_t> reply = Call(w, MsgType::kRread);
+  if (reply.empty()) {
+    return false;
+  }
+  Reader r(Payload(reply));
+  std::uint32_t payload_len = r.U32();
+  std::vector<std::uint8_t> payload = r.Bytes(payload_len);
+  if (!r.ok()) {
+    return false;
+  }
+  Reader body(payload);
+  std::uint16_t count = body.U16();
+  entries->clear();
+  for (std::uint16_t i = 0; i < count; ++i) {
+    uk9p::Stat st;
+    st.qid = body.QidField();
+    st.name = body.Str();
+    entries->push_back(std::move(st));
+  }
+  return body.ok();
+}
+
+ukarch::Status NinePFs::Mount(std::shared_ptr<vfscore::Node>* root) {
+  if (!client_->Start()) {
+    return ukarch::Status::kIo;
+  }
+  // Clone the root fid so the node owns its own.
+  std::uint32_t fid = client_->AllocFid();
+  std::vector<Qid> qids;
+  if (!client_->Walk(client_->root_fid(), fid, {}, &qids)) {
+    return ukarch::Status::kIo;
+  }
+  *root = std::make_shared<NinePNode>(client_, fid, true);
+  return ukarch::Status::kOk;
+}
+
+}  // namespace uk9p

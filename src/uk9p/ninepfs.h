@@ -1,0 +1,67 @@
+// uk9p/ninepfs.h - 9pfs: a vfscore filesystem driver speaking 9P over the
+// virtio transport. This is the persistent-storage path of §5.2.
+#ifndef UK9P_NINEPFS_H_
+#define UK9P_NINEPFS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "uk9p/proto.h"
+#include "uk9p/transport.h"
+#include "vfscore/node.h"
+
+namespace uk9p {
+
+// Thin RPC client: wraps message encode/decode over a transport.
+class Client {
+ public:
+  explicit Client(Virtio9pTransport* transport) : transport_(transport) {}
+
+  // Session setup: Tversion + Tattach of the root fid. False on failure.
+  bool Start();
+
+  // All calls return ok() style results; fid management is the caller's job.
+  bool Walk(std::uint32_t fid, std::uint32_t newfid,
+            const std::vector<std::string>& names, std::vector<Qid>* qids);
+  bool Open(std::uint32_t fid, std::uint8_t mode, Qid* qid);
+  bool Create(std::uint32_t fid, const std::string& name, bool dir, Qid* qid);
+  std::int64_t Read(std::uint32_t fid, std::uint64_t offset, std::span<std::byte> out);
+  std::int64_t Write(std::uint32_t fid, std::uint64_t offset,
+                     std::span<const std::byte> in);
+  bool Clunk(std::uint32_t fid);
+  bool RemoveFid(std::uint32_t fid);
+  bool Stat(std::uint32_t fid, uk9p::Stat* out);
+  bool WstatSize(std::uint32_t fid, std::uint64_t size);
+  // Directory listing through the simplified Rread encoding.
+  bool ListDir(std::uint32_t fid, std::vector<uk9p::Stat>* entries);
+
+  std::uint32_t AllocFid() { return next_fid_++; }
+  std::uint32_t root_fid() const { return kRootFid; }
+  std::uint32_t iounit() const { return transport_->msize() - 24; }
+
+  static constexpr std::uint32_t kRootFid = 0;
+
+ private:
+  std::vector<std::uint8_t> Call(Writer& w, MsgType expect);
+
+  Virtio9pTransport* transport_;
+  std::uint32_t next_fid_ = 1;
+  std::uint16_t next_tag_ = 1;
+};
+
+// vfscore driver: mounts the 9P share.
+class NinePFs final : public vfscore::FsDriver {
+ public:
+  explicit NinePFs(Client* client) : client_(client) {}
+
+  const char* fs_name() const override { return "9pfs"; }
+  ukarch::Status Mount(std::shared_ptr<vfscore::Node>* root) override;
+
+ private:
+  Client* client_;
+};
+
+}  // namespace uk9p
+
+#endif  // UK9P_NINEPFS_H_

@@ -1,0 +1,331 @@
+#include "uk9p/server.h"
+
+#include <functional>
+
+namespace uk9p {
+
+namespace {
+std::uint64_t g_qid_counter = 1;
+}
+
+HostNode* HostNode::AddDir(const std::string& child_name) {
+  auto node = std::make_unique<HostNode>();
+  node->name = child_name;
+  node->is_dir = true;
+  node->qid_path = g_qid_counter++;
+  HostNode* raw = node.get();
+  children[child_name] = std::move(node);
+  return raw;
+}
+
+HostNode* HostNode::AddFile(const std::string& child_name,
+                            std::vector<std::uint8_t> content) {
+  auto node = std::make_unique<HostNode>();
+  node->name = child_name;
+  node->is_dir = false;
+  node->data = std::move(content);
+  node->qid_path = g_qid_counter++;
+  HostNode* raw = node.get();
+  children[child_name] = std::move(node);
+  return raw;
+}
+
+Server::Server() : root_(std::make_unique<HostNode>()) {
+  root_->name = "/";
+  root_->is_dir = true;
+  root_->qid_path = g_qid_counter++;
+}
+
+Qid Server::QidOf(const HostNode& n) const {
+  return Qid{n.is_dir ? kQtDir : kQtFile, 0, n.qid_path};
+}
+
+std::vector<std::uint8_t> Server::Error(std::uint16_t tag, std::string_view ename) {
+  Writer w;
+  w.Begin(MsgType::kRerror, tag);
+  w.Str(ename);
+  return w.Finish();
+}
+
+std::vector<std::uint8_t> Server::Handle(std::span<const std::uint8_t> request) {
+  ++requests_served_;
+  auto hdr = ParseHeader(request);
+  if (!hdr.has_value()) {
+    return Error(kNoTag, "malformed message");
+  }
+  Reader r(request.subspan(7, hdr->size - 7));
+  switch (hdr->type) {
+    case MsgType::kTversion: return Version(hdr->tag, r);
+    case MsgType::kTattach: return Attach(hdr->tag, r);
+    case MsgType::kTwalk: return Walk(hdr->tag, r);
+    case MsgType::kTopen: return Open(hdr->tag, r);
+    case MsgType::kTcreate: return Create(hdr->tag, r);
+    case MsgType::kTread: return Read(hdr->tag, r);
+    case MsgType::kTwrite: return Write(hdr->tag, r);
+    case MsgType::kTclunk: return Clunk(hdr->tag, r);
+    case MsgType::kTremove: return Remove(hdr->tag, r);
+    case MsgType::kTstat: return StatMsg(hdr->tag, r);
+    case MsgType::kTwstat: return Wstat(hdr->tag, r);
+    default: return Error(hdr->tag, "unsupported message");
+  }
+}
+
+std::vector<std::uint8_t> Server::Version(std::uint16_t tag, Reader& r) {
+  std::uint32_t client_msize = r.U32();
+  std::string version = r.Str();
+  if (!r.ok()) {
+    return Error(tag, "short Tversion");
+  }
+  if (client_msize < msize_) {
+    msize_ = client_msize;
+  }
+  fids_.clear();  // version resets the session
+  Writer w;
+  w.Begin(MsgType::kRversion, tag);
+  w.U32(msize_);
+  w.Str(version == "9P2000" ? version : "unknown");
+  return w.Finish();
+}
+
+std::vector<std::uint8_t> Server::Attach(std::uint16_t tag, Reader& r) {
+  std::uint32_t fid = r.U32();
+  (void)r.U32();  // afid (no auth)
+  (void)r.Str();  // uname
+  (void)r.Str();  // aname
+  if (!r.ok()) {
+    return Error(tag, "short Tattach");
+  }
+  if (fids_.contains(fid)) {
+    return Error(tag, "fid in use");
+  }
+  fids_[fid] = Fid{root_.get(), false};
+  Writer w;
+  w.Begin(MsgType::kRattach, tag);
+  w.QidField(QidOf(*root_));
+  return w.Finish();
+}
+
+std::vector<std::uint8_t> Server::Walk(std::uint16_t tag, Reader& r) {
+  std::uint32_t fid = r.U32();
+  std::uint32_t newfid = r.U32();
+  std::uint16_t nwname = r.U16();
+  auto it = fids_.find(fid);
+  if (it == fids_.end()) {
+    return Error(tag, "unknown fid");
+  }
+  HostNode* cur = it->second.node;
+  std::vector<Qid> qids;
+  for (std::uint16_t i = 0; i < nwname; ++i) {
+    std::string name = r.Str();
+    if (!r.ok()) {
+      return Error(tag, "short Twalk");
+    }
+    if (!cur->is_dir) {
+      break;
+    }
+    auto child = cur->children.find(name);
+    if (child == cur->children.end()) {
+      break;
+    }
+    cur = child->second.get();
+    qids.push_back(QidOf(*cur));
+  }
+  // Per the spec, a partial walk (fewer qids than names) does not move newfid.
+  if (qids.size() == nwname) {
+    fids_[newfid] = Fid{cur, false};
+  } else if (nwname > 0 && qids.empty()) {
+    return Error(tag, "file not found");
+  }
+  Writer w;
+  w.Begin(MsgType::kRwalk, tag);
+  w.U16(static_cast<std::uint16_t>(qids.size()));
+  for (const Qid& q : qids) {
+    w.QidField(q);
+  }
+  return w.Finish();
+}
+
+std::vector<std::uint8_t> Server::Open(std::uint16_t tag, Reader& r) {
+  std::uint32_t fid = r.U32();
+  std::uint8_t mode = r.U8();
+  auto it = fids_.find(fid);
+  if (it == fids_.end()) {
+    return Error(tag, "unknown fid");
+  }
+  if ((mode & kOTrunc) != 0 && !it->second.node->is_dir) {
+    it->second.node->data.clear();
+  }
+  it->second.open = true;
+  Writer w;
+  w.Begin(MsgType::kRopen, tag);
+  w.QidField(QidOf(*it->second.node));
+  w.U32(msize_ - 24);  // iounit
+  return w.Finish();
+}
+
+std::vector<std::uint8_t> Server::Create(std::uint16_t tag, Reader& r) {
+  std::uint32_t fid = r.U32();
+  std::string name = r.Str();
+  std::uint32_t perm = r.U32();
+  (void)r.U8();  // mode
+  auto it = fids_.find(fid);
+  if (it == fids_.end()) {
+    return Error(tag, "unknown fid");
+  }
+  HostNode* dir = it->second.node;
+  if (!dir->is_dir) {
+    return Error(tag, "not a directory");
+  }
+  if (dir->children.contains(name)) {
+    return Error(tag, "file exists");
+  }
+  HostNode* child = (perm & kDmDir) != 0 ? dir->AddDir(name) : dir->AddFile(name, {});
+  // fid now refers to the new file, open (spec behaviour).
+  it->second = Fid{child, true};
+  Writer w;
+  w.Begin(MsgType::kRcreate, tag);
+  w.QidField(QidOf(*child));
+  w.U32(msize_ - 24);
+  return w.Finish();
+}
+
+std::vector<std::uint8_t> Server::Read(std::uint16_t tag, Reader& r) {
+  std::uint32_t fid = r.U32();
+  std::uint64_t offset = r.U64();
+  std::uint32_t count = r.U32();
+  auto it = fids_.find(fid);
+  if (it == fids_.end()) {
+    return Error(tag, "unknown fid");
+  }
+  HostNode* node = it->second.node;
+  if (count > msize_ - 24) {
+    count = msize_ - 24;
+  }
+  Writer w;
+  w.Begin(MsgType::kRread, tag);
+  if (node->is_dir) {
+    // Simplified directory listing: count[2] then {qid, name} entries,
+    // whole listing returned at offset 0, empty otherwise.
+    if (offset != 0) {
+      w.U32(0);
+      return w.Finish();
+    }
+    Writer body;
+    body.U16(static_cast<std::uint16_t>(node->children.size()));
+    for (const auto& [name, child] : node->children) {
+      body.QidField(QidOf(*child));
+      body.Str(name);
+    }
+    std::vector<std::uint8_t> payload = body.TakeRaw();
+    w.U32(static_cast<std::uint32_t>(payload.size()));
+    w.Bytes(payload);
+    return w.Finish();
+  }
+  std::uint64_t avail = node->data.size() > offset ? node->data.size() - offset : 0;
+  std::uint32_t n = static_cast<std::uint32_t>(avail < count ? avail : count);
+  w.U32(n);
+  w.Bytes(std::span(node->data).subspan(static_cast<std::size_t>(offset), n));
+  return w.Finish();
+}
+
+std::vector<std::uint8_t> Server::Write(std::uint16_t tag, Reader& r) {
+  std::uint32_t fid = r.U32();
+  std::uint64_t offset = r.U64();
+  std::uint32_t count = r.U32();
+  std::vector<std::uint8_t> data = r.Bytes(count);
+  if (!r.ok()) {
+    return Error(tag, "short Twrite");
+  }
+  auto it = fids_.find(fid);
+  if (it == fids_.end()) {
+    return Error(tag, "unknown fid");
+  }
+  HostNode* node = it->second.node;
+  if (node->is_dir) {
+    return Error(tag, "is a directory");
+  }
+  if (node->data.size() < offset + count) {
+    node->data.resize(static_cast<std::size_t>(offset + count), 0);
+  }
+  std::copy(data.begin(), data.end(),
+            node->data.begin() + static_cast<std::ptrdiff_t>(offset));
+  Writer w;
+  w.Begin(MsgType::kRwrite, tag);
+  w.U32(count);
+  return w.Finish();
+}
+
+std::vector<std::uint8_t> Server::Clunk(std::uint16_t tag, Reader& r) {
+  std::uint32_t fid = r.U32();
+  if (fids_.erase(fid) == 0) {
+    return Error(tag, "unknown fid");
+  }
+  Writer w;
+  w.Begin(MsgType::kRclunk, tag);
+  return w.Finish();
+}
+
+std::vector<std::uint8_t> Server::Remove(std::uint16_t tag, Reader& r) {
+  std::uint32_t fid = r.U32();
+  auto it = fids_.find(fid);
+  if (it == fids_.end()) {
+    return Error(tag, "unknown fid");
+  }
+  HostNode* node = it->second.node;
+  fids_.erase(it);
+  // Find and erase from the parent by scanning from the root (host trees in
+  // the experiments are shallow; simplicity over speed here).
+  std::function<bool(HostNode*)> erase_in = [&](HostNode* dir) {
+    for (auto child = dir->children.begin(); child != dir->children.end(); ++child) {
+      if (child->second.get() == node) {
+        dir->children.erase(child);
+        return true;
+      }
+      if (child->second->is_dir && erase_in(child->second.get())) {
+        return true;
+      }
+    }
+    return false;
+  };
+  if (!erase_in(root_.get())) {
+    return Error(tag, "cannot remove root");
+  }
+  Writer w;
+  w.Begin(MsgType::kRremove, tag);
+  return w.Finish();
+}
+
+std::vector<std::uint8_t> Server::StatMsg(std::uint16_t tag, Reader& r) {
+  std::uint32_t fid = r.U32();
+  auto it = fids_.find(fid);
+  if (it == fids_.end()) {
+    return Error(tag, "unknown fid");
+  }
+  const HostNode* node = it->second.node;
+  Writer w;
+  w.Begin(MsgType::kRstat, tag);
+  w.QidField(QidOf(*node));
+  w.U64(node->data.size());
+  w.Str(node->name);
+  return w.Finish();
+}
+
+std::vector<std::uint8_t> Server::Wstat(std::uint16_t tag, Reader& r) {
+  // Size-only wstat: used by the client to implement truncate.
+  std::uint32_t fid = r.U32();
+  std::uint64_t new_size = r.U64();
+  auto it = fids_.find(fid);
+  if (it == fids_.end()) {
+    return Error(tag, "unknown fid");
+  }
+  HostNode* node = it->second.node;
+  if (node->is_dir) {
+    return Error(tag, "is a directory");
+  }
+  node->data.resize(static_cast<std::size_t>(new_size), 0);
+  Writer w;
+  w.Begin(MsgType::kRwstat, tag);
+  return w.Finish();
+}
+
+}  // namespace uk9p

@@ -1,0 +1,72 @@
+#include "uk9p/transport.h"
+
+namespace uk9p {
+
+Virtio9pTransport::Virtio9pTransport(ukplat::MemRegion* mem, ukplat::Clock* clock,
+                                     Server* server, std::uint32_t msize,
+                                     std::uint16_t qsize)
+    : mem_(mem), clock_(clock), server_(server), msize_(msize) {
+  std::uint64_t ring_gpa = mem_->Carve(ukplat::Virtqueue::FootprintBytes(qsize), 16);
+  req_gpa_ = mem_->Carve(msize, 16);
+  resp_gpa_ = mem_->Carve(msize, 16);
+  if (ring_gpa == ukplat::MemRegion::kBadGpa || req_gpa_ == ukplat::MemRegion::kBadGpa ||
+      resp_gpa_ == ukplat::MemRegion::kBadGpa) {
+    return;
+  }
+  vq_ = std::make_unique<ukplat::Virtqueue>(mem_, ring_gpa, qsize);
+  ok_ = true;
+}
+
+void Virtio9pTransport::DeviceRun() {
+  while (auto chain = vq_->DevicePop()) {
+    if (chain->segments.size() != 2) {
+      vq_->DevicePush(chain->head, 0);
+      continue;
+    }
+    const auto& req_seg = chain->segments[0];
+    const auto& resp_seg = chain->segments[1];
+    const std::byte* req_bytes = mem_->At(req_seg.gpa, req_seg.len);
+    std::byte* resp_bytes = mem_->At(resp_seg.gpa, resp_seg.len);
+    if (req_bytes == nullptr || resp_bytes == nullptr) {
+      vq_->DevicePush(chain->head, 0);
+      continue;
+    }
+    std::vector<std::uint8_t> reply = server_->Handle(
+        std::span(reinterpret_cast<const std::uint8_t*>(req_bytes), req_seg.len));
+    std::uint32_t n = static_cast<std::uint32_t>(
+        reply.size() < resp_seg.len ? reply.size() : resp_seg.len);
+    std::memcpy(resp_bytes, reply.data(), n);
+    clock_->ChargeCopy(req_seg.len + n);  // host-side copies through the share
+    vq_->DevicePush(chain->head, n);
+  }
+  clock_->Charge(clock_->model().irq_inject);
+}
+
+std::vector<std::uint8_t> Virtio9pTransport::Rpc(std::span<const std::uint8_t> request) {
+  if (!ok_ || request.size() > msize_) {
+    return {};
+  }
+  ++rpcs_;
+  mem_->CopyIn(req_gpa_, std::as_bytes(request));
+  ukplat::Virtqueue::Segment segs[2] = {
+      {req_gpa_, static_cast<std::uint32_t>(request.size()), false},
+      {resp_gpa_, msize_, true},
+  };
+  if (!vq_->Enqueue(std::span(segs), nullptr)) {
+    return {};
+  }
+  if (vq_->NeedsKick()) {
+    clock_->Charge(clock_->model().vm_exit);
+    vq_->MarkKicked();
+  }
+  DeviceRun();
+  auto done = vq_->DequeueCompletion();
+  if (!done.has_value() || done->written == 0) {
+    return {};
+  }
+  std::vector<std::uint8_t> reply(done->written);
+  mem_->CopyOut(resp_gpa_, std::as_writable_bytes(std::span(reply)));
+  return reply;
+}
+
+}  // namespace uk9p

@@ -1,0 +1,153 @@
+#include "ukalloc/allocator.h"
+
+#include <cstring>
+
+#include "ukarch/align.h"
+
+namespace ukalloc {
+namespace {
+
+// Marker placed immediately before pointers produced by the generic memalign
+// fallback so Free() can recover the raw allocation.
+constexpr std::uint64_t kAlignMagic = 0xA11A'11C4'0FF5'E7F0ull;
+
+struct AlignPrefix {
+  void* raw;
+  std::uint64_t magic;
+};
+
+}  // namespace
+
+void* Allocator::Malloc(std::size_t size) {
+  if (size == 0) {
+    size = 1;
+  }
+  void* p = DoMalloc(size);
+  ++stats_.malloc_calls;
+  if (p == nullptr) {
+    ++stats_.failed_allocs;
+    return nullptr;
+  }
+  stats_.bytes_in_use += DoUsableSize(p);
+  if (stats_.bytes_in_use > stats_.peak_bytes) {
+    stats_.peak_bytes = stats_.bytes_in_use;
+  }
+  return p;
+}
+
+bool Allocator::IsAlignWrapped(const void* ptr) const {
+  auto* b = static_cast<const std::byte*>(ptr);
+  if (b < base_ + sizeof(AlignPrefix) || b >= base_ + len_) {
+    return false;
+  }
+  AlignPrefix pfx;
+  std::memcpy(&pfx, b - sizeof(AlignPrefix), sizeof(pfx));
+  return pfx.magic == kAlignMagic && Owns(pfx.raw) && pfx.raw < ptr;
+}
+
+void Allocator::Free(void* ptr) {
+  if (ptr == nullptr) {
+    return;
+  }
+  ++stats_.free_calls;
+  if (IsAlignWrapped(ptr)) {
+    AlignPrefix pfx;
+    std::memcpy(&pfx, static_cast<std::byte*>(ptr) - sizeof(AlignPrefix), sizeof(pfx));
+    std::size_t sz = DoUsableSize(pfx.raw);
+    stats_.bytes_in_use -= sz < stats_.bytes_in_use ? sz : stats_.bytes_in_use;
+    DoFree(pfx.raw);
+    return;
+  }
+  std::size_t sz = DoUsableSize(ptr);
+  stats_.bytes_in_use -= sz < stats_.bytes_in_use ? sz : stats_.bytes_in_use;
+  DoFree(ptr);
+}
+
+void* Allocator::Calloc(std::size_t n, std::size_t size) {
+  if (size != 0 && n > SIZE_MAX / size) {
+    return nullptr;
+  }
+  std::size_t total = n * size;
+  void* p = Malloc(total);
+  if (p != nullptr) {
+    std::memset(p, 0, total);
+  }
+  return p;
+}
+
+void* Allocator::Realloc(void* ptr, std::size_t new_size) {
+  if (ptr == nullptr) {
+    return Malloc(new_size);
+  }
+  if (new_size == 0) {
+    Free(ptr);
+    return nullptr;
+  }
+  std::size_t old = UsableSize(ptr);
+  if (old >= new_size) {
+    return ptr;  // shrink in place
+  }
+  void* np = Malloc(new_size);
+  if (np == nullptr) {
+    return nullptr;
+  }
+  std::memcpy(np, ptr, old);
+  Free(ptr);
+  return np;
+}
+
+std::size_t Allocator::UsableSize(void* ptr) const {
+  if (ptr == nullptr) {
+    return 0;
+  }
+  if (IsAlignWrapped(ptr)) {
+    AlignPrefix pfx;
+    std::memcpy(&pfx, static_cast<std::byte*>(ptr) - sizeof(AlignPrefix), sizeof(pfx));
+    std::size_t raw_usable = DoUsableSize(pfx.raw);
+    std::size_t shift = static_cast<std::size_t>(static_cast<std::byte*>(ptr) -
+                                                 static_cast<std::byte*>(pfx.raw));
+    return raw_usable > shift ? raw_usable - shift : 0;
+  }
+  return DoUsableSize(ptr);
+}
+
+void* Allocator::Memalign(std::size_t align, std::size_t size) {
+  if (!ukarch::IsPow2(align)) {
+    return nullptr;
+  }
+  if (align <= 16) {
+    return Malloc(size);
+  }
+  bool handled = true;
+  void* p = DoMemalign(align, size, &handled);
+  if (handled) {
+    ++stats_.malloc_calls;
+    if (p == nullptr) {
+      ++stats_.failed_allocs;
+    } else {
+      stats_.bytes_in_use += DoUsableSize(p);
+      if (stats_.bytes_in_use > stats_.peak_bytes) {
+        stats_.peak_bytes = stats_.bytes_in_use;
+      }
+    }
+    return p;
+  }
+  return GenericMemalign(align, size);
+}
+
+void* Allocator::GenericMemalign(std::size_t align, std::size_t size) {
+  // Over-allocate so an aligned address with room for the prefix always
+  // exists inside the raw block, then stamp the prefix just before it.
+  std::size_t slack = align + sizeof(AlignPrefix);
+  void* raw = Malloc(size + slack);
+  if (raw == nullptr) {
+    return nullptr;
+  }
+  auto addr = reinterpret_cast<std::uintptr_t>(raw) + sizeof(AlignPrefix);
+  addr = ukarch::AlignUp(addr, align);
+  AlignPrefix pfx{raw, kAlignMagic};
+  std::memcpy(reinterpret_cast<std::byte*>(addr) - sizeof(AlignPrefix), &pfx, sizeof(pfx));
+  return reinterpret_cast<void*>(addr);
+}
+
+}  // namespace ukalloc

@@ -1,0 +1,74 @@
+// ukalloc/buddy.h - binary buddy allocator (the Mini-OS allocator, backend 1).
+//
+// Power-of-two block sizes from 32 bytes up, per-order free lists, and
+// classic buddy coalescing (buddy address = offset XOR block size). Like the
+// Mini-OS page allocator it descends from, init does an eager pass over the
+// whole heap to build its start-bit map — that real O(heap) work is why the
+// buddy backend has the slowest boot in Fig 14 of the paper, and in ours.
+#ifndef UKALLOC_BUDDY_H_
+#define UKALLOC_BUDDY_H_
+
+#include <array>
+
+#include "ukalloc/allocator.h"
+
+namespace ukalloc {
+
+class BuddyAllocator final : public Allocator {
+ public:
+  static constexpr unsigned kMinOrder = 5;   // 32-byte blocks
+  static constexpr unsigned kMaxOrder = 40;  // 1 TiB cap, plenty for any heap
+
+  BuddyAllocator(std::byte* base, std::size_t len);
+
+  const char* name() const override { return "buddy"; }
+
+  // Exposed for tests: number of free blocks at |order|.
+  std::size_t FreeBlocksAt(unsigned order) const;
+  std::uint64_t double_free_count() const { return double_frees_; }
+
+ protected:
+  void* DoMalloc(std::size_t size) override;
+  void DoFree(void* ptr) override;
+  std::size_t DoUsableSize(const void* ptr) const override;
+  void* DoMemalign(std::size_t align, std::size_t size, bool* handled) override;
+
+ private:
+  struct FreeNode {           // lives at the start of each free block
+    std::uint64_t magic;
+    FreeNode* next;
+    FreeNode* prev;
+    unsigned order;
+  };
+  struct UsedHeader {         // precedes the user payload of allocated blocks
+    std::uint64_t magic;
+    unsigned order;
+    unsigned pad;
+  };
+  static constexpr std::uint64_t kFreeMagic = 0xF4EE'B10C'F4EE'B10Cull;
+  static constexpr std::uint64_t kUsedMagic = 0x05ED'B10C'05ED'B10Cull;
+  static constexpr std::size_t kHeaderBytes = 16;
+
+  std::uint64_t OffsetOf(const void* block) const;
+  // Inserts a free block at |off|, merging with free buddies upward.
+  void InsertAndCoalesce(std::uint64_t off, unsigned order);
+  void PushFree(std::byte* block, unsigned order);
+  std::byte* PopFree(unsigned order);
+  void RemoveFree(FreeNode* node, unsigned order);
+  void* AllocOrder(unsigned order);
+
+  // Start-bit map: bit i set <=> an allocated block starts at offset i*32.
+  bool StartBit(std::uint64_t off) const;
+  void SetStartBit(std::uint64_t off, bool v);
+
+  std::byte* heap_ = nullptr;       // aligned managed area
+  std::size_t heap_len_ = 0;
+  std::byte* bitmap_ = nullptr;     // carved from the front of the region
+  std::size_t bitmap_bytes_ = 0;
+  std::array<FreeNode*, kMaxOrder + 1> free_lists_{};
+  std::uint64_t double_frees_ = 0;
+};
+
+}  // namespace ukalloc
+
+#endif  // UKALLOC_BUDDY_H_

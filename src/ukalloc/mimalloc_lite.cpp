@@ -1,0 +1,239 @@
+#include "ukalloc/mimalloc_lite.h"
+
+#include <cstring>
+
+#include "ukarch/align.h"
+
+namespace ukalloc {
+
+using ukarch::AlignUp;
+
+MimallocLite::MimallocLite(std::byte* base, std::size_t len) : Allocator(base, len) {
+  auto start = AlignUp(reinterpret_cast<std::uintptr_t>(base), kPageBytes);
+  auto end = reinterpret_cast<std::uintptr_t>(base) + len;
+  if (end <= start + kPageBytes) {
+    // Region too small for even one aligned page: fall back to a single
+    // unaligned page area so tiny heaps still work for small allocations.
+    start = AlignUp(reinterpret_cast<std::uintptr_t>(base), 64);
+    if (end <= start + 2 * kPageHeaderBytes) {
+      return;
+    }
+  }
+  pages_base_ = reinterpret_cast<std::byte*>(start);
+  total_pages_ = (end - start) / kPageBytes;
+}
+
+// Size classes: 16..128 in steps of 16, then four subdivisions per power of
+// two up to 8 KiB — the same shape as mimalloc's class table.
+unsigned MimallocLite::SizeClassOf(std::size_t size) {
+  if (size <= 128) {
+    return static_cast<unsigned>((size + 15) / 16 - 1);  // classes 0..7
+  }
+  unsigned cls = 8;
+  std::size_t lo = 128;
+  while (lo < kMaxSmall) {
+    std::size_t step = lo / 4;
+    for (int i = 0; i < 4; ++i) {
+      lo += step;
+      if (size <= lo) {
+        return cls;
+      }
+      ++cls;
+    }
+  }
+  return kNumClasses;  // out of small range
+}
+
+std::size_t MimallocLite::ClassBlockSize(unsigned cls) {
+  if (cls <= 7) {
+    return (cls + 1) * 16;
+  }
+  std::size_t lo = 128;
+  unsigned c = 8;
+  while (true) {
+    std::size_t step = lo / 4;
+    for (int i = 0; i < 4; ++i) {
+      lo += step;
+      if (c == cls) {
+        return lo;
+      }
+      ++c;
+    }
+  }
+}
+
+MimallocLite::PageHeader* MimallocLite::PageOf(const void* ptr) const {
+  auto off = static_cast<std::uint64_t>(static_cast<const std::byte*>(ptr) - pages_base_);
+  std::uint64_t page_idx = off / kPageBytes;
+  auto* hdr = reinterpret_cast<PageHeader*>(pages_base_ + page_idx * kPageBytes);
+  // Huge spans only stamp their first page; walk back while the candidate
+  // header is not stamped. Bounded by the span length in practice.
+  while (reinterpret_cast<std::byte*>(hdr) > pages_base_ && hdr->magic != kPageMagic &&
+         hdr->magic != kHugeMagic) {
+    hdr = reinterpret_cast<PageHeader*>(reinterpret_cast<std::byte*>(hdr) - kPageBytes);
+  }
+  if (hdr->magic != kPageMagic && hdr->magic != kHugeMagic) {
+    return nullptr;
+  }
+  return hdr;
+}
+
+std::byte* MimallocLite::AcquireSpan(std::uint64_t pages) {
+  // First-fit over recycled spans, splitting the tail back.
+  FreeSpan** link = &free_spans_;
+  while (*link != nullptr) {
+    FreeSpan* span = *link;
+    if (span->pages >= pages) {
+      if (span->pages > pages) {
+        auto* rest = reinterpret_cast<FreeSpan*>(
+            reinterpret_cast<std::byte*>(span) + pages * kPageBytes);
+        rest->pages = span->pages - pages;
+        rest->next = span->next;
+        *link = rest;
+      } else {
+        *link = span->next;
+      }
+      return reinterpret_cast<std::byte*>(span);
+    }
+    link = &span->next;
+  }
+  if (next_fresh_page_ + pages > total_pages_) {
+    return nullptr;
+  }
+  std::byte* addr = pages_base_ + next_fresh_page_ * kPageBytes;
+  next_fresh_page_ += pages;
+  return addr;
+}
+
+void MimallocLite::ReleaseSpan(std::byte* addr, std::uint64_t pages) {
+  auto* span = reinterpret_cast<FreeSpan*>(addr);
+  span->pages = pages;
+  span->next = free_spans_;
+  free_spans_ = span;
+}
+
+void MimallocLite::LinkPartial(PageHeader* page, unsigned cls) {
+  page->next_partial = partial_[cls];
+  page->prev_partial = nullptr;
+  if (partial_[cls] != nullptr) {
+    partial_[cls]->prev_partial = page;
+  }
+  partial_[cls] = page;
+}
+
+void MimallocLite::UnlinkPartial(PageHeader* page, unsigned cls) {
+  if (page->prev_partial != nullptr) {
+    page->prev_partial->next_partial = page->next_partial;
+  } else if (partial_[cls] == page) {
+    partial_[cls] = page->next_partial;
+  }
+  if (page->next_partial != nullptr) {
+    page->next_partial->prev_partial = page->prev_partial;
+  }
+  page->next_partial = nullptr;
+  page->prev_partial = nullptr;
+}
+
+MimallocLite::PageHeader* MimallocLite::NewPage(unsigned cls) {
+  std::byte* addr = AcquireSpan(1);
+  if (addr == nullptr) {
+    return nullptr;
+  }
+  auto* page = reinterpret_cast<PageHeader*>(addr);
+  *page = PageHeader{};
+  page->magic = kPageMagic;
+  page->cls = cls;
+  page->block_size = static_cast<std::uint32_t>(ClassBlockSize(cls));
+  page->capacity =
+      static_cast<std::uint32_t>((kPageBytes - kPageHeaderBytes) / page->block_size);
+  ++pages_in_use_;
+  LinkPartial(page, cls);
+  return page;
+}
+
+void* MimallocLite::DoMalloc(std::size_t size) {
+  if (pages_base_ == nullptr) {
+    return nullptr;
+  }
+  if (size > kMaxSmall) {
+    // Huge path: whole span with a stamped first page.
+    std::uint64_t pages =
+        (AlignUp(size + kPageHeaderBytes, kPageBytes)) / kPageBytes;
+    std::byte* addr = AcquireSpan(pages);
+    if (addr == nullptr) {
+      return nullptr;
+    }
+    auto* page = reinterpret_cast<PageHeader*>(addr);
+    *page = PageHeader{};
+    page->magic = kHugeMagic;
+    page->block_size = 0;
+    page->span_pages = pages;
+    page->used = 1;
+    pages_in_use_ += pages;
+    return addr + kPageHeaderBytes;
+  }
+
+  unsigned cls = SizeClassOf(size);
+  PageHeader* page = partial_[cls];
+  if (page == nullptr) {
+    page = NewPage(cls);
+    if (page == nullptr) {
+      return nullptr;
+    }
+  }
+  void* block = nullptr;
+  if (page->free_head != nullptr) {
+    block = page->free_head;
+    std::memcpy(&page->free_head, block, sizeof(void*));
+  } else {
+    // Lazy bump extension.
+    block = reinterpret_cast<std::byte*>(page) + kPageHeaderBytes +
+            static_cast<std::size_t>(page->bump_next) * page->block_size;
+    ++page->bump_next;
+  }
+  ++page->used;
+  if (page->free_head == nullptr && page->bump_next >= page->capacity) {
+    UnlinkPartial(page, cls);  // page is now full
+  }
+  return block;
+}
+
+void MimallocLite::DoFree(void* ptr) {
+  PageHeader* page = PageOf(ptr);
+  if (page == nullptr) {
+    return;
+  }
+  if (page->magic == kHugeMagic) {
+    std::uint64_t pages = page->span_pages;
+    page->magic = 0;
+    pages_in_use_ -= pages;
+    ReleaseSpan(reinterpret_cast<std::byte*>(page), pages);
+    return;
+  }
+  bool was_full = page->free_head == nullptr && page->bump_next >= page->capacity;
+  std::memcpy(ptr, &page->free_head, sizeof(void*));
+  page->free_head = ptr;
+  --page->used;
+  if (was_full) {
+    LinkPartial(page, page->cls);
+  } else if (page->used == 0) {
+    // Retire empty pages so other classes can reuse them.
+    UnlinkPartial(page, page->cls);
+    page->magic = 0;
+    --pages_in_use_;
+    ReleaseSpan(reinterpret_cast<std::byte*>(page), 1);
+  }
+}
+
+std::size_t MimallocLite::DoUsableSize(const void* ptr) const {
+  const PageHeader* page = PageOf(ptr);
+  if (page == nullptr) {
+    return 0;
+  }
+  if (page->magic == kHugeMagic) {
+    return page->span_pages * kPageBytes - kPageHeaderBytes;
+  }
+  return page->block_size;
+}
+
+}  // namespace ukalloc

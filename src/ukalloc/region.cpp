@@ -1,0 +1,53 @@
+#include "ukalloc/region.h"
+
+#include <cstring>
+
+#include "ukarch/align.h"
+
+namespace ukalloc {
+
+using ukarch::AlignUp;
+
+namespace {
+constexpr std::size_t kSizePrefix = 16;  // keeps payloads 16-aligned
+}
+
+RegionAllocator::RegionAllocator(std::byte* base, std::size_t len) : Allocator(base, len) {
+  brk_ = reinterpret_cast<std::byte*>(AlignUp(reinterpret_cast<std::uintptr_t>(base), 16));
+  limit_ = base + len;
+}
+
+void* RegionAllocator::DoMalloc(std::size_t size) {
+  std::size_t need = AlignUp(size, 16) + kSizePrefix;
+  if (brk_ + need > limit_) {
+    return nullptr;
+  }
+  std::uint64_t sz = size;
+  std::memcpy(brk_, &sz, sizeof(sz));
+  void* user = brk_ + kSizePrefix;
+  brk_ += need;
+  return user;
+}
+
+std::size_t RegionAllocator::DoUsableSize(const void* ptr) const {
+  std::uint64_t sz = 0;
+  std::memcpy(&sz, static_cast<const std::byte*>(ptr) - kSizePrefix, sizeof(sz));
+  return static_cast<std::size_t>(AlignUp(sz, 16));
+}
+
+void* RegionAllocator::DoMemalign(std::size_t align, std::size_t size, bool* handled) {
+  *handled = true;
+  auto addr = AlignUp(reinterpret_cast<std::uintptr_t>(brk_) + kSizePrefix, align);
+  std::byte* user = reinterpret_cast<std::byte*>(addr);
+  std::byte* start = user - kSizePrefix;
+  std::byte* end = user + AlignUp(size, 16);
+  if (end > limit_) {
+    return nullptr;
+  }
+  std::uint64_t sz = size;
+  std::memcpy(start, &sz, sizeof(sz));
+  brk_ = end;
+  return user;
+}
+
+}  // namespace ukalloc

@@ -1,0 +1,37 @@
+// ukalloc/region.h - bump ("bootalloc") allocator, backend 5.
+//
+// The paper's bootalloc: a region allocator whose free() is a no-op, intended
+// for just-in-time instantiation where boot time beats memory reuse (fastest
+// bar in Fig 14). Each allocation is prefixed with an 8-byte size so
+// realloc/usable-size still work.
+#ifndef UKALLOC_REGION_H_
+#define UKALLOC_REGION_H_
+
+#include "ukalloc/allocator.h"
+
+namespace ukalloc {
+
+class RegionAllocator final : public Allocator {
+ public:
+  RegionAllocator(std::byte* base, std::size_t len);
+
+  const char* name() const override { return "bootalloc"; }
+
+  std::size_t bytes_remaining() const {
+    return static_cast<std::size_t>(limit_ - brk_);
+  }
+
+ protected:
+  void* DoMalloc(std::size_t size) override;
+  void DoFree(void* ptr) override {}  // region allocators never reclaim
+  std::size_t DoUsableSize(const void* ptr) const override;
+  void* DoMemalign(std::size_t align, std::size_t size, bool* handled) override;
+
+ private:
+  std::byte* brk_ = nullptr;
+  std::byte* limit_ = nullptr;
+};
+
+}  // namespace ukalloc
+
+#endif  // UKALLOC_REGION_H_

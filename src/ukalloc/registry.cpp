@@ -1,0 +1,50 @@
+#include "ukalloc/registry.h"
+
+#include "ukalloc/buddy.h"
+#include "ukalloc/mimalloc_lite.h"
+#include "ukalloc/region.h"
+#include "ukalloc/tinyalloc.h"
+#include "ukalloc/tlsf.h"
+
+namespace ukalloc {
+
+const char* BackendName(Backend b) {
+  switch (b) {
+    case Backend::kBuddy: return "buddy";
+    case Backend::kTlsf: return "tlsf";
+    case Backend::kTinyAlloc: return "tinyalloc";
+    case Backend::kMimalloc: return "mimalloc";
+    case Backend::kBootAlloc: return "bootalloc";
+  }
+  return "?";
+}
+
+bool ParseBackend(std::string_view name, Backend* out) {
+  for (Backend b : AllBackends()) {
+    if (name == BackendName(b)) {
+      *out = b;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::unique_ptr<Allocator> CreateAllocator(Backend b, std::byte* base, std::size_t len) {
+  switch (b) {
+    case Backend::kBuddy: return std::make_unique<BuddyAllocator>(base, len);
+    case Backend::kTlsf: return std::make_unique<TlsfAllocator>(base, len);
+    case Backend::kTinyAlloc: return std::make_unique<TinyAllocator>(base, len);
+    case Backend::kMimalloc: return std::make_unique<MimallocLite>(base, len);
+    case Backend::kBootAlloc: return std::make_unique<RegionAllocator>(base, len);
+  }
+  return nullptr;
+}
+
+const std::vector<Backend>& AllBackends() {
+  static const std::vector<Backend> kAll = {Backend::kBuddy, Backend::kTlsf,
+                                            Backend::kTinyAlloc, Backend::kMimalloc,
+                                            Backend::kBootAlloc};
+  return kAll;
+}
+
+}  // namespace ukalloc

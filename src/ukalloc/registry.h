@@ -1,0 +1,33 @@
+// ukalloc/registry.h - backend selection, the pick-an-allocator knob of §5.5.
+#ifndef UKALLOC_REGISTRY_H_
+#define UKALLOC_REGISTRY_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "ukalloc/allocator.h"
+
+namespace ukalloc {
+
+enum class Backend {
+  kBuddy,
+  kTlsf,
+  kTinyAlloc,
+  kMimalloc,
+  kBootAlloc,
+};
+
+const char* BackendName(Backend b);
+// Parses "buddy" | "tlsf" | "tinyalloc" | "mimalloc" | "bootalloc".
+bool ParseBackend(std::string_view name, Backend* out);
+
+// Instantiates the backend over [base, base+len). Never allocates host memory.
+std::unique_ptr<Allocator> CreateAllocator(Backend b, std::byte* base, std::size_t len);
+
+// All five paper backends, in the order Fig 14 plots them.
+const std::vector<Backend>& AllBackends();
+
+}  // namespace ukalloc
+
+#endif  // UKALLOC_REGISTRY_H_

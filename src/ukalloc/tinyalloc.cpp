@@ -1,0 +1,161 @@
+#include "ukalloc/tinyalloc.h"
+
+#include <new>
+
+#include "ukarch/align.h"
+
+namespace ukalloc {
+
+using ukarch::AlignUp;
+
+TinyAllocator::TinyAllocator(std::byte* base, std::size_t len, std::size_t max_blocks)
+    : Allocator(base, len), max_blocks_(max_blocks) {
+  // Carve the descriptor table from the front of the region (tinyalloc places
+  // it in static storage; inside the region keeps us self-contained).
+  std::size_t table_bytes = AlignUp(sizeof(Block) * max_blocks, 16);
+  if (table_bytes + 64 > len) {
+    return;
+  }
+  blocks_ = reinterpret_cast<Block*>(base);
+  for (std::size_t i = 0; i < max_blocks; ++i) {
+    new (&blocks_[i]) Block();
+    blocks_[i].next = i + 1 < max_blocks ? &blocks_[i + 1] : nullptr;
+  }
+  fresh_ = &blocks_[0];
+  heap_top_ = reinterpret_cast<std::byte*>(AlignUp(
+      reinterpret_cast<std::uintptr_t>(base + table_bytes), 16));
+  heap_limit_ = base + len;
+}
+
+void* TinyAllocator::DoMalloc(std::size_t size) {
+  if (blocks_ == nullptr) {
+    return nullptr;
+  }
+  std::size_t num = AlignUp(size, 16);
+
+  // First fit over the sorted free list.
+  Block* prev = nullptr;
+  for (Block* blk = free_; blk != nullptr; prev = blk, blk = blk->next) {
+    if (blk->size >= num) {
+      if (prev != nullptr) {
+        prev->next = blk->next;
+      } else {
+        free_ = blk->next;
+      }
+      blk->next = used_;
+      used_ = blk;
+      return blk->addr;
+    }
+  }
+  // Carve fresh space off the heap top.
+  Block* blk = AllocBlock(num);
+  return blk != nullptr ? blk->addr : nullptr;
+}
+
+TinyAllocator::Block* TinyAllocator::AllocBlock(std::size_t num) {
+  if (fresh_ == nullptr || heap_top_ + num > heap_limit_) {
+    return nullptr;
+  }
+  Block* blk = fresh_;
+  fresh_ = blk->next;
+  blk->addr = heap_top_;
+  blk->size = num;
+  heap_top_ += num;
+  blk->next = used_;
+  used_ = blk;
+  return blk;
+}
+
+void TinyAllocator::DoFree(void* ptr) {
+  // Find the descriptor on the used list (tinyalloc does the same walk).
+  Block* prev = nullptr;
+  for (Block* blk = used_; blk != nullptr; prev = blk, blk = blk->next) {
+    if (blk->addr == ptr) {
+      if (prev != nullptr) {
+        prev->next = blk->next;
+      } else {
+        used_ = blk->next;
+      }
+      InsertFreeSorted(blk);
+      return;
+    }
+  }
+  // Unknown pointer: ignore, like ta_free on a foreign address.
+}
+
+void TinyAllocator::InsertFreeSorted(Block* blk) {
+  Block* prev = nullptr;
+  Block* cur = free_;
+  while (cur != nullptr && cur->addr < blk->addr) {
+    prev = cur;
+    cur = cur->next;
+  }
+  blk->next = cur;
+  if (prev != nullptr) {
+    prev->next = blk;
+  } else {
+    free_ = blk;
+  }
+  Compact(prev != nullptr ? prev : blk);
+}
+
+void TinyAllocator::Compact(Block* blk) {
+  // Merge maximal runs of physically adjacent blocks starting at |blk|
+  // (tinyalloc's ta_compact logic).
+  while (blk != nullptr) {
+    Block* scan = blk;
+    std::byte* end = blk->addr + blk->size;
+    Block* next = blk->next;
+    while (next != nullptr && next->addr == end) {
+      end = next->addr + next->size;
+      scan = next;
+      next = next->next;
+    }
+    if (scan != blk) {
+      std::size_t merged = static_cast<std::size_t>(end - blk->addr);
+      blk->size = merged;
+      Block* after = scan->next;
+      ReleaseBlocks(blk->next, after);
+      blk->next = after;
+    }
+    blk = blk->next;
+  }
+}
+
+void TinyAllocator::ReleaseBlocks(Block* from, Block* to) {
+  while (from != nullptr && from != to) {
+    Block* next = from->next;
+    from->addr = nullptr;
+    from->size = 0;
+    from->next = fresh_;
+    fresh_ = from;
+    from = next;
+  }
+}
+
+std::size_t TinyAllocator::DoUsableSize(const void* ptr) const {
+  for (const Block* blk = used_; blk != nullptr; blk = blk->next) {
+    if (blk->addr == ptr) {
+      return blk->size;
+    }
+  }
+  return 0;
+}
+
+std::size_t TinyAllocator::free_list_length() const {
+  std::size_t n = 0;
+  for (const Block* b = free_; b != nullptr; b = b->next) {
+    ++n;
+  }
+  return n;
+}
+
+std::size_t TinyAllocator::used_list_length() const {
+  std::size_t n = 0;
+  for (const Block* b = used_; b != nullptr; b = b->next) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace ukalloc

@@ -1,0 +1,237 @@
+#include "ukalloc/tlsf.h"
+
+#include <cstring>
+
+#include "ukarch/align.h"
+
+namespace ukalloc {
+
+using ukarch::AlignDown;
+using ukarch::AlignUp;
+using ukarch::Fls;
+
+TlsfAllocator::TlsfAllocator(std::byte* base, std::size_t len) : Allocator(base, len) {
+  auto start = AlignUp(reinterpret_cast<std::uintptr_t>(base), kAlign);
+  auto end = AlignDown(reinterpret_cast<std::uintptr_t>(base) + len, kAlign);
+  // Space for one block header + payload + sentinel header.
+  if (end <= start || end - start < 2 * kHeaderOverhead + kMinPayload + kAlign) {
+    return;
+  }
+  pool_first_ = reinterpret_cast<Block*>(start);
+  std::size_t payload = (end - start) - 2 * kHeaderOverhead;
+  payload = AlignDown(payload, kAlign);
+  pool_first_->prev_phys = nullptr;
+  pool_first_->size_flags = 0;
+  pool_first_->SetSize(payload);
+  pool_first_->SetFree(true);
+
+  sentinel_ = NextPhys(pool_first_);
+  sentinel_->prev_phys = pool_first_;
+  sentinel_->size_flags = 0;
+  sentinel_->SetSize(0);
+  sentinel_->SetPrevFree(true);
+
+  InsertFree(pool_first_);
+}
+
+TlsfAllocator::Mapping TlsfAllocator::MapInsert(std::size_t size) {
+  if (size < kSmallBlockSize) {
+    return Mapping{0, static_cast<unsigned>(size / (kSmallBlockSize / kSlCount))};
+  }
+  unsigned fl = Fls(size) - 1;  // index of msb
+  unsigned sl = static_cast<unsigned>((size >> (fl - kSlCountLog2)) ^ (1u << kSlCountLog2));
+  return Mapping{fl - kFlShift + 1, sl};
+}
+
+TlsfAllocator::Mapping TlsfAllocator::MapSearch(std::size_t* size) {
+  // Round up so any block in the found list fits (good-fit).
+  if (*size >= kSmallBlockSize) {
+    unsigned fl = Fls(*size) - 1;
+    std::size_t round = (std::size_t{1} << (fl - kSlCountLog2)) - 1;
+    *size += round;
+    *size &= ~round;
+  }
+  return MapInsert(*size);
+}
+
+void TlsfAllocator::InsertFree(Block* b) {
+  Mapping m = MapInsert(b->size());
+  if (m.fl >= kFlCount) {
+    m.fl = kFlCount - 1;
+    m.sl = kSlCount - 1;
+  }
+  Block*& head = free_lists_[m.fl][m.sl];
+  b->next_free = head;
+  b->prev_free = nullptr;
+  if (head != nullptr) {
+    head->prev_free = b;
+  }
+  head = b;
+  fl_bitmap_ |= 1ull << m.fl;
+  sl_bitmap_[m.fl] |= 1u << m.sl;
+  b->SetFree(true);
+  NextPhys(b)->SetPrevFree(true);
+  NextPhys(b)->prev_phys = b;
+}
+
+void TlsfAllocator::RemoveFree(Block* b, unsigned fl, unsigned sl) {
+  if (b->prev_free != nullptr) {
+    b->prev_free->next_free = b->next_free;
+  } else {
+    free_lists_[fl][sl] = b->next_free;
+    if (free_lists_[fl][sl] == nullptr) {
+      sl_bitmap_[fl] &= ~(1u << sl);
+      if (sl_bitmap_[fl] == 0) {
+        fl_bitmap_ &= ~(1ull << fl);
+      }
+    }
+  }
+  if (b->next_free != nullptr) {
+    b->next_free->prev_free = b->prev_free;
+  }
+  b->SetFree(false);
+  NextPhys(b)->SetPrevFree(false);
+}
+
+TlsfAllocator::Block* TlsfAllocator::FindFit(std::size_t* size) {
+  Mapping m = MapSearch(size);
+  if (m.fl >= kFlCount) {
+    return nullptr;
+  }
+  // Search the second level at fl for a list >= sl.
+  std::uint32_t sl_map = sl_bitmap_[m.fl] & (~0u << m.sl);
+  unsigned fl = m.fl;
+  if (sl_map == 0) {
+    // Move up to the next non-empty first level.
+    std::uint64_t fl_map = fl_bitmap_ & (~0ull << (m.fl + 1));
+    if (fl_map == 0) {
+      return nullptr;
+    }
+    fl = ukarch::Ffs(fl_map) - 1;
+    sl_map = sl_bitmap_[fl];
+  }
+  unsigned sl = ukarch::Ffs(sl_map) - 1;
+  Block* b = free_lists_[fl][sl];
+  RemoveFree(b, fl, sl);
+  return b;
+}
+
+TlsfAllocator::Block* TlsfAllocator::SplitIfWorthIt(Block* b, std::size_t size) {
+  if (b->size() >= size + kHeaderOverhead + kMinPayload + kAlign) {
+    std::size_t remain = b->size() - size - kHeaderOverhead;
+    remain = AlignDown(remain, kAlign);
+    std::size_t new_size = b->size() - remain - kHeaderOverhead;
+    Block* next = NextPhys(b);
+    b->SetSize(new_size);
+    Block* rest = NextPhys(b);
+    rest->prev_phys = b;
+    rest->size_flags = 0;
+    rest->SetSize(remain);
+    next->prev_phys = rest;
+    InsertFree(rest);
+  }
+  return b;
+}
+
+TlsfAllocator::Block* TlsfAllocator::Coalesce(Block* b) {
+  // Merge with the previous physical block when free.
+  if (b->IsPrevFree()) {
+    Block* prev = b->prev_phys;
+    Mapping m = MapInsert(prev->size());
+    if (m.fl >= kFlCount) {
+      m.fl = kFlCount - 1;
+      m.sl = kSlCount - 1;
+    }
+    RemoveFree(prev, m.fl, m.sl);
+    prev->SetSize(prev->size() + kHeaderOverhead + b->size());
+    NextPhys(prev)->prev_phys = prev;
+    b = prev;
+  }
+  // Merge with the next physical block when free.
+  Block* next = NextPhys(b);
+  if (next->IsFree() && next != sentinel_) {
+    Mapping m = MapInsert(next->size());
+    if (m.fl >= kFlCount) {
+      m.fl = kFlCount - 1;
+      m.sl = kSlCount - 1;
+    }
+    RemoveFree(next, m.fl, m.sl);
+    b->SetSize(b->size() + kHeaderOverhead + next->size());
+    NextPhys(b)->prev_phys = b;
+  }
+  return b;
+}
+
+void* TlsfAllocator::DoMalloc(std::size_t size) {
+  if (pool_first_ == nullptr) {
+    return nullptr;
+  }
+  std::size_t need = AlignUp(size < kMinPayload ? kMinPayload : size, kAlign);
+  Block* b = FindFit(&need);
+  if (b == nullptr) {
+    return nullptr;
+  }
+  SplitIfWorthIt(b, need);
+  b->SetFree(false);
+  NextPhys(b)->SetPrevFree(false);
+  return PayloadOf(b);
+}
+
+void TlsfAllocator::DoFree(void* ptr) {
+  Block* b = BlockFromPayload(ptr);
+  if (b->IsFree()) {
+    return;  // double free; ignore
+  }
+  b = Coalesce(b);
+  InsertFree(b);
+}
+
+std::size_t TlsfAllocator::DoUsableSize(const void* ptr) const {
+  const Block* b = reinterpret_cast<const Block*>(static_cast<const std::byte*>(ptr) -
+                                                  kHeaderOverhead);
+  return b->size();
+}
+
+bool TlsfAllocator::CheckInvariants() const {
+  if (pool_first_ == nullptr) {
+    return true;
+  }
+  const Block* b = pool_first_;
+  bool prev_free = false;
+  while (b != sentinel_) {
+    if (b->IsFree() && prev_free) {
+      return false;  // two adjacent free blocks escaped coalescing
+    }
+    if (b->IsPrevFree() != prev_free) {
+      return false;
+    }
+    prev_free = b->IsFree();
+    const Block* next =
+        reinterpret_cast<const Block*>(reinterpret_cast<const std::byte*>(b) +
+                                       kHeaderOverhead + b->size());
+    if (next->prev_phys != b && (prev_free || next == sentinel_)) {
+      // prev_phys must be valid whenever the previous block is free.
+      if (prev_free) {
+        return false;
+      }
+    }
+    b = next;
+  }
+  return true;
+}
+
+std::size_t TlsfAllocator::LargestFreeBlock() const {
+  std::size_t largest = 0;
+  for (unsigned fl = 0; fl < kFlCount; ++fl) {
+    for (unsigned sl = 0; sl < kSlCount; ++sl) {
+      for (const Block* b = free_lists_[fl][sl]; b != nullptr; b = b->next_free) {
+        if (b->size() > largest) {
+          largest = b->size();
+        }
+      }
+    }
+  }
+  return largest;
+}
+
+}  // namespace ukalloc

@@ -1,0 +1,102 @@
+// ukalloc/tlsf.h - Two-Level Segregated Fit allocator (backend 2).
+//
+// Real-time allocator from Masmano et al. (ECRTS'04), the paper's TLSF
+// backend: O(1) malloc and free via a two-level bitmap over segregated free
+// lists, immediate physical coalescing, good-fit search. Initialization is
+// O(1) — it only stamps one pool-sized free block — which is why TLSF boots
+// near the top of Fig 14.
+#ifndef UKALLOC_TLSF_H_
+#define UKALLOC_TLSF_H_
+
+#include <array>
+
+#include "ukalloc/allocator.h"
+
+namespace ukalloc {
+
+class TlsfAllocator final : public Allocator {
+ public:
+  TlsfAllocator(std::byte* base, std::size_t len);
+
+  const char* name() const override { return "tlsf"; }
+
+  // Test hooks: walks the physical block chain checking invariants
+  // (sizes sum to pool size, no two adjacent free blocks, free blocks are on
+  // the right segregated list). Returns false on the first violation.
+  bool CheckInvariants() const;
+  std::size_t LargestFreeBlock() const;
+
+ protected:
+  void* DoMalloc(std::size_t size) override;
+  void DoFree(void* ptr) override;
+  std::size_t DoUsableSize(const void* ptr) const override;
+
+ private:
+  // Canonical TLSF parameters: 32 second-level lists, 8-byte alignment.
+  static constexpr unsigned kSlCountLog2 = 5;
+  static constexpr unsigned kSlCount = 1u << kSlCountLog2;
+  static constexpr unsigned kAlign = 16;
+  static constexpr unsigned kFlShift = kSlCountLog2 + 4;  // small-block cutoff 2^9=512
+  static constexpr unsigned kFlMax = 40;                  // up to 1 TiB blocks
+  static constexpr unsigned kFlCount = kFlMax - kFlShift + 1;
+  static constexpr std::size_t kSmallBlockSize = 1u << kFlShift;
+
+  // Block header layout. |size| stores payload size; low bits carry flags.
+  // Physically contiguous blocks are linked through size arithmetic and
+  // |prev_phys| (only valid when the previous block is free).
+  struct Block {
+    Block* prev_phys;
+    std::size_t size_flags;
+    // Free-list links, valid only while the block is free:
+    Block* next_free;
+    Block* prev_free;
+
+    static constexpr std::size_t kFreeBit = 1;
+    static constexpr std::size_t kPrevFreeBit = 2;
+
+    std::size_t size() const { return size_flags & ~std::size_t{3}; }
+    void SetSize(std::size_t s) { size_flags = s | (size_flags & 3); }
+    bool IsFree() const { return (size_flags & kFreeBit) != 0; }
+    void SetFree(bool f) { size_flags = f ? size_flags | kFreeBit : size_flags & ~kFreeBit; }
+    bool IsPrevFree() const { return (size_flags & kPrevFreeBit) != 0; }
+    void SetPrevFree(bool f) {
+      size_flags = f ? size_flags | kPrevFreeBit : size_flags & ~kPrevFreeBit;
+    }
+  };
+  // User payload starts right after prev_phys+size_flags (16 bytes).
+  static constexpr std::size_t kHeaderOverhead = 2 * sizeof(void*);
+  static constexpr std::size_t kMinPayload = 2 * sizeof(void*);  // free-list links fit
+
+  struct Mapping {
+    unsigned fl;
+    unsigned sl;
+  };
+  static Mapping MapInsert(std::size_t size);
+  static Mapping MapSearch(std::size_t* size);
+
+  Block* BlockFromPayload(void* p) const {
+    return reinterpret_cast<Block*>(static_cast<std::byte*>(p) - kHeaderOverhead);
+  }
+  void* PayloadOf(Block* b) const {
+    return reinterpret_cast<std::byte*>(b) + kHeaderOverhead;
+  }
+  Block* NextPhys(Block* b) const {
+    return reinterpret_cast<Block*>(reinterpret_cast<std::byte*>(PayloadOf(b)) + b->size());
+  }
+
+  void InsertFree(Block* b);
+  void RemoveFree(Block* b, unsigned fl, unsigned sl);
+  Block* FindFit(std::size_t* size);
+  Block* SplitIfWorthIt(Block* b, std::size_t size);
+  Block* Coalesce(Block* b);
+
+  std::uint64_t fl_bitmap_ = 0;
+  std::array<std::uint32_t, kFlCount> sl_bitmap_{};
+  std::array<std::array<Block*, kSlCount>, kFlCount> free_lists_{};
+  Block* pool_first_ = nullptr;
+  Block* sentinel_ = nullptr;  // zero-size terminator at the end of the pool
+};
+
+}  // namespace ukalloc
+
+#endif  // UKALLOC_TLSF_H_

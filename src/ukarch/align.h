@@ -1,0 +1,80 @@
+// ukarch/align.h - alignment and power-of-two helpers shared by all micro-libraries.
+//
+// These mirror the helpers Unikraft keeps in include/uk/arch/ and are used by the
+// allocators, the virtqueue implementation, and the page-table builder.
+#ifndef UKARCH_ALIGN_H_
+#define UKARCH_ALIGN_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ukarch {
+
+inline constexpr std::size_t kCacheLineSize = 64;
+inline constexpr std::size_t kPageSize = 4096;
+inline constexpr std::size_t kPageShift = 12;
+
+// True iff |x| is a power of two. Zero is not a power of two.
+constexpr bool IsPow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+// Round |x| up to the next multiple of |align|; |align| must be a power of two.
+constexpr std::uint64_t AlignUp(std::uint64_t x, std::uint64_t align) {
+  return (x + align - 1) & ~(align - 1);
+}
+
+// Round |x| down to the previous multiple of |align|; |align| must be a power of two.
+constexpr std::uint64_t AlignDown(std::uint64_t x, std::uint64_t align) {
+  return x & ~(align - 1);
+}
+
+// True iff |x| is a multiple of |align| (power of two).
+constexpr bool IsAligned(std::uint64_t x, std::uint64_t align) { return (x & (align - 1)) == 0; }
+
+// Smallest power of two >= |x|. Returns 1 for x <= 1.
+constexpr std::uint64_t CeilPow2(std::uint64_t x) {
+  if (x <= 1) {
+    return 1;
+  }
+  std::uint64_t v = x - 1;
+  v |= v >> 1;
+  v |= v >> 2;
+  v |= v >> 4;
+  v |= v >> 8;
+  v |= v >> 16;
+  v |= v >> 32;
+  return v + 1;
+}
+
+// Floor of log2(x); x must be non-zero.
+constexpr unsigned Log2Floor(std::uint64_t x) {
+  unsigned r = 0;
+  while (x >>= 1) {
+    ++r;
+  }
+  return r;
+}
+
+// Ceiling of log2(x); x must be non-zero.
+constexpr unsigned Log2Ceil(std::uint64_t x) {
+  return IsPow2(x) ? Log2Floor(x) : Log2Floor(x) + 1;
+}
+
+// Find-first-set (1-based, 0 when x == 0), as used by the TLSF mapping functions.
+constexpr unsigned Ffs(std::uint64_t x) {
+  if (x == 0) {
+    return 0;
+  }
+  unsigned r = 1;
+  while ((x & 1) == 0) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+// Find-last-set (1-based index of the most significant set bit, 0 when x == 0).
+constexpr unsigned Fls(std::uint64_t x) { return x == 0 ? 0 : Log2Floor(x) + 1; }
+
+}  // namespace ukarch
+
+#endif  // UKARCH_ALIGN_H_

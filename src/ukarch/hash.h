@@ -1,0 +1,45 @@
+// ukarch/hash.h - small deterministic hash functions.
+//
+// SHFS (the hash filesystem, §6.3 of the paper) keys files by content hash, and
+// several components (dependency graphs, fd tables) want a stable, seedable hash
+// that does not vary across platforms or standard-library versions.
+#ifndef UKARCH_HASH_H_
+#define UKARCH_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ukarch {
+
+// 64-bit FNV-1a. Stable across runs, good enough for hash tables and SHFS keys.
+constexpr std::uint64_t Fnv1a64(std::string_view data, std::uint64_t seed = 0xcbf29ce484222325ull) {
+  std::uint64_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+// 32-bit FNV-1a, used where a compact hash is enough (e.g. ARP cache buckets).
+constexpr std::uint32_t Fnv1a32(std::string_view data, std::uint32_t seed = 0x811c9dc5u) {
+  std::uint32_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
+// Integer mix (SplitMix64 finalizer): spreads sequential ids across buckets.
+constexpr std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace ukarch
+
+#endif  // UKARCH_HASH_H_

@@ -1,0 +1,96 @@
+// ukarch/status.h - errno-style status codes shared across module boundaries.
+//
+// Unikraft's APIs return negative errno values on hot paths instead of throwing;
+// we keep the same convention so the syscall shim can pass results through
+// unchanged and so tests can assert on specific codes.
+#ifndef UKARCH_STATUS_H_
+#define UKARCH_STATUS_H_
+
+#include <cstdint>
+
+namespace ukarch {
+
+// Subset of errno used by the simulated kernel. Values match Linux x86_64 so the
+// syscall shim can return them directly.
+enum class Status : std::int32_t {
+  kOk = 0,
+  kPerm = -1,            // EPERM
+  kNoEnt = -2,           // ENOENT
+  kIntr = -4,            // EINTR
+  kIo = -5,              // EIO
+  kBadF = -9,            // EBADF
+  kAgain = -11,          // EAGAIN
+  kNoMem = -12,          // ENOMEM
+  kAccess = -13,         // EACCES
+  kFault = -14,          // EFAULT
+  kBusy = -16,           // EBUSY
+  kExist = -17,          // EEXIST
+  kNotDir = -20,         // ENOTDIR
+  kIsDir = -21,          // EISDIR
+  kInval = -22,          // EINVAL
+  kNFile = -23,          // ENFILE
+  kMFile = -24,          // EMFILE
+  kNoSpc = -28,          // ENOSPC
+  kPipe = -32,           // EPIPE
+  kNameTooLong = -36,    // ENAMETOOLONG
+  kNoSys = -38,          // ENOSYS
+  kNotEmpty = -39,       // ENOTEMPTY
+  kNoProtoOpt = -92,     // ENOPROTOOPT
+  kNotSup = -95,         // EOPNOTSUPP
+  kAddrInUse = -98,      // EADDRINUSE
+  kNetUnreach = -101,    // ENETUNREACH
+  kConnReset = -104,     // ECONNRESET
+  kNotConn = -107,       // ENOTCONN
+  kTimedOut = -110,      // ETIMEDOUT
+  kConnRefused = -111,   // ECONNREFUSED
+  kHostUnreach = -113,   // EHOSTUNREACH
+  kAlready = -114,       // EALREADY
+  kInProgress = -115,    // EINPROGRESS
+};
+
+constexpr bool Ok(Status s) { return s == Status::kOk; }
+constexpr std::int32_t Raw(Status s) { return static_cast<std::int32_t>(s); }
+
+// Human-readable name for diagnostics and test failure messages.
+constexpr const char* StatusName(Status s) {
+  switch (s) {
+    case Status::kOk: return "OK";
+    case Status::kPerm: return "EPERM";
+    case Status::kNoEnt: return "ENOENT";
+    case Status::kIntr: return "EINTR";
+    case Status::kIo: return "EIO";
+    case Status::kBadF: return "EBADF";
+    case Status::kAgain: return "EAGAIN";
+    case Status::kNoMem: return "ENOMEM";
+    case Status::kAccess: return "EACCES";
+    case Status::kFault: return "EFAULT";
+    case Status::kBusy: return "EBUSY";
+    case Status::kExist: return "EEXIST";
+    case Status::kNotDir: return "ENOTDIR";
+    case Status::kIsDir: return "EISDIR";
+    case Status::kInval: return "EINVAL";
+    case Status::kNFile: return "ENFILE";
+    case Status::kMFile: return "EMFILE";
+    case Status::kNoSpc: return "ENOSPC";
+    case Status::kPipe: return "EPIPE";
+    case Status::kNameTooLong: return "ENAMETOOLONG";
+    case Status::kNoSys: return "ENOSYS";
+    case Status::kNotEmpty: return "ENOTEMPTY";
+    case Status::kNoProtoOpt: return "ENOPROTOOPT";
+    case Status::kNotSup: return "EOPNOTSUPP";
+    case Status::kAddrInUse: return "EADDRINUSE";
+    case Status::kNetUnreach: return "ENETUNREACH";
+    case Status::kConnReset: return "ECONNRESET";
+    case Status::kNotConn: return "ENOTCONN";
+    case Status::kTimedOut: return "ETIMEDOUT";
+    case Status::kConnRefused: return "ECONNREFUSED";
+    case Status::kHostUnreach: return "EHOSTUNREACH";
+    case Status::kAlready: return "EALREADY";
+    case Status::kInProgress: return "EINPROGRESS";
+  }
+  return "E?";
+}
+
+}  // namespace ukarch
+
+#endif  // UKARCH_STATUS_H_

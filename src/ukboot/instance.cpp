@@ -1,0 +1,172 @@
+#include "ukboot/instance.h"
+
+#include <chrono>
+
+#include "ukarch/align.h"
+
+namespace ukboot {
+
+namespace {
+
+using Clk = std::chrono::steady_clock;
+
+double ElapsedNs(Clk::time_point start) {
+  return std::chrono::duration<double, std::nano>(Clk::now() - start).count();
+}
+
+const char* StageName(InitStage s) {
+  switch (s) {
+    case InitStage::kEarly: return "early";
+    case InitStage::kPlat: return "plat";
+    case InitStage::kBus: return "bus";
+    case InitStage::kRootfs: return "rootfs";
+    case InitStage::kSys: return "sys";
+    case InitStage::kLate: return "late";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Instance::Instance(InstanceConfig config)
+    : config_(std::move(config)),
+      clock_(config_.cost_model),
+      mem_(config_.memory_bytes) {}
+
+Instance::~Instance() = default;
+
+void Instance::RegisterInit(InitStage stage, std::string init_name,
+                            std::function<ukarch::Status(Instance&)> fn) {
+  inittab_.push_back(InitEntry{stage, std::move(init_name), std::move(fn)});
+}
+
+ukarch::Status Instance::SetupPaging(BootReport* report) {
+  auto start = Clk::now();
+  if (config_.paging == PagingMode::kNone) {
+    // 32-bit protected mode: no paging at all (last paragraph of §6.1).
+    report->stages.push_back({"plat:nopaging", ElapsedNs(start)});
+    return ukarch::Status::kOk;
+  }
+  pt_ = std::make_unique<PageTableBuilder>(&mem_);
+  pt_root_ = pt_->CreateRoot();
+  if (pt_root_ == PageTableBuilder::kBadGpa) {
+    return ukarch::Status::kNoMem;
+  }
+  if (config_.paging == PagingMode::kStatic) {
+    // The image ships a pre-built table; boot just installs it. We build the
+    // minimal table covering the first 2 MiB (where boot code lives) to model
+    // the constant-time CR3 switch, independent of guest memory size.
+    if (!pt_->MapRange(pt_root_, 0, 2ull << 20, LeafSize::k2M)) {
+      return ukarch::Status::kNoMem;
+    }
+    report->stages.push_back({"plat:staticpt", ElapsedNs(start)});
+    return ukarch::Status::kOk;
+  }
+  // Dynamic mode: populate the full hierarchy for all of guest memory — 4 KiB
+  // leaves for the first 2 MiB (fine-grained boot region), 2 MiB beyond.
+  std::uint64_t first = config_.memory_bytes < (2ull << 20)
+                            ? config_.memory_bytes
+                            : (2ull << 20);
+  if (!pt_->MapRange(pt_root_, 0, first, LeafSize::k4K)) {
+    return ukarch::Status::kNoMem;
+  }
+  if (config_.memory_bytes > first &&
+      !pt_->MapRange(pt_root_, first, config_.memory_bytes - first, LeafSize::k2M)) {
+    return ukarch::Status::kNoMem;
+  }
+  report->stages.push_back({"plat:dynamicpt", ElapsedNs(start)});
+  return ukarch::Status::kOk;
+}
+
+ukarch::Status Instance::SetupAllocator(BootReport* report) {
+  auto start = Clk::now();
+  // Reserve a device/ring area in front of the heap, like the memregion lists
+  // a platform hands to ukboot. The rest of guest RAM becomes the heap.
+  constexpr std::size_t kDeviceArea = 256 * 1024;
+  std::uint64_t heap_gpa = mem_.Carve(0, 4096);
+  std::size_t remaining =
+      mem_.size() > heap_gpa ? mem_.size() - static_cast<std::size_t>(heap_gpa) : 0;
+  if (remaining <= kDeviceArea + 4096) {
+    return ukarch::Status::kNoMem;
+  }
+  std::size_t heap_len = remaining - kDeviceArea;
+  std::uint64_t base_gpa = mem_.Carve(heap_len, 4096);
+  if (base_gpa == ukplat::MemRegion::kBadGpa) {
+    return ukarch::Status::kNoMem;
+  }
+  std::byte* base = mem_.At(base_gpa, heap_len);
+  heap_ = ukalloc::CreateAllocator(config_.allocator, base, heap_len);
+  if (heap_ == nullptr) {
+    return ukarch::Status::kNoMem;
+  }
+  // Probe: the boot fails here if the backend could not set itself up in the
+  // space available (tiny heaps), which is exactly Fig 11's failure mode.
+  void* probe = heap_->Malloc(64);
+  if (probe == nullptr) {
+    return ukarch::Status::kNoMem;
+  }
+  heap_->Free(probe);
+  report->stages.push_back({std::string("alloc:") + heap_->name(), ElapsedNs(start)});
+  return ukarch::Status::kOk;
+}
+
+ukarch::Status Instance::SetupScheduler(BootReport* report) {
+  if (!config_.enable_scheduler) {
+    return ukarch::Status::kOk;  // run-to-completion unikernel (§3.3)
+  }
+  auto start = Clk::now();
+  if (config_.preemptive) {
+    sched_ = std::make_unique<uksched::PreemptScheduler>(heap_.get(), &clock_);
+  } else {
+    sched_ = std::make_unique<uksched::CoopScheduler>(heap_.get(), &clock_);
+  }
+  report->stages.push_back({std::string("sched:") + sched_->name(), ElapsedNs(start)});
+  return ukarch::Status::kOk;
+}
+
+BootReport Instance::Boot() {
+  BootReport report;
+  report.vmm_us = config_.vmm.LaunchUs(config_.nics);
+  auto boot_start = Clk::now();
+
+  ukarch::Status st = SetupPaging(&report);
+  if (!Ok(st)) {
+    report.error = std::string("paging: ") + ukarch::StatusName(st);
+    return report;
+  }
+  st = SetupAllocator(&report);
+  if (!Ok(st)) {
+    report.error = std::string("allocator: ") + ukarch::StatusName(st);
+    return report;
+  }
+  st = SetupScheduler(&report);
+  if (!Ok(st)) {
+    report.error = std::string("scheduler: ") + ukarch::StatusName(st);
+    return report;
+  }
+
+  // Constructor table, grouped by stage in declared order.
+  for (InitStage stage : {InitStage::kEarly, InitStage::kPlat, InitStage::kBus,
+                          InitStage::kRootfs, InitStage::kSys, InitStage::kLate}) {
+    for (InitEntry& entry : inittab_) {
+      if (entry.stage != stage) {
+        continue;
+      }
+      auto start = Clk::now();
+      st = entry.fn(*this);
+      report.stages.push_back(
+          {std::string(StageName(stage)) + ":" + entry.name, ElapsedNs(start)});
+      if (!Ok(st)) {
+        report.error = entry.name + ": " + ukarch::StatusName(st);
+        return report;
+      }
+    }
+  }
+
+  report.guest_us = ElapsedNs(boot_start) / 1e3;
+  report.ok = true;
+  booted_ = true;
+  return report;
+}
+
+}  // namespace ukboot

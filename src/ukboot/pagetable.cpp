@@ -1,0 +1,118 @@
+#include "ukboot/pagetable.h"
+
+#include <cstring>
+
+#include "ukarch/align.h"
+
+namespace ukboot {
+
+namespace {
+
+constexpr std::uint64_t kPageBytes = 4096;
+constexpr std::uint64_t k2MBytes = 2ull << 20;
+
+unsigned IndexAt(std::uint64_t vaddr, int level) {
+  // level 3 = PML4, 2 = PDPT, 1 = PD, 0 = PT
+  return static_cast<unsigned>((vaddr >> (12 + 9 * level)) & 0x1ff);
+}
+
+}  // namespace
+
+PageTableBuilder::PageTableBuilder(ukplat::MemRegion* mem) : mem_(mem) {}
+
+std::uint64_t PageTableBuilder::AllocTablePage() {
+  std::uint64_t gpa = mem_->Carve(kPageBytes, kPageBytes);
+  if (gpa == ukplat::MemRegion::kBadGpa) {
+    return kBadGpa;
+  }
+  std::byte* p = mem_->At(gpa, kPageBytes);
+  std::memset(p, 0, kPageBytes);  // hardware requires non-present entries zeroed
+  ++pages_allocated_;
+  return gpa;
+}
+
+std::uint64_t PageTableBuilder::CreateRoot() { return AllocTablePage(); }
+
+std::uint64_t PageTableBuilder::EnsureTable(std::uint64_t table, unsigned idx) {
+  std::uint64_t entry_gpa = table + idx * 8;
+  std::uint64_t entry = mem_->Read<std::uint64_t>(entry_gpa);
+  if ((entry & kPtePresent) != 0) {
+    return entry & kPteAddrMask;
+  }
+  std::uint64_t child = AllocTablePage();
+  if (child == kBadGpa) {
+    return kBadGpa;
+  }
+  mem_->Write<std::uint64_t>(entry_gpa, child | kPtePresent | kPteWrite);
+  ++entries_written_;
+  return child;
+}
+
+bool PageTableBuilder::MapRange(std::uint64_t root, std::uint64_t start, std::uint64_t len,
+                                LeafSize leaf, std::uint64_t flags) {
+  std::uint64_t step = leaf == LeafSize::k4K ? kPageBytes : k2MBytes;
+  std::uint64_t vaddr = ukarch::AlignDown(start, step);
+  std::uint64_t end = ukarch::AlignUp(start + len, step);
+  for (; vaddr < end; vaddr += step) {
+    std::uint64_t pdpt = EnsureTable(root, IndexAt(vaddr, 3));
+    if (pdpt == kBadGpa) {
+      return false;
+    }
+    std::uint64_t pd = EnsureTable(pdpt, IndexAt(vaddr, 2));
+    if (pd == kBadGpa) {
+      return false;
+    }
+    if (leaf == LeafSize::k2M) {
+      std::uint64_t entry_gpa = pd + IndexAt(vaddr, 1) * 8;
+      mem_->Write<std::uint64_t>(entry_gpa, (vaddr & kPteAddrMask) | flags | kPtePageSize);
+      ++entries_written_;
+      continue;
+    }
+    std::uint64_t pt = EnsureTable(pd, IndexAt(vaddr, 1));
+    if (pt == kBadGpa) {
+      return false;
+    }
+    std::uint64_t entry_gpa = pt + IndexAt(vaddr, 0) * 8;
+    mem_->Write<std::uint64_t>(entry_gpa, (vaddr & kPteAddrMask) | flags);
+    ++entries_written_;
+  }
+  return true;
+}
+
+std::optional<std::uint64_t> PageTableBuilder::Walk(std::uint64_t root,
+                                                    std::uint64_t vaddr) const {
+  std::uint64_t table = root;
+  for (int level = 3; level >= 0; --level) {
+    std::uint64_t entry = mem_->Read<std::uint64_t>(table + IndexAt(vaddr, level) * 8);
+    if ((entry & kPtePresent) == 0) {
+      return std::nullopt;
+    }
+    if (level == 1 && (entry & kPtePageSize) != 0) {
+      return (entry & kPteAddrMask) + (vaddr & (k2MBytes - 1));
+    }
+    if (level == 0) {
+      return (entry & kPteAddrMask) + (vaddr & (kPageBytes - 1));
+    }
+    table = entry & kPteAddrMask;
+  }
+  return std::nullopt;
+}
+
+bool PageTableBuilder::Unmap(std::uint64_t root, std::uint64_t vaddr) {
+  std::uint64_t table = root;
+  for (int level = 3; level >= 0; --level) {
+    std::uint64_t entry_gpa = table + IndexAt(vaddr, level) * 8;
+    std::uint64_t entry = mem_->Read<std::uint64_t>(entry_gpa);
+    if ((entry & kPtePresent) == 0) {
+      return false;
+    }
+    if (level == 0 || (level == 1 && (entry & kPtePageSize) != 0)) {
+      mem_->Write<std::uint64_t>(entry_gpa, 0);
+      return true;
+    }
+    table = entry & kPteAddrMask;
+  }
+  return false;
+}
+
+}  // namespace ukboot

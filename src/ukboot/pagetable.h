@@ -1,0 +1,68 @@
+// ukboot/pagetable.h - x86_64 4-level page-table builder (§6.1, Fig 21).
+//
+// Unikraft ships two paging micro-libraries: a *static* one where the binary
+// embeds a pre-initialized page table and boot only points CR3 at it, and a
+// *dynamic* one that populates the whole hierarchy at boot so the guest can
+// later mmap/unmap. We build real PML4/PDPT/PD/PT hierarchies inside guest
+// memory with correct entry encodings, 4 KiB and 2 MiB leaf support, and a
+// software walker used by tests and by the dynamic mapping path.
+#ifndef UKBOOT_PAGETABLE_H_
+#define UKBOOT_PAGETABLE_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "ukplat/memregion.h"
+
+namespace ukboot {
+
+// x86_64 PTE flag bits (Intel SDM Vol 3A §4.5).
+inline constexpr std::uint64_t kPtePresent = 1ull << 0;
+inline constexpr std::uint64_t kPteWrite = 1ull << 1;
+inline constexpr std::uint64_t kPteUser = 1ull << 2;
+inline constexpr std::uint64_t kPtePageSize = 1ull << 7;  // PS: 2MiB/1GiB leaf
+inline constexpr std::uint64_t kPteNx = 1ull << 63;
+inline constexpr std::uint64_t kPteAddrMask = 0x000ffffffffff000ull;
+
+enum class LeafSize { k4K, k2M };
+
+class PageTableBuilder {
+ public:
+  // Page-table pages are carved from |mem|; mappings target gpa==vaddr
+  // (identity map), which is what a unikernel boots with.
+  explicit PageTableBuilder(ukplat::MemRegion* mem);
+
+  // Creates an empty root (PML4). Returns the root gpa or kBadGpa on OOM.
+  std::uint64_t CreateRoot();
+
+  // Identity-maps [start, start+len) with leaves of |leaf| size. Rounds the
+  // range outward to leaf boundaries. Returns false on OOM.
+  bool MapRange(std::uint64_t root, std::uint64_t start, std::uint64_t len, LeafSize leaf,
+                std::uint64_t flags = kPtePresent | kPteWrite);
+
+  // Software page walk: returns the physical address |vaddr| translates to,
+  // or nullopt if not mapped.
+  std::optional<std::uint64_t> Walk(std::uint64_t root, std::uint64_t vaddr) const;
+
+  // Unmaps a single leaf covering |vaddr| (used by the dynamic paging path).
+  bool Unmap(std::uint64_t root, std::uint64_t vaddr);
+
+  std::uint64_t pages_allocated() const { return pages_allocated_; }
+  std::uint64_t entries_written() const { return entries_written_; }
+
+  static constexpr std::uint64_t kBadGpa = ukplat::MemRegion::kBadGpa;
+
+ private:
+  std::uint64_t AllocTablePage();
+  // Returns gpa of the next-level table for entry |idx| of table at |table|,
+  // allocating it when absent. kBadGpa on OOM.
+  std::uint64_t EnsureTable(std::uint64_t table, unsigned idx);
+
+  ukplat::MemRegion* mem_;
+  std::uint64_t pages_allocated_ = 0;
+  std::uint64_t entries_written_ = 0;
+};
+
+}  // namespace ukboot
+
+#endif  // UKBOOT_PAGETABLE_H_

@@ -1,0 +1,98 @@
+// ukbuild/linker.h - configuration resolution + the final link step.
+//
+// Reproduces what the paper's build system does after menuconfig: resolve the
+// selected micro-libraries' dependency closure, apply Dead Code Elimination
+// (drop objects whose feature the application never uses — the --gc-sections
+// analog) and Link-Time Optimization (cross-module shrink on large C bodies),
+// then report the image. Also exports the dependency graph that Figs 2 and 3
+// plot, and carries the other-OS image/memory models used by Figs 9 and 11.
+#ifndef UKBUILD_LINKER_H_
+#define UKBUILD_LINKER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ukbuild/registry.h"
+
+namespace ukbuild {
+
+enum class Platform { kKvm, kXen, kLinuxu };
+const char* PlatformName(Platform p);
+
+struct Config {
+  std::string app = "helloworld";
+  Platform platform = Platform::kKvm;
+  bool dce = false;
+  bool lto = false;
+  // Extra feature toggles (Kconfig options) beyond the app manifest.
+  std::vector<std::string> extra_features;
+};
+
+struct LinkedLib {
+  std::string name;
+  LibClass lib_class;
+  std::uint32_t bytes_before = 0;
+  std::uint32_t bytes_after = 0;  // post DCE/LTO
+  std::uint32_t objects_dropped = 0;
+};
+
+struct Image {
+  std::string app;
+  Platform platform;
+  std::vector<LinkedLib> libs;
+  std::uint64_t total_bytes = 0;
+
+  const LinkedLib* FindLib(const std::string& name) const;
+};
+
+struct DepEdge {
+  std::string from;
+  std::string to;
+};
+
+struct DepGraph {
+  std::vector<std::string> nodes;
+  std::vector<DepEdge> edges;
+  std::string ToDot() const;
+  std::size_t EdgeCount() const { return edges.size(); }
+  std::size_t OutDegree(const std::string& node) const;
+};
+
+class Linker {
+ public:
+  explicit Linker(const Registry* registry) : registry_(registry) {}
+
+  // Resolves the config to its library closure; empty on unknown app/lib.
+  std::vector<std::string> ResolveClosure(const Config& config) const;
+
+  // Produces the final image (sizes after DCE/LTO).
+  Image Link(const Config& config) const;
+
+  // Dependency graph over the linked libraries (Figs 2 and 3).
+  DepGraph Graph(const Config& config) const;
+
+ private:
+  const MicroLib* PlatformLib(Platform p) const;
+  const Registry* registry_;
+};
+
+// Published image sizes and minimum memory of the other systems in Figs 9/11
+// (paper-reported constants; our own rows come from Link()).
+struct OsImageModel {
+  std::string os;
+  double hello_mb;
+  double nginx_mb;
+  double redis_mb;
+  double sqlite_mb;
+  int hello_min_mb;
+  int nginx_min_mb;
+  int redis_min_mb;
+  int sqlite_min_mb;
+};
+const std::vector<OsImageModel>& OtherOsModels();
+
+}  // namespace ukbuild
+
+#endif  // UKBUILD_LINKER_H_

@@ -1,0 +1,39 @@
+// uklibc/porting.h - the automated-porting resolver behind Table 2.
+//
+// Each external library ships a manifest of symbols its pre-built archive
+// imports (what `nm -u` would show) plus per-libc image sizes and the glue
+// LoC the paper reports. Resolve() replays the final Unikraft link step:
+// a port succeeds iff no imported symbol stays undefined.
+#ifndef UKLIBC_PORTING_H_
+#define UKLIBC_PORTING_H_
+
+#include <string>
+#include <vector>
+
+#include "uklibc/profiles.h"
+
+namespace uklibc {
+
+struct LibraryManifest {
+  std::string name;
+  std::vector<std::string> required_symbols;
+  double musl_image_mb = 0.0;    // Table 2 "Size (MB)" under musl
+  double newlib_image_mb = 0.0;  // and under newlib
+  int glue_loc = 0;              // hand-written glue code lines
+  bool newlib_std_builds = false;  // ✓/✗ under plain newlib in the paper
+};
+
+struct ResolveResult {
+  bool success = false;
+  std::vector<std::string> missing_symbols;
+};
+
+// Links |lib| against |env|; success iff every import resolves.
+ResolveResult Resolve(const LibraryManifest& lib, const LibcProfile& env);
+
+// The 24 libraries of Table 2 with their manifests.
+const std::vector<LibraryManifest>& Table2Libraries();
+
+}  // namespace uklibc
+
+#endif  // UKLIBC_PORTING_H_

@@ -1,0 +1,64 @@
+#include "uklock/lock.h"
+
+namespace uklock {
+
+void Mutex::Lock() {
+  if (!config_.threading) {
+    // Single-context configuration: the lock can never be contended, the
+    // operation compiles down to bookkeeping (paper: "some of the primitives
+    // can be completely compiled out").
+    locked_ = true;
+    return;
+  }
+  while (locked_) {
+    ++contended_;
+    waiters_.Wait();
+  }
+  locked_ = true;
+  owner_ = sched_->current();
+}
+
+bool Mutex::TryLock() {
+  if (locked_) {
+    return false;
+  }
+  locked_ = true;
+  owner_ = config_.threading ? sched_->current() : nullptr;
+  return true;
+}
+
+void Mutex::Unlock() {
+  locked_ = false;
+  owner_ = nullptr;
+  if (config_.threading) {
+    waiters_.Wake(1);
+  }
+}
+
+void Semaphore::Down() {
+  if (!config_.threading) {
+    --count_;
+    return;
+  }
+  while (count_ <= 0) {
+    waiters_.Wait();
+  }
+  --count_;
+}
+
+bool Semaphore::TryDown() {
+  if (count_ <= 0) {
+    return false;
+  }
+  --count_;
+  return true;
+}
+
+void Semaphore::Up() {
+  ++count_;
+  if (config_.threading) {
+    waiters_.Wake(1);
+  }
+}
+
+}  // namespace uklock

@@ -1,0 +1,76 @@
+// uklock/lock.h - synchronization primitives compiled per configuration (§3.3).
+//
+// uklock picks the implementation along two configuration dimensions:
+// threading on/off and multi-core on/off. Without threading the primitives
+// compile down to counters (mutual exclusion is vacuous in a single
+// run-to-completion context) but still *check* usage so tests catch
+// double-unlock bugs; with threading they block on uksched wait queues. The
+// multi-core dimension exists in the config (the paper's spin/RCU case) but,
+// like Unikraft at publication time, only single-core is implemented.
+#ifndef UKLOCK_LOCK_H_
+#define UKLOCK_LOCK_H_
+
+#include <cstdint>
+
+#include "uksched/scheduler.h"
+
+namespace uklock {
+
+struct Config {
+  bool threading = true;
+  bool smp = false;  // accepted, not implemented (matches the paper)
+};
+
+class Mutex {
+ public:
+  Mutex(Config config, uksched::Scheduler* sched)
+      : config_(config), waiters_(sched), sched_(sched) {}
+
+  void Lock();
+  bool TryLock();
+  void Unlock();
+
+  bool locked() const { return locked_; }
+  std::uint64_t contended_acquires() const { return contended_; }
+
+ private:
+  Config config_;
+  uksched::WaitQueue waiters_;
+  uksched::Scheduler* sched_;
+  bool locked_ = false;
+  uksched::Thread* owner_ = nullptr;
+  std::uint64_t contended_ = 0;
+};
+
+class Semaphore {
+ public:
+  Semaphore(Config config, uksched::Scheduler* sched, std::int64_t initial)
+      : config_(config), waiters_(sched), count_(initial) {}
+
+  void Down();      // P: blocks when count would go negative
+  bool TryDown();
+  void Up();        // V
+
+  std::int64_t count() const { return count_; }
+
+ private:
+  Config config_;
+  uksched::WaitQueue waiters_;
+  std::int64_t count_;
+};
+
+// RAII guard in the style the C++ Core Guidelines require for lock usage.
+class MutexGuard {
+ public:
+  explicit MutexGuard(Mutex& m) : m_(m) { m_.Lock(); }
+  ~MutexGuard() { m_.Unlock(); }
+  MutexGuard(const MutexGuard&) = delete;
+  MutexGuard& operator=(const MutexGuard&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+}  // namespace uklock
+
+#endif  // UKLOCK_LOCK_H_

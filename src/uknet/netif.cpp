@@ -1,0 +1,194 @@
+#include <cstring>
+
+#include "uknet/stack.h"
+
+namespace uknet {
+
+namespace {
+constexpr uknetdev::MacAddr kBroadcast{{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}};
+constexpr std::uint16_t kRxBurstSize = 32;
+}  // namespace
+
+NetIf::NetIf(NetStack* stack, uknetdev::NetDev* dev, ukplat::MemRegion* mem,
+             ukalloc::Allocator* alloc, Config config)
+    : stack_(stack), dev_(dev), mem_(mem), alloc_(alloc), config_(config) {}
+
+ukarch::Status NetIf::Init() {
+  tx_pool_ = uknetdev::NetBufPool::Create(alloc_, mem_, config_.tx_pool_bufs,
+                                          config_.buf_size);
+  rx_pool_ = uknetdev::NetBufPool::Create(alloc_, mem_, config_.rx_pool_bufs,
+                                          config_.buf_size);
+  if (tx_pool_ == nullptr || rx_pool_ == nullptr) {
+    return ukarch::Status::kNoMem;
+  }
+  ukarch::Status st = dev_->Configure(uknetdev::DevConf{});
+  if (!Ok(st)) {
+    return st;
+  }
+  st = dev_->TxQueueSetup(0, uknetdev::TxQueueConf{});
+  if (!Ok(st)) {
+    return st;
+  }
+  uknetdev::RxQueueConf rxc;
+  rxc.buffer_pool = rx_pool_.get();
+  st = dev_->RxQueueSetup(0, rxc);
+  if (!Ok(st)) {
+    return st;
+  }
+  return dev_->Start();
+}
+
+bool NetIf::SendEth(uknetdev::MacAddr dst, std::uint16_t ethertype,
+                    std::span<const std::uint8_t> payload) {
+  uknetdev::NetBuf* nb = tx_pool_->Alloc();
+  if (nb == nullptr) {
+    return false;
+  }
+  std::uint32_t frame_len = static_cast<std::uint32_t>(kEthHdrBytes + payload.size());
+  if (nb->capacity - nb->headroom < frame_len) {
+    tx_pool_->Free(nb);
+    return false;
+  }
+  nb->len = frame_len;
+  std::byte* data = mem_->At(nb->data_gpa(), frame_len);
+  if (data == nullptr) {
+    tx_pool_->Free(nb);
+    return false;
+  }
+  EthHeader eth{dst, dev_->mac(), ethertype};
+  eth.Serialize(reinterpret_cast<std::uint8_t*>(data));
+  std::memcpy(data + kEthHdrBytes, payload.data(), payload.size());
+
+  uknetdev::NetBuf* pkts[1] = {nb};
+  std::uint16_t cnt = 1;
+  dev_->TxBurst(0, pkts, &cnt);
+  if (cnt != 1) {
+    tx_pool_->Free(nb);
+    return false;
+  }
+  return true;
+}
+
+void NetIf::SendArpRequest(Ip4Addr target) {
+  ArpPacket arp;
+  arp.oper = 1;
+  arp.sender_mac = dev_->mac();
+  arp.sender_ip = config_.ip;
+  arp.target_ip = target;
+  std::uint8_t body[kArpBytes];
+  arp.Serialize(body);
+  ++if_stats_.arp_requests;
+  SendEth(kBroadcast, kEthTypeArp, body);
+}
+
+bool NetIf::SendIp(Ip4Addr dst, std::uint8_t proto,
+                   std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> packet(kIp4HdrBytes + payload.size());
+  Ip4Header ip;
+  ip.total_len = static_cast<std::uint16_t>(packet.size());
+  ip.id = ip_id_++;
+  ip.proto = proto;
+  ip.src = config_.ip;
+  ip.dst = dst;
+  ip.Serialize(packet.data());
+  std::memcpy(packet.data() + kIp4HdrBytes, payload.data(), payload.size());
+
+  Ip4Addr hop = NextHop(dst);
+  auto cached = arp_cache_.find(hop);
+  if (cached == arp_cache_.end()) {
+    // Park behind ARP (bounded queue; beyond that, drop — TCP retransmits).
+    auto& pending = arp_pending_[hop];
+    if (pending.size() >= 8) {
+      ++if_stats_.pending_dropped;
+      return false;
+    }
+    pending.push_back(std::move(packet));
+    SendArpRequest(hop);
+    return true;
+  }
+  ++if_stats_.ip_tx;
+  return SendEth(cached->second, kEthTypeIp4, packet);
+}
+
+std::size_t NetIf::Poll() {
+  uknetdev::NetBuf* pkts[kRxBurstSize];
+  std::uint16_t cnt = kRxBurstSize;
+  dev_->RxBurst(0, pkts, &cnt);
+  for (std::uint16_t i = 0; i < cnt; ++i) {
+    uknetdev::NetBuf* nb = pkts[i];
+    const std::byte* data = nb->Data(*mem_);
+    if (data != nullptr) {
+      HandleFrame(std::span(reinterpret_cast<const std::uint8_t*>(data), nb->len));
+    }
+    if (nb->pool != nullptr) {
+      nb->pool->Free(nb);
+    }
+  }
+  return cnt;
+}
+
+void NetIf::HandleFrame(std::span<const std::uint8_t> frame) {
+  if (frame.size() < kEthHdrBytes) {
+    return;
+  }
+  EthHeader eth = EthHeader::Parse(frame);
+  bool for_us = eth.dst == dev_->mac() || eth.dst == kBroadcast;
+  if (!for_us) {
+    return;
+  }
+  std::span<const std::uint8_t> body = frame.subspan(kEthHdrBytes);
+  if (eth.ethertype == kEthTypeArp) {
+    HandleArp(body);
+  } else if (eth.ethertype == kEthTypeIp4) {
+    HandleIp(body);
+  }
+}
+
+void NetIf::HandleArp(std::span<const std::uint8_t> body) {
+  auto arp = ArpPacket::Parse(body);
+  if (!arp.has_value()) {
+    return;
+  }
+  // Learn the sender either way (gratuitous + reply + request).
+  arp_cache_[arp->sender_ip] = arp->sender_mac;
+
+  // Flush packets parked behind this resolution.
+  auto pending = arp_pending_.find(arp->sender_ip);
+  if (pending != arp_pending_.end()) {
+    for (std::vector<std::uint8_t>& packet : pending->second) {
+      ++if_stats_.ip_tx;
+      SendEth(arp->sender_mac, kEthTypeIp4, packet);
+    }
+    arp_pending_.erase(pending);
+  }
+
+  if (arp->oper == 1 && arp->target_ip == config_.ip) {
+    ArpPacket reply;
+    reply.oper = 2;
+    reply.sender_mac = dev_->mac();
+    reply.sender_ip = config_.ip;
+    reply.target_mac = arp->sender_mac;
+    reply.target_ip = arp->sender_ip;
+    std::uint8_t out[kArpBytes];
+    reply.Serialize(out);
+    ++if_stats_.arp_replies;
+    SendEth(arp->sender_mac, kEthTypeArp, out);
+  }
+}
+
+void NetIf::HandleIp(std::span<const std::uint8_t> body) {
+  auto ip = Ip4Header::Parse(body);
+  if (!ip.has_value()) {
+    ++if_stats_.rx_checksum_drops;
+    return;
+  }
+  if (ip->dst != config_.ip) {
+    return;  // not routed; unikernels are endpoints
+  }
+  ++if_stats_.ip_rx;
+  std::span<const std::uint8_t> payload =
+      body.subspan(kIp4HdrBytes, ip->total_len - kIp4HdrBytes);
+  stack_->HandleIpPacket(this, *ip, payload);
+}
+
+}  // namespace uknet

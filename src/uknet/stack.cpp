@@ -1,0 +1,339 @@
+#include "uknet/stack.h"
+
+#include <cstring>
+
+#include "ukarch/hash.h"
+
+namespace uknet {
+
+// ---- UDP socket -------------------------------------------------------------------
+
+ukarch::Status UdpSocket::Bind(std::uint16_t port) {
+  if (explicitly_bound_) {
+    return ukarch::Status::kInval;  // one explicit bind per socket
+  }
+  if (stack_->udp_ports_.contains(port)) {
+    return ukarch::Status::kAddrInUse;
+  }
+  // Re-register under the requested port (the stack holds the shared_ptr).
+  for (auto it = stack_->udp_ports_.begin(); it != stack_->udp_ports_.end(); ++it) {
+    if (it->second.get() == this) {
+      auto self = it->second;
+      stack_->udp_ports_.erase(it);
+      port_ = port;
+      explicitly_bound_ = true;
+      stack_->udp_ports_[port] = std::move(self);
+      return ukarch::Status::kOk;
+    }
+  }
+  return ukarch::Status::kBadF;
+}
+
+std::int64_t UdpSocket::SendTo(Ip4Addr dst, std::uint16_t dst_port,
+                               std::span<const std::uint8_t> payload) {
+  NetIf* netif = stack_->RouteTo(dst);
+  if (netif == nullptr) {
+    return ukarch::Raw(ukarch::Status::kNetUnreach);
+  }
+  std::vector<std::uint8_t> datagram(kUdpHdrBytes + payload.size());
+  UdpHeader hdr;
+  hdr.src_port = port_;
+  hdr.dst_port = dst_port;
+  if (!payload.empty()) {
+    std::memcpy(datagram.data() + kUdpHdrBytes, payload.data(), payload.size());
+  }
+  hdr.Serialize(datagram.data(), netif->ip(), dst, payload);
+  ++stack_->stats_.udp_tx;
+  if (!netif->SendIp(dst, kIpProtoUdp, datagram)) {
+    return ukarch::Raw(ukarch::Status::kAgain);
+  }
+  return static_cast<std::int64_t>(payload.size());
+}
+
+std::optional<Datagram> UdpSocket::RecvFrom() {
+  if (rx_.empty()) {
+    return std::nullopt;
+  }
+  Datagram d = std::move(rx_.front());
+  rx_.pop_front();
+  return d;
+}
+
+// ---- listener ----------------------------------------------------------------------
+
+std::shared_ptr<TcpSocket> TcpListener::Accept() {
+  if (accept_queue_.empty()) {
+    return nullptr;
+  }
+  auto sock = accept_queue_.front();
+  accept_queue_.pop_front();
+  return sock;
+}
+
+// ---- NetStack ----------------------------------------------------------------------
+
+NetIf* NetStack::AddInterface(uknetdev::NetDev* dev, NetIf::Config config) {
+  auto netif = std::make_unique<NetIf>(this, dev, mem_, alloc_, config);
+  if (!Ok(netif->Init())) {
+    return nullptr;
+  }
+  netifs_.push_back(std::move(netif));
+  return netifs_.back().get();
+}
+
+NetIf* NetStack::RouteTo(Ip4Addr dst) {
+  for (auto& netif : netifs_) {
+    if (netif->RouteMatches(dst)) {
+      return netif.get();
+    }
+  }
+  // Default route: first interface with a gateway.
+  for (auto& netif : netifs_) {
+    if (netif->config_.gateway != 0) {
+      return netif.get();
+    }
+  }
+  return netifs_.empty() ? nullptr : netifs_.front().get();
+}
+
+std::shared_ptr<UdpSocket> NetStack::UdpOpen() {
+  auto sock = std::shared_ptr<UdpSocket>(new UdpSocket(this));
+  std::uint16_t port = AllocEphemeralPort();
+  sock->port_ = port;
+  udp_ports_[port] = sock;
+  return sock;
+}
+
+std::shared_ptr<TcpListener> NetStack::TcpListen(std::uint16_t port) {
+  if (tcp_listeners_.contains(port)) {
+    return nullptr;
+  }
+  auto listener = std::shared_ptr<TcpListener>(new TcpListener(this, port));
+  tcp_listeners_[port] = listener;
+  return listener;
+}
+
+std::shared_ptr<TcpSocket> NetStack::TcpConnect(Ip4Addr dst, std::uint16_t port) {
+  NetIf* netif = RouteTo(dst);
+  if (netif == nullptr) {
+    return nullptr;
+  }
+  auto sock = std::shared_ptr<TcpSocket>(new TcpSocket(this, netif));
+  sock->remote_ip_ = dst;
+  sock->remote_port_ = port;
+  sock->local_port_ = AllocEphemeralPort();
+  std::uint32_t iss = NewIss();
+  sock->snd_una_ = iss;
+  sock->snd_nxt_ = iss + 1;  // SYN consumes one
+  sock->EnterState(TcpState::kSynSent);
+  tcp_conns_[ConnKey{sock->local_port_, dst, port}] = sock;
+  // SYN segment.
+  TcpHeader hdr;
+  hdr.src_port = sock->local_port_;
+  hdr.dst_port = port;
+  hdr.seq = iss;
+  hdr.flags = kTcpSyn;
+  hdr.window = sock->AdvertisedWindow();
+  std::vector<std::uint8_t> segment(kTcpHdrBytes);
+  hdr.Serialize(segment.data(), netif->ip(), dst, {});
+  ++sock->tcp_stats_.segments_sent;
+  netif->SendIp(dst, kIpProtoTcp, segment);
+  sock->last_send_cycles_ = clock_->cycles();
+  return sock;
+}
+
+bool NetStack::Ping(Ip4Addr dst, std::uint16_t seq) {
+  NetIf* netif = RouteTo(dst);
+  if (netif == nullptr) {
+    return false;
+  }
+  IcmpEcho echo;
+  echo.is_reply = false;
+  echo.id = 0x77;
+  echo.seq = seq;
+  echo.payload = {'u', 'k', 'r', 'a', 'f', 't'};
+  return netif->SendIp(dst, kIpProtoIcmp, echo.Serialize());
+}
+
+void NetStack::Poll() {
+  for (auto& netif : netifs_) {
+    netif->Poll();
+  }
+  for (auto& [key, conn] : tcp_conns_) {
+    conn->CheckTimer();
+  }
+}
+
+bool NetStack::PollUntil(const std::function<bool()>& pred, int max_iters) {
+  for (int i = 0; i < max_iters; ++i) {
+    if (pred()) {
+      return true;
+    }
+    Poll();
+  }
+  return pred();
+}
+
+std::uint16_t NetStack::AllocEphemeralPort() {
+  for (int tries = 0; tries < 20000; ++tries) {
+    std::uint16_t port = next_ephemeral_;
+    next_ephemeral_ = next_ephemeral_ >= 65534 ? 49152 : next_ephemeral_ + 1;
+    bool used = udp_ports_.contains(port) || tcp_listeners_.contains(port);
+    for (const auto& [key, conn] : tcp_conns_) {
+      used = used || key.local_port == port;
+    }
+    if (!used) {
+      return port;
+    }
+  }
+  return 0;
+}
+
+std::uint32_t NetStack::NewIss() {
+  return static_cast<std::uint32_t>(ukarch::Mix64(iss_counter_++));
+}
+
+void NetStack::HandleIpPacket(NetIf* netif, const Ip4Header& ip,
+                              std::span<const std::uint8_t> payload) {
+  switch (ip.proto) {
+    case kIpProtoUdp: HandleUdp(netif, ip, payload); break;
+    case kIpProtoTcp: HandleTcp(netif, ip, payload); break;
+    case kIpProtoIcmp: HandleIcmp(netif, ip, payload); break;
+    default: break;
+  }
+}
+
+void NetStack::HandleUdp(NetIf* netif, const Ip4Header& ip,
+                         std::span<const std::uint8_t> payload) {
+  auto hdr = UdpHeader::Parse(payload, ip.src, ip.dst);
+  if (!hdr.has_value()) {
+    return;
+  }
+  ++stats_.udp_rx;
+  auto it = udp_ports_.find(hdr->dst_port);
+  if (it == udp_ports_.end()) {
+    ++stats_.no_socket_drops;
+    return;
+  }
+  UdpSocket& sock = *it->second;
+  if (sock.rx_.size() >= UdpSocket::kMaxQueue) {
+    ++stats_.no_socket_drops;
+    return;
+  }
+  Datagram d;
+  d.src_ip = ip.src;
+  d.src_port = hdr->src_port;
+  d.payload.assign(payload.begin() + kUdpHdrBytes,
+                   payload.begin() + hdr->length);
+  sock.rx_.push_back(std::move(d));
+  if (sock.rx_cb_) {
+    sock.rx_cb_();
+  }
+}
+
+void NetStack::HandleIcmp(NetIf* netif, const Ip4Header& ip,
+                          std::span<const std::uint8_t> payload) {
+  auto echo = IcmpEcho::Parse(payload);
+  if (!echo.has_value()) {
+    return;
+  }
+  ++stats_.icmp_rx;
+  if (echo->is_reply) {
+    ++pings_answered_;
+    return;
+  }
+  IcmpEcho reply = *echo;
+  reply.is_reply = true;
+  netif->SendIp(ip.src, kIpProtoIcmp, reply.Serialize());
+}
+
+void NetStack::SendRst(NetIf* netif, const Ip4Header& ip, const TcpHeader& hdr,
+                       std::size_t payload_len) {
+  ++stats_.rst_sent;
+  TcpHeader rst;
+  rst.src_port = hdr.dst_port;
+  rst.dst_port = hdr.src_port;
+  rst.flags = kTcpRst | kTcpAck;
+  rst.seq = (hdr.flags & kTcpAck) != 0 ? hdr.ack : 0;
+  rst.ack = hdr.seq + static_cast<std::uint32_t>(payload_len) +
+            (((hdr.flags & kTcpSyn) != 0) ? 1 : 0);
+  std::vector<std::uint8_t> segment(kTcpHdrBytes);
+  rst.Serialize(segment.data(), ip.dst, ip.src, {});
+  netif->SendIp(ip.src, kIpProtoTcp, segment);
+}
+
+void NetStack::HandleTcp(NetIf* netif, const Ip4Header& ip,
+                         std::span<const std::uint8_t> payload) {
+  std::size_t header_len = 0;
+  auto hdr = TcpHeader::Parse(payload, ip.src, ip.dst, &header_len);
+  if (!hdr.has_value()) {
+    return;
+  }
+  ++stats_.tcp_rx;
+  std::span<const std::uint8_t> data = payload.subspan(header_len);
+
+  // Established-connection demux first.
+  auto conn = tcp_conns_.find(ConnKey{hdr->dst_port, ip.src, hdr->src_port});
+  if (conn != tcp_conns_.end()) {
+    // Keep the socket alive through the callback even if it removes itself.
+    auto sock = conn->second;
+    sock->OnSegment(*hdr, data);
+    return;
+  }
+
+  // New connection for a listener?
+  if ((hdr->flags & kTcpSyn) != 0 && (hdr->flags & kTcpAck) == 0) {
+    auto listener = tcp_listeners_.find(hdr->dst_port);
+    if (listener != tcp_listeners_.end()) {
+      auto sock = std::shared_ptr<TcpSocket>(new TcpSocket(this, netif));
+      sock->remote_ip_ = ip.src;
+      sock->remote_port_ = hdr->src_port;
+      sock->local_port_ = hdr->dst_port;
+      sock->rcv_nxt_ = hdr->seq + 1;
+      sock->snd_wnd_ = hdr->window;
+      std::uint32_t iss = NewIss();
+      sock->snd_una_ = iss;
+      sock->snd_nxt_ = iss + 1;
+      sock->EnterState(TcpState::kSynRcvd);
+      tcp_conns_[ConnKey{hdr->dst_port, ip.src, hdr->src_port}] = sock;
+      // SYN|ACK
+      TcpHeader synack;
+      synack.src_port = hdr->dst_port;
+      synack.dst_port = hdr->src_port;
+      synack.seq = iss;
+      synack.ack = sock->rcv_nxt_;
+      synack.flags = kTcpSyn | kTcpAck;
+      synack.window = sock->AdvertisedWindow();
+      std::vector<std::uint8_t> segment(kTcpHdrBytes);
+      synack.Serialize(segment.data(), ip.dst, ip.src, {});
+      ++sock->tcp_stats_.segments_sent;
+      netif->SendIp(ip.src, kIpProtoTcp, segment);
+      sock->last_send_cycles_ = clock_->cycles();
+      return;
+    }
+  }
+  // No socket: RST (unless the segment itself is a RST).
+  if ((hdr->flags & kTcpRst) == 0) {
+    SendRst(netif, ip, *hdr, data.size());
+  }
+  ++stats_.no_socket_drops;
+}
+
+void NetStack::NotifyAccepted(TcpSocket* sock) {
+  auto listener = tcp_listeners_.find(sock->local_port_);
+  if (listener == tcp_listeners_.end()) {
+    return;
+  }
+  // Find the shared_ptr for this socket.
+  auto conn = tcp_conns_.find(
+      ConnKey{sock->local_port_, sock->remote_ip_, sock->remote_port_});
+  if (conn != tcp_conns_.end()) {
+    listener->second->accept_queue_.push_back(conn->second);
+  }
+}
+
+void NetStack::RemoveConnection(TcpSocket* sock) {
+  tcp_conns_.erase(ConnKey{sock->local_port_, sock->remote_ip_, sock->remote_port_});
+}
+
+}  // namespace uknet

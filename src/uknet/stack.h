@@ -1,0 +1,324 @@
+// uknet/stack.h - the network stack (lwIP's role in the paper's stack).
+//
+// A deliberately small but real TCP/IP implementation: ARP resolution with a
+// pending-packet queue, IPv4 with header checksums, ICMP echo, UDP sockets,
+// and TCP with the full connect/accept handshake, cumulative ACKs, flow
+// control from the peer's advertised window, retransmission on timeout and
+// on triple duplicate ACKs, and graceful FIN teardown. Everything is polled
+// (run-to-completion): NetStack::Poll() pumps interfaces and timers once,
+// which is exactly how a single-core unikernel event loop drives lwIP.
+//
+// Stack metadata lives in host memory; packet buffers come from the netbuf
+// pools in guest RAM, so the data path stays device-addressable end to end.
+#ifndef UKNET_STACK_H_
+#define UKNET_STACK_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "ukalloc/allocator.h"
+#include "ukarch/status.h"
+#include "uknet/wire_format.h"
+#include "uknetdev/netdev.h"
+#include "ukplat/clock.h"
+#include "ukplat/memregion.h"
+
+namespace uknet {
+
+class NetStack;
+
+class NetIf {
+ public:
+  struct Config {
+    Ip4Addr ip = 0;
+    Ip4Addr netmask = 0xffffff00;
+    Ip4Addr gateway = 0;
+    std::uint32_t tx_pool_bufs = 256;
+    std::uint32_t rx_pool_bufs = 256;
+    std::uint32_t buf_size = 2048;
+  };
+
+  NetIf(NetStack* stack, uknetdev::NetDev* dev, ukplat::MemRegion* mem,
+        ukalloc::Allocator* alloc, Config config);
+
+  // Configures queues and pools and starts the device.
+  ukarch::Status Init();
+
+  Ip4Addr ip() const { return config_.ip; }
+  uknetdev::MacAddr mac() const { return dev_->mac(); }
+  uknetdev::NetDev* dev() { return dev_; }
+
+  // Processes up to one RX burst; returns packets handled.
+  std::size_t Poll();
+
+  // Sends an IPv4 packet (header built here). May queue behind ARP.
+  bool SendIp(Ip4Addr dst, std::uint8_t proto, std::span<const std::uint8_t> payload);
+
+  void AddArpEntry(Ip4Addr ip, uknetdev::MacAddr mac) { arp_cache_[ip] = mac; }
+  bool RouteMatches(Ip4Addr dst) const {
+    return (dst & config_.netmask) == (config_.ip & config_.netmask);
+  }
+
+  struct IfStats {
+    std::uint64_t arp_requests = 0;
+    std::uint64_t arp_replies = 0;
+    std::uint64_t ip_rx = 0;
+    std::uint64_t ip_tx = 0;
+    std::uint64_t rx_checksum_drops = 0;
+    std::uint64_t pending_dropped = 0;
+  };
+  const IfStats& if_stats() const { return if_stats_; }
+
+ private:
+  friend class NetStack;
+
+  bool SendEth(uknetdev::MacAddr dst, std::uint16_t ethertype,
+               std::span<const std::uint8_t> payload);
+  void HandleFrame(std::span<const std::uint8_t> frame);
+  void HandleArp(std::span<const std::uint8_t> body);
+  void HandleIp(std::span<const std::uint8_t> body);
+  void SendArpRequest(Ip4Addr target);
+  Ip4Addr NextHop(Ip4Addr dst) const {
+    return RouteMatches(dst) || config_.gateway == 0 ? dst : config_.gateway;
+  }
+
+  NetStack* stack_;
+  uknetdev::NetDev* dev_;
+  ukplat::MemRegion* mem_;
+  ukalloc::Allocator* alloc_;
+  Config config_;
+  std::unique_ptr<uknetdev::NetBufPool> tx_pool_;
+  std::unique_ptr<uknetdev::NetBufPool> rx_pool_;
+  std::map<Ip4Addr, uknetdev::MacAddr> arp_cache_;
+  // Packets parked behind unresolved ARP: next-hop ip -> raw IP packets.
+  std::map<Ip4Addr, std::vector<std::vector<std::uint8_t>>> arp_pending_;
+  IfStats if_stats_;
+  std::uint16_t ip_id_ = 1;
+};
+
+// ---- UDP -----------------------------------------------------------------------
+
+struct Datagram {
+  Ip4Addr src_ip = 0;
+  std::uint16_t src_port = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+class UdpSocket {
+ public:
+  ukarch::Status Bind(std::uint16_t port);
+  std::uint16_t local_port() const { return port_; }
+
+  // Non-blocking. SendTo returns bytes sent or negative errno.
+  std::int64_t SendTo(Ip4Addr dst, std::uint16_t dst_port,
+                      std::span<const std::uint8_t> payload);
+  // Returns a datagram if available.
+  std::optional<Datagram> RecvFrom();
+  bool readable() const { return !rx_.empty(); }
+  std::size_t queued() const { return rx_.size(); }
+
+  // Optional callback invoked on datagram arrival (event-loop integration).
+  void SetRxCallback(std::function<void()> cb) { rx_cb_ = std::move(cb); }
+
+ private:
+  friend class NetStack;
+  explicit UdpSocket(NetStack* stack) : stack_(stack) {}
+
+  NetStack* stack_;
+  std::uint16_t port_ = 0;
+  bool explicitly_bound_ = false;
+  std::deque<Datagram> rx_;
+  std::function<void()> rx_cb_;
+  static constexpr std::size_t kMaxQueue = 1024;
+};
+
+// ---- TCP -----------------------------------------------------------------------
+
+enum class TcpState {
+  kClosed, kListen, kSynSent, kSynRcvd, kEstablished,
+  kFinWait1, kFinWait2, kCloseWait, kLastAck, kClosing, kTimeWait,
+};
+const char* TcpStateName(TcpState s);
+
+class TcpSocket {
+ public:
+  TcpState state() const { return state_; }
+  Ip4Addr remote_ip() const { return remote_ip_; }
+  std::uint16_t remote_port() const { return remote_port_; }
+  std::uint16_t local_port() const { return local_port_; }
+
+  // Buffered, non-blocking send: returns bytes accepted (0 when the send
+  // buffer is full) or negative errno when the connection cannot send.
+  std::int64_t Send(std::span<const std::uint8_t> data);
+  // Non-blocking receive: bytes read, -EAGAIN when empty, 0 once the peer
+  // closed and all data was drained.
+  std::int64_t Recv(std::span<std::uint8_t> out);
+
+  bool readable() const { return !recv_buf_.empty() || fin_received_; }
+  std::size_t send_space() const { return kSendBufCap - send_buf_.size(); }
+  bool connected() const { return state_ == TcpState::kEstablished; }
+  bool failed() const { return reset_; }
+
+  // Graceful close (FIN). Data already in the send buffer is flushed first.
+  void Close();
+
+  struct TcpStats {
+    std::uint64_t segments_sent = 0;
+    std::uint64_t segments_received = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t dup_acks = 0;
+    std::uint64_t out_of_order_dropped = 0;
+  };
+  const TcpStats& tcp_stats() const { return tcp_stats_; }
+
+  static constexpr std::size_t kSendBufCap = 64 * 1024;
+  static constexpr std::size_t kRecvBufCap = 64 * 1024;
+  static constexpr std::uint32_t kMss = 1400;
+
+ private:
+  friend class NetStack;
+  TcpSocket(NetStack* stack, NetIf* netif) : stack_(stack), netif_(netif) {}
+
+  void OnSegment(const TcpHeader& hdr, std::span<const std::uint8_t> payload);
+  void Output();            // transmit what window + buffer allow
+  void CheckTimer();        // RTO-based retransmission
+  void EmitSegment(std::uint8_t flags, std::uint32_t seq,
+                   std::span<const std::uint8_t> payload);
+  std::uint16_t AdvertisedWindow() const {
+    std::size_t space = kRecvBufCap - recv_buf_.size();
+    return static_cast<std::uint16_t>(space > 0xffff ? 0xffff : space);
+  }
+  void EnterState(TcpState s) { state_ = s; }
+
+  NetStack* stack_;
+  NetIf* netif_;
+  TcpState state_ = TcpState::kClosed;
+  Ip4Addr remote_ip_ = 0;
+  std::uint16_t remote_port_ = 0;
+  std::uint16_t local_port_ = 0;
+
+  // Send side: bytes [0, in_flight) of send_buf_ are sent-but-unacked,
+  // [in_flight, size) unsent. snd_una maps to send_buf_[0].
+  std::uint32_t snd_una_ = 0;
+  std::uint32_t snd_nxt_ = 0;
+  std::uint32_t snd_wnd_ = 0;
+  std::deque<std::uint8_t> send_buf_;
+  bool fin_queued_ = false;
+  bool fin_sent_ = false;
+
+  std::uint32_t rcv_nxt_ = 0;
+  std::deque<std::uint8_t> recv_buf_;
+  bool fin_received_ = false;
+  bool reset_ = false;
+
+  std::uint64_t last_send_cycles_ = 0;
+  std::uint32_t dup_ack_count_ = 0;
+  std::uint32_t last_ack_seen_ = 0;
+
+  TcpStats tcp_stats_;
+};
+
+class TcpListener {
+ public:
+  std::uint16_t port() const { return port_; }
+  std::shared_ptr<TcpSocket> Accept();  // nullptr when queue empty
+  std::size_t backlog() const { return accept_queue_.size(); }
+
+ private:
+  friend class NetStack;
+  TcpListener(NetStack* stack, std::uint16_t port) : stack_(stack), port_(port) {}
+  NetStack* stack_;
+  std::uint16_t port_;
+  std::deque<std::shared_ptr<TcpSocket>> accept_queue_;
+};
+
+// ---- the stack --------------------------------------------------------------------
+
+class NetStack {
+ public:
+  NetStack(ukplat::MemRegion* mem, ukplat::Clock* clock, ukalloc::Allocator* alloc)
+      : mem_(mem), clock_(clock), alloc_(alloc) {}
+
+  // Interfaces.
+  NetIf* AddInterface(uknetdev::NetDev* dev, NetIf::Config config);
+  NetIf* RouteTo(Ip4Addr dst);
+
+  // Sockets.
+  std::shared_ptr<UdpSocket> UdpOpen();
+  std::shared_ptr<TcpListener> TcpListen(std::uint16_t port);
+  std::shared_ptr<TcpSocket> TcpConnect(Ip4Addr dst, std::uint16_t port);
+
+  // ICMP echo client: sends a ping; replies are counted.
+  bool Ping(Ip4Addr dst, std::uint16_t seq);
+  std::uint64_t pings_answered() const { return pings_answered_; }
+
+  // One pump: interface RX, TCP timers. Call in the application loop.
+  void Poll();
+  // Test helper: polls until |pred| or |max_iters| rounds.
+  bool PollUntil(const std::function<bool()>& pred, int max_iters = 10000);
+
+  ukplat::Clock* clock() { return clock_; }
+  ukplat::MemRegion* mem() { return mem_; }
+
+  // Retransmission timeout, virtual time. Exposed for loss tests.
+  std::uint64_t rto_cycles = 720'000'000;  // 200 ms at 3.6 GHz
+
+  struct StackStats {
+    std::uint64_t udp_rx = 0;
+    std::uint64_t udp_tx = 0;
+    std::uint64_t tcp_rx = 0;
+    std::uint64_t icmp_rx = 0;
+    std::uint64_t no_socket_drops = 0;
+    std::uint64_t rst_sent = 0;
+  };
+  const StackStats& stats() const { return stats_; }
+
+ private:
+  friend class NetIf;
+  friend class UdpSocket;
+  friend class TcpSocket;
+  friend class TcpListener;
+
+  struct ConnKey {
+    std::uint16_t local_port;
+    Ip4Addr remote_ip;
+    std::uint16_t remote_port;
+    auto operator<=>(const ConnKey&) const = default;
+  };
+
+  void HandleIpPacket(NetIf* netif, const Ip4Header& ip,
+                      std::span<const std::uint8_t> payload);
+  void HandleUdp(NetIf* netif, const Ip4Header& ip,
+                 std::span<const std::uint8_t> payload);
+  void HandleTcp(NetIf* netif, const Ip4Header& ip,
+                 std::span<const std::uint8_t> payload);
+  void HandleIcmp(NetIf* netif, const Ip4Header& ip,
+                  std::span<const std::uint8_t> payload);
+  void SendRst(NetIf* netif, const Ip4Header& ip, const TcpHeader& hdr,
+               std::size_t payload_len);
+  std::uint16_t AllocEphemeralPort();
+  std::uint32_t NewIss();  // deterministic initial sequence numbers
+  // Called by TcpSocket state transitions.
+  void NotifyAccepted(TcpSocket* sock);
+  void RemoveConnection(TcpSocket* sock);
+
+  ukplat::MemRegion* mem_;
+  ukplat::Clock* clock_;
+  ukalloc::Allocator* alloc_;
+  std::vector<std::unique_ptr<NetIf>> netifs_;
+  std::map<std::uint16_t, std::shared_ptr<UdpSocket>> udp_ports_;
+  std::map<std::uint16_t, std::shared_ptr<TcpListener>> tcp_listeners_;
+  std::map<ConnKey, std::shared_ptr<TcpSocket>> tcp_conns_;
+  std::uint16_t next_ephemeral_ = 49152;
+  std::uint32_t iss_counter_ = 10'000;
+  std::uint64_t pings_answered_ = 0;
+  StackStats stats_;
+};
+
+}  // namespace uknet
+
+#endif  // UKNET_STACK_H_

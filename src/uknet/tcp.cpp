@@ -1,0 +1,316 @@
+// TCP state machine: connection setup/teardown, sliding-window transfer,
+// retransmission. Invariants the tests lean on:
+//  * send_buf_ front always corresponds to snd_una_
+//  * rcv_nxt_ is the next expected byte; out-of-order segments are dropped
+//    (the wire delivers in order, so only loss reorders — retransmit covers it)
+//  * a segment is ACKed on every receive that changes rcv_nxt_ or on FIN.
+#include <cstring>
+
+#include "uknet/stack.h"
+
+namespace uknet {
+
+const char* TcpStateName(TcpState s) {
+  switch (s) {
+    case TcpState::kClosed: return "CLOSED";
+    case TcpState::kListen: return "LISTEN";
+    case TcpState::kSynSent: return "SYN_SENT";
+    case TcpState::kSynRcvd: return "SYN_RCVD";
+    case TcpState::kEstablished: return "ESTABLISHED";
+    case TcpState::kFinWait1: return "FIN_WAIT_1";
+    case TcpState::kFinWait2: return "FIN_WAIT_2";
+    case TcpState::kCloseWait: return "CLOSE_WAIT";
+    case TcpState::kLastAck: return "LAST_ACK";
+    case TcpState::kClosing: return "CLOSING";
+    case TcpState::kTimeWait: return "TIME_WAIT";
+  }
+  return "?";
+}
+
+std::int64_t TcpSocket::Send(std::span<const std::uint8_t> data) {
+  if (reset_) {
+    return ukarch::Raw(ukarch::Status::kConnReset);
+  }
+  if (state_ != TcpState::kEstablished && state_ != TcpState::kCloseWait &&
+      state_ != TcpState::kSynSent && state_ != TcpState::kSynRcvd) {
+    return ukarch::Raw(ukarch::Status::kPipe);
+  }
+  if (fin_queued_) {
+    return ukarch::Raw(ukarch::Status::kPipe);
+  }
+  std::size_t space = kSendBufCap - send_buf_.size();
+  std::size_t n = data.size() < space ? data.size() : space;
+  send_buf_.insert(send_buf_.end(), data.begin(), data.begin() + static_cast<std::ptrdiff_t>(n));
+  Output();
+  return static_cast<std::int64_t>(n);
+}
+
+std::int64_t TcpSocket::Recv(std::span<std::uint8_t> out) {
+  if (reset_) {
+    return ukarch::Raw(ukarch::Status::kConnReset);
+  }
+  if (recv_buf_.empty()) {
+    if (fin_received_) {
+      return 0;  // orderly EOF
+    }
+    return ukarch::Raw(ukarch::Status::kAgain);
+  }
+  bool was_zero_window = AdvertisedWindow() == 0;
+  std::size_t n = out.size() < recv_buf_.size() ? out.size() : recv_buf_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = recv_buf_.front();
+    recv_buf_.pop_front();
+  }
+  if (was_zero_window && AdvertisedWindow() > 0 && state_ == TcpState::kEstablished) {
+    // Window update so the stalled sender resumes.
+    EmitSegment(kTcpAck, snd_nxt_, {});
+  }
+  return static_cast<std::int64_t>(n);
+}
+
+void TcpSocket::Close() {
+  switch (state_) {
+    case TcpState::kEstablished:
+    case TcpState::kSynRcvd:
+      fin_queued_ = true;
+      EnterState(TcpState::kFinWait1);
+      Output();
+      break;
+    case TcpState::kCloseWait:
+      fin_queued_ = true;
+      EnterState(TcpState::kLastAck);
+      Output();
+      break;
+    case TcpState::kSynSent:
+    case TcpState::kListen:
+      EnterState(TcpState::kClosed);
+      break;
+    default:
+      break;
+  }
+}
+
+void TcpSocket::EmitSegment(std::uint8_t flags, std::uint32_t seq,
+                            std::span<const std::uint8_t> payload) {
+  TcpHeader hdr;
+  hdr.src_port = local_port_;
+  hdr.dst_port = remote_port_;
+  hdr.seq = seq;
+  hdr.ack = rcv_nxt_;
+  hdr.flags = flags;
+  hdr.window = AdvertisedWindow();
+  std::vector<std::uint8_t> segment(kTcpHdrBytes + payload.size());
+  if (!payload.empty()) {
+    std::memcpy(segment.data() + kTcpHdrBytes, payload.data(), payload.size());
+  }
+  hdr.Serialize(segment.data(), netif_->ip(), remote_ip_, payload);
+  ++tcp_stats_.segments_sent;
+  netif_->SendIp(remote_ip_, kIpProtoTcp, segment);
+  last_send_cycles_ = stack_->clock()->cycles();
+}
+
+void TcpSocket::Output() {
+  if (state_ == TcpState::kSynSent || state_ == TcpState::kSynRcvd ||
+      state_ == TcpState::kListen || state_ == TcpState::kClosed) {
+    return;  // handshake segments are emitted by the state machine
+  }
+  // Bytes in flight and window-limited budget.
+  std::uint32_t in_flight = snd_nxt_ - snd_una_;
+  std::uint32_t unsent =
+      static_cast<std::uint32_t>(send_buf_.size()) - in_flight;
+  while (unsent > 0 && in_flight < snd_wnd_) {
+    std::uint32_t budget = snd_wnd_ - in_flight;
+    std::uint32_t take = unsent < budget ? unsent : budget;
+    if (take > kMss) {
+      take = kMss;
+    }
+    // Copy the segment payload out of the deque window.
+    std::vector<std::uint8_t> payload(take);
+    for (std::uint32_t i = 0; i < take; ++i) {
+      payload[i] = send_buf_[in_flight + i];
+    }
+    std::uint8_t flags = kTcpAck;
+    if (take == unsent) {
+      flags |= kTcpPsh;
+    }
+    EmitSegment(flags, snd_nxt_, payload);
+    snd_nxt_ += take;
+    in_flight += take;
+    unsent -= take;
+  }
+  // Flush a queued FIN once all data is out.
+  if (fin_queued_ && !fin_sent_ && unsent == 0) {
+    EmitSegment(kTcpFin | kTcpAck, snd_nxt_, {});
+    snd_nxt_ += 1;  // FIN consumes a sequence number
+    fin_sent_ = true;
+  }
+}
+
+void TcpSocket::CheckTimer() {
+  bool has_unacked = SeqLt(snd_una_, snd_nxt_);
+  if (!has_unacked) {
+    return;
+  }
+  std::uint64_t now = stack_->clock()->cycles();
+  if (now - last_send_cycles_ < stack_->rto_cycles) {
+    return;
+  }
+  // Retransmit from snd_una_ (go-back-N, one window).
+  ++tcp_stats_.retransmissions;
+  std::uint32_t in_flight = snd_nxt_ - snd_una_;
+  std::uint32_t data_in_flight =
+      in_flight - ((fin_sent_ && in_flight > 0) ? 1u : 0u);
+  if (data_in_flight > send_buf_.size()) {
+    data_in_flight = static_cast<std::uint32_t>(send_buf_.size());
+  }
+  std::uint32_t off = 0;
+  std::uint32_t seq = snd_una_;
+  if (data_in_flight == 0 && fin_sent_) {
+    EmitSegment(kTcpFin | kTcpAck, seq, {});
+    return;
+  }
+  while (off < data_in_flight) {
+    std::uint32_t take = data_in_flight - off;
+    if (take > kMss) {
+      take = kMss;
+    }
+    std::vector<std::uint8_t> payload(take);
+    for (std::uint32_t i = 0; i < take; ++i) {
+      payload[i] = send_buf_[off + i];
+    }
+    EmitSegment(kTcpAck, seq, payload);
+    off += take;
+    seq += take;
+  }
+}
+
+void TcpSocket::OnSegment(const TcpHeader& hdr, std::span<const std::uint8_t> payload) {
+  ++tcp_stats_.segments_received;
+  if ((hdr.flags & kTcpRst) != 0) {
+    reset_ = true;
+    EnterState(TcpState::kClosed);
+    return;
+  }
+
+  // --- handshake states ---
+  if (state_ == TcpState::kSynSent) {
+    if ((hdr.flags & (kTcpSyn | kTcpAck)) == (kTcpSyn | kTcpAck) &&
+        hdr.ack == snd_nxt_) {
+      rcv_nxt_ = hdr.seq + 1;
+      snd_una_ = hdr.ack;
+      snd_wnd_ = hdr.window;
+      EnterState(TcpState::kEstablished);
+      EmitSegment(kTcpAck, snd_nxt_, {});
+      Output();
+    }
+    return;
+  }
+  if (state_ == TcpState::kSynRcvd) {
+    if ((hdr.flags & kTcpAck) != 0 && hdr.ack == snd_nxt_) {
+      snd_una_ = hdr.ack;
+      snd_wnd_ = hdr.window;
+      EnterState(TcpState::kEstablished);
+      stack_->NotifyAccepted(this);
+      // Fall through: the ACK may carry data.
+    } else {
+      return;
+    }
+  }
+
+  // --- ACK processing ---
+  if ((hdr.flags & kTcpAck) != 0) {
+    if (SeqLt(snd_una_, hdr.ack) && SeqLe(hdr.ack, snd_nxt_)) {
+      std::uint32_t acked = hdr.ack - snd_una_;
+      std::uint32_t data_acked = acked;
+      // FIN occupies the last sequence slot.
+      if (fin_sent_ && hdr.ack == snd_nxt_) {
+        data_acked -= 1;
+      }
+      for (std::uint32_t i = 0; i < data_acked && !send_buf_.empty(); ++i) {
+        send_buf_.pop_front();
+      }
+      snd_una_ = hdr.ack;
+      dup_ack_count_ = 0;
+      // FIN fully acknowledged: advance teardown.
+      if (fin_sent_ && snd_una_ == snd_nxt_) {
+        if (state_ == TcpState::kFinWait1) {
+          EnterState(TcpState::kFinWait2);
+        } else if (state_ == TcpState::kLastAck) {
+          EnterState(TcpState::kClosed);
+          stack_->RemoveConnection(this);
+        } else if (state_ == TcpState::kClosing) {
+          EnterState(TcpState::kTimeWait);
+          stack_->RemoveConnection(this);
+        }
+      }
+    } else if (hdr.ack == snd_una_ && SeqLt(snd_una_, snd_nxt_) && payload.empty()) {
+      ++tcp_stats_.dup_acks;
+      if (++dup_ack_count_ >= 3) {
+        dup_ack_count_ = 0;
+        ++tcp_stats_.retransmissions;
+        // Fast retransmit of the first unacked segment.
+        std::uint32_t take = snd_nxt_ - snd_una_;
+        bool fin_only = fin_sent_ && take == 1 && send_buf_.empty();
+        if (fin_only) {
+          EmitSegment(kTcpFin | kTcpAck, snd_una_, {});
+        } else {
+          if (take > kMss) {
+            take = kMss;
+          }
+          if (take > send_buf_.size()) {
+            take = static_cast<std::uint32_t>(send_buf_.size());
+          }
+          std::vector<std::uint8_t> seg(take);
+          for (std::uint32_t i = 0; i < take; ++i) {
+            seg[i] = send_buf_[i];
+          }
+          EmitSegment(kTcpAck, snd_una_, seg);
+        }
+      }
+    }
+    snd_wnd_ = hdr.window;
+  }
+
+  // --- payload ---
+  bool advanced = false;
+  if (!payload.empty()) {
+    if (hdr.seq == rcv_nxt_) {
+      std::size_t space = kRecvBufCap - recv_buf_.size();
+      std::size_t n = payload.size() < space ? payload.size() : space;
+      recv_buf_.insert(recv_buf_.end(), payload.begin(),
+                       payload.begin() + static_cast<std::ptrdiff_t>(n));
+      rcv_nxt_ += static_cast<std::uint32_t>(n);
+      advanced = true;
+    } else if (SeqLt(hdr.seq, rcv_nxt_)) {
+      // Old retransmission; re-ACK so the peer advances.
+      advanced = true;
+    } else {
+      ++tcp_stats_.out_of_order_dropped;
+      advanced = true;  // send dup ACK to trigger fast retransmit
+    }
+  }
+
+  // --- FIN ---
+  if ((hdr.flags & kTcpFin) != 0 && hdr.seq == rcv_nxt_) {
+    rcv_nxt_ += 1;
+    fin_received_ = true;
+    advanced = true;
+    if (state_ == TcpState::kEstablished) {
+      EnterState(TcpState::kCloseWait);
+    } else if (state_ == TcpState::kFinWait1) {
+      EnterState(TcpState::kClosing);
+    } else if (state_ == TcpState::kFinWait2) {
+      EnterState(TcpState::kTimeWait);
+      EmitSegment(kTcpAck, snd_nxt_, {});
+      stack_->RemoveConnection(this);
+      return;
+    }
+  }
+
+  if (advanced) {
+    EmitSegment(kTcpAck, snd_nxt_, {});
+  }
+  Output();
+}
+
+}  // namespace uknet

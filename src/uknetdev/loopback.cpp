@@ -1,0 +1,84 @@
+#include "uknetdev/loopback.h"
+
+#include <cstring>
+
+namespace uknetdev {
+
+ukarch::Status Loopback::RxQueueSetup(std::uint16_t queue, const RxQueueConf& conf) {
+  if (queue != 0 || conf.buffer_pool == nullptr) {
+    return ukarch::Status::kInval;
+  }
+  rx_pool_ = conf.buffer_pool;
+  rx_intr_handler_ = conf.intr_handler;
+  return ukarch::Status::kOk;
+}
+
+ukarch::Status Loopback::Start() {
+  if (rx_pool_ == nullptr) {
+    return ukarch::Status::kInval;
+  }
+  started_ = true;
+  return ukarch::Status::kOk;
+}
+
+int Loopback::TxBurst(std::uint16_t queue, NetBuf** pkt, std::uint16_t* cnt) {
+  if (!started_ || queue != 0) {
+    *cnt = 0;
+    return kStatusUnderrun;
+  }
+  std::uint16_t sent = 0;
+  for (; sent < *cnt; ++sent) {
+    NetBuf* src = pkt[sent];
+    NetBuf* dst = rx_pool_->Alloc();
+    if (dst == nullptr || dst->capacity - dst->headroom < src->len) {
+      if (dst != nullptr) {
+        rx_pool_->Free(dst);
+      }
+      ++stats_.tx_drops;
+      break;
+    }
+    const std::byte* from = src->Data(*mem_);
+    std::byte* to = mem_->At(dst->data_gpa(), src->len);
+    std::memcpy(to, from, src->len);
+    dst->len = src->len;
+    rx_queue_.push_back(dst);
+    stats_.tx_bytes += src->len;
+    ++stats_.tx_packets;
+    if (src->pool != nullptr) {
+      src->pool->Free(src);
+    }
+  }
+  *cnt = sent;
+  if (sent > 0 && intr_enabled_ && intr_armed_) {
+    intr_armed_ = false;
+    ++stats_.rx_interrupts;
+    if (rx_intr_handler_) {
+      rx_intr_handler_(0);
+    }
+  }
+  return (sent > 0 ? kStatusSuccess : 0) | kStatusMore;
+}
+
+int Loopback::RxBurst(std::uint16_t queue, NetBuf** pkt, std::uint16_t* cnt) {
+  if (!started_ || queue != 0) {
+    *cnt = 0;
+    return kStatusUnderrun;
+  }
+  std::uint16_t got = 0;
+  while (got < *cnt && !rx_queue_.empty()) {
+    pkt[got++] = rx_queue_.front();
+    rx_queue_.pop_front();
+    stats_.rx_bytes += pkt[got - 1]->len;
+    ++stats_.rx_packets;
+  }
+  *cnt = got;
+  int flags = got > 0 ? kStatusSuccess : 0;
+  if (!rx_queue_.empty()) {
+    flags |= kStatusMore;
+  } else if (intr_enabled_) {
+    intr_armed_ = true;
+  }
+  return flags;
+}
+
+}  // namespace uknetdev

@@ -1,0 +1,61 @@
+// uknetdev/loopback.h - loopback netdev: TX burst becomes RX burst.
+//
+// Used by single-image tests and by server+client colocated setups. Frames
+// are copied into buffers from the RX pool so ownership semantics match real
+// drivers exactly.
+#ifndef UKNETDEV_LOOPBACK_H_
+#define UKNETDEV_LOOPBACK_H_
+
+#include <deque>
+
+#include "uknetdev/netdev.h"
+#include "ukplat/memregion.h"
+
+namespace uknetdev {
+
+class Loopback final : public NetDev {
+ public:
+  explicit Loopback(ukplat::MemRegion* mem, MacAddr mac = MacAddr{{2, 0, 0, 0, 0, 1}})
+      : mem_(mem), mac_(mac) {}
+
+  const char* name() const override { return "loopback"; }
+  DevInfo Info() const override { return DevInfo{}; }
+  MacAddr mac() const override { return mac_; }
+
+  ukarch::Status Configure(const DevConf&) override { return ukarch::Status::kOk; }
+  ukarch::Status TxQueueSetup(std::uint16_t, const TxQueueConf&) override {
+    return ukarch::Status::kOk;
+  }
+  ukarch::Status RxQueueSetup(std::uint16_t queue, const RxQueueConf& conf) override;
+  ukarch::Status Start() override;
+
+  int TxBurst(std::uint16_t queue, NetBuf** pkt, std::uint16_t* cnt) override;
+  int RxBurst(std::uint16_t queue, NetBuf** pkt, std::uint16_t* cnt) override;
+
+  ukarch::Status RxIntrEnable(std::uint16_t) override {
+    intr_enabled_ = true;
+    intr_armed_ = true;
+    return ukarch::Status::kOk;
+  }
+  ukarch::Status RxIntrDisable(std::uint16_t) override {
+    intr_enabled_ = false;
+    return ukarch::Status::kOk;
+  }
+
+  const Stats& stats() const override { return stats_; }
+
+ private:
+  ukplat::MemRegion* mem_;
+  MacAddr mac_;
+  NetBufPool* rx_pool_ = nullptr;
+  std::function<void(std::uint16_t)> rx_intr_handler_;
+  std::deque<NetBuf*> rx_queue_;
+  bool started_ = false;
+  bool intr_enabled_ = false;
+  bool intr_armed_ = false;
+  Stats stats_{};
+};
+
+}  // namespace uknetdev
+
+#endif  // UKNETDEV_LOOPBACK_H_

@@ -1,0 +1,58 @@
+#include "uknetdev/netbuf.h"
+
+namespace uknetdev {
+
+std::unique_ptr<NetBufPool> NetBufPool::Create(ukalloc::Allocator* alloc,
+                                               ukplat::MemRegion* mem, std::uint32_t count,
+                                               std::uint32_t buf_size,
+                                               std::uint32_t default_headroom) {
+  auto pool = std::unique_ptr<NetBufPool>(
+      new NetBufPool(alloc, count, buf_size, default_headroom));
+  pool->backing_ = alloc->Memalign(64, static_cast<std::size_t>(count) * buf_size);
+  if (pool->backing_ == nullptr) {
+    return nullptr;
+  }
+  std::uint64_t base_gpa = mem->GpaOf(pool->backing_);
+  if (base_gpa == ukplat::MemRegion::kBadGpa) {
+    alloc->Free(pool->backing_);
+    return nullptr;
+  }
+  pool->bufs_.resize(count);
+  pool->free_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    NetBuf& nb = pool->bufs_[i];
+    nb.gpa = base_gpa + static_cast<std::uint64_t>(i) * buf_size;
+    nb.capacity = buf_size;
+    nb.headroom = default_headroom;
+    nb.len = 0;
+    nb.pool = pool.get();
+    pool->free_.push_back(&nb);
+  }
+  return pool;
+}
+
+NetBufPool::~NetBufPool() {
+  if (backing_ != nullptr) {
+    alloc_->Free(backing_);
+  }
+}
+
+NetBuf* NetBufPool::Alloc() {
+  if (free_.empty()) {
+    return nullptr;
+  }
+  NetBuf* nb = free_.back();
+  free_.pop_back();
+  nb->headroom = default_headroom_;
+  nb->len = 0;
+  nb->priv = nullptr;
+  return nb;
+}
+
+void NetBufPool::Free(NetBuf* nb) {
+  if (nb != nullptr && nb->pool == this) {
+    free_.push_back(nb);
+  }
+}
+
+}  // namespace uknetdev

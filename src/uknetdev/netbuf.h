@@ -1,0 +1,97 @@
+// uknetdev/netbuf.h - uk_netbuf: the packet buffer wrapper of §3.1.
+//
+// Key design point from the paper: "neither the driver nor the API manage
+// allocations" — the application owns packet memory. NetBuf is only metadata
+// (address, headroom, length) around a buffer the application allocated;
+// NetBufPool is the pre-allocated pool performance-critical workloads use,
+// while memory-frugal apps can wrap one-off heap allocations.
+#ifndef UKNETDEV_NETBUF_H_
+#define UKNETDEV_NETBUF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ukalloc/allocator.h"
+#include "ukplat/memregion.h"
+
+namespace uknetdev {
+
+class NetBufPool;
+
+struct NetBuf {
+  std::uint64_t gpa = 0;        // buffer start (guest-physical)
+  std::uint32_t capacity = 0;   // total buffer bytes
+  std::uint32_t headroom = 0;   // offset where payload starts
+  std::uint32_t len = 0;        // payload bytes
+  NetBufPool* pool = nullptr;   // owner; nullptr for caller-managed buffers
+  void* priv = nullptr;         // application scratch (paper: meta information)
+
+  std::uint64_t data_gpa() const { return gpa + headroom; }
+  std::uint32_t tailroom() const { return capacity - headroom - len; }
+
+  std::byte* Data(ukplat::MemRegion& mem) { return mem.At(data_gpa(), len); }
+  const std::byte* Data(const ukplat::MemRegion& mem) const {
+    return mem.At(data_gpa(), len);
+  }
+
+  // Prepends |n| bytes by consuming headroom (returns false if none left).
+  // This is how protocol layers add headers without copying.
+  bool Push(std::uint32_t n) {
+    if (headroom < n) {
+      return false;
+    }
+    headroom -= n;
+    len += n;
+    return true;
+  }
+  // Strips |n| bytes off the front (header consumption on RX).
+  bool Pull(std::uint32_t n) {
+    if (len < n) {
+      return false;
+    }
+    headroom += n;
+    len -= n;
+    return true;
+  }
+};
+
+// Fixed-size pool of netbufs whose data area is allocated once from the
+// application's allocator (which itself lives in guest RAM, so buffers have
+// valid guest-physical addresses).
+class NetBufPool {
+ public:
+  // Returns nullptr on allocation failure (pool stays unusable but safe).
+  static std::unique_ptr<NetBufPool> Create(ukalloc::Allocator* alloc,
+                                            ukplat::MemRegion* mem, std::uint32_t count,
+                                            std::uint32_t buf_size,
+                                            std::uint32_t default_headroom = 64);
+  ~NetBufPool();
+
+  NetBufPool(const NetBufPool&) = delete;
+  NetBufPool& operator=(const NetBufPool&) = delete;
+
+  // O(1) alloc/free; Alloc resets headroom/len to defaults.
+  NetBuf* Alloc();
+  void Free(NetBuf* nb);
+
+  std::uint32_t capacity() const { return count_; }
+  std::uint32_t available() const { return static_cast<std::uint32_t>(free_.size()); }
+  std::uint32_t buf_size() const { return buf_size_; }
+
+ private:
+  NetBufPool(ukalloc::Allocator* alloc, std::uint32_t count, std::uint32_t buf_size,
+             std::uint32_t headroom)
+      : alloc_(alloc), count_(count), buf_size_(buf_size), default_headroom_(headroom) {}
+
+  ukalloc::Allocator* alloc_;
+  std::uint32_t count_;
+  std::uint32_t buf_size_;
+  std::uint32_t default_headroom_;
+  void* backing_ = nullptr;  // single slab for all buffers
+  std::vector<NetBuf> bufs_;
+  std::vector<NetBuf*> free_;
+};
+
+}  // namespace uknetdev
+
+#endif  // UKNETDEV_NETBUF_H_

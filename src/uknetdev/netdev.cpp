@@ -1,0 +1,3 @@
+#include "uknetdev/netdev.h"
+
+// Interface-only translation unit; anchors the vtable.

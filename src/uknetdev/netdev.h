@@ -1,0 +1,96 @@
+// uknetdev/netdev.h - the uknetdev API (§3.1), signature-faithful.
+//
+// The paper's core networking API: burst-based TX/RX where the caller hands
+// arrays of uk_netbufs and |cnt| doubles as in/out parameter; queues operate
+// in polling mode by default with an opt-in interrupt mode per queue whose
+// handler re-arms only when the queue runs dry (the interrupt-storm-avoidance
+// design described at the end of §3.1). Drivers register through this
+// interface and are configured entirely by the application: number of queues,
+// buffer pools, offloads.
+#ifndef UKNETDEV_NETDEV_H_
+#define UKNETDEV_NETDEV_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "ukarch/status.h"
+#include "uknetdev/netbuf.h"
+
+namespace uknetdev {
+
+struct MacAddr {
+  std::uint8_t bytes[6] = {0};
+  bool operator==(const MacAddr&) const = default;
+};
+
+// Device capabilities the application queries before configuring (the paper:
+// "API interfaces for applications to provide necessary information ... so
+// that the application code can specialize").
+struct DevInfo {
+  std::uint16_t max_rx_queues = 1;
+  std::uint16_t max_tx_queues = 1;
+  std::uint32_t max_mtu = 1500;
+  std::uint16_t tx_queue_depth = 256;
+  std::uint16_t rx_queue_depth = 256;
+};
+
+struct DevConf {
+  std::uint16_t nb_rx_queues = 1;
+  std::uint16_t nb_tx_queues = 1;
+};
+
+struct RxQueueConf {
+  NetBufPool* buffer_pool = nullptr;  // driver refills the RX ring from here
+  std::function<void(std::uint16_t queue)> intr_handler;  // optional
+};
+
+struct TxQueueConf {};
+
+// Return flags from the burst calls (mirrors UK_NETDEV_STATUS_*).
+inline constexpr int kStatusSuccess = 1 << 0;   // operation made progress
+inline constexpr int kStatusMore = 1 << 1;      // room/packets likely remain
+inline constexpr int kStatusUnderrun = 1 << 2;  // ran out of ring/buffers
+
+class NetDev {
+ public:
+  virtual ~NetDev() = default;
+
+  virtual const char* name() const = 0;
+  virtual DevInfo Info() const = 0;
+  virtual MacAddr mac() const = 0;
+
+  virtual ukarch::Status Configure(const DevConf& conf) = 0;
+  virtual ukarch::Status TxQueueSetup(std::uint16_t queue, const TxQueueConf& conf) = 0;
+  virtual ukarch::Status RxQueueSetup(std::uint16_t queue, const RxQueueConf& conf) = 0;
+  virtual ukarch::Status Start() = 0;
+
+  // Transmit burst: tries to enqueue pkt[0..*cnt); on return, *cnt holds the
+  // number actually queued (ownership of those passes to the driver, which
+  // returns them to their pool on completion). Returns status flags.
+  virtual int TxBurst(std::uint16_t queue, NetBuf** pkt, std::uint16_t* cnt) = 0;
+
+  // Receive burst: fills pkt[0..*cnt) with received buffers (ownership moves
+  // to the caller); *cnt holds the number received. Returns status flags.
+  virtual int RxBurst(std::uint16_t queue, NetBuf** pkt, std::uint16_t* cnt) = 0;
+
+  // Interrupt mode (per queue). When enabled, the queue's handler fires once
+  // the next packet arrives after the queue was drained; the driver disarms
+  // the line until RxBurst observes empty again (§3.1's storm avoidance).
+  virtual ukarch::Status RxIntrEnable(std::uint16_t queue) = 0;
+  virtual ukarch::Status RxIntrDisable(std::uint16_t queue) = 0;
+
+  struct Stats {
+    std::uint64_t tx_packets = 0;
+    std::uint64_t tx_bytes = 0;
+    std::uint64_t tx_drops = 0;
+    std::uint64_t rx_packets = 0;
+    std::uint64_t rx_bytes = 0;
+    std::uint64_t rx_drops = 0;
+    std::uint64_t rx_interrupts = 0;
+  };
+  virtual const Stats& stats() const = 0;
+};
+
+}  // namespace uknetdev
+
+#endif  // UKNETDEV_NETDEV_H_

@@ -1,0 +1,270 @@
+#include "uknetdev/virtio_net.h"
+
+#include <cstring>
+
+namespace uknetdev {
+
+VirtioNet::VirtioNet(ukplat::MemRegion* mem, ukplat::Clock* clock, ukplat::Wire* wire,
+                     Config config)
+    : mem_(mem), clock_(clock), wire_(wire), config_(config) {}
+
+DevInfo VirtioNet::Info() const {
+  DevInfo info;
+  info.max_rx_queues = 1;
+  info.max_tx_queues = 1;
+  info.max_mtu = static_cast<std::uint32_t>(wire_->config().mtu);
+  info.tx_queue_depth = config_.queue_size;
+  info.rx_queue_depth = config_.queue_size;
+  return info;
+}
+
+ukarch::Status VirtioNet::Configure(const DevConf& conf) {
+  if (conf.nb_rx_queues > 1 || conf.nb_tx_queues > 1) {
+    return ukarch::Status::kNotSup;  // single queue pair, like virtio-net v1 base
+  }
+  return ukarch::Status::kOk;
+}
+
+ukarch::Status VirtioNet::TxQueueSetup(std::uint16_t queue, const TxQueueConf&) {
+  if (queue != 0) {
+    return ukarch::Status::kInval;
+  }
+  std::uint64_t gpa = mem_->Carve(ukplat::Virtqueue::FootprintBytes(config_.queue_size), 16);
+  if (gpa == ukplat::MemRegion::kBadGpa) {
+    return ukarch::Status::kNoMem;
+  }
+  txq_ = std::make_unique<ukplat::Virtqueue>(mem_, gpa, config_.queue_size);
+  return ukarch::Status::kOk;
+}
+
+ukarch::Status VirtioNet::RxQueueSetup(std::uint16_t queue, const RxQueueConf& conf) {
+  if (queue != 0) {
+    return ukarch::Status::kInval;
+  }
+  if (conf.buffer_pool == nullptr) {
+    return ukarch::Status::kInval;  // the application must provide memory (§3.1)
+  }
+  std::uint64_t gpa = mem_->Carve(ukplat::Virtqueue::FootprintBytes(config_.queue_size), 16);
+  if (gpa == ukplat::MemRegion::kBadGpa) {
+    return ukarch::Status::kNoMem;
+  }
+  rxq_ = std::make_unique<ukplat::Virtqueue>(mem_, gpa, config_.queue_size);
+  rx_pool_ = conf.buffer_pool;
+  rx_intr_handler_ = conf.intr_handler;
+  return ukarch::Status::kOk;
+}
+
+ukarch::Status VirtioNet::Start() {
+  if (txq_ == nullptr || rxq_ == nullptr) {
+    return ukarch::Status::kInval;
+  }
+  started_ = true;
+  FillRxRing();
+  return ukarch::Status::kOk;
+}
+
+void VirtioNet::FillRxRing() {
+  // Keep the RX ring stocked with writable buffers from the application pool.
+  while (rxq_->NumFree() > 0) {
+    NetBuf* nb = rx_pool_->Alloc();
+    if (nb == nullptr) {
+      break;  // application pool exhausted; counted on actual drops
+    }
+    // The device writes virtio_net_hdr + frame at the buffer start; reserve
+    // the full capacity. Headroom bookkeeping happens at completion.
+    nb->headroom = 0;
+    nb->len = 0;
+    ukplat::Virtqueue::Segment seg{nb->gpa, nb->capacity, true};
+    if (!rxq_->Enqueue(std::span(&seg, 1), nb)) {
+      rx_pool_->Free(nb);
+      break;
+    }
+  }
+  rxq_->MarkKicked();  // RX refill kicks are free on both backends (posted idly)
+}
+
+int VirtioNet::TxBurst(std::uint16_t queue, NetBuf** pkt, std::uint16_t* cnt) {
+  if (!started_ || queue != 0) {
+    *cnt = 0;
+    return kStatusUnderrun;
+  }
+  const std::uint16_t requested = *cnt;
+  std::uint16_t queued = 0;
+  for (; queued < requested; ++queued) {
+    NetBuf* nb = pkt[queued];
+    if (nb->len > wire_->config().mtu + 14) {
+      ++stats_.tx_drops;
+      break;
+    }
+    // Prepend the virtio_net_hdr in buffer headroom (no copy).
+    if (!nb->Push(kVirtioHdrBytes)) {
+      ++stats_.tx_drops;
+      break;
+    }
+    std::byte* hdr = mem_->At(nb->data_gpa(), kVirtioHdrBytes);
+    if (hdr != nullptr) {
+      std::memset(hdr, 0, kVirtioHdrBytes);  // no offloads
+    }
+    ukplat::Virtqueue::Segment seg{nb->data_gpa(), nb->len, false};
+    if (!txq_->Enqueue(std::span(&seg, 1), nb)) {
+      nb->Pull(kVirtioHdrBytes);  // undo; caller keeps ownership
+      break;
+    }
+  }
+  *cnt = queued;
+
+  if (queued > 0 && config_.backend == VirtioBackend::kVhostNet && txq_->NeedsKick()) {
+    // Notify the vhost thread: VM exit + eventfd signal.
+    clock_->Charge(clock_->model().vm_exit + clock_->model().vhost_kick);
+    txq_->MarkKicked();
+    ++kicks_;
+  } else if (config_.backend == VirtioBackend::kVhostUser) {
+    txq_->MarkKicked();  // poller needs no notification
+  }
+  BackendPoll();
+
+  // Reap TX completions: buffers go back to their pools.
+  while (auto done = txq_->DequeueCompletion()) {
+    auto* nb = static_cast<NetBuf*>(done->cookie);
+    if (nb->pool != nullptr) {
+      nb->pool->Free(nb);
+    }
+  }
+
+  int flags = queued > 0 ? kStatusSuccess : 0;
+  if (txq_->NumFree() > 0) {
+    flags |= kStatusMore;
+  }
+  if (queued < requested) {
+    flags |= kStatusUnderrun;
+  }
+  return flags;
+}
+
+void VirtioNet::BackendPoll() {
+  if (!started_) {
+    return;
+  }
+  const ukplat::CostModel& m = clock_->model();
+  std::uint64_t per_pkt = config_.backend == VirtioBackend::kVhostNet
+                              ? m.vhost_net_per_packet
+                              : m.vhost_user_per_packet;
+
+  // TX direction: guest ring -> wire.
+  while (auto chain = txq_->DevicePop()) {
+    const auto& seg = chain->segments[0];
+    const std::byte* bytes = mem_->At(seg.gpa, seg.len);
+    if (bytes != nullptr && seg.len > kVirtioHdrBytes) {
+      std::vector<std::uint8_t> frame(
+          reinterpret_cast<const std::uint8_t*>(bytes) + kVirtioHdrBytes,
+          reinterpret_cast<const std::uint8_t*>(bytes) + seg.len);
+      clock_->Charge(per_pkt);
+      clock_->ChargeCopy(frame.size());
+      if (wire_->Send(config_.wire_side, std::move(frame))) {
+        stats_.tx_bytes += seg.len - kVirtioHdrBytes;
+        ++stats_.tx_packets;
+      } else {
+        ++stats_.tx_drops;
+      }
+    }
+    txq_->DevicePush(chain->head, 0);
+  }
+
+  // RX direction: wire -> guest ring.
+  bool delivered = false;
+  while (wire_->Pending(config_.wire_side) > 0 && rxq_->DeviceHasWork()) {
+    auto chain = rxq_->DevicePop();
+    if (!chain.has_value()) {
+      break;
+    }
+    auto frame = wire_->Receive(config_.wire_side);
+    if (!frame.has_value()) {
+      rxq_->DevicePush(chain->head, 0);
+      break;
+    }
+    const auto& seg = chain->segments[0];
+    std::uint32_t total = kVirtioHdrBytes + static_cast<std::uint32_t>(frame->size());
+    if (total > seg.len) {
+      ++stats_.rx_drops;
+      rxq_->DevicePush(chain->head, 0);
+      continue;
+    }
+    std::byte* dst = mem_->At(seg.gpa, total);
+    std::memset(dst, 0, kVirtioHdrBytes);
+    std::memcpy(dst + kVirtioHdrBytes, frame->data(), frame->size());
+    clock_->Charge(per_pkt);
+    clock_->ChargeCopy(frame->size());
+    rxq_->DevicePush(chain->head, total);
+    delivered = true;
+  }
+  if (delivered) {
+    RaiseRxInterruptIfArmed();
+  }
+}
+
+void VirtioNet::RaiseRxInterruptIfArmed() {
+  if (intr_enabled_ && intr_armed_) {
+    intr_armed_ = false;  // line stays inactive until RxBurst drains the queue
+    clock_->Charge(clock_->model().irq_inject);
+    ++stats_.rx_interrupts;
+    if (rx_intr_handler_) {
+      rx_intr_handler_(0);
+    }
+  }
+}
+
+int VirtioNet::RxBurst(std::uint16_t queue, NetBuf** pkt, std::uint16_t* cnt) {
+  if (!started_ || queue != 0) {
+    *cnt = 0;
+    return kStatusUnderrun;
+  }
+  BackendPoll();
+  std::uint16_t got = 0;
+  while (got < *cnt) {
+    auto done = rxq_->DequeueCompletion();
+    if (!done.has_value()) {
+      break;
+    }
+    auto* nb = static_cast<NetBuf*>(done->cookie);
+    if (done->written <= kVirtioHdrBytes) {
+      rx_pool_->Free(nb);
+      continue;
+    }
+    nb->headroom = kVirtioHdrBytes;
+    nb->len = done->written - kVirtioHdrBytes;
+    stats_.rx_bytes += nb->len;
+    ++stats_.rx_packets;
+    pkt[got++] = nb;
+  }
+  *cnt = got;
+  FillRxRing();
+
+  int flags = got > 0 ? kStatusSuccess : 0;
+  bool more = rxq_->HasCompletions() || wire_->Pending(config_.wire_side) > 0;
+  if (more) {
+    flags |= kStatusMore;
+  } else if (intr_enabled_) {
+    intr_armed_ = true;  // queue drained: re-arm the line (§3.1)
+  }
+  return flags;
+}
+
+ukarch::Status VirtioNet::RxIntrEnable(std::uint16_t queue) {
+  if (queue != 0) {
+    return ukarch::Status::kInval;
+  }
+  intr_enabled_ = true;
+  intr_armed_ = true;
+  return ukarch::Status::kOk;
+}
+
+ukarch::Status VirtioNet::RxIntrDisable(std::uint16_t queue) {
+  if (queue != 0) {
+    return ukarch::Status::kInval;
+  }
+  intr_enabled_ = false;
+  intr_armed_ = false;
+  return ukarch::Status::kOk;
+}
+
+}  // namespace uknetdev

@@ -1,0 +1,4 @@
+#include "ukplat/clock.h"
+
+// Clock is fully inline; this TU anchors the library and keeps a home for
+// future out-of-line additions (e.g. tracing hooks).

@@ -1,0 +1,53 @@
+#include "ukplat/memregion.h"
+
+#include "ukarch/align.h"
+
+namespace ukplat {
+
+MemRegion::MemRegion(std::size_t bytes)
+    : mem_(new std::byte[bytes]()), size_(bytes) {}
+
+std::byte* MemRegion::At(std::uint64_t gpa, std::size_t len) {
+  if (gpa > size_ || len > size_ - gpa) {
+    return nullptr;
+  }
+  return mem_.get() + gpa;
+}
+
+const std::byte* MemRegion::At(std::uint64_t gpa, std::size_t len) const {
+  if (gpa > size_ || len > size_ - gpa) {
+    return nullptr;
+  }
+  return mem_.get() + gpa;
+}
+
+bool MemRegion::CopyIn(std::uint64_t gpa, std::span<const std::byte> src) {
+  std::byte* p = At(gpa, src.size());
+  if (p == nullptr) {
+    ++fault_count_;
+    return false;
+  }
+  std::memcpy(p, src.data(), src.size());
+  return true;
+}
+
+bool MemRegion::CopyOut(std::uint64_t gpa, std::span<std::byte> dst) const {
+  const std::byte* p = At(gpa, dst.size());
+  if (p == nullptr) {
+    ++fault_count_;
+    return false;
+  }
+  std::memcpy(dst.data(), p, dst.size());
+  return true;
+}
+
+std::uint64_t MemRegion::Carve(std::size_t bytes, std::size_t align) {
+  std::uint64_t base = ukarch::AlignUp(carve_brk_, align == 0 ? 1 : align);
+  if (base > size_ || bytes > size_ - base) {
+    return kBadGpa;
+  }
+  carve_brk_ = base + bytes;
+  return base;
+}
+
+}  // namespace ukplat

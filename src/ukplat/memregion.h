@@ -1,0 +1,95 @@
+// ukplat/memregion.h - guest-physical memory for a simulated unikernel.
+//
+// Each ukboot::Instance owns one contiguous MemRegion that plays the role of
+// guest RAM: allocators carve their heaps out of it, virtqueues place their
+// rings in it, and devices address buffers by guest-physical address (gpa =
+// offset into the region). Bounds are checked on every translation so driver
+// bugs surface as errors instead of host memory corruption.
+#ifndef UKPLAT_MEMREGION_H_
+#define UKPLAT_MEMREGION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+
+namespace ukplat {
+
+class MemRegion {
+ public:
+  // Creates a zero-initialized region of |bytes| guest RAM.
+  explicit MemRegion(std::size_t bytes);
+
+  MemRegion(const MemRegion&) = delete;
+  MemRegion& operator=(const MemRegion&) = delete;
+
+  std::size_t size() const { return size_; }
+
+  // Translates |gpa| into a host pointer valid for |len| bytes, or nullptr if
+  // the access would escape the region.
+  std::byte* At(std::uint64_t gpa, std::size_t len);
+  const std::byte* At(std::uint64_t gpa, std::size_t len) const;
+
+  // Typed little-endian accessors used by the virtqueue code. Out-of-bounds
+  // reads return T{}; out-of-bounds writes are dropped. Both are recorded in
+  // fault_count() so tests can assert no stray accesses happened.
+  template <typename T>
+  T Read(std::uint64_t gpa) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::byte* p = At(gpa, sizeof(T));
+    if (p == nullptr) {
+      ++fault_count_;
+      return T{};
+    }
+    T v;
+    std::memcpy(&v, p, sizeof(T));
+    return v;
+  }
+
+  template <typename T>
+  void Write(std::uint64_t gpa, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::byte* p = At(gpa, sizeof(T));
+    if (p == nullptr) {
+      ++fault_count_;
+      return;
+    }
+    std::memcpy(p, &v, sizeof(T));
+  }
+
+  // Bulk copies with bounds checking; return false (and count a fault) on OOB.
+  bool CopyIn(std::uint64_t gpa, std::span<const std::byte> src);
+  bool CopyOut(std::uint64_t gpa, std::span<std::byte> dst) const;
+
+  std::uint64_t fault_count() const { return fault_count_; }
+
+  // Reverse translation: gpa of a host pointer into this region, or kBadGpa
+  // when the pointer does not belong to the region. Lets allocations made
+  // from a heap that lives in guest RAM be handed to devices by address.
+  std::uint64_t GpaOf(const void* p) const {
+    auto* b = static_cast<const std::byte*>(p);
+    if (b < mem_.get() || b >= mem_.get() + size_) {
+      return kBadGpa;
+    }
+    return static_cast<std::uint64_t>(b - mem_.get());
+  }
+
+  // Simple bump carve-out used during early boot to place rings and heaps.
+  // Returns the gpa of an |align|-aligned block of |bytes|, or UINT64_MAX if
+  // the region is exhausted.
+  std::uint64_t Carve(std::size_t bytes, std::size_t align);
+  std::uint64_t carve_brk() const { return carve_brk_; }
+
+  static constexpr std::uint64_t kBadGpa = UINT64_MAX;
+
+ private:
+  std::unique_ptr<std::byte[]> mem_;
+  std::size_t size_;
+  std::uint64_t carve_brk_ = 0;
+  mutable std::uint64_t fault_count_ = 0;
+};
+
+}  // namespace ukplat
+
+#endif  // UKPLAT_MEMREGION_H_

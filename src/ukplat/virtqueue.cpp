@@ -1,0 +1,156 @@
+#include "ukplat/virtqueue.h"
+
+#include "ukarch/align.h"
+
+namespace ukplat {
+
+namespace {
+// Offsets within the avail/used structures.
+constexpr std::uint64_t kRingHdrBytes = 4;  // u16 flags + u16 idx
+}  // namespace
+
+std::size_t Virtqueue::FootprintBytes(std::uint16_t qsize) {
+  std::size_t desc = sizeof(VringDesc) * qsize;
+  std::size_t avail = kRingHdrBytes + 2ull * qsize + 2;   // + u16 used_event
+  std::size_t used = kRingHdrBytes + sizeof(VringUsedElem) * qsize + 2;
+  // The used ring starts on the next 4-byte boundary (spec requires 4-aligned).
+  return ukarch::AlignUp(desc + avail, 4) + used;
+}
+
+Virtqueue::Virtqueue(MemRegion* mem, std::uint64_t base_gpa, std::uint16_t qsize)
+    : mem_(mem), qsize_(qsize), cookies_(qsize, nullptr) {
+  desc_gpa_ = base_gpa;
+  avail_gpa_ = desc_gpa_ + sizeof(VringDesc) * qsize_;
+  used_gpa_ = ukarch::AlignUp(avail_gpa_ + kRingHdrBytes + 2ull * qsize_ + 2, 4);
+
+  // Thread all descriptors onto the free list via their |next| fields.
+  for (std::uint16_t i = 0; i < qsize_; ++i) {
+    VringDesc d{};
+    d.next = static_cast<std::uint16_t>(i + 1);
+    mem_->Write(DescGpa(i), d);
+  }
+  free_head_ = 0;
+  num_free_ = qsize_;
+  mem_->Write<std::uint16_t>(avail_gpa_ + 2, 0);  // avail->idx
+  mem_->Write<std::uint16_t>(used_gpa_ + 2, 0);   // used->idx
+}
+
+bool Virtqueue::Enqueue(std::span<const Segment> segments, void* cookie) {
+  if (segments.empty() || segments.size() > num_free_) {
+    return false;
+  }
+  // Claim descriptors off the free list, chaining them in order.
+  std::uint16_t head = free_head_;
+  std::uint16_t cur = head;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    VringDesc d = mem_->Read<VringDesc>(DescGpa(cur));
+    std::uint16_t next_free = d.next;
+    d.addr = segments[i].gpa;
+    d.len = segments[i].len;
+    d.flags = segments[i].device_writable ? kVringDescFWrite : 0;
+    if (i + 1 < segments.size()) {
+      d.flags |= kVringDescFNext;
+      d.next = next_free;
+    } else {
+      d.next = 0;
+      free_head_ = next_free;
+    }
+    mem_->Write(DescGpa(cur), d);
+    cur = next_free;
+  }
+  num_free_ = static_cast<std::uint16_t>(num_free_ - segments.size());
+  cookies_[head] = cookie;
+
+  // Publish the head in the avail ring, then bump avail->idx (release order on
+  // real hardware; the simulation is single-threaded per world).
+  std::uint16_t slot = static_cast<std::uint16_t>(avail_idx_shadow_ % qsize_);
+  mem_->Write<std::uint16_t>(avail_gpa_ + kRingHdrBytes + 2ull * slot, head);
+  ++avail_idx_shadow_;
+  mem_->Write<std::uint16_t>(avail_gpa_ + 2, avail_idx_shadow_);
+  return true;
+}
+
+std::optional<Virtqueue::Completion> Virtqueue::DequeueCompletion() {
+  std::uint16_t used_idx = mem_->Read<std::uint16_t>(used_gpa_ + 2);
+  if (used_last_seen_ == used_idx) {
+    return std::nullopt;
+  }
+  std::uint16_t slot = static_cast<std::uint16_t>(used_last_seen_ % qsize_);
+  auto elem = mem_->Read<VringUsedElem>(used_gpa_ + kRingHdrBytes + sizeof(VringUsedElem) * slot);
+  ++used_last_seen_;
+  if (elem.id >= qsize_) {
+    ++bad_chains_;
+    return std::nullopt;
+  }
+  Completion c{cookies_[elem.id], elem.len};
+  cookies_[elem.id] = nullptr;
+  FreeChain(static_cast<std::uint16_t>(elem.id));
+  return c;
+}
+
+void Virtqueue::FreeChain(std::uint16_t head) {
+  // Walk the chain to its tail, then splice it back onto the free list.
+  std::uint16_t cur = head;
+  std::uint16_t count = 1;
+  for (;;) {
+    VringDesc d = mem_->Read<VringDesc>(DescGpa(cur));
+    if ((d.flags & kVringDescFNext) == 0) {
+      d.next = free_head_;
+      mem_->Write(DescGpa(cur), d);
+      break;
+    }
+    cur = d.next;
+    if (++count > qsize_) {
+      ++bad_chains_;
+      return;  // corrupted chain; leak rather than loop forever
+    }
+  }
+  free_head_ = head;
+  num_free_ = static_cast<std::uint16_t>(num_free_ + count);
+}
+
+bool Virtqueue::DeviceHasWork() const {
+  return device_last_avail_ != mem_->Read<std::uint16_t>(avail_gpa_ + 2);
+}
+
+std::optional<Virtqueue::DeviceChain> Virtqueue::DevicePop() {
+  std::uint16_t avail_idx = mem_->Read<std::uint16_t>(avail_gpa_ + 2);
+  if (device_last_avail_ == avail_idx) {
+    return std::nullopt;
+  }
+  std::uint16_t slot = static_cast<std::uint16_t>(device_last_avail_ % qsize_);
+  std::uint16_t head = mem_->Read<std::uint16_t>(avail_gpa_ + kRingHdrBytes + 2ull * slot);
+  ++device_last_avail_;
+  if (head >= qsize_) {
+    ++bad_chains_;
+    return std::nullopt;
+  }
+
+  DeviceChain chain;
+  chain.head = head;
+  std::uint16_t cur = head;
+  std::uint16_t hops = 0;
+  for (;;) {
+    VringDesc d = mem_->Read<VringDesc>(DescGpa(cur));
+    chain.segments.push_back(Segment{d.addr, d.len, (d.flags & kVringDescFWrite) != 0});
+    if ((d.flags & kVringDescFNext) == 0) {
+      break;
+    }
+    cur = d.next;
+    if (cur >= qsize_ || ++hops > qsize_) {
+      ++bad_chains_;
+      return std::nullopt;
+    }
+  }
+  return chain;
+}
+
+void Virtqueue::DevicePush(std::uint16_t head, std::uint32_t written) {
+  std::uint16_t used_idx = mem_->Read<std::uint16_t>(used_gpa_ + 2);
+  std::uint16_t slot = static_cast<std::uint16_t>(used_idx % qsize_);
+  VringUsedElem elem{head, written};
+  mem_->Write(used_gpa_ + kRingHdrBytes + sizeof(VringUsedElem) * slot, elem);
+  mem_->Write<std::uint16_t>(used_gpa_ + 2, static_cast<std::uint16_t>(used_idx + 1));
+}
+
+}  // namespace ukplat

@@ -1,0 +1,39 @@
+#include "ukplat/wire.h"
+
+namespace ukplat {
+
+bool Wire::Send(int dir, std::vector<std::uint8_t> frame) {
+  ++send_seq_;
+  if (frame.size() > config_.mtu + 14 || q_[dir].size() >= config_.queue_depth) {
+    ++frames_dropped_;
+    return false;
+  }
+  if (config_.drop_rate > 0.0) {
+    auto period = static_cast<std::uint64_t>(1.0 / config_.drop_rate);
+    if (period != 0 && send_seq_ % period == 0) {
+      ++frames_dropped_;
+      return false;
+    }
+  }
+  // Serialization delay: bits / link rate, expressed in CPU cycles so that the
+  // virtual clock stays a single ledger. 10G, 3.6GHz -> ~2.9 cycles/byte.
+  const CostModel& m = clock_->model();
+  double ns = static_cast<double>(frame.size()) * 8.0 / m.link_gbps;
+  clock_->Charge(m.NsToCycles(ns));
+  bytes_sent_ += frame.size();
+  ++frames_sent_;
+  q_[dir].push_back(std::move(frame));
+  return true;
+}
+
+std::optional<std::vector<std::uint8_t>> Wire::Receive(int side) {
+  auto& q = q_[side == 1 ? 0 : 1];
+  if (q.empty()) {
+    return std::nullopt;
+  }
+  std::vector<std::uint8_t> f = std::move(q.front());
+  q.pop_front();
+  return f;
+}
+
+}  // namespace ukplat

@@ -1,0 +1,59 @@
+// ukplat/wire.h - point-to-point Ethernet fabric between two simulated NICs.
+//
+// Plays the role of the direct 10G cable between the two Shuttle boxes in the
+// paper's network experiments. Frames are real byte vectors; the wire charges
+// serialization delay from the cost model's link rate and enforces an MTU and
+// an optional queue depth (frames beyond it are dropped and counted, which the
+// TCP tests use to exercise retransmission).
+#ifndef UKPLAT_WIRE_H_
+#define UKPLAT_WIRE_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "ukplat/clock.h"
+
+namespace ukplat {
+
+class Wire {
+ public:
+  struct Config {
+    std::size_t mtu = 1500;          // payload bytes per frame (excl. 14B header)
+    std::size_t queue_depth = 1024;  // frames buffered per direction
+    double drop_rate = 0.0;          // deterministic 1-in-N drop if > 0 (N=1/rate)
+  };
+
+  explicit Wire(Clock* clock) : Wire(clock, Config{}) {}
+  Wire(Clock* clock, Config config) : clock_(clock), config_(config) {}
+
+  // Sends a frame in direction |dir| (0: A->B, 1: B->A). Returns false on drop
+  // (oversize or full queue).
+  bool Send(int dir, std::vector<std::uint8_t> frame);
+
+  // Receives the next frame arriving at side |side| (0 receives A->B traffic
+  // sent towards B... i.e. side is the *receiver*: side 1 reads dir-0 queue).
+  std::optional<std::vector<std::uint8_t>> Receive(int side);
+
+  std::size_t Pending(int side) const { return q_[side == 1 ? 0 : 1].size(); }
+
+  std::uint64_t frames_sent() const { return frames_sent_; }
+  std::uint64_t frames_dropped() const { return frames_dropped_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+  const Config& config() const { return config_; }
+
+ private:
+  Clock* clock_;
+  Config config_;
+  std::deque<std::vector<std::uint8_t>> q_[2];
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t send_seq_ = 0;
+};
+
+}  // namespace ukplat
+
+#endif  // UKPLAT_WIRE_H_

@@ -1,0 +1,153 @@
+#include "uksched/scheduler.h"
+
+namespace uksched {
+
+namespace {
+// makecontext() entries take int arguments; split/join the Thread pointer.
+Thread* JoinPtr(unsigned hi, unsigned lo) {
+  std::uintptr_t v = (static_cast<std::uintptr_t>(hi) << 32) | lo;
+  return reinterpret_cast<Thread*>(v);
+}
+}  // namespace
+
+Thread::Thread(Scheduler* sched, std::string name, std::function<void()> entry,
+               std::byte* stack, std::size_t stack_size)
+    : sched_(sched),
+      name_(std::move(name)),
+      entry_(std::move(entry)),
+      stack_(stack),
+      stack_size_(stack_size) {}
+
+void Thread::Trampoline(unsigned hi, unsigned lo) {
+  Thread* self = JoinPtr(hi, lo);
+  self->entry_();
+  self->sched_->Exit();
+}
+
+Scheduler::~Scheduler() {
+  for (auto& t : threads_) {
+    if (t->stack_ != nullptr) {
+      alloc_->Free(t->stack_);
+    }
+  }
+}
+
+Thread* Scheduler::CreateThread(std::string tname, std::function<void()> entry,
+                                std::size_t stack_size) {
+  auto* stack = static_cast<std::byte*>(alloc_->Memalign(16, stack_size));
+  if (stack == nullptr) {
+    return nullptr;
+  }
+  auto thread = std::make_unique<Thread>(this, std::move(tname), std::move(entry), stack,
+                                         stack_size);
+  Thread* t = thread.get();
+  t->id_ = next_id_++;
+
+  getcontext(&t->ctx_);
+  t->ctx_.uc_stack.ss_sp = stack;
+  t->ctx_.uc_stack.ss_size = stack_size;
+  t->ctx_.uc_link = &sched_ctx_;
+  auto addr = reinterpret_cast<std::uintptr_t>(t);
+  makecontext(&t->ctx_, reinterpret_cast<void (*)()>(&Thread::Trampoline), 2,
+              static_cast<unsigned>(addr >> 32), static_cast<unsigned>(addr & 0xffffffffu));
+
+  threads_.push_back(std::move(thread));
+  ++stats_.threads_created;
+  ++live_threads_;
+  Enqueue(t);
+  return t;
+}
+
+void Scheduler::Enqueue(Thread* t) {
+  t->state_ = ThreadState::kReady;
+  ready_.push_back(t);
+}
+
+std::size_t Scheduler::Run() {
+  while (!ready_.empty()) {
+    Thread* t = ready_.front();
+    ready_.pop_front();
+    SwitchTo(t);
+    ReapExited();
+  }
+  return live_threads_;
+}
+
+void Scheduler::SwitchTo(Thread* t) {
+  current_ = t;
+  t->state_ = ThreadState::kRunning;
+  t->slice_start_cycles_ = clock_->cycles();
+  ++stats_.context_switches;
+  swapcontext(&sched_ctx_, &t->ctx_);
+  current_ = nullptr;
+}
+
+void Scheduler::SwitchBack() { swapcontext(&current_->ctx_, &sched_ctx_); }
+
+void Scheduler::Yield() {
+  Thread* t = current_;
+  if (t == nullptr) {
+    return;  // not on a scheduler thread
+  }
+  ++t->voluntary_switches_;
+  Enqueue(t);
+  SwitchBack();
+}
+
+void Scheduler::PreemptPoint() {
+  Thread* t = current_;
+  if (t == nullptr) {
+    return;
+  }
+  if (ShouldPreempt(*t)) {
+    ++stats_.preemptions;
+    ++t->involuntary_switches_;
+    Enqueue(t);
+    SwitchBack();
+  }
+}
+
+void Scheduler::Exit() {
+  Thread* t = current_;
+  t->state_ = ThreadState::kExited;
+  --live_threads_;
+  SwitchBack();
+}
+
+void Scheduler::ReapExited() {
+  // Stacks of exited threads are returned to the allocator promptly so
+  // minimum-memory runs can recycle them.
+  for (auto& t : threads_) {
+    if (t->state_ == ThreadState::kExited && t->stack_ != nullptr) {
+      alloc_->Free(t->stack_);
+      t->stack_ = nullptr;
+    }
+  }
+}
+
+bool PreemptScheduler::ShouldPreempt(const Thread& t) const {
+  return clock()->cycles() - t.slice_start_cycles() >= quantum_;
+}
+
+void WaitQueue::Wait() {
+  Thread* t = sched_->current();
+  if (t == nullptr) {
+    return;
+  }
+  t->state_ = ThreadState::kBlocked;
+  waiters_.push_back(t);
+  sched_->SwitchBack();
+}
+
+std::size_t WaitQueue::Wake(std::size_t n) {
+  std::size_t woken = 0;
+  while (woken < n && !waiters_.empty()) {
+    Thread* t = waiters_.front();
+    waiters_.pop_front();
+    sched_->Enqueue(t);
+    ++woken;
+  }
+  return woken;
+}
+
+}  // namespace uksched

@@ -1,0 +1,179 @@
+// uksched/scheduler.h - the uksched API (§3.3).
+//
+// Scheduling in Unikraft is available but optional: images can be built with
+// no scheduler at all (run-to-completion event loop), with a cooperative
+// scheduler, or with a preemptive one. We reproduce that with real stackful
+// threads over ucontext: the platform library contribution (context switching)
+// is the swapcontext pair, and the policy lives in scheduler subclasses, just
+// as the paper separates plat from uksched.
+//
+// Preemption is simulated deterministically: threads call PreemptPoint() at
+// kernel-entry points (the syscall shim does this), and the preemptive
+// scheduler forces a yield once the thread has consumed its virtual-time
+// quantum. This keeps runs reproducible while still exercising involuntary
+// context switches.
+#ifndef UKSCHED_SCHEDULER_H_
+#define UKSCHED_SCHEDULER_H_
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ukalloc/allocator.h"
+#include "ukplat/clock.h"
+
+namespace uksched {
+
+class Scheduler;
+
+enum class ThreadState { kReady, kRunning, kBlocked, kExited };
+
+class Thread {
+ public:
+  Thread(Scheduler* sched, std::string name, std::function<void()> entry,
+         std::byte* stack, std::size_t stack_size);
+
+  const std::string& name() const { return name_; }
+  std::uint64_t id() const { return id_; }
+  ThreadState state() const { return state_; }
+  std::uint64_t slice_start_cycles() const { return slice_start_cycles_; }
+
+ private:
+  friend class Scheduler;
+  friend class WaitQueue;
+
+  static void Trampoline(unsigned hi, unsigned lo);
+
+  Scheduler* sched_;
+  std::string name_;
+  std::function<void()> entry_;
+  std::byte* stack_;
+  std::size_t stack_size_;
+  ucontext_t ctx_{};
+  ThreadState state_ = ThreadState::kReady;
+  std::uint64_t id_ = 0;
+  std::uint64_t slice_start_cycles_ = 0;
+  std::uint64_t voluntary_switches_ = 0;
+  std::uint64_t involuntary_switches_ = 0;
+};
+
+// FIFO queue of blocked threads, the building block for mutexes, semaphores
+// and socket wait lists.
+class WaitQueue {
+ public:
+  explicit WaitQueue(Scheduler* sched) : sched_(sched) {}
+
+  // Blocks the calling thread until woken. Must run on a scheduler thread.
+  void Wait();
+  // Wakes up to |n| waiters (all when n == SIZE_MAX). Returns number woken.
+  std::size_t Wake(std::size_t n = SIZE_MAX);
+  bool empty() const { return waiters_.empty(); }
+  std::size_t size() const { return waiters_.size(); }
+
+ private:
+  Scheduler* sched_;
+  std::deque<Thread*> waiters_;
+};
+
+class Scheduler {
+ public:
+  struct Stats {
+    std::uint64_t context_switches = 0;
+    std::uint64_t preemptions = 0;
+    std::uint64_t threads_created = 0;
+  };
+
+  Scheduler(ukalloc::Allocator* alloc, ukplat::Clock* clock)
+      : alloc_(alloc), clock_(clock) {}
+  virtual ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  virtual const char* name() const = 0;
+
+  // Creates a thread; it becomes runnable immediately. Returns nullptr when
+  // the stack allocation fails (Fig 11's minimum-memory runs hit this).
+  Thread* CreateThread(std::string tname, std::function<void()> entry,
+                       std::size_t stack_size = kDefaultStackSize);
+
+  // Runs ready threads until everything is exited or blocked. Returns the
+  // number of threads still blocked (0 means clean completion).
+  std::size_t Run();
+
+  // Called from inside a thread: give up the CPU voluntarily.
+  void Yield();
+  // Called from inside a thread at kernel-entry points; may force a yield
+  // under the preemptive policy.
+  void PreemptPoint();
+  // Terminates the calling thread.
+  void Exit();
+
+  Thread* current() const { return current_; }
+  const Stats& stats() const { return stats_; }
+  std::size_t num_ready() const { return ready_.size(); }
+  std::size_t live_threads() const { return live_threads_; }
+
+  static constexpr std::size_t kDefaultStackSize = 64 * 1024;
+
+ protected:
+  // Policy hook: whether |t| must be preempted at a preemption point.
+  virtual bool ShouldPreempt(const Thread& t) const = 0;
+
+ private:
+  friend class Thread;
+  friend class WaitQueue;
+
+  void Enqueue(Thread* t);
+  void SwitchTo(Thread* t);
+  void SwitchBack();  // thread -> scheduler context
+  void ReapExited();
+
+  ukalloc::Allocator* alloc_;
+  ukplat::Clock* clock_;
+  std::deque<Thread*> ready_;
+  std::vector<std::unique_ptr<Thread>> threads_;
+  Thread* current_ = nullptr;
+  ucontext_t sched_ctx_{};
+  Stats stats_;
+  std::uint64_t next_id_ = 1;
+  std::size_t live_threads_ = 0;
+
+ protected:
+  ukplat::Clock* clock() const { return clock_; }
+};
+
+// Cooperative: run-to-block, never preempts (the policy the paper selects for
+// Redis because it "fits well with Redis's single threaded approach").
+class CoopScheduler final : public Scheduler {
+ public:
+  using Scheduler::Scheduler;
+  const char* name() const override { return "ukcoop"; }
+
+ protected:
+  bool ShouldPreempt(const Thread& t) const override { return false; }
+};
+
+// Preemptive: round-robin with a virtual-time quantum.
+class PreemptScheduler final : public Scheduler {
+ public:
+  PreemptScheduler(ukalloc::Allocator* alloc, ukplat::Clock* clock,
+                   std::uint64_t quantum_cycles = 360'000)  // 100us at 3.6GHz
+      : Scheduler(alloc, clock), quantum_(quantum_cycles) {}
+  const char* name() const override { return "ukpreempt"; }
+
+ protected:
+  bool ShouldPreempt(const Thread& t) const override;
+
+ private:
+  std::uint64_t quantum_;
+};
+
+}  // namespace uksched
+
+#endif  // UKSCHED_SCHEDULER_H_

@@ -1,0 +1,61 @@
+// vfscore/node.h - vnode interface implemented by every filesystem driver.
+#ifndef VFSCORE_NODE_H_
+#define VFSCORE_NODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ukarch/status.h"
+
+namespace vfscore {
+
+enum class NodeType { kRegular, kDirectory };
+
+struct DirEntry {
+  std::string name;
+  NodeType type;
+};
+
+struct NodeStat {
+  NodeType type = NodeType::kRegular;
+  std::uint64_t size = 0;
+  std::uint64_t inode = 0;
+};
+
+// A filesystem object. Directory operations return kNotDir on files and file
+// operations return kIsDir on directories, mirroring POSIX errno behaviour.
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  virtual NodeType type() const = 0;
+  virtual NodeStat Stat() const = 0;
+
+  // Directory operations.
+  virtual ukarch::Status Lookup(std::string_view name, std::shared_ptr<Node>* out);
+  virtual ukarch::Status Create(std::string_view name, NodeType ntype,
+                                std::shared_ptr<Node>* out);
+  virtual ukarch::Status Remove(std::string_view name);
+  virtual ukarch::Status ReadDir(std::vector<DirEntry>* out);
+
+  // File operations. Return bytes transferred or a negative errno.
+  virtual std::int64_t Read(std::uint64_t offset, std::span<std::byte> out);
+  virtual std::int64_t Write(std::uint64_t offset, std::span<const std::byte> in);
+  virtual ukarch::Status Truncate(std::uint64_t size);
+};
+
+// Mountable filesystem: produces a root directory node.
+class FsDriver {
+ public:
+  virtual ~FsDriver() = default;
+  virtual const char* fs_name() const = 0;
+  virtual ukarch::Status Mount(std::shared_ptr<Node>* root) = 0;
+};
+
+}  // namespace vfscore
+
+#endif  // VFSCORE_NODE_H_

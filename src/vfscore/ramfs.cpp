@@ -1,0 +1,162 @@
+#include "vfscore/ramfs.h"
+
+#include <cstring>
+
+namespace vfscore {
+
+namespace {
+std::uint64_t NextInode() {
+  static std::uint64_t counter = 1;
+  return counter++;
+}
+}  // namespace
+
+ukarch::Status RamFs::Mount(std::shared_ptr<Node>* root) {
+  if (root_ == nullptr) {
+    root_ = std::make_shared<ramfs_detail::RamDir>(alloc_, NextInode());
+  }
+  *root = root_;
+  return ukarch::Status::kOk;
+}
+
+namespace ramfs_detail {
+
+RamFile::~RamFile() {
+  for (std::byte* chunk : chunks_) {
+    alloc_->Free(chunk);
+  }
+}
+
+bool RamFile::EnsureCapacity(std::uint64_t size) {
+  std::size_t need = static_cast<std::size_t>((size + kChunk - 1) / kChunk);
+  while (chunks_.size() < need) {
+    auto* chunk = static_cast<std::byte*>(alloc_->Malloc(kChunk));
+    if (chunk == nullptr) {
+      return false;
+    }
+    std::memset(chunk, 0, kChunk);
+    chunks_.push_back(chunk);
+  }
+  return true;
+}
+
+std::int64_t RamFile::Read(std::uint64_t offset, std::span<std::byte> out) {
+  if (offset >= size_) {
+    return 0;  // EOF
+  }
+  std::size_t n = static_cast<std::size_t>(
+      out.size() < size_ - offset ? out.size() : size_ - offset);
+  std::size_t copied = 0;
+  while (copied < n) {
+    std::uint64_t pos = offset + copied;
+    std::size_t ci = static_cast<std::size_t>(pos / kChunk);
+    std::size_t coff = static_cast<std::size_t>(pos % kChunk);
+    std::size_t take = kChunk - coff;
+    if (take > n - copied) {
+      take = n - copied;
+    }
+    std::memcpy(out.data() + copied, chunks_[ci] + coff, take);
+    copied += take;
+  }
+  return static_cast<std::int64_t>(n);
+}
+
+std::int64_t RamFile::Write(std::uint64_t offset, std::span<const std::byte> in) {
+  if (!EnsureCapacity(offset + in.size())) {
+    return ukarch::Raw(ukarch::Status::kNoSpc);
+  }
+  std::size_t copied = 0;
+  while (copied < in.size()) {
+    std::uint64_t pos = offset + copied;
+    std::size_t ci = static_cast<std::size_t>(pos / kChunk);
+    std::size_t coff = static_cast<std::size_t>(pos % kChunk);
+    std::size_t take = kChunk - coff;
+    if (take > in.size() - copied) {
+      take = in.size() - copied;
+    }
+    std::memcpy(chunks_[ci] + coff, in.data() + copied, take);
+    copied += take;
+  }
+  if (offset + in.size() > size_) {
+    size_ = offset + in.size();
+  }
+  return static_cast<std::int64_t>(in.size());
+}
+
+ukarch::Status RamFile::Truncate(std::uint64_t size) {
+  if (size > size_) {
+    if (!EnsureCapacity(size)) {
+      return ukarch::Status::kNoSpc;
+    }
+    size_ = size;
+    return ukarch::Status::kOk;
+  }
+  std::size_t keep = static_cast<std::size_t>((size + kChunk - 1) / kChunk);
+  while (chunks_.size() > keep) {
+    alloc_->Free(chunks_.back());
+    chunks_.pop_back();
+  }
+  size_ = size;
+  // Zero the tail of the last kept chunk so re-extension reads zeros.
+  if (!chunks_.empty() && size % kChunk != 0) {
+    std::size_t coff = static_cast<std::size_t>(size % kChunk);
+    std::memset(chunks_.back() + coff, 0, kChunk - coff);
+  }
+  return ukarch::Status::kOk;
+}
+
+ukarch::Status RamDir::Lookup(std::string_view name, std::shared_ptr<Node>* out) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return ukarch::Status::kNoEnt;
+  }
+  *out = it->second;
+  return ukarch::Status::kOk;
+}
+
+ukarch::Status RamDir::Create(std::string_view name, NodeType ntype,
+                              std::shared_ptr<Node>* out) {
+  if (name.empty() || name.size() > 255) {
+    return ukarch::Status::kNameTooLong;
+  }
+  if (entries_.contains(name)) {
+    return ukarch::Status::kExist;
+  }
+  std::shared_ptr<Node> node;
+  if (ntype == NodeType::kRegular) {
+    node = std::make_shared<RamFile>(alloc_, NextInode());
+  } else {
+    node = std::make_shared<RamDir>(alloc_, NextInode());
+  }
+  entries_.emplace(std::string(name), node);
+  *out = std::move(node);
+  return ukarch::Status::kOk;
+}
+
+ukarch::Status RamDir::Remove(std::string_view name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return ukarch::Status::kNoEnt;
+  }
+  if (it->second->type() == NodeType::kDirectory) {
+    std::vector<DirEntry> children;
+    (void)it->second->ReadDir(&children);
+    if (!children.empty()) {
+      return ukarch::Status::kNotEmpty;
+    }
+  }
+  entries_.erase(it);
+  return ukarch::Status::kOk;
+}
+
+ukarch::Status RamDir::ReadDir(std::vector<DirEntry>* out) {
+  out->clear();
+  out->reserve(entries_.size());
+  for (const auto& [name, node] : entries_) {
+    out->push_back(DirEntry{name, node->type()});
+  }
+  return ukarch::Status::kOk;
+}
+
+}  // namespace ramfs_detail
+}  // namespace vfscore

@@ -1,0 +1,84 @@
+// vfscore/ramfs.h - RAM filesystem over the instance allocator.
+//
+// Unikraft guests that need no persistent storage link ramfs (the nginx image
+// in Fig 2 has no block subsystem because of it). File contents live in 4 KiB
+// chunks taken from the unikernel's own heap so memory pressure experiments
+// (Fig 11) see the rootfs cost; metadata uses host containers for clarity.
+#ifndef VFSCORE_RAMFS_H_
+#define VFSCORE_RAMFS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ukalloc/allocator.h"
+#include "vfscore/node.h"
+
+namespace vfscore {
+
+class RamFs final : public FsDriver {
+ public:
+  explicit RamFs(ukalloc::Allocator* alloc) : alloc_(alloc) {}
+
+  const char* fs_name() const override { return "ramfs"; }
+  ukarch::Status Mount(std::shared_ptr<Node>* root) override;
+
+  ukalloc::Allocator* allocator() const { return alloc_; }
+
+ private:
+  ukalloc::Allocator* alloc_;
+  std::shared_ptr<Node> root_;  // created once; remount returns the same tree
+};
+
+namespace ramfs_detail {
+
+class RamFile final : public Node {
+ public:
+  explicit RamFile(ukalloc::Allocator* alloc, std::uint64_t inode)
+      : alloc_(alloc), inode_(inode) {}
+  ~RamFile() override;
+
+  NodeType type() const override { return NodeType::kRegular; }
+  NodeStat Stat() const override { return NodeStat{NodeType::kRegular, size_, inode_}; }
+  std::int64_t Read(std::uint64_t offset, std::span<std::byte> out) override;
+  std::int64_t Write(std::uint64_t offset, std::span<const std::byte> in) override;
+  ukarch::Status Truncate(std::uint64_t size) override;
+
+  static constexpr std::size_t kChunk = 4096;
+
+ private:
+  // Grows the chunk vector to cover |size| bytes. False on allocator OOM.
+  bool EnsureCapacity(std::uint64_t size);
+
+  ukalloc::Allocator* alloc_;
+  std::uint64_t inode_;
+  std::uint64_t size_ = 0;
+  std::vector<std::byte*> chunks_;  // each kChunk bytes from alloc_
+};
+
+class RamDir final : public Node {
+ public:
+  explicit RamDir(ukalloc::Allocator* alloc, std::uint64_t inode)
+      : alloc_(alloc), inode_(inode) {}
+
+  NodeType type() const override { return NodeType::kDirectory; }
+  NodeStat Stat() const override {
+    return NodeStat{NodeType::kDirectory, entries_.size(), inode_};
+  }
+  ukarch::Status Lookup(std::string_view name, std::shared_ptr<Node>* out) override;
+  ukarch::Status Create(std::string_view name, NodeType ntype,
+                        std::shared_ptr<Node>* out) override;
+  ukarch::Status Remove(std::string_view name) override;
+  ukarch::Status ReadDir(std::vector<DirEntry>* out) override;
+
+ private:
+  ukalloc::Allocator* alloc_;
+  std::uint64_t inode_;
+  std::map<std::string, std::shared_ptr<Node>, std::less<>> entries_;
+};
+
+}  // namespace ramfs_detail
+}  // namespace vfscore
+
+#endif  // VFSCORE_RAMFS_H_

@@ -1,0 +1,288 @@
+#include "vfscore/vfs.h"
+
+namespace vfscore {
+
+// ---- Node default implementations (wrong-type errors) ------------------------
+
+ukarch::Status Node::Lookup(std::string_view, std::shared_ptr<Node>*) {
+  return type() == NodeType::kDirectory ? ukarch::Status::kNoSys : ukarch::Status::kNotDir;
+}
+ukarch::Status Node::Create(std::string_view, NodeType, std::shared_ptr<Node>*) {
+  return type() == NodeType::kDirectory ? ukarch::Status::kNoSys : ukarch::Status::kNotDir;
+}
+ukarch::Status Node::Remove(std::string_view) {
+  return type() == NodeType::kDirectory ? ukarch::Status::kNoSys : ukarch::Status::kNotDir;
+}
+ukarch::Status Node::ReadDir(std::vector<DirEntry>*) {
+  return type() == NodeType::kDirectory ? ukarch::Status::kNoSys : ukarch::Status::kNotDir;
+}
+std::int64_t Node::Read(std::uint64_t, std::span<std::byte>) {
+  return ukarch::Raw(ukarch::Status::kIsDir);
+}
+std::int64_t Node::Write(std::uint64_t, std::span<const std::byte>) {
+  return ukarch::Raw(ukarch::Status::kIsDir);
+}
+ukarch::Status Node::Truncate(std::uint64_t) { return ukarch::Status::kIsDir; }
+
+// ---- File ---------------------------------------------------------------------
+
+std::int64_t File::Read(std::span<std::byte> out) {
+  std::int64_t n = ReadAt(offset_, out);
+  if (n > 0) {
+    offset_ += static_cast<std::uint64_t>(n);
+  }
+  return n;
+}
+
+std::int64_t File::Write(std::span<const std::byte> in) {
+  if ((flags_ & kAppend) != 0) {
+    offset_ = node_->Stat().size;
+  }
+  std::int64_t n = WriteAt(offset_, in);
+  if (n > 0) {
+    offset_ += static_cast<std::uint64_t>(n);
+  }
+  return n;
+}
+
+std::int64_t File::ReadAt(std::uint64_t offset, std::span<std::byte> out) {
+  if ((flags_ & kRead) == 0) {
+    return ukarch::Raw(ukarch::Status::kBadF);
+  }
+  return node_->Read(offset, out);
+}
+
+std::int64_t File::WriteAt(std::uint64_t offset, std::span<const std::byte> in) {
+  if ((flags_ & kWrite) == 0) {
+    return ukarch::Raw(ukarch::Status::kBadF);
+  }
+  return node_->Write(offset, in);
+}
+
+std::int64_t File::Seek(std::int64_t offset, Whence whence) {
+  std::int64_t base = 0;
+  switch (whence) {
+    case Whence::kSet: base = 0; break;
+    case Whence::kCur: base = static_cast<std::int64_t>(offset_); break;
+    case Whence::kEnd: base = static_cast<std::int64_t>(node_->Stat().size); break;
+  }
+  std::int64_t target = base + offset;
+  if (target < 0) {
+    return ukarch::Raw(ukarch::Status::kInval);
+  }
+  offset_ = static_cast<std::uint64_t>(target);
+  return target;
+}
+
+// ---- path helpers --------------------------------------------------------------
+
+std::vector<std::string_view> SplitPath(std::string_view path) {
+  std::vector<std::string_view> parts;
+  std::size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') {
+      ++i;
+    }
+    std::size_t start = i;
+    while (i < path.size() && path[i] != '/') {
+      ++i;
+    }
+    std::string_view part = path.substr(start, i - start);
+    if (part.empty() || part == ".") {
+      continue;
+    }
+    if (part == "..") {
+      if (!parts.empty()) {
+        parts.pop_back();
+      }
+      continue;
+    }
+    parts.push_back(part);
+  }
+  return parts;
+}
+
+namespace {
+
+std::string Normalize(std::string_view path) {
+  std::string norm = "/";
+  for (std::string_view part : SplitPath(path)) {
+    if (norm.back() != '/') {
+      norm += '/';
+    }
+    norm += part;
+  }
+  return norm;
+}
+
+}  // namespace
+
+// ---- Vfs -----------------------------------------------------------------------
+
+ukarch::Status Vfs::Mount(std::string path, FsDriver* fs) {
+  std::string prefix = Normalize(path);
+  for (const MountPoint& m : mounts_) {
+    if (m.prefix == prefix) {
+      return ukarch::Status::kBusy;
+    }
+  }
+  std::shared_ptr<Node> root;
+  ukarch::Status st = fs->Mount(&root);
+  if (!Ok(st)) {
+    return st;
+  }
+  if (root == nullptr || root->type() != NodeType::kDirectory) {
+    return ukarch::Status::kNotDir;
+  }
+  mounts_.push_back(MountPoint{std::move(prefix), fs, std::move(root)});
+  return ukarch::Status::kOk;
+}
+
+ukarch::Status Vfs::Unmount(std::string_view path) {
+  std::string prefix = Normalize(path);
+  for (auto it = mounts_.begin(); it != mounts_.end(); ++it) {
+    if (it->prefix == prefix) {
+      mounts_.erase(it);
+      return ukarch::Status::kOk;
+    }
+  }
+  return ukarch::Status::kNoEnt;
+}
+
+const Vfs::MountPoint* Vfs::FindMount(std::string_view path, std::string_view* rest) const {
+  const MountPoint* best = nullptr;
+  std::size_t best_len = 0;
+  for (const MountPoint& m : mounts_) {
+    std::size_t plen = m.prefix.size();
+    bool prefix_match =
+        path.size() >= plen && path.substr(0, plen) == m.prefix &&
+        (m.prefix == "/" || path.size() == plen || path[plen] == '/');
+    if (prefix_match && plen >= best_len) {
+      best = &m;
+      best_len = plen;
+    }
+  }
+  if (best != nullptr && rest != nullptr) {
+    *rest = path.substr(best->prefix == "/" ? 0 : best_len);
+  }
+  return best;
+}
+
+ukarch::Status Vfs::Resolve(std::string_view path, std::shared_ptr<Node>* out) {
+  std::string norm = Normalize(path);
+  std::string_view rest;
+  const MountPoint* mp = FindMount(norm, &rest);
+  if (mp == nullptr) {
+    return ukarch::Status::kNoEnt;
+  }
+  std::shared_ptr<Node> cur = mp->root;
+  for (std::string_view part : SplitPath(rest)) {
+    ++lookup_ops_;
+    std::shared_ptr<Node> next;
+    ukarch::Status st = cur->Lookup(part, &next);
+    if (!Ok(st)) {
+      return st;
+    }
+    cur = std::move(next);
+  }
+  *out = std::move(cur);
+  return ukarch::Status::kOk;
+}
+
+ukarch::Status Vfs::WalkToParent(std::string_view path, std::shared_ptr<Node>* parent,
+                                 std::string* leaf) {
+  std::string norm = Normalize(path);
+  auto pos = norm.find_last_of('/');
+  std::string parent_path = pos == 0 ? "/" : norm.substr(0, pos);
+  *leaf = norm.substr(pos + 1);
+  if (leaf->empty()) {
+    return ukarch::Status::kInval;
+  }
+  ukarch::Status st = Resolve(parent_path, parent);
+  if (!Ok(st)) {
+    return st;
+  }
+  if ((*parent)->type() != NodeType::kDirectory) {
+    return ukarch::Status::kNotDir;
+  }
+  return ukarch::Status::kOk;
+}
+
+ukarch::Status Vfs::Open(std::string_view path, std::uint32_t flags,
+                         std::shared_ptr<File>* out) {
+  std::shared_ptr<Node> node;
+  ukarch::Status st = Resolve(path, &node);
+  if (st == ukarch::Status::kNoEnt && (flags & kCreate) != 0) {
+    std::shared_ptr<Node> parent;
+    std::string leaf;
+    st = WalkToParent(path, &parent, &leaf);
+    if (!Ok(st)) {
+      return st;
+    }
+    st = parent->Create(leaf, NodeType::kRegular, &node);
+    if (!Ok(st)) {
+      return st;
+    }
+  } else if (Ok(st) && (flags & kExcl) != 0 && (flags & kCreate) != 0) {
+    return ukarch::Status::kExist;
+  } else if (!Ok(st)) {
+    return st;
+  }
+  if (node->type() == NodeType::kDirectory && (flags & kWrite) != 0) {
+    return ukarch::Status::kIsDir;
+  }
+  if ((flags & kTrunc) != 0 && node->type() == NodeType::kRegular) {
+    st = node->Truncate(0);
+    if (!Ok(st)) {
+      return st;
+    }
+  }
+  *out = std::make_shared<File>(std::move(node), flags);
+  return ukarch::Status::kOk;
+}
+
+ukarch::Status Vfs::Mkdir(std::string_view path) {
+  std::shared_ptr<Node> existing;
+  if (Ok(Resolve(path, &existing))) {
+    return ukarch::Status::kExist;
+  }
+  std::shared_ptr<Node> parent;
+  std::string leaf;
+  ukarch::Status st = WalkToParent(path, &parent, &leaf);
+  if (!Ok(st)) {
+    return st;
+  }
+  std::shared_ptr<Node> node;
+  return parent->Create(leaf, NodeType::kDirectory, &node);
+}
+
+ukarch::Status Vfs::Unlink(std::string_view path) {
+  std::shared_ptr<Node> parent;
+  std::string leaf;
+  ukarch::Status st = WalkToParent(path, &parent, &leaf);
+  if (!Ok(st)) {
+    return st;
+  }
+  return parent->Remove(leaf);
+}
+
+ukarch::Status Vfs::Stat(std::string_view path, NodeStat* out) {
+  std::shared_ptr<Node> node;
+  ukarch::Status st = Resolve(path, &node);
+  if (!Ok(st)) {
+    return st;
+  }
+  *out = node->Stat();
+  return ukarch::Status::kOk;
+}
+
+ukarch::Status Vfs::ReadDir(std::string_view path, std::vector<DirEntry>* out) {
+  std::shared_ptr<Node> node;
+  ukarch::Status st = Resolve(path, &node);
+  if (!Ok(st)) {
+    return st;
+  }
+  return node->ReadDir(out);
+}
+
+}  // namespace vfscore

@@ -1,0 +1,100 @@
+// vfscore/vfs.h - path resolution, mount table, and file handles (§5.2).
+//
+// The vfscore micro-library is the standard path applications take for file
+// I/O (scenario 3 in Fig 4); the SHFS experiment in §6.3 measures exactly the
+// cost of this layer, so the implementation is deliberately structured like a
+// real VFS: longest-prefix mount lookup, per-component directory walk,
+// separate open-file table entries with offsets.
+#ifndef VFSCORE_VFS_H_
+#define VFSCORE_VFS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "vfscore/node.h"
+
+namespace vfscore {
+
+// Open flags (subset of fcntl.h semantics).
+enum OpenFlags : std::uint32_t {
+  kRead = 1u << 0,
+  kWrite = 1u << 1,
+  kCreate = 1u << 2,
+  kTrunc = 1u << 3,
+  kAppend = 1u << 4,
+  kExcl = 1u << 5,
+};
+
+class File {
+ public:
+  File(std::shared_ptr<Node> node, std::uint32_t flags)
+      : node_(std::move(node)), flags_(flags) {}
+
+  // Sequential I/O advancing the file offset.
+  std::int64_t Read(std::span<std::byte> out);
+  std::int64_t Write(std::span<const std::byte> in);
+  // Positional I/O (pread/pwrite).
+  std::int64_t ReadAt(std::uint64_t offset, std::span<std::byte> out);
+  std::int64_t WriteAt(std::uint64_t offset, std::span<const std::byte> in);
+
+  enum class Whence { kSet, kCur, kEnd };
+  std::int64_t Seek(std::int64_t offset, Whence whence);
+
+  Node& node() { return *node_; }
+  std::uint64_t offset() const { return offset_; }
+  std::uint32_t flags() const { return flags_; }
+
+ private:
+  std::shared_ptr<Node> node_;
+  std::uint32_t flags_;
+  std::uint64_t offset_ = 0;
+};
+
+class Vfs {
+ public:
+  // Mounts |fs| at |path| ("/" or a directory that exists on the parent fs).
+  // Longest-prefix wins on resolution. The driver stays owned by the caller.
+  ukarch::Status Mount(std::string path, FsDriver* fs);
+  ukarch::Status Unmount(std::string_view path);
+
+  ukarch::Status Open(std::string_view path, std::uint32_t flags,
+                      std::shared_ptr<File>* out);
+  ukarch::Status Mkdir(std::string_view path);
+  ukarch::Status Unlink(std::string_view path);
+  ukarch::Status Stat(std::string_view path, NodeStat* out);
+  ukarch::Status ReadDir(std::string_view path, std::vector<DirEntry>* out);
+
+  // Resolution core, exposed for the open()-latency experiment (Fig 22):
+  // walks the mount table and directory components.
+  ukarch::Status Resolve(std::string_view path, std::shared_ptr<Node>* out);
+
+  std::size_t mount_count() const { return mounts_.size(); }
+
+  // Instrumentation for the Fig 22 bench: component lookups performed.
+  std::uint64_t lookup_ops() const { return lookup_ops_; }
+
+ private:
+  struct MountPoint {
+    std::string prefix;  // normalized, no trailing slash except root "/"
+    FsDriver* fs;
+    std::shared_ptr<Node> root;
+  };
+
+  // Returns the best mount for |path| and the remaining relative part.
+  const MountPoint* FindMount(std::string_view path, std::string_view* rest) const;
+  ukarch::Status WalkToParent(std::string_view path, std::shared_ptr<Node>* parent,
+                              std::string* leaf);
+
+  std::vector<MountPoint> mounts_;
+  mutable std::uint64_t lookup_ops_ = 0;
+};
+
+// Splits a normalized path into components, ignoring empty and "." parts.
+std::vector<std::string_view> SplitPath(std::string_view path);
+
+}  // namespace vfscore
+
+#endif  // VFSCORE_VFS_H_

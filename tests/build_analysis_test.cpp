@@ -1,0 +1,267 @@
+// Tests for ukbuild (closure/DCE/LTO/dep graphs), uklibc porting resolution
+// (Table 2), and the analysis module (Figs 1, 5, 6, 7).
+#include <gtest/gtest.h>
+
+#include "analysis/linux_depgraph.h"
+#include "analysis/porting_survey.h"
+#include "analysis/syscall_study.h"
+#include "posix/syscalls.h"
+#include "ukbuild/linker.h"
+#include "uklibc/porting.h"
+
+namespace {
+
+using namespace ukbuild;
+
+class BuildTest : public ::testing::Test {
+ protected:
+  BuildTest() : registry_(Registry::Default()), linker_(&registry_) {}
+  Registry registry_;
+  Linker linker_;
+};
+
+TEST_F(BuildTest, HelloClosureIsTiny) {
+  Config cfg;
+  cfg.app = "helloworld";
+  auto closure = linker_.ResolveClosure(cfg);
+  // Fig 3: helloworld pulls boot, alloc API, argparse, nolibc, plat — no
+  // scheduler, no network stack, no VFS.
+  EXPECT_LE(closure.size(), 8u);
+  EXPECT_TRUE(std::find(closure.begin(), closure.end(), "nolibc") != closure.end());
+  EXPECT_TRUE(std::find(closure.begin(), closure.end(), "lwip") == closure.end());
+  EXPECT_TRUE(std::find(closure.begin(), closure.end(), "vfscore") == closure.end());
+  EXPECT_TRUE(std::find(closure.begin(), closure.end(), "uksched") == closure.end());
+}
+
+TEST_F(BuildTest, NginxClosurePullsStackNotBlock) {
+  Config cfg;
+  cfg.app = "nginx";
+  auto closure = linker_.ResolveClosure(cfg);
+  auto has = [&closure](const char* n) {
+    return std::find(closure.begin(), closure.end(), n) != closure.end();
+  };
+  EXPECT_TRUE(has("lwip"));
+  EXPECT_TRUE(has("vfscore"));
+  EXPECT_TRUE(has("ramfs"));
+  // Fig 2 note: "this image does not include a block subsystem since it only
+  // uses RamFS".
+  EXPECT_FALSE(has("ukblkdev"));
+  EXPECT_FALSE(has("virtio-blk"));
+}
+
+TEST_F(BuildTest, ImageSizesMatchFig8Shape) {
+  auto size_of = [&](const char* app, bool dce, bool lto) {
+    Config cfg;
+    cfg.app = app;
+    cfg.dce = dce;
+    cfg.lto = lto;
+    return linker_.Link(cfg).total_bytes;
+  };
+  // Helloworld ~200 KB on KVM (paper: "a minimal Hello World configuration
+  // yields an image of 200KB in size on KVM").
+  std::uint64_t hello = size_of("helloworld", false, false);
+  EXPECT_GT(hello, 60u * 1024);
+  EXPECT_LT(hello, 400u * 1024);
+  // All app images stay under 2 MB (Fig 8 headline).
+  EXPECT_LT(size_of("nginx", false, false), 2u << 20);
+  EXPECT_LT(size_of("redis", false, false), 2u << 20);
+  EXPECT_LT(size_of("sqlite", false, false), 2u << 20);
+  // DCE helps more than LTO; both never hurt.
+  std::uint64_t nginx = size_of("nginx", false, false);
+  std::uint64_t nginx_lto = size_of("nginx", false, true);
+  std::uint64_t nginx_dce = size_of("nginx", true, false);
+  std::uint64_t nginx_both = size_of("nginx", true, true);
+  EXPECT_LT(nginx_lto, nginx);
+  EXPECT_LT(nginx_dce, nginx_lto);
+  EXPECT_LE(nginx_both, nginx_dce);
+}
+
+TEST_F(BuildTest, XenHelloSmallerThanKvm) {
+  Config kvm;
+  kvm.app = "helloworld";
+  kvm.platform = Platform::kKvm;
+  Config xen = kvm;
+  xen.platform = Platform::kXen;
+  EXPECT_LT(linker_.Link(xen).total_bytes, linker_.Link(kvm).total_bytes);
+}
+
+TEST_F(BuildTest, DceDropsUnusedObjects) {
+  Config cfg;
+  cfg.app = "redis";
+  cfg.dce = true;
+  Image image = linker_.Link(cfg);
+  const LinkedLib* redis = image.FindLib("app-redis");
+  ASSERT_NE(redis, nullptr);
+  // cluster/lua/persistence objects are not in the feature set.
+  EXPECT_GE(redis->objects_dropped, 3u);
+  EXPECT_LT(redis->bytes_after, redis->bytes_before);
+}
+
+TEST_F(BuildTest, DepGraphsMatchPaperScale) {
+  Config hello;
+  hello.app = "helloworld";
+  DepGraph hello_graph = linker_.Graph(hello);
+  Config nginx;
+  nginx.app = "nginx";
+  DepGraph nginx_graph = linker_.Graph(nginx);
+  // Fig 3 vs Fig 2: hello graph is much smaller, both are tiny vs Linux.
+  EXPECT_LT(hello_graph.EdgeCount(), nginx_graph.EdgeCount());
+  EXPECT_LT(nginx_graph.EdgeCount(), 64u);
+  EXPECT_NE(hello_graph.ToDot().find("digraph"), std::string::npos);
+}
+
+TEST_F(BuildTest, UnknownAppYieldsEmpty) {
+  Config cfg;
+  cfg.app = "doom";
+  EXPECT_TRUE(linker_.ResolveClosure(cfg).empty());
+  EXPECT_TRUE(linker_.Link(cfg).libs.empty());
+}
+
+// ---- Table 2 ----------------------------------------------------------------------------
+
+TEST(Porting, MuslCompatLinksEverything) {
+  uklibc::LibcProfile musl_compat{uklibc::Libc::kMusl, true};
+  for (const auto& lib : uklibc::Table2Libraries()) {
+    auto r = uklibc::Resolve(lib, musl_compat);
+    EXPECT_TRUE(r.success) << lib.name << " missing: "
+                           << (r.missing_symbols.empty() ? ""
+                                                         : r.missing_symbols[0]);
+  }
+}
+
+TEST(Porting, MuslStdMatchesTable2Pattern) {
+  uklibc::LibcProfile musl_std{uklibc::Libc::kMusl, false};
+  int successes = 0;
+  for (const auto& lib : uklibc::Table2Libraries()) {
+    if (uklibc::Resolve(lib, musl_std).success) {
+      ++successes;
+    }
+  }
+  // Table 2: 11 of 24 build with plain musl.
+  EXPECT_EQ(successes, 11);
+  // Spot-check the paper's ✓/✗ cells.
+  auto find = [](const char* name) {
+    for (const auto& lib : uklibc::Table2Libraries()) {
+      if (lib.name == name) {
+        return lib;
+      }
+    }
+    return uklibc::LibraryManifest{};
+  };
+  EXPECT_TRUE(uklibc::Resolve(find("lib-helloworld"), musl_std).success);
+  EXPECT_TRUE(uklibc::Resolve(find("lib-duktape"), musl_std).success);
+  EXPECT_FALSE(uklibc::Resolve(find("lib-nginx"), musl_std).success);
+  EXPECT_FALSE(uklibc::Resolve(find("lib-openssl"), musl_std).success);
+  EXPECT_FALSE(uklibc::Resolve(find("lib-sqlite"), musl_std).success);
+}
+
+TEST(Porting, NewlibStdMostlyFails) {
+  uklibc::LibcProfile newlib_std{uklibc::Libc::kNewlib, false};
+  int successes = 0;
+  for (const auto& lib : uklibc::Table2Libraries()) {
+    if (uklibc::Resolve(lib, newlib_std).success) {
+      ++successes;
+    }
+  }
+  // Table 2: only farmhash, helloworld, libunwind, open62541 build.
+  EXPECT_EQ(successes, 4);
+  uklibc::LibcProfile newlib_compat{uklibc::Libc::kNewlib, true};
+  for (const auto& lib : uklibc::Table2Libraries()) {
+    EXPECT_TRUE(uklibc::Resolve(lib, newlib_compat).success) << lib.name;
+  }
+}
+
+TEST(Porting, GlueLocIsSmall) {
+  // §4.2: manual porting needs only a few lines of glue code.
+  for (const auto& lib : uklibc::Table2Libraries()) {
+    EXPECT_LE(lib.glue_loc, 40);
+  }
+}
+
+// ---- analysis ---------------------------------------------------------------------------
+
+TEST(LinuxGraph, DenseAndHeavy) {
+  const analysis::ComponentGraph& g = analysis::LinuxKernelGraph();
+  EXPECT_EQ(g.components.size(), 12u);
+  EXPECT_GT(g.EdgePairs(), 50u);
+  EXPECT_GT(g.TotalCalls(), 4000u);
+  // Fig 1's point: the graph is dense (most component pairs depend on each
+  // other), so removal is "a daunting task".
+  EXPECT_GT(g.Density(), 0.4);
+  // sched is the most coupled component.
+  EXPECT_GT(g.Coupling("sched"), g.Coupling("ipc"));
+}
+
+TEST(LinuxGraph, OrdersOfMagnitudeDenserThanUnikraft) {
+  Registry registry = Registry::Default();
+  Linker linker(&registry);
+  Config cfg;
+  cfg.app = "nginx";
+  DepGraph nginx = linker.Graph(cfg);
+  EXPECT_GT(analysis::LinuxKernelGraph().TotalCalls(),
+            100 * static_cast<std::uint64_t>(nginx.EdgeCount()));
+}
+
+TEST(SyscallStudy, ThirtyAppsWithPlausibleSets) {
+  const auto& apps = analysis::Top30ServerApps();
+  ASSERT_EQ(apps.size(), 30u);
+  for (const auto& app : apps) {
+    EXPECT_GT(app.required.size(), 40u) << app.app;
+    EXPECT_LT(app.required.size(), 180u) << app.app;
+  }
+}
+
+TEST(SyscallStudy, MoreThanHalfTheSyscallSpaceUnused) {
+  auto demand = analysis::DemandCounts();
+  int unneeded = 0;
+  for (int nr = 0; nr <= posix::kMaxSyscallNr; ++nr) {
+    if (!demand.contains(nr)) {
+      ++unneeded;
+    }
+  }
+  // §4.1: "more than half the syscalls are not even needed".
+  EXPECT_GT(unneeded, posix::kMaxSyscallNr / 2);
+}
+
+TEST(SyscallStudy, SupportIsHighAndTop10Helps) {
+  auto rows = analysis::ComputeSupport(posix::SupportedSyscalls());
+  ASSERT_EQ(rows.size(), 30u);
+  double min_pct = 100.0;
+  for (const auto& row : rows) {
+    EXPECT_GE(row.with_top5_pct, row.supported_pct);
+    EXPECT_GE(row.with_top10_pct, row.with_top5_pct);
+    min_pct = std::min(min_pct, row.supported_pct);
+  }
+  // Fig 7: "all applications are close to having full support".
+  EXPECT_GT(min_pct, 60.0);
+  // And several already fully covered improving with top-10.
+  double avg = 0;
+  for (const auto& row : rows) {
+    avg += row.with_top10_pct;
+  }
+  EXPECT_GT(avg / 30.0, 85.0);
+}
+
+TEST(SyscallStudy, TopMissingAreDemandOrdered) {
+  auto missing = analysis::TopMissing(posix::SupportedSyscalls(), 10);
+  EXPECT_EQ(missing.size(), 10u);
+  auto demand = analysis::DemandCounts();
+  for (std::size_t i = 1; i < missing.size(); ++i) {
+    EXPECT_GE(demand[missing[i - 1]], demand[missing[i]]);
+  }
+}
+
+TEST(PortingSurvey, EffortDeclinesAcrossQuarters) {
+  auto rows = analysis::SimulatePortingTimeline();
+  ASSERT_EQ(rows.size(), 4u);
+  // Fig 6's shape: total effort drops steeply as the base matures.
+  EXPECT_GT(rows[0].Total(), rows[1].Total());
+  EXPECT_GT(rows[1].Total(), rows[2].Total());
+  EXPECT_GE(rows[2].Total(), rows[3].Total());
+  // OS-primitive work disappears entirely by the last quarter.
+  EXPECT_GT(rows[0].os_primitive_days, 0.0);
+  EXPECT_EQ(rows[3].os_primitive_days, 0.0);
+  EXPECT_EQ(rows[3].build_primitive_days, 0.0);
+}
+
+}  // namespace

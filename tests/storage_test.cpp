@@ -1,0 +1,351 @@
+// Tests for the storage stack: block devices (ramdisk + virtio-blk over real
+// rings), vfscore path resolution and file semantics, ramfs, SHFS.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "shfs/shfs.h"
+#include "ukalloc/registry.h"
+#include "ukblockdev/ramdisk.h"
+#include "ukblockdev/virtio_blk.h"
+#include "ukplat/clock.h"
+#include "ukplat/memregion.h"
+#include "vfscore/ramfs.h"
+#include "vfscore/vfs.h"
+
+namespace {
+
+using namespace ukblockdev;
+
+std::span<const std::byte> AsBytes(std::string_view s) {
+  return std::as_bytes(std::span(s.data(), s.size()));
+}
+
+// ---- block devices ------------------------------------------------------------
+
+class BlockTest : public ::testing::Test {
+ protected:
+  BlockTest() : mem_(8 << 20) { buf_gpa_ = mem_.Carve(64 * 1024, 512); }
+  ukplat::MemRegion mem_;
+  ukplat::Clock clock_;
+  std::uint64_t buf_gpa_ = 0;
+};
+
+TEST_F(BlockTest, RamDiskWriteReadRoundTrip) {
+  RamDisk disk(&mem_, /*sectors=*/128);
+  const char payload[512] = "sector payload";
+  mem_.CopyIn(buf_gpa_, std::as_bytes(std::span(payload)));
+
+  Request wr{Request::Op::kWrite, 5, 1, buf_gpa_};
+  ASSERT_EQ(SubmitAndWait(disk, &wr), 0);
+
+  std::uint64_t buf2 = mem_.Carve(512, 512);
+  Request rd{Request::Op::kRead, 5, 1, buf2};
+  ASSERT_EQ(SubmitAndWait(disk, &rd), 0);
+  char readback[512];
+  mem_.CopyOut(buf2, std::as_writable_bytes(std::span(readback)));
+  EXPECT_STREQ(readback, "sector payload");
+}
+
+TEST_F(BlockTest, RamDiskRejectsOutOfRange) {
+  RamDisk disk(&mem_, 16);
+  Request rd{Request::Op::kRead, 15, 4, buf_gpa_};
+  EXPECT_EQ(SubmitAndWait(disk, &rd), ukarch::Raw(ukarch::Status::kInval));
+}
+
+TEST_F(BlockTest, CompletionHandlerInvoked) {
+  RamDisk disk(&mem_, 16);
+  int completions = 0;
+  disk.SetCompletionHandler([&](Request* r) { ++completions; });
+  Request rd{Request::Op::kRead, 0, 1, buf_gpa_};
+  ASSERT_TRUE(disk.Submit(&rd));
+  disk.ProcessCompletions(SIZE_MAX);
+  EXPECT_EQ(completions, 1);
+}
+
+TEST_F(BlockTest, VirtioBlkRoundTripThroughRing) {
+  std::uint16_t qsize = 8;
+  std::uint64_t ring = mem_.Carve(VirtioBlk::FootprintBytes(qsize), 16);
+  VirtioBlk disk(&mem_, &clock_, ring, qsize, /*sectors=*/256);
+
+  char payload[1024];
+  std::memset(payload, 0x42, sizeof(payload));
+  mem_.CopyIn(buf_gpa_, std::as_bytes(std::span(payload)));
+  Request wr{Request::Op::kWrite, 10, 2, buf_gpa_};
+  ASSERT_EQ(SubmitAndWait(disk, &wr), 0);
+  EXPECT_EQ(disk.backing()[10 * 512], 0x42);
+  EXPECT_GE(disk.kicks(), 1u);
+  EXPECT_GE(disk.irqs(), 1u);
+
+  std::uint64_t buf2 = mem_.Carve(1024, 512);
+  Request rd{Request::Op::kRead, 10, 2, buf2};
+  ASSERT_EQ(SubmitAndWait(disk, &rd), 0);
+  std::uint8_t readback[1024];
+  mem_.CopyOut(buf2, std::as_writable_bytes(std::span(readback)));
+  EXPECT_EQ(readback[0], 0x42);
+  EXPECT_EQ(readback[1023], 0x42);
+}
+
+TEST_F(BlockTest, VirtioBlkOutOfRangeReportsIoError) {
+  std::uint16_t qsize = 4;
+  std::uint64_t ring = mem_.Carve(VirtioBlk::FootprintBytes(qsize), 16);
+  VirtioBlk disk(&mem_, &clock_, ring, qsize, 8);
+  Request rd{Request::Op::kRead, 100, 1, buf_gpa_};
+  EXPECT_EQ(SubmitAndWait(disk, &rd), ukarch::Raw(ukarch::Status::kIo));
+}
+
+TEST_F(BlockTest, VirtioBlkFlush) {
+  std::uint16_t qsize = 4;
+  std::uint64_t ring = mem_.Carve(VirtioBlk::FootprintBytes(qsize), 16);
+  VirtioBlk disk(&mem_, &clock_, ring, qsize, 8);
+  Request fl{Request::Op::kFlush, 0, 0, 0};
+  EXPECT_EQ(SubmitAndWait(disk, &fl), 0);
+}
+
+TEST_F(BlockTest, VirtioBlkChargesExitCosts) {
+  std::uint16_t qsize = 4;
+  std::uint64_t ring = mem_.Carve(VirtioBlk::FootprintBytes(qsize), 16);
+  VirtioBlk disk(&mem_, &clock_, ring, qsize, 64);
+  std::uint64_t before = clock_.cycles();
+  Request rd{Request::Op::kRead, 0, 1, buf_gpa_};
+  SubmitAndWait(disk, &rd);
+  EXPECT_GE(clock_.cycles() - before,
+            clock_.model().vm_exit + clock_.model().irq_inject);
+}
+
+// ---- vfscore + ramfs ------------------------------------------------------------
+
+class VfsTest : public ::testing::Test {
+ protected:
+  VfsTest() : heap_(new std::byte[kHeap]) {
+    alloc_ = ukalloc::CreateAllocator(ukalloc::Backend::kTlsf, heap_.get(), kHeap);
+    ramfs_ = std::make_unique<vfscore::RamFs>(alloc_.get());
+    EXPECT_TRUE(Ok(vfs_.Mount("/", ramfs_.get())));
+  }
+
+  static constexpr std::size_t kHeap = 8 << 20;
+  std::unique_ptr<std::byte[]> heap_;
+  std::unique_ptr<ukalloc::Allocator> alloc_;
+  std::unique_ptr<vfscore::RamFs> ramfs_;
+  vfscore::Vfs vfs_;
+};
+
+TEST_F(VfsTest, CreateWriteReadFile) {
+  std::shared_ptr<vfscore::File> f;
+  ASSERT_TRUE(Ok(vfs_.Open("/hello.txt", vfscore::kWrite | vfscore::kCreate, &f)));
+  EXPECT_EQ(f->Write(AsBytes("hello vfs")), 9);
+
+  std::shared_ptr<vfscore::File> g;
+  ASSERT_TRUE(Ok(vfs_.Open("/hello.txt", vfscore::kRead, &g)));
+  char buf[64] = {};
+  EXPECT_EQ(g->Read(std::as_writable_bytes(std::span(buf))), 9);
+  EXPECT_STREQ(buf, "hello vfs");
+}
+
+TEST_F(VfsTest, NestedDirectories) {
+  ASSERT_TRUE(Ok(vfs_.Mkdir("/a")));
+  ASSERT_TRUE(Ok(vfs_.Mkdir("/a/b")));
+  ASSERT_TRUE(Ok(vfs_.Mkdir("/a/b/c")));
+  std::shared_ptr<vfscore::File> f;
+  ASSERT_TRUE(Ok(vfs_.Open("/a/b/c/deep.txt", vfscore::kWrite | vfscore::kCreate, &f)));
+  f->Write(AsBytes("x"));
+  vfscore::NodeStat st;
+  ASSERT_TRUE(Ok(vfs_.Stat("/a/b/c/deep.txt", &st)));
+  EXPECT_EQ(st.size, 1u);
+  EXPECT_EQ(st.type, vfscore::NodeType::kRegular);
+}
+
+TEST_F(VfsTest, PathNormalization) {
+  ASSERT_TRUE(Ok(vfs_.Mkdir("/dir")));
+  std::shared_ptr<vfscore::File> f;
+  ASSERT_TRUE(Ok(vfs_.Open("//dir/../dir/./f.txt",
+                           vfscore::kWrite | vfscore::kCreate, &f)));
+  vfscore::NodeStat st;
+  EXPECT_TRUE(Ok(vfs_.Stat("/dir/f.txt", &st)));
+}
+
+TEST_F(VfsTest, ErrnoSemantics) {
+  vfscore::NodeStat st;
+  EXPECT_EQ(vfs_.Stat("/missing", &st), ukarch::Status::kNoEnt);
+  ASSERT_TRUE(Ok(vfs_.Mkdir("/d")));
+  EXPECT_EQ(vfs_.Mkdir("/d"), ukarch::Status::kExist);
+  std::shared_ptr<vfscore::File> f;
+  EXPECT_EQ(vfs_.Open("/missing", vfscore::kRead, &f), ukarch::Status::kNoEnt);
+  // Writing a directory is EISDIR.
+  EXPECT_EQ(vfs_.Open("/d", vfscore::kWrite, &f), ukarch::Status::kIsDir);
+  // Unlinking a non-empty directory is ENOTEMPTY.
+  ASSERT_TRUE(Ok(vfs_.Open("/d/x", vfscore::kWrite | vfscore::kCreate, &f)));
+  EXPECT_EQ(vfs_.Unlink("/d"), ukarch::Status::kNotEmpty);
+  EXPECT_TRUE(Ok(vfs_.Unlink("/d/x")));
+  EXPECT_TRUE(Ok(vfs_.Unlink("/d")));
+}
+
+TEST_F(VfsTest, ExclCreateFailsOnExisting) {
+  std::shared_ptr<vfscore::File> f;
+  ASSERT_TRUE(Ok(vfs_.Open("/x", vfscore::kWrite | vfscore::kCreate, &f)));
+  std::shared_ptr<vfscore::File> g;
+  EXPECT_EQ(vfs_.Open("/x", vfscore::kWrite | vfscore::kCreate | vfscore::kExcl, &g),
+            ukarch::Status::kExist);
+}
+
+TEST_F(VfsTest, TruncateAndAppend) {
+  std::shared_ptr<vfscore::File> f;
+  ASSERT_TRUE(Ok(vfs_.Open("/t", vfscore::kWrite | vfscore::kCreate, &f)));
+  f->Write(AsBytes("0123456789"));
+  // O_TRUNC re-open wipes content.
+  std::shared_ptr<vfscore::File> g;
+  ASSERT_TRUE(Ok(vfs_.Open("/t", vfscore::kWrite | vfscore::kTrunc, &g)));
+  vfscore::NodeStat st;
+  vfs_.Stat("/t", &st);
+  EXPECT_EQ(st.size, 0u);
+  // O_APPEND writes at the end regardless of offset.
+  std::shared_ptr<vfscore::File> h;
+  ASSERT_TRUE(Ok(vfs_.Open("/t", vfscore::kWrite | vfscore::kAppend, &h)));
+  h->Write(AsBytes("ab"));
+  h->Write(AsBytes("cd"));
+  vfs_.Stat("/t", &st);
+  EXPECT_EQ(st.size, 4u);
+}
+
+TEST_F(VfsTest, SeekWhence) {
+  std::shared_ptr<vfscore::File> f;
+  ASSERT_TRUE(Ok(vfs_.Open("/s", vfscore::kWrite | vfscore::kRead | vfscore::kCreate, &f)));
+  f->Write(AsBytes("abcdefgh"));
+  EXPECT_EQ(f->Seek(2, vfscore::File::Whence::kSet), 2);
+  char c;
+  f->Read(std::as_writable_bytes(std::span(&c, 1)));
+  EXPECT_EQ(c, 'c');
+  EXPECT_EQ(f->Seek(-1, vfscore::File::Whence::kEnd), 7);
+  f->Read(std::as_writable_bytes(std::span(&c, 1)));
+  EXPECT_EQ(c, 'h');
+  EXPECT_EQ(f->Seek(-100, vfscore::File::Whence::kCur),
+            ukarch::Raw(ukarch::Status::kInval));
+}
+
+TEST_F(VfsTest, LargeFileSpansChunks) {
+  std::shared_ptr<vfscore::File> f;
+  ASSERT_TRUE(Ok(vfs_.Open("/big", vfscore::kWrite | vfscore::kRead | vfscore::kCreate, &f)));
+  std::vector<std::byte> data(20000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>(i % 251);
+  }
+  EXPECT_EQ(f->Write(std::span<const std::byte>(data)), 20000);
+  f->Seek(0, vfscore::File::Whence::kSet);
+  std::vector<std::byte> back(20000);
+  EXPECT_EQ(f->Read(std::span<std::byte>(back)), 20000);
+  EXPECT_EQ(data, back);
+  // Sparse read past EOF returns 0.
+  EXPECT_EQ(f->Read(std::span<std::byte>(back)), 0);
+}
+
+TEST_F(VfsTest, ReadDirLists) {
+  vfs_.Mkdir("/dir");
+  std::shared_ptr<vfscore::File> f;
+  vfs_.Open("/dir/one", vfscore::kWrite | vfscore::kCreate, &f);
+  vfs_.Open("/dir/two", vfscore::kWrite | vfscore::kCreate, &f);
+  std::vector<vfscore::DirEntry> entries;
+  ASSERT_TRUE(Ok(vfs_.ReadDir("/dir", &entries)));
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].name, "one");
+  EXPECT_EQ(entries[1].name, "two");
+}
+
+TEST_F(VfsTest, SecondMountLongestPrefixWins) {
+  auto ramfs2 = std::make_unique<vfscore::RamFs>(alloc_.get());
+  ASSERT_TRUE(Ok(vfs_.Mkdir("/mnt")));
+  ASSERT_TRUE(Ok(vfs_.Mount("/mnt", ramfs2.get())));
+  std::shared_ptr<vfscore::File> f;
+  ASSERT_TRUE(Ok(vfs_.Open("/mnt/inner", vfscore::kWrite | vfscore::kCreate, &f)));
+  f->Write(AsBytes("inner fs"));
+  // The file lives in ramfs2, not in the root fs's /mnt directory.
+  std::vector<vfscore::DirEntry> entries;
+  ASSERT_TRUE(Ok(vfs_.ReadDir("/mnt", &entries)));
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].name, "inner");
+  ASSERT_TRUE(Ok(vfs_.Unmount("/mnt")));
+  ASSERT_TRUE(Ok(vfs_.ReadDir("/mnt", &entries)));
+  EXPECT_TRUE(entries.empty());
+}
+
+TEST_F(VfsTest, FileDataComesFromInstanceHeap) {
+  std::uint64_t used_before = alloc_->stats().bytes_in_use;
+  std::shared_ptr<vfscore::File> f;
+  ASSERT_TRUE(Ok(vfs_.Open("/heapfile", vfscore::kWrite | vfscore::kCreate, &f)));
+  std::vector<std::byte> data(64 * 1024);
+  f->Write(std::span<const std::byte>(data));
+  EXPECT_GE(alloc_->stats().bytes_in_use - used_before, 64u * 1024);
+  ASSERT_TRUE(Ok(vfs_.Unlink("/heapfile")));
+  f.reset();  // last handle drops the node and frees the chunks
+  EXPECT_LT(alloc_->stats().bytes_in_use - used_before, 4096u);
+}
+
+// ---- SHFS -----------------------------------------------------------------------
+
+TEST(ShfsTest, OpenByNameHitAndMiss) {
+  shfs::Shfs::Builder builder;
+  builder.Add("index.html", {'h', 'i'});
+  builder.Add("logo.png", std::vector<std::uint8_t>(1000, 7));
+  auto fs = builder.Build();
+  auto hit = fs->Open("index.html");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->data.size(), 2u);
+  EXPECT_FALSE(fs->Open("missing.html").has_value());
+}
+
+TEST(ShfsTest, ReadChunks) {
+  shfs::Shfs::Builder builder;
+  std::vector<std::uint8_t> content(10000);
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    content[i] = static_cast<std::uint8_t>(i);
+  }
+  builder.Add("data.bin", content);
+  auto fs = builder.Build();
+  auto h = fs->Open("data.bin");
+  ASSERT_TRUE(h.has_value());
+  std::uint8_t buf[256];
+  EXPECT_EQ(shfs::Shfs::Read(*h, 5000, std::span(buf)), 256u);
+  EXPECT_EQ(buf[0], static_cast<std::uint8_t>(5000));
+  // Short read at EOF.
+  EXPECT_EQ(shfs::Shfs::Read(*h, 9990, std::span(buf)), 10u);
+  EXPECT_EQ(shfs::Shfs::Read(*h, 20000, std::span(buf)), 0u);
+}
+
+TEST(ShfsTest, CollisionChainsStayCorrect) {
+  // Tiny bucket table forces collisions; lookups must still be exact.
+  shfs::Shfs::Builder builder(/*bucket_count=*/2);
+  for (int i = 0; i < 50; ++i) {
+    std::string name = "file" + std::to_string(i);
+    builder.Add(name, {static_cast<std::uint8_t>(i)});
+  }
+  auto fs = builder.Build();
+  EXPECT_GE(fs->MaxChainLength(), 20u);
+  for (int i = 0; i < 50; ++i) {
+    auto h = fs->Open("file" + std::to_string(i));
+    ASSERT_TRUE(h.has_value()) << i;
+    EXPECT_EQ(h->data[0], static_cast<std::uint8_t>(i));
+  }
+  EXPECT_FALSE(fs->Open("file50").has_value());
+}
+
+TEST(ShfsTest, VfsAdapterServesSameContent) {
+  shfs::Shfs::Builder builder;
+  builder.Add("page.html", {'<', 'p', '>'});
+  auto volume = builder.Build();
+  shfs::ShfsVfsDriver driver(volume.get());
+  driver.SetNameIndex({"page.html"});
+
+  vfscore::Vfs vfs;
+  ASSERT_TRUE(Ok(vfs.Mount("/", &driver)));
+  std::shared_ptr<vfscore::File> f;
+  ASSERT_TRUE(Ok(vfs.Open("/page.html", vfscore::kRead, &f)));
+  char buf[8] = {};
+  EXPECT_EQ(f->Read(std::as_writable_bytes(std::span(buf))), 3);
+  EXPECT_EQ(buf[0], '<');
+  // Read-only: writes are rejected at open or at write.
+  std::shared_ptr<vfscore::File> w;
+  ASSERT_TRUE(Ok(vfs.Open("/page.html", vfscore::kRead | vfscore::kWrite, &w)));
+  EXPECT_LT(w->Write(AsBytes("x")), 0);
+}
+
+}  // namespace

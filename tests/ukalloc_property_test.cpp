@@ -1,0 +1,213 @@
+// Property tests applied uniformly to every allocator backend via TEST_P:
+// payload integrity under churn, alignment contracts, calloc zeroing,
+// realloc data preservation, stats accounting. The bootalloc region allocator
+// participates in all properties except reuse-after-free.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "ukalloc/registry.h"
+#include "ukarch/random.h"
+
+namespace {
+
+using namespace ukalloc;
+
+class AllocProperty : public ::testing::TestWithParam<Backend> {
+ protected:
+  static constexpr std::size_t kHeap = 8 << 20;
+
+  AllocProperty() : mem_(new std::byte[kHeap]) {
+    alloc_ = CreateAllocator(GetParam(), mem_.get(), kHeap);
+  }
+
+  bool Reclaims() const { return GetParam() != Backend::kBootAlloc; }
+
+  std::unique_ptr<std::byte[]> mem_;
+  std::unique_ptr<Allocator> alloc_;
+};
+
+TEST_P(AllocProperty, PayloadsDoNotOverlapAndSurviveChurn) {
+  ukarch::Xorshift rng(1234);
+  struct Live {
+    void* p;
+    std::uint8_t fill;
+    std::size_t size;
+  };
+  std::vector<Live> live;
+  for (int step = 0; step < 2000; ++step) {
+    bool do_alloc = live.empty() || (rng.Next() % 100) < 60;
+    if (do_alloc) {
+      std::size_t size = 1 + rng.NextBelow(2048);
+      void* p = alloc_->Malloc(size);
+      if (p == nullptr) {
+        continue;  // heap pressure is fine; integrity is what we check
+      }
+      auto fill = static_cast<std::uint8_t>(rng.Next());
+      std::memset(p, fill, size);
+      live.push_back({p, fill, size});
+    } else {
+      std::size_t idx = rng.NextBelow(live.size());
+      Live& v = live[idx];
+      // Verify the fill survived all interleaved operations.
+      auto* bytes = static_cast<std::uint8_t*>(v.p);
+      for (std::size_t i = 0; i < v.size; i += 97) {
+        ASSERT_EQ(bytes[i], v.fill) << alloc_->name() << " corrupted at step " << step;
+      }
+      ASSERT_EQ(bytes[v.size - 1], v.fill);
+      alloc_->Free(v.p);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+  }
+  for (Live& v : live) {
+    auto* bytes = static_cast<std::uint8_t*>(v.p);
+    ASSERT_EQ(bytes[0], v.fill);
+    alloc_->Free(v.p);
+  }
+}
+
+TEST_P(AllocProperty, MallocReturns16ByteAligned) {
+  for (std::size_t size : {1u, 3u, 17u, 100u, 1000u, 5000u}) {
+    void* p = alloc_->Malloc(size);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 16, 0u)
+        << alloc_->name() << " size " << size;
+    alloc_->Free(p);
+  }
+}
+
+TEST_P(AllocProperty, MemalignHonoursEveryPow2) {
+  for (std::size_t align = 32; align <= 4096; align <<= 1) {
+    void* p = alloc_->Memalign(align, 128);
+    ASSERT_NE(p, nullptr) << alloc_->name() << " align " << align;
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+        << alloc_->name() << " align " << align;
+    std::memset(p, 0xCD, 128);
+    alloc_->Free(p);
+  }
+}
+
+TEST_P(AllocProperty, MemalignRejectsNonPow2) {
+  EXPECT_EQ(alloc_->Memalign(48, 64), nullptr);
+  EXPECT_EQ(alloc_->Memalign(0, 64), nullptr);
+}
+
+TEST_P(AllocProperty, CallocZeroes) {
+  auto* p = static_cast<std::uint8_t*>(alloc_->Calloc(100, 7));
+  ASSERT_NE(p, nullptr);
+  for (int i = 0; i < 700; ++i) {
+    ASSERT_EQ(p[i], 0u);
+  }
+  alloc_->Free(p);
+}
+
+TEST_P(AllocProperty, CallocOverflowRejected) {
+  EXPECT_EQ(alloc_->Calloc(SIZE_MAX / 2, 4), nullptr);
+}
+
+TEST_P(AllocProperty, ReallocPreservesPrefix) {
+  auto* p = static_cast<std::uint8_t*>(alloc_->Malloc(64));
+  ASSERT_NE(p, nullptr);
+  for (int i = 0; i < 64; ++i) {
+    p[i] = static_cast<std::uint8_t>(i * 3);
+  }
+  auto* q = static_cast<std::uint8_t*>(alloc_->Realloc(p, 4096));
+  ASSERT_NE(q, nullptr);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_EQ(q[i], static_cast<std::uint8_t>(i * 3));
+  }
+  alloc_->Free(q);
+}
+
+TEST_P(AllocProperty, ReallocNullActsAsMalloc) {
+  void* p = alloc_->Realloc(nullptr, 100);
+  ASSERT_NE(p, nullptr);
+  alloc_->Free(p);
+}
+
+TEST_P(AllocProperty, ReallocZeroFrees) {
+  void* p = alloc_->Malloc(100);
+  EXPECT_EQ(alloc_->Realloc(p, 0), nullptr);
+}
+
+TEST_P(AllocProperty, UsableSizeAtLeastRequested) {
+  for (std::size_t size : {1u, 16u, 100u, 333u, 4096u, 10000u}) {
+    void* p = alloc_->Malloc(size);
+    ASSERT_NE(p, nullptr);
+    EXPECT_GE(alloc_->UsableSize(p), size) << alloc_->name();
+    alloc_->Free(p);
+  }
+}
+
+TEST_P(AllocProperty, StatsTrackCallsAndPeak) {
+  void* a = alloc_->Malloc(1000);
+  void* b = alloc_->Malloc(1000);
+  alloc_->Free(a);
+  alloc_->Free(b);
+  const AllocStats& s = alloc_->stats();
+  EXPECT_EQ(s.malloc_calls, 2u);
+  EXPECT_EQ(s.free_calls, 2u);
+  EXPECT_GE(s.peak_bytes, 2000u);
+  if (Reclaims()) {
+    EXPECT_EQ(s.bytes_in_use, 0u);
+  }
+  EXPECT_EQ(s.heap_bytes, kHeap);
+}
+
+TEST_P(AllocProperty, MemoryIsReusedAfterFree) {
+  if (!Reclaims()) {
+    GTEST_SKIP() << "bootalloc never reclaims by design";
+  }
+  // Allocate/free cycles must not leak: total distinct addresses is bounded.
+  std::map<void*, int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    void* p = alloc_->Malloc(512);
+    ASSERT_NE(p, nullptr);
+    ++seen[p];
+    alloc_->Free(p);
+  }
+  EXPECT_LT(seen.size(), 50u) << alloc_->name() << " appears to leak freed memory";
+}
+
+TEST_P(AllocProperty, ExhaustionIsCleanNotCrash) {
+  std::vector<void*> ptrs;
+  for (;;) {
+    void* p = alloc_->Malloc(64 * 1024);
+    if (p == nullptr) {
+      break;
+    }
+    ptrs.push_back(p);
+    ASSERT_LT(ptrs.size(), 100000u);
+  }
+  EXPECT_GT(alloc_->stats().failed_allocs, 0u);
+  for (void* p : ptrs) {
+    alloc_->Free(p);
+  }
+  if (Reclaims()) {
+    EXPECT_NE(alloc_->Malloc(64 * 1024), nullptr);
+  }
+}
+
+TEST_P(AllocProperty, FreeNullIsNoop) {
+  alloc_->Free(nullptr);
+  EXPECT_EQ(alloc_->stats().free_calls, 0u);
+}
+
+TEST_P(AllocProperty, ZeroSizeMallocGivesValidPointer) {
+  void* p = alloc_->Malloc(0);
+  ASSERT_NE(p, nullptr);
+  alloc_->Free(p);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, AllocProperty,
+                         ::testing::Values(Backend::kBuddy, Backend::kTlsf,
+                                           Backend::kTinyAlloc, Backend::kMimalloc,
+                                           Backend::kBootAlloc),
+                         [](const ::testing::TestParamInfo<Backend>& param_info) {
+                           return BackendName(param_info.param);
+                         });
+
+}  // namespace

@@ -1,0 +1,344 @@
+// Backend-specific allocator tests: buddy coalescing, TLSF invariants,
+// tinyalloc list behaviour, mimalloc-lite size classes, region semantics.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "ukalloc/buddy.h"
+#include "ukalloc/mimalloc_lite.h"
+#include "ukalloc/region.h"
+#include "ukalloc/registry.h"
+#include "ukalloc/tinyalloc.h"
+#include "ukalloc/tlsf.h"
+
+namespace {
+
+using namespace ukalloc;
+
+constexpr std::size_t kHeap = 4 << 20;
+
+class Arena {
+ public:
+  explicit Arena(std::size_t size = kHeap) : mem_(new std::byte[size]), size_(size) {}
+  std::byte* data() { return mem_.get(); }
+  std::size_t size() const { return size_; }
+
+ private:
+  std::unique_ptr<std::byte[]> mem_;
+  std::size_t size_;
+};
+
+// ---- Buddy ------------------------------------------------------------------
+
+TEST(Buddy, SplitAndCoalesceRestoresFreeList) {
+  Arena arena;
+  BuddyAllocator a(arena.data(), arena.size());
+  std::size_t before_large = 0;
+  for (unsigned o = BuddyAllocator::kMinOrder; o <= 30; ++o) {
+    before_large += a.FreeBlocksAt(o);
+  }
+  void* p = a.Malloc(100);
+  ASSERT_NE(p, nullptr);
+  a.Free(p);
+  std::size_t after_large = 0;
+  for (unsigned o = BuddyAllocator::kMinOrder; o <= 30; ++o) {
+    after_large += a.FreeBlocksAt(o);
+  }
+  // Full coalescing must restore the exact original block structure.
+  EXPECT_EQ(before_large, after_large);
+}
+
+TEST(Buddy, DetectsDoubleFree) {
+  Arena arena;
+  BuddyAllocator a(arena.data(), arena.size());
+  void* p = a.Malloc(64);
+  a.Free(p);
+  a.Free(p);
+  EXPECT_EQ(a.double_free_count(), 1u);
+}
+
+TEST(Buddy, PowerOfTwoUsableSizes) {
+  Arena arena;
+  BuddyAllocator a(arena.data(), arena.size());
+  void* p = a.Malloc(100);
+  // 100 + 16B header -> 128-byte block -> 112 usable.
+  EXPECT_EQ(a.UsableSize(p), 112u);
+  a.Free(p);
+}
+
+TEST(Buddy, ExhaustionReturnsNull) {
+  Arena arena(64 * 1024);
+  BuddyAllocator a(arena.data(), arena.size());
+  std::vector<void*> ptrs;
+  void* p = nullptr;
+  while ((p = a.Malloc(4096)) != nullptr) {
+    ptrs.push_back(p);
+  }
+  EXPECT_GT(ptrs.size(), 4u);
+  EXPECT_GT(a.stats().failed_allocs, 0u);
+  for (void* q : ptrs) {
+    a.Free(q);
+  }
+  // After freeing everything a large allocation must succeed again.
+  EXPECT_NE(a.Malloc(16 * 1024), nullptr);
+}
+
+TEST(Buddy, BuddyOfDifferentOrderNotMerged) {
+  Arena arena;
+  BuddyAllocator a(arena.data(), arena.size());
+  void* small = a.Malloc(40);   // 64-byte block
+  void* big = a.Malloc(100);    // 128-byte block
+  ASSERT_NE(small, nullptr);
+  ASSERT_NE(big, nullptr);
+  a.Free(small);
+  // big still allocated; writing through it must stay intact.
+  std::memset(big, 0xAB, 100);
+  a.Free(big);
+  EXPECT_EQ(a.double_free_count(), 0u);
+}
+
+// ---- TLSF -------------------------------------------------------------------
+
+TEST(Tlsf, InvariantsHoldAfterChurn) {
+  Arena arena;
+  TlsfAllocator a(arena.data(), arena.size());
+  EXPECT_TRUE(a.CheckInvariants());
+  std::vector<void*> live;
+  for (int i = 0; i < 500; ++i) {
+    live.push_back(a.Malloc(static_cast<std::size_t>(17 * (i % 40) + 8)));
+    if (i % 3 == 0 && !live.empty()) {
+      a.Free(live.front());
+      live.erase(live.begin());
+    }
+  }
+  EXPECT_TRUE(a.CheckInvariants());
+  for (void* p : live) {
+    a.Free(p);
+  }
+  EXPECT_TRUE(a.CheckInvariants());
+}
+
+TEST(Tlsf, FullCoalescingRestoresLargestBlock) {
+  Arena arena;
+  TlsfAllocator a(arena.data(), arena.size());
+  std::size_t initial = a.LargestFreeBlock();
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 100; ++i) {
+    ptrs.push_back(a.Malloc(1000));
+  }
+  EXPECT_LT(a.LargestFreeBlock(), initial);
+  for (void* p : ptrs) {
+    a.Free(p);
+  }
+  EXPECT_EQ(a.LargestFreeBlock(), initial);
+}
+
+TEST(Tlsf, GoodFitNeverReturnsTooSmall) {
+  Arena arena;
+  TlsfAllocator a(arena.data(), arena.size());
+  for (std::size_t size : {1u, 15u, 16u, 17u, 255u, 256u, 257u, 4095u, 65537u}) {
+    void* p = a.Malloc(size);
+    ASSERT_NE(p, nullptr) << size;
+    EXPECT_GE(a.UsableSize(p), size);
+    a.Free(p);
+  }
+}
+
+TEST(Tlsf, ReusesFreedBlock) {
+  Arena arena;
+  TlsfAllocator a(arena.data(), arena.size());
+  void* p = a.Malloc(128);
+  a.Free(p);
+  void* q = a.Malloc(128);
+  EXPECT_EQ(p, q);  // O(1) good-fit should hand the same block back
+  a.Free(q);
+}
+
+TEST(Tlsf, DoubleFreeIgnored) {
+  Arena arena;
+  TlsfAllocator a(arena.data(), arena.size());
+  void* p = a.Malloc(64);
+  a.Free(p);
+  a.Free(p);  // must not corrupt
+  EXPECT_TRUE(a.CheckInvariants());
+}
+
+// ---- tinyalloc --------------------------------------------------------------
+
+TEST(TinyAlloc, FirstFitAndCompaction) {
+  Arena arena;
+  TinyAllocator a(arena.data(), arena.size());
+  void* p1 = a.Malloc(100);
+  void* p2 = a.Malloc(100);
+  void* p3 = a.Malloc(100);
+  ASSERT_NE(p3, nullptr);
+  a.Free(p1);
+  a.Free(p2);  // adjacent: compaction should merge them
+  EXPECT_EQ(a.free_list_length(), 1u);
+  // The merged block fits a 200-byte request that neither piece could.
+  void* big = a.Malloc(200);
+  EXPECT_EQ(big, p1);
+  a.Free(big);
+  a.Free(p3);
+}
+
+TEST(TinyAlloc, FreeUnknownPointerIgnored) {
+  Arena arena;
+  TinyAllocator a(arena.data(), arena.size());
+  int x = 0;
+  a.Free(&x);
+  EXPECT_EQ(a.used_list_length(), 0u);
+}
+
+TEST(TinyAlloc, BlockDescriptorExhaustion) {
+  Arena arena;
+  TinyAllocator a(arena.data(), arena.size(), /*max_blocks=*/8);
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 8; ++i) {
+    void* p = a.Malloc(32);
+    if (p != nullptr) {
+      ptrs.push_back(p);
+    }
+  }
+  // With 8 descriptors at most 8 concurrent blocks exist.
+  EXPECT_LE(ptrs.size(), 8u);
+  EXPECT_EQ(a.Malloc(32), nullptr);
+  for (void* p : ptrs) {
+    a.Free(p);
+  }
+  EXPECT_NE(a.Malloc(32), nullptr);
+}
+
+TEST(TinyAlloc, ReuseAfterFree) {
+  Arena arena;
+  TinyAllocator a(arena.data(), arena.size());
+  void* p = a.Malloc(64);
+  a.Free(p);
+  void* q = a.Malloc(64);
+  EXPECT_EQ(p, q);
+  a.Free(q);
+}
+
+// ---- mimalloc-lite ----------------------------------------------------------
+
+TEST(Mimalloc, SizeClassesAreMonotonic) {
+  std::size_t prev = 0;
+  for (unsigned cls = 0; cls < 32; ++cls) {
+    std::size_t bs = MimallocLite::ClassBlockSize(cls);
+    EXPECT_GT(bs, prev);
+    prev = bs;
+  }
+  EXPECT_EQ(MimallocLite::ClassBlockSize(MimallocLite::SizeClassOf(1)), 16u);
+  EXPECT_EQ(MimallocLite::ClassBlockSize(MimallocLite::SizeClassOf(16)), 16u);
+  EXPECT_EQ(MimallocLite::ClassBlockSize(MimallocLite::SizeClassOf(17)), 32u);
+}
+
+TEST(Mimalloc, ClassOfIsTightFit) {
+  for (std::size_t size = 1; size <= MimallocLite::kMaxSmall; size += 7) {
+    unsigned cls = MimallocLite::SizeClassOf(size);
+    std::size_t bs = MimallocLite::ClassBlockSize(cls);
+    EXPECT_GE(bs, size);
+    if (cls > 0) {
+      EXPECT_LT(MimallocLite::ClassBlockSize(cls - 1), size);
+    }
+  }
+}
+
+TEST(Mimalloc, PageRecycledWhenEmpty) {
+  Arena arena;
+  MimallocLite a(arena.data(), arena.size());
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 100; ++i) {
+    ptrs.push_back(a.Malloc(64));
+  }
+  std::size_t pages = a.PagesInUse();
+  EXPECT_GE(pages, 1u);
+  for (void* p : ptrs) {
+    a.Free(p);
+  }
+  EXPECT_EQ(a.PagesInUse(), 0u);
+}
+
+TEST(Mimalloc, HugeAllocationRoundTrip) {
+  Arena arena;
+  MimallocLite a(arena.data(), arena.size());
+  void* p = a.Malloc(300 * 1024);
+  ASSERT_NE(p, nullptr);
+  EXPECT_GE(a.UsableSize(p), 300u * 1024);
+  std::memset(p, 0x5A, 300 * 1024);
+  a.Free(p);
+  // The span must be reusable.
+  void* q = a.Malloc(300 * 1024);
+  ASSERT_NE(q, nullptr);
+  a.Free(q);
+}
+
+TEST(Mimalloc, FreeListSharding) {
+  Arena arena;
+  MimallocLite a(arena.data(), arena.size());
+  // Same-class blocks freed and reallocated must come from the same page
+  // (spatial locality, mimalloc's key property).
+  void* p1 = a.Malloc(48);
+  void* p2 = a.Malloc(48);
+  a.Free(p1);
+  void* p3 = a.Malloc(48);
+  EXPECT_EQ(p3, p1);
+  a.Free(p2);
+  a.Free(p3);
+}
+
+// ---- region (bootalloc) -----------------------------------------------------
+
+TEST(Region, BumpAllocatesAndNeverReclaims) {
+  Arena arena(64 * 1024);
+  RegionAllocator a(arena.data(), arena.size());
+  std::size_t before = a.bytes_remaining();
+  void* p = a.Malloc(1000);
+  ASSERT_NE(p, nullptr);
+  a.Free(p);
+  EXPECT_LT(a.bytes_remaining(), before);  // free does not give memory back
+}
+
+TEST(Region, ExhaustsAtLimit) {
+  Arena arena(4096);
+  RegionAllocator a(arena.data(), arena.size());
+  EXPECT_NE(a.Malloc(2000), nullptr);
+  EXPECT_EQ(a.Malloc(4000), nullptr);
+}
+
+TEST(Region, MemalignNative) {
+  Arena arena(64 * 1024);
+  RegionAllocator a(arena.data(), arena.size());
+  void* p = a.Memalign(4096, 100);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 4096, 0u);
+  EXPECT_GE(a.UsableSize(p), 100u);
+}
+
+// ---- registry ---------------------------------------------------------------
+
+TEST(Registry, CreatesEveryBackend) {
+  Arena arena;
+  for (Backend b : AllBackends()) {
+    auto a = CreateAllocator(b, arena.data(), arena.size());
+    ASSERT_NE(a, nullptr);
+    EXPECT_STREQ(a->name(), BackendName(b));
+    void* p = a->Malloc(128);
+    EXPECT_NE(p, nullptr) << BackendName(b);
+    a->Free(p);
+  }
+}
+
+TEST(Registry, ParseRoundTrip) {
+  for (Backend b : AllBackends()) {
+    Backend parsed;
+    ASSERT_TRUE(ParseBackend(BackendName(b), &parsed));
+    EXPECT_EQ(parsed, b);
+  }
+  Backend dummy;
+  EXPECT_FALSE(ParseBackend("jemalloc", &dummy));
+}
+
+}  // namespace

@@ -1,0 +1,120 @@
+// Tests for ukarch helpers: alignment math, hashes, deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ukarch/align.h"
+#include "ukarch/hash.h"
+#include "ukarch/random.h"
+#include "ukarch/status.h"
+
+namespace {
+
+using namespace ukarch;
+
+TEST(Align, IsPow2) {
+  EXPECT_FALSE(IsPow2(0));
+  EXPECT_TRUE(IsPow2(1));
+  EXPECT_TRUE(IsPow2(2));
+  EXPECT_FALSE(IsPow2(3));
+  EXPECT_TRUE(IsPow2(1ull << 40));
+  EXPECT_FALSE(IsPow2((1ull << 40) + 1));
+}
+
+TEST(Align, AlignUpDown) {
+  EXPECT_EQ(AlignUp(0, 16), 0u);
+  EXPECT_EQ(AlignUp(1, 16), 16u);
+  EXPECT_EQ(AlignUp(16, 16), 16u);
+  EXPECT_EQ(AlignUp(17, 16), 32u);
+  EXPECT_EQ(AlignDown(17, 16), 16u);
+  EXPECT_EQ(AlignDown(15, 16), 0u);
+  EXPECT_TRUE(IsAligned(4096, 4096));
+  EXPECT_FALSE(IsAligned(4097, 4096));
+}
+
+TEST(Align, CeilPow2) {
+  EXPECT_EQ(CeilPow2(0), 1u);
+  EXPECT_EQ(CeilPow2(1), 1u);
+  EXPECT_EQ(CeilPow2(2), 2u);
+  EXPECT_EQ(CeilPow2(3), 4u);
+  EXPECT_EQ(CeilPow2(4096), 4096u);
+  EXPECT_EQ(CeilPow2(4097), 8192u);
+  EXPECT_EQ(CeilPow2((1ull << 35) + 1), 1ull << 36);
+}
+
+TEST(Align, Log2) {
+  EXPECT_EQ(Log2Floor(1), 0u);
+  EXPECT_EQ(Log2Floor(2), 1u);
+  EXPECT_EQ(Log2Floor(3), 1u);
+  EXPECT_EQ(Log2Floor(1024), 10u);
+  EXPECT_EQ(Log2Ceil(1024), 10u);
+  EXPECT_EQ(Log2Ceil(1025), 11u);
+}
+
+TEST(Align, FfsFls) {
+  EXPECT_EQ(Ffs(0), 0u);
+  EXPECT_EQ(Ffs(1), 1u);
+  EXPECT_EQ(Ffs(8), 4u);
+  EXPECT_EQ(Ffs(0b1010'0000), 6u);
+  EXPECT_EQ(Fls(0), 0u);
+  EXPECT_EQ(Fls(1), 1u);
+  EXPECT_EQ(Fls(0xFF), 8u);
+}
+
+TEST(Hash, Fnv1aStable) {
+  // Known-good FNV-1a vectors guard against accidental constant changes.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_NE(Fnv1a64("hello"), Fnv1a64("hellp"));
+  EXPECT_EQ(Fnv1a32(""), 0x811c9dc5u);
+}
+
+TEST(Hash, Mix64Spreads) {
+  std::set<std::uint64_t> low_bits;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    low_bits.insert(Mix64(i) & 0xFF);
+  }
+  // Sequential inputs must hit most byte buckets.
+  EXPECT_GT(low_bits.size(), 200u);
+}
+
+TEST(Random, Deterministic) {
+  Xorshift a(42);
+  Xorshift b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Random, RangeBounds) {
+  Xorshift rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    std::uint64_t v = rng.NextInRange(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+  EXPECT_EQ(rng.NextBelow(0), 0u);
+}
+
+TEST(Random, ZipfishSkew) {
+  Xorshift rng(3);
+  std::uint64_t low = 0;
+  constexpr int kDraws = 10000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.NextZipfish(100) < 20) {
+      ++low;
+    }
+  }
+  // min-of-three sampling concentrates mass at small indices: P(<20) ~ 1-0.8^3.
+  EXPECT_GT(low, kDraws / 3u);
+}
+
+TEST(Status, RoundTrip) {
+  EXPECT_TRUE(Ok(Status::kOk));
+  EXPECT_FALSE(Ok(Status::kNoMem));
+  EXPECT_EQ(Raw(Status::kNoSys), -38);
+  EXPECT_STREQ(StatusName(Status::kNoEnt), "ENOENT");
+  EXPECT_STREQ(StatusName(Status::kConnRefused), "ECONNREFUSED");
+}
+
+}  // namespace

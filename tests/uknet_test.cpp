@@ -1,0 +1,383 @@
+// Tests for the uknet TCP/IP stack: wire formats, ARP, ICMP, UDP, and the
+// TCP state machine end-to-end over real virtio-net devices and a wire.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "ukalloc/registry.h"
+#include "uknet/stack.h"
+#include "uknetdev/virtio_net.h"
+
+namespace {
+
+using namespace uknet;
+
+// ---- wire formats ----------------------------------------------------------------
+
+TEST(WireFormat, InternetChecksumKnownVector) {
+  // RFC 1071 example: 0x0001 0xf203 0xf4f5 0xf6f7 -> checksum 0x220d.
+  std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(InternetChecksum(data), 0x220d);
+}
+
+TEST(WireFormat, ChecksumOfPacketWithChecksumIsZero) {
+  std::uint8_t hdr[kIp4HdrBytes];
+  Ip4Header ip;
+  ip.total_len = kIp4HdrBytes;  // header-only packet so Parse's bound holds
+  ip.proto = kIpProtoTcp;
+  ip.src = MakeIp(10, 0, 0, 1);
+  ip.dst = MakeIp(10, 0, 0, 2);
+  ip.Serialize(hdr);
+  EXPECT_EQ(InternetChecksum(hdr), 0);
+  auto parsed = Ip4Header::Parse(std::span<const std::uint8_t>(hdr, sizeof(hdr)));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src, ip.src);
+  // A flipped bit must be rejected.
+  hdr[15] ^= 0x40;
+  EXPECT_FALSE(Ip4Header::Parse(std::span<const std::uint8_t>(hdr, sizeof(hdr))).has_value());
+}
+
+TEST(WireFormat, EthRoundTrip) {
+  EthHeader eth;
+  eth.dst = uknetdev::MacAddr{{1, 2, 3, 4, 5, 6}};
+  eth.src = uknetdev::MacAddr{{7, 8, 9, 10, 11, 12}};
+  eth.ethertype = kEthTypeIp4;
+  std::uint8_t buf[kEthHdrBytes];
+  eth.Serialize(buf);
+  EthHeader back = EthHeader::Parse(std::span<const std::uint8_t>(buf, sizeof(buf)));
+  EXPECT_EQ(back.dst, eth.dst);
+  EXPECT_EQ(back.src, eth.src);
+  EXPECT_EQ(back.ethertype, kEthTypeIp4);
+}
+
+TEST(WireFormat, ArpRoundTrip) {
+  ArpPacket arp;
+  arp.oper = 2;
+  arp.sender_mac = uknetdev::MacAddr{{0xaa, 1, 2, 3, 4, 5}};
+  arp.sender_ip = MakeIp(192, 168, 1, 1);
+  arp.target_ip = MakeIp(192, 168, 1, 2);
+  std::uint8_t buf[kArpBytes];
+  arp.Serialize(buf);
+  auto back = ArpPacket::Parse(std::span<const std::uint8_t>(buf, sizeof(buf)));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->oper, 2);
+  EXPECT_EQ(back->sender_ip, arp.sender_ip);
+  EXPECT_EQ(back->sender_mac, arp.sender_mac);
+}
+
+TEST(WireFormat, UdpChecksumVerification) {
+  std::uint8_t payload[] = {'h', 'i'};
+  std::vector<std::uint8_t> dgram(kUdpHdrBytes + 2);
+  UdpHeader udp;
+  udp.src_port = 1234;
+  udp.dst_port = 5678;
+  std::memcpy(dgram.data() + kUdpHdrBytes, payload, 2);
+  udp.Serialize(dgram.data(), MakeIp(10, 0, 0, 1), MakeIp(10, 0, 0, 2), payload);
+  auto ok = UdpHeader::Parse(dgram, MakeIp(10, 0, 0, 1), MakeIp(10, 0, 0, 2));
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->src_port, 1234);
+  dgram[9] ^= 1;  // corrupt payload
+  EXPECT_FALSE(
+      UdpHeader::Parse(dgram, MakeIp(10, 0, 0, 1), MakeIp(10, 0, 0, 2)).has_value());
+}
+
+TEST(WireFormat, TcpChecksumVerification) {
+  std::uint8_t payload[] = {1, 2, 3};
+  std::vector<std::uint8_t> seg(kTcpHdrBytes + 3);
+  TcpHeader tcp;
+  tcp.src_port = 80;
+  tcp.dst_port = 45000;
+  tcp.seq = 1000;
+  tcp.ack = 2000;
+  tcp.flags = kTcpAck | kTcpPsh;
+  tcp.window = 65535;
+  std::memcpy(seg.data() + kTcpHdrBytes, payload, 3);
+  tcp.Serialize(seg.data(), MakeIp(10, 0, 0, 1), MakeIp(10, 0, 0, 2), payload);
+  std::size_t hlen = 0;
+  auto ok = TcpHeader::Parse(seg, MakeIp(10, 0, 0, 1), MakeIp(10, 0, 0, 2), &hlen);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(hlen, kTcpHdrBytes);
+  EXPECT_EQ(ok->seq, 1000u);
+  EXPECT_EQ(ok->flags, kTcpAck | kTcpPsh);
+  seg[21] ^= 1;  // corrupt a payload byte
+  EXPECT_FALSE(
+      TcpHeader::Parse(seg, MakeIp(10, 0, 0, 1), MakeIp(10, 0, 0, 2), &hlen).has_value());
+}
+
+TEST(WireFormat, SeqArithmeticWraps) {
+  EXPECT_TRUE(SeqLt(0xfffffff0u, 0x10u));  // wrapped comparison
+  EXPECT_FALSE(SeqLt(0x10u, 0xfffffff0u));
+  EXPECT_TRUE(SeqLe(5u, 5u));
+}
+
+// ---- two hosts over a wire ---------------------------------------------------------
+
+// A simulated host: guest RAM, allocator, virtio-net on one wire side, stack.
+struct Host {
+  Host(ukplat::Clock* clock, ukplat::Wire* wire, int side, Ip4Addr ip)
+      : mem(32 << 20) {
+    std::uint64_t heap_gpa = mem.Carve(24 << 20, 4096);
+    alloc = ukalloc::CreateAllocator(ukalloc::Backend::kTlsf, mem.At(heap_gpa, 24 << 20),
+                                     24 << 20);
+    uknetdev::VirtioNet::Config cfg;
+    cfg.backend = uknetdev::VirtioBackend::kVhostUser;
+    cfg.wire_side = side;
+    cfg.mac = uknetdev::MacAddr{{2, 0, 0, 0, 0, static_cast<std::uint8_t>(side + 1)}};
+    cfg.queue_size = 128;
+    nic = std::make_unique<uknetdev::VirtioNet>(&mem, clock, wire, cfg);
+    stack = std::make_unique<NetStack>(&mem, clock, alloc.get());
+    NetIf::Config ifcfg;
+    ifcfg.ip = ip;
+    netif = stack->AddInterface(nic.get(), ifcfg);
+  }
+
+  ukplat::MemRegion mem;
+  std::unique_ptr<ukalloc::Allocator> alloc;
+  std::unique_ptr<uknetdev::VirtioNet> nic;
+  std::unique_ptr<NetStack> stack;
+  NetIf* netif = nullptr;
+};
+
+class TwoHostTest : public ::testing::Test {
+ protected:
+  TwoHostTest()
+      : wire_(&clock_),
+        a_(&clock_, &wire_, 0, MakeIp(10, 0, 0, 1)),
+        b_(&clock_, &wire_, 1, MakeIp(10, 0, 0, 2)) {}
+
+  // Pumps both stacks until |pred| holds.
+  bool PumpUntil(const std::function<bool()>& pred, int iters = 2000) {
+    for (int i = 0; i < iters; ++i) {
+      if (pred()) {
+        return true;
+      }
+      a_.stack->Poll();
+      b_.stack->Poll();
+    }
+    return pred();
+  }
+
+  ukplat::Clock clock_;
+  ukplat::Wire wire_;
+  Host a_;
+  Host b_;
+};
+
+TEST_F(TwoHostTest, InterfacesComeUp) {
+  ASSERT_NE(a_.netif, nullptr);
+  ASSERT_NE(b_.netif, nullptr);
+  EXPECT_EQ(a_.netif->ip(), MakeIp(10, 0, 0, 1));
+}
+
+TEST_F(TwoHostTest, ArpResolutionViaRequestReply) {
+  // First ping triggers ARP; the reply releases the parked packet.
+  ASSERT_TRUE(a_.stack->Ping(MakeIp(10, 0, 0, 2), 1));
+  EXPECT_TRUE(PumpUntil([&] { return a_.stack->pings_answered() == 1; }));
+  EXPECT_GE(a_.netif->if_stats().arp_requests, 1u);
+  EXPECT_GE(b_.netif->if_stats().arp_replies, 1u);
+}
+
+TEST_F(TwoHostTest, PingStorm) {
+  for (std::uint16_t i = 0; i < 20; ++i) {
+    a_.stack->Ping(MakeIp(10, 0, 0, 2), i);
+    a_.stack->Poll();
+    b_.stack->Poll();
+  }
+  EXPECT_TRUE(PumpUntil([&] { return a_.stack->pings_answered() >= 19; }));
+}
+
+TEST_F(TwoHostTest, UdpDatagramDelivery) {
+  auto server = b_.stack->UdpOpen();
+  ASSERT_TRUE(Ok(server->Bind(53)));
+  auto client = a_.stack->UdpOpen();
+  std::uint8_t query[] = {'d', 'n', 's', '?'};
+  EXPECT_EQ(client->SendTo(MakeIp(10, 0, 0, 2), 53, query), 4);
+  ASSERT_TRUE(PumpUntil([&] { return server->readable(); }));
+  auto dgram = server->RecvFrom();
+  ASSERT_TRUE(dgram.has_value());
+  EXPECT_EQ(dgram->payload.size(), 4u);
+  EXPECT_EQ(dgram->src_ip, MakeIp(10, 0, 0, 1));
+  // Reply path.
+  std::uint8_t resp[] = {'o', 'k'};
+  server->SendTo(dgram->src_ip, dgram->src_port, resp);
+  ASSERT_TRUE(PumpUntil([&] { return client->readable(); }));
+  auto back = client->RecvFrom();
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->payload[0], 'o');
+}
+
+TEST_F(TwoHostTest, UdpPortCollisionRejected) {
+  auto s1 = b_.stack->UdpOpen();
+  ASSERT_TRUE(Ok(s1->Bind(1000)));
+  auto s2 = b_.stack->UdpOpen();
+  EXPECT_EQ(s2->Bind(1000), ukarch::Status::kAddrInUse);
+}
+
+TEST_F(TwoHostTest, TcpHandshake) {
+  auto listener = b_.stack->TcpListen(80);
+  ASSERT_NE(listener, nullptr);
+  auto client = a_.stack->TcpConnect(MakeIp(10, 0, 0, 2), 80);
+  ASSERT_NE(client, nullptr);
+  EXPECT_EQ(client->state(), TcpState::kSynSent);
+  ASSERT_TRUE(PumpUntil([&] { return client->connected(); }));
+  auto server_sock = listener->Accept();
+  ASSERT_NE(server_sock, nullptr);
+  EXPECT_EQ(server_sock->state(), TcpState::kEstablished);
+  EXPECT_EQ(server_sock->remote_ip(), MakeIp(10, 0, 0, 1));
+}
+
+TEST_F(TwoHostTest, TcpDataBothDirections) {
+  auto listener = b_.stack->TcpListen(7);
+  auto client = a_.stack->TcpConnect(MakeIp(10, 0, 0, 2), 7);
+  ASSERT_TRUE(PumpUntil([&] { return client->connected() && listener->backlog() > 0; }));
+  auto server_sock = listener->Accept();
+
+  std::string msg = "GET / HTTP/1.1\r\n\r\n";
+  EXPECT_EQ(client->Send(std::span(reinterpret_cast<const std::uint8_t*>(msg.data()),
+                                   msg.size())),
+            static_cast<std::int64_t>(msg.size()));
+  ASSERT_TRUE(PumpUntil([&] { return server_sock->readable(); }));
+  std::uint8_t buf[64];
+  std::int64_t n = server_sock->Recv(buf);
+  ASSERT_EQ(n, static_cast<std::int64_t>(msg.size()));
+  EXPECT_EQ(std::string(buf, buf + n), msg);
+
+  std::string reply = "HTTP/1.1 200 OK\r\n\r\n";
+  server_sock->Send(std::span(reinterpret_cast<const std::uint8_t*>(reply.data()),
+                              reply.size()));
+  ASSERT_TRUE(PumpUntil([&] { return client->readable(); }));
+  n = client->Recv(buf);
+  EXPECT_EQ(std::string(buf, buf + n), reply);
+}
+
+TEST_F(TwoHostTest, TcpBulkTransferSegmentsAndReassembles) {
+  auto listener = b_.stack->TcpListen(9000);
+  auto client = a_.stack->TcpConnect(MakeIp(10, 0, 0, 2), 9000);
+  ASSERT_TRUE(PumpUntil([&] { return client->connected() && listener->backlog() > 0; }));
+  auto server_sock = listener->Accept();
+
+  // 256 KB: forces MSS segmentation, windowing, and multiple send calls.
+  std::vector<std::uint8_t> data(256 * 1024);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  std::size_t sent = 0;
+  std::vector<std::uint8_t> received;
+  received.reserve(data.size());
+  std::uint8_t buf[4096];
+  for (int rounds = 0; rounds < 200000 && received.size() < data.size(); ++rounds) {
+    if (sent < data.size()) {
+      std::int64_t n = client->Send(
+          std::span(data.data() + sent, data.size() - sent));
+      if (n > 0) {
+        sent += static_cast<std::size_t>(n);
+      }
+    }
+    a_.stack->Poll();
+    b_.stack->Poll();
+    std::int64_t r = server_sock->Recv(buf);
+    if (r > 0) {
+      received.insert(received.end(), buf, buf + r);
+    }
+  }
+  ASSERT_EQ(received.size(), data.size());
+  EXPECT_EQ(received, data);
+  EXPECT_GT(client->tcp_stats().segments_sent, data.size() / TcpSocket::kMss);
+}
+
+TEST_F(TwoHostTest, TcpGracefulClose) {
+  auto listener = b_.stack->TcpListen(21);
+  auto client = a_.stack->TcpConnect(MakeIp(10, 0, 0, 2), 21);
+  ASSERT_TRUE(PumpUntil([&] { return client->connected() && listener->backlog() > 0; }));
+  auto server_sock = listener->Accept();
+
+  client->Close();
+  ASSERT_TRUE(PumpUntil([&] { return server_sock->readable(); }));
+  std::uint8_t buf[8];
+  EXPECT_EQ(server_sock->Recv(buf), 0);  // EOF
+  EXPECT_EQ(server_sock->state(), TcpState::kCloseWait);
+  server_sock->Close();
+  ASSERT_TRUE(PumpUntil([&] {
+    return client->state() == TcpState::kTimeWait ||
+           client->state() == TcpState::kClosed;
+  }));
+}
+
+TEST_F(TwoHostTest, ConnectToClosedPortGetsRst) {
+  auto client = a_.stack->TcpConnect(MakeIp(10, 0, 0, 2), 12345);
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(PumpUntil([&] { return client->failed(); }));
+  EXPECT_EQ(client->state(), TcpState::kClosed);
+  EXPECT_GE(b_.stack->stats().rst_sent, 1u);
+}
+
+TEST_F(TwoHostTest, NoListenerUdpDropCounted) {
+  auto client = a_.stack->UdpOpen();
+  std::uint8_t data[] = {1};
+  client->SendTo(MakeIp(10, 0, 0, 2), 9999, data);
+  PumpUntil([&] { return b_.stack->stats().no_socket_drops > 0; }, 200);
+  EXPECT_GE(b_.stack->stats().no_socket_drops, 1u);
+}
+
+// Lossy wire: TCP must retransmit and still deliver everything correctly.
+class LossyTest : public ::testing::Test {
+ protected:
+  LossyTest() {
+    ukplat::Wire::Config cfg;
+    cfg.drop_rate = 0.02;  // every 50th frame vanishes
+    wire_ = std::make_unique<ukplat::Wire>(&clock_, cfg);
+    a_ = std::make_unique<Host>(&clock_, wire_.get(), 0, MakeIp(10, 0, 0, 1));
+    b_ = std::make_unique<Host>(&clock_, wire_.get(), 1, MakeIp(10, 0, 0, 2));
+    // Short virtual RTO so retransmissions trigger quickly; advance the
+    // virtual clock manually between polls.
+    a_->stack->rto_cycles = 10'000;
+    b_->stack->rto_cycles = 10'000;
+  }
+
+  ukplat::Clock clock_;
+  std::unique_ptr<ukplat::Wire> wire_;
+  std::unique_ptr<Host> a_;
+  std::unique_ptr<Host> b_;
+};
+
+TEST_F(LossyTest, TcpRecoversFromLoss) {
+  a_->netif->AddArpEntry(MakeIp(10, 0, 0, 2), b_->nic->mac());
+  b_->netif->AddArpEntry(MakeIp(10, 0, 0, 1), a_->nic->mac());
+  auto listener = b_->stack->TcpListen(80);
+  auto client = a_->stack->TcpConnect(MakeIp(10, 0, 0, 2), 80);
+
+  std::vector<std::uint8_t> data(64 * 1024);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i % 253);
+  }
+  std::size_t sent = 0;
+  std::vector<std::uint8_t> received;
+  std::shared_ptr<TcpSocket> server_sock;
+  std::uint8_t buf[4096];
+  for (int rounds = 0; rounds < 400000 && received.size() < data.size(); ++rounds) {
+    clock_.Charge(2000);  // advance virtual time so RTOs can fire
+    if (client->connected() && sent < data.size()) {
+      std::int64_t n = client->Send(std::span(data.data() + sent, data.size() - sent));
+      if (n > 0) {
+        sent += static_cast<std::size_t>(n);
+      }
+    }
+    a_->stack->Poll();
+    b_->stack->Poll();
+    if (server_sock == nullptr) {
+      server_sock = listener->Accept();
+    } else {
+      std::int64_t r = server_sock->Recv(buf);
+      if (r > 0) {
+        received.insert(received.end(), buf, buf + r);
+      }
+    }
+  }
+  ASSERT_EQ(received.size(), data.size());
+  EXPECT_EQ(received, data);
+  EXPECT_GT(client->tcp_stats().retransmissions, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,246 @@
+// Tests for uksched (cooperative/preemptive threads) and uklock primitives.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ukalloc/registry.h"
+#include "uklock/lock.h"
+#include "uksched/scheduler.h"
+#include "ukplat/clock.h"
+
+namespace {
+
+using namespace uksched;
+
+class SchedTest : public ::testing::Test {
+ protected:
+  SchedTest() : mem_(new std::byte[kHeap]) {
+    alloc_ = ukalloc::CreateAllocator(ukalloc::Backend::kTlsf, mem_.get(), kHeap);
+  }
+
+  static constexpr std::size_t kHeap = 8 << 20;
+  std::unique_ptr<std::byte[]> mem_;
+  std::unique_ptr<ukalloc::Allocator> alloc_;
+  ukplat::Clock clock_;
+};
+
+TEST_F(SchedTest, RunsSingleThreadToCompletion) {
+  CoopScheduler sched(alloc_.get(), &clock_);
+  bool ran = false;
+  ASSERT_NE(sched.CreateThread("t", [&] { ran = true; }), nullptr);
+  EXPECT_EQ(sched.Run(), 0u);
+  EXPECT_TRUE(ran);
+}
+
+TEST_F(SchedTest, CooperativeYieldInterleaves) {
+  CoopScheduler sched(alloc_.get(), &clock_);
+  std::string trace;
+  sched.CreateThread("a", [&] {
+    trace += 'a';
+    sched.Yield();
+    trace += 'A';
+  });
+  sched.CreateThread("b", [&] {
+    trace += 'b';
+    sched.Yield();
+    trace += 'B';
+  });
+  sched.Run();
+  EXPECT_EQ(trace, "abAB");
+}
+
+TEST_F(SchedTest, CoopNeverPreempts) {
+  CoopScheduler sched(alloc_.get(), &clock_);
+  std::string trace;
+  sched.CreateThread("a", [&] {
+    for (int i = 0; i < 5; ++i) {
+      clock_.Charge(1'000'000);
+      sched.PreemptPoint();  // must be a no-op under ukcoop
+      trace += 'a';
+    }
+  });
+  sched.CreateThread("b", [&] { trace += 'b'; });
+  sched.Run();
+  EXPECT_EQ(trace, "aaaaab");
+  EXPECT_EQ(sched.stats().preemptions, 0u);
+}
+
+TEST_F(SchedTest, PreemptiveForcesRoundRobin) {
+  PreemptScheduler sched(alloc_.get(), &clock_, /*quantum_cycles=*/1000);
+  std::string trace;
+  auto worker = [&](char c) {
+    return [&trace, c, this, &sched] {
+      for (int i = 0; i < 3; ++i) {
+        trace += c;
+        clock_.Charge(2000);     // exceed the quantum
+        sched.PreemptPoint();    // kernel-entry point
+      }
+    };
+  };
+  sched.CreateThread("a", worker('a'));
+  sched.CreateThread("b", worker('b'));
+  sched.Run();
+  EXPECT_EQ(trace, "ababab");
+  EXPECT_GE(sched.stats().preemptions, 4u);
+}
+
+TEST_F(SchedTest, WaitQueueBlocksUntilWoken) {
+  CoopScheduler sched(alloc_.get(), &clock_);
+  WaitQueue wq(&sched);
+  std::string trace;
+  sched.CreateThread("waiter", [&] {
+    trace += 'w';
+    wq.Wait();
+    trace += 'W';
+  });
+  sched.CreateThread("waker", [&] {
+    trace += 'k';
+    wq.Wake();
+  });
+  EXPECT_EQ(sched.Run(), 0u);
+  EXPECT_EQ(trace, "wkW");
+}
+
+TEST_F(SchedTest, RunReportsBlockedThreads) {
+  CoopScheduler sched(alloc_.get(), &clock_);
+  WaitQueue wq(&sched);
+  sched.CreateThread("stuck", [&] { wq.Wait(); });
+  EXPECT_EQ(sched.Run(), 1u);  // one thread still blocked
+  wq.Wake();
+  EXPECT_EQ(sched.Run(), 0u);
+}
+
+TEST_F(SchedTest, ManyThreadsAllComplete) {
+  CoopScheduler sched(alloc_.get(), &clock_);
+  int done = 0;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_NE(sched.CreateThread("t" + std::to_string(i),
+                                 [&done, &sched] {
+                                   sched.Yield();
+                                   ++done;
+                                 }),
+              nullptr);
+  }
+  EXPECT_EQ(sched.Run(), 0u);
+  EXPECT_EQ(done, 50);
+  EXPECT_EQ(sched.stats().threads_created, 50u);
+}
+
+TEST_F(SchedTest, StackAllocationFailureReturnsNull) {
+  // Tiny heap: thread creation must fail cleanly, not crash.
+  auto tiny_mem = std::make_unique<std::byte[]>(16 * 1024);
+  auto tiny = ukalloc::CreateAllocator(ukalloc::Backend::kTlsf, tiny_mem.get(), 16 * 1024);
+  ukplat::Clock clk;
+  CoopScheduler sched(tiny.get(), &clk);
+  EXPECT_EQ(sched.CreateThread("big", [] {}, 1 << 20), nullptr);
+}
+
+TEST_F(SchedTest, StacksRecycledAfterExit) {
+  CoopScheduler sched(alloc_.get(), &clock_);
+  // Sequential waves of threads must not exhaust an 8 MB heap with 64 KB
+  // stacks if stacks are reclaimed (>128 would otherwise fail).
+  for (int wave = 0; wave < 10; ++wave) {
+    for (int i = 0; i < 40; ++i) {
+      ASSERT_NE(sched.CreateThread("w", [] {}), nullptr) << "wave " << wave;
+    }
+    EXPECT_EQ(sched.Run(), 0u);
+  }
+}
+
+TEST_F(SchedTest, ThreadsSeeOwnStacks) {
+  CoopScheduler sched(alloc_.get(), &clock_);
+  std::vector<int> results(4, 0);
+  for (int i = 0; i < 4; ++i) {
+    sched.CreateThread("calc", [&results, i, &sched] {
+      int local[128];
+      for (int j = 0; j < 128; ++j) {
+        local[j] = i * 1000 + j;
+      }
+      sched.Yield();  // let others scribble on their stacks
+      int sum = 0;
+      for (int j = 0; j < 128; ++j) {
+        sum += local[j] - i * 1000 - j;
+      }
+      results[static_cast<std::size_t>(i)] = sum == 0 ? 1 : -1;
+    });
+  }
+  sched.Run();
+  for (int r : results) {
+    EXPECT_EQ(r, 1);
+  }
+}
+
+// ---- uklock -----------------------------------------------------------------
+
+TEST_F(SchedTest, MutexProvidesMutualExclusion) {
+  CoopScheduler sched(alloc_.get(), &clock_);
+  uklock::Mutex mutex(uklock::Config{.threading = true}, &sched);
+  std::string trace;
+  sched.CreateThread("a", [&] {
+    uklock::MutexGuard g(mutex);
+    trace += '(';
+    sched.Yield();  // b runs and must block on the mutex
+    trace += ')';
+  });
+  sched.CreateThread("b", [&] {
+    uklock::MutexGuard g(mutex);
+    trace += '[';
+    trace += ']';
+  });
+  sched.Run();
+  EXPECT_EQ(trace, "()[]");
+  EXPECT_GE(mutex.contended_acquires(), 1u);
+}
+
+TEST_F(SchedTest, MutexTryLock) {
+  CoopScheduler sched(alloc_.get(), &clock_);
+  uklock::Mutex mutex(uklock::Config{.threading = true}, &sched);
+  EXPECT_TRUE(mutex.TryLock());
+  EXPECT_FALSE(mutex.TryLock());
+  mutex.Unlock();
+  EXPECT_TRUE(mutex.TryLock());
+  mutex.Unlock();
+}
+
+TEST_F(SchedTest, NoThreadingMutexCompilesToBookkeeping) {
+  uklock::Mutex mutex(uklock::Config{.threading = false}, nullptr);
+  mutex.Lock();
+  EXPECT_TRUE(mutex.locked());
+  mutex.Unlock();
+  EXPECT_FALSE(mutex.locked());
+  EXPECT_EQ(mutex.contended_acquires(), 0u);
+}
+
+TEST_F(SchedTest, SemaphoreProducerConsumer) {
+  CoopScheduler sched(alloc_.get(), &clock_);
+  uklock::Semaphore items(uklock::Config{.threading = true}, &sched, 0);
+  std::vector<int> consumed;
+  sched.CreateThread("consumer", [&] {
+    for (int i = 0; i < 3; ++i) {
+      items.Down();
+      consumed.push_back(i);
+    }
+  });
+  sched.CreateThread("producer", [&] {
+    for (int i = 0; i < 3; ++i) {
+      items.Up();
+      sched.Yield();
+    }
+  });
+  EXPECT_EQ(sched.Run(), 0u);
+  EXPECT_EQ(consumed.size(), 3u);
+  EXPECT_EQ(items.count(), 0);
+}
+
+TEST_F(SchedTest, SemaphoreTryDown) {
+  CoopScheduler sched(alloc_.get(), &clock_);
+  uklock::Semaphore sem(uklock::Config{.threading = true}, &sched, 1);
+  EXPECT_TRUE(sem.TryDown());
+  EXPECT_FALSE(sem.TryDown());
+  sem.Up();
+  EXPECT_TRUE(sem.TryDown());
+}
+
+}  // namespace
