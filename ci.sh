@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 verify with warnings-as-errors on src/: configure, build, ctest.
+# Usage: ./ci.sh [build-dir]   (default: build-ci)
+set -euo pipefail
+
+BUILD_DIR="${1:-build-ci}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B "$BUILD_DIR" -S . -DUKRAFT_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "ci: OK (src/ built with -Wall -Wextra -Werror; all tests passed)"

@@ -59,32 +59,52 @@ bool KvServer::Start() {
   return Ok(dev_->Start());
 }
 
-std::string KvServer::Handle(std::span<const std::uint8_t> payload) {
+std::size_t KvServer::HandleInto(std::span<const std::uint8_t> payload,
+                                 std::uint8_t* out, std::size_t cap) {
+  if (cap < 1) {
+    return 0;
+  }
   if (payload.size() < 3) {
-    return "E";
+    out[0] = 'E';
+    return 1;
   }
   std::uint16_t key = static_cast<std::uint16_t>(payload[1] | (payload[2] << 8));
   if (payload[0] == 'S') {
     if (payload.size() < 5) {
-      return "E";
+      out[0] = 'E';
+      return 1;
     }
     std::uint16_t len = static_cast<std::uint16_t>(payload[3] | (payload[4] << 8));
     if (payload.size() < 5u + len) {
-      return "E";
+      out[0] = 'E';
+      return 1;
     }
     store_[key].assign(reinterpret_cast<const char*>(payload.data() + 5), len);
-    return "K";
+    out[0] = 'K';
+    return 1;
   }
   if (payload[0] == 'G') {
     auto it = store_.find(key);
-    return it == store_.end() ? "E" : it->second;
+    if (it == store_.end()) {
+      out[0] = 'E';
+      return 1;
+    }
+    if (it->second.size() > cap) {
+      return 0;
+    }
+    // The value is copied straight into the wire buffer. |out| may overlap
+    // the request payload; the key was already read above.
+    std::memmove(out, it->second.data(), it->second.size());
+    return it->second.size();
   }
-  return "E";
+  out[0] = 'E';
+  return 1;
 }
 
 std::size_t KvServer::PumpSocketSingle() {
   std::size_t handled = 0;
   std::uint8_t buf[2048];
+  std::uint8_t reply[2048];
   for (int i = 0; i < kBatch; ++i) {  // bounded work per turn, 1 syscall each
     uknet::Ip4Addr src_ip = 0;
     std::uint16_t src_port = 0;
@@ -92,10 +112,9 @@ std::size_t KvServer::PumpSocketSingle() {
     if (n < 0) {
       break;
     }
-    std::string reply = Handle(std::span(buf, static_cast<std::size_t>(n)));
-    api_->SendTo(fd_, src_ip, src_port,
-                 std::span(reinterpret_cast<const std::uint8_t*>(reply.data()),
-                           reply.size()));
+    std::size_t len =
+        HandleInto(std::span(buf, static_cast<std::size_t>(n)), reply, sizeof(reply));
+    api_->SendTo(fd_, src_ip, src_port, std::span(reply, len));
     ++requests_;
     ++handled;
   }
@@ -113,17 +132,16 @@ std::size_t KvServer::PumpSocketBatch() {
   if (got <= 0) {
     return 0;
   }
-  // One reply batch back (all to the same client in this workload).
-  std::vector<std::string> replies(static_cast<std::size_t>(got));
-  std::vector<posix::MmsgVec> vecs(static_cast<std::size_t>(got));
+  // One reply batch back (all to the same client in this workload). Replies
+  // are written in place over the request buffers — no reply allocations.
+  posix::MmsgVec vecs[kBatch];
   for (std::int64_t i = 0; i < got; ++i) {
-    replies[static_cast<std::size_t>(i)] =
-        Handle(std::span(msgs[i].data, msgs[i].len));
-    vecs[static_cast<std::size_t>(i)] = posix::MmsgVec{
-        reinterpret_cast<const std::uint8_t*>(replies[static_cast<std::size_t>(i)].data()),
-        replies[static_cast<std::size_t>(i)].size()};
+    std::size_t len = HandleInto(std::span(msgs[i].data, msgs[i].len), msgs[i].data,
+                                 msgs[i].cap);
+    vecs[i] = posix::MmsgVec{msgs[i].data, len};
   }
-  api_->SendMmsg(fd_, msgs[0].src_ip, msgs[0].src_port, vecs);
+  api_->SendMmsg(fd_, msgs[0].src_ip, msgs[0].src_port,
+                 std::span(vecs, static_cast<std::size_t>(got)));
   requests_ += static_cast<std::uint64_t>(got);
   return static_cast<std::size_t>(got);
 }
@@ -136,18 +154,17 @@ std::size_t KvServer::PumpNetdev() {
   if (cnt == 0) {
     return 0;
   }
-  // DPDK-style framework bookkeeping per burst (mbuf accounting, prefetch
-  // scaffolding) — the overhead that makes the kDpdkStyle rows differ.
+  const bool dpdk_style = mode_ == KvMode::kDpdkStyle;
   uknetdev::NetBuf* replies[kBatch];
   std::uint16_t nreplies = 0;
   for (std::uint16_t i = 0; i < cnt; ++i) {
     uknetdev::NetBuf* nb = pkts[i];
-    const std::byte* raw = nb->Data(*mem_);
-    std::span<const std::uint8_t> frame(reinterpret_cast<const std::uint8_t*>(raw),
-                                        nb->len);
+    std::uint8_t* raw = nb->Bytes(*mem_);
+    std::span<const std::uint8_t> frame(raw, nb->len);
     // Parse Ethernet/IP/UDP by hand (zero-copy views into the netbuf).
-    bool done = false;
-    if (frame.size() >= kEthHdrBytes + kIp4HdrBytes + kUdpHdrBytes) {
+    bool replied = false;
+    if (raw != nullptr &&
+        frame.size() >= kEthHdrBytes + kIp4HdrBytes + kUdpHdrBytes) {
       EthHeader eth = EthHeader::Parse(frame);
       auto ip = Ip4Header::Parse(frame.subspan(kEthHdrBytes));
       if (ip.has_value() && ip->proto == kIpProtoUdp) {
@@ -155,47 +172,90 @@ std::size_t KvServer::PumpNetdev() {
                                   ip->total_len - kIp4HdrBytes);
         auto udp = UdpHeader::Parse(body, ip->src, ip->dst, false);
         if (udp.has_value() && udp->dst_port == port_) {
-          std::string reply =
-              Handle(body.subspan(kUdpHdrBytes, udp->length - kUdpHdrBytes));
-          // Build the reply frame into a TX buffer.
-          uknetdev::NetBuf* out = tx_pool_->Alloc();
-          if (out != nullptr) {
-            std::size_t total =
-                kEthHdrBytes + kIp4HdrBytes + kUdpHdrBytes + reply.size();
-            std::byte* dst = mem_->At(out->data_gpa(), total);
-            auto* odata = reinterpret_cast<std::uint8_t*>(dst);
-            EthHeader oeth{eth.src, dev_->mac(), kEthTypeIp4};
-            oeth.Serialize(odata);
-            Ip4Header oip;
-            oip.total_len = static_cast<std::uint16_t>(total - kEthHdrBytes);
-            oip.proto = kIpProtoUdp;
-            oip.src = ip_;
-            oip.dst = ip->src;
-            oip.Serialize(odata + kEthHdrBytes);
-            UdpHeader oudp;
-            oudp.src_port = port_;
-            oudp.dst_port = udp->src_port;
-            std::memcpy(odata + kEthHdrBytes + kIp4HdrBytes + kUdpHdrBytes,
-                        reply.data(), reply.size());
-            oudp.Serialize(odata + kEthHdrBytes + kIp4HdrBytes, ip_, ip->src,
-                           std::span(reinterpret_cast<const std::uint8_t*>(reply.data()),
-                                     reply.size()));
-            out->len = static_cast<std::uint32_t>(total);
-            replies[nreplies++] = out;
-            ++requests_;
-            done = true;
+          auto request = body.subspan(kUdpHdrBytes, udp->length - kUdpHdrBytes);
+          constexpr std::size_t kHdrs = kEthHdrBytes + kIp4HdrBytes + kUdpHdrBytes;
+          if (dpdk_style) {
+            // DPDK-framework path: per-packet mbuf churn through the TX pool
+            // plus the copy into the fresh mbuf — the framework overhead that
+            // makes the kDpdkStyle rows differ from raw uknetdev.
+            uknetdev::NetBuf* out = tx_pool_->Alloc();
+            if (out != nullptr) {
+              std::uint32_t cap = out->capacity - out->headroom;
+              std::uint8_t* odata =
+                  reinterpret_cast<std::uint8_t*>(mem_->At(out->data_gpa(), cap));
+              std::size_t reply_len =
+                  odata != nullptr
+                      ? HandleInto(request, odata + kHdrs, cap - kHdrs)
+                      : 0;
+              if (reply_len > 0) {
+                std::size_t total = kHdrs + reply_len;
+                EthHeader oeth{eth.src, dev_->mac(), kEthTypeIp4};
+                oeth.Serialize(odata);
+                Ip4Header oip;
+                oip.total_len = static_cast<std::uint16_t>(total - kEthHdrBytes);
+                oip.id = ip_id_++;
+                oip.proto = kIpProtoUdp;
+                oip.src = ip_;
+                oip.dst = ip->src;
+                oip.Serialize(odata + kEthHdrBytes);
+                UdpHeader oudp;
+                oudp.src_port = port_;
+                oudp.dst_port = udp->src_port;
+                oudp.Serialize(odata + kEthHdrBytes + kIp4HdrBytes, ip_, ip->src,
+                               std::span(odata + kHdrs, reply_len));
+                out->len = static_cast<std::uint32_t>(total);
+                replies[nreplies++] = out;
+                ++requests_;
+                replied = true;
+              } else {
+                tx_pool_->Free(out);
+              }
+            }
+          } else {
+            // Specialized uknetdev path (§6.4): the reply is written in place
+            // in the received buffer — headers rewritten around it, the same
+            // netbuf handed straight back to TxBurst. Zero copies, zero
+            // allocations, no buffer churn.
+            std::uint32_t cap = nb->capacity - nb->headroom;
+            std::uint8_t* payload_at = raw + kHdrs;
+            std::size_t reply_len =
+                HandleInto(request, payload_at, cap - kHdrs);
+            if (reply_len > 0) {
+              std::size_t total = kHdrs + reply_len;
+              EthHeader oeth{eth.src, dev_->mac(), kEthTypeIp4};
+              oeth.Serialize(raw);
+              Ip4Header oip;
+              oip.total_len = static_cast<std::uint16_t>(total - kEthHdrBytes);
+              oip.id = ip_id_++;
+              oip.proto = kIpProtoUdp;
+              oip.src = ip_;
+              oip.dst = ip->src;
+              oip.Serialize(raw + kEthHdrBytes);
+              UdpHeader oudp;
+              oudp.src_port = port_;
+              oudp.dst_port = udp->src_port;
+              oudp.Serialize(raw + kEthHdrBytes + kIp4HdrBytes, ip_, ip->src,
+                             std::span(payload_at, reply_len));
+              nb->len = static_cast<std::uint32_t>(total);
+              replies[nreplies++] = nb;  // ownership rides to TxBurst
+              ++requests_;
+              replied = true;
+              continue;  // do not free: the RX buffer is the TX buffer now
+            }
           }
         }
       }
     }
-    (void)done;
+    (void)replied;
     nb->pool->Free(nb);
   }
   if (nreplies > 0) {
     std::uint16_t sent = nreplies;
     dev_->TxBurst(0, replies, &sent);
     for (std::uint16_t i = sent; i < nreplies; ++i) {
-      tx_pool_->Free(replies[i]);  // unsent buffers return to the pool
+      if (replies[i]->pool != nullptr) {
+        replies[i]->pool->Free(replies[i]);  // unsent buffers return to the pool
+      }
     }
   }
   return cnt;

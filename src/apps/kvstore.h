@@ -49,7 +49,11 @@ class KvServer {
   std::size_t PumpSocketSingle();
   std::size_t PumpSocketBatch();
   std::size_t PumpNetdev();
-  std::string Handle(std::span<const std::uint8_t> payload);
+  // Executes one request and writes the reply bytes straight into |out|
+  // (usually the wire buffer itself). Returns reply length, 0 when |cap| is
+  // too small. Never allocates.
+  std::size_t HandleInto(std::span<const std::uint8_t> payload, std::uint8_t* out,
+                         std::size_t cap);
 
   KvMode mode_;
   posix::PosixApi* api_ = nullptr;
@@ -65,6 +69,7 @@ class KvServer {
 
   std::unordered_map<std::uint16_t, std::string> store_;
   std::uint64_t requests_ = 0;
+  std::uint16_t ip_id_ = 1;
 
   static constexpr int kBatch = 32;
 };

@@ -1,5 +1,6 @@
 #include "apps/redis.h"
 
+#include <charconv>
 #include <cstring>
 
 namespace apps {
@@ -79,7 +80,7 @@ bool RedisServer::Start() {
   return api_->Listen(listen_fd_) == 0;
 }
 
-std::string RedisServer::Execute(const std::vector<std::string>& argv) {
+void RedisServer::ExecuteInto(const std::vector<std::string>& argv, std::string& out) {
   const std::string& cmd = argv[0];
   auto eq = [](const std::string& a, const char* b) {
     if (a.size() != std::strlen(b)) {
@@ -93,30 +94,47 @@ std::string RedisServer::Execute(const std::vector<std::string>& argv) {
     return true;
   };
   if (eq(cmd, "ping")) {
-    return RespSimpleString("PONG");
+    RespPongInto(out);
+    return;
   }
   if (eq(cmd, "set") && argv.size() >= 3) {
-    return store_.Set(argv[1], argv[2]) ? RespSimpleString("OK")
-                                        : RespError("out of memory");
+    if (store_.Set(argv[1], argv[2])) {
+      RespOkInto(out);
+    } else {
+      RespErrorInto(out, "out of memory");
+    }
+    return;
   }
   if (eq(cmd, "get") && argv.size() >= 2) {
     auto v = store_.Get(argv[1]);
-    return v.has_value() ? RespBulk(*v) : RespNil();
+    if (v.has_value()) {
+      RespBulkInto(out, *v);
+    } else {
+      RespNilInto(out);
+    }
+    return;
   }
   if (eq(cmd, "del") && argv.size() >= 2) {
     std::int64_t n = 0;
     for (std::size_t i = 1; i < argv.size(); ++i) {
       n += store_.Del(argv[i]) ? 1 : 0;
     }
-    return RespInteger(n);
+    RespIntegerInto(out, n);
+    return;
   }
   if (eq(cmd, "exists") && argv.size() >= 2) {
-    return RespInteger(store_.Get(argv[1]).has_value() ? 1 : 0);
+    RespIntegerInto(out, store_.Get(argv[1]).has_value() ? 1 : 0);
+    return;
   }
   if (eq(cmd, "incr") && argv.size() >= 2) {
     bool ok = true;
     std::int64_t v = store_.Incr(argv[1], &ok);
-    return ok ? RespInteger(v) : RespError("out of memory");
+    if (ok) {
+      RespIntegerInto(out, v);
+    } else {
+      RespErrorInto(out, "out of memory");
+    }
+    return;
   }
   if (eq(cmd, "append") && argv.size() >= 3) {
     std::string merged;
@@ -126,20 +144,24 @@ std::string RedisServer::Execute(const std::vector<std::string>& argv) {
     }
     merged += argv[2];
     store_.Set(argv[1], merged);
-    return RespInteger(static_cast<std::int64_t>(merged.size()));
+    RespIntegerInto(out, static_cast<std::int64_t>(merged.size()));
+    return;
   }
   if (eq(cmd, "strlen") && argv.size() >= 2) {
     auto v = store_.Get(argv[1]);
-    return RespInteger(v.has_value() ? static_cast<std::int64_t>(v->size()) : 0);
+    RespIntegerInto(out, v.has_value() ? static_cast<std::int64_t>(v->size()) : 0);
+    return;
   }
   if (eq(cmd, "flushall")) {
     store_.Clear();
-    return RespSimpleString("OK");
+    RespOkInto(out);
+    return;
   }
   if (eq(cmd, "dbsize")) {
-    return RespInteger(static_cast<std::int64_t>(store_.size()));
+    RespIntegerInto(out, static_cast<std::int64_t>(store_.size()));
+    return;
   }
-  return RespError("unknown command '" + cmd + "'");
+  RespErrorInto(out, "unknown command");
 }
 
 void RedisServer::FlushOut(Conn& conn) {
@@ -181,7 +203,7 @@ std::size_t RedisServer::PumpOnce() {
       break;
     }
     while (auto argv = conn.parser.Next()) {
-      conn.out += Execute(*argv);
+      ExecuteInto(*argv, conn.out);
       ++commands_;
       ++executed;
     }
@@ -200,7 +222,9 @@ std::size_t RedisServer::PumpOnce() {
 
 RedisBenchClient::RedisBenchClient(uknet::NetStack* stack, uknet::Ip4Addr server,
                                    std::uint16_t port, Config config)
-    : stack_(stack), server_(server), port_(port), config_(config) {}
+    : stack_(stack), server_(server), port_(port), config_(config) {
+  value_.assign(static_cast<std::size_t>(config_.value_bytes), 'x');
+}
 
 bool RedisBenchClient::ConnectAll(const std::function<void()>& pump) {
   for (int i = 0; i < config_.connections; ++i) {
@@ -225,26 +249,35 @@ bool RedisBenchClient::ConnectAll(const std::function<void()>& pump) {
 
 std::size_t RedisBenchClient::PumpOnce() {
   std::size_t done = 0;
-  std::string value(static_cast<std::size_t>(config_.value_bytes), 'x');
   for (ClientConn& c : conns_) {
     if (c.sock->failed()) {
       continue;
     }
     // Keep the pipeline full: coalesce the whole batch into one send, the
-    // way redis-benchmark writes its pipeline in a single write().
+    // way redis-benchmark writes its pipeline in a single write(). The batch
+    // and key buffers are reused across pumps; commands are encoded straight
+    // into the batch buffer.
     if (c.in_flight < config_.pipeline) {
-      std::string batch;
+      batch_.clear();
       int batched = 0;
       while (c.in_flight + batched < config_.pipeline) {
-        std::string key = "key:" + std::to_string(seq_++ % static_cast<std::uint64_t>(
-                                                               config_.keyspace));
-        batch += config_.use_set ? RespCommand({"SET", key, value})
-                                 : RespCommand({"GET", key});
+        key_.assign("key:");
+        char digits[24];
+        auto [ptr, ec] = std::to_chars(
+            digits, digits + sizeof(digits),
+            seq_++ % static_cast<std::uint64_t>(config_.keyspace));
+        (void)ec;
+        key_.append(digits, static_cast<std::size_t>(ptr - digits));
+        if (config_.use_set) {
+          RespCommandInto(batch_, {"SET", key_, value_});
+        } else {
+          RespCommandInto(batch_, {"GET", key_});
+        }
         ++batched;
       }
-      std::int64_t n = c.sock->Send(
-          std::span(reinterpret_cast<const std::uint8_t*>(batch.data()), batch.size()));
-      if (n == static_cast<std::int64_t>(batch.size())) {
+      std::int64_t n = c.sock->Send(std::span(
+          reinterpret_cast<const std::uint8_t*>(batch_.data()), batch_.size()));
+      if (n == static_cast<std::int64_t>(batch_.size())) {
         c.in_flight += batched;
       }
     }

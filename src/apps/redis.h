@@ -62,7 +62,10 @@ class RedisServer {
     std::string out;  // pending reply bytes
   };
 
-  std::string Execute(const std::vector<std::string>& argv);
+  // Appends the reply straight into |out| (the connection's pending buffer):
+  // constant replies are precomputed byte strings, values are encoded in
+  // place — no per-command reply allocation.
+  void ExecuteInto(const std::vector<std::string>& argv, std::string& out);
   void FlushOut(Conn& conn);
 
   posix::PosixApi* api_;
@@ -107,6 +110,10 @@ class RedisBenchClient {
   std::vector<ClientConn> conns_;
   std::uint64_t replies_ = 0;
   std::uint64_t seq_ = 0;
+  // Reused across pumps so the request path allocates nothing per batch.
+  std::string batch_;
+  std::string key_;
+  std::string value_;
 };
 
 }  // namespace apps

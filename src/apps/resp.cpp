@@ -1,6 +1,18 @@
 #include "apps/resp.h"
 
+#include <charconv>
+
 namespace apps {
+
+namespace {
+
+// Parses a decimal integer out of a non-null-terminated view.
+bool ParseLong(std::string_view s, long* out) {
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+}  // namespace
 
 void RespCommandParser::Compact() {
   if (pos_ > 4096) {
@@ -9,13 +21,14 @@ void RespCommandParser::Compact() {
   }
 }
 
-std::optional<std::string> RespCommandParser::ReadLine() {
-  std::size_t end = buf_.find("\r\n", pos_);
-  if (end == std::string::npos) {
+std::optional<std::string_view> RespCommandParser::ReadLine() {
+  const char* start = buf_.data() + pos_;
+  const char* cr = FindCrlf(start, buf_.size() - pos_);
+  if (cr == nullptr) {
     return std::nullopt;
   }
-  std::string line = buf_.substr(pos_, end - pos_);
-  pos_ = end + 2;
+  std::string_view line(start, static_cast<std::size_t>(cr - start));
+  pos_ = static_cast<std::size_t>(cr - buf_.data()) + 2;
   return line;
 }
 
@@ -39,8 +52,9 @@ std::optional<std::vector<std::string>> RespCommandParser::Next() {
   if (header->empty() || (*header)[0] != '*') {
     return fail();
   }
-  long nargs = std::strtol(header->c_str() + 1, nullptr, 10);
-  if (nargs <= 0 || nargs > 1024) {
+  long nargs = 0;
+  if (!ParseLong(header->substr(1), &nargs) || nargs <= 0 ||
+      nargs > kRespMaxArraySize) {
     return fail();
   }
   std::vector<std::string> argv;
@@ -53,36 +67,111 @@ std::optional<std::vector<std::string>> RespCommandParser::Next() {
     if (len_line->empty() || (*len_line)[0] != '$') {
       return fail();
     }
-    long len = std::strtol(len_line->c_str() + 1, nullptr, 10);
-    if (len < 0 || len > 512 * 1024) {
+    long len = 0;
+    if (!ParseLong(len_line->substr(1), &len) || len < 0 || len > kRespMaxBulkLen) {
       return fail();
     }
     if (buf_.size() - pos_ < static_cast<std::size_t>(len) + 2) {
       return need_more();
     }
-    argv.push_back(buf_.substr(pos_, static_cast<std::size_t>(len)));
+    argv.emplace_back(buf_, pos_, static_cast<std::size_t>(len));
     pos_ += static_cast<std::size_t>(len) + 2;  // skip \r\n
   }
   Compact();
   return argv;
 }
 
-std::string RespSimpleString(std::string_view s) { return "+" + std::string(s) + "\r\n"; }
-std::string RespError(std::string_view msg) { return "-ERR " + std::string(msg) + "\r\n"; }
-std::string RespInteger(std::int64_t v) { return ":" + std::to_string(v) + "\r\n"; }
-std::string RespNil() { return "$-1\r\n"; }
+// ---- encoders ---------------------------------------------------------------------
+
+void RespSimpleStringInto(std::string& out, std::string_view s) {
+  out += '+';
+  out.append(s);
+  out.append("\r\n", 2);
+}
+
+void RespErrorInto(std::string& out, std::string_view msg) {
+  out.append("-ERR ", 5);
+  out.append(msg);
+  out.append("\r\n", 2);
+}
+
+void RespIntegerInto(std::string& out, std::int64_t v) {
+  // Fast path for the overwhelmingly common small results.
+  if (v == 0) {
+    out.append(kRespZero);
+    return;
+  }
+  if (v == 1) {
+    out.append(kRespOne);
+    return;
+  }
+  char digits[24];
+  auto [ptr, ec] = std::to_chars(digits, digits + sizeof(digits), v);
+  (void)ec;
+  out += ':';
+  out.append(digits, static_cast<std::size_t>(ptr - digits));
+  out.append("\r\n", 2);
+}
+
+void RespBulkInto(std::string& out, std::string_view data) {
+  char digits[24];
+  auto [ptr, ec] = std::to_chars(digits, digits + sizeof(digits), data.size());
+  (void)ec;
+  out += '$';
+  out.append(digits, static_cast<std::size_t>(ptr - digits));
+  out.append("\r\n", 2);
+  out.append(data);
+  out.append("\r\n", 2);
+}
+
+void RespCommandInto(std::string& out, std::initializer_list<std::string_view> argv) {
+  char digits[24];
+  auto [ptr, ec] = std::to_chars(digits, digits + sizeof(digits), argv.size());
+  (void)ec;
+  out += '*';
+  out.append(digits, static_cast<std::size_t>(ptr - digits));
+  out.append("\r\n", 2);
+  for (std::string_view a : argv) {
+    RespBulkInto(out, a);
+  }
+}
+
+std::string RespSimpleString(std::string_view s) {
+  std::string out;
+  RespSimpleStringInto(out, s);
+  return out;
+}
+
+std::string RespError(std::string_view msg) {
+  std::string out;
+  RespErrorInto(out, msg);
+  return out;
+}
+
+std::string RespInteger(std::int64_t v) {
+  std::string out;
+  RespIntegerInto(out, v);
+  return out;
+}
+
+std::string RespNil() { return std::string(kRespNil); }
 
 std::string RespBulk(std::string_view data) {
-  std::string out = "$" + std::to_string(data.size()) + "\r\n";
-  out.append(data);
-  out += "\r\n";
+  std::string out;
+  RespBulkInto(out, data);
   return out;
 }
 
 std::string RespCommand(const std::vector<std::string>& argv) {
-  std::string out = "*" + std::to_string(argv.size()) + "\r\n";
+  std::string out;
+  char digits[24];
+  auto [ptr, ec] = std::to_chars(digits, digits + sizeof(digits), argv.size());
+  (void)ec;
+  out += '*';
+  out.append(digits, static_cast<std::size_t>(ptr - digits));
+  out.append("\r\n", 2);
   for (const std::string& a : argv) {
-    out += RespBulk(a);
+    RespBulkInto(out, a);
   }
   return out;
 }
@@ -92,17 +181,23 @@ std::size_t ConsumeReplies(std::string* buf) {
   std::size_t pos = 0;
   while (pos < buf->size()) {
     char type = (*buf)[pos];
-    std::size_t line_end = buf->find("\r\n", pos);
-    if (line_end == std::string::npos) {
+    const char* cr = FindCrlf(buf->data() + pos, buf->size() - pos);
+    if (cr == nullptr) {
       break;
     }
+    std::size_t line_end = static_cast<std::size_t>(cr - buf->data());
     if (type == '+' || type == '-' || type == ':') {
       pos = line_end + 2;
       ++count;
       continue;
     }
     if (type == '$') {
-      long len = std::strtol(buf->c_str() + pos + 1, nullptr, 10);
+      long len = 0;
+      if (!ParseLong(std::string_view(buf->data() + pos + 1, line_end - pos - 1),
+                     &len)) {
+        pos = line_end + 2;  // malformed length: skip the line to stay robust
+        continue;
+      }
       if (len < 0) {
         pos = line_end + 2;  // nil
         ++count;

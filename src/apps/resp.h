@@ -1,15 +1,51 @@
 // apps/resp.h - REdis Serialization Protocol (RESP2) codec, shared by the
 // ukredis server and the redis-benchmark-style client.
+//
+// Hot-path design (after the Socketley idiom): CRLF scanning is memchr-based
+// (SIMD under the hood), constant replies are precomputed byte strings, and
+// every encoder has an *Into variant that appends straight into the caller's
+// output buffer so the reply path performs zero intermediate allocations.
 #ifndef APPS_RESP_H_
 #define APPS_RESP_H_
 
 #include <cstdint>
+#include <cstring>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace apps {
+
+// Safety caps against resource exhaustion from malformed or hostile input.
+inline constexpr long kRespMaxArraySize = 1024;
+inline constexpr long kRespMaxBulkLen = 512 * 1024;  // 512 KB
+
+// Precomputed constant replies (SSO-friendly; appended without formatting).
+inline constexpr std::string_view kRespOk = "+OK\r\n";
+inline constexpr std::string_view kRespPong = "+PONG\r\n";
+inline constexpr std::string_view kRespNil = "$-1\r\n";
+inline constexpr std::string_view kRespZero = ":0\r\n";
+inline constexpr std::string_view kRespOne = ":1\r\n";
+
+// Fast "\r\n" scanner: memchr for '\r', then check the next byte. Returns a
+// pointer to the '\r' or nullptr. Faster than a two-byte search on the short
+// lines RESP is made of.
+inline const char* FindCrlf(const char* data, std::size_t len) noexcept {
+  const char* end = data + len;
+  while (data < end) {
+    const char* p = static_cast<const char*>(
+        std::memchr(data, '\r', static_cast<std::size_t>(end - data)));
+    if (p == nullptr || p + 1 >= end) {
+      return nullptr;
+    }
+    if (p[1] == '\n') {
+      return p;
+    }
+    data = p + 1;
+  }
+  return nullptr;
+}
 
 // Incremental parser for client->server commands (arrays of bulk strings).
 // Feed bytes; Next() yields complete commands.
@@ -30,10 +66,20 @@ class RespCommandParser {
   bool error_ = false;
 
   void Compact();
-  std::optional<std::string> ReadLine();
+  std::optional<std::string_view> ReadLine();
 };
 
-// Serializers for server replies and client commands.
+// ---- zero-allocation encoders: append into the caller-owned buffer -------------
+void RespSimpleStringInto(std::string& out, std::string_view s);
+void RespErrorInto(std::string& out, std::string_view msg);
+void RespIntegerInto(std::string& out, std::int64_t v);
+void RespBulkInto(std::string& out, std::string_view data);
+inline void RespOkInto(std::string& out) { out.append(kRespOk); }
+inline void RespPongInto(std::string& out) { out.append(kRespPong); }
+inline void RespNilInto(std::string& out) { out.append(kRespNil); }
+void RespCommandInto(std::string& out, std::initializer_list<std::string_view> argv);
+
+// Allocating convenience wrappers (tests, cold paths).
 std::string RespSimpleString(std::string_view s);
 std::string RespError(std::string_view msg);
 std::string RespInteger(std::int64_t v);

@@ -174,19 +174,11 @@ void PosixApi::RegisterHandlers() {
       return Err(ukarch::Status::kBadF);
     }
     net_->Poll();
-    auto dgram = udp->RecvFrom();
-    if (!dgram.has_value()) {
-      return Err(ukarch::Status::kAgain);
-    }
-    std::size_t n = dgram->payload.size() < a.a2 ? dgram->payload.size() : a.a2;
-    std::memcpy(AsPtr<std::uint8_t>(a.a1), dgram->payload.data(), n);
-    if (a.a4 != 0) {
-      *AsPtr<uknet::Ip4Addr>(a.a4) = dgram->src_ip;
-    }
-    if (a.a5 != 0) {
-      *AsPtr<std::uint16_t>(a.a5) = dgram->src_port;
-    }
-    return static_cast<std::int64_t>(n);
+    // Zero-allocation receive: the payload is copied once, straight from the
+    // driver netbuf into the caller's buffer (the syscall-boundary copy).
+    return udp->RecvInto(std::span(AsPtr<std::uint8_t>(a.a1), a.a2),
+                         a.a4 != 0 ? AsPtr<uknet::Ip4Addr>(a.a4) : nullptr,
+                         a.a5 != 0 ? AsPtr<std::uint16_t>(a.a5) : nullptr);
   });
   shim_.Register(SyscallNumber("sendmmsg"), [this](const SyscallArgs& a) -> std::int64_t {
     auto udp = fdtab_.Get<uknet::UdpSocket>(static_cast<int>(a.a0));
@@ -212,19 +204,17 @@ void PosixApi::RegisterHandlers() {
       return Err(ukarch::Status::kBadF);
     }
     net_->Poll();
+    // Batched receive: one stack poll for the whole batch, then each datagram
+    // copied once from its netbuf into the caller's scatter array.
     auto* msgs = AsPtr<MmsgRecv>(a.a1);
     std::int64_t got = 0;
     for (std::uint64_t i = 0; i < a.a2; ++i) {
-      auto dgram = udp->RecvFrom();
-      if (!dgram.has_value()) {
+      std::int64_t n = udp->RecvInto(std::span(msgs[i].data, msgs[i].cap),
+                                     &msgs[i].src_ip, &msgs[i].src_port);
+      if (n < 0) {
         break;
       }
-      std::size_t n = dgram->payload.size() < msgs[i].cap ? dgram->payload.size()
-                                                          : msgs[i].cap;
-      std::memcpy(msgs[i].data, dgram->payload.data(), n);
-      msgs[i].len = n;
-      msgs[i].src_ip = dgram->src_ip;
-      msgs[i].src_port = dgram->src_port;
+      msgs[i].len = static_cast<std::size_t>(n);
       ++got;
     }
     return got == 0 ? Err(ukarch::Status::kAgain) : got;

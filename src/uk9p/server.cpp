@@ -31,7 +31,7 @@ HostNode* HostNode::AddFile(const std::string& child_name,
 }
 
 Server::Server() : root_(std::make_unique<HostNode>()) {
-  root_->name = "/";
+  root_->name.assign(1, '/');
   root_->is_dir = true;
   root_->qid_path = g_qid_counter++;
 }

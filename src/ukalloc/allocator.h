@@ -67,7 +67,8 @@ class Allocator {
   // Backends with natural alignment support override this; returning nullptr
   // with |use_generic| untouched falls back to the over-allocate-and-shift
   // scheme implemented in the base class.
-  virtual void* DoMemalign(std::size_t align, std::size_t size, bool* handled) {
+  virtual void* DoMemalign(std::size_t /*align*/, std::size_t /*size*/,
+                           bool* handled) {
     *handled = false;
     return nullptr;
   }

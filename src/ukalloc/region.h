@@ -23,7 +23,7 @@ class RegionAllocator final : public Allocator {
 
  protected:
   void* DoMalloc(std::size_t size) override;
-  void DoFree(void* ptr) override {}  // region allocators never reclaim
+  void DoFree(void* /*ptr*/) override {}  // region allocators never reclaim
   std::size_t DoUsableSize(const void* ptr) const override;
   void* DoMemalign(std::size_t align, std::size_t size, bool* handled) override;
 

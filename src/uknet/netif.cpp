@@ -7,11 +7,21 @@ namespace uknet {
 namespace {
 constexpr uknetdev::MacAddr kBroadcast{{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}};
 constexpr std::uint16_t kRxBurstSize = 32;
+constexpr std::size_t kArpPendingCap = 8;
 }  // namespace
 
 NetIf::NetIf(NetStack* stack, uknetdev::NetDev* dev, ukplat::MemRegion* mem,
              ukalloc::Allocator* alloc, Config config)
     : stack_(stack), dev_(dev), mem_(mem), alloc_(alloc), config_(config) {}
+
+NetIf::~NetIf() {
+  // Netbufs parked behind unresolved ARP still belong to the TX pool.
+  for (auto& [hop, pending] : arp_pending_) {
+    for (uknetdev::NetBuf* nb : pending) {
+      FreeTxBuf(nb);
+    }
+  }
+}
 
 ukarch::Status NetIf::Init() {
   tx_pool_ = uknetdev::NetBufPool::Create(alloc_, mem_, config_.tx_pool_bufs,
@@ -21,6 +31,7 @@ ukarch::Status NetIf::Init() {
   if (tx_pool_ == nullptr || rx_pool_ == nullptr) {
     return ukarch::Status::kNoMem;
   }
+  dev_tx_headroom_ = dev_->Info().tx_headroom;
   ukarch::Status st = dev_->Configure(uknetdev::DevConf{});
   if (!Ok(st)) {
     return st;
@@ -38,35 +49,128 @@ ukarch::Status NetIf::Init() {
   return dev_->Start();
 }
 
-bool NetIf::SendEth(uknetdev::MacAddr dst, std::uint16_t ethertype,
-                    std::span<const std::uint8_t> payload) {
-  uknetdev::NetBuf* nb = tx_pool_->Alloc();
-  if (nb == nullptr) {
-    return false;
+// ---- zero-copy TX ------------------------------------------------------------------
+
+uknetdev::NetBuf* NetIf::AllocTxBuf(std::uint32_t l4_header_bytes) {
+  std::uint32_t reserve = dev_tx_headroom_ +
+                          static_cast<std::uint32_t>(kEthHdrBytes + kIp4HdrBytes) +
+                          l4_header_bytes;
+  return tx_pool_->AllocWithHeadroom(reserve);
+}
+
+void NetIf::FreeTxBuf(uknetdev::NetBuf* nb) {
+  if (nb != nullptr && nb->pool != nullptr) {
+    nb->pool->Free(nb);
   }
-  std::uint32_t frame_len = static_cast<std::uint32_t>(kEthHdrBytes + payload.size());
-  if (nb->capacity - nb->headroom < frame_len) {
-    tx_pool_->Free(nb);
-    return false;
-  }
-  nb->len = frame_len;
-  std::byte* data = mem_->At(nb->data_gpa(), frame_len);
-  if (data == nullptr) {
-    tx_pool_->Free(nb);
+}
+
+bool NetIf::SendEthBuf(uknetdev::MacAddr dst, std::uint16_t ethertype,
+                       uknetdev::NetBuf* nb) {
+  std::uint8_t* hdr = nb->PrependHeader(*mem_, kEthHdrBytes);
+  if (hdr == nullptr) {
+    FreeTxBuf(nb);
     return false;
   }
   EthHeader eth{dst, dev_->mac(), ethertype};
-  eth.Serialize(reinterpret_cast<std::uint8_t*>(data));
-  std::memcpy(data + kEthHdrBytes, payload.data(), payload.size());
-
+  eth.Serialize(hdr);
   uknetdev::NetBuf* pkts[1] = {nb};
   std::uint16_t cnt = 1;
   dev_->TxBurst(0, pkts, &cnt);
   if (cnt != 1) {
-    tx_pool_->Free(nb);
+    FreeTxBuf(nb);
     return false;
   }
   return true;
+}
+
+std::uint16_t NetIf::SendEthBatch(uknetdev::MacAddr dst, std::uint16_t ethertype,
+                                  uknetdev::NetBuf** pkts, std::uint16_t cnt) {
+  EthHeader eth{dst, dev_->mac(), ethertype};
+  std::uint16_t ready = 0;
+  for (std::uint16_t i = 0; i < cnt; ++i) {
+    std::uint8_t* hdr = pkts[i]->PrependHeader(*mem_, kEthHdrBytes);
+    if (hdr == nullptr) {
+      FreeTxBuf(pkts[i]);
+      continue;
+    }
+    eth.Serialize(hdr);
+    pkts[ready++] = pkts[i];
+  }
+  std::uint16_t sent = ready;
+  if (ready > 0) {
+    dev_->TxBurst(0, pkts, &sent);
+    for (std::uint16_t i = sent; i < ready; ++i) {
+      FreeTxBuf(pkts[i]);
+    }
+  }
+  return sent;
+}
+
+bool NetIf::SendIpBuf(Ip4Addr dst, std::uint8_t proto, uknetdev::NetBuf* nb) {
+  Ip4Header ip;
+  ip.total_len = static_cast<std::uint16_t>(kIp4HdrBytes + nb->len);
+  ip.id = ip_id_++;
+  ip.proto = proto;
+  ip.src = config_.ip;
+  ip.dst = dst;
+  std::uint8_t* hdr = nb->PrependHeader(*mem_, kIp4HdrBytes);
+  if (hdr == nullptr) {
+    FreeTxBuf(nb);
+    return false;
+  }
+  ip.Serialize(hdr);
+
+  Ip4Addr hop = NextHop(dst);
+  auto cached = arp_cache_.find(hop);
+  if (cached == arp_cache_.end()) {
+    // Park the netbuf itself behind ARP (bounded queue; beyond that, drop —
+    // TCP retransmits). The Ethernet header is prepended on resolution.
+    auto& pending = arp_pending_[hop];
+    if (pending.size() >= kArpPendingCap) {
+      ++if_stats_.pending_dropped;
+      FreeTxBuf(nb);
+      return false;
+    }
+    pending.push_back(nb);
+    SendArpRequest(hop);
+    return true;
+  }
+  ++if_stats_.ip_tx;
+  return SendEthBuf(cached->second, kEthTypeIp4, nb);
+}
+
+bool NetIf::SendIp(Ip4Addr dst, std::uint8_t proto,
+                   std::span<const std::uint8_t> payload) {
+  uknetdev::NetBuf* nb = AllocTxBuf();
+  if (nb == nullptr) {
+    return false;
+  }
+  std::uint8_t* body = nb->Append(*mem_, static_cast<std::uint32_t>(payload.size()));
+  if (body == nullptr) {
+    FreeTxBuf(nb);
+    return false;
+  }
+  if (!payload.empty()) {
+    std::memcpy(body, payload.data(), payload.size());
+  }
+  return SendIpBuf(dst, proto, nb);
+}
+
+bool NetIf::SendEth(uknetdev::MacAddr dst, std::uint16_t ethertype,
+                    std::span<const std::uint8_t> payload) {
+  uknetdev::NetBuf* nb = AllocTxBuf();
+  if (nb == nullptr) {
+    return false;
+  }
+  std::uint8_t* body = nb->Append(*mem_, static_cast<std::uint32_t>(payload.size()));
+  if (body == nullptr) {
+    FreeTxBuf(nb);
+    return false;
+  }
+  if (!payload.empty()) {
+    std::memcpy(body, payload.data(), payload.size());
+  }
+  return SendEthBuf(dst, ethertype, nb);
 }
 
 void NetIf::SendArpRequest(Ip4Addr target) {
@@ -75,73 +179,63 @@ void NetIf::SendArpRequest(Ip4Addr target) {
   arp.sender_mac = dev_->mac();
   arp.sender_ip = config_.ip;
   arp.target_ip = target;
-  std::uint8_t body[kArpBytes];
+  uknetdev::NetBuf* nb = AllocTxBuf();
+  if (nb == nullptr) {
+    return;
+  }
+  std::uint8_t* body = nb->Append(*mem_, kArpBytes);
+  if (body == nullptr) {
+    FreeTxBuf(nb);
+    return;
+  }
   arp.Serialize(body);
   ++if_stats_.arp_requests;
-  SendEth(kBroadcast, kEthTypeArp, body);
+  SendEthBuf(kBroadcast, kEthTypeArp, nb);
 }
 
-bool NetIf::SendIp(Ip4Addr dst, std::uint8_t proto,
-                   std::span<const std::uint8_t> payload) {
-  std::vector<std::uint8_t> packet(kIp4HdrBytes + payload.size());
-  Ip4Header ip;
-  ip.total_len = static_cast<std::uint16_t>(packet.size());
-  ip.id = ip_id_++;
-  ip.proto = proto;
-  ip.src = config_.ip;
-  ip.dst = dst;
-  ip.Serialize(packet.data());
-  std::memcpy(packet.data() + kIp4HdrBytes, payload.data(), payload.size());
-
-  Ip4Addr hop = NextHop(dst);
-  auto cached = arp_cache_.find(hop);
-  if (cached == arp_cache_.end()) {
-    // Park behind ARP (bounded queue; beyond that, drop — TCP retransmits).
-    auto& pending = arp_pending_[hop];
-    if (pending.size() >= 8) {
-      ++if_stats_.pending_dropped;
-      return false;
-    }
-    pending.push_back(std::move(packet));
-    SendArpRequest(hop);
-    return true;
-  }
-  ++if_stats_.ip_tx;
-  return SendEth(cached->second, kEthTypeIp4, packet);
-}
+// ---- batched RX --------------------------------------------------------------------
 
 std::size_t NetIf::Poll() {
   uknetdev::NetBuf* pkts[kRxBurstSize];
   std::uint16_t cnt = kRxBurstSize;
   dev_->RxBurst(0, pkts, &cnt);
+  return ProcessRxBurst(pkts, cnt);
+}
+
+std::size_t NetIf::ProcessRxBurst(uknetdev::NetBuf** pkts, std::uint16_t cnt) {
   for (std::uint16_t i = 0; i < cnt; ++i) {
     uknetdev::NetBuf* nb = pkts[i];
     const std::byte* data = nb->Data(*mem_);
+    bool retained = false;
     if (data != nullptr) {
-      HandleFrame(std::span(reinterpret_cast<const std::uint8_t*>(data), nb->len));
+      retained = HandleFrame(
+          nb, std::span(reinterpret_cast<const std::uint8_t*>(data), nb->len));
     }
-    if (nb->pool != nullptr) {
+    if (!retained && nb->pool != nullptr) {
       nb->pool->Free(nb);
     }
   }
   return cnt;
 }
 
-void NetIf::HandleFrame(std::span<const std::uint8_t> frame) {
+bool NetIf::HandleFrame(uknetdev::NetBuf* nb, std::span<const std::uint8_t> frame) {
   if (frame.size() < kEthHdrBytes) {
-    return;
+    return false;
   }
   EthHeader eth = EthHeader::Parse(frame);
   bool for_us = eth.dst == dev_->mac() || eth.dst == kBroadcast;
   if (!for_us) {
-    return;
+    return false;
   }
   std::span<const std::uint8_t> body = frame.subspan(kEthHdrBytes);
   if (eth.ethertype == kEthTypeArp) {
     HandleArp(body);
-  } else if (eth.ethertype == kEthTypeIp4) {
-    HandleIp(body);
+    return false;
   }
+  if (eth.ethertype == kEthTypeIp4) {
+    return HandleIp(nb, body);
+  }
+  return false;
 }
 
 void NetIf::HandleArp(std::span<const std::uint8_t> body) {
@@ -152,13 +246,15 @@ void NetIf::HandleArp(std::span<const std::uint8_t> body) {
   // Learn the sender either way (gratuitous + reply + request).
   arp_cache_[arp->sender_ip] = arp->sender_mac;
 
-  // Flush packets parked behind this resolution.
+  // Flush netbufs parked behind this resolution in one batch: they already
+  // carry their IP headers, so only the Ethernet header is prepended before
+  // the whole set goes out in a single TxBurst.
   auto pending = arp_pending_.find(arp->sender_ip);
   if (pending != arp_pending_.end()) {
-    for (std::vector<std::uint8_t>& packet : pending->second) {
-      ++if_stats_.ip_tx;
-      SendEth(arp->sender_mac, kEthTypeIp4, packet);
-    }
+    std::uint16_t sent = SendEthBatch(arp->sender_mac, kEthTypeIp4,
+                                      pending->second.data(),
+                                      static_cast<std::uint16_t>(pending->second.size()));
+    if_stats_.ip_tx += sent;
     arp_pending_.erase(pending);
   }
 
@@ -169,26 +265,34 @@ void NetIf::HandleArp(std::span<const std::uint8_t> body) {
     reply.sender_ip = config_.ip;
     reply.target_mac = arp->sender_mac;
     reply.target_ip = arp->sender_ip;
-    std::uint8_t out[kArpBytes];
+    uknetdev::NetBuf* nb = AllocTxBuf();
+    if (nb == nullptr) {
+      return;
+    }
+    std::uint8_t* out = nb->Append(*mem_, kArpBytes);
+    if (out == nullptr) {
+      FreeTxBuf(nb);
+      return;
+    }
     reply.Serialize(out);
     ++if_stats_.arp_replies;
-    SendEth(arp->sender_mac, kEthTypeArp, out);
+    SendEthBuf(arp->sender_mac, kEthTypeArp, nb);
   }
 }
 
-void NetIf::HandleIp(std::span<const std::uint8_t> body) {
+bool NetIf::HandleIp(uknetdev::NetBuf* nb, std::span<const std::uint8_t> body) {
   auto ip = Ip4Header::Parse(body);
   if (!ip.has_value()) {
     ++if_stats_.rx_checksum_drops;
-    return;
+    return false;
   }
   if (ip->dst != config_.ip) {
-    return;  // not routed; unikernels are endpoints
+    return false;  // not routed; unikernels are endpoints
   }
   ++if_stats_.ip_rx;
   std::span<const std::uint8_t> payload =
       body.subspan(kIp4HdrBytes, ip->total_len - kIp4HdrBytes);
-  stack_->HandleIpPacket(this, *ip, payload);
+  return stack_->HandleIpPacket(this, nb, *ip, payload);
 }
 
 }  // namespace uknet

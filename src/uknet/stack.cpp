@@ -6,7 +6,30 @@
 
 namespace uknet {
 
+bool NetStack::SendTcpHeaderOnly(NetIf* netif, Ip4Addr dst, const TcpHeader& hdr) {
+  uknetdev::NetBuf* nb = netif->AllocTxBuf(kTcpHdrBytes);
+  if (nb == nullptr) {
+    return false;
+  }
+  std::uint8_t* at = nb->PrependHeader(*mem_, kTcpHdrBytes);
+  if (at == nullptr) {
+    netif->FreeTxBuf(nb);
+    return false;
+  }
+  hdr.Serialize(at, netif->ip(), dst, {});
+  return netif->SendIpBuf(dst, kIpProtoTcp, nb);
+}
+
 // ---- UDP socket -------------------------------------------------------------------
+
+UdpSocket::~UdpSocket() {
+  // Queued datagram views still own driver netbufs.
+  for (DatagramView& view : rx_) {
+    if (view.nb != nullptr && view.nb->pool != nullptr) {
+      view.nb->pool->Free(view.nb);
+    }
+  }
+}
 
 ukarch::Status UdpSocket::Bind(std::uint16_t port) {
   if (explicitly_bound_) {
@@ -35,26 +58,94 @@ std::int64_t UdpSocket::SendTo(Ip4Addr dst, std::uint16_t dst_port,
   if (netif == nullptr) {
     return ukarch::Raw(ukarch::Status::kNetUnreach);
   }
-  std::vector<std::uint8_t> datagram(kUdpHdrBytes + payload.size());
+  // Zero-copy TX: the payload is written once, straight into the netbuf that
+  // goes to the device; the UDP header (and below it IP + Ethernet) is
+  // prepended in place in the buffer's headroom reservation.
+  uknetdev::NetBuf* nb = netif->AllocTxBuf(kUdpHdrBytes);
+  if (nb == nullptr) {
+    return ukarch::Raw(ukarch::Status::kAgain);
+  }
+  std::uint8_t* body =
+      nb->Append(*stack_->mem(), static_cast<std::uint32_t>(payload.size()));
+  if (body == nullptr) {
+    netif->FreeTxBuf(nb);
+    return ukarch::Raw(ukarch::Status::kInval);
+  }
+  if (!payload.empty()) {
+    std::memcpy(body, payload.data(), payload.size());
+  }
   UdpHeader hdr;
   hdr.src_port = port_;
   hdr.dst_port = dst_port;
-  if (!payload.empty()) {
-    std::memcpy(datagram.data() + kUdpHdrBytes, payload.data(), payload.size());
+  std::uint8_t* hdr_at = nb->PrependHeader(*stack_->mem(), kUdpHdrBytes);
+  if (hdr_at == nullptr) {
+    netif->FreeTxBuf(nb);
+    return ukarch::Raw(ukarch::Status::kAgain);
   }
-  hdr.Serialize(datagram.data(), netif->ip(), dst, payload);
+  hdr.Serialize(hdr_at, netif->ip(), dst, std::span(body, payload.size()));
   ++stack_->stats_.udp_tx;
-  if (!netif->SendIp(dst, kIpProtoUdp, datagram)) {
+  if (!netif->SendIpBuf(dst, kIpProtoUdp, nb)) {
     return ukarch::Raw(ukarch::Status::kAgain);
   }
   return static_cast<std::int64_t>(payload.size());
+}
+
+std::int64_t UdpSocket::RecvInto(std::span<std::uint8_t> out, Ip4Addr* src_ip,
+                                 std::uint16_t* src_port) {
+  if (rx_.empty()) {
+    return ukarch::Raw(ukarch::Status::kAgain);
+  }
+  DatagramView& view = rx_.front();
+  std::size_t n = view.len < out.size() ? view.len : out.size();
+  if (n > 0) {
+    std::memcpy(out.data(), view.data, n);
+  }
+  if (src_ip != nullptr) {
+    *src_ip = view.src_ip;
+  }
+  if (src_port != nullptr) {
+    *src_port = view.src_port;
+  }
+  if (view.nb != nullptr && view.nb->pool != nullptr) {
+    view.nb->pool->Free(view.nb);
+  }
+  rx_.pop_front();
+  return static_cast<std::int64_t>(n);
+}
+
+std::size_t UdpSocket::PeekBatch(const DatagramView** out, std::size_t max) const {
+  std::size_t n = 0;
+  for (const DatagramView& view : rx_) {
+    if (n >= max) {
+      break;
+    }
+    out[n++] = &view;
+  }
+  return n;
+}
+
+void UdpSocket::ReleaseFront(std::size_t n) {
+  for (std::size_t i = 0; i < n && !rx_.empty(); ++i) {
+    DatagramView& view = rx_.front();
+    if (view.nb != nullptr && view.nb->pool != nullptr) {
+      view.nb->pool->Free(view.nb);
+    }
+    rx_.pop_front();
+  }
 }
 
 std::optional<Datagram> UdpSocket::RecvFrom() {
   if (rx_.empty()) {
     return std::nullopt;
   }
-  Datagram d = std::move(rx_.front());
+  DatagramView& view = rx_.front();
+  Datagram d;
+  d.src_ip = view.src_ip;
+  d.src_port = view.src_port;
+  d.payload.assign(view.data, view.data + view.len);
+  if (view.nb != nullptr && view.nb->pool != nullptr) {
+    view.nb->pool->Free(view.nb);
+  }
   rx_.pop_front();
   return d;
 }
@@ -134,10 +225,8 @@ std::shared_ptr<TcpSocket> NetStack::TcpConnect(Ip4Addr dst, std::uint16_t port)
   hdr.seq = iss;
   hdr.flags = kTcpSyn;
   hdr.window = sock->AdvertisedWindow();
-  std::vector<std::uint8_t> segment(kTcpHdrBytes);
-  hdr.Serialize(segment.data(), netif->ip(), dst, {});
   ++sock->tcp_stats_.segments_sent;
-  netif->SendIp(dst, kIpProtoTcp, segment);
+  SendTcpHeaderOnly(netif, dst, hdr);
   sock->last_send_cycles_ = clock_->cycles();
   return sock;
 }
@@ -193,42 +282,60 @@ std::uint32_t NetStack::NewIss() {
   return static_cast<std::uint32_t>(ukarch::Mix64(iss_counter_++));
 }
 
-void NetStack::HandleIpPacket(NetIf* netif, const Ip4Header& ip,
+bool NetStack::HandleIpPacket(NetIf* netif, uknetdev::NetBuf* nb, const Ip4Header& ip,
                               std::span<const std::uint8_t> payload) {
   switch (ip.proto) {
-    case kIpProtoUdp: HandleUdp(netif, ip, payload); break;
+    case kIpProtoUdp: return HandleUdp(netif, nb, ip, payload);
     case kIpProtoTcp: HandleTcp(netif, ip, payload); break;
     case kIpProtoIcmp: HandleIcmp(netif, ip, payload); break;
     default: break;
   }
+  return false;
 }
 
-void NetStack::HandleUdp(NetIf* netif, const Ip4Header& ip,
+bool NetStack::HandleUdp(NetIf* netif, uknetdev::NetBuf* nb, const Ip4Header& ip,
                          std::span<const std::uint8_t> payload) {
+  (void)netif;
   auto hdr = UdpHeader::Parse(payload, ip.src, ip.dst);
   if (!hdr.has_value()) {
-    return;
+    return false;
   }
   ++stats_.udp_rx;
   auto it = udp_ports_.find(hdr->dst_port);
   if (it == udp_ports_.end()) {
     ++stats_.no_socket_drops;
-    return;
+    return false;
   }
   UdpSocket& sock = *it->second;
   if (sock.rx_.size() >= UdpSocket::kMaxQueue) {
     ++stats_.no_socket_drops;
-    return;
+    return false;
   }
-  Datagram d;
-  d.src_ip = ip.src;
-  d.src_port = hdr->src_port;
-  d.payload.assign(payload.begin() + kUdpHdrBytes,
-                   payload.begin() + hdr->length);
-  sock.rx_.push_back(std::move(d));
+  DatagramView view;
+  view.src_ip = ip.src;
+  view.src_port = hdr->src_port;
+  view.len = hdr->length - kUdpHdrBytes;
+  // Zero-copy delivery: the socket queue takes ownership of the netbuf and
+  // records a view of the payload bytes where they already are. Retaining is
+  // only safe while the RX pool keeps enough buffers circulating — a slow
+  // consumer must not park the whole pool and stall RX for the interface —
+  // so below the low-water mark delivery degrades to copy-and-free.
+  bool retain = nb != nullptr && nb->pool != nullptr &&
+                nb->pool->available() >= nb->pool->capacity() / 4;
+  if (retain) {
+    view.data = payload.data() + kUdpHdrBytes;
+    view.nb = nb;
+  } else {
+    view.owned.assign(payload.begin() + kUdpHdrBytes,
+                      payload.begin() + hdr->length);
+    view.data = view.owned.data();
+    view.nb = nullptr;
+  }
+  sock.rx_.push_back(std::move(view));
   if (sock.rx_cb_) {
     sock.rx_cb_();
   }
+  return retain;
 }
 
 void NetStack::HandleIcmp(NetIf* netif, const Ip4Header& ip,
@@ -257,9 +364,7 @@ void NetStack::SendRst(NetIf* netif, const Ip4Header& ip, const TcpHeader& hdr,
   rst.seq = (hdr.flags & kTcpAck) != 0 ? hdr.ack : 0;
   rst.ack = hdr.seq + static_cast<std::uint32_t>(payload_len) +
             (((hdr.flags & kTcpSyn) != 0) ? 1 : 0);
-  std::vector<std::uint8_t> segment(kTcpHdrBytes);
-  rst.Serialize(segment.data(), ip.dst, ip.src, {});
-  netif->SendIp(ip.src, kIpProtoTcp, segment);
+  SendTcpHeaderOnly(netif, ip.src, rst);
 }
 
 void NetStack::HandleTcp(NetIf* netif, const Ip4Header& ip,
@@ -304,10 +409,8 @@ void NetStack::HandleTcp(NetIf* netif, const Ip4Header& ip,
       synack.ack = sock->rcv_nxt_;
       synack.flags = kTcpSyn | kTcpAck;
       synack.window = sock->AdvertisedWindow();
-      std::vector<std::uint8_t> segment(kTcpHdrBytes);
-      synack.Serialize(segment.data(), ip.dst, ip.src, {});
       ++sock->tcp_stats_.segments_sent;
-      netif->SendIp(ip.src, kIpProtoTcp, segment);
+      SendTcpHeaderOnly(netif, ip.src, synack);
       sock->last_send_cycles_ = clock_->cycles();
       return;
     }

@@ -44,6 +44,7 @@ class NetIf {
 
   NetIf(NetStack* stack, uknetdev::NetDev* dev, ukplat::MemRegion* mem,
         ukalloc::Allocator* alloc, Config config);
+  ~NetIf();
 
   // Configures queues and pools and starts the device.
   ukarch::Status Init();
@@ -52,10 +53,41 @@ class NetIf {
   uknetdev::MacAddr mac() const { return dev_->mac(); }
   uknetdev::NetDev* dev() { return dev_; }
 
-  // Processes up to one RX burst; returns packets handled.
+  // Processes up to one RX burst: pulls the whole burst array off the device,
+  // then classifies and dispatches every frame. Returns packets handled.
   std::size_t Poll();
 
-  // Sends an IPv4 packet (header built here). May queue behind ARP.
+  // ---- zero-copy TX --------------------------------------------------------
+  // The TX convention: a protocol layer allocates a netbuf whose headroom
+  // reserves every header below it (device + Ethernet + IP + its own),
+  // appends the application payload, prepends its own header in place, and
+  // hands the buffer down. Each lower layer prepends its header into the
+  // remaining headroom — the frame that reaches TxBurst was never copied.
+
+  // Allocates a TX netbuf reserving device+Ethernet+IP headroom plus
+  // |l4_header_bytes| for the caller's own header. nullptr when the pool is
+  // dry (caller backs off; TCP retransmission or the app retries).
+  uknetdev::NetBuf* AllocTxBuf(std::uint32_t l4_header_bytes = 0);
+  // Returns an unsent TX netbuf to its pool.
+  void FreeTxBuf(uknetdev::NetBuf* nb);
+
+  // Zero-copy IPv4 send: |nb| holds the L4 payload (with any L4 header
+  // already prepended in place); the IP and Ethernet headers are prepended
+  // into its headroom here. Ownership always passes to the interface: on ARP
+  // miss the buffer parks behind the resolution, on failure it is freed.
+  bool SendIpBuf(Ip4Addr dst, std::uint8_t proto, uknetdev::NetBuf* nb);
+  // Zero-copy Ethernet send: prepends the Ethernet header in place and
+  // bursts the buffer to the device. Takes ownership of |nb|.
+  bool SendEthBuf(uknetdev::MacAddr dst, std::uint16_t ethertype,
+                  uknetdev::NetBuf* nb);
+  // Batch TX: prepends Ethernet headers for all |cnt| buffers to the same
+  // next hop and enqueues them in a single TxBurst. Returns packets queued;
+  // unsent buffers are freed. Takes ownership of the whole array.
+  std::uint16_t SendEthBatch(uknetdev::MacAddr dst, std::uint16_t ethertype,
+                             uknetdev::NetBuf** pkts, std::uint16_t cnt);
+
+  // Copying compatibility shim over SendIpBuf for payloads that only exist
+  // as a contiguous span (ICMP echo bodies, tests).
   bool SendIp(Ip4Addr dst, std::uint8_t proto, std::span<const std::uint8_t> payload);
 
   void AddArpEntry(Ip4Addr ip, uknetdev::MacAddr mac) { arp_cache_[ip] = mac; }
@@ -78,9 +110,13 @@ class NetIf {
 
   bool SendEth(uknetdev::MacAddr dst, std::uint16_t ethertype,
                std::span<const std::uint8_t> payload);
-  void HandleFrame(std::span<const std::uint8_t> frame);
+  // Batch dispatch: classifies and handles |cnt| received buffers; frees each
+  // unless an upper layer retained it (UDP zero-copy delivery).
+  std::size_t ProcessRxBurst(uknetdev::NetBuf** pkts, std::uint16_t cnt);
+  // Returns true when the netbuf ownership moved to an upper layer.
+  bool HandleFrame(uknetdev::NetBuf* nb, std::span<const std::uint8_t> frame);
   void HandleArp(std::span<const std::uint8_t> body);
-  void HandleIp(std::span<const std::uint8_t> body);
+  bool HandleIp(uknetdev::NetBuf* nb, std::span<const std::uint8_t> body);
   void SendArpRequest(Ip4Addr target);
   Ip4Addr NextHop(Ip4Addr dst) const {
     return RouteMatches(dst) || config_.gateway == 0 ? dst : config_.gateway;
@@ -91,11 +127,14 @@ class NetIf {
   ukplat::MemRegion* mem_;
   ukalloc::Allocator* alloc_;
   Config config_;
+  std::uint32_t dev_tx_headroom_ = 0;  // cached from DevInfo at Init
   std::unique_ptr<uknetdev::NetBufPool> tx_pool_;
   std::unique_ptr<uknetdev::NetBufPool> rx_pool_;
   std::map<Ip4Addr, uknetdev::MacAddr> arp_cache_;
-  // Packets parked behind unresolved ARP: next-hop ip -> raw IP packets.
-  std::map<Ip4Addr, std::vector<std::vector<std::uint8_t>>> arp_pending_;
+  // Netbufs parked behind unresolved ARP: next-hop ip -> IP packets whose
+  // IP header is already built; only the Ethernet header is missing. The
+  // buffers themselves wait — no serialized copies.
+  std::map<Ip4Addr, std::vector<uknetdev::NetBuf*>> arp_pending_;
   IfStats if_stats_;
   std::uint16_t ip_id_ = 1;
 };
@@ -108,15 +147,45 @@ struct Datagram {
   std::vector<std::uint8_t> payload;
 };
 
+// Zero-copy received datagram: a view into the driver's netbuf, whose
+// ownership moved from the RX ring to the socket queue. The payload bytes
+// live in guest RAM until the view is released back to the pool. When the
+// RX pool runs low (slow consumer), delivery falls back to copying into
+// |owned| and freeing the netbuf immediately so a parked socket queue can
+// never starve the RX ring for the rest of the interface.
+struct DatagramView {
+  Ip4Addr src_ip = 0;
+  std::uint16_t src_port = 0;
+  const std::uint8_t* data = nullptr;
+  std::size_t len = 0;
+  uknetdev::NetBuf* nb = nullptr;  // backing buffer; nullptr when copied
+  std::vector<std::uint8_t> owned;  // copy fallback storage
+};
+
 class UdpSocket {
  public:
+  ~UdpSocket();
+
   ukarch::Status Bind(std::uint16_t port);
   std::uint16_t local_port() const { return port_; }
 
-  // Non-blocking. SendTo returns bytes sent or negative errno.
+  // Non-blocking. SendTo returns bytes sent or negative errno. The payload
+  // is written straight into a device netbuf; UDP/IP/Ethernet headers are
+  // prepended in place around it (no intermediate datagram buffer).
   std::int64_t SendTo(Ip4Addr dst, std::uint16_t dst_port,
                       std::span<const std::uint8_t> payload);
-  // Returns a datagram if available.
+
+  // Zero-allocation receive: copies the payload straight from the netbuf
+  // into |out| and releases the buffer. Bytes copied, or -EAGAIN when empty.
+  std::int64_t RecvInto(std::span<std::uint8_t> out, Ip4Addr* src_ip = nullptr,
+                        std::uint16_t* src_port = nullptr);
+  // Zero-copy batch receive: borrow views of up to |max| queued datagrams
+  // without copying. The views stay valid until ReleaseFront.
+  std::size_t PeekBatch(const DatagramView** out, std::size_t max) const;
+  // Releases the first |n| queued datagrams (returns netbufs to their pool).
+  void ReleaseFront(std::size_t n);
+
+  // Copying convenience wrapper (tests, simple apps).
   std::optional<Datagram> RecvFrom();
   bool readable() const { return !rx_.empty(); }
   std::size_t queued() const { return rx_.size(); }
@@ -131,7 +200,7 @@ class UdpSocket {
   NetStack* stack_;
   std::uint16_t port_ = 0;
   bool explicitly_bound_ = false;
-  std::deque<Datagram> rx_;
+  std::deque<DatagramView> rx_;
   std::function<void()> rx_cb_;
   static constexpr std::size_t kMaxQueue = 1024;
 };
@@ -186,8 +255,12 @@ class TcpSocket {
   void OnSegment(const TcpHeader& hdr, std::span<const std::uint8_t> payload);
   void Output();            // transmit what window + buffer allow
   void CheckTimer();        // RTO-based retransmission
-  void EmitSegment(std::uint8_t flags, std::uint32_t seq,
-                   std::span<const std::uint8_t> payload);
+  // Control segment (ACK/FIN/window update): header only, no payload.
+  void EmitSegment(std::uint8_t flags, std::uint32_t seq);
+  // Data segment built in place: copies [off, off+take) of send_buf_ straight
+  // into the TX netbuf and prepends the TCP header around it.
+  void EmitData(std::uint8_t flags, std::uint32_t seq, std::uint32_t off,
+                std::uint32_t take);
   std::uint16_t AdvertisedWindow() const {
     std::size_t space = kRecvBufCap - recv_buf_.size();
     return static_cast<std::uint16_t>(space > 0xffff ? 0xffff : space);
@@ -290,9 +363,11 @@ class NetStack {
     auto operator<=>(const ConnKey&) const = default;
   };
 
-  void HandleIpPacket(NetIf* netif, const Ip4Header& ip,
+  // The bool results report whether |nb| ownership moved to an upper layer
+  // (UDP zero-copy delivery parks the netbuf in the socket queue).
+  bool HandleIpPacket(NetIf* netif, uknetdev::NetBuf* nb, const Ip4Header& ip,
                       std::span<const std::uint8_t> payload);
-  void HandleUdp(NetIf* netif, const Ip4Header& ip,
+  bool HandleUdp(NetIf* netif, uknetdev::NetBuf* nb, const Ip4Header& ip,
                  std::span<const std::uint8_t> payload);
   void HandleTcp(NetIf* netif, const Ip4Header& ip,
                  std::span<const std::uint8_t> payload);
@@ -300,6 +375,9 @@ class NetStack {
                   std::span<const std::uint8_t> payload);
   void SendRst(NetIf* netif, const Ip4Header& ip, const TcpHeader& hdr,
                std::size_t payload_len);
+  // Shared header-only TCP segment builder (SYN, SYN|ACK, RST, ACK...):
+  // serialized in place in a TX netbuf.
+  bool SendTcpHeaderOnly(NetIf* netif, Ip4Addr dst, const TcpHeader& hdr);
   std::uint16_t AllocEphemeralPort();
   std::uint32_t NewIss();  // deterministic initial sequence numbers
   // Called by TcpSocket state transitions.

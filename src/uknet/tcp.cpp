@@ -63,7 +63,7 @@ std::int64_t TcpSocket::Recv(std::span<std::uint8_t> out) {
   }
   if (was_zero_window && AdvertisedWindow() > 0 && state_ == TcpState::kEstablished) {
     // Window update so the stalled sender resumes.
-    EmitSegment(kTcpAck, snd_nxt_, {});
+    EmitSegment(kTcpAck, snd_nxt_);
   }
   return static_cast<std::int64_t>(n);
 }
@@ -90,8 +90,7 @@ void TcpSocket::Close() {
   }
 }
 
-void TcpSocket::EmitSegment(std::uint8_t flags, std::uint32_t seq,
-                            std::span<const std::uint8_t> payload) {
+void TcpSocket::EmitSegment(std::uint8_t flags, std::uint32_t seq) {
   TcpHeader hdr;
   hdr.src_port = local_port_;
   hdr.dst_port = remote_port_;
@@ -99,13 +98,43 @@ void TcpSocket::EmitSegment(std::uint8_t flags, std::uint32_t seq,
   hdr.ack = rcv_nxt_;
   hdr.flags = flags;
   hdr.window = AdvertisedWindow();
-  std::vector<std::uint8_t> segment(kTcpHdrBytes + payload.size());
-  if (!payload.empty()) {
-    std::memcpy(segment.data() + kTcpHdrBytes, payload.data(), payload.size());
-  }
-  hdr.Serialize(segment.data(), netif_->ip(), remote_ip_, payload);
   ++tcp_stats_.segments_sent;
-  netif_->SendIp(remote_ip_, kIpProtoTcp, segment);
+  stack_->SendTcpHeaderOnly(netif_, remote_ip_, hdr);
+  last_send_cycles_ = stack_->clock()->cycles();
+}
+
+void TcpSocket::EmitData(std::uint8_t flags, std::uint32_t seq, std::uint32_t off,
+                         std::uint32_t take) {
+  TcpHeader hdr;
+  hdr.src_port = local_port_;
+  hdr.dst_port = remote_port_;
+  hdr.seq = seq;
+  hdr.ack = rcv_nxt_;
+  hdr.flags = flags;
+  hdr.window = AdvertisedWindow();
+  uknetdev::NetBuf* nb = netif_->AllocTxBuf(kTcpHdrBytes);
+  if (nb == nullptr) {
+    return;  // pool dry: drop; the retransmission timer recovers
+  }
+  ukplat::MemRegion* mem = stack_->mem();
+  std::uint8_t* body = nb->Append(*mem, take);
+  if (body == nullptr) {
+    netif_->FreeTxBuf(nb);
+    return;
+  }
+  // Copy straight from the send deque window into the wire buffer — the one
+  // unavoidable copy on the TCP TX path (the deque survives for retransmit).
+  for (std::uint32_t i = 0; i < take; ++i) {
+    body[i] = send_buf_[off + i];
+  }
+  std::uint8_t* hdr_at = nb->PrependHeader(*mem, kTcpHdrBytes);
+  if (hdr_at == nullptr) {
+    netif_->FreeTxBuf(nb);
+    return;
+  }
+  hdr.Serialize(hdr_at, netif_->ip(), remote_ip_, std::span(body, take));
+  ++tcp_stats_.segments_sent;
+  netif_->SendIpBuf(remote_ip_, kIpProtoTcp, nb);
   last_send_cycles_ = stack_->clock()->cycles();
 }
 
@@ -124,23 +153,18 @@ void TcpSocket::Output() {
     if (take > kMss) {
       take = kMss;
     }
-    // Copy the segment payload out of the deque window.
-    std::vector<std::uint8_t> payload(take);
-    for (std::uint32_t i = 0; i < take; ++i) {
-      payload[i] = send_buf_[in_flight + i];
-    }
     std::uint8_t flags = kTcpAck;
     if (take == unsent) {
       flags |= kTcpPsh;
     }
-    EmitSegment(flags, snd_nxt_, payload);
+    EmitData(flags, snd_nxt_, in_flight, take);
     snd_nxt_ += take;
     in_flight += take;
     unsent -= take;
   }
   // Flush a queued FIN once all data is out.
   if (fin_queued_ && !fin_sent_ && unsent == 0) {
-    EmitSegment(kTcpFin | kTcpAck, snd_nxt_, {});
+    EmitSegment(kTcpFin | kTcpAck, snd_nxt_);
     snd_nxt_ += 1;  // FIN consumes a sequence number
     fin_sent_ = true;
   }
@@ -166,7 +190,7 @@ void TcpSocket::CheckTimer() {
   std::uint32_t off = 0;
   std::uint32_t seq = snd_una_;
   if (data_in_flight == 0 && fin_sent_) {
-    EmitSegment(kTcpFin | kTcpAck, seq, {});
+    EmitSegment(kTcpFin | kTcpAck, seq);
     return;
   }
   while (off < data_in_flight) {
@@ -174,11 +198,7 @@ void TcpSocket::CheckTimer() {
     if (take > kMss) {
       take = kMss;
     }
-    std::vector<std::uint8_t> payload(take);
-    for (std::uint32_t i = 0; i < take; ++i) {
-      payload[i] = send_buf_[off + i];
-    }
-    EmitSegment(kTcpAck, seq, payload);
+    EmitData(kTcpAck, seq, off, take);
     off += take;
     seq += take;
   }
@@ -200,7 +220,7 @@ void TcpSocket::OnSegment(const TcpHeader& hdr, std::span<const std::uint8_t> pa
       snd_una_ = hdr.ack;
       snd_wnd_ = hdr.window;
       EnterState(TcpState::kEstablished);
-      EmitSegment(kTcpAck, snd_nxt_, {});
+      EmitSegment(kTcpAck, snd_nxt_);
       Output();
     }
     return;
@@ -252,7 +272,7 @@ void TcpSocket::OnSegment(const TcpHeader& hdr, std::span<const std::uint8_t> pa
         std::uint32_t take = snd_nxt_ - snd_una_;
         bool fin_only = fin_sent_ && take == 1 && send_buf_.empty();
         if (fin_only) {
-          EmitSegment(kTcpFin | kTcpAck, snd_una_, {});
+          EmitSegment(kTcpFin | kTcpAck, snd_una_);
         } else {
           if (take > kMss) {
             take = kMss;
@@ -260,11 +280,7 @@ void TcpSocket::OnSegment(const TcpHeader& hdr, std::span<const std::uint8_t> pa
           if (take > send_buf_.size()) {
             take = static_cast<std::uint32_t>(send_buf_.size());
           }
-          std::vector<std::uint8_t> seg(take);
-          for (std::uint32_t i = 0; i < take; ++i) {
-            seg[i] = send_buf_[i];
-          }
-          EmitSegment(kTcpAck, snd_una_, seg);
+          EmitData(kTcpAck, snd_una_, 0, take);
         }
       }
     }
@@ -301,14 +317,14 @@ void TcpSocket::OnSegment(const TcpHeader& hdr, std::span<const std::uint8_t> pa
       EnterState(TcpState::kClosing);
     } else if (state_ == TcpState::kFinWait2) {
       EnterState(TcpState::kTimeWait);
-      EmitSegment(kTcpAck, snd_nxt_, {});
+      EmitSegment(kTcpAck, snd_nxt_);
       stack_->RemoveConnection(this);
       return;
     }
   }
 
   if (advanced) {
-    EmitSegment(kTcpAck, snd_nxt_, {});
+    EmitSegment(kTcpAck, snd_nxt_);
   }
   Output();
 }

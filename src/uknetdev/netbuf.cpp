@@ -49,6 +49,17 @@ NetBuf* NetBufPool::Alloc() {
   return nb;
 }
 
+NetBuf* NetBufPool::AllocWithHeadroom(std::uint32_t headroom) {
+  if (headroom > buf_size_) {
+    return nullptr;
+  }
+  NetBuf* nb = Alloc();
+  if (nb != nullptr) {
+    nb->headroom = headroom;
+  }
+  return nb;
+}
+
 void NetBufPool::Free(NetBuf* nb) {
   if (nb != nullptr && nb->pool == this) {
     free_.push_back(nb);

@@ -33,6 +33,12 @@ struct NetBuf {
   const std::byte* Data(const ukplat::MemRegion& mem) const {
     return mem.At(data_gpa(), len);
   }
+  std::uint8_t* Bytes(ukplat::MemRegion& mem) {
+    return reinterpret_cast<std::uint8_t*>(mem.At(data_gpa(), len));
+  }
+  const std::uint8_t* Bytes(const ukplat::MemRegion& mem) const {
+    return reinterpret_cast<const std::uint8_t*>(mem.At(data_gpa(), len));
+  }
 
   // Prepends |n| bytes by consuming headroom (returns false if none left).
   // This is how protocol layers add headers without copying.
@@ -51,6 +57,43 @@ struct NetBuf {
     }
     headroom += n;
     len -= n;
+    return true;
+  }
+
+  // In-place header construction: consumes |n| bytes of headroom and returns
+  // a pointer to the new front of the payload so the protocol layer writes
+  // its header directly into the buffer that goes to the device. nullptr when
+  // the headroom reservation is exhausted (buffer untouched).
+  std::uint8_t* PrependHeader(ukplat::MemRegion& mem, std::uint32_t n) {
+    if (!Push(n)) {
+      return nullptr;
+    }
+    return reinterpret_cast<std::uint8_t*>(mem.At(data_gpa(), n));
+  }
+  // RX mirror of PrependHeader: drops a consumed header off the front and
+  // keeps the rest of the payload in place.
+  bool TrimHeader(std::uint32_t n) { return Pull(n); }
+
+  // Extends the payload into the tailroom by |n| bytes and returns a pointer
+  // to the appended region; nullptr when the tailroom cannot hold it.
+  std::uint8_t* Append(ukplat::MemRegion& mem, std::uint32_t n) {
+    if (tailroom() < n) {
+      return nullptr;
+    }
+    std::uint8_t* at = reinterpret_cast<std::uint8_t*>(mem.At(gpa + headroom + len, n));
+    if (at != nullptr) {
+      len += n;
+    }
+    return at;
+  }
+
+  // Headroom reservation for an empty buffer: position the payload start so
+  // that |n| bytes of headers can later be prepended without copying.
+  bool ReserveHeadroom(std::uint32_t n) {
+    if (len != 0 || n > capacity) {
+      return false;
+    }
+    headroom = n;
     return true;
   }
 };
@@ -72,11 +115,16 @@ class NetBufPool {
 
   // O(1) alloc/free; Alloc resets headroom/len to defaults.
   NetBuf* Alloc();
+  // Alloc with a custom headroom reservation (e.g. the full protocol header
+  // budget of the TX path). Falls back to nullptr when |headroom| exceeds the
+  // buffer size.
+  NetBuf* AllocWithHeadroom(std::uint32_t headroom);
   void Free(NetBuf* nb);
 
   std::uint32_t capacity() const { return count_; }
   std::uint32_t available() const { return static_cast<std::uint32_t>(free_.size()); }
   std::uint32_t buf_size() const { return buf_size_; }
+  std::uint32_t default_headroom() const { return default_headroom_; }
 
  private:
   NetBufPool(ukalloc::Allocator* alloc, std::uint32_t count, std::uint32_t buf_size,

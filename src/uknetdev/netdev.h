@@ -32,6 +32,10 @@ struct DevInfo {
   std::uint32_t max_mtu = 1500;
   std::uint16_t tx_queue_depth = 256;
   std::uint16_t rx_queue_depth = 256;
+  // Headroom bytes the driver itself prepends on TX (e.g. virtio_net_hdr).
+  // Stack layers add this to their own header budget when reserving netbuf
+  // headroom so every header down to the device is built in place.
+  std::uint16_t tx_headroom = 0;
 };
 
 struct DevConf {

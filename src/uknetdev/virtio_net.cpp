@@ -15,6 +15,7 @@ DevInfo VirtioNet::Info() const {
   info.max_mtu = static_cast<std::uint32_t>(wire_->config().mtu);
   info.tx_queue_depth = config_.queue_size;
   info.rx_queue_depth = config_.queue_size;
+  info.tx_headroom = kVirtioHdrBytes;
   return info;
 }
 

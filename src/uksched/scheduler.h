@@ -156,7 +156,7 @@ class CoopScheduler final : public Scheduler {
   const char* name() const override { return "ukcoop"; }
 
  protected:
-  bool ShouldPreempt(const Thread& t) const override { return false; }
+  bool ShouldPreempt(const Thread& /*t*/) const override { return false; }
 };
 
 // Preemptive: round-robin with a virtual-time quantum.

@@ -208,6 +208,76 @@ TEST_F(TwoHostTest, UdpDatagramDelivery) {
   EXPECT_EQ(back->payload[0], 'o');
 }
 
+TEST_F(TwoHostTest, ArpFlushSendsParkedPacketsAsOneBatch) {
+  auto server = b_.stack->UdpOpen();
+  ASSERT_TRUE(Ok(server->Bind(7000)));
+  auto client = a_.stack->UdpOpen();
+  // Cold ARP cache: the first sends park whole netbufs behind resolution
+  // (bounded at 8); the ARP reply must flush them in a single batch.
+  constexpr std::size_t kParked = 5;
+  for (std::size_t i = 0; i < kParked; ++i) {
+    std::uint8_t msg[4] = {'a', 'r', 'p', static_cast<std::uint8_t>(i)};
+    ASSERT_EQ(client->SendTo(MakeIp(10, 0, 0, 2), 7000, msg), 4);
+  }
+  ASSERT_TRUE(PumpUntil([&] { return server->queued() >= kParked; }));
+  for (std::size_t i = 0; i < kParked; ++i) {
+    auto d = server->RecvFrom();
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->payload[3], static_cast<std::uint8_t>(i));  // order preserved
+  }
+  EXPECT_EQ(a_.netif->if_stats().ip_tx, kParked);
+  EXPECT_EQ(a_.netif->if_stats().pending_dropped, 0u);
+}
+
+TEST_F(TwoHostTest, BatchedUdpEchoZeroCopy) {
+  auto server = b_.stack->UdpOpen();
+  ASSERT_TRUE(Ok(server->Bind(9000)));
+  auto client = a_.stack->UdpOpen();
+  // Warm the ARP caches so the burst is not throttled by resolution.
+  ASSERT_TRUE(a_.stack->Ping(MakeIp(10, 0, 0, 2), 1));
+  ASSERT_TRUE(PumpUntil([&] { return a_.stack->pings_answered() == 1; }));
+
+  constexpr std::size_t kBurst = 16;
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    std::uint8_t msg[8] = {'b', 'a', 't', 'c', 'h', static_cast<std::uint8_t>(i),
+                           0,   0};
+    ASSERT_EQ(client->SendTo(MakeIp(10, 0, 0, 2), 9000, msg), 8);
+  }
+  ASSERT_TRUE(PumpUntil([&] { return server->queued() >= kBurst; }));
+
+  // Zero-copy batch view: every datagram is a view into a retained driver
+  // netbuf, surfaced in send order without copying.
+  const DatagramView* views[kBurst];
+  ASSERT_EQ(server->PeekBatch(views, kBurst), kBurst);
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    ASSERT_EQ(views[i]->len, 8u);
+    EXPECT_EQ(views[i]->data[5], static_cast<std::uint8_t>(i));
+    EXPECT_NE(views[i]->nb, nullptr);
+    EXPECT_EQ(views[i]->src_ip, MakeIp(10, 0, 0, 1));
+  }
+  // Echo the whole batch straight out of the views, then release in one go.
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    ASSERT_EQ(server->SendTo(views[i]->src_ip, views[i]->src_port,
+                             std::span(views[i]->data, views[i]->len)),
+              8);
+  }
+  server->ReleaseFront(kBurst);
+  EXPECT_EQ(server->queued(), 0u);
+
+  ASSERT_TRUE(PumpUntil([&] { return client->queued() >= kBurst; }));
+  std::uint8_t out[8];
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    Ip4Addr src = 0;
+    std::uint16_t port = 0;
+    ASSERT_EQ(client->RecvInto(out, &src, &port), 8);
+    EXPECT_EQ(out[5], static_cast<std::uint8_t>(i));
+    EXPECT_EQ(src, MakeIp(10, 0, 0, 2));
+    EXPECT_EQ(port, 9000);
+  }
+  EXPECT_EQ(client->RecvInto(out, nullptr, nullptr),
+            ukarch::Raw(ukarch::Status::kAgain));
+}
+
 TEST_F(TwoHostTest, UdpPortCollisionRejected) {
   auto s1 = b_.stack->UdpOpen();
   ASSERT_TRUE(Ok(s1->Bind(1000)));

@@ -290,6 +290,112 @@ TEST_F(NetDevTest, LoopbackRoundTrip) {
   rx[0]->pool->Free(rx[0]);
 }
 
+TEST_F(NetDevTest, NetBufPrependAndTrimHeaderInPlace) {
+  auto pool = NetBufPool::Create(alloc_.get(), &mem_, 4, 1024, /*headroom=*/64);
+  ASSERT_NE(pool, nullptr);
+  NetBuf* nb = pool->Alloc();
+  ASSERT_NE(nb, nullptr);
+
+  // Payload first, then headers prepended in place around it.
+  std::uint8_t* body = nb->Append(mem_, 7);
+  ASSERT_NE(body, nullptr);
+  std::memcpy(body, "payload", 7);
+  std::uint8_t* l4 = nb->PrependHeader(mem_, 4);
+  ASSERT_NE(l4, nullptr);
+  std::memcpy(l4, "UDP!", 4);
+  std::uint8_t* l3 = nb->PrependHeader(mem_, 3);
+  ASSERT_NE(l3, nullptr);
+  std::memcpy(l3, "IP!", 3);
+  EXPECT_EQ(nb->len, 14u);
+  EXPECT_EQ(nb->headroom, 64u - 7u);
+
+  // The assembled bytes are contiguous in the buffer — no copies were made.
+  const std::uint8_t* bytes = nb->Bytes(mem_);
+  ASSERT_NE(bytes, nullptr);
+  EXPECT_EQ(std::memcmp(bytes, "IP!UDP!payload", 14), 0);
+
+  // RX mirror: trim the headers back off and the payload stays in place.
+  EXPECT_TRUE(nb->TrimHeader(3));
+  EXPECT_TRUE(nb->TrimHeader(4));
+  EXPECT_EQ(nb->len, 7u);
+  EXPECT_EQ(std::memcmp(nb->Bytes(mem_), "payload", 7), 0);
+
+  // Exhausted headroom is refused without touching the buffer.
+  EXPECT_EQ(nb->PrependHeader(mem_, 1024), nullptr);
+  EXPECT_EQ(nb->len, 7u);
+  pool->Free(nb);
+}
+
+TEST_F(NetDevTest, NetBufHeadroomReservationRoundTrip) {
+  auto pool = NetBufPool::Create(alloc_.get(), &mem_, 2, 512, /*headroom=*/32);
+  ASSERT_NE(pool, nullptr);
+
+  NetBuf* nb = pool->AllocWithHeadroom(128);
+  ASSERT_NE(nb, nullptr);
+  EXPECT_EQ(nb->headroom, 128u);
+  EXPECT_EQ(nb->tailroom(), 512u - 128u);
+
+  // Tailroom is bounded by the reservation.
+  EXPECT_NE(nb->Append(mem_, 512 - 128), nullptr);
+  EXPECT_EQ(nb->Append(mem_, 1), nullptr);
+
+  // ReserveHeadroom only applies to empty buffers.
+  EXPECT_FALSE(nb->ReserveHeadroom(64));
+  nb->len = 0;
+  EXPECT_TRUE(nb->ReserveHeadroom(64));
+  EXPECT_EQ(nb->headroom, 64u);
+
+  // A reservation beyond the buffer size is refused.
+  EXPECT_EQ(pool->AllocWithHeadroom(4096), nullptr);
+
+  // Free/Alloc resets to the pool default.
+  pool->Free(nb);
+  nb = pool->Alloc();
+  ASSERT_NE(nb, nullptr);
+  EXPECT_EQ(nb->headroom, 32u);
+  pool->Free(nb);
+}
+
+TEST_F(NetDevTest, LoopbackBurstPreservesOrderAndOwnership) {
+  Loopback lo(&mem_);
+  auto rx_pool = NetBufPool::Create(alloc_.get(), &mem_, 32, 2048);
+  auto tx_pool = NetBufPool::Create(alloc_.get(), &mem_, 32, 2048);
+  RxQueueConf rxc;
+  rxc.buffer_pool = rx_pool.get();
+  ASSERT_TRUE(Ok(lo.RxQueueSetup(0, rxc)));
+  ASSERT_TRUE(Ok(lo.Start()));
+
+  constexpr std::uint16_t kBurst = 8;
+  const std::uint32_t tx_before = tx_pool->available();
+  NetBuf* pkts[kBurst];
+  for (std::uint16_t i = 0; i < kBurst; ++i) {
+    pkts[i] = MakeFrame(tx_pool.get(), 64 + i, static_cast<std::uint8_t>(i + 1));
+    ASSERT_NE(pkts[i], nullptr);
+  }
+  std::uint16_t cnt = kBurst;
+  lo.TxBurst(0, pkts, &cnt);
+  ASSERT_EQ(cnt, kBurst);
+  // TX completion returned every buffer to its pool (driver-side ownership).
+  EXPECT_EQ(tx_pool->available(), tx_before);
+
+  // The RX burst must surface the whole batch in FIFO order.
+  NetBuf* rx[kBurst];
+  std::uint16_t got = kBurst;
+  lo.RxBurst(0, rx, &got);
+  ASSERT_EQ(got, kBurst);
+  const std::uint32_t rx_free_after_burst = rx_pool->available();
+  for (std::uint16_t i = 0; i < kBurst; ++i) {
+    EXPECT_EQ(rx[i]->len, 64u + i);
+    EXPECT_EQ(rx[i]->Bytes(mem_)[0], static_cast<std::uint8_t>(i + 1));
+    EXPECT_EQ(rx[i]->pool, rx_pool.get());
+  }
+  // Ownership round-trip: releasing the burst restores the pool.
+  for (std::uint16_t i = 0; i < kBurst; ++i) {
+    rx[i]->pool->Free(rx[i]);
+  }
+  EXPECT_EQ(rx_pool->available(), rx_free_after_burst + kBurst);
+}
+
 TEST_F(NetDevTest, ApplicationOwnsMemoryDriverRefusesWithoutPool) {
   VirtioNet::Config cfg;
   auto nic = std::make_unique<VirtioNet>(&mem_, &clock_, wire_.get(), cfg);
