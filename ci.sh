@@ -1,13 +1,22 @@
 #!/usr/bin/env bash
-# Tier-1 verify with warnings-as-errors on src/: configure, build, ctest.
-# Usage: ./ci.sh [build-dir]   (default: build-ci)
+# Tier-1 verify with warnings-as-errors on src/: configure, build, ctest —
+# then the same test suite again under AddressSanitizer + UBSan, which is
+# what catches netbuf lifetime/offset bugs (e.g. the TCP Output() OOB read
+# when a FIN was in flight) that pass unnoticed in a plain build.
+# Usage: ./ci.sh [build-dir]   (default: build-ci; sanitizer leg appends -asan)
 set -euo pipefail
 
 BUILD_DIR="${1:-build-ci}"
+ASAN_BUILD_DIR="${BUILD_DIR}-asan"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
 cmake -B "$BUILD_DIR" -S . -DUKRAFT_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "ci: OK (src/ built with -Wall -Wextra -Werror; all tests passed)"
+cmake -B "$ASAN_BUILD_DIR" -S . -DUKRAFT_WERROR=ON -DUKRAFT_SANITIZE=ON
+cmake --build "$ASAN_BUILD_DIR" -j "$JOBS"
+UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=0" \
+  ctest --test-dir "$ASAN_BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "ci: OK (src/ built with -Wall -Wextra -Werror; tests passed plain and under ASan+UBSan)"

@@ -168,8 +168,9 @@ std::size_t KvServer::PumpNetdev() {
       EthHeader eth = EthHeader::Parse(frame);
       auto ip = Ip4Header::Parse(frame.subspan(kEthHdrBytes));
       if (ip.has_value() && ip->proto == kIpProtoUdp) {
-        auto body = frame.subspan(kEthHdrBytes + kIp4HdrBytes,
-                                  ip->total_len - kIp4HdrBytes);
+        // Slice at the parsed header length so IP options never read as UDP.
+        auto body = frame.subspan(kEthHdrBytes + ip->header_len,
+                                  ip->total_len - ip->header_len);
         auto udp = UdpHeader::Parse(body, ip->src, ip->dst, false);
         if (udp.has_value() && udp->dst_port == port_) {
           auto request = body.subspan(kUdpHdrBytes, udp->length - kUdpHdrBytes);

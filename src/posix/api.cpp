@@ -226,7 +226,10 @@ void PosixApi::RegisterHandlers() {
     }
     std::int64_t n = tcp->Send(std::span(AsPtr<const std::uint8_t>(a.a1), a.a2));
     if (n == 0 && a.a2 > 0) {
-      return Err(ukarch::Status::kAgain);  // send buffer full
+      // Send accepted nothing: the retransmission queue is at capacity or
+      // the TX netbuf pool ran dry. Both are transient backpressure — ACKs
+      // release retained buffers back to the pool — so both map to EAGAIN.
+      return Err(ukarch::Status::kAgain);
     }
     return n;
   };

@@ -261,7 +261,9 @@ std::int64_t Client::Read(std::uint32_t fid, std::uint64_t offset,
   if (!r.ok() || data.size() > out.size()) {
     return ukarch::Raw(ukarch::Status::kIo);
   }
-  std::memcpy(out.data(), data.data(), data.size());
+  if (!data.empty()) {
+    std::memcpy(out.data(), data.data(), data.size());
+  }
   return static_cast<std::int64_t>(data.size());
 }
 

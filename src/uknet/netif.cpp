@@ -290,8 +290,10 @@ bool NetIf::HandleIp(uknetdev::NetBuf* nb, std::span<const std::uint8_t> body) {
     return false;  // not routed; unikernels are endpoints
   }
   ++if_stats_.ip_rx;
+  // Slice the L4 payload at the parsed header length: packets carrying IP
+  // options (IHL > 5) must not leak option bytes into the UDP/TCP payload.
   std::span<const std::uint8_t> payload =
-      body.subspan(kIp4HdrBytes, ip->total_len - kIp4HdrBytes);
+      body.subspan(ip->header_len, ip->total_len - ip->header_len);
   return stack_->HandleIpPacket(this, nb, *ip, payload);
 }
 

@@ -163,6 +163,15 @@ std::shared_ptr<TcpSocket> TcpListener::Accept() {
 
 // ---- NetStack ----------------------------------------------------------------------
 
+NetStack::~NetStack() {
+  // Application code may hold socket shared_ptrs beyond the stack's life.
+  // Release their retained TX netbufs now, while the NetIf pools still
+  // exist; the eventual ~TcpSocket then has nothing to free.
+  for (auto& [key, conn] : tcp_conns_) {
+    conn->ReleaseAllSegments();
+  }
+}
+
 NetIf* NetStack::AddInterface(uknetdev::NetDev* dev, NetIf::Config config) {
   auto netif = std::make_unique<NetIf>(this, dev, mem_, alloc_, config);
   if (!Ok(netif->Init())) {
@@ -248,8 +257,20 @@ void NetStack::Poll() {
   for (auto& netif : netifs_) {
     netif->Poll();
   }
-  for (auto& [key, conn] : tcp_conns_) {
-    conn->CheckTimer();
+  // Timers, plus TIME_WAIT reaping: a connection lingers registered for a
+  // 2MSL-equivalent number of poll cycles so retransmitted FINs are re-ACKed
+  // instead of RST; afterwards the key is reclaimed.
+  for (auto it = tcp_conns_.begin(); it != tcp_conns_.end();) {
+    TcpSocket& conn = *it->second;
+    conn.CheckTimer();
+    if (conn.state() == TcpState::kTimeWait &&
+        (conn.time_wait_polls_left_ == 0 || --conn.time_wait_polls_left_ == 0)) {
+      // A zero budget (entry value or counted down) reaps on the next poll,
+      // so the knob's minimum means "shortest linger", never "forever".
+      it = tcp_conns_.erase(it);
+    } else {
+      ++it;
+    }
   }
 }
 

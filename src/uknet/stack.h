@@ -52,6 +52,9 @@ class NetIf {
   Ip4Addr ip() const { return config_.ip; }
   uknetdev::MacAddr mac() const { return dev_->mac(); }
   uknetdev::NetDev* dev() { return dev_; }
+  // Pool introspection for tests and benches (zero-alloc assertions).
+  const uknetdev::NetBufPool* tx_pool() const { return tx_pool_.get(); }
+  const uknetdev::NetBufPool* rx_pool() const { return rx_pool_.get(); }
 
   // Processes up to one RX burst: pulls the whole burst array off the device,
   // then classifies and dispatches every frame. Returns packets handled.
@@ -213,8 +216,23 @@ enum class TcpState {
 };
 const char* TcpStateName(TcpState s);
 
+// One queued TX segment: |nb| holds the payload bytes for [seq, seq+len) at
+// a recorded headroom. The retransmission queue owns one reference to |nb|
+// for the segment's whole lifetime (until cumulatively ACKed); every
+// (re)transmission restores the payload view, prepends fresh TCP/IP/Ethernet
+// headers into the same headroom, takes an extra reference, and bursts the
+// buffer — the payload bytes are written exactly once, in Send().
+struct TcpTxSegment {
+  std::uint32_t seq = 0;               // first sequence number of the payload
+  std::uint32_t len = 0;               // payload bytes
+  std::uint32_t payload_headroom = 0;  // nb->headroom at which the payload starts
+  uknetdev::NetBuf* nb = nullptr;      // retained buffer (one queue reference)
+};
+
 class TcpSocket {
  public:
+  ~TcpSocket();
+
   TcpState state() const { return state_; }
   Ip4Addr remote_ip() const { return remote_ip_; }
   std::uint16_t remote_port() const { return remote_port_; }
@@ -228,7 +246,7 @@ class TcpSocket {
   std::int64_t Recv(std::span<std::uint8_t> out);
 
   bool readable() const { return !recv_buf_.empty() || fin_received_; }
-  std::size_t send_space() const { return kSendBufCap - send_buf_.size(); }
+  std::size_t send_space() const { return kSendBufCap - send_buffered_; }
   bool connected() const { return state_ == TcpState::kEstablished; }
   bool failed() const { return reset_; }
 
@@ -255,12 +273,32 @@ class TcpSocket {
   void OnSegment(const TcpHeader& hdr, std::span<const std::uint8_t> payload);
   void Output();            // transmit what window + buffer allow
   void CheckTimer();        // RTO-based retransmission
+  // Re-sends the retained ranges overlapping [snd_una_, snd_nxt_) — the
+  // whole window (go-back-N RTO) or just the first unacked segment (fast
+  // retransmit). Returns whether any data segment went out.
+  bool RetransmitWindow(bool first_unacked_only);
   // Control segment (ACK/FIN/window update): header only, no payload.
   void EmitSegment(std::uint8_t flags, std::uint32_t seq);
-  // Data segment built in place: copies [off, off+take) of send_buf_ straight
-  // into the TX netbuf and prepends the TCP header around it.
-  void EmitData(std::uint8_t flags, std::uint32_t seq, std::uint32_t off,
-                std::uint32_t take);
+  // (Re)transmits |take| payload bytes of a retained segment starting at
+  // sequence |from| (SeqLe(seg.seq, from), from+take within the segment).
+  // Segment-aligned sends (from == seg.seq — every first transmission and
+  // boundary-aligned retransmit) restore the netbuf's payload view, prepend
+  // the TCP header in place, ref the buffer and re-burst it: zero payload
+  // copies. Mid-segment suffix sends would prepend headers over the
+  // segment's own earlier payload bytes, so they copy into a fresh buffer.
+  void EmitRetained(TcpTxSegment& seg, std::uint32_t from, std::uint32_t take,
+                    std::uint8_t flags);
+  // Sequence number one past the last byte queued for transmission.
+  std::uint32_t DataEnd() const {
+    return retx_queue_.empty() ? snd_una_
+                               : retx_queue_.back().seq + retx_queue_.back().len;
+  }
+  // Releases fully-acked segments from the front of the retransmission queue.
+  void ReleaseAcked(std::uint32_t ack);
+  // Releases every retained segment (teardown). ~NetStack calls this for the
+  // sockets it still tracks so that app-held socket handles outliving the
+  // stack never touch the (by then destroyed) NetIf pools in ~TcpSocket.
+  void ReleaseAllSegments();
   std::uint16_t AdvertisedWindow() const {
     std::size_t space = kRecvBufCap - recv_buf_.size();
     return static_cast<std::uint16_t>(space > 0xffff ? 0xffff : space);
@@ -274,12 +312,16 @@ class TcpSocket {
   std::uint16_t remote_port_ = 0;
   std::uint16_t local_port_ = 0;
 
-  // Send side: bytes [0, in_flight) of send_buf_ are sent-but-unacked,
-  // [in_flight, size) unsent. snd_una maps to send_buf_[0].
+  // Send side: the retransmission queue holds retained netbufs covering
+  // [snd_una_, DataEnd()); bytes in [snd_una_, snd_nxt_) are in flight,
+  // [snd_nxt_, DataEnd()) are queued but unsent. Per-segment sequence
+  // accounting replaces deque offset arithmetic, so the FIN's extra sequence
+  // slot can never underflow a buffer index.
   std::uint32_t snd_una_ = 0;
   std::uint32_t snd_nxt_ = 0;
   std::uint32_t snd_wnd_ = 0;
-  std::deque<std::uint8_t> send_buf_;
+  std::deque<TcpTxSegment> retx_queue_;
+  std::size_t send_buffered_ = 0;  // payload bytes across retx_queue_
   bool fin_queued_ = false;
   bool fin_sent_ = false;
 
@@ -290,7 +332,10 @@ class TcpSocket {
 
   std::uint64_t last_send_cycles_ = 0;
   std::uint32_t dup_ack_count_ = 0;
-  std::uint32_t last_ack_seen_ = 0;
+  // Poll cycles left before a TIME_WAIT connection is reaped (2MSL stand-in).
+  // While > 0 the connection stays registered so a retransmitted FIN (lost
+  // final ACK) finds it and gets a fresh ACK instead of a RST.
+  std::uint32_t time_wait_polls_left_ = 0;
 
   TcpStats tcp_stats_;
 };
@@ -315,6 +360,7 @@ class NetStack {
  public:
   NetStack(ukplat::MemRegion* mem, ukplat::Clock* clock, ukalloc::Allocator* alloc)
       : mem_(mem), clock_(clock), alloc_(alloc) {}
+  ~NetStack();
 
   // Interfaces.
   NetIf* AddInterface(uknetdev::NetDev* dev, NetIf::Config config);
@@ -339,6 +385,9 @@ class NetStack {
 
   // Retransmission timeout, virtual time. Exposed for loss tests.
   std::uint64_t rto_cycles = 720'000'000;  // 200 ms at 3.6 GHz
+  // TIME_WAIT linger, measured in Poll() cycles (a 2MSL equivalent for the
+  // run-to-completion loop). Exposed so teardown tests stay fast.
+  std::uint32_t time_wait_poll_budget = 64;
 
   struct StackStats {
     std::uint64_t udp_rx = 0;

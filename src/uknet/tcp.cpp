@@ -1,6 +1,9 @@
 // TCP state machine: connection setup/teardown, sliding-window transfer,
 // retransmission. Invariants the tests lean on:
-//  * send_buf_ front always corresponds to snd_una_
+//  * retx_queue_ segments cover [snd_una_, DataEnd()) in order; the front
+//    segment contains snd_una_ (or the queue is empty)
+//  * every queued segment holds one reference on its netbuf until the ACK
+//    that covers it; (re)transmission takes a second, transient reference
 //  * rcv_nxt_ is the next expected byte; out-of-order segments are dropped
 //    (the wire delivers in order, so only loss reorders — retransmit covers it)
 //  * a segment is ACKed on every receive that changes rcv_nxt_ or on FIN.
@@ -27,6 +30,20 @@ const char* TcpStateName(TcpState s) {
   return "?";
 }
 
+TcpSocket::~TcpSocket() { ReleaseAllSegments(); }
+
+void TcpSocket::ReleaseAllSegments() {
+  // Segments still awaiting ACK hold the queue's netbuf references. Sockets
+  // the stack no longer tracks always have an empty queue (every removal
+  // path requires the FIN — and with it all data — to be acknowledged, or
+  // ~NetStack drained them), so this never touches a destroyed pool.
+  for (TcpTxSegment& seg : retx_queue_) {
+    netif_->FreeTxBuf(seg.nb);
+  }
+  retx_queue_.clear();
+  send_buffered_ = 0;
+}
+
 std::int64_t TcpSocket::Send(std::span<const std::uint8_t> data) {
   if (reset_) {
     return ukarch::Raw(ukarch::Status::kConnReset);
@@ -38,11 +55,64 @@ std::int64_t TcpSocket::Send(std::span<const std::uint8_t> data) {
   if (fin_queued_) {
     return ukarch::Raw(ukarch::Status::kPipe);
   }
-  std::size_t space = kSendBufCap - send_buf_.size();
-  std::size_t n = data.size() < space ? data.size() : space;
-  send_buf_.insert(send_buf_.end(), data.begin(), data.begin() + static_cast<std::ptrdiff_t>(n));
+  // Fill MSS-sized TX netbufs directly: the app bytes are written exactly
+  // once, into the buffer that goes to the device. Each filled segment joins
+  // the retransmission queue, which retains the netbuf until it is ACKed.
+  ukplat::MemRegion* mem = stack_->mem();
+  std::size_t accepted = 0;
+  while (accepted < data.size() && send_buffered_ < kSendBufCap) {
+    std::uint32_t want = static_cast<std::uint32_t>(data.size() - accepted);
+    std::uint32_t space = static_cast<std::uint32_t>(kSendBufCap - send_buffered_);
+    if (want > space) {
+      want = space;
+    }
+    // Coalesce small writes into the trailing segment while it is below MSS
+    // (unless its buffer is parked behind ARP resolution — the bytes are
+    // spoken for until the pending send releases its reference).
+    if (!retx_queue_.empty() && retx_queue_.back().len < kMss &&
+        retx_queue_.back().nb->refcnt == 1) {
+      TcpTxSegment& seg = retx_queue_.back();
+      uknetdev::NetBuf* nb = seg.nb;
+      nb->headroom = seg.payload_headroom;  // restore: TX prepended headers
+      nb->len = seg.len;
+      std::uint32_t take = want < kMss - seg.len ? want : kMss - seg.len;
+      if (take > nb->tailroom()) {
+        take = nb->tailroom();
+      }
+      std::uint8_t* at = take > 0 ? nb->Append(*mem, take) : nullptr;
+      if (at != nullptr) {
+        std::memcpy(at, data.data() + accepted, take);
+        seg.len += take;
+        send_buffered_ += take;
+        accepted += take;
+        continue;
+      }
+    }
+    uknetdev::NetBuf* nb = netif_->AllocTxBuf(kTcpHdrBytes);
+    if (nb == nullptr) {
+      break;  // TX pool dry: report what was accepted; the app retries
+    }
+    std::uint32_t take = want < kMss ? want : kMss;
+    if (take > nb->tailroom()) {
+      take = nb->tailroom();
+    }
+    std::uint8_t* at = nb->Append(*mem, take);
+    if (at == nullptr) {
+      netif_->FreeTxBuf(nb);
+      break;
+    }
+    std::memcpy(at, data.data() + accepted, take);
+    TcpTxSegment seg;
+    seg.seq = retx_queue_.empty() ? snd_nxt_ : DataEnd();
+    seg.len = take;
+    seg.payload_headroom = nb->headroom;
+    seg.nb = nb;
+    retx_queue_.push_back(seg);
+    send_buffered_ += take;
+    accepted += take;
+  }
   Output();
-  return static_cast<std::int64_t>(n);
+  return static_cast<std::int64_t>(accepted);
 }
 
 std::int64_t TcpSocket::Recv(std::span<std::uint8_t> out) {
@@ -84,6 +154,10 @@ void TcpSocket::Close() {
     case TcpState::kSynSent:
     case TcpState::kListen:
       EnterState(TcpState::kClosed);
+      // Data queued before the handshake finished will never be sent; give
+      // the netbufs (and the connection key) back right away.
+      ReleaseAllSegments();
+      stack_->RemoveConnection(this);
       break;
     default:
       break;
@@ -103,36 +177,67 @@ void TcpSocket::EmitSegment(std::uint8_t flags, std::uint32_t seq) {
   last_send_cycles_ = stack_->clock()->cycles();
 }
 
-void TcpSocket::EmitData(std::uint8_t flags, std::uint32_t seq, std::uint32_t off,
-                         std::uint32_t take) {
+void TcpSocket::EmitRetained(TcpTxSegment& seg, std::uint32_t from, std::uint32_t take,
+                             std::uint8_t flags) {
+  uknetdev::NetBuf* nb = seg.nb;
+  if (nb == nullptr || take == 0) {
+    return;
+  }
+  ukplat::MemRegion* mem = stack_->mem();
   TcpHeader hdr;
   hdr.src_port = local_port_;
   hdr.dst_port = remote_port_;
-  hdr.seq = seq;
+  hdr.seq = from;
   hdr.ack = rcv_nxt_;
   hdr.flags = flags;
   hdr.window = AdvertisedWindow();
-  uknetdev::NetBuf* nb = netif_->AllocTxBuf(kTcpHdrBytes);
-  if (nb == nullptr) {
-    return;  // pool dry: drop; the retransmission timer recovers
-  }
-  ukplat::MemRegion* mem = stack_->mem();
-  std::uint8_t* body = nb->Append(*mem, take);
-  if (body == nullptr) {
-    netif_->FreeTxBuf(nb);
+  const std::uint32_t offset = from - seg.seq;
+  if (offset != 0) {
+    // Mid-segment suffix (snd_una_ inside the segment after a partial ACK,
+    // or the continuation of a window-truncated send). Prepending headers
+    // here would consume "headroom" that is really the segment's own earlier
+    // payload — and a later full retransmit would re-send the clobbered
+    // bytes. These rare sends take a one-copy fallback into a fresh buffer;
+    // segment-aligned sends below (every normal transmission, and go-back-N /
+    // fast retransmit at segment boundaries) stay copy-free.
+    const std::byte* src = mem->At(nb->gpa + seg.payload_headroom + offset, take);
+    uknetdev::NetBuf* out = netif_->AllocTxBuf(kTcpHdrBytes);
+    if (src == nullptr || out == nullptr) {
+      netif_->FreeTxBuf(out);
+      return;  // pool dry: drop; the retransmission timer recovers
+    }
+    std::uint8_t* body = out->Append(*mem, take);
+    std::uint8_t* hdr_at = body != nullptr ? out->PrependHeader(*mem, kTcpHdrBytes)
+                                           : nullptr;
+    if (hdr_at == nullptr) {
+      netif_->FreeTxBuf(out);
+      return;
+    }
+    std::memcpy(body, src, take);
+    hdr.Serialize(hdr_at, netif_->ip(), remote_ip_, std::span(body, take));
+    ++tcp_stats_.segments_sent;
+    netif_->SendIpBuf(remote_ip_, kIpProtoTcp, out);
+    last_send_cycles_ = stack_->clock()->cycles();
     return;
   }
-  // Copy straight from the send deque window into the wire buffer — the one
-  // unavoidable copy on the TCP TX path (the deque survives for retransmit).
-  for (std::uint32_t i = 0; i < take; ++i) {
-    body[i] = send_buf_[off + i];
+  if (nb->refcnt > 1) {
+    // A previous transmission of this buffer is still parked behind ARP
+    // resolution; its bytes (headers included) are spoken for. Skip — the
+    // flush or the retransmission timer covers these sequence numbers.
+    return;
   }
+  // Segment-aligned send: restore the payload view (transmissions prepend
+  // headers in place), truncate to |take|, and re-burst the same retained
+  // buffer. No payload byte is copied.
+  nb->headroom = seg.payload_headroom;
+  nb->len = take;
+  const std::uint8_t* body = nb->Bytes(*mem);
   std::uint8_t* hdr_at = nb->PrependHeader(*mem, kTcpHdrBytes);
   if (hdr_at == nullptr) {
-    netif_->FreeTxBuf(nb);
-    return;
+    return;  // headroom exhausted (cannot happen for AllocTxBuf segments)
   }
   hdr.Serialize(hdr_at, netif_->ip(), remote_ip_, std::span(body, take));
+  nb->Ref();  // the transmission's reference; the TX path releases it
   ++tcp_stats_.segments_sent;
   netif_->SendIpBuf(remote_ip_, kIpProtoTcp, nb);
   last_send_cycles_ = stack_->clock()->cycles();
@@ -143,29 +248,37 @@ void TcpSocket::Output() {
       state_ == TcpState::kListen || state_ == TcpState::kClosed) {
     return;  // handshake segments are emitted by the state machine
   }
-  // Bytes in flight and window-limited budget.
   std::uint32_t in_flight = snd_nxt_ - snd_una_;
-  std::uint32_t unsent =
-      static_cast<std::uint32_t>(send_buf_.size()) - in_flight;
-  while (unsent > 0 && in_flight < snd_wnd_) {
+  const std::uint32_t data_end = DataEnd();
+  // Send queued segments the peer's window allows. Whole segments go out
+  // zero-copy; a window smaller than the segment sends a prefix from the
+  // same retained buffer (the remainder follows once the window opens).
+  for (TcpTxSegment& seg : retx_queue_) {
+    if (!SeqLt(snd_nxt_, data_end) || in_flight >= snd_wnd_) {
+      break;
+    }
+    std::uint32_t seg_end = seg.seq + seg.len;
+    if (!SeqLt(snd_nxt_, seg_end)) {
+      continue;  // already fully sent (awaiting ACK)
+    }
     std::uint32_t budget = snd_wnd_ - in_flight;
-    std::uint32_t take = unsent < budget ? unsent : budget;
-    if (take > kMss) {
-      take = kMss;
+    std::uint32_t take = seg_end - snd_nxt_;
+    if (take > budget) {
+      take = budget;
     }
     std::uint8_t flags = kTcpAck;
-    if (take == unsent) {
+    if (snd_nxt_ + take == data_end) {
       flags |= kTcpPsh;
     }
-    EmitData(flags, snd_nxt_, in_flight, take);
+    EmitRetained(seg, snd_nxt_, take, flags);
     snd_nxt_ += take;
     in_flight += take;
-    unsent -= take;
   }
-  // Flush a queued FIN once all data is out.
-  if (fin_queued_ && !fin_sent_ && unsent == 0) {
+  // Flush a queued FIN once all data is out. The FIN consumes a sequence
+  // slot of its own; segment accounting never mixes it into payload math.
+  if (fin_queued_ && !fin_sent_ && !SeqLt(snd_nxt_, data_end)) {
     EmitSegment(kTcpFin | kTcpAck, snd_nxt_);
-    snd_nxt_ += 1;  // FIN consumes a sequence number
+    snd_nxt_ += 1;
     fin_sent_ = true;
   }
 }
@@ -179,36 +292,61 @@ void TcpSocket::CheckTimer() {
   if (now - last_send_cycles_ < stack_->rto_cycles) {
     return;
   }
-  // Retransmit from snd_una_ (go-back-N, one window).
+  // Go-back-N: re-burst the retained netbufs covering [snd_una_, snd_nxt_).
+  // Zero payload copies — the buffers were filled once, in Send().
   ++tcp_stats_.retransmissions;
-  std::uint32_t in_flight = snd_nxt_ - snd_una_;
-  std::uint32_t data_in_flight =
-      in_flight - ((fin_sent_ && in_flight > 0) ? 1u : 0u);
-  if (data_in_flight > send_buf_.size()) {
-    data_in_flight = static_cast<std::uint32_t>(send_buf_.size());
+  if (!RetransmitWindow(/*first_unacked_only=*/false) && fin_sent_) {
+    EmitSegment(kTcpFin | kTcpAck, snd_nxt_ - 1);
   }
-  std::uint32_t off = 0;
-  std::uint32_t seq = snd_una_;
-  if (data_in_flight == 0 && fin_sent_) {
-    EmitSegment(kTcpFin | kTcpAck, seq);
-    return;
-  }
-  while (off < data_in_flight) {
-    std::uint32_t take = data_in_flight - off;
-    if (take > kMss) {
-      take = kMss;
+}
+
+bool TcpSocket::RetransmitWindow(bool first_unacked_only) {
+  bool resent = false;
+  for (TcpTxSegment& seg : retx_queue_) {
+    std::uint32_t seg_end = seg.seq + seg.len;
+    if (!SeqLt(snd_una_, seg_end)) {
+      continue;  // head segment partially acked ranges below snd_una_
     }
-    EmitData(kTcpAck, seq, off, take);
-    off += take;
-    seq += take;
+    if (!SeqLt(seg.seq, snd_nxt_)) {
+      break;  // never sent; Output owns it
+    }
+    std::uint32_t from = SeqLt(seg.seq, snd_una_) ? snd_una_ : seg.seq;
+    std::uint32_t end = SeqLt(snd_nxt_, seg_end) ? snd_nxt_ : seg_end;
+    if (SeqLt(from, end)) {
+      EmitRetained(seg, from, end - from, kTcpAck);
+      resent = true;
+    }
+    if (first_unacked_only) {
+      break;
+    }
+  }
+  return resent;
+}
+
+void TcpSocket::ReleaseAcked(std::uint32_t ack) {
+  while (!retx_queue_.empty()) {
+    TcpTxSegment& seg = retx_queue_.front();
+    if (!SeqLe(seg.seq + seg.len, ack)) {
+      break;  // partial ACK inside this segment: keep it for retransmission
+    }
+    send_buffered_ -= seg.len;
+    netif_->FreeTxBuf(seg.nb);  // release the queue's reference
+    retx_queue_.pop_front();
   }
 }
 
 void TcpSocket::OnSegment(const TcpHeader& hdr, std::span<const std::uint8_t> payload) {
   ++tcp_stats_.segments_received;
   if ((hdr.flags & kTcpRst) != 0) {
+    // Connection abort: release the retained TX netbufs immediately (a
+    // zombie with 64KB queued would pin ~47 pool buffers until stack
+    // teardown) and reclaim the 4-tuple so new connections can use it. The
+    // dispatch path holds a shared_ptr, so self-removal is safe; the app
+    // still observes the reset through failed().
     reset_ = true;
     EnterState(TcpState::kClosed);
+    ReleaseAllSegments();
+    stack_->RemoveConnection(this);
     return;
   }
 
@@ -240,15 +378,11 @@ void TcpSocket::OnSegment(const TcpHeader& hdr, std::span<const std::uint8_t> pa
   // --- ACK processing ---
   if ((hdr.flags & kTcpAck) != 0) {
     if (SeqLt(snd_una_, hdr.ack) && SeqLe(hdr.ack, snd_nxt_)) {
-      std::uint32_t acked = hdr.ack - snd_una_;
-      std::uint32_t data_acked = acked;
-      // FIN occupies the last sequence slot.
-      if (fin_sent_ && hdr.ack == snd_nxt_) {
-        data_acked -= 1;
-      }
-      for (std::uint32_t i = 0; i < data_acked && !send_buf_.empty(); ++i) {
-        send_buf_.pop_front();
-      }
+      // Cumulative ACK: release fully-covered segments back to the pool.
+      // Sequence-range accounting per segment — the FIN's sequence slot
+      // cannot skew a byte count here (the old deque arithmetic underflowed
+      // once a FIN was in flight).
+      ReleaseAcked(hdr.ack);
       snd_una_ = hdr.ack;
       dup_ack_count_ = 0;
       // FIN fully acknowledged: advance teardown.
@@ -260,7 +394,7 @@ void TcpSocket::OnSegment(const TcpHeader& hdr, std::span<const std::uint8_t> pa
           stack_->RemoveConnection(this);
         } else if (state_ == TcpState::kClosing) {
           EnterState(TcpState::kTimeWait);
-          stack_->RemoveConnection(this);
+          time_wait_polls_left_ = stack_->time_wait_poll_budget;
         }
       }
     } else if (hdr.ack == snd_una_ && SeqLt(snd_una_, snd_nxt_) && payload.empty()) {
@@ -268,19 +402,12 @@ void TcpSocket::OnSegment(const TcpHeader& hdr, std::span<const std::uint8_t> pa
       if (++dup_ack_count_ >= 3) {
         dup_ack_count_ = 0;
         ++tcp_stats_.retransmissions;
-        // Fast retransmit of the first unacked segment.
-        std::uint32_t take = snd_nxt_ - snd_una_;
-        bool fin_only = fin_sent_ && take == 1 && send_buf_.empty();
-        if (fin_only) {
+        // Fast retransmit of the first unacked segment — the same retained
+        // netbuf goes out again, no copy.
+        if (fin_sent_ && retx_queue_.empty()) {
           EmitSegment(kTcpFin | kTcpAck, snd_una_);
         } else {
-          if (take > kMss) {
-            take = kMss;
-          }
-          if (take > send_buf_.size()) {
-            take = static_cast<std::uint32_t>(send_buf_.size());
-          }
-          EmitData(kTcpAck, snd_una_, 0, take);
+          RetransmitWindow(/*first_unacked_only=*/true);
         }
       }
     }
@@ -316,10 +443,20 @@ void TcpSocket::OnSegment(const TcpHeader& hdr, std::span<const std::uint8_t> pa
     } else if (state_ == TcpState::kFinWait1) {
       EnterState(TcpState::kClosing);
     } else if (state_ == TcpState::kFinWait2) {
+      // Linger in TIME_WAIT (2MSL-equivalent Poll budget) so a retransmitted
+      // FIN — the peer never saw our final ACK — still finds the connection
+      // and gets a fresh ACK instead of a RST.
       EnterState(TcpState::kTimeWait);
+      time_wait_polls_left_ = stack_->time_wait_poll_budget;
       EmitSegment(kTcpAck, snd_nxt_);
-      stack_->RemoveConnection(this);
       return;
+    }
+  } else if ((hdr.flags & kTcpFin) != 0 && SeqLt(hdr.seq, rcv_nxt_)) {
+    // Retransmitted FIN: our final ACK was lost. Re-ACK, and restart the
+    // TIME_WAIT linger so the re-ACK itself gets the same grace period.
+    advanced = true;
+    if (state_ == TcpState::kTimeWait) {
+      time_wait_polls_left_ = stack_->time_wait_poll_budget;
     }
   }
 

@@ -140,6 +140,7 @@ std::optional<Ip4Header> Ip4Header::Parse(std::span<const std::uint8_t> in) {
     return std::nullopt;  // corrupted header
   }
   Ip4Header h;
+  h.header_len = static_cast<std::uint8_t>(ihl);
   h.total_len = GetU16(in.data() + 2);
   h.id = GetU16(in.data() + 4);
   h.ttl = in[8];

@@ -66,6 +66,10 @@ struct Ip4Header {
   std::uint16_t id = 0;
   std::uint8_t ttl = 64;
   std::uint8_t proto = 0;
+  // Header length in bytes as parsed (IHL * 4). Parse accepts options
+  // (IHL > 5), so L4 payload slicing must start here, never at the fixed
+  // kIp4HdrBytes offset. Serialize always emits an option-less header.
+  std::uint8_t header_len = kIp4HdrBytes;
   Ip4Addr src = 0;
   Ip4Addr dst = 0;
 

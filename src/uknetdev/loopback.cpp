@@ -45,7 +45,7 @@ int Loopback::TxBurst(std::uint16_t queue, NetBuf** pkt, std::uint16_t* cnt) {
     stats_.tx_bytes += src->len;
     ++stats_.tx_packets;
     if (src->pool != nullptr) {
-      src->pool->Free(src);
+      src->pool->Free(src);  // release the TX reference (holders may remain)
     }
   }
   *cnt = sent;

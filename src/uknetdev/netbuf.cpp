@@ -45,7 +45,9 @@ NetBuf* NetBufPool::Alloc() {
   free_.pop_back();
   nb->headroom = default_headroom_;
   nb->len = 0;
+  nb->refcnt = 1;
   nb->priv = nullptr;
+  ++total_allocs_;
   return nb;
 }
 
@@ -61,9 +63,15 @@ NetBuf* NetBufPool::AllocWithHeadroom(std::uint32_t headroom) {
 }
 
 void NetBufPool::Free(NetBuf* nb) {
-  if (nb != nullptr && nb->pool == this) {
-    free_.push_back(nb);
+  if (nb == nullptr || nb->pool != this) {
+    return;
   }
+  if (nb->refcnt > 1) {
+    --nb->refcnt;  // another holder (retransmit queue, ARP parking) remains
+    return;
+  }
+  nb->refcnt = 1;
+  free_.push_back(nb);
 }
 
 }  // namespace uknetdev

@@ -23,8 +23,14 @@ struct NetBuf {
   std::uint32_t capacity = 0;   // total buffer bytes
   std::uint32_t headroom = 0;   // offset where payload starts
   std::uint32_t len = 0;        // payload bytes
+  std::uint32_t refcnt = 1;     // owners; buffer returns to the pool at zero
   NetBufPool* pool = nullptr;   // owner; nullptr for caller-managed buffers
   void* priv = nullptr;         // application scratch (paper: meta information)
+
+  // Takes an additional reference (uk_netbuf_ref). Every holder — protocol
+  // retransmission queue, driver ring, ARP parking — releases with
+  // NetBufPool::Free(), which only returns the buffer at refcount zero.
+  void Ref() { ++refcnt; }
 
   std::uint64_t data_gpa() const { return gpa + headroom; }
   std::uint32_t tailroom() const { return capacity - headroom - len; }
@@ -113,18 +119,24 @@ class NetBufPool {
   NetBufPool(const NetBufPool&) = delete;
   NetBufPool& operator=(const NetBufPool&) = delete;
 
-  // O(1) alloc/free; Alloc resets headroom/len to defaults.
+  // O(1) alloc/free; Alloc resets headroom/len to defaults and refcnt to 1.
   NetBuf* Alloc();
   // Alloc with a custom headroom reservation (e.g. the full protocol header
   // budget of the TX path). Falls back to nullptr when |headroom| exceeds the
   // buffer size.
   NetBuf* AllocWithHeadroom(std::uint32_t headroom);
+  // Releases one reference; the buffer only rejoins the free list when the
+  // last holder lets go. (Free of a multiply-owned buffer is how drivers
+  // "return" a netbuf that a protocol layer still retains for retransmit.)
   void Free(NetBuf* nb);
 
   std::uint32_t capacity() const { return count_; }
   std::uint32_t available() const { return static_cast<std::uint32_t>(free_.size()); }
   std::uint32_t buf_size() const { return buf_size_; }
   std::uint32_t default_headroom() const { return default_headroom_; }
+  // Lifetime alloc counter: lets tests and benches assert zero-alloc paths
+  // (e.g. retransmission re-bursts retained buffers without pool churn).
+  std::uint64_t total_allocs() const { return total_allocs_; }
 
  private:
   NetBufPool(ukalloc::Allocator* alloc, std::uint32_t count, std::uint32_t buf_size,
@@ -138,6 +150,7 @@ class NetBufPool {
   void* backing_ = nullptr;  // single slab for all buffers
   std::vector<NetBuf> bufs_;
   std::vector<NetBuf*> free_;
+  std::uint64_t total_allocs_ = 0;
 };
 
 }  // namespace uknetdev

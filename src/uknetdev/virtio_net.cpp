@@ -124,7 +124,9 @@ int VirtioNet::TxBurst(std::uint16_t queue, NetBuf** pkt, std::uint16_t* cnt) {
   }
   BackendPoll();
 
-  // Reap TX completions: buffers go back to their pools.
+  // Reap TX completions: release the driver's reference. Buffers whose only
+  // holder was the ring return to their pools; buffers a protocol layer
+  // retained (TCP retransmission queue) stay alive with that holder.
   while (auto done = txq_->DequeueCompletion()) {
     auto* nb = static_cast<NetBuf*>(done->cookie);
     if (nb->pool != nullptr) {

@@ -450,4 +450,590 @@ TEST_F(LossyTest, TcpRecoversFromLoss) {
   EXPECT_GT(client->tcp_stats().retransmissions, 0u);
 }
 
+// ---- parser hardening ---------------------------------------------------------------
+
+TEST(WireFormatHardening, TruncatedHeadersRejected) {
+  std::uint8_t junk[64] = {0};
+  // Ethernet: short frames parse to a zeroed header (caller length-checks).
+  EthHeader eth = EthHeader::Parse(std::span<const std::uint8_t>(junk, 5));
+  EXPECT_EQ(eth.ethertype, 0);
+  // ARP: anything under the full 28 bytes is rejected.
+  junk[0] = 0;
+  junk[1] = 1;  // htype
+  EXPECT_FALSE(ArpPacket::Parse(std::span<const std::uint8_t>(junk, kArpBytes - 1))
+                   .has_value());
+  // IPv4: under 20 bytes is rejected.
+  junk[0] = 0x45;
+  EXPECT_FALSE(
+      Ip4Header::Parse(std::span<const std::uint8_t>(junk, kIp4HdrBytes - 1)).has_value());
+  // TCP: under 20 bytes is rejected.
+  std::size_t hlen = 0;
+  EXPECT_FALSE(TcpHeader::Parse(std::span<const std::uint8_t>(junk, kTcpHdrBytes - 1),
+                                MakeIp(10, 0, 0, 1), MakeIp(10, 0, 0, 2), &hlen)
+                   .has_value());
+  // UDP: under 8 bytes is rejected.
+  EXPECT_FALSE(UdpHeader::Parse(std::span<const std::uint8_t>(junk, kUdpHdrBytes - 1),
+                                MakeIp(10, 0, 0, 1), MakeIp(10, 0, 0, 2))
+                   .has_value());
+}
+
+TEST(WireFormatHardening, IhlOutOfRangeRejected) {
+  std::uint8_t hdr[60] = {0};
+  Ip4Header ip;
+  ip.total_len = kIp4HdrBytes;
+  ip.proto = kIpProtoUdp;
+  ip.src = MakeIp(10, 0, 0, 1);
+  ip.dst = MakeIp(10, 0, 0, 2);
+  ip.Serialize(hdr);
+  // IHL below 5: header length under the fixed part.
+  hdr[0] = 0x44;
+  EXPECT_FALSE(Ip4Header::Parse(std::span<const std::uint8_t>(hdr, 20)).has_value());
+  // IHL claiming 60 bytes of a 20-byte packet.
+  hdr[0] = 0x4f;
+  EXPECT_FALSE(Ip4Header::Parse(std::span<const std::uint8_t>(hdr, 20)).has_value());
+  // Wrong version.
+  hdr[0] = 0x65;
+  EXPECT_FALSE(Ip4Header::Parse(std::span<const std::uint8_t>(hdr, 20)).has_value());
+}
+
+TEST(WireFormatHardening, LyingUdpLengthRejected) {
+  std::uint8_t payload[] = {1, 2, 3, 4};
+  std::vector<std::uint8_t> dgram(kUdpHdrBytes + sizeof(payload));
+  UdpHeader udp;
+  udp.src_port = 1;
+  udp.dst_port = 2;
+  std::memcpy(dgram.data() + kUdpHdrBytes, payload, sizeof(payload));
+  udp.Serialize(dgram.data(), MakeIp(10, 0, 0, 1), MakeIp(10, 0, 0, 2), payload);
+  ASSERT_TRUE(UdpHeader::Parse(dgram, MakeIp(10, 0, 0, 1), MakeIp(10, 0, 0, 2))
+                  .has_value());
+  // Length field beyond the datagram: a slow read past the buffer otherwise.
+  dgram[4] = 0x00;
+  dgram[5] = 0xc8;  // claims 200 bytes
+  EXPECT_FALSE(UdpHeader::Parse(dgram, MakeIp(10, 0, 0, 1), MakeIp(10, 0, 0, 2))
+                   .has_value());
+  // Length field under the header size.
+  dgram[4] = 0x00;
+  dgram[5] = 0x04;
+  EXPECT_FALSE(UdpHeader::Parse(dgram, MakeIp(10, 0, 0, 1), MakeIp(10, 0, 0, 2))
+                   .has_value());
+}
+
+TEST(WireFormatHardening, TcpDataOffsetOutOfRangeRejected) {
+  std::uint8_t seg[kTcpHdrBytes] = {0};
+  std::size_t hlen = 0;
+  // Data offset below 5 words.
+  seg[12] = 4 << 4;
+  EXPECT_FALSE(TcpHeader::Parse(std::span<const std::uint8_t>(seg, sizeof(seg)),
+                                MakeIp(10, 0, 0, 1), MakeIp(10, 0, 0, 2), &hlen)
+                   .has_value());
+  // Data offset past the segment end.
+  seg[12] = 15 << 4;
+  EXPECT_FALSE(TcpHeader::Parse(std::span<const std::uint8_t>(seg, sizeof(seg)),
+                                MakeIp(10, 0, 0, 1), MakeIp(10, 0, 0, 2), &hlen)
+                   .has_value());
+}
+
+TEST(WireFormatHardening, ChecksumCarryBoundaries) {
+  // End-around carry: 0xffff + 0xffff folds twice before complementing.
+  std::uint8_t all_ones[] = {0xff, 0xff, 0xff, 0xff};
+  EXPECT_EQ(InternetChecksum(all_ones), 0x0000);
+  // Empty input: ~0 truncated.
+  EXPECT_EQ(InternetChecksum(std::span<const std::uint8_t>{}), 0xffff);
+  // Odd-length tail is padded on the right.
+  std::uint8_t odd[] = {0x12};
+  EXPECT_EQ(InternetChecksum(odd), 0xedff);
+  // Initial value folds in (pseudo-header path).
+  std::uint8_t zero2[] = {0x00, 0x00};
+  EXPECT_EQ(InternetChecksum(zero2, 0x1ffff), static_cast<std::uint16_t>(~0x0001));
+}
+
+// ---- raw-frame peer: full control over every segment the host sees -----------------
+
+namespace raw {
+
+void PutU16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+
+}  // namespace raw
+
+// A hand-rolled endpoint on wire side 1: answers ARP, records every TCP
+// segment the host emits, and injects arbitrary crafted segments. This is
+// how the teardown/loss regression tests control exactly which ACKs the
+// host's TCP state machine observes.
+struct RawPeer {
+  ukplat::Wire* wire;
+  uknetdev::MacAddr mac{{0xde, 0xad, 0, 0, 0, 2}};
+  uknetdev::MacAddr host_mac;
+  Ip4Addr ip = 0;
+  Ip4Addr host_ip = 0;
+
+  struct Seg {
+    TcpHeader hdr;
+    std::vector<std::uint8_t> payload;
+  };
+  std::vector<Seg> segs;   // every TCP segment seen, in arrival order
+  std::uint64_t rsts = 0;  // RSTs among them
+
+  void Poll() {
+    while (auto f = wire->Receive(1)) {
+      std::span<const std::uint8_t> frame(*f);
+      if (frame.size() < kEthHdrBytes) {
+        continue;
+      }
+      EthHeader eth = EthHeader::Parse(frame);
+      auto body = frame.subspan(kEthHdrBytes);
+      if (eth.ethertype == kEthTypeArp) {
+        auto arp = ArpPacket::Parse(body);
+        if (arp.has_value() && arp->oper == 1 && arp->target_ip == ip) {
+          ArpPacket reply;
+          reply.oper = 2;
+          reply.sender_mac = mac;
+          reply.sender_ip = ip;
+          reply.target_mac = arp->sender_mac;
+          reply.target_ip = arp->sender_ip;
+          std::vector<std::uint8_t> out(kEthHdrBytes + kArpBytes);
+          EthHeader oeth{arp->sender_mac, mac, kEthTypeArp};
+          oeth.Serialize(out.data());
+          reply.Serialize(out.data() + kEthHdrBytes);
+          wire->Send(1, std::move(out));
+        }
+        continue;
+      }
+      if (eth.ethertype != kEthTypeIp4) {
+        continue;
+      }
+      auto iph = Ip4Header::Parse(body);
+      if (!iph.has_value() || iph->proto != kIpProtoTcp) {
+        continue;
+      }
+      auto seg = body.subspan(iph->header_len, iph->total_len - iph->header_len);
+      std::size_t hlen = 0;
+      auto tcp = TcpHeader::Parse(seg, iph->src, iph->dst, &hlen);
+      if (!tcp.has_value()) {
+        continue;
+      }
+      if ((tcp->flags & kTcpRst) != 0) {
+        ++rsts;
+      }
+      segs.push_back(Seg{*tcp, {seg.begin() + static_cast<std::ptrdiff_t>(hlen),
+                                seg.end()}});
+    }
+  }
+
+  void SendTcp(std::uint16_t src_port, std::uint16_t dst_port, std::uint8_t flags,
+               std::uint32_t seq, std::uint32_t ack, std::uint16_t window,
+               std::span<const std::uint8_t> payload = {}) {
+    std::vector<std::uint8_t> frame(kEthHdrBytes + kIp4HdrBytes + kTcpHdrBytes +
+                                    payload.size());
+    EthHeader eth{host_mac, mac, kEthTypeIp4};
+    eth.Serialize(frame.data());
+    Ip4Header iph;
+    iph.total_len = static_cast<std::uint16_t>(frame.size() - kEthHdrBytes);
+    iph.proto = kIpProtoTcp;
+    iph.src = ip;
+    iph.dst = host_ip;
+    iph.Serialize(frame.data() + kEthHdrBytes);
+    std::uint8_t* body = frame.data() + kEthHdrBytes + kIp4HdrBytes + kTcpHdrBytes;
+    if (!payload.empty()) {
+      std::memcpy(body, payload.data(), payload.size());
+    }
+    TcpHeader tcp;
+    tcp.src_port = src_port;
+    tcp.dst_port = dst_port;
+    tcp.seq = seq;
+    tcp.ack = ack;
+    tcp.flags = flags;
+    tcp.window = window;
+    tcp.Serialize(frame.data() + kEthHdrBytes + kIp4HdrBytes, ip, host_ip,
+                  std::span<const std::uint8_t>(body, payload.size()));
+    wire->Send(1, std::move(frame));
+  }
+};
+
+class RawPeerTest : public ::testing::Test {
+ protected:
+  RawPeerTest() : wire_(&clock_), host_(&clock_, &wire_, 0, MakeIp(10, 0, 0, 1)) {
+    peer_.wire = &wire_;
+    peer_.host_mac = host_.nic->mac();
+    peer_.ip = MakeIp(10, 0, 0, 2);
+    peer_.host_ip = MakeIp(10, 0, 0, 1);
+    host_.netif->AddArpEntry(peer_.ip, peer_.mac);
+  }
+
+  // One round of host poll + peer drain.
+  void Pump(int rounds = 4) {
+    for (int i = 0; i < rounds; ++i) {
+      host_.stack->Poll();
+      peer_.Poll();
+    }
+  }
+
+  // Drives the client-side handshake against the raw peer and returns the
+  // host's ISS (learned from its SYN). The peer uses seq 1000.
+  std::uint32_t Handshake(const std::shared_ptr<TcpSocket>& client,
+                          std::uint16_t peer_port) {
+    Pump();
+    EXPECT_FALSE(peer_.segs.empty());
+    EXPECT_EQ(peer_.segs.back().hdr.flags, kTcpSyn);
+    std::uint32_t iss = peer_.segs.back().hdr.seq;
+    peer_.SendTcp(peer_port, client->local_port(), kTcpSyn | kTcpAck, 1000, iss + 1,
+                  65535);
+    Pump();
+    EXPECT_TRUE(client->connected());
+    return iss;
+  }
+
+  ukplat::Clock clock_;
+  ukplat::Wire wire_;
+  Host host_;
+  RawPeer peer_;
+};
+
+// Regression for the FIN-in-flight accounting bug: the old deque-based
+// Output() computed |unsent| as send_buf_.size() - in_flight where in_flight
+// included the FIN's sequence slot; a partial ACK after Close() underflowed
+// the subtraction (~4G "unsent") and EmitData read out of bounds. With
+// per-segment sequence accounting the same exchange must stay exact — and
+// the go-back-N retransmit must re-send byte-identical payloads.
+TEST_F(RawPeerTest, PartialAckAfterFinInFlightStaysExact) {
+  host_.stack->rto_cycles = 10'000;
+  auto client = host_.stack->TcpConnect(peer_.ip, 80);
+  ASSERT_NE(client, nullptr);
+  std::uint32_t iss = Handshake(client, 80);
+
+  // 3000 bytes => segments of 1400/1400/200, then a FIN right behind them.
+  std::vector<std::uint8_t> data(3000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i % 251);
+  }
+  ASSERT_EQ(client->Send(data), 3000);
+  client->Close();
+  ASSERT_EQ(client->state(), TcpState::kFinWait1);
+  Pump();
+  ASSERT_GE(peer_.segs.size(), 6u);  // SYN, 3 data, FIN (+handshake ACK)
+  const auto& fin = peer_.segs.back();
+  EXPECT_NE(fin.hdr.flags & kTcpFin, 0);
+  EXPECT_EQ(fin.hdr.seq, iss + 3001);
+
+  // Partial ACK covering only the first segment, with the FIN in flight —
+  // the old code underflowed here.
+  std::size_t tx_allocs_before = host_.netif->tx_pool()->total_allocs();
+  peer_.SendTcp(80, client->local_port(), kTcpAck, 1001, iss + 1401, 65535);
+  Pump();
+  EXPECT_EQ(client->state(), TcpState::kFinWait1);
+
+  // Withhold further ACKs; the RTO must re-burst the two remaining retained
+  // segments byte-for-byte, with zero TX pool churn (no new allocations).
+  peer_.segs.clear();
+  clock_.Charge(20'000);
+  Pump();
+  std::vector<std::uint8_t> resent;
+  for (const auto& s : peer_.segs) {
+    resent.insert(resent.end(), s.payload.begin(), s.payload.end());
+  }
+  ASSERT_EQ(resent.size(), 1600u);
+  EXPECT_TRUE(std::equal(resent.begin(), resent.end(), data.begin() + 1400));
+  EXPECT_EQ(peer_.segs.front().hdr.seq, iss + 1401);
+  EXPECT_EQ(host_.netif->tx_pool()->total_allocs(), tx_allocs_before);
+  EXPECT_GE(client->tcp_stats().retransmissions, 1u);
+
+  // ACK everything including the FIN slot: teardown proceeds.
+  peer_.SendTcp(80, client->local_port(), kTcpAck, 1001, iss + 3002, 65535);
+  Pump();
+  EXPECT_EQ(client->state(), TcpState::kFinWait2);
+  EXPECT_EQ(peer_.rsts, 0u);
+}
+
+// Triple duplicate ACKs must re-send the first unacked retained segment with
+// no payload copy and no TX pool allocation.
+TEST_F(RawPeerTest, FastRetransmitReusesRetainedNetbuf) {
+  auto client = host_.stack->TcpConnect(peer_.ip, 81);
+  ASSERT_NE(client, nullptr);
+  std::uint32_t iss = Handshake(client, 81);
+
+  std::vector<std::uint8_t> data(2800);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>((i * 13) % 256);
+  }
+  ASSERT_EQ(client->Send(data), 2800);
+  Pump();
+  peer_.segs.clear();
+  std::size_t tx_allocs_before = host_.netif->tx_pool()->total_allocs();
+
+  // Three dup ACKs at snd_una (nothing new acknowledged, no payload).
+  for (int i = 0; i < 3; ++i) {
+    peer_.SendTcp(81, client->local_port(), kTcpAck, 1001, iss + 1, 65535);
+    Pump(1);
+  }
+  peer_.Poll();
+  ASSERT_FALSE(peer_.segs.empty());
+  const auto& rexmit = peer_.segs.back();
+  EXPECT_EQ(rexmit.hdr.seq, iss + 1);
+  ASSERT_EQ(rexmit.payload.size(), 1400u);
+  EXPECT_TRUE(std::equal(rexmit.payload.begin(), rexmit.payload.end(), data.begin()));
+  EXPECT_EQ(host_.netif->tx_pool()->total_allocs(), tx_allocs_before);
+  EXPECT_EQ(client->tcp_stats().retransmissions, 1u);
+}
+
+// A retransmitted FIN (our final ACK was lost) must find the TIME_WAIT
+// connection and get a fresh ACK — not a RST — until the 2MSL-equivalent
+// poll budget drains the connection.
+TEST_F(RawPeerTest, TimeWaitReAcksRetransmittedFin) {
+  host_.stack->time_wait_poll_budget = 16;
+  auto client = host_.stack->TcpConnect(peer_.ip, 82);
+  ASSERT_NE(client, nullptr);
+  std::uint32_t iss = Handshake(client, 82);
+
+  // Host closes first: FIN at iss+1.
+  client->Close();
+  Pump();
+  EXPECT_EQ(client->state(), TcpState::kFinWait1);
+  peer_.SendTcp(82, client->local_port(), kTcpAck, 1001, iss + 2, 65535);
+  Pump();
+  EXPECT_EQ(client->state(), TcpState::kFinWait2);
+
+  // Peer's FIN: host moves to TIME_WAIT and ACKs (ack = 1002).
+  peer_.segs.clear();
+  peer_.SendTcp(82, client->local_port(), kTcpFin | kTcpAck, 1001, iss + 2, 65535);
+  Pump(2);
+  EXPECT_EQ(client->state(), TcpState::kTimeWait);
+  ASSERT_FALSE(peer_.segs.empty());
+  EXPECT_EQ(peer_.segs.back().hdr.ack, 1002u);
+
+  // Pretend that ACK was lost: the peer retransmits its FIN. The lingering
+  // connection must re-ACK; before this fix the stack answered with a RST.
+  peer_.segs.clear();
+  peer_.SendTcp(82, client->local_port(), kTcpFin | kTcpAck, 1001, iss + 2, 65535);
+  Pump(2);
+  ASSERT_FALSE(peer_.segs.empty());
+  EXPECT_EQ(peer_.segs.back().hdr.ack, 1002u);
+  EXPECT_NE(peer_.segs.back().hdr.flags & kTcpAck, 0);
+  EXPECT_EQ(peer_.rsts, 0u);
+  EXPECT_EQ(host_.stack->stats().rst_sent, 0u);
+
+  // After the budget drains, the key is reclaimed: a late FIN now draws the
+  // no-connection RST (proving TIME_WAIT does not leak connections forever).
+  for (int i = 0; i < 32; ++i) {
+    host_.stack->Poll();
+  }
+  peer_.segs.clear();
+  peer_.SendTcp(82, client->local_port(), kTcpFin | kTcpAck, 1001, iss + 2, 65535);
+  Pump(2);
+  EXPECT_GE(peer_.rsts, 1u);
+  EXPECT_EQ(client->state(), TcpState::kTimeWait);  // socket object unchanged
+}
+
+// A RST that assassinates TIME_WAIT must reclaim the connection key, not
+// leave a zombie kClosed entry blackholing the 4-tuple past the linger.
+TEST_F(RawPeerTest, RstDuringTimeWaitReclaimsConnection) {
+  auto client = host_.stack->TcpConnect(peer_.ip, 83);
+  ASSERT_NE(client, nullptr);
+  std::uint32_t iss = Handshake(client, 83);
+  client->Close();
+  Pump();
+  peer_.SendTcp(83, client->local_port(), kTcpAck, 1001, iss + 2, 65535);
+  Pump();
+  peer_.SendTcp(83, client->local_port(), kTcpFin | kTcpAck, 1001, iss + 2, 65535);
+  Pump(2);
+  ASSERT_EQ(client->state(), TcpState::kTimeWait);
+
+  peer_.SendTcp(83, client->local_port(), kTcpRst, 1002, iss + 2, 0);
+  Pump(2);
+  EXPECT_EQ(client->state(), TcpState::kClosed);
+  EXPECT_TRUE(client->failed());
+  // The tuple is free again: a stray segment now draws the no-connection RST
+  // instead of being swallowed by a zombie map entry.
+  peer_.SendTcp(83, client->local_port(), kTcpAck, 1002, iss + 2, 65535);
+  Pump(2);
+  EXPECT_GE(peer_.rsts, 1u);
+}
+
+// Aborting a connection with unacked data queued must hand every retained
+// netbuf back to the TX pool and free the 4-tuple — a zombie would pin up
+// to a full send buffer (~47 MSS buffers) until stack teardown.
+TEST_F(RawPeerTest, RstReleasesRetainedSegmentsAndTuple) {
+  auto client = host_.stack->TcpConnect(peer_.ip, 84);
+  ASSERT_NE(client, nullptr);
+  std::uint32_t iss = Handshake(client, 84);
+  std::vector<std::uint8_t> data(8192, 0x77);
+  ASSERT_EQ(client->Send(data), 8192);
+  Pump();
+  // 6 MSS segments retained and unacked.
+  EXPECT_LT(host_.netif->tx_pool()->available(), host_.netif->tx_pool()->capacity());
+
+  peer_.SendTcp(84, client->local_port(), kTcpRst, 1001, iss + 1, 0);
+  Pump(2);
+  EXPECT_TRUE(client->failed());
+  EXPECT_EQ(client->state(), TcpState::kClosed);
+  // Every TX buffer is back (transmissions complete synchronously here).
+  EXPECT_EQ(host_.netif->tx_pool()->available(), host_.netif->tx_pool()->capacity());
+  // The tuple is demuxable again: a stray segment draws the no-connection RST.
+  peer_.SendTcp(84, client->local_port(), kTcpAck, 1001, iss + 1, 65535);
+  Pump(2);
+  EXPECT_GE(peer_.rsts, 1u);
+}
+
+// An application may keep its socket handle beyond the stack's life. The
+// stack drains retained segments at destruction, so dropping the handle
+// afterwards must not touch the (destroyed) netbuf pools — ASan guards this.
+TEST(TcpLifetime, SocketHandleMayOutliveStack) {
+  ukplat::Clock clock;
+  ukplat::Wire wire(&clock);
+  std::shared_ptr<TcpSocket> client;
+  {
+    Host host(&clock, &wire, 0, MakeIp(10, 0, 0, 1));
+    RawPeer peer;
+    peer.wire = &wire;
+    peer.host_mac = host.nic->mac();
+    peer.ip = MakeIp(10, 0, 0, 2);
+    peer.host_ip = MakeIp(10, 0, 0, 1);
+    host.netif->AddArpEntry(peer.ip, peer.mac);
+    client = host.stack->TcpConnect(peer.ip, 90);
+    ASSERT_NE(client, nullptr);
+    host.stack->Poll();
+    peer.Poll();
+    ASSERT_FALSE(peer.segs.empty());
+    std::uint32_t iss = peer.segs.back().hdr.seq;
+    peer.SendTcp(90, client->local_port(), kTcpSyn | kTcpAck, 1000, iss + 1, 65535);
+    host.stack->Poll();
+    ASSERT_TRUE(client->connected());
+    // Data that is never ACKed: the retransmission queue retains netbufs.
+    std::vector<std::uint8_t> data(4096, 0xab);
+    ASSERT_EQ(client->Send(data), 4096);
+  }  // stack, interfaces and pools die here with segments still queued
+  EXPECT_EQ(client.use_count(), 1);
+  client.reset();  // must be a no-op on pool memory
+}
+
+// ---- RX hardening through the interface --------------------------------------------
+
+class RawRxTest : public ::testing::Test {
+ protected:
+  RawRxTest() : wire_(&clock_), host_(&clock_, &wire_, 0, MakeIp(10, 0, 0, 1)) {}
+
+  // Wraps |l3| (starting at the IP header) into an Ethernet frame for the host.
+  void InjectIp(std::span<const std::uint8_t> l3) {
+    std::vector<std::uint8_t> frame(kEthHdrBytes + l3.size());
+    EthHeader eth{host_.nic->mac(), uknetdev::MacAddr{{0xde, 0xad, 0, 0, 0, 2}},
+                  kEthTypeIp4};
+    eth.Serialize(frame.data());
+    std::memcpy(frame.data() + kEthHdrBytes, l3.data(), l3.size());
+    wire_.Send(1, std::move(frame));
+  }
+
+  ukplat::Clock clock_;
+  ukplat::Wire wire_;
+  Host host_;
+};
+
+// Packets carrying IP options (IHL > 5) must deliver exactly the UDP payload:
+// before the fix the L4 slice started at the fixed 20-byte offset and option
+// bytes leaked into the datagram.
+TEST_F(RawRxTest, IpOptionsDoNotLeakIntoUdpPayload) {
+  auto sock = host_.stack->UdpOpen();
+  ASSERT_TRUE(Ok(sock->Bind(5000)));
+
+  const std::uint8_t payload[] = {'o', 'p', 't', 's'};
+  constexpr std::size_t kIhlBytes = 24;  // IHL=6: one 4-byte options word
+  std::vector<std::uint8_t> l3(kIhlBytes + kUdpHdrBytes + sizeof(payload), 0);
+  l3[0] = 0x46;  // version 4, IHL 6
+  raw::PutU16(l3.data() + 2, static_cast<std::uint16_t>(l3.size()));
+  raw::PutU16(l3.data() + 4, 7);       // id
+  raw::PutU16(l3.data() + 6, 0x4000);  // DF
+  l3[8] = 64;                          // ttl
+  l3[9] = kIpProtoUdp;
+  std::uint32_t src = MakeIp(10, 0, 0, 2);
+  std::uint32_t dst = MakeIp(10, 0, 0, 1);
+  l3[12] = 10; l3[13] = 0; l3[14] = 0; l3[15] = 2;
+  l3[16] = 10; l3[17] = 0; l3[18] = 0; l3[19] = 1;
+  l3[20] = 0x01; l3[21] = 0x01; l3[22] = 0x01; l3[23] = 0x00;  // NOP NOP NOP EOL
+  raw::PutU16(l3.data() + 10,
+              InternetChecksum(std::span<const std::uint8_t>(l3.data(), kIhlBytes)));
+  std::memcpy(l3.data() + kIhlBytes + kUdpHdrBytes, payload, sizeof(payload));
+  UdpHeader udp;
+  udp.src_port = 4000;
+  udp.dst_port = 5000;
+  udp.Serialize(l3.data() + kIhlBytes, src, dst, payload);
+
+  InjectIp(l3);
+  for (int i = 0; i < 8 && !sock->readable(); ++i) {
+    host_.stack->Poll();
+  }
+  auto dgram = sock->RecvFrom();
+  ASSERT_TRUE(dgram.has_value());
+  ASSERT_EQ(dgram->payload.size(), sizeof(payload));  // no option bytes leaked
+  EXPECT_EQ(std::memcmp(dgram->payload.data(), payload, sizeof(payload)), 0);
+  EXPECT_EQ(dgram->src_port, 4000);
+}
+
+// Malformed packets must be rejected cleanly: nullopt all the way down, the
+// right drop counter for bad IP headers, and no drift anywhere else.
+TEST_F(RawRxTest, MalformedPacketsRejectedWithoutStatDrift) {
+  auto sock = host_.stack->UdpOpen();
+  ASSERT_TRUE(Ok(sock->Bind(5000)));
+
+  // 1) Truncated Ethernet frame (below the 14-byte header).
+  wire_.Send(1, std::vector<std::uint8_t>{0xff, 0xff, 0xff});
+  // 2) IP header with a flipped checksum bit.
+  {
+    std::vector<std::uint8_t> l3(kIp4HdrBytes);
+    Ip4Header ip;
+    ip.total_len = kIp4HdrBytes;
+    ip.proto = kIpProtoUdp;
+    ip.src = MakeIp(10, 0, 0, 2);
+    ip.dst = MakeIp(10, 0, 0, 1);
+    ip.Serialize(l3.data());
+    l3[15] ^= 0x40;
+    InjectIp(l3);
+  }
+  // 3) Truncated IP header.
+  {
+    std::vector<std::uint8_t> l3 = {0x45, 0x00, 0x00};
+    InjectIp(l3);
+  }
+  // 4) Valid IP, UDP length field lying beyond the datagram.
+  {
+    std::vector<std::uint8_t> l3(kIp4HdrBytes + kUdpHdrBytes + 2, 0);
+    Ip4Header ip;
+    ip.total_len = static_cast<std::uint16_t>(l3.size());
+    ip.proto = kIpProtoUdp;
+    ip.src = MakeIp(10, 0, 0, 2);
+    ip.dst = MakeIp(10, 0, 0, 1);
+    ip.Serialize(l3.data());
+    raw::PutU16(l3.data() + kIp4HdrBytes, 4000);
+    raw::PutU16(l3.data() + kIp4HdrBytes + 2, 5000);
+    raw::PutU16(l3.data() + kIp4HdrBytes + 4, 200);  // lying length
+    InjectIp(l3);
+  }
+  // 5) Valid IP, truncated TCP header.
+  {
+    std::vector<std::uint8_t> l3(kIp4HdrBytes + 6, 0);
+    Ip4Header ip;
+    ip.total_len = static_cast<std::uint16_t>(l3.size());
+    ip.proto = kIpProtoTcp;
+    ip.src = MakeIp(10, 0, 0, 2);
+    ip.dst = MakeIp(10, 0, 0, 1);
+    ip.Serialize(l3.data());
+    InjectIp(l3);
+  }
+  for (int i = 0; i < 8; ++i) {
+    host_.stack->Poll();
+  }
+
+  const auto& st = host_.stack->stats();
+  EXPECT_EQ(st.udp_rx, 0u);
+  EXPECT_EQ(st.tcp_rx, 0u);
+  EXPECT_EQ(st.icmp_rx, 0u);
+  EXPECT_EQ(st.no_socket_drops, 0u);
+  EXPECT_EQ(st.rst_sent, 0u);
+  EXPECT_FALSE(sock->readable());
+  // Cases 2 and 3 are IP header parse failures; the interface counts exactly
+  // those (truncated Ethernet never reaches IP, lying-UDP/truncated-TCP fail
+  // quietly at L4).
+  EXPECT_EQ(host_.netif->if_stats().rx_checksum_drops, 2u);
+  EXPECT_EQ(host_.netif->if_stats().ip_rx, 2u);  // the two L4-bad packets
+}
+
 }  // namespace

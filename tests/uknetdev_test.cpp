@@ -95,6 +95,66 @@ TEST_F(NetDevTest, PoolExhaustionAndReuse) {
   EXPECT_EQ(pool->Alloc(), a);
 }
 
+TEST_F(NetDevTest, RefcountDefersPoolReturn) {
+  auto pool = NetBufPool::Create(alloc_.get(), &mem_, 2, 512);
+  ASSERT_NE(pool, nullptr);
+  NetBuf* nb = pool->Alloc();
+  ASSERT_NE(nb, nullptr);
+  EXPECT_EQ(nb->refcnt, 1u);
+  nb->Ref();  // second holder (e.g. a retransmission queue)
+  EXPECT_EQ(nb->refcnt, 2u);
+  pool->Free(nb);  // first holder lets go: buffer must NOT rejoin the pool
+  EXPECT_EQ(nb->refcnt, 1u);
+  EXPECT_EQ(pool->available(), 1u);
+  pool->Free(nb);  // last holder: now it returns
+  EXPECT_EQ(pool->available(), 2u);
+  NetBuf* again = pool->Alloc();
+  EXPECT_EQ(again, nb);  // LIFO reuse with a fresh reference count
+  EXPECT_EQ(again->refcnt, 1u);
+  pool->Free(again);
+}
+
+TEST_F(NetDevTest, AllocCounterTracksPoolChurnOnly) {
+  auto pool = NetBufPool::Create(alloc_.get(), &mem_, 4, 512);
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->total_allocs(), 0u);
+  NetBuf* a = pool->Alloc();
+  NetBuf* b = pool->AllocWithHeadroom(64);
+  EXPECT_EQ(pool->total_allocs(), 2u);
+  a->Ref();
+  pool->Free(a);  // ref drop, not a pool transition
+  pool->Free(a);
+  pool->Free(b);
+  EXPECT_EQ(pool->total_allocs(), 2u);  // frees never count
+  pool->Free(pool->Alloc());
+  EXPECT_EQ(pool->total_allocs(), 3u);
+}
+
+TEST_F(NetDevTest, RetainedTxBufSurvivesDriverCompletion) {
+  // A driver's TX completion calls Free(); a buffer another layer retained
+  // (refcount 2) must stay out of the free list until the retainer lets go —
+  // this is what makes copy-free TCP retransmission safe.
+  auto lo = std::make_unique<Loopback>(&mem_);
+  auto rx_pool = NetBufPool::Create(alloc_.get(), &mem_, 8, 2048);
+  RxQueueConf rxc;
+  rxc.buffer_pool = rx_pool.get();
+  ASSERT_TRUE(Ok(lo->RxQueueSetup(0, rxc)));
+  ASSERT_TRUE(Ok(lo->Start()));
+  auto tx_pool = NetBufPool::Create(alloc_.get(), &mem_, 4, 2048);
+  NetBuf* nb = MakeFrame(tx_pool.get(), 64, 0x5a);
+  ASSERT_NE(nb, nullptr);
+  nb->Ref();  // retain across transmission
+  NetBuf* pkts[1] = {nb};
+  std::uint16_t cnt = 1;
+  lo->TxBurst(0, pkts, &cnt);
+  ASSERT_EQ(cnt, 1);
+  EXPECT_EQ(nb->refcnt, 1u);               // driver released its reference
+  EXPECT_EQ(tx_pool->available(), 3u);     // ...but the buffer is still ours
+  EXPECT_EQ(std::to_integer<std::uint8_t>(*mem_.At(nb->data_gpa(), 1)), 0x5a);
+  tx_pool->Free(nb);
+  EXPECT_EQ(tx_pool->available(), 4u);
+}
+
 TEST_F(NetDevTest, PoolBuffersHaveValidGpas) {
   auto pool = NetBufPool::Create(alloc_.get(), &mem_, 8, 1024);
   ASSERT_NE(pool, nullptr);
