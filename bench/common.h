@@ -12,9 +12,12 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "apps/http.h"
+#include "apps/kvstore.h"
 #include "apps/redis.h"
 #include "env/testbed.h"
 
@@ -33,6 +36,38 @@ inline constexpr double kSimNormalization = 0.10;
 // environment comparisons.
 inline constexpr double kRedisSyscallsPerRequest = 0.6;
 inline constexpr double kNginxSyscallsPerRequest = 5.0;
+
+// One valid Ethernet+IPv4+UDP GET frame for the kv server, as injected by
+// the load-generator side of the kvstore benches. |src_port| selects the
+// flow (and with it, the RSS queue the request lands on).
+inline std::vector<std::uint8_t> BuildKvGetFrame(uknetdev::MacAddr dst_mac,
+                                                 uknet::Ip4Addr src_ip,
+                                                 uknet::Ip4Addr dst_ip,
+                                                 std::uint16_t dst_port,
+                                                 std::uint16_t src_port = 40000) {
+  using namespace uknet;
+  apps::KvRequest req;
+  req.is_set = false;
+  req.key = 7;
+  std::vector<std::uint8_t> payload = apps::EncodeKvRequest(req);
+  std::vector<std::uint8_t> frame(kEthHdrBytes + kIp4HdrBytes + kUdpHdrBytes +
+                                  payload.size());
+  EthHeader eth{dst_mac, uknetdev::MacAddr{{2, 0, 0, 0, 0, 9}}, kEthTypeIp4};
+  eth.Serialize(frame.data());
+  Ip4Header ip;
+  ip.total_len = static_cast<std::uint16_t>(frame.size() - kEthHdrBytes);
+  ip.proto = kIpProtoUdp;
+  ip.src = src_ip;
+  ip.dst = dst_ip;
+  ip.Serialize(frame.data() + kEthHdrBytes);
+  UdpHeader udp;
+  udp.src_port = src_port;
+  udp.dst_port = dst_port;
+  std::memcpy(frame.data() + kEthHdrBytes + kIp4HdrBytes + kUdpHdrBytes,
+              payload.data(), payload.size());
+  udp.Serialize(frame.data() + kEthHdrBytes + kIp4HdrBytes, src_ip, dst_ip, payload);
+  return frame;
+}
 
 class RealTimer {
  public:

@@ -3,6 +3,7 @@
 // and DPDK-style paths. Request frames are injected directly on the wire
 // (the load generator box); replies drain from the other side.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 
@@ -13,32 +14,6 @@ namespace {
 
 using namespace uknet;
 
-// Builds one valid UDP request frame for the kv server.
-std::vector<std::uint8_t> BuildRequestFrame(uknetdev::MacAddr dst_mac, Ip4Addr src_ip,
-                                            Ip4Addr dst_ip, std::uint16_t dst_port) {
-  apps::KvRequest req;
-  req.is_set = false;
-  req.key = 7;
-  std::vector<std::uint8_t> payload = apps::EncodeKvRequest(req);
-  std::vector<std::uint8_t> frame(kEthHdrBytes + kIp4HdrBytes + kUdpHdrBytes +
-                                  payload.size());
-  EthHeader eth{dst_mac, uknetdev::MacAddr{{2, 0, 0, 0, 0, 9}}, kEthTypeIp4};
-  eth.Serialize(frame.data());
-  Ip4Header ip;
-  ip.total_len = static_cast<std::uint16_t>(frame.size() - kEthHdrBytes);
-  ip.proto = kIpProtoUdp;
-  ip.src = src_ip;
-  ip.dst = dst_ip;
-  ip.Serialize(frame.data() + kEthHdrBytes);
-  UdpHeader udp;
-  udp.src_port = 40000;
-  udp.dst_port = dst_port;
-  std::memcpy(frame.data() + kEthHdrBytes + kIp4HdrBytes + kUdpHdrBytes, payload.data(),
-              payload.size());
-  udp.Serialize(frame.data() + kEthHdrBytes + kIp4HdrBytes, src_ip, dst_ip, payload);
-  return frame;
-}
-
 // Socket-path variants run through a TestBed profile.
 double RunSocketMode(const env::Profile& profile, apps::KvMode mode, int rounds = 800) {
   env::TestBed bed(profile);
@@ -46,7 +21,7 @@ double RunSocketMode(const env::Profile& profile, apps::KvMode mode, int rounds 
   if (!server.Start()) {
     return 0;
   }
-  std::vector<std::uint8_t> frame = BuildRequestFrame(
+  std::vector<std::uint8_t> frame = bench::BuildKvGetFrame(
       bed.server().nic->mac(), env::TestBed::kClientIp, env::TestBed::kServerIp, 7777);
   // Seed the key.
   apps::KvRequest set{true, 7, "seven"};
@@ -76,9 +51,11 @@ double RunSocketMode(const env::Profile& profile, apps::KvMode mode, int rounds 
   return static_cast<double>(server.requests() - before) / seconds / 1000.0;  // K/s
 }
 
-// Raw uknetdev / DPDK paths own the NIC directly.
+// Raw uknetdev / DPDK paths own the NIC directly. |queues| shards the
+// datapath: requests arrive from that many client flows, and the server runs
+// one pump loop per queue (round-robined here; one core each on real SMP).
 double RunNetdevMode(apps::KvMode mode, std::uint64_t extra_per_burst,
-                     int rounds = 1500) {
+                     int rounds = 1500, std::uint16_t queues = 1) {
   ukplat::Clock clock;
   ukplat::Wire::Config wire_cfg;
   wire_cfg.queue_depth = 100000;
@@ -91,19 +68,30 @@ double RunNetdevMode(apps::KvMode mode, std::uint64_t extra_per_burst,
   cfg.backend = uknetdev::VirtioBackend::kVhostUser;  // poll mode (§6.4)
   cfg.queue_size = 256;
   uknetdev::VirtioNet nic(&mem, &clock, &wire, cfg);
-  apps::KvServer server(&nic, &mem, alloc.get(), MakeIp(10, 0, 0, 1), 7777, mode);
+  apps::KvServer server(&nic, &mem, alloc.get(), MakeIp(10, 0, 0, 1), 7777, mode,
+                        queues);
   if (!server.Start()) {
     return 0;
   }
-  std::vector<std::uint8_t> frame =
-      BuildRequestFrame(nic.mac(), MakeIp(10, 0, 0, 2), MakeIp(10, 0, 0, 1), 7777);
+  // One flow per source port. Stride-7 ports: the Toeplitz hash is linear in
+  // the port bits, so consecutive ports can collapse onto a queue subset —
+  // the stride exercises enough bit positions to cover all queues evenly.
+  constexpr int kFlows = 8;
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (int f = 0; f < kFlows; ++f) {
+    frames.push_back(bench::BuildKvGetFrame(nic.mac(), MakeIp(10, 0, 0, 2),
+                                            MakeIp(10, 0, 0, 1), 7777,
+                                            static_cast<std::uint16_t>(40000 + f * 7)));
+  }
   bench::RealTimer timer;
   std::uint64_t before = server.requests();
   for (int i = 0; i < rounds; ++i) {
     for (int k = 0; k < 32; ++k) {
-      wire.Send(1, frame);
+      wire.Send(1, frames[static_cast<std::size_t>(k) % kFlows]);
     }
-    server.PumpOnce();
+    for (std::uint16_t q = 0; q < server.queue_count(); ++q) {
+      server.PumpQueue(q);  // the per-queue event-loop body
+    }
     clock.Charge(extra_per_burst);
     while (wire.Receive(1).has_value()) {
     }
@@ -116,7 +104,16 @@ double RunNetdevMode(apps::KvMode mode, std::uint64_t extra_per_burst,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::uint16_t queues = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--queues") == 0 && i + 1 < argc) {
+      int n = std::atoi(argv[i + 1]);
+      // Clamp to what the virtio device offers (4 queue pairs), so the row
+      // label always matches the datapath that actually ran.
+      queues = static_cast<std::uint16_t>(n < 1 ? 1 : (n > 4 ? 4 : n));
+    }
+  }
   std::printf("==== Table 4: UDP key-value store throughput (K req/s) ====\n");
   std::printf("%-18s %-14s %12s\n", "setup", "mode", "Kreq/s");
   std::printf("%-18s %-14s %12.0f\n", "linux-baremetal", "single",
@@ -135,6 +132,17 @@ int main() {
               RunNetdevMode(apps::KvMode::kUkNetdev, 0));
   std::printf("%-18s %-14s %12.0f\n", "unikraft-guest", "dpdk",
               RunNetdevMode(apps::KvMode::kDpdkStyle, 500));
+  if (queues > 1) {
+    std::printf("\n---- --queues %u: RSS-sharded uknetdev datapath ----\n", queues);
+    std::printf("%-18s %-14s %12s\n", "setup", "mode", "Kreq/s");
+    std::printf("%-18s queues=%-7u %12.0f\n", "unikraft-guest", 1u,
+                RunNetdevMode(apps::KvMode::kUkNetdev, 0, 1500, 1));
+    std::printf("%-18s queues=%-7u %12.0f\n", "unikraft-guest",
+                static_cast<unsigned>(queues),
+                RunNetdevMode(apps::KvMode::kUkNetdev, 0, 1500, queues));
+    std::printf("(one pump loop per queue; per-queue pools, no cross-queue state "
+                "— one core per loop on real SMP)\n");
+  }
   std::printf("\n(shape criteria: batch > single; uknetdev/dpdk ~10x the socket paths; "
               "unikraft uknetdev matches guest DPDK with one core)\n");
   return 0;

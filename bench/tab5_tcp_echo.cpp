@@ -8,6 +8,7 @@
 // section shows the other half of the win: retransmissions re-burst retained
 // buffers, so TX pool churn per delivered MB stays flat.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <vector>
@@ -21,11 +22,15 @@ namespace {
 using namespace uknet;
 
 struct EchoHost {
-  EchoHost(ukplat::Clock* clock, ukplat::Wire* wire, int side, Ip4Addr ip)
-      : mem(32 << 20) {
-    std::uint64_t heap_gpa = mem.Carve(24 << 20, 4096);
-    alloc = ukalloc::CreateAllocator(ukalloc::Backend::kTlsf, mem.At(heap_gpa, 24 << 20),
-                                     24 << 20);
+  // |pool_bufs| is the TOTAL netbuf budget (0 = the single-connection
+  // default); sized by workload (connections in flight), not by queue count,
+  // so single- and multi-queue rows face the same buffer pressure.
+  EchoHost(ukplat::Clock* clock, ukplat::Wire* wire, int side, Ip4Addr ip,
+           std::uint16_t queues = 1, std::uint32_t pool_bufs = 0)
+      : mem(48 << 20) {
+    std::uint64_t heap_gpa = mem.Carve(32 << 20, 4096);
+    alloc = ukalloc::CreateAllocator(ukalloc::Backend::kTlsf, mem.At(heap_gpa, 32 << 20),
+                                     32 << 20);
     uknetdev::VirtioNet::Config cfg;
     cfg.backend = uknetdev::VirtioBackend::kVhostUser;
     cfg.wire_side = side;
@@ -35,6 +40,9 @@ struct EchoHost {
     stack = std::make_unique<NetStack>(&mem, clock, alloc.get());
     NetIf::Config ifcfg;
     ifcfg.ip = ip;
+    ifcfg.queues = queues;
+    ifcfg.tx_pool_bufs = pool_bufs != 0 ? pool_bufs : 256;
+    ifcfg.rx_pool_bufs = pool_bufs != 0 ? pool_bufs : 512;
     netif = stack->AddInterface(nic.get(), ifcfg);
   }
 
@@ -64,8 +72,11 @@ EchoResult RunEcho(std::size_t total_bytes, double drop_rate, bool model_deque_c
   ukplat::Wire wire(&clock, wire_cfg);
   EchoHost a(&clock, &wire, 0, MakeIp(10, 0, 0, 1));
   EchoHost b(&clock, &wire, 1, MakeIp(10, 0, 0, 2));
-  a.stack->rto_cycles = 200'000;
-  b.stack->rto_cycles = 200'000;
+  // Loss-free wire: the RTO only guards genuine stalls. Keep it well above
+  // the worst-case queueing delay of 16 windows behind one queue, or the
+  // single-queue row collapses into spurious go-back-N storms.
+  a.stack->rto_cycles = 20'000'000;
+  b.stack->rto_cycles = 20'000'000;
   a.netif->AddArpEntry(MakeIp(10, 0, 0, 2), b.nic->mac());
   b.netif->AddArpEntry(MakeIp(10, 0, 0, 1), a.nic->mac());
 
@@ -135,9 +146,150 @@ EchoResult RunEcho(std::size_t total_bytes, double drop_rate, bool model_deque_c
   return res;
 }
 
+// --queues N: |conns| concurrent echo connections over an N-queue datapath.
+// Each connection pins to its RSS queue; the server drives one NetIf::Poll(q)
+// loop per queue (round-robined by this single thread — one core per loop on
+// real SMP). Reports aggregate throughput and how the flows spread.
+struct ShardedResult {
+  double mbit_per_s = 0.0;
+  std::uint64_t per_queue_segments[8] = {0};
+};
+
+ShardedResult RunEchoSharded(std::size_t total_bytes_per_conn, std::uint16_t queues,
+                             std::size_t conns) {
+  ukplat::Clock clock;
+  ukplat::Wire::Config wire_cfg;
+  wire_cfg.queue_depth = 100000;  // 16 windows in flight outgrow the default
+  ukplat::Wire wire(&clock, wire_cfg);
+  // Budget ~128 netbufs per connection (a 64KB send buffer retains ~47 MSS
+  // segments) so pool pressure is identical across queue counts.
+  const std::uint32_t pool_bufs = static_cast<std::uint32_t>(conns) * 128;
+  EchoHost a(&clock, &wire, 0, MakeIp(10, 0, 0, 1), queues, pool_bufs);
+  EchoHost b(&clock, &wire, 1, MakeIp(10, 0, 0, 2), queues, pool_bufs);
+  // Loss-free wire: the RTO only guards genuine stalls. Keep it well above
+  // the worst-case queueing delay of 16 windows behind one queue, or the
+  // single-queue row collapses into spurious go-back-N storms.
+  a.stack->rto_cycles = 20'000'000;
+  b.stack->rto_cycles = 20'000'000;
+  a.netif->AddArpEntry(MakeIp(10, 0, 0, 2), b.nic->mac());
+  b.netif->AddArpEntry(MakeIp(10, 0, 0, 1), a.nic->mac());
+
+  auto listener = b.stack->TcpListen(7);
+  std::vector<std::shared_ptr<TcpSocket>> clients;
+  std::vector<std::shared_ptr<TcpSocket>> servers;
+  for (std::size_t i = 0; i < conns; ++i) {
+    clients.push_back(a.stack->TcpConnect(MakeIp(10, 0, 0, 2), 7));
+  }
+  std::vector<std::uint8_t> chunk(4096);
+  for (std::size_t i = 0; i < chunk.size(); ++i) {
+    chunk[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  std::uint8_t buf[8192];
+  std::vector<std::size_t> sent(conns, 0), echoed(conns, 0);
+  std::size_t done = 0;
+  bench::RealTimer timer;
+  for (int rounds = 0; rounds < 4'000'000 && done < conns; ++rounds) {
+    clock.Charge(5'000);
+    for (std::size_t i = 0; i < conns; ++i) {
+      if (clients[i]->connected() && sent[i] < total_bytes_per_conn) {
+        std::size_t want = total_bytes_per_conn - sent[i];
+        std::int64_t n = clients[i]->Send(
+            std::span(chunk.data(), want < chunk.size() ? want : chunk.size()));
+        if (n > 0) {
+          sent[i] += static_cast<std::size_t>(n);
+        }
+      }
+    }
+    // Equal poll budget per round (>= 4 RX bursts per host) regardless of
+    // queue count, so the rows compare at the same total CPU: NetStack::Poll
+    // pumps each queue once; lower queue counts get extra per-queue passes —
+    // the sharded event-loop body NetIf::Poll(q) — to even the budget out
+    // (rounded up, so no row is ever under-budgeted vs the baseline).
+    a.stack->Poll();
+    b.stack->Poll();
+    const int extra_passes = (4 + queues - 1) / queues - 1;
+    for (int pass = 0; pass < extra_passes; ++pass) {
+      for (std::uint16_t q = 0; q < queues; ++q) {
+        a.netif->Poll(q);
+        b.netif->Poll(q);
+      }
+    }
+    while (auto srv = listener->Accept()) {
+      servers.push_back(srv);
+    }
+    for (auto& srv : servers) {
+      std::int64_t r = srv->Recv(buf);
+      if (r > 0) {
+        srv->Send(std::span(buf, static_cast<std::size_t>(r)));
+      }
+    }
+    done = 0;
+    for (std::size_t i = 0; i < conns; ++i) {
+      std::int64_t e = clients[i]->Recv(buf);
+      if (e > 0) {
+        echoed[i] += static_cast<std::size_t>(e);
+      }
+      if (echoed[i] >= total_bytes_per_conn) {
+        ++done;
+      }
+    }
+  }
+  clock.Charge(clock.model().NsToCycles(timer.ElapsedNs() * bench::kSimNormalization));
+
+  ShardedResult res;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < conns; ++i) {
+    total += echoed[i];
+    if (clients[i]->tx_queue() < 8) {
+      res.per_queue_segments[clients[i]->tx_queue()] +=
+          clients[i]->tcp_stats().segments_sent;
+    }
+  }
+  double seconds = clock.nanoseconds() / 1e9;
+  res.mbit_per_s = seconds > 0
+                       ? 2.0 * static_cast<double>(total) * 8.0 / seconds / 1e6
+                       : 0.0;
+  return res;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::uint16_t queues = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--queues") == 0 && i + 1 < argc) {
+      int n = std::atoi(argv[i + 1]);
+      // Clamp to the device's 4 queue pairs so the row label matches the
+      // datapath that ran (and the per-queue share array stays in bounds).
+      queues = static_cast<std::uint16_t>(n < 0 ? 0 : (n > 4 ? 4 : n));
+    }
+  }
+  if (queues > 1) {
+    bench::PrintHeader("Tab 5 (--queues): TCP echo, RSS-sharded connections");
+    // 16 connections: the clients draw sequential ephemeral ports, and the
+    // Toeplitz hash maps blocks of them onto queue subsets — 16 is enough to
+    // cover (and balance) up to 4 queues; the per-queue share column proves it.
+    constexpr std::size_t kConns = 16;
+    constexpr std::size_t kPerConn = 256 << 10;
+    std::printf("%-10s %14s  per-queue segment share\n", "queues", "Mbit/s");
+    for (std::uint16_t q : {static_cast<std::uint16_t>(1), queues}) {
+      ShardedResult r = RunEchoSharded(kPerConn, q, kConns);
+      std::uint64_t total_segs = 0;
+      for (std::uint64_t s : r.per_queue_segments) {
+        total_segs += s;
+      }
+      std::printf("%-10u %14.1f  ", static_cast<unsigned>(q), r.mbit_per_s);
+      for (std::uint16_t i = 0; i < q; ++i) {
+        std::printf("q%u=%2.0f%% ", static_cast<unsigned>(i),
+                    total_segs > 0 ? 100.0 * static_cast<double>(r.per_queue_segments[i]) /
+                                         static_cast<double>(total_segs)
+                                   : 0.0);
+      }
+      std::printf("\n");
+    }
+    std::printf("(flows pin to their RSS queue; per-queue loops touch disjoint "
+                "rings and pools)\n\n");
+  }
   bench::PrintHeader("Tab 5: TCP echo throughput — deque-copy vs retained netbufs");
   constexpr std::size_t kStream = 4 << 20;  // 4 MB each way
   std::printf("%-24s %14s %14s %14s\n", "tx path", "Mbit/s", "retransmits",

@@ -2,7 +2,11 @@
 # Tier-1 verify with warnings-as-errors on src/: configure, build, ctest —
 # then the same test suite again under AddressSanitizer + UBSan, which is
 # what catches netbuf lifetime/offset bugs (e.g. the TCP Output() OOB read
-# when a FIN was in flight) that pass unnoticed in a plain build.
+# when a FIN was in flight) that pass unnoticed in a plain build. The
+# sanitizer leg runs with UKRAFT_QUEUES=2 so every TestBed-based test (posix,
+# apps, integration) exercises the RSS-sharded multi-queue datapath — queue
+# steering, per-queue pools and the demux sharding get ASan/UBSan coverage on
+# every push, not just the dedicated multi-queue suite.
 # Usage: ./ci.sh [build-dir]   (default: build-ci; sanitizer leg appends -asan)
 set -euo pipefail
 
@@ -16,7 +20,7 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
 cmake -B "$ASAN_BUILD_DIR" -S . -DUKRAFT_WERROR=ON -DUKRAFT_SANITIZE=ON
 cmake --build "$ASAN_BUILD_DIR" -j "$JOBS"
-UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=0" \
+UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=0" UKRAFT_QUEUES=2 \
   ctest --test-dir "$ASAN_BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "ci: OK (src/ built with -Wall -Wextra -Werror; tests passed plain and under ASan+UBSan)"
+echo "ci: OK (src/ built with -Wall -Wextra -Werror; tests passed plain and under ASan+UBSan with UKRAFT_QUEUES=2)"

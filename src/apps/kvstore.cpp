@@ -1,5 +1,6 @@
 #include "apps/kvstore.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace apps {
@@ -32,8 +33,9 @@ KvServer::KvServer(posix::PosixApi* api, std::uint16_t port, KvMode mode)
 
 KvServer::KvServer(uknetdev::NetDev* dev, ukplat::MemRegion* mem,
                    ukalloc::Allocator* alloc, uknet::Ip4Addr ip, std::uint16_t port,
-                   KvMode mode)
-    : mode_(mode), port_(port), dev_(dev), mem_(mem), alloc_(alloc), ip_(ip) {}
+                   KvMode mode, std::uint16_t queues)
+    : mode_(mode), port_(port), dev_(dev), mem_(mem), alloc_(alloc), ip_(ip),
+      queues_(queues == 0 ? 1 : queues) {}
 
 bool KvServer::Start() {
   if (mode_ == KvMode::kSocketSingle || mode_ == KvMode::kSocketBatch) {
@@ -41,20 +43,35 @@ bool KvServer::Start() {
     return fd_ >= 0 && api_->Bind(fd_, port_) == 0;
   }
   // Raw netdev: own the device completely (§6.4: "we remove the lwip stack
-  // and scheduler altogether ... and code against the uknetdev API").
-  tx_pool_ = uknetdev::NetBufPool::Create(alloc_, mem_, 512, 2048);
-  rx_pool_ = uknetdev::NetBufPool::Create(alloc_, mem_, 512, 2048);
-  if (tx_pool_ == nullptr || rx_pool_ == nullptr) {
+  // and scheduler altogether ... and code against the uknetdev API"). Each
+  // queue pair gets private pools so per-queue loops never share state.
+  const uknetdev::DevInfo info = dev_->Info();
+  const std::uint16_t dev_max = std::min(info.max_rx_queues, info.max_tx_queues);
+  if (queues_ > dev_max) {
+    queues_ = dev_max == 0 ? 1 : dev_max;
+  }
+  const std::uint32_t bufs_per_q = std::max<std::uint32_t>(512 / queues_, 32);
+  queue_requests_.assign(queues_, 0);
+  uknetdev::DevConf conf;
+  conf.nb_rx_queues = queues_;
+  conf.nb_tx_queues = queues_;
+  if (!Ok(dev_->Configure(conf))) {
     return false;
   }
-  if (!Ok(dev_->Configure(uknetdev::DevConf{})) ||
-      !Ok(dev_->TxQueueSetup(0, uknetdev::TxQueueConf{}))) {
-    return false;
-  }
-  uknetdev::RxQueueConf rxc;
-  rxc.buffer_pool = rx_pool_.get();
-  if (!Ok(dev_->RxQueueSetup(0, rxc))) {
-    return false;
+  for (std::uint16_t q = 0; q < queues_; ++q) {
+    tx_pools_.push_back(uknetdev::NetBufPool::Create(alloc_, mem_, bufs_per_q, 2048));
+    rx_pools_.push_back(uknetdev::NetBufPool::Create(alloc_, mem_, bufs_per_q, 2048));
+    if (tx_pools_.back() == nullptr || rx_pools_.back() == nullptr) {
+      return false;
+    }
+    if (!Ok(dev_->TxQueueSetup(q, uknetdev::TxQueueConf{}))) {
+      return false;
+    }
+    uknetdev::RxQueueConf rxc;
+    rxc.buffer_pool = rx_pools_[q].get();
+    if (!Ok(dev_->RxQueueSetup(q, rxc))) {
+      return false;
+    }
   }
   return Ok(dev_->Start());
 }
@@ -146,11 +163,11 @@ std::size_t KvServer::PumpSocketBatch() {
   return static_cast<std::size_t>(got);
 }
 
-std::size_t KvServer::PumpNetdev() {
+std::size_t KvServer::PumpNetdev(std::uint16_t queue) {
   using namespace uknet;
   uknetdev::NetBuf* pkts[kBatch];
   std::uint16_t cnt = kBatch;
-  dev_->RxBurst(0, pkts, &cnt);
+  dev_->RxBurst(queue, pkts, &cnt);
   if (cnt == 0) {
     return 0;
   }
@@ -179,7 +196,7 @@ std::size_t KvServer::PumpNetdev() {
             // DPDK-framework path: per-packet mbuf churn through the TX pool
             // plus the copy into the fresh mbuf — the framework overhead that
             // makes the kDpdkStyle rows differ from raw uknetdev.
-            uknetdev::NetBuf* out = tx_pool_->Alloc();
+            uknetdev::NetBuf* out = tx_pools_[queue]->Alloc();
             if (out != nullptr) {
               std::uint32_t cap = out->capacity - out->headroom;
               std::uint8_t* odata =
@@ -207,9 +224,10 @@ std::size_t KvServer::PumpNetdev() {
                 out->len = static_cast<std::uint32_t>(total);
                 replies[nreplies++] = out;
                 ++requests_;
+                ++queue_requests_[queue];
                 replied = true;
               } else {
-                tx_pool_->Free(out);
+                tx_pools_[queue]->Free(out);
               }
             }
           } else {
@@ -240,6 +258,7 @@ std::size_t KvServer::PumpNetdev() {
               nb->len = static_cast<std::uint32_t>(total);
               replies[nreplies++] = nb;  // ownership rides to TxBurst
               ++requests_;
+              ++queue_requests_[queue];
               replied = true;
               continue;  // do not free: the RX buffer is the TX buffer now
             }
@@ -251,8 +270,10 @@ std::size_t KvServer::PumpNetdev() {
     nb->pool->Free(nb);
   }
   if (nreplies > 0) {
+    // Replies burst on the queue the requests arrived on: flow affinity all
+    // the way down, no cross-queue hand-off.
     std::uint16_t sent = nreplies;
-    dev_->TxBurst(0, replies, &sent);
+    dev_->TxBurst(queue, replies, &sent);
     for (std::uint16_t i = sent; i < nreplies; ++i) {
       if (replies[i]->pool != nullptr) {
         replies[i]->pool->Free(replies[i]);  // unsent buffers return to the pool
@@ -262,12 +283,29 @@ std::size_t KvServer::PumpNetdev() {
   return cnt;
 }
 
+std::size_t KvServer::PumpQueue(std::uint16_t queue) {
+  switch (mode_) {
+    case KvMode::kSocketSingle: return queue == 0 ? PumpSocketSingle() : 0;
+    case KvMode::kSocketBatch: return queue == 0 ? PumpSocketBatch() : 0;
+    case KvMode::kUkNetdev:
+    case KvMode::kDpdkStyle:
+      return queue < queues_ ? PumpNetdev(queue) : 0;
+  }
+  return 0;
+}
+
 std::size_t KvServer::PumpOnce() {
   switch (mode_) {
     case KvMode::kSocketSingle: return PumpSocketSingle();
     case KvMode::kSocketBatch: return PumpSocketBatch();
     case KvMode::kUkNetdev:
-    case KvMode::kDpdkStyle: return PumpNetdev();
+    case KvMode::kDpdkStyle: {
+      std::size_t handled = 0;
+      for (std::uint16_t q = 0; q < queues_; ++q) {
+        handled += PumpNetdev(q);
+      }
+      return handled;
+    }
   }
   return 0;
 }

@@ -11,8 +11,10 @@
 #ifndef APPS_KVSTORE_H_
 #define APPS_KVSTORE_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "posix/api.h"
 #include "uknet/wire_format.h"
@@ -35,20 +37,38 @@ class KvServer {
  public:
   // Socket modes.
   KvServer(posix::PosixApi* api, std::uint16_t port, KvMode mode);
-  // Raw netdev modes: parses frames itself; needs its own TX pool.
+  // Raw netdev modes: parses frames itself; needs its own pools. |queues|
+  // configures that many RX/TX queue pairs (clamped to the device maximum),
+  // each with private pools — the sharded event-loop setup of §4: one loop
+  // per queue, replies emitted on the queue the request arrived on.
   KvServer(uknetdev::NetDev* dev, ukplat::MemRegion* mem, ukalloc::Allocator* alloc,
-           uknet::Ip4Addr ip, std::uint16_t port, KvMode mode);
+           uknet::Ip4Addr ip, std::uint16_t port, KvMode mode,
+           std::uint16_t queues = 1);
 
   bool Start();
-  std::size_t PumpOnce();  // requests answered this turn
+  std::size_t PumpOnce();  // requests answered this turn (all queues)
+  // One pump of a single queue: the per-queue event-loop body. Touches only
+  // |queue|'s rings and pools (netdev modes).
+  std::size_t PumpQueue(std::uint16_t queue);
 
   std::uint64_t requests() const { return requests_; }
+  std::uint64_t queue_requests(std::uint16_t queue) const {
+    return queue < queue_requests_.size() ? queue_requests_[queue] : 0;
+  }
+  std::uint16_t queue_count() const { return queues_; }
   KvMode mode() const { return mode_; }
+  // Pool introspection for zero-alloc assertions (netdev modes).
+  const uknetdev::NetBufPool* tx_pool(std::uint16_t queue = 0) const {
+    return queue < tx_pools_.size() ? tx_pools_[queue].get() : nullptr;
+  }
+  const uknetdev::NetBufPool* rx_pool(std::uint16_t queue = 0) const {
+    return queue < rx_pools_.size() ? rx_pools_[queue].get() : nullptr;
+  }
 
  private:
   std::size_t PumpSocketSingle();
   std::size_t PumpSocketBatch();
-  std::size_t PumpNetdev();
+  std::size_t PumpNetdev(std::uint16_t queue);
   // Executes one request and writes the reply bytes straight into |out|
   // (usually the wire buffer itself). Returns reply length, 0 when |cap| is
   // too small. Never allocates.
@@ -64,11 +84,13 @@ class KvServer {
   ukplat::MemRegion* mem_ = nullptr;
   ukalloc::Allocator* alloc_ = nullptr;
   uknet::Ip4Addr ip_ = 0;
-  std::unique_ptr<uknetdev::NetBufPool> tx_pool_;
-  std::unique_ptr<uknetdev::NetBufPool> rx_pool_;
+  std::uint16_t queues_ = 1;
+  std::vector<std::unique_ptr<uknetdev::NetBufPool>> tx_pools_;
+  std::vector<std::unique_ptr<uknetdev::NetBufPool>> rx_pools_;
 
   std::unordered_map<std::uint16_t, std::string> store_;
   std::uint64_t requests_ = 0;
+  std::vector<std::uint64_t> queue_requests_;
   std::uint16_t ip_id_ = 1;
 
   static constexpr int kBatch = 32;

@@ -1,11 +1,31 @@
 #include "env/testbed.h"
 
+#include <cstdlib>
+
 namespace env {
+
+std::uint16_t QueuesFromEnv() {
+  const char* v = std::getenv("UKRAFT_QUEUES");
+  if (v == nullptr) {
+    return 1;
+  }
+  long n = std::strtol(v, nullptr, 10);
+  if (n < 1) {
+    return 1;
+  }
+  if (n > 4) {
+    return 4;
+  }
+  return static_cast<std::uint16_t>(n);
+}
 
 SimHost::SimHost(ukplat::Clock* clock, ukplat::Wire* wire, int side, uknet::Ip4Addr ip,
                  ukalloc::Backend alloc_backend, uknetdev::VirtioBackend net_backend,
-                 std::size_t mem_bytes)
+                 std::size_t mem_bytes, std::uint16_t queues)
     : mem(mem_bytes) {
+  if (queues == 0) {
+    queues = QueuesFromEnv();
+  }
   std::size_t heap_bytes = mem_bytes - (4ull << 20);
   std::uint64_t heap_gpa = mem.Carve(heap_bytes, 4096);
   alloc = ukalloc::CreateAllocator(alloc_backend, mem.At(heap_gpa, heap_bytes),
@@ -19,6 +39,7 @@ SimHost::SimHost(ukplat::Clock* clock, ukplat::Wire* wire, int side, uknet::Ip4A
   stack = std::make_unique<uknet::NetStack>(&mem, clock, alloc.get());
   uknet::NetIf::Config ifcfg;
   ifcfg.ip = ip;
+  ifcfg.queues = queues;
   netif = stack->AddInterface(nic.get(), ifcfg);
 }
 

@@ -16,11 +16,17 @@
 
 namespace env {
 
+// Queue pairs the testbed configures per interface. Defaults to 1; the
+// UKRAFT_QUEUES environment variable overrides it (clamped to [1, 4]) so CI
+// can run the whole suite with queue-sharded datapaths (ci.sh sets 2 for the
+// sanitizer leg).
+std::uint16_t QueuesFromEnv();
+
 // One simulated machine: guest RAM, allocator, NIC, stack.
 struct SimHost {
   SimHost(ukplat::Clock* clock, ukplat::Wire* wire, int side, uknet::Ip4Addr ip,
           ukalloc::Backend alloc_backend, uknetdev::VirtioBackend net_backend,
-          std::size_t mem_bytes = 64ull << 20);
+          std::size_t mem_bytes = 64ull << 20, std::uint16_t queues = 0 /* env */);
 
   ukplat::MemRegion mem;
   std::unique_ptr<ukalloc::Allocator> alloc;

@@ -210,7 +210,8 @@ void PosixApi::RegisterHandlers() {
     std::int64_t got = 0;
     for (std::uint64_t i = 0; i < a.a2; ++i) {
       std::int64_t n = udp->RecvInto(std::span(msgs[i].data, msgs[i].cap),
-                                     &msgs[i].src_ip, &msgs[i].src_port);
+                                     &msgs[i].src_ip, &msgs[i].src_port,
+                                     &msgs[i].rx_queue);
       if (n < 0) {
         break;
       }

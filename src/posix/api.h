@@ -34,6 +34,7 @@ struct MmsgRecv {
   std::size_t len = 0;  // filled in
   uknet::Ip4Addr src_ip = 0;
   std::uint16_t src_port = 0;
+  std::uint16_t rx_queue = 0;  // device queue the datagram arrived on
 };
 
 class PosixApi {

@@ -40,6 +40,97 @@ constexpr std::uint64_t Mix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+// ---- Toeplitz / RSS ---------------------------------------------------------
+//
+// The hash real NICs use for receive-side scaling: each set bit of the input
+// XORs a sliding 32-bit window of the key into the hash. Deterministic across
+// platforms, so the stack's TX steering and the device's RX demux can agree
+// on a flow -> queue mapping without talking to each other.
+
+// Microsoft's well-known 40-byte RSS key (covers up to 36 bytes of input).
+inline constexpr std::uint8_t kRssKey[40] = {
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67,
+    0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0, 0xd0, 0xca, 0x2b, 0xcb,
+    0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
+    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+};
+
+constexpr std::uint32_t Toeplitz32(const std::uint8_t* data, std::size_t len,
+                                   const std::uint8_t* key = kRssKey,
+                                   std::size_t key_len = sizeof(kRssKey)) {
+  std::uint32_t hash = 0;
+  std::uint32_t window = (static_cast<std::uint32_t>(key[0]) << 24) |
+                         (static_cast<std::uint32_t>(key[1]) << 16) |
+                         (static_cast<std::uint32_t>(key[2]) << 8) |
+                         static_cast<std::uint32_t>(key[3]);
+  std::size_t key_bit = 32;  // next key bit to shift into the window
+  for (std::size_t i = 0; i < len; ++i) {
+    for (int b = 7; b >= 0; --b) {
+      if ((data[i] >> b) & 1) {
+        hash ^= window;
+      }
+      std::uint32_t next = 0;
+      if (key_bit / 8 < key_len) {
+        next = (key[key_bit / 8] >> (7 - key_bit % 8)) & 1;
+      }
+      window = (window << 1) | next;
+      ++key_bit;
+    }
+  }
+  return hash;
+}
+
+namespace detail {
+
+// Toeplitz is GF(2)-linear in the input, so the hash of a 12-byte tuple is
+// the XOR of 12 per-(position, byte-value) contributions. Precomputing them
+// turns the per-packet 96-iteration bit loop into 12 table lookups — this
+// runs on the RX classification and UDP TX steering hot paths.
+struct FlowHashTable {
+  std::uint32_t t[12][256] = {};
+};
+
+constexpr FlowHashTable BuildFlowHashTable() {
+  FlowHashTable tbl;
+  for (int i = 0; i < 12; ++i) {
+    for (int v = 0; v < 256; ++v) {
+      std::uint8_t tuple[12] = {0};
+      tuple[i] = static_cast<std::uint8_t>(v);
+      tbl.t[i][v] = Toeplitz32(tuple, 12);
+    }
+  }
+  return tbl;
+}
+
+inline constexpr FlowHashTable kFlowHashTable = BuildFlowHashTable();
+
+}  // namespace detail
+
+// Flow hash over a TCP/UDP 4-tuple. Direction-independent: the endpoints are
+// put in canonical order before hashing, so hash(A->B) == hash(B->A). This is
+// what lets one event loop own a flow completely — the queue its requests
+// arrive on is the queue its replies are steered to. Equivalent to
+// Toeplitz32 over the canonical 12-byte tuple (asserted in tests), computed
+// via the precomputed table.
+constexpr std::uint32_t FlowHash4(std::uint32_t ip_a, std::uint16_t port_a,
+                                  std::uint32_t ip_b, std::uint16_t port_b) {
+  if (ip_a > ip_b || (ip_a == ip_b && port_a > port_b)) {
+    std::uint32_t tip = ip_a;
+    ip_a = ip_b;
+    ip_b = tip;
+    std::uint16_t tport = port_a;
+    port_a = port_b;
+    port_b = tport;
+  }
+  const auto& t = detail::kFlowHashTable.t;
+  return t[0][(ip_a >> 24) & 0xff] ^ t[1][(ip_a >> 16) & 0xff] ^
+         t[2][(ip_a >> 8) & 0xff] ^ t[3][ip_a & 0xff] ^
+         t[4][(ip_b >> 24) & 0xff] ^ t[5][(ip_b >> 16) & 0xff] ^
+         t[6][(ip_b >> 8) & 0xff] ^ t[7][ip_b & 0xff] ^
+         t[8][(port_a >> 8) & 0xff] ^ t[9][port_a & 0xff] ^
+         t[10][(port_b >> 8) & 0xff] ^ t[11][port_b & 0xff];
+}
+
 }  // namespace ukarch
 
 #endif  // UKARCH_HASH_H_

@@ -1,5 +1,7 @@
+#include <algorithm>
 #include <cstring>
 
+#include "ukarch/hash.h"
 #include "uknet/stack.h"
 
 namespace uknet {
@@ -8,6 +10,7 @@ namespace {
 constexpr uknetdev::MacAddr kBroadcast{{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}};
 constexpr std::uint16_t kRxBurstSize = 32;
 constexpr std::size_t kArpPendingCap = 8;
+constexpr std::uint32_t kMinPoolBufsPerQueue = 8;
 }  // namespace
 
 NetIf::NetIf(NetStack* stack, uknetdev::NetDev* dev, ukplat::MemRegion* mem,
@@ -15,47 +18,79 @@ NetIf::NetIf(NetStack* stack, uknetdev::NetDev* dev, ukplat::MemRegion* mem,
     : stack_(stack), dev_(dev), mem_(mem), alloc_(alloc), config_(config) {}
 
 NetIf::~NetIf() {
-  // Netbufs parked behind unresolved ARP still belong to the TX pool.
+  // Netbufs parked behind unresolved ARP still belong to their TX pools.
   for (auto& [hop, pending] : arp_pending_) {
-    for (uknetdev::NetBuf* nb : pending) {
-      FreeTxBuf(nb);
+    for (PendingTx& p : pending) {
+      FreeTxBuf(p.nb);
     }
   }
 }
 
 ukarch::Status NetIf::Init() {
-  tx_pool_ = uknetdev::NetBufPool::Create(alloc_, mem_, config_.tx_pool_bufs,
-                                          config_.buf_size);
-  rx_pool_ = uknetdev::NetBufPool::Create(alloc_, mem_, config_.rx_pool_bufs,
-                                          config_.buf_size);
-  if (tx_pool_ == nullptr || rx_pool_ == nullptr) {
-    return ukarch::Status::kNoMem;
+  const uknetdev::DevInfo info = dev_->Info();
+  dev_tx_headroom_ = info.tx_headroom;
+  const std::uint16_t dev_max = std::min(info.max_rx_queues, info.max_tx_queues);
+  nb_queues_ = std::clamp<std::uint16_t>(config_.queues, 1, std::max<std::uint16_t>(dev_max, 1));
+
+  // Per-queue private pools: the total budget splits evenly so queue loops
+  // never contend on a shared free list.
+  const std::uint32_t tx_per_q =
+      std::max(config_.tx_pool_bufs / nb_queues_, kMinPoolBufsPerQueue);
+  const std::uint32_t rx_per_q =
+      std::max(config_.rx_pool_bufs / nb_queues_, kMinPoolBufsPerQueue);
+  tx_pools_.clear();
+  rx_pools_.clear();
+  for (std::uint16_t q = 0; q < nb_queues_; ++q) {
+    tx_pools_.push_back(
+        uknetdev::NetBufPool::Create(alloc_, mem_, tx_per_q, config_.buf_size));
+    rx_pools_.push_back(
+        uknetdev::NetBufPool::Create(alloc_, mem_, rx_per_q, config_.buf_size));
+    if (tx_pools_.back() == nullptr || rx_pools_.back() == nullptr) {
+      return ukarch::Status::kNoMem;
+    }
   }
-  dev_tx_headroom_ = dev_->Info().tx_headroom;
-  ukarch::Status st = dev_->Configure(uknetdev::DevConf{});
+
+  uknetdev::DevConf conf;
+  conf.nb_rx_queues = nb_queues_;
+  conf.nb_tx_queues = nb_queues_;
+  ukarch::Status st = dev_->Configure(conf);
   if (!Ok(st)) {
     return st;
   }
-  st = dev_->TxQueueSetup(0, uknetdev::TxQueueConf{});
-  if (!Ok(st)) {
-    return st;
-  }
-  uknetdev::RxQueueConf rxc;
-  rxc.buffer_pool = rx_pool_.get();
-  st = dev_->RxQueueSetup(0, rxc);
-  if (!Ok(st)) {
-    return st;
+  for (std::uint16_t q = 0; q < nb_queues_; ++q) {
+    st = dev_->TxQueueSetup(q, uknetdev::TxQueueConf{});
+    if (!Ok(st)) {
+      return st;
+    }
+    uknetdev::RxQueueConf rxc;
+    rxc.buffer_pool = rx_pools_[q].get();
+    st = dev_->RxQueueSetup(q, rxc);
+    if (!Ok(st)) {
+      return st;
+    }
   }
   return dev_->Start();
 }
 
+std::uint16_t NetIf::TxQueueFor(Ip4Addr remote_ip, std::uint16_t local_port,
+                                std::uint16_t remote_port) const {
+  if (nb_queues_ <= 1) {
+    return 0;
+  }
+  return static_cast<std::uint16_t>(
+      ukarch::FlowHash4(config_.ip, local_port, remote_ip, remote_port) % nb_queues_);
+}
+
 // ---- zero-copy TX ------------------------------------------------------------------
 
-uknetdev::NetBuf* NetIf::AllocTxBuf(std::uint32_t l4_header_bytes) {
+uknetdev::NetBuf* NetIf::AllocTxBuf(std::uint32_t l4_header_bytes, std::uint16_t queue) {
   std::uint32_t reserve = dev_tx_headroom_ +
                           static_cast<std::uint32_t>(kEthHdrBytes + kIp4HdrBytes) +
                           l4_header_bytes;
-  return tx_pool_->AllocWithHeadroom(reserve);
+  if (queue >= tx_pools_.size()) {
+    return nullptr;
+  }
+  return tx_pools_[queue]->AllocWithHeadroom(reserve);
 }
 
 void NetIf::FreeTxBuf(uknetdev::NetBuf* nb) {
@@ -65,7 +100,7 @@ void NetIf::FreeTxBuf(uknetdev::NetBuf* nb) {
 }
 
 bool NetIf::SendEthBuf(uknetdev::MacAddr dst, std::uint16_t ethertype,
-                       uknetdev::NetBuf* nb) {
+                       uknetdev::NetBuf* nb, std::uint16_t queue) {
   std::uint8_t* hdr = nb->PrependHeader(*mem_, kEthHdrBytes);
   if (hdr == nullptr) {
     FreeTxBuf(nb);
@@ -75,7 +110,7 @@ bool NetIf::SendEthBuf(uknetdev::MacAddr dst, std::uint16_t ethertype,
   eth.Serialize(hdr);
   uknetdev::NetBuf* pkts[1] = {nb};
   std::uint16_t cnt = 1;
-  dev_->TxBurst(0, pkts, &cnt);
+  dev_->TxBurst(queue, pkts, &cnt);
   if (cnt != 1) {
     FreeTxBuf(nb);
     return false;
@@ -84,7 +119,8 @@ bool NetIf::SendEthBuf(uknetdev::MacAddr dst, std::uint16_t ethertype,
 }
 
 std::uint16_t NetIf::SendEthBatch(uknetdev::MacAddr dst, std::uint16_t ethertype,
-                                  uknetdev::NetBuf** pkts, std::uint16_t cnt) {
+                                  uknetdev::NetBuf** pkts, std::uint16_t cnt,
+                                  std::uint16_t queue) {
   EthHeader eth{dst, dev_->mac(), ethertype};
   std::uint16_t ready = 0;
   for (std::uint16_t i = 0; i < cnt; ++i) {
@@ -98,7 +134,7 @@ std::uint16_t NetIf::SendEthBatch(uknetdev::MacAddr dst, std::uint16_t ethertype
   }
   std::uint16_t sent = ready;
   if (ready > 0) {
-    dev_->TxBurst(0, pkts, &sent);
+    dev_->TxBurst(queue, pkts, &sent);
     for (std::uint16_t i = sent; i < ready; ++i) {
       FreeTxBuf(pkts[i]);
     }
@@ -106,7 +142,8 @@ std::uint16_t NetIf::SendEthBatch(uknetdev::MacAddr dst, std::uint16_t ethertype
   return sent;
 }
 
-bool NetIf::SendIpBuf(Ip4Addr dst, std::uint8_t proto, uknetdev::NetBuf* nb) {
+bool NetIf::SendIpBuf(Ip4Addr dst, std::uint8_t proto, uknetdev::NetBuf* nb,
+                      std::uint16_t queue) {
   Ip4Header ip;
   ip.total_len = static_cast<std::uint16_t>(kIp4HdrBytes + nb->len);
   ip.id = ip_id_++;
@@ -124,24 +161,25 @@ bool NetIf::SendIpBuf(Ip4Addr dst, std::uint8_t proto, uknetdev::NetBuf* nb) {
   auto cached = arp_cache_.find(hop);
   if (cached == arp_cache_.end()) {
     // Park the netbuf itself behind ARP (bounded queue; beyond that, drop —
-    // TCP retransmits). The Ethernet header is prepended on resolution.
+    // TCP retransmits). The Ethernet header is prepended on resolution; the
+    // recorded queue keeps the flush on the flow's own queue.
     auto& pending = arp_pending_[hop];
     if (pending.size() >= kArpPendingCap) {
       ++if_stats_.pending_dropped;
       FreeTxBuf(nb);
       return false;
     }
-    pending.push_back(nb);
-    SendArpRequest(hop);
+    pending.push_back(PendingTx{nb, queue});
+    SendArpRequest(hop, queue);
     return true;
   }
   ++if_stats_.ip_tx;
-  return SendEthBuf(cached->second, kEthTypeIp4, nb);
+  return SendEthBuf(cached->second, kEthTypeIp4, nb, queue);
 }
 
 bool NetIf::SendIp(Ip4Addr dst, std::uint8_t proto,
-                   std::span<const std::uint8_t> payload) {
-  uknetdev::NetBuf* nb = AllocTxBuf();
+                   std::span<const std::uint8_t> payload, std::uint16_t queue) {
+  uknetdev::NetBuf* nb = AllocTxBuf(0, queue);
   if (nb == nullptr) {
     return false;
   }
@@ -153,7 +191,7 @@ bool NetIf::SendIp(Ip4Addr dst, std::uint8_t proto,
   if (!payload.empty()) {
     std::memcpy(body, payload.data(), payload.size());
   }
-  return SendIpBuf(dst, proto, nb);
+  return SendIpBuf(dst, proto, nb, queue);
 }
 
 bool NetIf::SendEth(uknetdev::MacAddr dst, std::uint16_t ethertype,
@@ -173,13 +211,13 @@ bool NetIf::SendEth(uknetdev::MacAddr dst, std::uint16_t ethertype,
   return SendEthBuf(dst, ethertype, nb);
 }
 
-void NetIf::SendArpRequest(Ip4Addr target) {
+void NetIf::SendArpRequest(Ip4Addr target, std::uint16_t queue) {
   ArpPacket arp;
   arp.oper = 1;
   arp.sender_mac = dev_->mac();
   arp.sender_ip = config_.ip;
   arp.target_ip = target;
-  uknetdev::NetBuf* nb = AllocTxBuf();
+  uknetdev::NetBuf* nb = AllocTxBuf(0, queue);
   if (nb == nullptr) {
     return;
   }
@@ -190,26 +228,39 @@ void NetIf::SendArpRequest(Ip4Addr target) {
   }
   arp.Serialize(body);
   ++if_stats_.arp_requests;
-  SendEthBuf(kBroadcast, kEthTypeArp, nb);
+  SendEthBuf(kBroadcast, kEthTypeArp, nb, queue);
 }
 
 // ---- batched RX --------------------------------------------------------------------
 
 std::size_t NetIf::Poll() {
-  uknetdev::NetBuf* pkts[kRxBurstSize];
-  std::uint16_t cnt = kRxBurstSize;
-  dev_->RxBurst(0, pkts, &cnt);
-  return ProcessRxBurst(pkts, cnt);
+  std::size_t handled = 0;
+  for (std::uint16_t q = 0; q < nb_queues_; ++q) {
+    handled += Poll(q);
+  }
+  return handled;
 }
 
-std::size_t NetIf::ProcessRxBurst(uknetdev::NetBuf** pkts, std::uint16_t cnt) {
+std::size_t NetIf::Poll(std::uint16_t queue) {
+  if (queue >= nb_queues_) {
+    return 0;
+  }
+  uknetdev::NetBuf* pkts[kRxBurstSize];
+  std::uint16_t cnt = kRxBurstSize;
+  dev_->RxBurst(queue, pkts, &cnt);
+  return ProcessRxBurst(queue, pkts, cnt);
+}
+
+std::size_t NetIf::ProcessRxBurst(std::uint16_t queue, uknetdev::NetBuf** pkts,
+                                  std::uint16_t cnt) {
   for (std::uint16_t i = 0; i < cnt; ++i) {
     uknetdev::NetBuf* nb = pkts[i];
     const std::byte* data = nb->Data(*mem_);
     bool retained = false;
     if (data != nullptr) {
       retained = HandleFrame(
-          nb, std::span(reinterpret_cast<const std::uint8_t*>(data), nb->len));
+          queue, nb,
+          std::span(reinterpret_cast<const std::uint8_t*>(data), nb->len));
     }
     if (!retained && nb->pool != nullptr) {
       nb->pool->Free(nb);
@@ -218,7 +269,8 @@ std::size_t NetIf::ProcessRxBurst(uknetdev::NetBuf** pkts, std::uint16_t cnt) {
   return cnt;
 }
 
-bool NetIf::HandleFrame(uknetdev::NetBuf* nb, std::span<const std::uint8_t> frame) {
+bool NetIf::HandleFrame(std::uint16_t queue, uknetdev::NetBuf* nb,
+                        std::span<const std::uint8_t> frame) {
   if (frame.size() < kEthHdrBytes) {
     return false;
   }
@@ -229,16 +281,16 @@ bool NetIf::HandleFrame(uknetdev::NetBuf* nb, std::span<const std::uint8_t> fram
   }
   std::span<const std::uint8_t> body = frame.subspan(kEthHdrBytes);
   if (eth.ethertype == kEthTypeArp) {
-    HandleArp(body);
+    HandleArp(queue, body);
     return false;
   }
   if (eth.ethertype == kEthTypeIp4) {
-    return HandleIp(nb, body);
+    return HandleIp(queue, nb, body);
   }
   return false;
 }
 
-void NetIf::HandleArp(std::span<const std::uint8_t> body) {
+void NetIf::HandleArp(std::uint16_t queue, std::span<const std::uint8_t> body) {
   auto arp = ArpPacket::Parse(body);
   if (!arp.has_value()) {
     return;
@@ -246,15 +298,24 @@ void NetIf::HandleArp(std::span<const std::uint8_t> body) {
   // Learn the sender either way (gratuitous + reply + request).
   arp_cache_[arp->sender_ip] = arp->sender_mac;
 
-  // Flush netbufs parked behind this resolution in one batch: they already
-  // carry their IP headers, so only the Ethernet header is prepended before
-  // the whole set goes out in a single TxBurst.
+  // Flush netbufs parked behind this resolution: they already carry their IP
+  // headers, so only the Ethernet header is prepended before they go out —
+  // batched per TX queue so every packet stays on its flow's queue.
   auto pending = arp_pending_.find(arp->sender_ip);
   if (pending != arp_pending_.end()) {
-    std::uint16_t sent = SendEthBatch(arp->sender_mac, kEthTypeIp4,
-                                      pending->second.data(),
-                                      static_cast<std::uint16_t>(pending->second.size()));
-    if_stats_.ip_tx += sent;
+    for (std::uint16_t q = 0; q < nb_queues_; ++q) {
+      uknetdev::NetBuf* batch[kArpPendingCap];
+      std::uint16_t n = 0;
+      for (PendingTx& p : pending->second) {
+        if (p.queue == q && n < kArpPendingCap) {
+          batch[n++] = p.nb;
+        }
+      }
+      if (n > 0) {
+        if_stats_.ip_tx +=
+            SendEthBatch(arp->sender_mac, kEthTypeIp4, batch, n, q);
+      }
+    }
     arp_pending_.erase(pending);
   }
 
@@ -265,7 +326,7 @@ void NetIf::HandleArp(std::span<const std::uint8_t> body) {
     reply.sender_ip = config_.ip;
     reply.target_mac = arp->sender_mac;
     reply.target_ip = arp->sender_ip;
-    uknetdev::NetBuf* nb = AllocTxBuf();
+    uknetdev::NetBuf* nb = AllocTxBuf(0, queue);
     if (nb == nullptr) {
       return;
     }
@@ -276,11 +337,12 @@ void NetIf::HandleArp(std::span<const std::uint8_t> body) {
     }
     reply.Serialize(out);
     ++if_stats_.arp_replies;
-    SendEthBuf(arp->sender_mac, kEthTypeArp, nb);
+    SendEthBuf(arp->sender_mac, kEthTypeArp, nb, queue);
   }
 }
 
-bool NetIf::HandleIp(uknetdev::NetBuf* nb, std::span<const std::uint8_t> body) {
+bool NetIf::HandleIp(std::uint16_t queue, uknetdev::NetBuf* nb,
+                     std::span<const std::uint8_t> body) {
   auto ip = Ip4Header::Parse(body);
   if (!ip.has_value()) {
     ++if_stats_.rx_checksum_drops;
@@ -294,7 +356,7 @@ bool NetIf::HandleIp(uknetdev::NetBuf* nb, std::span<const std::uint8_t> body) {
   // options (IHL > 5) must not leak option bytes into the UDP/TCP payload.
   std::span<const std::uint8_t> payload =
       body.subspan(ip->header_len, ip->total_len - ip->header_len);
-  return stack_->HandleIpPacket(this, nb, *ip, payload);
+  return stack_->HandleIpPacket(this, queue, nb, *ip, payload);
 }
 
 }  // namespace uknet

@@ -6,8 +6,9 @@
 
 namespace uknet {
 
-bool NetStack::SendTcpHeaderOnly(NetIf* netif, Ip4Addr dst, const TcpHeader& hdr) {
-  uknetdev::NetBuf* nb = netif->AllocTxBuf(kTcpHdrBytes);
+bool NetStack::SendTcpHeaderOnly(NetIf* netif, Ip4Addr dst, const TcpHeader& hdr,
+                                 std::uint16_t queue) {
+  uknetdev::NetBuf* nb = netif->AllocTxBuf(kTcpHdrBytes, queue);
   if (nb == nullptr) {
     return false;
   }
@@ -17,7 +18,7 @@ bool NetStack::SendTcpHeaderOnly(NetIf* netif, Ip4Addr dst, const TcpHeader& hdr
     return false;
   }
   hdr.Serialize(at, netif->ip(), dst, {});
-  return netif->SendIpBuf(dst, kIpProtoTcp, nb);
+  return netif->SendIpBuf(dst, kIpProtoTcp, nb, queue);
 }
 
 // ---- UDP socket -------------------------------------------------------------------
@@ -60,8 +61,11 @@ std::int64_t UdpSocket::SendTo(Ip4Addr dst, std::uint16_t dst_port,
   }
   // Zero-copy TX: the payload is written once, straight into the netbuf that
   // goes to the device; the UDP header (and below it IP + Ethernet) is
-  // prepended in place in the buffer's headroom reservation.
-  uknetdev::NetBuf* nb = netif->AllocTxBuf(kUdpHdrBytes);
+  // prepended in place in the buffer's headroom reservation. The flow hash
+  // steers the datagram onto its queue — the same queue the peer's replies
+  // will arrive on.
+  const std::uint16_t queue = netif->TxQueueFor(dst, port_, dst_port);
+  uknetdev::NetBuf* nb = netif->AllocTxBuf(kUdpHdrBytes, queue);
   if (nb == nullptr) {
     return ukarch::Raw(ukarch::Status::kAgain);
   }
@@ -84,14 +88,14 @@ std::int64_t UdpSocket::SendTo(Ip4Addr dst, std::uint16_t dst_port,
   }
   hdr.Serialize(hdr_at, netif->ip(), dst, std::span(body, payload.size()));
   ++stack_->stats_.udp_tx;
-  if (!netif->SendIpBuf(dst, kIpProtoUdp, nb)) {
+  if (!netif->SendIpBuf(dst, kIpProtoUdp, nb, queue)) {
     return ukarch::Raw(ukarch::Status::kAgain);
   }
   return static_cast<std::int64_t>(payload.size());
 }
 
 std::int64_t UdpSocket::RecvInto(std::span<std::uint8_t> out, Ip4Addr* src_ip,
-                                 std::uint16_t* src_port) {
+                                 std::uint16_t* src_port, std::uint16_t* rx_queue) {
   if (rx_.empty()) {
     return ukarch::Raw(ukarch::Status::kAgain);
   }
@@ -105,6 +109,9 @@ std::int64_t UdpSocket::RecvInto(std::span<std::uint8_t> out, Ip4Addr* src_ip,
   }
   if (src_port != nullptr) {
     *src_port = view.src_port;
+  }
+  if (rx_queue != nullptr) {
+    *rx_queue = view.rx_queue;
   }
   if (view.nb != nullptr && view.nb->pool != nullptr) {
     view.nb->pool->Free(view.nb);
@@ -222,6 +229,7 @@ std::shared_ptr<TcpSocket> NetStack::TcpConnect(Ip4Addr dst, std::uint16_t port)
   sock->remote_ip_ = dst;
   sock->remote_port_ = port;
   sock->local_port_ = AllocEphemeralPort();
+  sock->tx_queue_ = netif->TxQueueFor(dst, sock->local_port_, port);
   std::uint32_t iss = NewIss();
   sock->snd_una_ = iss;
   sock->snd_nxt_ = iss + 1;  // SYN consumes one
@@ -235,7 +243,7 @@ std::shared_ptr<TcpSocket> NetStack::TcpConnect(Ip4Addr dst, std::uint16_t port)
   hdr.flags = kTcpSyn;
   hdr.window = sock->AdvertisedWindow();
   ++sock->tcp_stats_.segments_sent;
-  SendTcpHeaderOnly(netif, dst, hdr);
+  SendTcpHeaderOnly(netif, dst, hdr, sock->tx_queue_);
   sock->last_send_cycles_ = clock_->cycles();
   return sock;
 }
@@ -303,18 +311,20 @@ std::uint32_t NetStack::NewIss() {
   return static_cast<std::uint32_t>(ukarch::Mix64(iss_counter_++));
 }
 
-bool NetStack::HandleIpPacket(NetIf* netif, uknetdev::NetBuf* nb, const Ip4Header& ip,
+bool NetStack::HandleIpPacket(NetIf* netif, std::uint16_t queue, uknetdev::NetBuf* nb,
+                              const Ip4Header& ip,
                               std::span<const std::uint8_t> payload) {
   switch (ip.proto) {
-    case kIpProtoUdp: return HandleUdp(netif, nb, ip, payload);
-    case kIpProtoTcp: HandleTcp(netif, ip, payload); break;
-    case kIpProtoIcmp: HandleIcmp(netif, ip, payload); break;
+    case kIpProtoUdp: return HandleUdp(netif, queue, nb, ip, payload);
+    case kIpProtoTcp: HandleTcp(netif, queue, ip, payload); break;
+    case kIpProtoIcmp: HandleIcmp(netif, queue, ip, payload); break;
     default: break;
   }
   return false;
 }
 
-bool NetStack::HandleUdp(NetIf* netif, uknetdev::NetBuf* nb, const Ip4Header& ip,
+bool NetStack::HandleUdp(NetIf* netif, std::uint16_t queue, uknetdev::NetBuf* nb,
+                         const Ip4Header& ip,
                          std::span<const std::uint8_t> payload) {
   (void)netif;
   auto hdr = UdpHeader::Parse(payload, ip.src, ip.dst);
@@ -336,6 +346,8 @@ bool NetStack::HandleUdp(NetIf* netif, uknetdev::NetBuf* nb, const Ip4Header& ip
   view.src_ip = ip.src;
   view.src_port = hdr->src_port;
   view.len = hdr->length - kUdpHdrBytes;
+  view.rx_queue = queue;
+  sock.last_rx_queue_ = queue;
   // Zero-copy delivery: the socket queue takes ownership of the netbuf and
   // records a view of the payload bytes where they already are. Retaining is
   // only safe while the RX pool keeps enough buffers circulating — a slow
@@ -359,7 +371,7 @@ bool NetStack::HandleUdp(NetIf* netif, uknetdev::NetBuf* nb, const Ip4Header& ip
   return retain;
 }
 
-void NetStack::HandleIcmp(NetIf* netif, const Ip4Header& ip,
+void NetStack::HandleIcmp(NetIf* netif, std::uint16_t queue, const Ip4Header& ip,
                           std::span<const std::uint8_t> payload) {
   auto echo = IcmpEcho::Parse(payload);
   if (!echo.has_value()) {
@@ -372,11 +384,11 @@ void NetStack::HandleIcmp(NetIf* netif, const Ip4Header& ip,
   }
   IcmpEcho reply = *echo;
   reply.is_reply = true;
-  netif->SendIp(ip.src, kIpProtoIcmp, reply.Serialize());
+  netif->SendIp(ip.src, kIpProtoIcmp, reply.Serialize(), queue);
 }
 
 void NetStack::SendRst(NetIf* netif, const Ip4Header& ip, const TcpHeader& hdr,
-                       std::size_t payload_len) {
+                       std::size_t payload_len, std::uint16_t queue) {
   ++stats_.rst_sent;
   TcpHeader rst;
   rst.src_port = hdr.dst_port;
@@ -385,10 +397,10 @@ void NetStack::SendRst(NetIf* netif, const Ip4Header& ip, const TcpHeader& hdr,
   rst.seq = (hdr.flags & kTcpAck) != 0 ? hdr.ack : 0;
   rst.ack = hdr.seq + static_cast<std::uint32_t>(payload_len) +
             (((hdr.flags & kTcpSyn) != 0) ? 1 : 0);
-  SendTcpHeaderOnly(netif, ip.src, rst);
+  SendTcpHeaderOnly(netif, ip.src, rst, queue);
 }
 
-void NetStack::HandleTcp(NetIf* netif, const Ip4Header& ip,
+void NetStack::HandleTcp(NetIf* netif, std::uint16_t queue, const Ip4Header& ip,
                          std::span<const std::uint8_t> payload) {
   std::size_t header_len = 0;
   auto hdr = TcpHeader::Parse(payload, ip.src, ip.dst, &header_len);
@@ -403,7 +415,7 @@ void NetStack::HandleTcp(NetIf* netif, const Ip4Header& ip,
   if (conn != tcp_conns_.end()) {
     // Keep the socket alive through the callback even if it removes itself.
     auto sock = conn->second;
-    sock->OnSegment(*hdr, data);
+    sock->OnSegment(queue, *hdr, data);
     return;
   }
 
@@ -415,6 +427,10 @@ void NetStack::HandleTcp(NetIf* netif, const Ip4Header& ip,
       sock->remote_ip_ = ip.src;
       sock->remote_port_ = hdr->src_port;
       sock->local_port_ = hdr->dst_port;
+      // Flow affinity: the accepted connection lives on the queue its SYN
+      // arrived on (which the symmetric hash also steers its TX to).
+      sock->tx_queue_ = netif->TxQueueFor(ip.src, hdr->dst_port, hdr->src_port);
+      sock->last_rx_queue_ = queue;
       sock->rcv_nxt_ = hdr->seq + 1;
       sock->snd_wnd_ = hdr->window;
       std::uint32_t iss = NewIss();
@@ -431,14 +447,14 @@ void NetStack::HandleTcp(NetIf* netif, const Ip4Header& ip,
       synack.flags = kTcpSyn | kTcpAck;
       synack.window = sock->AdvertisedWindow();
       ++sock->tcp_stats_.segments_sent;
-      SendTcpHeaderOnly(netif, ip.src, synack);
+      SendTcpHeaderOnly(netif, ip.src, synack, sock->tx_queue_);
       sock->last_send_cycles_ = clock_->cycles();
       return;
     }
   }
   // No socket: RST (unless the segment itself is a RST).
   if ((hdr->flags & kTcpRst) == 0) {
-    SendRst(netif, ip, *hdr, data.size());
+    SendRst(netif, ip, *hdr, data.size(), queue);
   }
   ++stats_.no_socket_drops;
 }

@@ -37,9 +37,13 @@ class NetIf {
     Ip4Addr ip = 0;
     Ip4Addr netmask = 0xffffff00;
     Ip4Addr gateway = 0;
+    // TOTAL pool budgets; split evenly across the configured queues so each
+    // queue owns a private pool and no lock is needed on the hot path.
     std::uint32_t tx_pool_bufs = 256;
     std::uint32_t rx_pool_bufs = 256;
     std::uint32_t buf_size = 2048;
+    // Desired RX/TX queue pairs; clamped to what the device advertises.
+    std::uint16_t queues = 1;
   };
 
   NetIf(NetStack* stack, uknetdev::NetDev* dev, ukplat::MemRegion* mem,
@@ -52,13 +56,28 @@ class NetIf {
   Ip4Addr ip() const { return config_.ip; }
   uknetdev::MacAddr mac() const { return dev_->mac(); }
   uknetdev::NetDev* dev() { return dev_; }
+  std::uint16_t queue_count() const { return nb_queues_; }
   // Pool introspection for tests and benches (zero-alloc assertions).
-  const uknetdev::NetBufPool* tx_pool() const { return tx_pool_.get(); }
-  const uknetdev::NetBufPool* rx_pool() const { return rx_pool_.get(); }
+  const uknetdev::NetBufPool* tx_pool(std::uint16_t queue = 0) const {
+    return queue < tx_pools_.size() ? tx_pools_[queue].get() : nullptr;
+  }
+  const uknetdev::NetBufPool* rx_pool(std::uint16_t queue = 0) const {
+    return queue < rx_pools_.size() ? rx_pools_[queue].get() : nullptr;
+  }
 
-  // Processes up to one RX burst: pulls the whole burst array off the device,
-  // then classifies and dispatches every frame. Returns packets handled.
+  // The TX queue a flow steers to: the symmetric RSS hash of the 4-tuple,
+  // identical to the classification the device applies on RX — so the queue
+  // that carries a flow's requests also carries its replies.
+  std::uint16_t TxQueueFor(Ip4Addr remote_ip, std::uint16_t local_port,
+                           std::uint16_t remote_port) const;
+
+  // Processes one RX burst per queue (all queues). Returns packets handled.
   std::size_t Poll();
+  // Processes up to one RX burst on a single queue: pulls the burst array off
+  // the device, then classifies and dispatches every frame. Independent app
+  // loops pump disjoint queues through this entry point; each loop touches
+  // only its queue's rings and pools.
+  std::size_t Poll(std::uint16_t queue);
 
   // ---- zero-copy TX --------------------------------------------------------
   // The TX convention: a protocol layer allocates a netbuf whose headroom
@@ -67,31 +86,36 @@ class NetIf {
   // hands the buffer down. Each lower layer prepends its header into the
   // remaining headroom — the frame that reaches TxBurst was never copied.
 
-  // Allocates a TX netbuf reserving device+Ethernet+IP headroom plus
-  // |l4_header_bytes| for the caller's own header. nullptr when the pool is
-  // dry (caller backs off; TCP retransmission or the app retries).
-  uknetdev::NetBuf* AllocTxBuf(std::uint32_t l4_header_bytes = 0);
+  // Allocates a TX netbuf from |queue|'s pool, reserving device+Ethernet+IP
+  // headroom plus |l4_header_bytes| for the caller's own header. nullptr when
+  // the pool is dry (caller backs off; TCP retransmission or the app retries).
+  uknetdev::NetBuf* AllocTxBuf(std::uint32_t l4_header_bytes = 0,
+                               std::uint16_t queue = 0);
   // Returns an unsent TX netbuf to its pool.
   void FreeTxBuf(uknetdev::NetBuf* nb);
 
-  // Zero-copy IPv4 send: |nb| holds the L4 payload (with any L4 header
-  // already prepended in place); the IP and Ethernet headers are prepended
-  // into its headroom here. Ownership always passes to the interface: on ARP
-  // miss the buffer parks behind the resolution, on failure it is freed.
-  bool SendIpBuf(Ip4Addr dst, std::uint8_t proto, uknetdev::NetBuf* nb);
+  // Zero-copy IPv4 send on |queue|: |nb| holds the L4 payload (with any L4
+  // header already prepended in place); the IP and Ethernet headers are
+  // prepended into its headroom here. Ownership always passes to the
+  // interface: on ARP miss the buffer parks behind the resolution (with its
+  // queue), on failure it is freed.
+  bool SendIpBuf(Ip4Addr dst, std::uint8_t proto, uknetdev::NetBuf* nb,
+                 std::uint16_t queue = 0);
   // Zero-copy Ethernet send: prepends the Ethernet header in place and
-  // bursts the buffer to the device. Takes ownership of |nb|.
+  // bursts the buffer to the device on |queue|. Takes ownership of |nb|.
   bool SendEthBuf(uknetdev::MacAddr dst, std::uint16_t ethertype,
-                  uknetdev::NetBuf* nb);
+                  uknetdev::NetBuf* nb, std::uint16_t queue = 0);
   // Batch TX: prepends Ethernet headers for all |cnt| buffers to the same
-  // next hop and enqueues them in a single TxBurst. Returns packets queued;
-  // unsent buffers are freed. Takes ownership of the whole array.
+  // next hop and enqueues them in a single TxBurst on |queue|. Returns
+  // packets queued; unsent buffers are freed. Takes ownership of the array.
   std::uint16_t SendEthBatch(uknetdev::MacAddr dst, std::uint16_t ethertype,
-                             uknetdev::NetBuf** pkts, std::uint16_t cnt);
+                             uknetdev::NetBuf** pkts, std::uint16_t cnt,
+                             std::uint16_t queue = 0);
 
   // Copying compatibility shim over SendIpBuf for payloads that only exist
   // as a contiguous span (ICMP echo bodies, tests).
-  bool SendIp(Ip4Addr dst, std::uint8_t proto, std::span<const std::uint8_t> payload);
+  bool SendIp(Ip4Addr dst, std::uint8_t proto, std::span<const std::uint8_t> payload,
+              std::uint16_t queue = 0);
 
   void AddArpEntry(Ip4Addr ip, uknetdev::MacAddr mac) { arp_cache_[ip] = mac; }
   bool RouteMatches(Ip4Addr dst) const {
@@ -113,14 +137,18 @@ class NetIf {
 
   bool SendEth(uknetdev::MacAddr dst, std::uint16_t ethertype,
                std::span<const std::uint8_t> payload);
-  // Batch dispatch: classifies and handles |cnt| received buffers; frees each
-  // unless an upper layer retained it (UDP zero-copy delivery).
-  std::size_t ProcessRxBurst(uknetdev::NetBuf** pkts, std::uint16_t cnt);
+  // Batch dispatch: classifies and handles |cnt| received buffers (all from
+  // RX |queue|); frees each unless an upper layer retained it (UDP zero-copy
+  // delivery).
+  std::size_t ProcessRxBurst(std::uint16_t queue, uknetdev::NetBuf** pkts,
+                             std::uint16_t cnt);
   // Returns true when the netbuf ownership moved to an upper layer.
-  bool HandleFrame(uknetdev::NetBuf* nb, std::span<const std::uint8_t> frame);
-  void HandleArp(std::span<const std::uint8_t> body);
-  bool HandleIp(uknetdev::NetBuf* nb, std::span<const std::uint8_t> body);
-  void SendArpRequest(Ip4Addr target);
+  bool HandleFrame(std::uint16_t queue, uknetdev::NetBuf* nb,
+                   std::span<const std::uint8_t> frame);
+  void HandleArp(std::uint16_t queue, std::span<const std::uint8_t> body);
+  bool HandleIp(std::uint16_t queue, uknetdev::NetBuf* nb,
+                std::span<const std::uint8_t> body);
+  void SendArpRequest(Ip4Addr target, std::uint16_t queue);
   Ip4Addr NextHop(Ip4Addr dst) const {
     return RouteMatches(dst) || config_.gateway == 0 ? dst : config_.gateway;
   }
@@ -131,13 +159,19 @@ class NetIf {
   ukalloc::Allocator* alloc_;
   Config config_;
   std::uint32_t dev_tx_headroom_ = 0;  // cached from DevInfo at Init
-  std::unique_ptr<uknetdev::NetBufPool> tx_pool_;
-  std::unique_ptr<uknetdev::NetBufPool> rx_pool_;
+  std::uint16_t nb_queues_ = 1;        // clamped to the device maximum at Init
+  std::vector<std::unique_ptr<uknetdev::NetBufPool>> tx_pools_;
+  std::vector<std::unique_ptr<uknetdev::NetBufPool>> rx_pools_;
   std::map<Ip4Addr, uknetdev::MacAddr> arp_cache_;
   // Netbufs parked behind unresolved ARP: next-hop ip -> IP packets whose
   // IP header is already built; only the Ethernet header is missing. The
-  // buffers themselves wait — no serialized copies.
-  std::map<Ip4Addr, std::vector<uknetdev::NetBuf*>> arp_pending_;
+  // buffers themselves wait — no serialized copies — and remember the TX
+  // queue their flow steers to, so the flush preserves queue affinity.
+  struct PendingTx {
+    uknetdev::NetBuf* nb = nullptr;
+    std::uint16_t queue = 0;
+  };
+  std::map<Ip4Addr, std::vector<PendingTx>> arp_pending_;
   IfStats if_stats_;
   std::uint16_t ip_id_ = 1;
 };
@@ -163,6 +197,7 @@ struct DatagramView {
   std::size_t len = 0;
   uknetdev::NetBuf* nb = nullptr;  // backing buffer; nullptr when copied
   std::vector<std::uint8_t> owned;  // copy fallback storage
+  std::uint16_t rx_queue = 0;       // device queue the datagram arrived on
 };
 
 class UdpSocket {
@@ -180,8 +215,11 @@ class UdpSocket {
 
   // Zero-allocation receive: copies the payload straight from the netbuf
   // into |out| and releases the buffer. Bytes copied, or -EAGAIN when empty.
+  // |rx_queue| (optional) reports the device queue the datagram arrived on,
+  // so sharded consumers can verify/route flow affinity.
   std::int64_t RecvInto(std::span<std::uint8_t> out, Ip4Addr* src_ip = nullptr,
-                        std::uint16_t* src_port = nullptr);
+                        std::uint16_t* src_port = nullptr,
+                        std::uint16_t* rx_queue = nullptr);
   // Zero-copy batch receive: borrow views of up to |max| queued datagrams
   // without copying. The views stay valid until ReleaseFront.
   std::size_t PeekBatch(const DatagramView** out, std::size_t max) const;
@@ -192,6 +230,8 @@ class UdpSocket {
   std::optional<Datagram> RecvFrom();
   bool readable() const { return !rx_.empty(); }
   std::size_t queued() const { return rx_.size(); }
+  // Device queue of the most recently delivered datagram (flow affinity).
+  std::uint16_t last_rx_queue() const { return last_rx_queue_; }
 
   // Optional callback invoked on datagram arrival (event-loop integration).
   void SetRxCallback(std::function<void()> cb) { rx_cb_ = std::move(cb); }
@@ -205,6 +245,7 @@ class UdpSocket {
   bool explicitly_bound_ = false;
   std::deque<DatagramView> rx_;
   std::function<void()> rx_cb_;
+  std::uint16_t last_rx_queue_ = 0;
   static constexpr std::size_t kMaxQueue = 1024;
 };
 
@@ -237,6 +278,11 @@ class TcpSocket {
   Ip4Addr remote_ip() const { return remote_ip_; }
   std::uint16_t remote_port() const { return remote_port_; }
   std::uint16_t local_port() const { return local_port_; }
+  // Queue affinity: every segment of this flow is sent on tx_queue_ (RSS of
+  // the 4-tuple) and — because the device runs the same hash — arrives on the
+  // matching RX queue. last_rx_queue() lets tests assert that property.
+  std::uint16_t tx_queue() const { return tx_queue_; }
+  std::uint16_t last_rx_queue() const { return last_rx_queue_; }
 
   // Buffered, non-blocking send: returns bytes accepted (0 when the send
   // buffer is full) or negative errno when the connection cannot send.
@@ -270,7 +316,8 @@ class TcpSocket {
   friend class NetStack;
   TcpSocket(NetStack* stack, NetIf* netif) : stack_(stack), netif_(netif) {}
 
-  void OnSegment(const TcpHeader& hdr, std::span<const std::uint8_t> payload);
+  void OnSegment(std::uint16_t rx_queue, const TcpHeader& hdr,
+                 std::span<const std::uint8_t> payload);
   void Output();            // transmit what window + buffer allow
   void CheckTimer();        // RTO-based retransmission
   // Re-sends the retained ranges overlapping [snd_una_, snd_nxt_) — the
@@ -311,6 +358,8 @@ class TcpSocket {
   Ip4Addr remote_ip_ = 0;
   std::uint16_t remote_port_ = 0;
   std::uint16_t local_port_ = 0;
+  std::uint16_t tx_queue_ = 0;       // RSS flow queue, fixed at connect/accept
+  std::uint16_t last_rx_queue_ = 0;  // queue the last segment arrived on
 
   // Send side: the retransmission queue holds retained netbufs covering
   // [snd_una_, DataEnd()); bytes in [snd_una_, snd_nxt_) are in flight,
@@ -413,20 +462,23 @@ class NetStack {
   };
 
   // The bool results report whether |nb| ownership moved to an upper layer
-  // (UDP zero-copy delivery parks the netbuf in the socket queue).
-  bool HandleIpPacket(NetIf* netif, uknetdev::NetBuf* nb, const Ip4Header& ip,
-                      std::span<const std::uint8_t> payload);
-  bool HandleUdp(NetIf* netif, uknetdev::NetBuf* nb, const Ip4Header& ip,
+  // (UDP zero-copy delivery parks the netbuf in the socket queue). |queue| is
+  // the RX queue the packet arrived on: the demux shards on it — replies are
+  // emitted on the same queue, and sockets record it as their flow's queue.
+  bool HandleIpPacket(NetIf* netif, std::uint16_t queue, uknetdev::NetBuf* nb,
+                      const Ip4Header& ip, std::span<const std::uint8_t> payload);
+  bool HandleUdp(NetIf* netif, std::uint16_t queue, uknetdev::NetBuf* nb,
+                 const Ip4Header& ip, std::span<const std::uint8_t> payload);
+  void HandleTcp(NetIf* netif, std::uint16_t queue, const Ip4Header& ip,
                  std::span<const std::uint8_t> payload);
-  void HandleTcp(NetIf* netif, const Ip4Header& ip,
-                 std::span<const std::uint8_t> payload);
-  void HandleIcmp(NetIf* netif, const Ip4Header& ip,
+  void HandleIcmp(NetIf* netif, std::uint16_t queue, const Ip4Header& ip,
                   std::span<const std::uint8_t> payload);
   void SendRst(NetIf* netif, const Ip4Header& ip, const TcpHeader& hdr,
-               std::size_t payload_len);
+               std::size_t payload_len, std::uint16_t queue);
   // Shared header-only TCP segment builder (SYN, SYN|ACK, RST, ACK...):
-  // serialized in place in a TX netbuf.
-  bool SendTcpHeaderOnly(NetIf* netif, Ip4Addr dst, const TcpHeader& hdr);
+  // serialized in place in a TX netbuf, bursts on |queue|.
+  bool SendTcpHeaderOnly(NetIf* netif, Ip4Addr dst, const TcpHeader& hdr,
+                         std::uint16_t queue = 0);
   std::uint16_t AllocEphemeralPort();
   std::uint32_t NewIss();  // deterministic initial sequence numbers
   // Called by TcpSocket state transitions.

@@ -88,7 +88,7 @@ std::int64_t TcpSocket::Send(std::span<const std::uint8_t> data) {
         continue;
       }
     }
-    uknetdev::NetBuf* nb = netif_->AllocTxBuf(kTcpHdrBytes);
+    uknetdev::NetBuf* nb = netif_->AllocTxBuf(kTcpHdrBytes, tx_queue_);
     if (nb == nullptr) {
       break;  // TX pool dry: report what was accepted; the app retries
     }
@@ -173,7 +173,7 @@ void TcpSocket::EmitSegment(std::uint8_t flags, std::uint32_t seq) {
   hdr.flags = flags;
   hdr.window = AdvertisedWindow();
   ++tcp_stats_.segments_sent;
-  stack_->SendTcpHeaderOnly(netif_, remote_ip_, hdr);
+  stack_->SendTcpHeaderOnly(netif_, remote_ip_, hdr, tx_queue_);
   last_send_cycles_ = stack_->clock()->cycles();
 }
 
@@ -201,7 +201,7 @@ void TcpSocket::EmitRetained(TcpTxSegment& seg, std::uint32_t from, std::uint32_
     // segment-aligned sends below (every normal transmission, and go-back-N /
     // fast retransmit at segment boundaries) stay copy-free.
     const std::byte* src = mem->At(nb->gpa + seg.payload_headroom + offset, take);
-    uknetdev::NetBuf* out = netif_->AllocTxBuf(kTcpHdrBytes);
+    uknetdev::NetBuf* out = netif_->AllocTxBuf(kTcpHdrBytes, tx_queue_);
     if (src == nullptr || out == nullptr) {
       netif_->FreeTxBuf(out);
       return;  // pool dry: drop; the retransmission timer recovers
@@ -216,7 +216,7 @@ void TcpSocket::EmitRetained(TcpTxSegment& seg, std::uint32_t from, std::uint32_
     std::memcpy(body, src, take);
     hdr.Serialize(hdr_at, netif_->ip(), remote_ip_, std::span(body, take));
     ++tcp_stats_.segments_sent;
-    netif_->SendIpBuf(remote_ip_, kIpProtoTcp, out);
+    netif_->SendIpBuf(remote_ip_, kIpProtoTcp, out, tx_queue_);
     last_send_cycles_ = stack_->clock()->cycles();
     return;
   }
@@ -239,7 +239,7 @@ void TcpSocket::EmitRetained(TcpTxSegment& seg, std::uint32_t from, std::uint32_
   hdr.Serialize(hdr_at, netif_->ip(), remote_ip_, std::span(body, take));
   nb->Ref();  // the transmission's reference; the TX path releases it
   ++tcp_stats_.segments_sent;
-  netif_->SendIpBuf(remote_ip_, kIpProtoTcp, nb);
+  netif_->SendIpBuf(remote_ip_, kIpProtoTcp, nb, tx_queue_);
   last_send_cycles_ = stack_->clock()->cycles();
 }
 
@@ -335,8 +335,10 @@ void TcpSocket::ReleaseAcked(std::uint32_t ack) {
   }
 }
 
-void TcpSocket::OnSegment(const TcpHeader& hdr, std::span<const std::uint8_t> payload) {
+void TcpSocket::OnSegment(std::uint16_t rx_queue, const TcpHeader& hdr,
+                          std::span<const std::uint8_t> payload) {
   ++tcp_stats_.segments_received;
+  last_rx_queue_ = rx_queue;
   if ((hdr.flags & kTcpRst) != 0) {
     // Connection abort: release the retained TX netbufs immediately (a
     // zombie with 64KB queued would pin ~47 pool buffers until stack

@@ -2,83 +2,177 @@
 
 #include <cstring>
 
+#include "uknetdev/rss.h"
+
 namespace uknetdev {
 
-ukarch::Status Loopback::RxQueueSetup(std::uint16_t queue, const RxQueueConf& conf) {
-  if (queue != 0 || conf.buffer_pool == nullptr) {
+ukarch::Status Loopback::Configure(const DevConf& conf) {
+  if (conf.nb_rx_queues == 0 || conf.nb_tx_queues == 0 ||
+      conf.nb_rx_queues > max_queues_ || conf.nb_tx_queues > max_queues_) {
     return ukarch::Status::kInval;
   }
-  rx_pool_ = conf.buffer_pool;
-  rx_intr_handler_ = conf.intr_handler;
+  nb_rx_ = conf.nb_rx_queues;
+  nb_tx_ = conf.nb_tx_queues;
+  rxqs_.clear();
+  rxqs_.resize(nb_rx_);
+  txq_stats_.clear();
+  txq_stats_.resize(nb_tx_);
+  return ukarch::Status::kOk;
+}
+
+ukarch::Status Loopback::TxQueueSetup(std::uint16_t queue, const TxQueueConf&) {
+  return queue < nb_tx_ ? ukarch::Status::kOk : ukarch::Status::kInval;
+}
+
+ukarch::Status Loopback::RxQueueSetup(std::uint16_t queue, const RxQueueConf& conf) {
+  if (queue >= nb_rx_ || conf.buffer_pool == nullptr) {
+    return ukarch::Status::kInval;
+  }
+  rxqs_[queue].pool = conf.buffer_pool;
+  rxqs_[queue].intr_handler = conf.intr_handler;
   return ukarch::Status::kOk;
 }
 
 ukarch::Status Loopback::Start() {
-  if (rx_pool_ == nullptr) {
-    return ukarch::Status::kInval;
+  for (const RxQueue& q : rxqs_) {
+    if (q.pool == nullptr) {
+      return ukarch::Status::kInval;
+    }
   }
   started_ = true;
   return ukarch::Status::kOk;
 }
 
 int Loopback::TxBurst(std::uint16_t queue, NetBuf** pkt, std::uint16_t* cnt) {
-  if (!started_ || queue != 0) {
+  if (!started_ || queue >= nb_tx_) {
     *cnt = 0;
     return kStatusUnderrun;
   }
+  Stats& txs = txq_stats_[queue];
+  bool delivered[kMaxQueues] = {false};  // RX queues that got frames this burst
   std::uint16_t sent = 0;
   for (; sent < *cnt; ++sent) {
     NetBuf* src = pkt[sent];
-    NetBuf* dst = rx_pool_->Alloc();
+    const std::byte* from = src->Data(*mem_);
+    // RSS demux: the frame's flow hash picks the RX queue, exactly as the
+    // virtio device side does. On a dry destination pool, a single-queue
+    // device keeps the old backpressure contract — stop the burst and leave
+    // the remaining frames with the caller (who sees the short count and
+    // retries); with multiple queues the frame drops instead, because one
+    // stalled queue must never block traffic headed for its siblings.
+    std::uint16_t rxq_idx = RssQueueForFrame(
+        reinterpret_cast<const std::uint8_t*>(from), src->len, nb_rx_);
+    RxQueue& rxq = rxqs_[rxq_idx];
+    NetBuf* dst = rxq.pool->Alloc();
     if (dst == nullptr || dst->capacity - dst->headroom < src->len) {
       if (dst != nullptr) {
-        rx_pool_->Free(dst);
+        rxq.pool->Free(dst);
       }
-      ++stats_.tx_drops;
-      break;
+      ++txs.tx_drops;
+      if (nb_rx_ == 1) {
+        break;  // backpressure: caller keeps ownership of pkt[sent..]
+      }
+      ++rxq.stats.rx_drops;
+      if (src->pool != nullptr) {
+        src->pool->Free(src);
+      }
+      continue;
     }
-    const std::byte* from = src->Data(*mem_);
     std::byte* to = mem_->At(dst->data_gpa(), src->len);
     std::memcpy(to, from, src->len);
     dst->len = src->len;
-    rx_queue_.push_back(dst);
-    stats_.tx_bytes += src->len;
-    ++stats_.tx_packets;
+    rxq.ring.push_back(dst);
+    txs.tx_bytes += src->len;
+    ++txs.tx_packets;
+    delivered[rxq_idx] = true;
     if (src->pool != nullptr) {
       src->pool->Free(src);  // release the TX reference (holders may remain)
     }
   }
   *cnt = sent;
-  if (sent > 0 && intr_enabled_ && intr_armed_) {
-    intr_armed_ = false;
-    ++stats_.rx_interrupts;
-    if (rx_intr_handler_) {
-      rx_intr_handler_(0);
+  for (std::uint16_t q = 0; q < nb_rx_; ++q) {
+    RxQueue& rxq = rxqs_[q];
+    if (delivered[q] && rxq.intr_enabled && rxq.intr_armed) {
+      rxq.intr_armed = false;
+      ++rxq.stats.rx_interrupts;
+      if (rxq.intr_handler) {
+        rxq.intr_handler(q);
+      }
     }
   }
   return (sent > 0 ? kStatusSuccess : 0) | kStatusMore;
 }
 
 int Loopback::RxBurst(std::uint16_t queue, NetBuf** pkt, std::uint16_t* cnt) {
-  if (!started_ || queue != 0) {
+  if (!started_ || queue >= nb_rx_) {
     *cnt = 0;
     return kStatusUnderrun;
   }
+  RxQueue& rxq = rxqs_[queue];
   std::uint16_t got = 0;
-  while (got < *cnt && !rx_queue_.empty()) {
-    pkt[got++] = rx_queue_.front();
-    rx_queue_.pop_front();
-    stats_.rx_bytes += pkt[got - 1]->len;
-    ++stats_.rx_packets;
+  while (got < *cnt && !rxq.ring.empty()) {
+    pkt[got++] = rxq.ring.front();
+    rxq.ring.pop_front();
+    rxq.stats.rx_bytes += pkt[got - 1]->len;
+    ++rxq.stats.rx_packets;
   }
   *cnt = got;
   int flags = got > 0 ? kStatusSuccess : 0;
-  if (!rx_queue_.empty()) {
+  if (!rxq.ring.empty()) {
     flags |= kStatusMore;
-  } else if (intr_enabled_) {
-    intr_armed_ = true;
+  } else if (rxq.intr_enabled) {
+    rxq.intr_armed = true;
   }
   return flags;
+}
+
+ukarch::Status Loopback::RxIntrEnable(std::uint16_t queue) {
+  if (queue >= nb_rx_) {
+    return ukarch::Status::kInval;
+  }
+  rxqs_[queue].intr_enabled = true;
+  rxqs_[queue].intr_armed = true;
+  return ukarch::Status::kOk;
+}
+
+ukarch::Status Loopback::RxIntrDisable(std::uint16_t queue) {
+  if (queue >= nb_rx_) {
+    return ukarch::Status::kInval;
+  }
+  rxqs_[queue].intr_enabled = false;
+  return ukarch::Status::kOk;
+}
+
+NetDev::Stats Loopback::stats() const {
+  Stats agg{};
+  for (const Stats& t : txq_stats_) {
+    agg.tx_packets += t.tx_packets;
+    agg.tx_bytes += t.tx_bytes;
+    agg.tx_drops += t.tx_drops;
+  }
+  for (const RxQueue& q : rxqs_) {
+    agg.rx_packets += q.stats.rx_packets;
+    agg.rx_bytes += q.stats.rx_bytes;
+    agg.rx_drops += q.stats.rx_drops;
+    agg.rx_interrupts += q.stats.rx_interrupts;
+  }
+  return agg;
+}
+
+NetDev::Stats Loopback::QueueStats(std::uint16_t queue) const {
+  Stats s{};
+  if (queue < txq_stats_.size()) {
+    s.tx_packets = txq_stats_[queue].tx_packets;
+    s.tx_bytes = txq_stats_[queue].tx_bytes;
+    s.tx_drops = txq_stats_[queue].tx_drops;
+  }
+  if (queue < rxqs_.size()) {
+    s.rx_packets = rxqs_[queue].stats.rx_packets;
+    s.rx_bytes = rxqs_[queue].stats.rx_bytes;
+    s.rx_drops = rxqs_[queue].stats.rx_drops;
+    s.rx_interrupts = rxqs_[queue].stats.rx_interrupts;
+  }
+  return s;
 }
 
 }  // namespace uknetdev

@@ -92,7 +92,16 @@ class NetDev {
     std::uint64_t rx_drops = 0;
     std::uint64_t rx_interrupts = 0;
   };
-  virtual const Stats& stats() const = 0;
+  // Aggregate across all queues. Returned by value: drivers recompute it
+  // from per-queue counters, so a snapshot taken before an operation stays
+  // valid for comparison afterwards.
+  virtual Stats stats() const = 0;
+  // Per-queue view (tx_* from TX queue |queue|, rx_* from RX queue |queue|).
+  // Single-queue drivers fall back to the aggregate.
+  virtual Stats QueueStats(std::uint16_t queue) const {
+    (void)queue;
+    return stats();
+  }
 };
 
 }  // namespace uknetdev

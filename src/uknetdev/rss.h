@@ -1,0 +1,74 @@
+// uknetdev/rss.h - receive-side scaling: frame -> queue classification.
+//
+// The device-side half of the multi-queue contract. Every driver that fans
+// RX across queues runs this exact classifier over the raw frame bytes, and
+// the stack steers TX with the same ukarch::FlowHash4 — so a flow's frames
+// land on one queue in both directions and no cross-queue state is ever
+// touched on the hot path. The parse is the fixed-offset walk NIC hardware
+// does: Ethernet, IPv4 (honouring IHL), then TCP/UDP ports.
+#ifndef UKNETDEV_RSS_H_
+#define UKNETDEV_RSS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ukarch/hash.h"
+
+namespace uknetdev {
+
+inline constexpr std::uint16_t kRssEthBytes = 14;
+inline constexpr std::uint16_t kRssEthTypeIp4 = 0x0800;
+inline constexpr std::uint8_t kRssProtoTcp = 6;
+inline constexpr std::uint8_t kRssProtoUdp = 17;
+
+// Flow hash of a raw Ethernet frame. TCP/UDP over IPv4 hash the symmetric
+// 4-tuple; other IPv4 traffic (ICMP, unknown protocols) hashes the address
+// pair so it still spreads deterministically; non-IP frames (ARP) return 0 —
+// control traffic belongs on queue 0.
+constexpr std::uint32_t RssHashForFrame(const std::uint8_t* frame, std::size_t len) {
+  if (frame == nullptr || len < kRssEthBytes + 20) {
+    return 0;
+  }
+  const std::uint16_t ethertype =
+      static_cast<std::uint16_t>((frame[12] << 8) | frame[13]);
+  if (ethertype != kRssEthTypeIp4) {
+    return 0;
+  }
+  const std::uint8_t* ip = frame + kRssEthBytes;
+  if ((ip[0] >> 4) != 4) {
+    return 0;
+  }
+  const std::size_t ihl = static_cast<std::size_t>(ip[0] & 0x0f) * 4;
+  if (ihl < 20 || kRssEthBytes + ihl > len) {
+    return 0;
+  }
+  const std::uint32_t src = (static_cast<std::uint32_t>(ip[12]) << 24) |
+                            (static_cast<std::uint32_t>(ip[13]) << 16) |
+                            (static_cast<std::uint32_t>(ip[14]) << 8) |
+                            static_cast<std::uint32_t>(ip[15]);
+  const std::uint32_t dst = (static_cast<std::uint32_t>(ip[16]) << 24) |
+                            (static_cast<std::uint32_t>(ip[17]) << 16) |
+                            (static_cast<std::uint32_t>(ip[18]) << 8) |
+                            static_cast<std::uint32_t>(ip[19]);
+  const std::uint8_t proto = ip[9];
+  if ((proto == kRssProtoTcp || proto == kRssProtoUdp) &&
+      kRssEthBytes + ihl + 4 <= len) {
+    const std::uint8_t* l4 = ip + ihl;
+    const std::uint16_t sport = static_cast<std::uint16_t>((l4[0] << 8) | l4[1]);
+    const std::uint16_t dport = static_cast<std::uint16_t>((l4[2] << 8) | l4[3]);
+    return ukarch::FlowHash4(src, sport, dst, dport);
+  }
+  return ukarch::FlowHash4(src, 0, dst, 0);
+}
+
+constexpr std::uint16_t RssQueueForFrame(const std::uint8_t* frame, std::size_t len,
+                                         std::uint16_t nb_queues) {
+  if (nb_queues <= 1) {
+    return 0;
+  }
+  return static_cast<std::uint16_t>(RssHashForFrame(frame, len) % nb_queues);
+}
+
+}  // namespace uknetdev
+
+#endif  // UKNETDEV_RSS_H_

@@ -2,16 +2,27 @@
 
 #include <cstring>
 
+#include "uknetdev/rss.h"
+
 namespace uknetdev {
 
 VirtioNet::VirtioNet(ukplat::MemRegion* mem, ukplat::Clock* clock, ukplat::Wire* wire,
                      Config config)
-    : mem_(mem), clock_(clock), wire_(wire), config_(config) {}
+    : mem_(mem), clock_(clock), wire_(wire), config_(config) {
+  if (config_.max_queue_pairs == 0) {
+    config_.max_queue_pairs = 1;
+  }
+  if (config_.max_queue_pairs > kMaxQueuePairs) {
+    config_.max_queue_pairs = kMaxQueuePairs;
+  }
+  txqs_.resize(1);
+  rxqs_.resize(1);
+}
 
 DevInfo VirtioNet::Info() const {
   DevInfo info;
-  info.max_rx_queues = 1;
-  info.max_tx_queues = 1;
+  info.max_rx_queues = config_.max_queue_pairs;
+  info.max_tx_queues = config_.max_queue_pairs;
   info.max_mtu = static_cast<std::uint32_t>(wire_->config().mtu);
   info.tx_queue_depth = config_.queue_size;
   info.rx_queue_depth = config_.queue_size;
@@ -20,26 +31,36 @@ DevInfo VirtioNet::Info() const {
 }
 
 ukarch::Status VirtioNet::Configure(const DevConf& conf) {
-  if (conf.nb_rx_queues > 1 || conf.nb_tx_queues > 1) {
-    return ukarch::Status::kNotSup;  // single queue pair, like virtio-net v1 base
+  if (conf.nb_rx_queues == 0 || conf.nb_tx_queues == 0) {
+    return ukarch::Status::kInval;
   }
+  if (conf.nb_rx_queues > config_.max_queue_pairs ||
+      conf.nb_tx_queues > config_.max_queue_pairs) {
+    return ukarch::Status::kNotSup;  // beyond the negotiated queue pairs
+  }
+  nb_rx_ = conf.nb_rx_queues;
+  nb_tx_ = conf.nb_tx_queues;
+  txqs_.clear();
+  txqs_.resize(nb_tx_);
+  rxqs_.clear();
+  rxqs_.resize(nb_rx_);
   return ukarch::Status::kOk;
 }
 
 ukarch::Status VirtioNet::TxQueueSetup(std::uint16_t queue, const TxQueueConf&) {
-  if (queue != 0) {
+  if (queue >= nb_tx_) {
     return ukarch::Status::kInval;
   }
   std::uint64_t gpa = mem_->Carve(ukplat::Virtqueue::FootprintBytes(config_.queue_size), 16);
   if (gpa == ukplat::MemRegion::kBadGpa) {
     return ukarch::Status::kNoMem;
   }
-  txq_ = std::make_unique<ukplat::Virtqueue>(mem_, gpa, config_.queue_size);
+  txqs_[queue].vq = std::make_unique<ukplat::Virtqueue>(mem_, gpa, config_.queue_size);
   return ukarch::Status::kOk;
 }
 
 ukarch::Status VirtioNet::RxQueueSetup(std::uint16_t queue, const RxQueueConf& conf) {
-  if (queue != 0) {
+  if (queue >= nb_rx_) {
     return ukarch::Status::kInval;
   }
   if (conf.buffer_pool == nullptr) {
@@ -49,57 +70,68 @@ ukarch::Status VirtioNet::RxQueueSetup(std::uint16_t queue, const RxQueueConf& c
   if (gpa == ukplat::MemRegion::kBadGpa) {
     return ukarch::Status::kNoMem;
   }
-  rxq_ = std::make_unique<ukplat::Virtqueue>(mem_, gpa, config_.queue_size);
-  rx_pool_ = conf.buffer_pool;
-  rx_intr_handler_ = conf.intr_handler;
+  rxqs_[queue].vq = std::make_unique<ukplat::Virtqueue>(mem_, gpa, config_.queue_size);
+  rxqs_[queue].pool = conf.buffer_pool;
+  rxqs_[queue].intr_handler = conf.intr_handler;
   return ukarch::Status::kOk;
 }
 
 ukarch::Status VirtioNet::Start() {
-  if (txq_ == nullptr || rxq_ == nullptr) {
-    return ukarch::Status::kInval;
+  for (const TxQueue& q : txqs_) {
+    if (q.vq == nullptr) {
+      return ukarch::Status::kInval;
+    }
+  }
+  for (const RxQueue& q : rxqs_) {
+    if (q.vq == nullptr) {
+      return ukarch::Status::kInval;
+    }
   }
   started_ = true;
-  FillRxRing();
+  for (std::uint16_t q = 0; q < nb_rx_; ++q) {
+    FillRxRing(q);
+  }
   return ukarch::Status::kOk;
 }
 
-void VirtioNet::FillRxRing() {
-  // Keep the RX ring stocked with writable buffers from the application pool.
-  while (rxq_->NumFree() > 0) {
-    NetBuf* nb = rx_pool_->Alloc();
+void VirtioNet::FillRxRing(std::uint16_t queue) {
+  RxQueue& rxq = rxqs_[queue];
+  // Keep the RX ring stocked with writable buffers from the queue's pool.
+  while (rxq.vq->NumFree() > 0) {
+    NetBuf* nb = rxq.pool->Alloc();
     if (nb == nullptr) {
-      break;  // application pool exhausted; counted on actual drops
+      break;  // queue's pool exhausted; counted on actual drops
     }
     // The device writes virtio_net_hdr + frame at the buffer start; reserve
     // the full capacity. Headroom bookkeeping happens at completion.
     nb->headroom = 0;
     nb->len = 0;
     ukplat::Virtqueue::Segment seg{nb->gpa, nb->capacity, true};
-    if (!rxq_->Enqueue(std::span(&seg, 1), nb)) {
-      rx_pool_->Free(nb);
+    if (!rxq.vq->Enqueue(std::span(&seg, 1), nb)) {
+      rxq.pool->Free(nb);
       break;
     }
   }
-  rxq_->MarkKicked();  // RX refill kicks are free on both backends (posted idly)
+  rxq.vq->MarkKicked();  // RX refill kicks are free on both backends (posted idly)
 }
 
 int VirtioNet::TxBurst(std::uint16_t queue, NetBuf** pkt, std::uint16_t* cnt) {
-  if (!started_ || queue != 0) {
+  if (!started_ || queue >= nb_tx_) {
     *cnt = 0;
     return kStatusUnderrun;
   }
+  TxQueue& txq = txqs_[queue];
   const std::uint16_t requested = *cnt;
   std::uint16_t queued = 0;
   for (; queued < requested; ++queued) {
     NetBuf* nb = pkt[queued];
     if (nb->len > wire_->config().mtu + 14) {
-      ++stats_.tx_drops;
+      ++txq.stats.tx_drops;
       break;
     }
     // Prepend the virtio_net_hdr in buffer headroom (no copy).
     if (!nb->Push(kVirtioHdrBytes)) {
-      ++stats_.tx_drops;
+      ++txq.stats.tx_drops;
       break;
     }
     std::byte* hdr = mem_->At(nb->data_gpa(), kVirtioHdrBytes);
@@ -107,27 +139,27 @@ int VirtioNet::TxBurst(std::uint16_t queue, NetBuf** pkt, std::uint16_t* cnt) {
       std::memset(hdr, 0, kVirtioHdrBytes);  // no offloads
     }
     ukplat::Virtqueue::Segment seg{nb->data_gpa(), nb->len, false};
-    if (!txq_->Enqueue(std::span(&seg, 1), nb)) {
+    if (!txq.vq->Enqueue(std::span(&seg, 1), nb)) {
       nb->Pull(kVirtioHdrBytes);  // undo; caller keeps ownership
       break;
     }
   }
   *cnt = queued;
 
-  if (queued > 0 && config_.backend == VirtioBackend::kVhostNet && txq_->NeedsKick()) {
+  if (queued > 0 && config_.backend == VirtioBackend::kVhostNet && txq.vq->NeedsKick()) {
     // Notify the vhost thread: VM exit + eventfd signal.
     clock_->Charge(clock_->model().vm_exit + clock_->model().vhost_kick);
-    txq_->MarkKicked();
+    txq.vq->MarkKicked();
     ++kicks_;
   } else if (config_.backend == VirtioBackend::kVhostUser) {
-    txq_->MarkKicked();  // poller needs no notification
+    txq.vq->MarkKicked();  // poller needs no notification
   }
   BackendPoll();
 
   // Reap TX completions: release the driver's reference. Buffers whose only
   // holder was the ring return to their pools; buffers a protocol layer
   // retained (TCP retransmission queue) stay alive with that holder.
-  while (auto done = txq_->DequeueCompletion()) {
+  while (auto done = txq.vq->DequeueCompletion()) {
     auto* nb = static_cast<NetBuf*>(done->cookie);
     if (nb->pool != nullptr) {
       nb->pool->Free(nb);
@@ -135,7 +167,7 @@ int VirtioNet::TxBurst(std::uint16_t queue, NetBuf** pkt, std::uint16_t* cnt) {
   }
 
   int flags = queued > 0 ? kStatusSuccess : 0;
-  if (txq_->NumFree() > 0) {
+  if (txq.vq->NumFree() > 0) {
     flags |= kStatusMore;
   }
   if (queued < requested) {
@@ -153,43 +185,55 @@ void VirtioNet::BackendPoll() {
                               ? m.vhost_net_per_packet
                               : m.vhost_user_per_packet;
 
-  // TX direction: guest ring -> wire.
-  while (auto chain = txq_->DevicePop()) {
-    const auto& seg = chain->segments[0];
-    const std::byte* bytes = mem_->At(seg.gpa, seg.len);
-    if (bytes != nullptr && seg.len > kVirtioHdrBytes) {
-      std::vector<std::uint8_t> frame(
-          reinterpret_cast<const std::uint8_t*>(bytes) + kVirtioHdrBytes,
-          reinterpret_cast<const std::uint8_t*>(bytes) + seg.len);
-      clock_->Charge(per_pkt);
-      clock_->ChargeCopy(frame.size());
-      if (wire_->Send(config_.wire_side, std::move(frame))) {
-        stats_.tx_bytes += seg.len - kVirtioHdrBytes;
-        ++stats_.tx_packets;
-      } else {
-        ++stats_.tx_drops;
+  // TX direction: guest rings -> wire.
+  for (TxQueue& txq : txqs_) {
+    while (auto chain = txq.vq->DevicePop()) {
+      const auto& seg = chain->segments[0];
+      const std::byte* bytes = mem_->At(seg.gpa, seg.len);
+      if (bytes != nullptr && seg.len > kVirtioHdrBytes) {
+        std::vector<std::uint8_t> frame(
+            reinterpret_cast<const std::uint8_t*>(bytes) + kVirtioHdrBytes,
+            reinterpret_cast<const std::uint8_t*>(bytes) + seg.len);
+        clock_->Charge(per_pkt);
+        clock_->ChargeCopy(frame.size());
+        if (wire_->Send(config_.wire_side, std::move(frame))) {
+          txq.stats.tx_bytes += seg.len - kVirtioHdrBytes;
+          ++txq.stats.tx_packets;
+        } else {
+          ++txq.stats.tx_drops;
+        }
       }
+      txq.vq->DevicePush(chain->head, 0);
     }
-    txq_->DevicePush(chain->head, 0);
   }
 
-  // RX direction: wire -> guest ring.
-  bool delivered = false;
-  while (wire_->Pending(config_.wire_side) > 0 && rxq_->DeviceHasWork()) {
-    auto chain = rxq_->DevicePop();
-    if (!chain.has_value()) {
+  // RX direction: wire -> guest rings, one RSS classification per frame (the
+  // hash a multi-queue NIC computes in hardware). A single-queue device keeps
+  // the old backpressure behaviour — frames wait on the wire while the ring
+  // is full; with multiple queues a full ring drops its own frames so a
+  // stalled queue can never block traffic headed for its siblings.
+  bool delivered[kMaxQueuePairs] = {false};
+  bool any = false;
+  while (wire_->Pending(config_.wire_side) > 0) {
+    if (nb_rx_ == 1 && !rxqs_[0].vq->DeviceHasWork()) {
       break;
     }
     auto frame = wire_->Receive(config_.wire_side);
     if (!frame.has_value()) {
-      rxq_->DevicePush(chain->head, 0);
       break;
+    }
+    std::uint16_t qi = RssQueueForFrame(frame->data(), frame->size(), nb_rx_);
+    RxQueue& rxq = rxqs_[qi];
+    auto chain = rxq.vq->DevicePop();
+    if (!chain.has_value()) {
+      ++rxq.stats.rx_drops;  // ring dry (pool exhausted): this queue's loss only
+      continue;
     }
     const auto& seg = chain->segments[0];
     std::uint32_t total = kVirtioHdrBytes + static_cast<std::uint32_t>(frame->size());
     if (total > seg.len) {
-      ++stats_.rx_drops;
-      rxq_->DevicePush(chain->head, 0);
+      ++rxq.stats.rx_drops;
+      rxq.vq->DevicePush(chain->head, 0);
       continue;
     }
     std::byte* dst = mem_->At(seg.gpa, total);
@@ -197,77 +241,117 @@ void VirtioNet::BackendPoll() {
     std::memcpy(dst + kVirtioHdrBytes, frame->data(), frame->size());
     clock_->Charge(per_pkt);
     clock_->ChargeCopy(frame->size());
-    rxq_->DevicePush(chain->head, total);
-    delivered = true;
+    rxq.vq->DevicePush(chain->head, total);
+    delivered[qi] = true;
+    any = true;
   }
-  if (delivered) {
-    RaiseRxInterruptIfArmed();
+  if (any) {
+    for (std::uint16_t q = 0; q < nb_rx_; ++q) {
+      if (delivered[q]) {
+        RaiseRxInterruptIfArmed(q);
+      }
+    }
   }
 }
 
-void VirtioNet::RaiseRxInterruptIfArmed() {
-  if (intr_enabled_ && intr_armed_) {
-    intr_armed_ = false;  // line stays inactive until RxBurst drains the queue
+void VirtioNet::RaiseRxInterruptIfArmed(std::uint16_t queue) {
+  RxQueue& rxq = rxqs_[queue];
+  if (rxq.intr_enabled && rxq.intr_armed) {
+    rxq.intr_armed = false;  // line stays inactive until RxBurst drains the queue
     clock_->Charge(clock_->model().irq_inject);
-    ++stats_.rx_interrupts;
-    if (rx_intr_handler_) {
-      rx_intr_handler_(0);
+    ++rxq.stats.rx_interrupts;
+    if (rxq.intr_handler) {
+      rxq.intr_handler(queue);
     }
   }
 }
 
 int VirtioNet::RxBurst(std::uint16_t queue, NetBuf** pkt, std::uint16_t* cnt) {
-  if (!started_ || queue != 0) {
+  if (!started_ || queue >= nb_rx_) {
     *cnt = 0;
     return kStatusUnderrun;
   }
   BackendPoll();
+  RxQueue& rxq = rxqs_[queue];
   std::uint16_t got = 0;
   while (got < *cnt) {
-    auto done = rxq_->DequeueCompletion();
+    auto done = rxq.vq->DequeueCompletion();
     if (!done.has_value()) {
       break;
     }
     auto* nb = static_cast<NetBuf*>(done->cookie);
     if (done->written <= kVirtioHdrBytes) {
-      rx_pool_->Free(nb);
+      rxq.pool->Free(nb);
       continue;
     }
     nb->headroom = kVirtioHdrBytes;
     nb->len = done->written - kVirtioHdrBytes;
-    stats_.rx_bytes += nb->len;
-    ++stats_.rx_packets;
+    rxq.stats.rx_bytes += nb->len;
+    ++rxq.stats.rx_packets;
     pkt[got++] = nb;
   }
   *cnt = got;
-  FillRxRing();
+  FillRxRing(queue);
 
   int flags = got > 0 ? kStatusSuccess : 0;
-  bool more = rxq_->HasCompletions() || wire_->Pending(config_.wire_side) > 0;
+  bool more = rxq.vq->HasCompletions() ||
+              (nb_rx_ == 1 && wire_->Pending(config_.wire_side) > 0);
   if (more) {
     flags |= kStatusMore;
-  } else if (intr_enabled_) {
-    intr_armed_ = true;  // queue drained: re-arm the line (§3.1)
+  } else if (rxq.intr_enabled) {
+    rxq.intr_armed = true;  // queue drained: re-arm the line (§3.1)
   }
   return flags;
 }
 
 ukarch::Status VirtioNet::RxIntrEnable(std::uint16_t queue) {
-  if (queue != 0) {
+  if (queue >= nb_rx_) {
     return ukarch::Status::kInval;
   }
-  intr_enabled_ = true;
-  intr_armed_ = true;
+  rxqs_[queue].intr_enabled = true;
+  rxqs_[queue].intr_armed = true;
   return ukarch::Status::kOk;
 }
 
 ukarch::Status VirtioNet::RxIntrDisable(std::uint16_t queue) {
-  if (queue != 0) {
+  if (queue >= nb_rx_) {
     return ukarch::Status::kInval;
   }
-  intr_enabled_ = false;
-  intr_armed_ = false;
+  rxqs_[queue].intr_enabled = false;
+  rxqs_[queue].intr_armed = false;
   return ukarch::Status::kOk;
+}
+
+NetDev::Stats VirtioNet::stats() const {
+  Stats agg{};
+  for (const TxQueue& q : txqs_) {
+    agg.tx_packets += q.stats.tx_packets;
+    agg.tx_bytes += q.stats.tx_bytes;
+    agg.tx_drops += q.stats.tx_drops;
+  }
+  for (const RxQueue& q : rxqs_) {
+    agg.rx_packets += q.stats.rx_packets;
+    agg.rx_bytes += q.stats.rx_bytes;
+    agg.rx_drops += q.stats.rx_drops;
+    agg.rx_interrupts += q.stats.rx_interrupts;
+  }
+  return agg;
+}
+
+NetDev::Stats VirtioNet::QueueStats(std::uint16_t queue) const {
+  Stats s{};
+  if (queue < txqs_.size()) {
+    s.tx_packets = txqs_[queue].stats.tx_packets;
+    s.tx_bytes = txqs_[queue].stats.tx_bytes;
+    s.tx_drops = txqs_[queue].stats.tx_drops;
+  }
+  if (queue < rxqs_.size()) {
+    s.rx_packets = rxqs_[queue].stats.rx_packets;
+    s.rx_bytes = rxqs_[queue].stats.rx_bytes;
+    s.rx_drops = rxqs_[queue].stats.rx_drops;
+    s.rx_interrupts = rxqs_[queue].stats.rx_interrupts;
+  }
+  return s;
 }
 
 }  // namespace uknetdev

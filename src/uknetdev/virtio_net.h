@@ -1,9 +1,13 @@
 // uknetdev/virtio_net.h - virtio-net driver + embedded device backend.
 //
-// The guest half implements the uknetdev API over two split virtqueues in
+// The guest half implements the uknetdev API over split virtqueue pairs in
 // guest memory (single-segment chains carrying virtio_net_hdr + frame, as
-// modern drivers do with VIRTIO_F_ANY_LAYOUT). The device half moves frames
-// between the rings and a ukplat::Wire, with costs per backend:
+// modern drivers do with VIRTIO_F_ANY_LAYOUT). Multi-queue follows
+// VIRTIO_NET_F_MQ: the application configures up to |max_queue_pairs| TX/RX
+// pairs, each with its own ring, buffer pool and interrupt line; the device
+// side classifies incoming frames with the shared RSS hash (rss.h) so a
+// flow's frames always complete on one RX queue. The device half moves
+// frames between the rings and a ukplat::Wire, with costs per backend:
 //
 //  * vhost-net  — kicks are VM exits + eventfd wakeups, and every packet pays
 //    the host kernel tap path (§6.2's slower configuration);
@@ -13,8 +17,8 @@
 #ifndef UKNETDEV_VIRTIO_NET_H_
 #define UKNETDEV_VIRTIO_NET_H_
 
-#include <deque>
 #include <memory>
+#include <vector>
 
 #include "uknetdev/netdev.h"
 #include "ukplat/clock.h"
@@ -28,11 +32,15 @@ enum class VirtioBackend { kVhostNet, kVhostUser };
 
 class VirtioNet final : public NetDev {
  public:
+  static constexpr std::uint16_t kMaxQueuePairs = 8;
+
   struct Config {
     VirtioBackend backend = VirtioBackend::kVhostNet;
     MacAddr mac{};
     std::uint16_t queue_size = 256;
     int wire_side = 0;  // 0 sends dir-0 frames, receives dir-1 (and vice versa)
+    // Queue pairs the device offers (VIRTIO_NET_F_MQ's max_virtqueue_pairs).
+    std::uint16_t max_queue_pairs = 4;
   };
 
   VirtioNet(ukplat::MemRegion* mem, ukplat::Clock* clock, ukplat::Wire* wire,
@@ -53,11 +61,13 @@ class VirtioNet final : public NetDev {
   ukarch::Status RxIntrEnable(std::uint16_t queue) override;
   ukarch::Status RxIntrDisable(std::uint16_t queue) override;
 
-  const Stats& stats() const override { return stats_; }
+  Stats stats() const override;
+  Stats QueueStats(std::uint16_t queue) const override;
 
-  // Device-side pump: drains TX ring to the wire and fills RX completions
-  // from the wire. In a real system this runs in the vhost thread; the
-  // simulation calls it from the burst functions and from world polls.
+  // Device-side pump: drains TX rings to the wire and fills RX completions
+  // from the wire (RSS-classified per frame). In a real system this runs in
+  // the vhost thread; the simulation calls it from the burst functions and
+  // from world polls.
   void BackendPoll();
 
   std::uint64_t kicks() const { return kicks_; }
@@ -65,8 +75,21 @@ class VirtioNet final : public NetDev {
   static constexpr std::uint32_t kVirtioHdrBytes = 12;
 
  private:
-  void FillRxRing();
-  void RaiseRxInterruptIfArmed();
+  struct TxQueue {
+    std::unique_ptr<ukplat::Virtqueue> vq;
+    Stats stats{};  // tx_* fields only
+  };
+  struct RxQueue {
+    std::unique_ptr<ukplat::Virtqueue> vq;
+    NetBufPool* pool = nullptr;
+    std::function<void(std::uint16_t)> intr_handler;
+    bool intr_enabled = false;
+    bool intr_armed = false;
+    Stats stats{};  // rx_* fields only
+  };
+
+  void FillRxRing(std::uint16_t queue);
+  void RaiseRxInterruptIfArmed(std::uint16_t queue);
 
   ukplat::MemRegion* mem_;
   ukplat::Clock* clock_;
@@ -74,14 +97,11 @@ class VirtioNet final : public NetDev {
   Config config_;
   bool started_ = false;
 
-  std::unique_ptr<ukplat::Virtqueue> txq_;
-  std::unique_ptr<ukplat::Virtqueue> rxq_;
-  NetBufPool* rx_pool_ = nullptr;
-  std::function<void(std::uint16_t)> rx_intr_handler_;
-  bool intr_enabled_ = false;
-  bool intr_armed_ = false;
+  std::uint16_t nb_rx_ = 1;
+  std::uint16_t nb_tx_ = 1;
+  std::vector<TxQueue> txqs_;
+  std::vector<RxQueue> rxqs_;
 
-  Stats stats_{};
   std::uint64_t kicks_ = 0;
 };
 

@@ -12,6 +12,8 @@
 #include "apps/resp.h"
 #include "apps/sql.h"
 #include "env/testbed.h"
+#include "net_harness.h"
+#include "ukarch/hash.h"
 #include "ukarch/random.h"
 
 namespace {
@@ -501,6 +503,10 @@ TEST_F(KvTest, NetdevModeBypassesStackEntirely) {
                   KvMode::kUkNetdev);
   ASSERT_TRUE(server.Start());
 
+  // The specialized path's zero-alloc invariant (Fig 18 gate): replies are
+  // written in place in the RX buffer, so the TX pool must never churn.
+  netharness::ZeroAllocGuard guard({server.tx_pool()}, alloc.get());
+
   // Client on side 1 of wire2 with a full stack.
   env::SimHost client2(&clock, &wire2, 1, uknet::MakeIp(10, 0, 0, 2),
                        ukalloc::Backend::kTlsf, uknetdev::VirtioBackend::kVhostUser);
@@ -522,6 +528,72 @@ TEST_F(KvTest, NetdevModeBypassesStackEntirely) {
   auto r2 = client->RecvFrom();
   ASSERT_TRUE(r1 && r2);
   EXPECT_EQ(std::string(r2->payload.begin(), r2->payload.end()), "nine");
+  guard.ExpectPoolFlat("kvstore uknetdev in-place replies");
+}
+
+// Multi-queue kvstore: a 2-queue server pumps each queue independently;
+// every flow is answered from the queue it hashed to, replies stay correct,
+// and the in-place reply path keeps both TX pools at zero churn.
+TEST_F(KvTest, NetdevModeShardsFlowsAcrossQueues) {
+  ukplat::Clock clock;
+  ukplat::MemRegion mem(32 << 20);
+  std::uint64_t heap_gpa = mem.Carve(24 << 20, 4096);
+  auto alloc = ukalloc::CreateAllocator(ukalloc::Backend::kTlsf,
+                                        mem.At(heap_gpa, 24 << 20), 24 << 20);
+  ukplat::Wire wire2(&clock);
+  uknetdev::VirtioNet::Config nic_cfg;
+  nic_cfg.backend = uknetdev::VirtioBackend::kVhostUser;
+  nic_cfg.wire_side = 0;
+  uknetdev::VirtioNet nic(&mem, &clock, &wire2, nic_cfg);
+
+  KvServer server(&nic, &mem, alloc.get(), uknet::MakeIp(10, 0, 0, 1), 7777,
+                  KvMode::kUkNetdev, /*queues=*/2);
+  ASSERT_TRUE(server.Start());
+  ASSERT_EQ(server.queue_count(), 2);
+  netharness::ZeroAllocGuard guard({server.tx_pool(0), server.tx_pool(1)},
+                                   alloc.get());
+
+  env::SimHost client2(&clock, &wire2, 1, uknet::MakeIp(10, 0, 0, 2),
+                       ukalloc::Backend::kTlsf, uknetdev::VirtioBackend::kVhostUser);
+  client2.netif->AddArpEntry(uknet::MakeIp(10, 0, 0, 1), nic.mac());
+
+  // One client socket per server queue (by the shared symmetric flow hash).
+  std::shared_ptr<uknet::UdpSocket> flow[2];
+  while (flow[0] == nullptr || flow[1] == nullptr) {
+    auto c = client2.stack->UdpOpen();
+    std::uint16_t q = static_cast<std::uint16_t>(
+        ukarch::FlowHash4(uknet::MakeIp(10, 0, 0, 2), c->local_port(),
+                          uknet::MakeIp(10, 0, 0, 1), 7777) %
+        2);
+    if (flow[q] == nullptr) {
+      flow[q] = std::move(c);
+    }
+  }
+  for (int q = 0; q < 2; ++q) {
+    std::string v = q == 0 ? "zero" : "one";
+    flow[q]->SendTo(uknet::MakeIp(10, 0, 0, 1), 7777,
+                    EncodeKvRequest({true, static_cast<std::uint16_t>(q), v}));
+    flow[q]->SendTo(uknet::MakeIp(10, 0, 0, 1), 7777,
+                    EncodeKvRequest({false, static_cast<std::uint16_t>(q), ""}));
+  }
+  // One event loop per queue, round-robined by the single test thread.
+  for (int i = 0; i < 200; ++i) {
+    client2.stack->Poll();
+    server.PumpQueue(0);
+    server.PumpQueue(1);
+  }
+  EXPECT_EQ(server.requests(), 4u);
+  EXPECT_EQ(server.queue_requests(0), 2u);
+  EXPECT_EQ(server.queue_requests(1), 2u);
+  auto a1 = flow[0]->RecvFrom();
+  auto a2 = flow[0]->RecvFrom();
+  ASSERT_TRUE(a1 && a2);
+  EXPECT_EQ(std::string(a2->payload.begin(), a2->payload.end()), "zero");
+  auto b1 = flow[1]->RecvFrom();
+  auto b2 = flow[1]->RecvFrom();
+  ASSERT_TRUE(b1 && b2);
+  EXPECT_EQ(std::string(b2->payload.begin(), b2->payload.end()), "one");
+  guard.ExpectPoolFlat("2-queue kvstore in-place replies");
 }
 
 }  // namespace

@@ -1,11 +1,14 @@
 // Tests for the uknet TCP/IP stack: wire formats, ARP, ICMP, UDP, and the
 // TCP state machine end-to-end over real virtio-net devices and a wire.
+// Host/fixture plumbing lives in net_harness.h, shared with the multi-queue
+// and posix suites.
 #include <gtest/gtest.h>
 
 #include <cstring>
 #include <memory>
 #include <string>
 
+#include "net_harness.h"
 #include "ukalloc/registry.h"
 #include "uknet/stack.h"
 #include "uknetdev/virtio_net.h"
@@ -13,6 +16,13 @@
 namespace {
 
 using namespace uknet;
+using netharness::Host;
+using netharness::LossyTest;
+using netharness::RawPeer;
+using netharness::RawPeerTest;
+using netharness::RawRxTest;
+using netharness::TwoHostTest;
+using netharness::ZeroAllocGuard;
 
 // ---- wire formats ----------------------------------------------------------------
 
@@ -112,58 +122,7 @@ TEST(WireFormat, SeqArithmeticWraps) {
   EXPECT_TRUE(SeqLe(5u, 5u));
 }
 
-// ---- two hosts over a wire ---------------------------------------------------------
-
-// A simulated host: guest RAM, allocator, virtio-net on one wire side, stack.
-struct Host {
-  Host(ukplat::Clock* clock, ukplat::Wire* wire, int side, Ip4Addr ip)
-      : mem(32 << 20) {
-    std::uint64_t heap_gpa = mem.Carve(24 << 20, 4096);
-    alloc = ukalloc::CreateAllocator(ukalloc::Backend::kTlsf, mem.At(heap_gpa, 24 << 20),
-                                     24 << 20);
-    uknetdev::VirtioNet::Config cfg;
-    cfg.backend = uknetdev::VirtioBackend::kVhostUser;
-    cfg.wire_side = side;
-    cfg.mac = uknetdev::MacAddr{{2, 0, 0, 0, 0, static_cast<std::uint8_t>(side + 1)}};
-    cfg.queue_size = 128;
-    nic = std::make_unique<uknetdev::VirtioNet>(&mem, clock, wire, cfg);
-    stack = std::make_unique<NetStack>(&mem, clock, alloc.get());
-    NetIf::Config ifcfg;
-    ifcfg.ip = ip;
-    netif = stack->AddInterface(nic.get(), ifcfg);
-  }
-
-  ukplat::MemRegion mem;
-  std::unique_ptr<ukalloc::Allocator> alloc;
-  std::unique_ptr<uknetdev::VirtioNet> nic;
-  std::unique_ptr<NetStack> stack;
-  NetIf* netif = nullptr;
-};
-
-class TwoHostTest : public ::testing::Test {
- protected:
-  TwoHostTest()
-      : wire_(&clock_),
-        a_(&clock_, &wire_, 0, MakeIp(10, 0, 0, 1)),
-        b_(&clock_, &wire_, 1, MakeIp(10, 0, 0, 2)) {}
-
-  // Pumps both stacks until |pred| holds.
-  bool PumpUntil(const std::function<bool()>& pred, int iters = 2000) {
-    for (int i = 0; i < iters; ++i) {
-      if (pred()) {
-        return true;
-      }
-      a_.stack->Poll();
-      b_.stack->Poll();
-    }
-    return pred();
-  }
-
-  ukplat::Clock clock_;
-  ukplat::Wire wire_;
-  Host a_;
-  Host b_;
-};
+// ---- two hosts over a wire (fixtures: net_harness.h) -------------------------------
 
 TEST_F(TwoHostTest, InterfacesComeUp) {
   ASSERT_NE(a_.netif, nullptr);
@@ -276,6 +235,81 @@ TEST_F(TwoHostTest, BatchedUdpEchoZeroCopy) {
   }
   EXPECT_EQ(client->RecvInto(out, nullptr, nullptr),
             ukarch::Raw(ukarch::Status::kAgain));
+
+  // Steady-state zero-alloc gate (Fig 18 regression): a second, warm echo
+  // round must churn exactly one TX netbuf per reply and one RX ring refill
+  // per datagram on the server — and never touch the guest heap.
+  ZeroAllocGuard server_guard({b_.netif->tx_pool(0), b_.netif->rx_pool(0)},
+                              b_.alloc.get());
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    std::uint8_t msg[8] = {'r', 'o', 'u', 'n', 'd', '2', static_cast<std::uint8_t>(i), 0};
+    ASSERT_EQ(client->SendTo(MakeIp(10, 0, 0, 2), 9000, msg), 8);
+  }
+  ASSERT_TRUE(PumpUntil([&] { return server->queued() >= kBurst; }));
+  const DatagramView* round2[kBurst];
+  ASSERT_EQ(server->PeekBatch(round2, kBurst), kBurst);
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    ASSERT_EQ(server->SendTo(round2[i]->src_ip, round2[i]->src_port,
+                             std::span(round2[i]->data, round2[i]->len)),
+              8);
+  }
+  server->ReleaseFront(kBurst);
+  ASSERT_TRUE(PumpUntil([&] { return client->queued() >= kBurst; }));
+  EXPECT_EQ(server_guard.pool_allocs(0), kBurst);  // one TX buf per reply, exact
+  EXPECT_EQ(server_guard.pool_allocs(1), kBurst);  // one RX refill per datagram
+  server_guard.ExpectHeapSteady("udp echo steady state");
+}
+
+// Steady-state TCP echo: every app byte rides pool netbufs written once; the
+// guest heap is never touched per segment, and once everything is ACKed all
+// retained TX buffers are back in their pools (no leak, no hidden churn).
+TEST_F(TwoHostTest, TcpEchoSteadyStateZeroAlloc) {
+  auto listener = b_.stack->TcpListen(4242);
+  auto client = a_.stack->TcpConnect(MakeIp(10, 0, 0, 2), 4242);
+  ASSERT_TRUE(PumpUntil([&] { return client->connected() && listener->backlog() > 0; }));
+  auto server_sock = listener->Accept();
+
+  std::vector<std::uint8_t> chunk(1024);
+  for (std::size_t i = 0; i < chunk.size(); ++i) {
+    chunk[i] = static_cast<std::uint8_t>(i * 11);
+  }
+  std::uint8_t buf[2048];
+  auto echo_rounds = [&](int rounds) {
+    for (int r = 0; r < rounds; ++r) {
+      ASSERT_EQ(client->Send(chunk), static_cast<std::int64_t>(chunk.size()));
+      std::size_t echoed = 0;
+      ASSERT_TRUE(PumpUntil([&] {
+        std::int64_t n = server_sock->Recv(buf);
+        if (n > 0) {
+          server_sock->Send(std::span(buf, static_cast<std::size_t>(n)));
+        }
+        std::int64_t e = client->Recv(buf);
+        if (e > 0) {
+          echoed += static_cast<std::size_t>(e);
+        }
+        return echoed >= chunk.size();
+      }));
+    }
+  };
+  echo_rounds(4);  // warm-up: ARP resolved, windows open, pools primed
+
+  ZeroAllocGuard client_guard({a_.netif->tx_pool(0)}, a_.alloc.get());
+  ZeroAllocGuard server_guard({b_.netif->tx_pool(0)}, b_.alloc.get());
+  std::uint64_t client_segs_before = client->tcp_stats().segments_sent;
+  echo_rounds(8);
+  // The guest heap saw zero allocations across 8 echoed KB each way.
+  client_guard.ExpectHeapSteady("tcp echo client steady state");
+  server_guard.ExpectHeapSteady("tcp echo server steady state");
+  // TX pool churn tracks segments (data + ACKs), not bytes — and never more.
+  EXPECT_GT(client->tcp_stats().segments_sent, client_segs_before);
+  EXPECT_LE(client_guard.pool_allocs(0),
+            client->tcp_stats().segments_sent - client_segs_before);
+  // Everything ACKed: every retained netbuf is back in its pool.
+  EXPECT_TRUE(PumpUntil([&] {
+    return a_.netif->tx_pool(0)->available() == a_.netif->tx_pool(0)->capacity();
+  }));
+  EXPECT_EQ(b_.netif->tx_pool(0)->available(), b_.netif->tx_pool(0)->capacity());
+  EXPECT_EQ(client->tcp_stats().retransmissions, 0u);  // clean wire: zero re-bursts
 }
 
 TEST_F(TwoHostTest, UdpPortCollisionRejected) {
@@ -391,26 +425,6 @@ TEST_F(TwoHostTest, NoListenerUdpDropCounted) {
   EXPECT_GE(b_.stack->stats().no_socket_drops, 1u);
 }
 
-// Lossy wire: TCP must retransmit and still deliver everything correctly.
-class LossyTest : public ::testing::Test {
- protected:
-  LossyTest() {
-    ukplat::Wire::Config cfg;
-    cfg.drop_rate = 0.02;  // every 50th frame vanishes
-    wire_ = std::make_unique<ukplat::Wire>(&clock_, cfg);
-    a_ = std::make_unique<Host>(&clock_, wire_.get(), 0, MakeIp(10, 0, 0, 1));
-    b_ = std::make_unique<Host>(&clock_, wire_.get(), 1, MakeIp(10, 0, 0, 2));
-    // Short virtual RTO so retransmissions trigger quickly; advance the
-    // virtual clock manually between polls.
-    a_->stack->rto_cycles = 10'000;
-    b_->stack->rto_cycles = 10'000;
-  }
-
-  ukplat::Clock clock_;
-  std::unique_ptr<ukplat::Wire> wire_;
-  std::unique_ptr<Host> a_;
-  std::unique_ptr<Host> b_;
-};
 
 TEST_F(LossyTest, TcpRecoversFromLoss) {
   a_->netif->AddArpEntry(MakeIp(10, 0, 0, 2), b_->nic->mac());
@@ -547,149 +561,7 @@ TEST(WireFormatHardening, ChecksumCarryBoundaries) {
   EXPECT_EQ(InternetChecksum(zero2, 0x1ffff), static_cast<std::uint16_t>(~0x0001));
 }
 
-// ---- raw-frame peer: full control over every segment the host sees -----------------
-
-namespace raw {
-
-void PutU16(std::uint8_t* p, std::uint16_t v) {
-  p[0] = static_cast<std::uint8_t>(v >> 8);
-  p[1] = static_cast<std::uint8_t>(v);
-}
-
-}  // namespace raw
-
-// A hand-rolled endpoint on wire side 1: answers ARP, records every TCP
-// segment the host emits, and injects arbitrary crafted segments. This is
-// how the teardown/loss regression tests control exactly which ACKs the
-// host's TCP state machine observes.
-struct RawPeer {
-  ukplat::Wire* wire;
-  uknetdev::MacAddr mac{{0xde, 0xad, 0, 0, 0, 2}};
-  uknetdev::MacAddr host_mac;
-  Ip4Addr ip = 0;
-  Ip4Addr host_ip = 0;
-
-  struct Seg {
-    TcpHeader hdr;
-    std::vector<std::uint8_t> payload;
-  };
-  std::vector<Seg> segs;   // every TCP segment seen, in arrival order
-  std::uint64_t rsts = 0;  // RSTs among them
-
-  void Poll() {
-    while (auto f = wire->Receive(1)) {
-      std::span<const std::uint8_t> frame(*f);
-      if (frame.size() < kEthHdrBytes) {
-        continue;
-      }
-      EthHeader eth = EthHeader::Parse(frame);
-      auto body = frame.subspan(kEthHdrBytes);
-      if (eth.ethertype == kEthTypeArp) {
-        auto arp = ArpPacket::Parse(body);
-        if (arp.has_value() && arp->oper == 1 && arp->target_ip == ip) {
-          ArpPacket reply;
-          reply.oper = 2;
-          reply.sender_mac = mac;
-          reply.sender_ip = ip;
-          reply.target_mac = arp->sender_mac;
-          reply.target_ip = arp->sender_ip;
-          std::vector<std::uint8_t> out(kEthHdrBytes + kArpBytes);
-          EthHeader oeth{arp->sender_mac, mac, kEthTypeArp};
-          oeth.Serialize(out.data());
-          reply.Serialize(out.data() + kEthHdrBytes);
-          wire->Send(1, std::move(out));
-        }
-        continue;
-      }
-      if (eth.ethertype != kEthTypeIp4) {
-        continue;
-      }
-      auto iph = Ip4Header::Parse(body);
-      if (!iph.has_value() || iph->proto != kIpProtoTcp) {
-        continue;
-      }
-      auto seg = body.subspan(iph->header_len, iph->total_len - iph->header_len);
-      std::size_t hlen = 0;
-      auto tcp = TcpHeader::Parse(seg, iph->src, iph->dst, &hlen);
-      if (!tcp.has_value()) {
-        continue;
-      }
-      if ((tcp->flags & kTcpRst) != 0) {
-        ++rsts;
-      }
-      segs.push_back(Seg{*tcp, {seg.begin() + static_cast<std::ptrdiff_t>(hlen),
-                                seg.end()}});
-    }
-  }
-
-  void SendTcp(std::uint16_t src_port, std::uint16_t dst_port, std::uint8_t flags,
-               std::uint32_t seq, std::uint32_t ack, std::uint16_t window,
-               std::span<const std::uint8_t> payload = {}) {
-    std::vector<std::uint8_t> frame(kEthHdrBytes + kIp4HdrBytes + kTcpHdrBytes +
-                                    payload.size());
-    EthHeader eth{host_mac, mac, kEthTypeIp4};
-    eth.Serialize(frame.data());
-    Ip4Header iph;
-    iph.total_len = static_cast<std::uint16_t>(frame.size() - kEthHdrBytes);
-    iph.proto = kIpProtoTcp;
-    iph.src = ip;
-    iph.dst = host_ip;
-    iph.Serialize(frame.data() + kEthHdrBytes);
-    std::uint8_t* body = frame.data() + kEthHdrBytes + kIp4HdrBytes + kTcpHdrBytes;
-    if (!payload.empty()) {
-      std::memcpy(body, payload.data(), payload.size());
-    }
-    TcpHeader tcp;
-    tcp.src_port = src_port;
-    tcp.dst_port = dst_port;
-    tcp.seq = seq;
-    tcp.ack = ack;
-    tcp.flags = flags;
-    tcp.window = window;
-    tcp.Serialize(frame.data() + kEthHdrBytes + kIp4HdrBytes, ip, host_ip,
-                  std::span<const std::uint8_t>(body, payload.size()));
-    wire->Send(1, std::move(frame));
-  }
-};
-
-class RawPeerTest : public ::testing::Test {
- protected:
-  RawPeerTest() : wire_(&clock_), host_(&clock_, &wire_, 0, MakeIp(10, 0, 0, 1)) {
-    peer_.wire = &wire_;
-    peer_.host_mac = host_.nic->mac();
-    peer_.ip = MakeIp(10, 0, 0, 2);
-    peer_.host_ip = MakeIp(10, 0, 0, 1);
-    host_.netif->AddArpEntry(peer_.ip, peer_.mac);
-  }
-
-  // One round of host poll + peer drain.
-  void Pump(int rounds = 4) {
-    for (int i = 0; i < rounds; ++i) {
-      host_.stack->Poll();
-      peer_.Poll();
-    }
-  }
-
-  // Drives the client-side handshake against the raw peer and returns the
-  // host's ISS (learned from its SYN). The peer uses seq 1000.
-  std::uint32_t Handshake(const std::shared_ptr<TcpSocket>& client,
-                          std::uint16_t peer_port) {
-    Pump();
-    EXPECT_FALSE(peer_.segs.empty());
-    EXPECT_EQ(peer_.segs.back().hdr.flags, kTcpSyn);
-    std::uint32_t iss = peer_.segs.back().hdr.seq;
-    peer_.SendTcp(peer_port, client->local_port(), kTcpSyn | kTcpAck, 1000, iss + 1,
-                  65535);
-    Pump();
-    EXPECT_TRUE(client->connected());
-    return iss;
-  }
-
-  ukplat::Clock clock_;
-  ukplat::Wire wire_;
-  Host host_;
-  RawPeer peer_;
-};
+// ---- raw-frame peer (fixtures: net_harness.h) ---------------------------------------
 
 // Regression for the FIN-in-flight accounting bug: the old deque-based
 // Output() computed |unsent| as send_buf_.size() - in_flight where in_flight
@@ -909,24 +781,7 @@ TEST(TcpLifetime, SocketHandleMayOutliveStack) {
 
 // ---- RX hardening through the interface --------------------------------------------
 
-class RawRxTest : public ::testing::Test {
- protected:
-  RawRxTest() : wire_(&clock_), host_(&clock_, &wire_, 0, MakeIp(10, 0, 0, 1)) {}
-
-  // Wraps |l3| (starting at the IP header) into an Ethernet frame for the host.
-  void InjectIp(std::span<const std::uint8_t> l3) {
-    std::vector<std::uint8_t> frame(kEthHdrBytes + l3.size());
-    EthHeader eth{host_.nic->mac(), uknetdev::MacAddr{{0xde, 0xad, 0, 0, 0, 2}},
-                  kEthTypeIp4};
-    eth.Serialize(frame.data());
-    std::memcpy(frame.data() + kEthHdrBytes, l3.data(), l3.size());
-    wire_.Send(1, std::move(frame));
-  }
-
-  ukplat::Clock clock_;
-  ukplat::Wire wire_;
-  Host host_;
-};
+// RawRxTest (net_harness.h): raw L3 injection through the interface.
 
 // Packets carrying IP options (IHL > 5) must deliver exactly the UDP payload:
 // before the fix the L4 slice started at the fixed 20-byte offset and option
@@ -939,9 +794,9 @@ TEST_F(RawRxTest, IpOptionsDoNotLeakIntoUdpPayload) {
   constexpr std::size_t kIhlBytes = 24;  // IHL=6: one 4-byte options word
   std::vector<std::uint8_t> l3(kIhlBytes + kUdpHdrBytes + sizeof(payload), 0);
   l3[0] = 0x46;  // version 4, IHL 6
-  raw::PutU16(l3.data() + 2, static_cast<std::uint16_t>(l3.size()));
-  raw::PutU16(l3.data() + 4, 7);       // id
-  raw::PutU16(l3.data() + 6, 0x4000);  // DF
+  netharness::PutU16(l3.data() + 2, static_cast<std::uint16_t>(l3.size()));
+  netharness::PutU16(l3.data() + 4, 7);       // id
+  netharness::PutU16(l3.data() + 6, 0x4000);  // DF
   l3[8] = 64;                          // ttl
   l3[9] = kIpProtoUdp;
   std::uint32_t src = MakeIp(10, 0, 0, 2);
@@ -949,7 +804,7 @@ TEST_F(RawRxTest, IpOptionsDoNotLeakIntoUdpPayload) {
   l3[12] = 10; l3[13] = 0; l3[14] = 0; l3[15] = 2;
   l3[16] = 10; l3[17] = 0; l3[18] = 0; l3[19] = 1;
   l3[20] = 0x01; l3[21] = 0x01; l3[22] = 0x01; l3[23] = 0x00;  // NOP NOP NOP EOL
-  raw::PutU16(l3.data() + 10,
+  netharness::PutU16(l3.data() + 10,
               InternetChecksum(std::span<const std::uint8_t>(l3.data(), kIhlBytes)));
   std::memcpy(l3.data() + kIhlBytes + kUdpHdrBytes, payload, sizeof(payload));
   UdpHeader udp;
@@ -1002,9 +857,9 @@ TEST_F(RawRxTest, MalformedPacketsRejectedWithoutStatDrift) {
     ip.src = MakeIp(10, 0, 0, 2);
     ip.dst = MakeIp(10, 0, 0, 1);
     ip.Serialize(l3.data());
-    raw::PutU16(l3.data() + kIp4HdrBytes, 4000);
-    raw::PutU16(l3.data() + kIp4HdrBytes + 2, 5000);
-    raw::PutU16(l3.data() + kIp4HdrBytes + 4, 200);  // lying length
+    netharness::PutU16(l3.data() + kIp4HdrBytes, 4000);
+    netharness::PutU16(l3.data() + kIp4HdrBytes + 2, 5000);
+    netharness::PutU16(l3.data() + kIp4HdrBytes + 4, 200);  // lying length
     InjectIp(l3);
   }
   // 5) Valid IP, truncated TCP header.
