@@ -106,12 +106,15 @@ double RunNetdevMode(apps::KvMode mode, std::uint64_t extra_per_burst,
 
 int main(int argc, char** argv) {
   std::uint16_t queues = 1;
+  bool wait_mode = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--queues") == 0 && i + 1 < argc) {
       int n = std::atoi(argv[i + 1]);
       // Clamp to what the virtio device offers (4 queue pairs), so the row
       // label always matches the datapath that actually ran.
       queues = static_cast<std::uint16_t>(n < 1 ? 1 : (n > 4 ? 4 : n));
+    } else if (std::strcmp(argv[i], "--wait") == 0) {
+      wait_mode = true;
     }
   }
   std::printf("==== Table 4: UDP key-value store throughput (K req/s) ====\n");
@@ -142,6 +145,26 @@ int main(int argc, char** argv) {
                 RunNetdevMode(apps::KvMode::kUkNetdev, 0, 1500, queues));
     std::printf("(one pump loop per queue; per-queue pools, no cross-queue state "
                 "— one core per loop on real SMP)\n");
+  }
+  if (wait_mode) {
+    // The same specialized server under a bursty duty cycle, spin vs blocked
+    // on the RX interrupt (see bench_fig_idle_wakeup for the dedicated study).
+    std::printf("\n---- --wait: interrupt-driven idle, uknetdev mode, %u queue%s ----\n",
+                static_cast<unsigned>(queues), queues == 1 ? "" : "s");
+    std::printf("%-10s %12s %12s %12s %10s\n", "mode", "Kreq/s", "idle polls",
+                "idle cycles", "wakeups");
+    bench::KvWaitRow spin = bench::RunKvScheduled(queues, /*blocking=*/false);
+    bench::KvWaitRow wait = bench::RunKvScheduled(queues, /*blocking=*/true);
+    std::printf("%-10s %12.0f %12llu %12llu %10llu\n", "spin", spin.kreq_s,
+                static_cast<unsigned long long>(spin.idle_pumps),
+                static_cast<unsigned long long>(spin.idle_cycles),
+                static_cast<unsigned long long>(spin.wakeups));
+    std::printf("%-10s %12.0f %12llu %12llu %10llu\n", "wait", wait.kreq_s,
+                static_cast<unsigned long long>(wait.idle_pumps),
+                static_cast<unsigned long long>(wait.idle_cycles),
+                static_cast<unsigned long long>(wait.wakeups));
+    std::printf("(blocking pumps idle >=10x cheaper at matching throughput; one "
+                "wakeup per burst per active queue)\n");
   }
   std::printf("\n(shape criteria: batch > single; uknetdev/dpdk ~10x the socket paths; "
               "unikraft uknetdev matches guest DPDK with one core)\n");

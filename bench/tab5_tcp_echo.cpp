@@ -146,6 +146,107 @@ EchoResult RunEcho(std::size_t total_bytes, double drop_rate, bool model_deque_c
   return res;
 }
 
+// --wait: the same single-connection echo stream, but the server side runs as
+// a blocked uksched thread: NetStack::PollWait arms the RX interrupt and
+// halts between bursts, with its own RTO deadlines folded into the wake
+// timeout. The client half keeps the spin loop (it always has work), so the
+// comparison isolates what blocking does to a busy TCP peer: throughput holds
+// while the server burns poll passes only when woken.
+struct WaitEchoResult {
+  EchoResult echo;
+  uknet::NetStack::WaitStats waits;
+  std::uint64_t idle_halts = 0;
+};
+
+WaitEchoResult RunEchoWait(std::size_t total_bytes) {
+  ukplat::Clock clock;
+  ukplat::Wire::Config wire_cfg;
+  wire_cfg.queue_depth = 4096;
+  ukplat::Wire wire(&clock, wire_cfg);
+  EchoHost a(&clock, &wire, 0, MakeIp(10, 0, 0, 1));
+  EchoHost b(&clock, &wire, 1, MakeIp(10, 0, 0, 2));
+  a.stack->rto_cycles = 20'000'000;
+  b.stack->rto_cycles = 20'000'000;
+  a.netif->AddArpEntry(MakeIp(10, 0, 0, 2), b.nic->mac());
+  b.netif->AddArpEntry(MakeIp(10, 0, 0, 1), a.nic->mac());
+  uksched::CoopScheduler sched(b.alloc.get(), &clock);
+  b.stack->SetScheduler(&sched);
+
+  auto listener = b.stack->TcpListen(7);
+  auto client = a.stack->TcpConnect(MakeIp(10, 0, 0, 2), 7);
+  std::shared_ptr<TcpSocket> server;
+
+  std::vector<std::uint8_t> chunk(8192);
+  for (std::size_t i = 0; i < chunk.size(); ++i) {
+    chunk[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  std::size_t sent = 0;
+  std::size_t echoed_back = 0;
+  bool done = false;
+  std::uint64_t done_cycles = 0;
+  std::uint64_t tx_allocs_before = a.netif->tx_pool()->total_allocs();
+
+  sched.CreateThread("echo-server", [&] {
+    std::uint8_t buf[8192];
+    while (!done) {
+      // Bounded slice only so the loop observes |done|; real wakeups come
+      // from frames (and the connection's RTO when data is in flight).
+      b.stack->PollWait(NetStack::kAllQueues, 50'000'000);
+      if (server == nullptr) {
+        server = listener->Accept();
+      }
+      if (server != nullptr) {
+        std::int64_t r;
+        while ((r = server->Recv(buf)) > 0) {
+          server->Send(std::span(buf, static_cast<std::size_t>(r)));
+        }
+      }
+    }
+  });
+  sched.CreateThread("client", [&] {
+    std::uint8_t buf[8192];
+    bench::RealTimer timer;
+    for (int rounds = 0; rounds < 4'000'000 && echoed_back < total_bytes; ++rounds) {
+      clock.Charge(5'000);
+      if (client->connected() && sent < total_bytes) {
+        std::size_t want = total_bytes - sent;
+        std::int64_t n = client->Send(
+            std::span(chunk.data(), want < chunk.size() ? want : chunk.size()));
+        if (n > 0) {
+          sent += static_cast<std::size_t>(n);
+        }
+      }
+      a.stack->Poll();
+      std::int64_t e = client->Recv(buf);
+      if (e > 0) {
+        echoed_back += static_cast<std::size_t>(e);
+      }
+      sched.Yield();  // hand the CPU to the (probably woken) server thread
+    }
+    clock.Charge(
+        clock.model().NsToCycles(timer.ElapsedNs() * bench::kSimNormalization));
+    // Snapshot the ledger BEFORE releasing the server: its final slice
+    // timeout (the clock jump that lets it observe |done|) is shutdown
+    // bookkeeping, not part of the measured stream.
+    done_cycles = clock.cycles();
+    done = true;
+  });
+  sched.Run();
+
+  WaitEchoResult res;
+  res.echo.bytes = echoed_back;
+  double seconds = clock.model().CyclesToNs(done_cycles) / 1e9;
+  res.echo.mbit_per_s =
+      seconds > 0 ? 2.0 * static_cast<double>(echoed_back) * 8.0 / seconds / 1e6 : 0.0;
+  res.echo.retransmissions =
+      client->tcp_stats().retransmissions +
+      (server != nullptr ? server->tcp_stats().retransmissions : 0);
+  res.echo.tx_allocs = a.netif->tx_pool()->total_allocs() - tx_allocs_before;
+  res.waits = b.stack->wait_stats();
+  res.idle_halts = sched.stats().idle_advances;
+  return res;
+}
+
 // --queues N: |conns| concurrent echo connections over an N-queue datapath.
 // Each connection pins to its RSS queue; the server drives one NetIf::Poll(q)
 // loop per queue (round-robined by this single thread — one core per loop on
@@ -256,13 +357,39 @@ ShardedResult RunEchoSharded(std::size_t total_bytes_per_conn, std::uint16_t que
 
 int main(int argc, char** argv) {
   std::uint16_t queues = 0;
+  bool wait_mode = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--queues") == 0 && i + 1 < argc) {
       int n = std::atoi(argv[i + 1]);
       // Clamp to the device's 4 queue pairs so the row label matches the
       // datapath that ran (and the per-queue share array stays in bounds).
       queues = static_cast<std::uint16_t>(n < 0 ? 0 : (n > 4 ? 4 : n));
+    } else if (std::strcmp(argv[i], "--wait") == 0) {
+      wait_mode = true;
     }
+  }
+  if (wait_mode) {
+    bench::PrintHeader("Tab 5 (--wait): TCP echo, spin server vs blocking PollWait");
+    constexpr std::size_t kWaitStream = 2 << 20;  // 2 MB each way
+    EchoResult spin = RunEcho(kWaitStream, 0.0, /*model_deque_copy=*/false);
+    WaitEchoResult wait = RunEchoWait(kWaitStream);
+    std::printf("%-14s %14s %14s %12s %12s %12s\n", "server loop", "Mbit/s",
+                "retransmits", "idle polls", "frame wakes", "timer wakes");
+    std::printf("%-14s %14.1f %14llu %12s %12s %12s\n", "spin", spin.mbit_per_s,
+                static_cast<unsigned long long>(spin.retransmissions), "-", "-", "-");
+    std::printf("%-14s %14.1f %14llu %12llu %12llu %12llu\n", "blocking",
+                wait.echo.mbit_per_s,
+                static_cast<unsigned long long>(wait.echo.retransmissions),
+                static_cast<unsigned long long>(wait.waits.poll_iterations),
+                static_cast<unsigned long long>(wait.waits.frame_wakeups),
+                static_cast<unsigned long long>(wait.waits.timer_wakeups));
+    std::printf("(shape criteria: blocking within a few %% of spin — one frame "
+                "wake per client round (storm avoidance) amortizes the context "
+                "switch across a whole window of segments, and RTO deadlines "
+                "ride the wake timeout instead of a polled timer check. Spin "
+                "keeps a small edge under saturation, which is why polling "
+                "stays the §3.1 default; bench_fig_idle_wakeup shows the bursty "
+                "duty cycle where blocking also wins >=10x on idle cycles)\n\n");
   }
   if (queues > 1) {
     bench::PrintHeader("Tab 5 (--queues): TCP echo, RSS-sharded connections");

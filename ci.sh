@@ -6,13 +6,44 @@
 # sanitizer leg runs with UKRAFT_QUEUES=2 so every TestBed-based test (posix,
 # apps, integration) exercises the RSS-sharded multi-queue datapath — queue
 # steering, per-queue pools and the demux sharding get ASan/UBSan coverage on
-# every push, not just the dedicated multi-queue suite.
+# every push, not just the dedicated multi-queue suite. The leg finishes with
+# a blocking-mode bench pass (--wait: uksched wait queues + RX interrupt
+# arming over 2 queues) so the wakeup path gets sanitizer coverage too.
+# Markdown hygiene: every relative link in every *.md must resolve.
 # Usage: ./ci.sh [build-dir]   (default: build-ci; sanitizer leg appends -asan)
 set -euo pipefail
 
 BUILD_DIR="${1:-build-ci}"
 ASAN_BUILD_DIR="${BUILD_DIR}-asan"
 JOBS="$(nproc 2>/dev/null || echo 4)"
+
+# ---- markdown link check ----------------------------------------------------
+# Relative link targets in [text](target) must exist on disk (http(s)/mailto
+# and pure-anchor links are skipped; "#section" suffixes are stripped).
+check_md_links() {
+  local fail=0 md dir link target
+  while IFS= read -r md; do
+    dir="$(dirname "$md")"
+    while IFS= read -r link; do
+      [[ -z "$link" ]] && continue
+      # Legal markdown variants: strip an optional quoted title suffix and
+      # <angle brackets> around the target before testing existence.
+      link="$(printf '%s' "$link" | sed -E 's/[[:space:]]+"[^"]*"[[:space:]]*$//; s/^<(.*)>$/\1/')"
+      case "$link" in
+        http://*|https://*|mailto:*|\#*) continue ;;
+      esac
+      target="${link%%#*}"
+      [[ -z "$target" ]] && continue
+      if [[ ! -e "$dir/$target" ]]; then
+        echo "ci: broken markdown link in $md -> $link" >&2
+        fail=1
+      fi
+    done < <(grep -oE '\]\([^)]+\)' "$md" 2>/dev/null | sed -E 's/^\]\(//; s/\)$//' || true)
+  done < <(find . -name '*.md' -not -path './build*' -not -path './.git/*')
+  return "$fail"
+}
+check_md_links
+echo "ci: markdown links OK"
 
 cmake -B "$BUILD_DIR" -S . -DUKRAFT_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$JOBS"
@@ -23,4 +54,9 @@ cmake --build "$ASAN_BUILD_DIR" -j "$JOBS"
 UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=0" UKRAFT_QUEUES=2 \
   ctest --test-dir "$ASAN_BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "ci: OK (src/ built with -Wall -Wextra -Werror; tests passed plain and under ASan+UBSan with UKRAFT_QUEUES=2)"
+# Blocking-mode bench leg: wait queues, interrupt arming and the scheduler's
+# idle clock jumps under ASan+UBSan, sharded across 2 queues.
+UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=0" UKRAFT_QUEUES=2 \
+  "$ASAN_BUILD_DIR"/bench_fig_idle_wakeup --wait --queues 2 --rounds 40
+
+echo "ci: OK (src/ built with -Wall -Wextra -Werror; markdown links checked; tests passed plain and under ASan+UBSan with UKRAFT_QUEUES=2, incl. the blocking --wait leg)"

@@ -69,11 +69,86 @@ bool KvServer::Start() {
     }
     uknetdev::RxQueueConf rxc;
     rxc.buffer_pool = rx_pools_[q].get();
+    if (sched_ != nullptr) {
+      // EnableWait was called: each queue gets a private wait queue and the
+      // driver's interrupt fire wakes exactly that queue's pump loop.
+      rx_waits_.push_back(std::make_unique<uksched::WaitQueue>(sched_));
+      rxc.intr_handler = [this](std::uint16_t rxq) {
+        ++wait_stats_.intr_fires;
+        if (rxq < rx_waits_.size() && rx_waits_[rxq] != nullptr) {
+          rx_waits_[rxq]->Wake();
+        }
+      };
+    }
     if (!Ok(dev_->RxQueueSetup(q, rxc))) {
       return false;
     }
   }
   return Ok(dev_->Start());
+}
+
+void KvServer::EnableWait(uksched::Scheduler* sched) {
+  sched_ = sched;
+  // Socket modes sleep inside NetStack::PollWait, which only blocks once the
+  // stack itself knows the scheduler — attach it here so PumpQueueWait does
+  // not silently degrade to a spin.
+  if (api_ != nullptr && api_->net() != nullptr) {
+    api_->net()->SetScheduler(sched);
+  }
+}
+
+std::size_t KvServer::PumpQueueWait(std::uint16_t queue,
+                                    std::uint64_t timeout_cycles) {
+  std::size_t handled = PumpQueue(queue);
+  if (handled > 0) {
+    return handled;
+  }
+  ++wait_stats_.empty_pumps;
+  if (sched_ == nullptr || sched_->current() == nullptr) {
+    return handled;  // no scheduler: stay a plain (spinning) pump
+  }
+  if (mode_ == KvMode::kSocketSingle || mode_ == KvMode::kSocketBatch) {
+    // Socket paths ride the stack's wait machinery (RTO deadlines included);
+    // PollWait takes the relative timeout directly.
+    ++wait_stats_.blocked_waits;
+    api_->net()->PollWait(uknet::NetStack::kAllQueues, timeout_cycles);
+    handled = PumpQueue(queue);
+    if (handled == 0) {
+      ++wait_stats_.timeouts;
+    }
+    return handled;
+  }
+  if (queue >= rx_waits_.size() || rx_waits_[queue] == nullptr) {
+    return handled;
+  }
+  const std::uint64_t now = sched_->clock()->cycles();
+  const std::uint64_t deadline = timeout_cycles >= kNoWaitDeadline - now
+                                     ? kNoWaitDeadline
+                                     : now + timeout_cycles;
+  for (;;) {
+    // Arm-then-check: the line goes live before the verifying pump, so a
+    // request that lands in between either shows up here or fires the
+    // interrupt we are about to sleep on.
+    dev_->RxIntrEnable(queue);
+    handled = PumpQueue(queue);
+    if (handled > 0) {
+      break;
+    }
+    ++wait_stats_.empty_pumps;
+    ++wait_stats_.blocked_waits;
+    const bool woken = rx_waits_[queue]->WaitTimeout(deadline);
+    handled = PumpQueue(queue);
+    if (!woken) {
+      ++wait_stats_.timeouts;
+      break;
+    }
+    if (handled > 0) {
+      break;
+    }
+    // Spurious wake (burst landed on a sibling consumer): sleep again.
+  }
+  dev_->RxIntrDisable(queue);
+  return handled;
 }
 
 std::size_t KvServer::HandleInto(std::span<const std::uint8_t> payload,

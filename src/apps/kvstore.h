@@ -19,6 +19,7 @@
 #include "posix/api.h"
 #include "uknet/wire_format.h"
 #include "uknetdev/netdev.h"
+#include "uksched/scheduler.h"
 
 namespace apps {
 
@@ -50,6 +51,28 @@ class KvServer {
   // One pump of a single queue: the per-queue event-loop body. Touches only
   // |queue|'s rings and pools (netdev modes).
   std::size_t PumpQueue(std::uint16_t queue);
+
+  // ---- interrupt-driven pump ----------------------------------------------
+  // Opts the server into blocking pumps. Must be called BEFORE Start() for
+  // the netdev modes: queue setup registers the per-queue wakeup handlers.
+  // |sched| is the scheduler whose current thread PumpQueueWait parks.
+  void EnableWait(uksched::Scheduler* sched);
+  // Blocking per-queue pump: drains like PumpQueue; when the queue is idle it
+  // arms the RX interrupt, re-checks (arm-then-check, see uknetdev/netdev.h),
+  // and blocks until a frame or |timeout_cycles| (relative; kNoWaitDeadline =
+  // no timeout). Socket modes delegate the sleep to NetStack::PollWait.
+  // Without EnableWait (or off a scheduler thread) this is PumpQueue.
+  std::size_t PumpQueueWait(std::uint16_t queue,
+                            std::uint64_t timeout_cycles = kNoWaitDeadline);
+  static constexpr std::uint64_t kNoWaitDeadline = uksched::Scheduler::kNoDeadline;
+
+  struct WaitStats {
+    std::uint64_t empty_pumps = 0;    // pump passes that found no request
+    std::uint64_t blocked_waits = 0;  // times a pump loop actually slept
+    std::uint64_t intr_fires = 0;     // RX interrupt handler invocations
+    std::uint64_t timeouts = 0;       // waits ended by the caller's deadline
+  };
+  const WaitStats& wait_stats() const { return wait_stats_; }
 
   std::uint64_t requests() const { return requests_; }
   std::uint64_t queue_requests(std::uint16_t queue) const {
@@ -92,6 +115,10 @@ class KvServer {
   std::uint64_t requests_ = 0;
   std::vector<std::uint64_t> queue_requests_;
   std::uint16_t ip_id_ = 1;
+
+  uksched::Scheduler* sched_ = nullptr;
+  std::vector<std::unique_ptr<uksched::WaitQueue>> rx_waits_;  // netdev modes
+  WaitStats wait_stats_;
 
   static constexpr int kBatch = 32;
 };

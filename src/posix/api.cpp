@@ -23,6 +23,26 @@ PosixApi::PosixApi(ukplat::Clock* clock, vfscore::Vfs* vfs, uknet::NetStack* net
   RegisterHandlers();
 }
 
+int PosixApi::SetBlocking(int fd, bool blocking) {
+  if (!fdtab_.InUse(fd)) {
+    return static_cast<int>(Err(ukarch::Status::kBadF));
+  }
+  if (blocking_.size() < fdtab_.capacity()) {
+    blocking_.resize(fdtab_.capacity(), 0);
+  }
+  blocking_[static_cast<std::size_t>(fd)] = blocking ? 1 : 0;
+  return 0;
+}
+
+bool PosixApi::IsBlocking(int fd) const {
+  return fd >= 0 && static_cast<std::size_t>(fd) < blocking_.size() &&
+         blocking_[static_cast<std::size_t>(fd)] != 0;
+}
+
+bool PosixApi::ShouldBlock(int fd) const {
+  return IsBlocking(fd) && net_ != nullptr && net_->CanBlock();
+}
+
 void PosixApi::RegisterHandlers() {
   // ---- file handlers ----
   shim_.Register(SyscallNumber("open"), [this](const SyscallArgs& a) -> std::int64_t {
@@ -72,7 +92,11 @@ void PosixApi::RegisterHandlers() {
     return file->Seek(static_cast<std::int64_t>(a.a1), whence);
   });
   shim_.Register(SyscallNumber("close"), [this](const SyscallArgs& a) -> std::int64_t {
-    return Err(fdtab_.Close(static_cast<int>(a.a0)));
+    const int fd = static_cast<int>(a.a0);
+    if (fd >= 0 && static_cast<std::size_t>(fd) < blocking_.size()) {
+      blocking_[static_cast<std::size_t>(fd)] = 0;  // flags never survive reuse
+    }
+    return Err(fdtab_.Close(fd));
   });
   shim_.Register(SyscallNumber("stat"), [this](const SyscallArgs& a) -> std::int64_t {
     auto* path = AsPtr<const char>(a.a0);
@@ -134,12 +158,17 @@ void PosixApi::RegisterHandlers() {
     return 0;
   });
   shim_.Register(SyscallNumber("accept"), [this](const SyscallArgs& a) -> std::int64_t {
-    auto listener = fdtab_.Get<uknet::TcpListener>(static_cast<int>(a.a0));
+    const int fd = static_cast<int>(a.a0);
+    auto listener = fdtab_.Get<uknet::TcpListener>(fd);
     if (listener == nullptr) {
       return Err(ukarch::Status::kBadF);
     }
     net_->Poll();
     auto conn = listener->Accept();
+    while (conn == nullptr && ShouldBlock(fd)) {
+      net_->PollWait();  // sleep until a frame (the SYN/ACK path) or a timer
+      conn = listener->Accept();
+    }
     if (conn == nullptr) {
       return Err(ukarch::Status::kAgain);
     }
@@ -169,16 +198,23 @@ void PosixApi::RegisterHandlers() {
                        std::span(AsPtr<const std::uint8_t>(a.a1), a.a2));
   });
   shim_.Register(SyscallNumber("recvfrom"), [this](const SyscallArgs& a) -> std::int64_t {
-    auto udp = fdtab_.Get<uknet::UdpSocket>(static_cast<int>(a.a0));
+    const int fd = static_cast<int>(a.a0);
+    auto udp = fdtab_.Get<uknet::UdpSocket>(fd);
     if (udp == nullptr) {
       return Err(ukarch::Status::kBadF);
     }
     net_->Poll();
     // Zero-allocation receive: the payload is copied once, straight from the
     // driver netbuf into the caller's buffer (the syscall-boundary copy).
-    return udp->RecvInto(std::span(AsPtr<std::uint8_t>(a.a1), a.a2),
-                         a.a4 != 0 ? AsPtr<uknet::Ip4Addr>(a.a4) : nullptr,
-                         a.a5 != 0 ? AsPtr<std::uint16_t>(a.a5) : nullptr);
+    for (;;) {
+      std::int64_t n = udp->RecvInto(std::span(AsPtr<std::uint8_t>(a.a1), a.a2),
+                                     a.a4 != 0 ? AsPtr<uknet::Ip4Addr>(a.a4) : nullptr,
+                                     a.a5 != 0 ? AsPtr<std::uint16_t>(a.a5) : nullptr);
+      if (n != Err(ukarch::Status::kAgain) || !ShouldBlock(fd)) {
+        return n;
+      }
+      net_->PollWait();  // blocking mode: halt until a datagram wakes us
+    }
   });
   shim_.Register(SyscallNumber("sendmmsg"), [this](const SyscallArgs& a) -> std::int64_t {
     auto udp = fdtab_.Get<uknet::UdpSocket>(static_cast<int>(a.a0));
@@ -199,13 +235,18 @@ void PosixApi::RegisterHandlers() {
     return sent;
   });
   shim_.Register(SyscallNumber("recvmmsg"), [this](const SyscallArgs& a) -> std::int64_t {
-    auto udp = fdtab_.Get<uknet::UdpSocket>(static_cast<int>(a.a0));
+    const int fd = static_cast<int>(a.a0);
+    auto udp = fdtab_.Get<uknet::UdpSocket>(fd);
     if (udp == nullptr) {
       return Err(ukarch::Status::kBadF);
     }
     net_->Poll();
     // Batched receive: one stack poll for the whole batch, then each datagram
-    // copied once from its netbuf into the caller's scatter array.
+    // copied once from its netbuf into the caller's scatter array. Blocking
+    // mode sleeps until at least one datagram is in, then takes the batch.
+    while (!udp->readable() && ShouldBlock(fd)) {
+      net_->PollWait();
+    }
     auto* msgs = AsPtr<MmsgRecv>(a.a1);
     std::int64_t got = 0;
     for (std::uint64_t i = 0; i < a.a2; ++i) {
@@ -235,12 +276,21 @@ void PosixApi::RegisterHandlers() {
     return n;
   };
   auto tcp_recv = [this](const SyscallArgs& a) -> std::int64_t {
-    auto tcp = fdtab_.Get<uknet::TcpSocket>(static_cast<int>(a.a0));
+    const int fd = static_cast<int>(a.a0);
+    auto tcp = fdtab_.Get<uknet::TcpSocket>(fd);
     if (tcp == nullptr) {
       return Err(ukarch::Status::kBadF);
     }
     net_->Poll();
-    return tcp->Recv(std::span(AsPtr<std::uint8_t>(a.a1), a.a2));
+    for (;;) {
+      std::int64_t n = tcp->Recv(std::span(AsPtr<std::uint8_t>(a.a1), a.a2));
+      if (n != Err(ukarch::Status::kAgain) || !ShouldBlock(fd)) {
+        return n;  // data, FIN (0) and errors all end a blocking recv
+      }
+      // PollWait's deadline folds in this connection's RTO, so a blocked
+      // reader still drives its own retransmissions.
+      net_->PollWait();
+    }
   };
   shim_.Register(SyscallNumber("sendmsg"), tcp_send);
   shim_.Register(SyscallNumber("recvmsg"), tcp_recv);

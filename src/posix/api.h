@@ -9,12 +9,18 @@
 //
 // Non-blocking by design: unikernel applications in the paper run
 // run-to-completion event loops; -EAGAIN means "pump the stack and retry".
+// Sockets can opt into blocking (SetBlocking, the inverse of O_NONBLOCK):
+// recv*/accept on a blocking fd park the calling uksched::Thread in
+// NetStack::PollWait — the interrupt-driven idle path — instead of returning
+// -EAGAIN, provided the stack has a scheduler attached and the call runs on
+// a scheduler thread (otherwise the flag is ignored and -EAGAIN comes back).
 #ifndef POSIX_API_H_
 #define POSIX_API_H_
 
 #include <memory>
 #include <span>
 #include <string_view>
+#include <vector>
 
 #include "posix/fdtab.h"
 #include "posix/shim.h"
@@ -72,6 +78,13 @@ class PosixApi {
                         std::span<const MmsgVec> msgs);
   std::int64_t RecvMmsg(int fd, std::span<MmsgRecv> msgs);
 
+  // Marks |fd| blocking/non-blocking (default: non-blocking). On a blocking
+  // fd, Recv/RecvFrom/RecvMmsg/Accept sleep in NetStack::PollWait until data
+  // (or a connection) arrives or a TCP timer needs service, then retry.
+  // Returns 0 or -EBADF. The flag clears on Close.
+  int SetBlocking(int fd, bool blocking);
+  bool IsBlocking(int fd) const;
+
   // ---- misc ----
   std::int64_t GetPid() { return shim_.Call(SyscallNumber("getpid")); }
   std::int64_t RawSyscall(int nr, const SyscallArgs& args = SyscallArgs{}) {
@@ -84,11 +97,14 @@ class PosixApi {
 
  private:
   void RegisterHandlers();
+  // True when the blocking loop may actually sleep for |fd|.
+  bool ShouldBlock(int fd) const;
 
   SyscallShim shim_;
   FdTable fdtab_;
   vfscore::Vfs* vfs_;
   uknet::NetStack* net_;
+  std::vector<std::uint8_t> blocking_;  // per-fd blocking flag (index = fd)
 };
 
 }  // namespace posix

@@ -57,6 +57,7 @@ ukarch::Status NetIf::Init() {
   if (!Ok(st)) {
     return st;
   }
+  rx_wakeups_.assign(nb_queues_, 0);
   for (std::uint16_t q = 0; q < nb_queues_; ++q) {
     st = dev_->TxQueueSetup(q, uknetdev::TxQueueConf{});
     if (!Ok(st)) {
@@ -64,12 +65,35 @@ ukarch::Status NetIf::Init() {
     }
     uknetdev::RxQueueConf rxc;
     rxc.buffer_pool = rx_pools_[q].get();
+    // Wakeup hook: inert until a PollWait arms the line (RxIntrEnable).
+    rxc.intr_handler = [this](std::uint16_t rxq) { OnRxInterrupt(rxq); };
     st = dev_->RxQueueSetup(q, rxc);
     if (!Ok(st)) {
       return st;
     }
   }
   return dev_->Start();
+}
+
+// ---- interrupt-driven idle ---------------------------------------------------------
+
+void NetIf::ArmRx(std::uint16_t queue) {
+  if (queue < nb_queues_) {
+    dev_->RxIntrEnable(queue);
+  }
+}
+
+void NetIf::DisarmRx(std::uint16_t queue) {
+  if (queue < nb_queues_) {
+    dev_->RxIntrDisable(queue);
+  }
+}
+
+void NetIf::OnRxInterrupt(std::uint16_t queue) {
+  if (queue < rx_wakeups_.size()) {
+    ++rx_wakeups_[queue];
+  }
+  stack_->WakeRxWaiters(queue);
 }
 
 std::uint16_t NetIf::TxQueueFor(Ip4Addr remote_ip, std::uint16_t local_port,

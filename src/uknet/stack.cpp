@@ -1,5 +1,6 @@
 #include "uknet/stack.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "ukarch/hash.h"
@@ -185,6 +186,7 @@ NetIf* NetStack::AddInterface(uknetdev::NetDev* dev, NetIf::Config config) {
     return nullptr;
   }
   netifs_.push_back(std::move(netif));
+  EnsureWaitQueues();
   return netifs_.back().get();
 }
 
@@ -265,6 +267,10 @@ void NetStack::Poll() {
   for (auto& netif : netifs_) {
     netif->Poll();
   }
+  RunTcpTimers();
+}
+
+void NetStack::RunTcpTimers() {
   // Timers, plus TIME_WAIT reaping: a connection lingers registered for a
   // 2MSL-equivalent number of poll cycles so retransmitted FINs are re-ACKed
   // instead of RST; afterwards the key is reclaimed.
@@ -280,6 +286,137 @@ void NetStack::Poll() {
       ++it;
     }
   }
+}
+
+// ---- interrupt-driven idle ---------------------------------------------------------
+
+void NetStack::SetScheduler(uksched::Scheduler* sched) {
+  sched_ = sched;
+  EnsureWaitQueues();
+}
+
+void NetStack::EnsureWaitQueues() {
+  if (sched_ == nullptr) {
+    return;
+  }
+  std::uint16_t max_queues = 1;
+  for (const auto& netif : netifs_) {
+    max_queues = std::max(max_queues, netif->queue_count());
+  }
+  while (rx_waits_.size() < max_queues) {
+    rx_waits_.push_back(std::make_unique<uksched::WaitQueue>(sched_));
+  }
+  if (rx_arm_counts_.size() < rx_waits_.size()) {
+    rx_arm_counts_.resize(rx_waits_.size(), 0);
+  }
+  if (any_wait_ == nullptr) {
+    any_wait_ = std::make_unique<uksched::WaitQueue>(sched_);
+  }
+}
+
+void NetStack::WakeRxWaiters(std::uint16_t queue) {
+  if (queue < rx_waits_.size() && rx_waits_[queue] != nullptr) {
+    rx_waits_[queue]->Wake();
+  }
+  if (any_wait_ != nullptr) {
+    any_wait_->Wake();
+  }
+}
+
+std::uint64_t NetStack::NextTimerDeadline() const {
+  std::uint64_t earliest = kNoDeadline;
+  for (const auto& [key, conn] : tcp_conns_) {
+    std::uint64_t d = kNoDeadline;
+    if (SeqLt(conn->snd_una_, conn->snd_nxt_)) {
+      d = conn->last_send_cycles_ + rto_cycles;  // RTO of in-flight data
+    } else if (conn->state() == TcpState::kTimeWait) {
+      // TIME_WAIT reaping counts poll passes, not cycles; bound the sleep so
+      // a blocking loop still retires the connection in finite virtual time.
+      d = clock_->cycles() + rto_cycles;
+    }
+    earliest = std::min(earliest, d);
+  }
+  return earliest;
+}
+
+std::size_t NetStack::PollWait(std::uint16_t queue, std::uint64_t timeout_cycles) {
+  const bool all = queue == kAllQueues;
+  auto drain = [&]() -> std::size_t {
+    ++wait_stats_.poll_iterations;
+    std::size_t n = 0;
+    for (auto& netif : netifs_) {
+      n += all ? netif->Poll() : netif->Poll(queue);
+    }
+    RunTcpTimers();
+    return n;
+  };
+  auto for_each_queue = [&](auto&& fn) {
+    const std::uint16_t lo = all ? 0 : queue;
+    const std::uint16_t hi =
+        all ? static_cast<std::uint16_t>(rx_arm_counts_.size())
+            : static_cast<std::uint16_t>(queue + 1);
+    for (std::uint16_t q = lo; q < hi; ++q) {
+      fn(q);
+    }
+  };
+  auto arm = [&] {
+    for (auto& netif : netifs_) {
+      for_each_queue([&](std::uint16_t q) { netif->ArmRx(q); });
+    }
+  };
+
+  std::size_t handled = drain();
+  if (handled > 0 || !CanBlock()) {
+    return handled;  // degrades to one Poll-equivalent pass
+  }
+  uksched::WaitQueue* wq = all ? any_wait_.get()
+                               : (queue < rx_waits_.size() ? rx_waits_[queue].get()
+                                                           : nullptr);
+  if (wq == nullptr) {
+    return handled;
+  }
+  // This sleeper holds the affected lines armed for the whole blocking phase;
+  // the matching release on return only disarms lines nobody else holds.
+  for_each_queue([&](std::uint16_t q) { ++rx_arm_counts_[q]; });
+  const std::uint64_t now = clock_->cycles();
+  const std::uint64_t caller_deadline =
+      timeout_cycles >= kNoDeadline - now ? kNoDeadline : now + timeout_cycles;
+  for (;;) {
+    // Arm-THEN-check: the interrupt line goes live before the verifying
+    // drain, so a frame arriving in between either lands in this drain or
+    // fires the armed line — it can never be missed (netdev.h rule 3).
+    arm();
+    handled = drain();
+    if (handled > 0) {
+      break;
+    }
+    const std::uint64_t deadline = std::min(caller_deadline, NextTimerDeadline());
+    ++wait_stats_.blocked_waits;
+    const bool woken = wq->WaitTimeout(deadline);
+    if (woken) {
+      ++wait_stats_.frame_wakeups;
+      handled = drain();  // this RxBurst also re-arms drained lines
+      if (handled > 0) {
+        break;
+      }
+      // Spurious (another loop drained the frames first): sleep again.
+    } else {
+      ++wait_stats_.timer_wakeups;
+      handled = drain();  // run the due timer work (RTO retransmit, 2MSL)
+      break;  // a deadline fired: hand control back to the caller
+    }
+  }
+  // Interrupts are live only while someone sleeps: disarm each line this
+  // caller held once its count drops to zero. A still-blocked sibling
+  // (per-queue waiter vs a kAllQueues waiter) keeps its line armed.
+  for_each_queue([&](std::uint16_t q) {
+    if (rx_arm_counts_[q] > 0 && --rx_arm_counts_[q] == 0) {
+      for (auto& netif : netifs_) {
+        netif->DisarmRx(q);
+      }
+    }
+  });
+  return handled;
 }
 
 bool NetStack::PollUntil(const std::function<bool()>& pred, int max_iters) {

@@ -26,6 +26,7 @@
 #include "uknetdev/netdev.h"
 #include "ukplat/clock.h"
 #include "ukplat/memregion.h"
+#include "uksched/scheduler.h"
 
 namespace uknet {
 
@@ -78,6 +79,18 @@ class NetIf {
   // loops pump disjoint queues through this entry point; each loop touches
   // only its queue's rings and pools.
   std::size_t Poll(std::uint16_t queue);
+
+  // ---- interrupt-driven idle ----------------------------------------------
+  // Per-queue wait plumbing used by NetStack::PollWait: Arm/Disarm toggle the
+  // device's RX interrupt line (out-of-range queues are ignored — a stack may
+  // hold interfaces with different queue counts), and the interrupt handler
+  // registered at Init wakes the stack's per-queue waiters. rx_wakeups(q)
+  // counts handler fires: with storm avoidance it stays O(1) per burst.
+  void ArmRx(std::uint16_t queue);
+  void DisarmRx(std::uint16_t queue);
+  std::uint64_t rx_wakeups(std::uint16_t queue = 0) const {
+    return queue < rx_wakeups_.size() ? rx_wakeups_[queue] : 0;
+  }
 
   // ---- zero-copy TX --------------------------------------------------------
   // The TX convention: a protocol layer allocates a netbuf whose headroom
@@ -149,6 +162,9 @@ class NetIf {
   bool HandleIp(std::uint16_t queue, uknetdev::NetBuf* nb,
                 std::span<const std::uint8_t> body);
   void SendArpRequest(Ip4Addr target, std::uint16_t queue);
+  // RX interrupt handler (installed as the device's RxQueueConf::intr_handler
+  // at Init): counts the fire and wakes the stack's waiters for |queue|.
+  void OnRxInterrupt(std::uint16_t queue);
   Ip4Addr NextHop(Ip4Addr dst) const {
     return RouteMatches(dst) || config_.gateway == 0 ? dst : config_.gateway;
   }
@@ -174,6 +190,7 @@ class NetIf {
   std::map<Ip4Addr, std::vector<PendingTx>> arp_pending_;
   IfStats if_stats_;
   std::uint16_t ip_id_ = 1;
+  std::vector<std::uint64_t> rx_wakeups_;  // interrupt fires, per queue
 };
 
 // ---- UDP -----------------------------------------------------------------------
@@ -429,6 +446,44 @@ class NetStack {
   // Test helper: polls until |pred| or |max_iters| rounds.
   bool PollUntil(const std::function<bool()>& pred, int max_iters = 10000);
 
+  // ---- interrupt-driven idle (§3.3 scheduler integration) -----------------
+  // Sentinels: PollWait(kAllQueues) waits for traffic on any queue of any
+  // interface; kNoDeadline means no caller-imposed timeout.
+  static constexpr std::uint16_t kAllQueues = 0xffff;
+  static constexpr std::uint64_t kNoDeadline = ~0ull;
+
+  // Attaches the scheduler whose threads may block in PollWait. Must be set
+  // (and the caller must be on a scheduler thread) for PollWait to actually
+  // block; otherwise PollWait degrades to one Poll-equivalent pass.
+  void SetScheduler(uksched::Scheduler* sched);
+  uksched::Scheduler* scheduler() const { return sched_; }
+  bool CanBlock() const {
+    return sched_ != nullptr && sched_->current() != nullptr;
+  }
+
+  // Blocking pump: drains |queue| (or every queue) plus TCP timers; if that
+  // finds nothing, arms the RX interrupts, drains once more to close the
+  // arm/arrival race, and blocks the calling uksched::Thread on the per-queue
+  // WaitQueue until a frame interrupt or a deadline — the earliest of the
+  // caller's |timeout_cycles| (relative) and the next TCP timer (RTO of any
+  // connection with data in flight, TIME_WAIT reaping) — wakes it. Returns
+  // the number of frames handled; 0 after a deadline wake (whose timer pass,
+  // e.g. an RTO retransmission, has already run). Interrupts are disarmed on
+  // return: they are live only while a PollWait sleeps.
+  std::size_t PollWait(std::uint16_t queue = kAllQueues,
+                       std::uint64_t timeout_cycles = kNoDeadline);
+  // Earliest absolute cycle at which a TCP timer needs service, or
+  // kNoDeadline when no connection is waiting on time.
+  std::uint64_t NextTimerDeadline() const;
+
+  struct WaitStats {
+    std::uint64_t poll_iterations = 0;  // drain passes PollWait executed
+    std::uint64_t blocked_waits = 0;    // times a caller actually slept
+    std::uint64_t frame_wakeups = 0;    // woken by an RX interrupt
+    std::uint64_t timer_wakeups = 0;    // woken by RTO/timeout deadline
+  };
+  const WaitStats& wait_stats() const { return wait_stats_; }
+
   ukplat::Clock* clock() { return clock_; }
   ukplat::MemRegion* mem() { return mem_; }
 
@@ -484,6 +539,14 @@ class NetStack {
   // Called by TcpSocket state transitions.
   void NotifyAccepted(TcpSocket* sock);
   void RemoveConnection(TcpSocket* sock);
+  // TCP timer pass (RTO checks + TIME_WAIT reaping), shared by Poll and the
+  // PollWait drain.
+  void RunTcpTimers();
+  // Wakes PollWait sleepers for |queue| (and any-queue waiters). Called from
+  // NetIf's RX interrupt handler — wakeup-grade work only.
+  void WakeRxWaiters(std::uint16_t queue);
+  // Sizes the per-queue wait queues to the widest interface.
+  void EnsureWaitQueues();
 
   ukplat::MemRegion* mem_;
   ukplat::Clock* clock_;
@@ -496,6 +559,15 @@ class NetStack {
   std::uint32_t iss_counter_ = 10'000;
   std::uint64_t pings_answered_ = 0;
   StackStats stats_;
+  uksched::Scheduler* sched_ = nullptr;
+  std::vector<std::unique_ptr<uksched::WaitQueue>> rx_waits_;  // one per queue
+  std::unique_ptr<uksched::WaitQueue> any_wait_;  // PollWait(kAllQueues)
+  // Sleepers currently holding each queue's interrupt armed. PollWait only
+  // disarms a line on return when the last holder lets go — a kAllQueues
+  // waiter returning must not kill the armed line of a still-blocked
+  // per-queue sibling (that would be a lost wakeup).
+  std::vector<std::uint32_t> rx_arm_counts_;
+  WaitStats wait_stats_;
 };
 
 }  // namespace uknet

@@ -43,9 +43,21 @@ struct DevConf {
   std::uint16_t nb_tx_queues = 1;
 };
 
+// Per-queue RX event callback. Fired by the driver, at most once per armed
+// period, when frames become available on a queue whose interrupt line is
+// enabled AND armed (see RxIntrEnable below). The callback runs in whatever
+// context delivered the frames — a peer's TxBurst for the loopback device,
+// the simulated vhost thread (a wire-activity signal) for virtio-net — so it
+// must only do wakeup-grade work: set a flag, wake a uksched::WaitQueue.
+// Never call back into the device from the handler.
+using RxEventFn = std::function<void(std::uint16_t queue)>;
+
 struct RxQueueConf {
   NetBufPool* buffer_pool = nullptr;  // driver refills the RX ring from here
-  std::function<void(std::uint16_t queue)> intr_handler;  // optional
+  // Optional wakeup hook for interrupt mode; unused (and free) while the
+  // queue stays in the default polling mode. uknet's NetIf installs a handler
+  // that wakes the per-queue wait state behind NetStack::PollWait.
+  RxEventFn intr_handler;
 };
 
 struct TxQueueConf {};
@@ -77,9 +89,30 @@ class NetDev {
   // to the caller); *cnt holds the number received. Returns status flags.
   virtual int RxBurst(std::uint16_t queue, NetBuf** pkt, std::uint16_t* cnt) = 0;
 
-  // Interrupt mode (per queue). When enabled, the queue's handler fires once
-  // the next packet arrives after the queue was drained; the driver disarms
-  // the line until RxBurst observes empty again (§3.1's storm avoidance).
+  // Interrupt mode (per queue) — the §3.1 storm-avoidance contract every
+  // driver must implement. The line has two bits of state:
+  //
+  //   enabled — the application opted into interrupts (RxIntrEnable/Disable);
+  //   armed   — the line may fire. RxIntrEnable arms immediately.
+  //
+  // Rules, in delivery order:
+  //   1. FIRE-ONCE: when frames are delivered to a queue that is enabled and
+  //      armed, the driver invokes the queue's intr_handler exactly once and
+  //      clears |armed|. Further deliveries are silent — a burst of N frames
+  //      costs one wakeup, never N (interrupt-storm avoidance).
+  //   2. RE-ARM ON DRAIN: only an RxBurst that observes the queue EMPTY
+  //      re-arms the line (sets |armed| while |enabled|). A partial drain
+  //      (kStatusMore) keeps it disarmed: the poller clearly isn't asleep.
+  //   3. ARM-THEN-CHECK: because of (1)+(2), a consumer that wants to block
+  //      race-free must enable/arm FIRST and poll once more BEFORE sleeping.
+  //      A frame that slipped in between fires the armed line; the verifying
+  //      poll catches anything earlier. NetStack::PollWait encodes this.
+  //   4. RxIntrDisable returns the queue to pure polling; a disabled queue
+  //      never fires regardless of |armed|.
+  //
+  // Implementations must validate |queue| against the configured count
+  // (out-of-range is kInval, not a no-op) and keep all interrupt state per
+  // queue — sibling queues arm, fire and re-arm independently.
   virtual ukarch::Status RxIntrEnable(std::uint16_t queue) = 0;
   virtual ukarch::Status RxIntrDisable(std::uint16_t queue) = 0;
 

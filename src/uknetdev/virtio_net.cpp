@@ -19,6 +19,26 @@ VirtioNet::VirtioNet(ukplat::MemRegion* mem, ukplat::Clock* clock, ukplat::Wire*
   rxqs_.resize(1);
 }
 
+VirtioNet::~VirtioNet() {
+  if (signal_registered_) {
+    wire_->SetSignalFn(config_.wire_side, nullptr);
+  }
+}
+
+void VirtioNet::OnWireSignal() {
+  if (!started_ || in_backend_poll_) {
+    return;
+  }
+  // Only spend device-side work when some queue actually wants wakeups; a
+  // poll-mode guest keeps its burst-driven backend schedule untouched.
+  for (const RxQueue& q : rxqs_) {
+    if (q.intr_enabled) {
+      BackendPoll();
+      return;
+    }
+  }
+}
+
 DevInfo VirtioNet::Info() const {
   DevInfo info;
   info.max_rx_queues = config_.max_queue_pairs;
@@ -177,9 +197,10 @@ int VirtioNet::TxBurst(std::uint16_t queue, NetBuf** pkt, std::uint16_t* cnt) {
 }
 
 void VirtioNet::BackendPoll() {
-  if (!started_) {
+  if (!started_ || in_backend_poll_) {
     return;
   }
+  in_backend_poll_ = true;
   const ukplat::CostModel& m = clock_->model();
   std::uint64_t per_pkt = config_.backend == VirtioBackend::kVhostNet
                               ? m.vhost_net_per_packet
@@ -252,6 +273,7 @@ void VirtioNet::BackendPoll() {
       }
     }
   }
+  in_backend_poll_ = false;
 }
 
 void VirtioNet::RaiseRxInterruptIfArmed(std::uint16_t queue) {
@@ -310,6 +332,12 @@ ukarch::Status VirtioNet::RxIntrEnable(std::uint16_t queue) {
   }
   rxqs_[queue].intr_enabled = true;
   rxqs_[queue].intr_armed = true;
+  if (!signal_registered_) {
+    // From now on the device side also runs on wire activity, so an armed
+    // line can fire while the guest sleeps (the vhost thread's job).
+    wire_->SetSignalFn(config_.wire_side, [this] { OnWireSignal(); });
+    signal_registered_ = true;
+  }
   return ukarch::Status::kOk;
 }
 

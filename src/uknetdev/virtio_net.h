@@ -45,6 +45,7 @@ class VirtioNet final : public NetDev {
 
   VirtioNet(ukplat::MemRegion* mem, ukplat::Clock* clock, ukplat::Wire* wire,
             Config config);
+  ~VirtioNet() override;
 
   const char* name() const override { return "virtio-net"; }
   DevInfo Info() const override;
@@ -90,6 +91,12 @@ class VirtioNet final : public NetDev {
 
   void FillRxRing(std::uint16_t queue);
   void RaiseRxInterruptIfArmed(std::uint16_t queue);
+  // Wire-activity callback (the vhost thread waking on traffic): pumps the
+  // device side so frames reach the rings — and armed interrupts fire — even
+  // while the guest is blocked and never calls RxBurst. Registered lazily on
+  // the first RxIntrEnable so poll-mode-only setups keep the exact pre-existing
+  // burst-driven backend schedule.
+  void OnWireSignal();
 
   ukplat::MemRegion* mem_;
   ukplat::Clock* clock_;
@@ -103,6 +110,11 @@ class VirtioNet final : public NetDev {
   std::vector<RxQueue> rxqs_;
 
   std::uint64_t kicks_ = 0;
+  bool signal_registered_ = false;
+  // BackendPoll re-entrancy guard: wire signals can arrive while the backend
+  // is already pumping (a peer replying from inside its own signal callback);
+  // the in-progress pass will pick the frames up.
+  bool in_backend_poll_ = false;
 };
 
 }  // namespace uknetdev

@@ -23,6 +23,11 @@ bool Wire::Send(int dir, std::vector<std::uint8_t> frame) {
   bytes_sent_ += frame.size();
   ++frames_sent_;
   q_[dir].push_back(std::move(frame));
+  // dir-0 frames arrive at side 1 and vice versa (see Pending()).
+  const int rx_side = dir == 0 ? 1 : 0;
+  if (signal_fn_[rx_side]) {
+    signal_fn_[rx_side]();
+  }
   return true;
 }
 

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -38,6 +39,17 @@ class Wire {
 
   std::size_t Pending(int side) const { return q_[side == 1 ? 0 : 1].size(); }
 
+  // Wire-activity signal: |fn| is invoked (synchronously) after a frame is
+  // queued toward |side|. This is the stand-in for the vhost/device thread
+  // noticing traffic for a NIC whose guest is halted: the virtio driver
+  // registers a callback that pumps its device side so an armed RX interrupt
+  // can fire even while the guest never polls. The callback may call Send()
+  // itself (replies); the wire keeps no state across the invocation. Pass
+  // nullptr to unregister (a NIC being destroyed must do so).
+  void SetSignalFn(int side, std::function<void()> fn) {
+    signal_fn_[side == 1 ? 1 : 0] = std::move(fn);
+  }
+
   std::uint64_t frames_sent() const { return frames_sent_; }
   std::uint64_t frames_dropped() const { return frames_dropped_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
@@ -48,6 +60,7 @@ class Wire {
   Clock* clock_;
   Config config_;
   std::deque<std::vector<std::uint8_t>> q_[2];
+  std::function<void()> signal_fn_[2];
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_dropped_ = 0;
   std::uint64_t bytes_sent_ = 0;

@@ -1,5 +1,7 @@
 #include "uksched/scheduler.h"
 
+#include <algorithm>
+
 namespace uksched {
 
 namespace {
@@ -64,13 +66,77 @@ void Scheduler::Enqueue(Thread* t) {
 }
 
 std::size_t Scheduler::Run() {
-  while (!ready_.empty()) {
+  for (;;) {
+    WakeExpired();
+    if (ready_.empty()) {
+      // Nothing runnable. If a blocked thread holds a wake deadline, this is
+      // the unikernel's idle state: halt and let the virtual clock jump to
+      // the next timer interrupt. Otherwise the world is done (or deadlocked
+      // on waits that nothing can satisfy) and Run() reports the leftovers.
+      if (!AdvanceToNextDeadline()) {
+        break;
+      }
+      continue;
+    }
     Thread* t = ready_.front();
     ready_.pop_front();
     SwitchTo(t);
     ReapExited();
   }
   return live_threads_;
+}
+
+void Scheduler::WakeExpired() {
+  // O(1) on the dispatch hot path: scan only when a deadline can be due.
+  // (The hint is a lower bound — Wake() may retire the thread that set it —
+  // so a stale hint costs at most one wasted scan, never a missed wakeup.)
+  const std::uint64_t now = clock_->cycles();
+  if (timed_waiters_ == 0 || now < next_deadline_hint_) {
+    return;
+  }
+  std::uint64_t next = kNoDeadline;
+  for (auto& owned : threads_) {
+    Thread* t = owned.get();
+    if (t->state_ != ThreadState::kBlocked || !t->has_deadline_) {
+      continue;
+    }
+    if (t->wake_deadline_ > now) {
+      next = std::min(next, t->wake_deadline_);
+      continue;
+    }
+    if (t->waitq_ != nullptr) {
+      auto& w = t->waitq_->waiters_;
+      w.erase(std::remove(w.begin(), w.end(), t), w.end());
+      t->waitq_ = nullptr;
+    }
+    t->has_deadline_ = false;
+    --timed_waiters_;
+    t->timed_out_ = true;
+    Enqueue(t);
+  }
+  next_deadline_hint_ = next;
+}
+
+bool Scheduler::AdvanceToNextDeadline() {
+  if (timed_waiters_ == 0) {
+    return false;
+  }
+  std::uint64_t earliest = kNoDeadline;
+  for (const auto& t : threads_) {
+    if (t->state_ == ThreadState::kBlocked && t->has_deadline_ &&
+        t->wake_deadline_ < earliest) {
+      earliest = t->wake_deadline_;
+    }
+  }
+  if (earliest == kNoDeadline) {
+    return false;
+  }
+  const std::uint64_t now = clock_->cycles();
+  if (earliest > now) {
+    clock_->Charge(earliest - now);  // HLT until the timer interrupt
+    ++stats_.idle_advances;
+  }
+  return true;
 }
 
 void Scheduler::SwitchTo(Thread* t) {
@@ -129,14 +195,34 @@ bool PreemptScheduler::ShouldPreempt(const Thread& t) const {
   return clock()->cycles() - t.slice_start_cycles() >= quantum_;
 }
 
-void WaitQueue::Wait() {
+WaitQueue::~WaitQueue() {
+  for (Thread* t : waiters_) {
+    // Detach: WakeExpired/Wake must never follow a pointer into this object
+    // again. The deadline stays, so a timed waiter still times out normally.
+    t->waitq_ = nullptr;
+  }
+}
+
+void WaitQueue::Wait() { WaitTimeout(Scheduler::kNoDeadline); }
+
+bool WaitQueue::WaitTimeout(std::uint64_t deadline_cycles) {
   Thread* t = sched_->current();
   if (t == nullptr) {
-    return;
+    return true;  // not on a scheduler thread: nothing to block
   }
   t->state_ = ThreadState::kBlocked;
+  t->waitq_ = this;
+  t->wake_deadline_ = deadline_cycles;
+  t->has_deadline_ = deadline_cycles != Scheduler::kNoDeadline;
+  t->timed_out_ = false;
+  if (t->has_deadline_) {
+    ++sched_->timed_waiters_;
+    sched_->next_deadline_hint_ =
+        std::min(sched_->next_deadline_hint_, deadline_cycles);
+  }
   waiters_.push_back(t);
   sched_->SwitchBack();
+  return !t->timed_out_;
 }
 
 std::size_t WaitQueue::Wake(std::size_t n) {
@@ -144,6 +230,12 @@ std::size_t WaitQueue::Wake(std::size_t n) {
   while (woken < n && !waiters_.empty()) {
     Thread* t = waiters_.front();
     waiters_.pop_front();
+    t->waitq_ = nullptr;
+    if (t->has_deadline_) {
+      t->has_deadline_ = false;
+      --sched_->timed_waiters_;
+    }
+    t->timed_out_ = false;
     sched_->Enqueue(t);
     ++woken;
   }

@@ -30,6 +30,7 @@
 namespace uksched {
 
 class Scheduler;
+class WaitQueue;
 
 enum class ThreadState { kReady, kRunning, kBlocked, kExited };
 
@@ -60,6 +61,13 @@ class Thread {
   std::uint64_t slice_start_cycles_ = 0;
   std::uint64_t voluntary_switches_ = 0;
   std::uint64_t involuntary_switches_ = 0;
+  // Timed-wait bookkeeping (WaitQueue::WaitTimeout): the queue the thread is
+  // parked on, its absolute wake deadline, and whether the wake was a timeout
+  // (vs an explicit Wake()).
+  WaitQueue* waitq_ = nullptr;
+  std::uint64_t wake_deadline_ = 0;
+  bool has_deadline_ = false;
+  bool timed_out_ = false;
 };
 
 // FIFO queue of blocked threads, the building block for mutexes, semaphores
@@ -67,15 +75,29 @@ class Thread {
 class WaitQueue {
  public:
   explicit WaitQueue(Scheduler* sched) : sched_(sched) {}
+  // Detaches any still-parked threads so the scheduler never follows a
+  // dangling queue pointer. Untimed waiters stay blocked forever (as they
+  // always did on a destroyed queue); timed waiters still wake at their
+  // deadline, reported as timed out.
+  ~WaitQueue();
 
   // Blocks the calling thread until woken. Must run on a scheduler thread.
   void Wait();
+  // Blocks until Wake() or until the virtual clock reaches |deadline_cycles|
+  // (an absolute cycle count; Scheduler::kNoDeadline waits forever). When
+  // every thread is blocked and at least one holds a deadline, the scheduler
+  // advances the clock straight to the earliest deadline — the CPU halts
+  // instead of spinning, which is the idle model interrupt-driven unikernels
+  // rely on. Returns true when woken by Wake(), false on timeout.
+  bool WaitTimeout(std::uint64_t deadline_cycles);
   // Wakes up to |n| waiters (all when n == SIZE_MAX). Returns number woken.
   std::size_t Wake(std::size_t n = SIZE_MAX);
   bool empty() const { return waiters_.empty(); }
   std::size_t size() const { return waiters_.size(); }
 
  private:
+  friend class Scheduler;  // timeout expiry removes threads from waiters_
+
   Scheduler* sched_;
   std::deque<Thread*> waiters_;
 };
@@ -86,7 +108,14 @@ class Scheduler {
     std::uint64_t context_switches = 0;
     std::uint64_t preemptions = 0;
     std::uint64_t threads_created = 0;
+    // Times the scheduler found nothing runnable and jumped the virtual
+    // clock to the earliest timed-wait deadline (a HLT until the next timer
+    // interrupt; zero in a pure spin workload).
+    std::uint64_t idle_advances = 0;
   };
+
+  // Sentinel deadline for WaitQueue::WaitTimeout: wait forever.
+  static constexpr std::uint64_t kNoDeadline = ~0ull;
 
   Scheduler(ukalloc::Allocator* alloc, ukplat::Clock* clock)
       : alloc_(alloc), clock_(clock) {}
@@ -118,6 +147,7 @@ class Scheduler {
   const Stats& stats() const { return stats_; }
   std::size_t num_ready() const { return ready_.size(); }
   std::size_t live_threads() const { return live_threads_; }
+  ukplat::Clock* clock() const { return clock_; }
 
   static constexpr std::size_t kDefaultStackSize = 64 * 1024;
 
@@ -133,6 +163,10 @@ class Scheduler {
   void SwitchTo(Thread* t);
   void SwitchBack();  // thread -> scheduler context
   void ReapExited();
+  // Timed waits: wake every blocked thread whose deadline has passed; when
+  // nothing is runnable, jump the clock to the earliest pending deadline.
+  void WakeExpired();
+  bool AdvanceToNextDeadline();
 
   ukalloc::Allocator* alloc_;
   ukplat::Clock* clock_;
@@ -143,9 +177,11 @@ class Scheduler {
   Stats stats_;
   std::uint64_t next_id_ = 1;
   std::size_t live_threads_ = 0;
-
- protected:
-  ukplat::Clock* clock() const { return clock_; }
+  // Blocked threads holding a wake deadline, plus a lower bound on the
+  // earliest of their deadlines. Together they keep the per-dispatch expiry
+  // check O(1): the full scan only runs when a deadline can actually be due.
+  std::size_t timed_waiters_ = 0;
+  std::uint64_t next_deadline_hint_ = kNoDeadline;
 };
 
 // Cooperative: run-to-block, never preempts (the policy the paper selects for

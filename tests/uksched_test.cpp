@@ -103,6 +103,55 @@ TEST_F(SchedTest, WaitQueueBlocksUntilWoken) {
   EXPECT_EQ(trace, "wkW");
 }
 
+TEST_F(SchedTest, WaitTimeoutExpiresAndAdvancesClock) {
+  CoopScheduler sched(alloc_.get(), &clock_);
+  WaitQueue wq(&sched);
+  constexpr std::uint64_t kDeadline = 750'000;
+  bool woken = true;
+  sched.CreateThread("sleeper", [&] { woken = wq.WaitTimeout(kDeadline); });
+  EXPECT_EQ(sched.Run(), 0u);  // the timeout unblocks it: no leftovers
+  EXPECT_FALSE(woken);
+  // Idle halt: the clock jumped straight to the deadline, no busy loop.
+  EXPECT_GE(clock_.cycles(), kDeadline);
+  EXPECT_EQ(sched.stats().idle_advances, 1u);
+  EXPECT_TRUE(wq.empty()) << "timed-out thread still parked on the queue";
+}
+
+TEST_F(SchedTest, WakeBeforeDeadlineReturnsTrue) {
+  CoopScheduler sched(alloc_.get(), &clock_);
+  WaitQueue wq(&sched);
+  bool woken = false;
+  sched.CreateThread("sleeper", [&] { woken = wq.WaitTimeout(1'000'000'000); });
+  sched.CreateThread("waker", [&] { EXPECT_EQ(wq.Wake(), 1u); });
+  EXPECT_EQ(sched.Run(), 0u);
+  EXPECT_TRUE(woken);
+  // Nothing ever went idle, so the clock never jumped to the far deadline.
+  EXPECT_LT(clock_.cycles(), 1'000'000'000u);
+  EXPECT_EQ(sched.stats().idle_advances, 0u);
+}
+
+TEST_F(SchedTest, SleepersWakeInDeadlineOrder) {
+  CoopScheduler sched(alloc_.get(), &clock_);
+  WaitQueue wq_a(&sched);
+  WaitQueue wq_b(&sched);
+  std::vector<std::uint64_t> wake_cycles;
+  sched.CreateThread("late", [&] {
+    wq_a.WaitTimeout(600'000);
+    wake_cycles.push_back(clock_.cycles());
+  });
+  sched.CreateThread("early", [&] {
+    wq_b.WaitTimeout(200'000);
+    wake_cycles.push_back(clock_.cycles());
+  });
+  EXPECT_EQ(sched.Run(), 0u);
+  ASSERT_EQ(wake_cycles.size(), 2u);
+  // "early" (deadline 200k) fires first even though it blocked second.
+  EXPECT_GE(wake_cycles[0], 200'000u);
+  EXPECT_LT(wake_cycles[0], 600'000u);
+  EXPECT_GE(wake_cycles[1], 600'000u);
+  EXPECT_EQ(sched.stats().idle_advances, 2u);
+}
+
 TEST_F(SchedTest, RunReportsBlockedThreads) {
   CoopScheduler sched(alloc_.get(), &clock_);
   WaitQueue wq(&sched);
