@@ -59,4 +59,14 @@ UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=0" UKRAFT_QUEUES=2 \
 UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=0" UKRAFT_QUEUES=2 \
   "$ASAN_BUILD_DIR"/bench_fig_idle_wakeup --wait --queues 2 --rounds 40
 
-echo "ci: OK (src/ built with -Wall -Wextra -Werror; markdown links checked; tests passed plain and under ASan+UBSan with UKRAFT_QUEUES=2, incl. the blocking --wait leg)"
+# Event-loop legs: the unified readiness path (uknet edges -> posix epoll ->
+# apps::EventLoop) serving 64 concurrent TCP connections from one blocked
+# thread, and the socket-batch kvstore sleeping in EpollWait between bursts.
+# Both binaries self-check (idle spins == 0, heap delta == 0) and fail the
+# leg on violation; UKRAFT_QUEUES=2 shards the TestBed-based kvstore leg.
+UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=0" UKRAFT_QUEUES=2 \
+  "$ASAN_BUILD_DIR"/bench_tab5_tcp_echo --eventloop
+UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=0" UKRAFT_QUEUES=2 \
+  "$ASAN_BUILD_DIR"/bench_tab4_kvstore --eventloop
+
+echo "ci: OK (src/ built with -Wall -Wextra -Werror; markdown links checked; tests passed plain and under ASan+UBSan with UKRAFT_QUEUES=2, incl. the blocking --wait and --eventloop legs)"

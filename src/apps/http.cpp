@@ -29,18 +29,22 @@ std::optional<HttpRequest> ParseHttpRequest(std::string* buf) {
 }
 
 HttpServer::HttpServer(posix::PosixApi* api, std::uint16_t port, vfscore::Vfs* vfs)
-    : api_(api), port_(port), mode_(ContentMode::kVfs), vfs_(vfs) {}
+    : api_(api), port_(port), mode_(ContentMode::kVfs), vfs_(vfs), loop_(api) {}
 
 HttpServer::HttpServer(posix::PosixApi* api, std::uint16_t port,
                        const shfs::Shfs* volume)
-    : api_(api), port_(port), mode_(ContentMode::kShfs), volume_(volume) {}
+    : api_(api), port_(port), mode_(ContentMode::kShfs), volume_(volume), loop_(api) {}
 
 bool HttpServer::Start() {
   listen_fd_ = api_->Socket(posix::SockType::kStream);
   if (listen_fd_ < 0 || api_->Bind(listen_fd_, port_) != 0) {
     return false;
   }
-  return api_->Listen(listen_fd_) == 0;
+  if (api_->Listen(listen_fd_) != 0) {
+    return false;
+  }
+  return loop_.Add(listen_fd_, uknet::kEvtAcceptable,
+                   [this](int, uknet::EventMask) { OnAcceptable(); });
 }
 
 namespace {
@@ -99,56 +103,82 @@ std::string HttpServer::BuildResponse(const HttpRequest& req) {
   return WithHeaders(200, body, req.keep_alive);
 }
 
-void HttpServer::FlushOut(Conn& conn) {
-  while (!conn.out.empty()) {
-    std::int64_t n = api_->Send(
-        conn.fd, std::span(reinterpret_cast<const std::uint8_t*>(conn.out.data()),
-                           conn.out.size()));
-    if (n <= 0) {
-      break;
-    }
-    conn.out.erase(0, static_cast<std::size_t>(n));
-  }
-}
-
-std::size_t HttpServer::PumpOnce() {
+void HttpServer::OnAcceptable() {
   for (;;) {
     int fd = api_->Accept(listen_fd_);
     if (fd < 0) {
       break;
     }
-    conns_.push_back(Conn{fd, {}, {}});
+    if (!loop_.Add(fd, uknet::kEvtReadable,
+                   [this](int cfd, uknet::EventMask ev) { OnConnEvent(cfd, ev); })) {
+      api_->Close(fd);  // cannot watch it: an unregistered conn would leak
+      continue;
+    }
+    conns_.emplace(fd, Conn{});
   }
-  std::size_t sent = 0;
+}
+
+void HttpServer::CloseConn(int fd) {
+  loop_.Del(fd);
+  api_->Close(fd);
+  conns_.erase(fd);
+}
+
+void HttpServer::FlushOut(int fd, Conn& conn) {
+  while (!conn.out.empty()) {
+    std::int64_t n = api_->Send(
+        fd, std::span(reinterpret_cast<const std::uint8_t*>(conn.out.data()),
+                      conn.out.size()));
+    if (n <= 0) {
+      break;  // send buffer full; the kEvtWritable edge resumes the flush
+    }
+    conn.out.erase(0, static_cast<std::size_t>(n));
+  }
+  const uknet::EventMask want =
+      conn.out.empty() ? uknet::kEvtReadable
+                       : (uknet::kEvtReadable | uknet::kEvtWritable);
+  if (want != conn.interest && loop_.Mod(fd, want)) {
+    conn.interest = want;
+  }
+}
+
+void HttpServer::OnConnEvent(int fd, uknet::EventMask events) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) {
+    return;
+  }
+  Conn& conn = it->second;
+  if ((events & uknet::kEvtErr) != 0) {
+    CloseConn(fd);
+    return;
+  }
   std::uint8_t buf[8192];
-  for (auto it = conns_.begin(); it != conns_.end();) {
-    Conn& conn = *it;
-    bool closed = false;
-    for (;;) {
-      std::int64_t n = api_->Recv(conn.fd, buf);
-      if (n > 0) {
-        conn.in.append(reinterpret_cast<char*>(buf), static_cast<std::size_t>(n));
-        continue;
-      }
-      closed = n == 0;
-      break;
+  for (;;) {
+    std::int64_t n = api_->Recv(fd, buf);
+    if (n > 0) {
+      conn.in.append(reinterpret_cast<char*>(buf), static_cast<std::size_t>(n));
+      continue;
     }
-    bool want_close = false;
-    while (auto req = ParseHttpRequest(&conn.in)) {
-      conn.out += BuildResponse(*req);
-      ++requests_;
-      ++sent;
-      want_close = want_close || !req->keep_alive;
-    }
-    FlushOut(conn);
-    if ((closed || want_close) && conn.out.empty()) {
-      api_->Close(conn.fd);
-      it = conns_.erase(it);
-    } else {
-      ++it;
-    }
+    conn.peer_eof = conn.peer_eof || n == 0;
+    break;
   }
-  return sent;
+  while (auto req = ParseHttpRequest(&conn.in)) {
+    conn.out += BuildResponse(*req);
+    ++requests_;
+    conn.want_close = conn.want_close || !req->keep_alive;
+  }
+  FlushOut(fd, conn);
+  if ((conn.peer_eof || conn.want_close) && conn.out.empty()) {
+    CloseConn(fd);
+  }
+}
+
+std::size_t HttpServer::PumpOnce() { return PumpWait(0); }
+
+std::size_t HttpServer::PumpWait(std::uint64_t timeout_cycles) {
+  const std::uint64_t before = requests_;
+  loop_.PumpOnce(timeout_cycles);
+  return static_cast<std::size_t>(requests_ - before);
 }
 
 // ---- WrkClient --------------------------------------------------------------------

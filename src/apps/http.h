@@ -8,10 +8,12 @@
 #define APPS_HTTP_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "apps/event_loop.h"
 #include "posix/api.h"
 #include "shfs/shfs.h"
 #include "uknet/stack.h"
@@ -38,19 +40,32 @@ class HttpServer {
   HttpServer(posix::PosixApi* api, std::uint16_t port, const shfs::Shfs* volume);
 
   bool Start();
-  std::size_t PumpOnce();  // returns responses sent
+  // One non-blocking event-loop turn. Returns responses sent.
+  std::size_t PumpOnce();
+  // One blocking turn: the whole server (listener + every connection) sleeps
+  // in a single EpollWait until something is ready.
+  std::size_t PumpWait(std::uint64_t timeout_cycles = EventLoop::kNoTimeout);
 
   std::uint64_t requests_served() const { return requests_; }
+  std::size_t connections() const { return conns_.size(); }
+  EventLoop& loop() { return loop_; }
 
  private:
   struct Conn {
-    int fd;
     std::string in;
     std::string out;
+    bool peer_eof = false;
+    bool want_close = false;  // Connection: close requested
+    // Current epoll interest; Mod is issued only on change (no redundant
+    // epoll_ctl syscall on the per-request hot path).
+    uknet::EventMask interest = uknet::kEvtReadable;
   };
 
+  void OnAcceptable();
+  void OnConnEvent(int fd, uknet::EventMask events);
+  void CloseConn(int fd);
   std::string BuildResponse(const HttpRequest& req);
-  void FlushOut(Conn& conn);
+  void FlushOut(int fd, Conn& conn);
 
   posix::PosixApi* api_;
   std::uint16_t port_;
@@ -58,7 +73,8 @@ class HttpServer {
   vfscore::Vfs* vfs_ = nullptr;
   const shfs::Shfs* volume_ = nullptr;
   int listen_fd_ = -1;
-  std::vector<Conn> conns_;
+  EventLoop loop_;
+  std::map<int, Conn> conns_;
   std::uint64_t requests_ = 0;
 };
 

@@ -40,7 +40,20 @@ KvServer::KvServer(uknetdev::NetDev* dev, ukplat::MemRegion* mem,
 bool KvServer::Start() {
   if (mode_ == KvMode::kSocketSingle || mode_ == KvMode::kSocketBatch) {
     fd_ = api_->Socket(posix::SockType::kDgram);
-    return fd_ >= 0 && api_->Bind(fd_, port_) == 0;
+    if (fd_ < 0 || api_->Bind(fd_, port_) != 0) {
+      return false;
+    }
+    // Rebuilt on the shared event loop: the readable dispatch runs one pump
+    // body (single: up to 32 recvfrom/sendto pairs; batch: one recvmmsg +
+    // one sendmmsg). Level-triggered readiness re-reports leftovers.
+    loop_ = std::make_unique<EventLoop>(api_);
+    return loop_->Add(fd_, uknet::kEvtReadable, [this](int, uknet::EventMask) {
+      if (mode_ == KvMode::kSocketSingle) {
+        PumpSocketSingle();
+      } else {
+        PumpSocketBatch();
+      }
+    });
   }
   // Raw netdev: own the device completely (§6.4: "we remove the lwip stack
   // and scheduler altogether ... and code against the uknetdev API"). Each
@@ -108,11 +121,20 @@ std::size_t KvServer::PumpQueueWait(std::uint16_t queue,
     return handled;  // no scheduler: stay a plain (spinning) pump
   }
   if (mode_ == KvMode::kSocketSingle || mode_ == KvMode::kSocketBatch) {
-    // Socket paths ride the stack's wait machinery (RTO deadlines included);
-    // PollWait takes the relative timeout directly.
     ++wait_stats_.blocked_waits;
-    api_->net()->PollWait(uknet::NetStack::kAllQueues, timeout_cycles);
-    handled = PumpQueue(queue);
+    if (queue != 0) {
+      // The single server fd lives on queue 0's loop; the event loop is not
+      // reentrant (one shared ready array), so sibling pump threads sleep on
+      // the stack directly instead of entering it.
+      if (api_->net()->PollWait(uknet::NetStack::kAllQueues, timeout_cycles) == 0) {
+        ++wait_stats_.timeouts;  // deadline wake; frames woke it otherwise
+      }
+      return 0;
+    }
+    // Queue 0 sleeps through the event loop: one EpollWait over the server
+    // fd, parked in NetStack::PollWait (RTO deadlines included). The
+    // kNoWaitDeadline sentinel is the same ~0 as EventLoop::kNoTimeout.
+    handled = PumpSocket(timeout_cycles);
     if (handled == 0) {
       ++wait_stats_.timeouts;
     }
@@ -358,10 +380,20 @@ std::size_t KvServer::PumpNetdev(std::uint16_t queue) {
   return cnt;
 }
 
+std::size_t KvServer::PumpSocket(std::uint64_t timeout_cycles) {
+  if (loop_ == nullptr) {
+    return 0;  // Start() not run (or failed): degrade like the old fd_=-1 path
+  }
+  const std::uint64_t before = requests_;
+  loop_->PumpOnce(timeout_cycles);
+  return static_cast<std::size_t>(requests_ - before);
+}
+
 std::size_t KvServer::PumpQueue(std::uint16_t queue) {
   switch (mode_) {
-    case KvMode::kSocketSingle: return queue == 0 ? PumpSocketSingle() : 0;
-    case KvMode::kSocketBatch: return queue == 0 ? PumpSocketBatch() : 0;
+    case KvMode::kSocketSingle:
+    case KvMode::kSocketBatch:
+      return queue == 0 ? PumpSocket(0) : 0;
     case KvMode::kUkNetdev:
     case KvMode::kDpdkStyle:
       return queue < queues_ ? PumpNetdev(queue) : 0;
@@ -371,8 +403,9 @@ std::size_t KvServer::PumpQueue(std::uint16_t queue) {
 
 std::size_t KvServer::PumpOnce() {
   switch (mode_) {
-    case KvMode::kSocketSingle: return PumpSocketSingle();
-    case KvMode::kSocketBatch: return PumpSocketBatch();
+    case KvMode::kSocketSingle:
+    case KvMode::kSocketBatch:
+      return PumpSocket(0);
     case KvMode::kUkNetdev:
     case KvMode::kDpdkStyle: {
       std::size_t handled = 0;

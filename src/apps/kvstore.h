@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "apps/event_loop.h"
 #include "posix/api.h"
 #include "uknet/wire_format.h"
 #include "uknetdev/netdev.h"
@@ -60,7 +61,8 @@ class KvServer {
   // Blocking per-queue pump: drains like PumpQueue; when the queue is idle it
   // arms the RX interrupt, re-checks (arm-then-check, see uknetdev/netdev.h),
   // and blocks until a frame or |timeout_cycles| (relative; kNoWaitDeadline =
-  // no timeout). Socket modes delegate the sleep to NetStack::PollWait.
+  // no timeout). Socket modes sleep through the shared apps::EventLoop (one
+  // EpollWait over the server fd, which parks in NetStack::PollWait).
   // Without EnableWait (or off a scheduler thread) this is PumpQueue.
   std::size_t PumpQueueWait(std::uint16_t queue,
                             std::uint64_t timeout_cycles = kNoWaitDeadline);
@@ -91,6 +93,9 @@ class KvServer {
  private:
   std::size_t PumpSocketSingle();
   std::size_t PumpSocketBatch();
+  // One event-loop turn over the server fd (socket modes): blocks up to
+  // |timeout_cycles| in EpollWait, returns requests answered.
+  std::size_t PumpSocket(std::uint64_t timeout_cycles);
   std::size_t PumpNetdev(std::uint16_t queue);
   // Executes one request and writes the reply bytes straight into |out|
   // (usually the wire buffer itself). Returns reply length, 0 when |cap| is
@@ -102,6 +107,9 @@ class KvServer {
   posix::PosixApi* api_ = nullptr;
   int fd_ = -1;
   std::uint16_t port_ = 0;
+  // Socket modes multiplex the server fd through the shared event loop; the
+  // readable dispatch runs the single/batch pump body.
+  std::unique_ptr<EventLoop> loop_;
 
   uknetdev::NetDev* dev_ = nullptr;
   ukplat::MemRegion* mem_ = nullptr;

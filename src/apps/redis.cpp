@@ -7,7 +7,7 @@ namespace apps {
 
 // ---- ValueStore -------------------------------------------------------------------
 
-bool ValueStore::Set(const std::string& key, std::string_view value) {
+bool ValueStore::Set(std::string_view key, std::string_view value) {
   char* data = static_cast<char*>(alloc_->Malloc(value.size() == 0 ? 1 : value.size()));
   if (data == nullptr) {
     return false;
@@ -18,12 +18,13 @@ bool ValueStore::Set(const std::string& key, std::string_view value) {
     alloc_->Free(it->second.data);
     it->second = Slot{data, value.size()};
   } else {
-    map_.emplace(key, Slot{data, value.size()});
+    // The only key materialization: first insert of a new key.
+    map_.emplace(std::string(key), Slot{data, value.size()});
   }
   return true;
 }
 
-std::optional<std::string_view> ValueStore::Get(const std::string& key) const {
+std::optional<std::string_view> ValueStore::Get(std::string_view key) const {
   auto it = map_.find(key);
   if (it == map_.end()) {
     return std::nullopt;
@@ -31,7 +32,7 @@ std::optional<std::string_view> ValueStore::Get(const std::string& key) const {
   return std::string_view(it->second.data, it->second.len);
 }
 
-bool ValueStore::Del(const std::string& key) {
+bool ValueStore::Del(std::string_view key) {
   auto it = map_.find(key);
   if (it == map_.end()) {
     return false;
@@ -41,16 +42,18 @@ bool ValueStore::Del(const std::string& key) {
   return true;
 }
 
-std::int64_t ValueStore::Incr(const std::string& key, bool* ok) {
+std::int64_t ValueStore::Incr(std::string_view key, bool* ok) {
   *ok = true;
   std::int64_t v = 0;
   auto cur = Get(key);
   if (cur.has_value()) {
-    v = std::strtoll(std::string(*cur).c_str(), nullptr, 10);
+    std::from_chars(cur->data(), cur->data() + cur->size(), v);
   }
   ++v;
-  std::string s = std::to_string(v);
-  if (!Set(key, s)) {
+  char digits[24];
+  auto [ptr, ec] = std::to_chars(digits, digits + sizeof(digits), v);
+  (void)ec;
+  if (!Set(key, std::string_view(digits, static_cast<std::size_t>(ptr - digits)))) {
     *ok = false;
   }
   return v;
@@ -67,7 +70,7 @@ void ValueStore::Clear() {
 
 RedisServer::RedisServer(posix::PosixApi* api, ukalloc::Allocator* alloc,
                          std::uint16_t port)
-    : api_(api), port_(port), store_(alloc) {}
+    : api_(api), port_(port), loop_(api), store_(alloc) {}
 
 bool RedisServer::Start() {
   listen_fd_ = api_->Socket(posix::SockType::kStream);
@@ -77,12 +80,17 @@ bool RedisServer::Start() {
   if (api_->Bind(listen_fd_, port_) != 0) {
     return false;
   }
-  return api_->Listen(listen_fd_) == 0;
+  if (api_->Listen(listen_fd_) != 0) {
+    return false;
+  }
+  return loop_.Add(listen_fd_, uknet::kEvtAcceptable,
+                   [this](int, uknet::EventMask) { OnAcceptable(); });
 }
 
-void RedisServer::ExecuteInto(const std::vector<std::string>& argv, std::string& out) {
-  const std::string& cmd = argv[0];
-  auto eq = [](const std::string& a, const char* b) {
+void RedisServer::ExecuteInto(std::span<const std::string_view> argv,
+                              std::string& out) {
+  const std::string_view cmd = argv[0];
+  auto eq = [](std::string_view a, const char* b) {
     if (a.size() != std::strlen(b)) {
       return false;
     }
@@ -164,58 +172,90 @@ void RedisServer::ExecuteInto(const std::vector<std::string>& argv, std::string&
   RespErrorInto(out, "unknown command");
 }
 
-void RedisServer::FlushOut(Conn& conn) {
-  while (!conn.out.empty()) {
-    std::int64_t n = api_->Send(
-        conn.fd, std::span(reinterpret_cast<const std::uint8_t*>(conn.out.data()),
-                           conn.out.size()));
-    if (n <= 0) {
-      break;  // send buffer full; retry next pump
-    }
-    conn.out.erase(0, static_cast<std::size_t>(n));
-  }
-}
-
-std::size_t RedisServer::PumpOnce() {
-  // Accept new connections.
+void RedisServer::OnAcceptable() {
+  // Drain the whole accept queue: one readiness event may cover several
+  // completed handshakes (level-triggered, but why take extra turns).
   for (;;) {
     int fd = api_->Accept(listen_fd_);
     if (fd < 0) {
       break;
     }
-    conns_.push_back(Conn{fd, {}, {}});
+    if (!loop_.Add(fd, uknet::kEvtReadable,
+                   [this](int cfd, uknet::EventMask ev) { OnConnEvent(cfd, ev); })) {
+      api_->Close(fd);  // cannot watch it: an unregistered conn would leak
+      continue;
+    }
+    conns_.emplace(fd, Conn{});
   }
-  std::size_t executed = 0;
+}
+
+void RedisServer::CloseConn(int fd) {
+  loop_.Del(fd);
+  api_->Close(fd);
+  conns_.erase(fd);
+}
+
+void RedisServer::FlushOut(int fd, Conn& conn) {
+  while (!conn.out.empty()) {
+    std::int64_t n = api_->Send(
+        fd, std::span(reinterpret_cast<const std::uint8_t*>(conn.out.data()),
+                      conn.out.size()));
+    if (n <= 0) {
+      break;  // send buffer full; the kEvtWritable edge resumes the flush
+    }
+    conn.out.erase(0, static_cast<std::size_t>(n));
+  }
+  // Interest tracks the backlog: watch for writable only while bytes are
+  // pending, so an idle connection reports nothing and the loop can sleep.
+  const uknet::EventMask want =
+      conn.out.empty() ? uknet::kEvtReadable
+                       : (uknet::kEvtReadable | uknet::kEvtWritable);
+  if (want != conn.interest && loop_.Mod(fd, want)) {
+    conn.interest = want;
+  }
+}
+
+void RedisServer::OnConnEvent(int fd, uknet::EventMask events) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) {
+    return;
+  }
+  Conn& conn = it->second;
+  if ((events & uknet::kEvtErr) != 0) {
+    CloseConn(fd);  // reset: nothing left to flush
+    return;
+  }
   std::uint8_t buf[8192];
-  for (auto it = conns_.begin(); it != conns_.end();) {
-    Conn& conn = *it;
-    bool closed = false;
-    for (;;) {
-      std::int64_t n = api_->Recv(conn.fd, buf);
-      if (n > 0) {
-        conn.parser.Feed(std::string_view(reinterpret_cast<char*>(buf),
-                                          static_cast<std::size_t>(n)));
-        continue;
-      }
-      if (n == 0) {
-        closed = true;  // peer finished
-      }
-      break;
+  for (;;) {
+    std::int64_t n = api_->Recv(fd, buf);
+    if (n > 0) {
+      conn.parser.Feed(std::string_view(reinterpret_cast<char*>(buf),
+                                        static_cast<std::size_t>(n)));
+      continue;
     }
-    while (auto argv = conn.parser.Next()) {
-      ExecuteInto(*argv, conn.out);
-      ++commands_;
-      ++executed;
+    if (n == 0) {
+      conn.peer_eof = true;  // orderly FIN: answer what was pipelined, then close
     }
-    FlushOut(conn);
-    if (closed && conn.out.empty()) {
-      api_->Close(conn.fd);
-      it = conns_.erase(it);
-    } else {
-      ++it;
-    }
+    break;
   }
-  return executed;
+  // Zero-allocation request path: the parser yields string_view argv over
+  // its buffer, replies are encoded straight into the out string.
+  while (const auto* argv = conn.parser.NextView()) {
+    ExecuteInto(*argv, conn.out);
+    ++commands_;
+  }
+  FlushOut(fd, conn);
+  if (conn.peer_eof && conn.out.empty()) {
+    CloseConn(fd);
+  }
+}
+
+std::size_t RedisServer::PumpOnce() { return PumpWait(0); }
+
+std::size_t RedisServer::PumpWait(std::uint64_t timeout_cycles) {
+  const std::uint64_t before = commands_;
+  loop_.PumpOnce(timeout_cycles);
+  return static_cast<std::size_t>(commands_ - before);
 }
 
 // ---- RedisBenchClient -------------------------------------------------------------

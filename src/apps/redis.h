@@ -14,22 +14,25 @@
 #include <unordered_map>
 #include <vector>
 
+#include "apps/event_loop.h"
 #include "apps/resp.h"
 #include "posix/api.h"
 #include "uknet/stack.h"
 
 namespace apps {
 
-// String values held in allocator-backed buffers.
+// String values held in allocator-backed buffers. Keys are looked up
+// transparently (heterogeneous hash/equality), so GET/EXISTS/DEL on the
+// parser's string_view argv never materialize a std::string.
 class ValueStore {
  public:
   explicit ValueStore(ukalloc::Allocator* alloc) : alloc_(alloc) {}
   ~ValueStore() { Clear(); }
 
-  bool Set(const std::string& key, std::string_view value);
-  std::optional<std::string_view> Get(const std::string& key) const;
-  bool Del(const std::string& key);
-  std::int64_t Incr(const std::string& key, bool* ok);
+  bool Set(std::string_view key, std::string_view value);
+  std::optional<std::string_view> Get(std::string_view key) const;
+  bool Del(std::string_view key);
+  std::int64_t Incr(std::string_view key, bool* ok);
   std::size_t size() const { return map_.size(); }
   void Clear();
 
@@ -38,40 +41,62 @@ class ValueStore {
     char* data = nullptr;
     std::size_t len = 0;
   };
+  struct SvHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
   ukalloc::Allocator* alloc_;
-  std::unordered_map<std::string, Slot> map_;
+  std::unordered_map<std::string, Slot, SvHash, std::equal_to<>> map_;
 };
 
+// Single-threaded server multiplexing every connection through the shared
+// apps::EventLoop: the listener's kEvtAcceptable and each connection's
+// kEvtReadable/kEvtWritable drive one dispatch loop — under a scheduler the
+// whole server sleeps in one EpollWait between bursts.
 class RedisServer {
  public:
   RedisServer(posix::PosixApi* api, ukalloc::Allocator* alloc, std::uint16_t port);
 
-  // Starts listening. False on failure.
+  // Starts listening and registers with the event loop. False on failure.
   bool Start();
-  // One event-loop turn: accept, read, execute, reply. Returns commands run.
+  // One non-blocking event-loop turn. Returns commands run.
   std::size_t PumpOnce();
+  // One blocking turn: sleeps in EpollWait up to |timeout_cycles| (see
+  // EventLoop::kNoTimeout) until a connection, data, or teardown event.
+  std::size_t PumpWait(std::uint64_t timeout_cycles = EventLoop::kNoTimeout);
 
   std::uint64_t commands_processed() const { return commands_; }
   std::size_t connections() const { return conns_.size(); }
   ValueStore& store() { return store_; }
+  EventLoop& loop() { return loop_; }
 
  private:
   struct Conn {
-    int fd;
     RespCommandParser parser;
-    std::string out;  // pending reply bytes
+    std::string out;        // pending reply bytes
+    bool peer_eof = false;  // Recv returned 0: close once replies drain
+    // Current epoll interest; Mod is issued only on change (no redundant
+    // epoll_ctl syscall on the per-request hot path).
+    uknet::EventMask interest = uknet::kEvtReadable;
   };
 
+  void OnAcceptable();
+  void OnConnEvent(int fd, uknet::EventMask events);
+  void CloseConn(int fd);
   // Appends the reply straight into |out| (the connection's pending buffer):
   // constant replies are precomputed byte strings, values are encoded in
   // place — no per-command reply allocation.
-  void ExecuteInto(const std::vector<std::string>& argv, std::string& out);
-  void FlushOut(Conn& conn);
+  void ExecuteInto(std::span<const std::string_view> argv, std::string& out);
+  // Flushes pending replies; keeps kEvtWritable interest while bytes remain.
+  void FlushOut(int fd, Conn& conn);
 
   posix::PosixApi* api_;
   std::uint16_t port_;
   int listen_fd_ = -1;
-  std::vector<Conn> conns_;
+  EventLoop loop_;
+  std::map<int, Conn> conns_;
   ValueStore store_;
   std::uint64_t commands_ = 0;
 };

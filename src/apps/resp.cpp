@@ -32,17 +32,20 @@ std::optional<std::string_view> RespCommandParser::ReadLine() {
   return line;
 }
 
-std::optional<std::vector<std::string>> RespCommandParser::Next() {
+const std::vector<std::string_view>* RespCommandParser::NextView() {
+  // Compact BEFORE parsing, never after: the views handed back must stay
+  // valid until the next call, so the buffer cannot move underneath them.
+  Compact();
   std::size_t saved = pos_;
-  auto fail = [this] {
+  auto fail = [this]() -> const std::vector<std::string_view>* {
     error_ = true;
     buf_.clear();
     pos_ = 0;
-    return std::nullopt;
+    return nullptr;
   };
-  auto need_more = [this, saved]() {
+  auto need_more = [this, saved]() -> const std::vector<std::string_view>* {
     pos_ = saved;
-    return std::nullopt;
+    return nullptr;
   };
 
   auto header = ReadLine();
@@ -57,8 +60,7 @@ std::optional<std::vector<std::string>> RespCommandParser::Next() {
       nargs > kRespMaxArraySize) {
     return fail();
   }
-  std::vector<std::string> argv;
-  argv.reserve(static_cast<std::size_t>(nargs));
+  argv_views_.clear();
   for (long i = 0; i < nargs; ++i) {
     auto len_line = ReadLine();
     if (!len_line.has_value()) {
@@ -74,11 +76,18 @@ std::optional<std::vector<std::string>> RespCommandParser::Next() {
     if (buf_.size() - pos_ < static_cast<std::size_t>(len) + 2) {
       return need_more();
     }
-    argv.emplace_back(buf_, pos_, static_cast<std::size_t>(len));
+    argv_views_.emplace_back(buf_.data() + pos_, static_cast<std::size_t>(len));
     pos_ += static_cast<std::size_t>(len) + 2;  // skip \r\n
   }
-  Compact();
-  return argv;
+  return &argv_views_;
+}
+
+std::optional<std::vector<std::string>> RespCommandParser::Next() {
+  const std::vector<std::string_view>* argv = NextView();
+  if (argv == nullptr) {
+    return std::nullopt;
+  }
+  return std::vector<std::string>(argv->begin(), argv->end());
 }
 
 // ---- encoders ---------------------------------------------------------------------

@@ -48,13 +48,21 @@ inline const char* FindCrlf(const char* data, std::size_t len) noexcept {
 }
 
 // Incremental parser for client->server commands (arrays of bulk strings).
-// Feed bytes; Next() yields complete commands.
+// Feed bytes; NextView() yields complete commands as string_view argv over
+// the connection buffer — the zero-allocation request path.
 class RespCommandParser {
  public:
   void Feed(std::string_view bytes) { buf_.append(bytes); }
 
-  // Returns the next complete command (argv), or nullopt if more bytes are
-  // needed. Malformed input sets error() and drains the buffer.
+  // Returns the next complete command as a view-argv, or nullptr if more
+  // bytes are needed. The returned vector (reused across calls — its
+  // capacity persists, so the steady state performs zero allocations) holds
+  // string_views into the parser's buffer: they stay valid until the next
+  // NextView()/Next()/Feed() call, which may compact or grow the buffer.
+  // Malformed input sets error() and drains the buffer.
+  const std::vector<std::string_view>* NextView();
+
+  // Copying convenience wrapper (tests, cold paths): materializes the argv.
   std::optional<std::vector<std::string>> Next();
 
   bool error() const { return error_; }
@@ -64,6 +72,7 @@ class RespCommandParser {
   std::string buf_;
   std::size_t pos_ = 0;
   bool error_ = false;
+  std::vector<std::string_view> argv_views_;  // reused command view storage
 
   void Compact();
   std::optional<std::string_view> ReadLine();

@@ -19,7 +19,7 @@ T* AsPtr(std::uint64_t v) {
 
 PosixApi::PosixApi(ukplat::Clock* clock, vfscore::Vfs* vfs, uknet::NetStack* net,
                    DispatchMode mode, uksched::Scheduler* sched)
-    : shim_(clock, mode, sched), vfs_(vfs), net_(net) {
+    : clock_(clock), shim_(clock, mode, sched), vfs_(vfs), net_(net) {
   RegisterHandlers();
 }
 
@@ -41,6 +41,133 @@ bool PosixApi::IsBlocking(int fd) const {
 
 bool PosixApi::ShouldBlock(int fd) const {
   return IsBlocking(fd) && net_ != nullptr && net_->CanBlock();
+}
+
+// ---- readiness multiplexing --------------------------------------------------------
+
+uknet::EventMask PosixApi::ReadyMask(int fd) const {
+  if (auto tcp = fdtab_.Get<uknet::TcpSocket>(fd)) {
+    uknet::EventMask m = 0;
+    if (tcp->failed()) {
+      m |= uknet::kEvtErr | uknet::kEvtHup;
+    }
+    if (tcp->readable()) {
+      m |= uknet::kEvtReadable;
+    }
+    if (tcp->peer_closed()) {
+      m |= uknet::kEvtHup;  // drained data stays readable alongside the hup
+    }
+    const uknet::TcpState st = tcp->state();
+    if (!tcp->failed() && tcp->send_space() > 0 &&
+        (st == uknet::TcpState::kEstablished || st == uknet::TcpState::kCloseWait)) {
+      m |= uknet::kEvtWritable;
+    }
+    return m;
+  }
+  if (auto udp = fdtab_.Get<uknet::UdpSocket>(fd)) {
+    // Datagram sends go straight to a TX netbuf (or fail transiently); treat
+    // the socket as always writable, like the kernel does for UDP.
+    uknet::EventMask m = uknet::kEvtWritable;
+    if (udp->readable()) {
+      m |= uknet::kEvtReadable;
+    }
+    return m;
+  }
+  if (auto lst = fdtab_.Get<uknet::TcpListener>(fd)) {
+    return lst->backlog() > 0 ? (uknet::kEvtAcceptable | uknet::kEvtReadable) : 0;
+  }
+  if (fdtab_.Get<vfscore::File>(fd) != nullptr) {
+    return uknet::kEvtReadable | uknet::kEvtWritable;  // RAM-backed: never blocks
+  }
+  return 0;  // pending sockets, epoll instances, free slots
+}
+
+std::uint64_t PosixApi::DeadlineFor(std::uint64_t timeout_cycles) const {
+  if (timeout_cycles == kNoTimeout) {
+    return kNoTimeout;
+  }
+  const std::uint64_t now = clock_->cycles();
+  return timeout_cycles >= kNoTimeout - now ? kNoTimeout : now + timeout_cycles;
+}
+
+void PosixApi::WaitFdReady(int fd, uknet::EventMask want) {
+  fdtab_.Watch(fd);
+  const std::uint32_t gen = fdtab_.generation(fd);
+  want |= uknet::kEvtErr | uknet::kEvtHup;  // teardown always ends a wait
+  while ((ReadyMask(fd) & want) == 0) {
+    if (!fdtab_.InUse(fd) || fdtab_.generation(fd) != gen) {
+      // Closed under the sleeper (possibly reused for a different socket):
+      // stop waiting — the caller retries and reports on the fd's NEW state
+      // instead of hanging on the old socket's readiness.
+      return;
+    }
+    // Frames, registered-socket edges and TCP timers all end this sleep; the
+    // level is re-derived on every wake, so spurious wakeups are harmless.
+    net_->PollWait();
+  }
+}
+
+int PosixApi::ScanPoll(std::span<PollFd> fds) {
+  int ready = 0;
+  for (PollFd& p : fds) {
+    if (p.fd < 0) {
+      p.revents = 0;  // POSIX: negative fds mark ignored entries
+      continue;
+    }
+    if (!fdtab_.InUse(p.fd)) {
+      p.revents = uknet::kEvtErr;  // POLLNVAL-equivalent: report, never hang
+      ++ready;
+      continue;
+    }
+    fdtab_.Watch(p.fd);
+    fdtab_.TakeEdges(p.fd);  // consumed: the level below carries the report
+    p.revents = ReadyMask(p.fd) & (p.events | uknet::kEvtErr | uknet::kEvtHup);
+    if (p.revents != 0) {
+      ++ready;
+    }
+  }
+  return ready;
+}
+
+int PosixApi::ScanEpoll(EpollInstance& inst, std::span<EpollEvent> out) {
+  if (out.empty() || inst.interest.empty()) {
+    return 0;
+  }
+  // Rotate the scan start across calls: when more descriptors are ready than
+  // |out| holds, successive waits cycle through them instead of starving the
+  // high-numbered fds (the multi-fd fairness rule).
+  int n = 0;
+  int last_reported = inst.rotor;
+  auto it = inst.interest.upper_bound(inst.rotor);
+  std::size_t steps = inst.interest.size();
+  while (steps-- > 0 && n < static_cast<int>(out.size()) && !inst.interest.empty()) {
+    if (it == inst.interest.end()) {
+      it = inst.interest.begin();
+    }
+    const int fd = it->first;
+    const EpollInterest& interest = it->second;
+    if (!fdtab_.InUse(fd) || fdtab_.generation(fd) != interest.gen) {
+      // The descriptor was closed (and possibly reused for a different
+      // socket): the registration is stale — prune it, deliver nothing.
+      it = inst.interest.erase(it);
+      continue;
+    }
+    fdtab_.TakeEdges(fd);
+    uknet::EventMask m =
+        ReadyMask(fd) & (interest.events | uknet::kEvtErr | uknet::kEvtHup);
+    if (m != 0) {
+      out[n].fd = fd;
+      out[n].events = m;
+      out[n].data = interest.data;
+      ++n;
+      last_reported = fd;
+    }
+    ++it;
+  }
+  if (n > 0) {
+    inst.rotor = last_reported;
+  }
+  return n;
 }
 
 void PosixApi::RegisterHandlers() {
@@ -164,15 +291,18 @@ void PosixApi::RegisterHandlers() {
       return Err(ukarch::Status::kBadF);
     }
     net_->Poll();
-    auto conn = listener->Accept();
-    while (conn == nullptr && ShouldBlock(fd)) {
-      net_->PollWait();  // sleep until a frame (the SYN/ACK path) or a timer
-      conn = listener->Accept();
+    for (;;) {
+      auto conn = listener->Accept();
+      if (conn != nullptr) {
+        return fdtab_.Install(std::move(conn));
+      }
+      if (!ShouldBlock(fd)) {
+        return Err(ukarch::Status::kAgain);
+      }
+      // Blocking accept is a one-descriptor wait on the readiness machinery:
+      // sleep until the listener's level shows kEvtAcceptable, then retry.
+      WaitFdReady(fd, uknet::kEvtAcceptable);
     }
-    if (conn == nullptr) {
-      return Err(ukarch::Status::kAgain);
-    }
-    return fdtab_.Install(std::move(conn));
   });
   shim_.Register(SyscallNumber("connect"), [this](const SyscallArgs& a) -> std::int64_t {
     int fd = static_cast<int>(a.a0);
@@ -213,7 +343,7 @@ void PosixApi::RegisterHandlers() {
       if (n != Err(ukarch::Status::kAgain) || !ShouldBlock(fd)) {
         return n;
       }
-      net_->PollWait();  // blocking mode: halt until a datagram wakes us
+      WaitFdReady(fd, uknet::kEvtReadable);  // one-fd wait: halt until a datagram
     }
   });
   shim_.Register(SyscallNumber("sendmmsg"), [this](const SyscallArgs& a) -> std::int64_t {
@@ -221,18 +351,13 @@ void PosixApi::RegisterHandlers() {
     if (udp == nullptr) {
       return Err(ukarch::Status::kBadF);
     }
-    auto* vecs = AsPtr<const MmsgVec>(a.a1);
-    std::int64_t sent = 0;
-    for (std::uint64_t i = 0; i < a.a2; ++i) {
-      std::int64_t n = udp->SendTo(static_cast<uknet::Ip4Addr>(a.a4),
-                                   static_cast<std::uint16_t>(a.a5),
-                                   std::span(vecs[i].data, vecs[i].len));
-      if (n < 0) {
-        break;
-      }
-      ++sent;
-    }
-    return sent;
+    // Batched TX all the way down: the caller's scatter array is the stack's
+    // own view type, and the whole batch rides UdpSocket::SendToBatch — one
+    // netbuf per datagram, one TxBurst per chunk instead of one per packet.
+    std::int64_t sent = udp->SendToBatch(
+        static_cast<uknet::Ip4Addr>(a.a4), static_cast<std::uint16_t>(a.a5),
+        std::span(AsPtr<const MmsgVec>(a.a1), a.a2));
+    return sent < 0 ? 0 : sent;  // nothing accepted reports an empty batch
   });
   shim_.Register(SyscallNumber("recvmmsg"), [this](const SyscallArgs& a) -> std::int64_t {
     const int fd = static_cast<int>(a.a0);
@@ -244,8 +369,8 @@ void PosixApi::RegisterHandlers() {
     // Batched receive: one stack poll for the whole batch, then each datagram
     // copied once from its netbuf into the caller's scatter array. Blocking
     // mode sleeps until at least one datagram is in, then takes the batch.
-    while (!udp->readable() && ShouldBlock(fd)) {
-      net_->PollWait();
+    if (!udp->readable() && ShouldBlock(fd)) {
+      WaitFdReady(fd, uknet::kEvtReadable);
     }
     auto* msgs = AsPtr<MmsgRecv>(a.a1);
     std::int64_t got = 0;
@@ -287,13 +412,112 @@ void PosixApi::RegisterHandlers() {
       if (n != Err(ukarch::Status::kAgain) || !ShouldBlock(fd)) {
         return n;  // data, FIN (0) and errors all end a blocking recv
       }
-      // PollWait's deadline folds in this connection's RTO, so a blocked
-      // reader still drives its own retransmissions.
-      net_->PollWait();
+      // One-fd wait; PollWait's deadline folds in this connection's RTO, so
+      // a blocked reader still drives its own retransmissions.
+      WaitFdReady(fd, uknet::kEvtReadable);
     }
   };
   shim_.Register(SyscallNumber("sendmsg"), tcp_send);
   shim_.Register(SyscallNumber("recvmsg"), tcp_recv);
+
+  // ---- readiness multiplexing handlers ----
+  shim_.Register(SyscallNumber("poll"), [this](const SyscallArgs& a) -> std::int64_t {
+    std::span<PollFd> fds(AsPtr<PollFd>(a.a1), a.a2);
+    const std::uint64_t timeout = a.a3;
+    const std::uint64_t deadline = DeadlineFor(timeout);
+    if (net_ != nullptr) {
+      net_->Poll();
+    }
+    for (;;) {
+      int ready = ScanPoll(fds);
+      if (ready > 0 || timeout == 0 || net_ == nullptr || !net_->CanBlock()) {
+        return ready;  // without a scheduler this degrades to one scan pass
+      }
+      const std::uint64_t now = clock_->cycles();
+      if (deadline != kNoTimeout && now >= deadline) {
+        return 0;
+      }
+      net_->PollWait(uknet::NetStack::kAllQueues,
+                     deadline == kNoTimeout ? uknet::NetStack::kNoDeadline
+                                            : deadline - now);
+    }
+  });
+  shim_.Register(SyscallNumber("epoll_create1"),
+                 [this](const SyscallArgs&) -> std::int64_t {
+                   return fdtab_.Install(std::make_shared<EpollInstance>());
+                 });
+  shim_.Register(SyscallNumber("epoll_ctl"), [this](const SyscallArgs& a) -> std::int64_t {
+    auto inst = fdtab_.Get<EpollInstance>(static_cast<int>(a.a0));
+    if (inst == nullptr) {
+      return Err(ukarch::Status::kBadF);
+    }
+    const auto op = static_cast<EpollOp>(a.a1);
+    const int fd = static_cast<int>(a.a2);
+    auto it = inst->interest.find(fd);
+    // An entry that survived a Close of its descriptor is stale even if the
+    // number is in use again: it never matches and never delivers.
+    const bool present = it != inst->interest.end() && fdtab_.InUse(fd) &&
+                         fdtab_.generation(fd) == it->second.gen;
+    switch (op) {
+      case EpollOp::kAdd: {
+        if (present) {
+          return Err(ukarch::Status::kExist);
+        }
+        if (!fdtab_.Watch(fd)) {
+          return Err(ukarch::Status::kBadF);
+        }
+        inst->interest[fd] =
+            EpollInterest{static_cast<uknet::EventMask>(a.a3), a.a4,
+                          fdtab_.generation(fd)};
+        return 0;
+      }
+      case EpollOp::kMod:
+        if (!present) {
+          return Err(ukarch::Status::kNoEnt);
+        }
+        it->second.events = static_cast<uknet::EventMask>(a.a3);
+        it->second.data = a.a4;
+        return 0;
+      case EpollOp::kDel:
+        if (it == inst->interest.end()) {
+          return Err(ukarch::Status::kNoEnt);
+        }
+        inst->interest.erase(it);
+        return 0;
+    }
+    return Err(ukarch::Status::kInval);
+  });
+  shim_.Register(SyscallNumber("epoll_wait"), [this](const SyscallArgs& a) -> std::int64_t {
+    auto inst = fdtab_.Get<EpollInstance>(static_cast<int>(a.a0));
+    if (inst == nullptr) {
+      return Err(ukarch::Status::kBadF);
+    }
+    std::span<EpollEvent> out(AsPtr<EpollEvent>(a.a1), a.a2);
+    if (out.empty()) {
+      return Err(ukarch::Status::kInval);  // a 0-slot wait could never end
+    }
+    const std::uint64_t timeout = a.a3;
+    const std::uint64_t deadline = DeadlineFor(timeout);
+    if (net_ != nullptr) {
+      net_->Poll();
+    }
+    for (;;) {
+      int n = ScanEpoll(*inst, out);
+      if (n > 0 || timeout == 0 || net_ == nullptr || !net_->CanBlock()) {
+        return n;
+      }
+      const std::uint64_t now = clock_->cycles();
+      if (deadline != kNoTimeout && now >= deadline) {
+        return 0;
+      }
+      // The multiplexed sleep of the whole design: one thread, any number of
+      // watched descriptors, parked in PollWait until a frame, a TCP timer,
+      // or a registered socket edge ends it.
+      net_->PollWait(uknet::NetStack::kAllQueues,
+                     deadline == kNoTimeout ? uknet::NetStack::kNoDeadline
+                                            : deadline - now);
+    }
+  });
 }
 
 // ---- public wrappers: marshal into the register ABI ------------------------------
@@ -422,6 +646,32 @@ std::int64_t PosixApi::RecvMmsg(int fd, std::span<MmsgRecv> msgs) {
   return shim_.Call(SyscallNumber("recvmmsg"),
                     SyscallArgs{static_cast<std::uint64_t>(fd), Ptr(msgs.data()),
                                 msgs.size()});
+}
+
+int PosixApi::Poll(std::span<PollFd> fds, std::uint64_t timeout_cycles) {
+  return static_cast<int>(shim_.Call(
+      SyscallNumber("poll"),
+      SyscallArgs{0, Ptr(fds.data()), fds.size(), timeout_cycles}));
+}
+
+int PosixApi::EpollCreate() {
+  return static_cast<int>(shim_.Call(SyscallNumber("epoll_create1")));
+}
+
+int PosixApi::EpollCtl(int epfd, EpollOp op, int fd, uknet::EventMask events,
+                       std::uint64_t data) {
+  return static_cast<int>(shim_.Call(
+      SyscallNumber("epoll_ctl"),
+      SyscallArgs{static_cast<std::uint64_t>(epfd), static_cast<std::uint64_t>(op),
+                  static_cast<std::uint64_t>(fd), events, data}));
+}
+
+int PosixApi::EpollWait(int epfd, std::span<EpollEvent> out,
+                        std::uint64_t timeout_cycles) {
+  return static_cast<int>(shim_.Call(
+      SyscallNumber("epoll_wait"),
+      SyscallArgs{static_cast<std::uint64_t>(epfd), Ptr(out.data()), out.size(),
+                  timeout_cycles}));
 }
 
 }  // namespace posix

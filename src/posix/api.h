@@ -9,11 +9,20 @@
 //
 // Non-blocking by design: unikernel applications in the paper run
 // run-to-completion event loops; -EAGAIN means "pump the stack and retry".
-// Sockets can opt into blocking (SetBlocking, the inverse of O_NONBLOCK):
-// recv*/accept on a blocking fd park the calling uksched::Thread in
-// NetStack::PollWait — the interrupt-driven idle path — instead of returning
-// -EAGAIN, provided the stack has a scheduler attached and the call runs on
-// a scheduler thread (otherwise the flag is ignored and -EAGAIN comes back).
+//
+// Readiness multiplexing: Poll/EpollCreate/EpollCtl/EpollWait expose the
+// uknet readiness-event API at the descriptor level. Levels are *derived*
+// from current socket state on every scan (readable/writable/acceptable/
+// hup/err), so reports stay level-triggered and -EAGAIN consumer loops are
+// always correct; the accumulated edges only drive wakeups. EpollWait (and
+// Poll with a timeout) sleep in NetStack::PollWait — the interrupt-driven
+// idle path — and wake on frames, TCP timers, or a registered socket edge.
+//
+// Sockets can still opt into blocking one-fd calls (SetBlocking, the inverse
+// of O_NONBLOCK): recv*/accept on a blocking fd are one-descriptor waits on
+// the same readiness machinery, provided the stack has a scheduler attached
+// and the call runs on a scheduler thread (otherwise the flag is ignored and
+// -EAGAIN comes back).
 #ifndef POSIX_API_H_
 #define POSIX_API_H_
 
@@ -30,10 +39,9 @@ namespace posix {
 enum class SockType { kDgram, kStream };
 
 // Scatter element for the batched (sendmmsg/recvmmsg) calls of Table 4.
-struct MmsgVec {
-  const std::uint8_t* data = nullptr;
-  std::size_t len = 0;
-};
+// The send element IS the stack's batched-TX view, so the sendmmsg handler
+// passes the caller's array straight to UdpSocket::SendToBatch.
+using MmsgVec = uknet::UdpSocket::DatagramVec;
 struct MmsgRecv {
   std::uint8_t* data = nullptr;
   std::size_t cap = 0;
@@ -41,6 +49,24 @@ struct MmsgRecv {
   uknet::Ip4Addr src_ip = 0;
   std::uint16_t src_port = 0;
   std::uint16_t rx_queue = 0;  // device queue the datagram arrived on
+};
+
+// ---- readiness multiplexing types ----
+// Event bits are uknet's (kEvtReadable/kEvtWritable/kEvtAcceptable/kEvtHup/
+// kEvtErr); err and hup are always reported, registered or not, like POSIX.
+
+struct PollFd {
+  int fd = -1;
+  uknet::EventMask events = 0;   // interest
+  uknet::EventMask revents = 0;  // filled by Poll
+};
+
+enum class EpollOp { kAdd, kMod, kDel };
+
+struct EpollEvent {
+  int fd = -1;
+  uknet::EventMask events = 0;  // ready mask (level)
+  std::uint64_t data = 0;       // user cookie from EpollCtl
 };
 
 class PosixApi {
@@ -78,10 +104,39 @@ class PosixApi {
                         std::span<const MmsgVec> msgs);
   std::int64_t RecvMmsg(int fd, std::span<MmsgRecv> msgs);
 
+  // ---- readiness multiplexing ----
+  // Timeouts are virtual cycles: 0 = non-blocking scan, kNoTimeout = sleep
+  // until an event. Blocking requires the stack scheduler (CanBlock);
+  // otherwise both degrade to one poll pass + scan.
+  static constexpr std::uint64_t kNoTimeout = ~0ull;
+
+  // Scans |fds| (subscribing each to the readiness sinks) and fills revents
+  // with the level mask; blocks up to |timeout_cycles| for the first event.
+  // Returns the number of descriptors with non-zero revents (0 on timeout).
+  int Poll(std::span<PollFd> fds, std::uint64_t timeout_cycles = 0);
+
+  // epoll work-alikes. EpollCreate installs an epoll instance as an fd.
+  // EpollCtl manages the interest list (kAdd: -EEXIST if present, kMod/kDel:
+  // -ENOENT if absent); interest records the fd-slot generation, so entries
+  // that survive a Close never match — a reused descriptor number delivers
+  // nothing until it is re-added. EpollWait fills |out| with level-ready
+  // descriptors (rotating the scan start for multi-fd fairness) and returns
+  // the count, 0 on timeout.
+  int EpollCreate();
+  int EpollCtl(int epfd, EpollOp op, int fd, uknet::EventMask events,
+               std::uint64_t data = 0);
+  int EpollWait(int epfd, std::span<EpollEvent> out,
+                std::uint64_t timeout_cycles = 0);
+
+  // Level-triggered readiness of one descriptor, derived from current socket
+  // state (files are always readable+writable).
+  uknet::EventMask ReadyMask(int fd) const;
+
   // Marks |fd| blocking/non-blocking (default: non-blocking). On a blocking
-  // fd, Recv/RecvFrom/RecvMmsg/Accept sleep in NetStack::PollWait until data
-  // (or a connection) arrives or a TCP timer needs service, then retry.
-  // Returns 0 or -EBADF. The flag clears on Close.
+  // fd, Recv/RecvFrom/RecvMmsg/Accept become one-descriptor waits on the
+  // readiness machinery: they sleep in NetStack::PollWait until the level
+  // shows readable/acceptable (or hup/err), then retry. Returns 0 or -EBADF.
+  // The flag clears on Close.
   int SetBlocking(int fd, bool blocking);
   bool IsBlocking(int fd) const;
 
@@ -97,9 +152,19 @@ class PosixApi {
 
  private:
   void RegisterHandlers();
-  // True when the blocking loop may actually sleep for |fd|.
+  // True when a blocking call may actually sleep for |fd|.
   bool ShouldBlock(int fd) const;
+  // The one-descriptor wait every blocking recv*/accept is built on: watches
+  // |fd| and sleeps in PollWait until its level intersects |want| (hup/err
+  // always end the wait). The shared core under Poll/EpollWait's sleeps.
+  void WaitFdReady(int fd, uknet::EventMask want);
+  // Scan bodies (no blocking): return ready count.
+  int ScanPoll(std::span<PollFd> fds);
+  int ScanEpoll(EpollInstance& inst, std::span<EpollEvent> out);
+  // Turns a relative timeout into an absolute deadline (kNoTimeout passes).
+  std::uint64_t DeadlineFor(std::uint64_t timeout_cycles) const;
 
+  ukplat::Clock* clock_;
   SyscallShim shim_;
   FdTable fdtab_;
   vfscore::Vfs* vfs_;

@@ -1,11 +1,23 @@
 #include "posix/fdtab.h"
 
+#include <type_traits>
+
 namespace posix {
+
+FdTable::~FdTable() {
+  for (std::size_t fd = 0; fd < entries_.size(); ++fd) {
+    if (watched_[fd] != 0) {
+      DetachSink(static_cast<int>(fd));
+    }
+  }
+}
 
 int FdTable::Install(FdEntry entry) {
   for (std::size_t fd = 3; fd < entries_.size(); ++fd) {
     if (std::holds_alternative<std::monostate>(entries_[fd])) {
       entries_[fd] = std::move(entry);
+      edges_[fd] = 0;
+      watched_[fd] = 0;
       return static_cast<int>(fd);
     }
   }
@@ -17,19 +29,90 @@ int FdTable::Dup2(int oldfd, int newfd) {
       static_cast<std::size_t>(newfd) >= entries_.size()) {
     return ukarch::Raw(ukarch::Status::kBadF);
   }
+  if (oldfd == newfd) {
+    return newfd;  // POSIX: equal descriptors are a no-op, never a close
+  }
+  if (InUse(newfd)) {
+    Close(newfd);  // dup2 implicitly closes the target description
+  }
   entries_[static_cast<std::size_t>(newfd)] = entries_[static_cast<std::size_t>(oldfd)];
   return newfd;
+}
+
+bool FdTable::Replace(int fd, FdEntry entry) {
+  if (!InUse(fd)) {
+    return false;
+  }
+  const auto slot = static_cast<std::size_t>(fd);
+  const bool was_watched = watched_[slot] != 0;
+  if (was_watched) {
+    DetachSink(fd);
+  }
+  entries_[slot] = std::move(entry);
+  edges_[slot] = 0;
+  if (was_watched) {
+    // Same descriptor, same open description (pending -> bound/connected):
+    // the watch carries over to the materialized socket.
+    Subscribe(fd);
+  }
+  return true;
 }
 
 ukarch::Status FdTable::Close(int fd) {
   if (!InUse(fd)) {
     return ukarch::Status::kBadF;
   }
-  // Graceful TCP teardown on close, like the socket layer does.
-  if (auto tcp = Get<uknet::TcpSocket>(fd)) {
-    tcp->Close();
+  const auto slot = static_cast<std::size_t>(fd);
+  // The socket may outlive this descriptor (other shared_ptr holders): stop
+  // it from raising edges under a token that now means something else.
+  uknet::SocketEventSource* src = EventSourceOf(fd);
+  DetachSink(fd);
+  // Dup2 sharing check, gated so the common close stays O(1): a socket held
+  // only by this slot plus the stack's own registry has use_count 2 — more
+  // implies a possible sibling descriptor, and only then is the table scan
+  // worth paying. (A stack-unregistered dup'd socket can slip the gate; it
+  // is already dead, so neither the FIN skip nor the sink matter for it.)
+  int sharer = -1;
+  int watched_sharer = -1;
+  const long uses = std::visit(
+      [](const auto& p) -> long {
+        if constexpr (std::is_same_v<std::decay_t<decltype(p)>, std::monostate>) {
+          return 0;
+        } else {
+          return p.use_count();
+        }
+      },
+      entries_[slot]);
+  if (src != nullptr && uses > 2) {
+    for (std::size_t other = 0; other < entries_.size(); ++other) {
+      if (other == slot || EventSourceOf(static_cast<int>(other)) != src) {
+        continue;
+      }
+      sharer = static_cast<int>(other);
+      if (watched_[other] != 0) {
+        watched_sharer = sharer;
+        break;
+      }
+    }
   }
-  entries_[static_cast<std::size_t>(fd)] = std::monostate{};
+  // Graceful TCP teardown on close, like the socket layer does — but only
+  // when the LAST descriptor goes (POSIX: dup'd descriptors share one open
+  // description; closing one must not FIN the survivor's connection).
+  if (sharer < 0) {
+    if (auto tcp = Get<uknet::TcpSocket>(fd)) {
+      tcp->Close();
+    }
+  }
+  entries_[slot] = std::monostate{};
+  edges_[slot] = 0;
+  watched_[slot] = 0;
+  ++gens_[slot];  // stale epoll interest for this number stops matching here
+  // A socket has ONE sink slot. If a dup'd descriptor still watches this
+  // socket, re-home the sink to the survivor so its edge delivery (and with
+  // it the lost-wakeup defence) does not die with the closed number.
+  if (watched_sharer >= 0) {
+    Subscribe(watched_sharer);
+  }
   return ukarch::Status::kOk;
 }
 
@@ -41,6 +124,60 @@ std::size_t FdTable::open_count() const {
     }
   }
   return n;
+}
+
+bool FdTable::Watch(int fd) {
+  if (!InUse(fd)) {
+    return false;
+  }
+  watched_[static_cast<std::size_t>(fd)] = 1;
+  Subscribe(fd);
+  return true;
+}
+
+uknet::EventMask FdTable::TakeEdges(int fd) {
+  if (fd < 0 || static_cast<std::size_t>(fd) >= edges_.size()) {
+    return 0;
+  }
+  uknet::EventMask ev = edges_[static_cast<std::size_t>(fd)];
+  edges_[static_cast<std::size_t>(fd)] = 0;
+  return ev;
+}
+
+void FdTable::OnSocketEvent(std::uint64_t token, uknet::EventMask events) {
+  // Wakeup-grade work only (raised from inside stack dispatch): accumulate
+  // the edge; level scanning happens on the consumer's side of the wake.
+  if (token >= edges_.size()) {
+    return;
+  }
+  edges_[static_cast<std::size_t>(token)] |= events;
+  ++edges_delivered_;
+}
+
+uknet::SocketEventSource* FdTable::EventSourceOf(int fd) const {
+  // Files and pending sockets have no edges; their levels are constant.
+  if (auto udp = Get<uknet::UdpSocket>(fd)) {
+    return udp.get();
+  }
+  if (auto tcp = Get<uknet::TcpSocket>(fd)) {
+    return tcp.get();
+  }
+  if (auto lst = Get<uknet::TcpListener>(fd)) {
+    return lst.get();
+  }
+  return nullptr;
+}
+
+void FdTable::Subscribe(int fd) {
+  if (auto* src = EventSourceOf(fd)) {
+    src->SetEventSink(this, static_cast<std::uint64_t>(fd));
+  }
+}
+
+void FdTable::DetachSink(int fd) {
+  if (auto* src = EventSourceOf(fd)) {
+    src->SetEventSink(nullptr, 0);
+  }
 }
 
 }  // namespace posix

@@ -1,8 +1,16 @@
 // posix/fdtab.h - the posix-fdtab micro-library: integer descriptors over
-// VFS files and network sockets.
+// VFS files and network sockets, plus the readiness-interest bookkeeping the
+// poll/epoll layer builds on.
+//
+// The table is the single uknet::SocketEventSink for every watched socket
+// (token = fd): edges accumulate per descriptor, and a per-slot generation
+// counter — bumped on Close — lets epoll interest lists detect that a
+// descriptor number was reused for a different socket and drop the stale
+// registration instead of delivering the old socket's events.
 #ifndef POSIX_FDTAB_H_
 #define POSIX_FDTAB_H_
 
+#include <map>
 #include <memory>
 #include <variant>
 #include <vector>
@@ -20,34 +28,63 @@ struct PendingSocket {
   std::uint16_t bound_port = 0;
 };
 
+// One epoll interest-list entry: the subscribed event mask, the user cookie
+// returned with each event, and the fd-slot generation at registration time
+// (a mismatch means the fd was closed and reused — the entry is stale).
+struct EpollInterest {
+  uknet::EventMask events = 0;
+  std::uint64_t data = 0;
+  std::uint32_t gen = 0;
+};
+
+// An epoll instance, itself installed in the fd table (epoll_create returns
+// a descriptor). |rotor| rotates the scan start across EpollWait calls so
+// ready descriptors are reported fairly when the caller's event array is
+// smaller than the ready set.
+struct EpollInstance {
+  std::map<int, EpollInterest> interest;
+  int rotor = -1;
+};
+
 // One open description. monostate marks a free slot.
 using FdEntry = std::variant<std::monostate, std::shared_ptr<vfscore::File>,
                              std::shared_ptr<uknet::UdpSocket>,
                              std::shared_ptr<uknet::TcpSocket>,
                              std::shared_ptr<uknet::TcpListener>,
-                             std::shared_ptr<PendingSocket>>;
+                             std::shared_ptr<PendingSocket>,
+                             std::shared_ptr<EpollInstance>>;
 
-class FdTable {
+class FdTable : public uknet::SocketEventSink {
  public:
-  explicit FdTable(int max_fds = 1024) : entries_(static_cast<std::size_t>(max_fds)) {}
+  explicit FdTable(int max_fds = 1024)
+      : entries_(static_cast<std::size_t>(max_fds)),
+        edges_(static_cast<std::size_t>(max_fds), 0),
+        gens_(static_cast<std::size_t>(max_fds), 0),
+        watched_(static_cast<std::size_t>(max_fds), 0) {}
+  // Sockets can outlive the table (shared_ptrs held by the stack or the
+  // app); detach every sink so no socket raises into freed memory.
+  ~FdTable() override;
 
   // Installs |entry| at the lowest free descriptor >= 3 (0-2 reserved for
   // std streams). Returns -EMFILE when the table is full.
   int Install(FdEntry entry);
 
-  // dup2 semantics: places a copy of |oldfd| at |newfd|.
+  // dup2 semantics: places a copy of |oldfd| at |newfd| (closing an in-use
+  // target first; equal descriptors are a no-op). Table-level operation:
+  // PosixApi-layer per-fd state (the blocking flag) is owned by the api and
+  // cleared only by its close syscall — callers mixing direct Dup2 with
+  // PosixApi blocking flags must clear them via PosixApi::Close.
   int Dup2(int oldfd, int newfd);
 
   // Replaces the entry at |fd| in place (socket state transitions:
-  // pending -> bound/listening/connected keep their descriptor).
-  bool Replace(int fd, FdEntry entry) {
-    if (!InUse(fd)) {
-      return false;
-    }
-    entries_[static_cast<std::size_t>(fd)] = std::move(entry);
-    return true;
-  }
+  // pending -> bound/listening/connected keep their descriptor — same open
+  // description, so the generation does NOT change and an existing watch
+  // transfers to the new object).
+  bool Replace(int fd, FdEntry entry);
 
+  // Clears the slot, detaches the socket's event sink, drops accumulated
+  // edges and the blocking/watch state, and bumps the slot generation so
+  // stale epoll interest never matches a reused descriptor.
   ukarch::Status Close(int fd);
 
   template <typename T>
@@ -67,8 +104,49 @@ class FdTable {
   std::size_t open_count() const;
   std::size_t capacity() const { return entries_.size(); }
 
+  // ---- readiness interest ---------------------------------------------------
+  // Subscribes |fd|'s socket to this table's sink (idempotent; files and
+  // pending sockets have nothing to subscribe but still count as watched).
+  // Returns false for descriptors not in use. Watches are sticky for the
+  // descriptor's lifetime (cleared at Close): the layer serves persistent
+  // multiplexers, so a one-shot poll() leaves the socket subscribed — its
+  // later edges cost spurious (correctness-neutral) sleeper wakeups, never
+  // lost ones.
+  bool Watch(int fd);
+  bool watched(int fd) const {
+    return fd >= 0 && static_cast<std::size_t>(fd) < watched_.size() &&
+           watched_[static_cast<std::size_t>(fd)] != 0;
+  }
+  // Accumulated readiness edges since the last TakeEdges (level state lives
+  // on the sockets; the edge mask is for wake bookkeeping and tests).
+  uknet::EventMask edges(int fd) const {
+    return fd >= 0 && static_cast<std::size_t>(fd) < edges_.size()
+               ? edges_[static_cast<std::size_t>(fd)]
+               : 0;
+  }
+  uknet::EventMask TakeEdges(int fd);
+  // Slot generation: bumped at Close so interest lists can detect fd reuse.
+  std::uint32_t generation(int fd) const {
+    return fd >= 0 && static_cast<std::size_t>(fd) < gens_.size()
+               ? gens_[static_cast<std::size_t>(fd)]
+               : 0;
+  }
+  std::uint64_t edges_delivered() const { return edges_delivered_; }
+
+  // uknet::SocketEventSink: |token| is the watched fd.
+  void OnSocketEvent(std::uint64_t token, uknet::EventMask events) override;
+
  private:
+  // (De)registers this table as |fd|'s socket sink.
+  uknet::SocketEventSource* EventSourceOf(int fd) const;
+  void Subscribe(int fd);
+  void DetachSink(int fd);
+
   std::vector<FdEntry> entries_;
+  std::vector<uknet::EventMask> edges_;  // accumulated edges per fd
+  std::vector<std::uint32_t> gens_;      // slot generation (fd-reuse guard)
+  std::vector<std::uint8_t> watched_;    // fd has a live readiness watch
+  std::uint64_t edges_delivered_ = 0;
 };
 
 }  // namespace posix

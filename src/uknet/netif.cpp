@@ -168,37 +168,64 @@ std::uint16_t NetIf::SendEthBatch(uknetdev::MacAddr dst, std::uint16_t ethertype
 
 bool NetIf::SendIpBuf(Ip4Addr dst, std::uint8_t proto, uknetdev::NetBuf* nb,
                       std::uint16_t queue) {
-  Ip4Header ip;
-  ip.total_len = static_cast<std::uint16_t>(kIp4HdrBytes + nb->len);
-  ip.id = ip_id_++;
-  ip.proto = proto;
-  ip.src = config_.ip;
-  ip.dst = dst;
-  std::uint8_t* hdr = nb->PrependHeader(*mem_, kIp4HdrBytes);
-  if (hdr == nullptr) {
-    FreeTxBuf(nb);
-    return false;
-  }
-  ip.Serialize(hdr);
+  // The single-packet send is the batch of one: same header construction,
+  // same ARP-miss parking policy (bounded per-hop queue; beyond that, drop —
+  // TCP retransmits), one place to change either.
+  uknetdev::NetBuf* pkts[1] = {nb};
+  return SendIpBatch(dst, proto, pkts, 1, queue) == 1;
+}
 
+std::uint16_t NetIf::SendIpBatch(Ip4Addr dst, std::uint8_t proto,
+                                 uknetdev::NetBuf** pkts, std::uint16_t cnt,
+                                 std::uint16_t queue) {
+  // One destination means one next hop: resolve it once for the whole batch
+  // instead of per packet, then emit everything in a single TxBurst.
+  std::uint16_t ready = 0;
+  for (std::uint16_t i = 0; i < cnt; ++i) {
+    Ip4Header ip;
+    ip.total_len = static_cast<std::uint16_t>(kIp4HdrBytes + pkts[i]->len);
+    ip.id = ip_id_++;
+    ip.proto = proto;
+    ip.src = config_.ip;
+    ip.dst = dst;
+    std::uint8_t* hdr = pkts[i]->PrependHeader(*mem_, kIp4HdrBytes);
+    if (hdr == nullptr) {
+      FreeTxBuf(pkts[i]);
+      continue;
+    }
+    ip.Serialize(hdr);
+    pkts[ready++] = pkts[i];
+  }
+  if (ready == 0) {
+    return 0;
+  }
   Ip4Addr hop = NextHop(dst);
   auto cached = arp_cache_.find(hop);
   if (cached == arp_cache_.end()) {
-    // Park the netbuf itself behind ARP (bounded queue; beyond that, drop —
-    // TCP retransmits). The Ethernet header is prepended on resolution; the
-    // recorded queue keeps the flush on the flow's own queue.
+    // Unresolved next hop: park what the bounded per-hop queue accepts
+    // behind ONE ARP request; overflow drops (UDP callers retry, TCP
+    // retransmission recovers).
     auto& pending = arp_pending_[hop];
-    if (pending.size() >= kArpPendingCap) {
-      ++if_stats_.pending_dropped;
-      FreeTxBuf(nb);
-      return false;
+    std::uint16_t parked = 0;
+    for (std::uint16_t i = 0; i < ready; ++i) {
+      if (pending.size() >= kArpPendingCap) {
+        ++if_stats_.pending_dropped;
+        FreeTxBuf(pkts[i]);
+        continue;
+      }
+      pending.push_back(PendingTx{pkts[i], queue});
+      ++parked;
     }
-    pending.push_back(PendingTx{nb, queue});
-    SendArpRequest(hop, queue);
-    return true;
+    if (parked > 0) {
+      // A full pending queue means an earlier park already sent the request;
+      // re-asking per dropped batch would just add ARP frames to congestion.
+      SendArpRequest(hop, queue);
+    }
+    return parked;
   }
-  ++if_stats_.ip_tx;
-  return SendEthBuf(cached->second, kEthTypeIp4, nb, queue);
+  std::uint16_t sent = SendEthBatch(cached->second, kEthTypeIp4, pkts, ready, queue);
+  if_stats_.ip_tx += sent;
+  return sent;
 }
 
 bool NetIf::SendIp(Ip4Addr dst, std::uint8_t proto,

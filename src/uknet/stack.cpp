@@ -22,6 +22,35 @@ bool NetStack::SendTcpHeaderOnly(NetIf* netif, Ip4Addr dst, const TcpHeader& hdr
   return netif->SendIpBuf(dst, kIpProtoTcp, nb, queue);
 }
 
+// ---- readiness events -------------------------------------------------------------
+//
+// Every socket kind funnels its edges through the same two steps: deliver to
+// the registered sink (wakeup-grade work only), then bump the stack's event
+// sequence so PollWait sleepers rescan.
+
+void SocketEventSource::Raise(NetStack* stack, EventMask events) {
+  if (sink_ == nullptr) {
+    return;
+  }
+  sink_->OnSocketEvent(sink_token_, events);
+  stack->NotifySocketEvent();
+}
+
+void NetStack::NotifySocketEvent() {
+  ++event_seq_;
+  // Wake every sleeper: the socket an edge belongs to is not tied to the
+  // queue a waiter picked (a server socket fans in flows from all queues).
+  // Spurious wakes are resolved by the waiters' own readiness rescans.
+  for (auto& wq : rx_waits_) {
+    if (wq != nullptr) {
+      wq->Wake();
+    }
+  }
+  if (any_wait_ != nullptr) {
+    any_wait_->Wake();
+  }
+}
+
 // ---- UDP socket -------------------------------------------------------------------
 
 UdpSocket::~UdpSocket() {
@@ -93,6 +122,61 @@ std::int64_t UdpSocket::SendTo(Ip4Addr dst, std::uint16_t dst_port,
     return ukarch::Raw(ukarch::Status::kAgain);
   }
   return static_cast<std::int64_t>(payload.size());
+}
+
+std::int64_t UdpSocket::SendToBatch(Ip4Addr dst, std::uint16_t dst_port,
+                                    std::span<const DatagramVec> msgs) {
+  NetIf* netif = stack_->RouteTo(dst);
+  if (netif == nullptr) {
+    return ukarch::Raw(ukarch::Status::kNetUnreach);
+  }
+  const std::uint16_t queue = netif->TxQueueFor(dst, port_, dst_port);
+  constexpr std::size_t kChunk = 64;
+  uknetdev::NetBuf* pkts[kChunk];
+  std::int64_t accepted = 0;
+  std::size_t i = 0;
+  while (i < msgs.size()) {
+    // Build up to one chunk of UDP datagrams (payload written once, headers
+    // prepended in place), then burst the chunk in a single TxBurst.
+    std::uint16_t built = 0;
+    while (built < kChunk && i < msgs.size()) {
+      const DatagramVec& msg = msgs[i];
+      uknetdev::NetBuf* nb = netif->AllocTxBuf(kUdpHdrBytes, queue);
+      if (nb == nullptr) {
+        break;  // pool dry: burst what we have, report the partial batch
+      }
+      std::uint8_t* body =
+          nb->Append(*stack_->mem(), static_cast<std::uint32_t>(msg.len));
+      std::uint8_t* hdr_at =
+          body != nullptr ? nb->PrependHeader(*stack_->mem(), kUdpHdrBytes) : nullptr;
+      if (hdr_at == nullptr) {
+        netif->FreeTxBuf(nb);
+        break;
+      }
+      if (msg.len > 0) {
+        std::memcpy(body, msg.data, msg.len);
+      }
+      UdpHeader hdr;
+      hdr.src_port = port_;
+      hdr.dst_port = dst_port;
+      hdr.Serialize(hdr_at, netif->ip(), dst, std::span(body, msg.len));
+      pkts[built++] = nb;
+      ++i;
+    }
+    if (built == 0) {
+      break;
+    }
+    std::uint16_t sent = netif->SendIpBatch(dst, kIpProtoUdp, pkts, built, queue);
+    stack_->stats_.udp_tx += sent;
+    accepted += sent;
+    if (sent < built) {
+      break;
+    }
+  }
+  if (accepted == 0 && !msgs.empty()) {
+    return ukarch::Raw(ukarch::Status::kAgain);
+  }
+  return accepted;
 }
 
 std::int64_t UdpSocket::RecvInto(std::span<std::uint8_t> out, Ip4Addr* src_ip,
@@ -378,6 +462,11 @@ std::size_t NetStack::PollWait(std::uint16_t queue, std::uint64_t timeout_cycles
   // This sleeper holds the affected lines armed for the whole blocking phase;
   // the matching release on return only disarms lines nobody else holds.
   for_each_queue([&](std::uint16_t q) { ++rx_arm_counts_[q]; });
+  // Readiness edges delivered to registered sinks also end this wait: a
+  // sibling loop may consume the frames, but the *event* (readable/writable/
+  // acceptable) still belongs to this caller's sockets — return so it can
+  // rescan instead of sleeping through its own readiness.
+  const std::uint64_t events_at_entry = event_seq_;
   const std::uint64_t now = clock_->cycles();
   const std::uint64_t caller_deadline =
       timeout_cycles >= kNoDeadline - now ? kNoDeadline : now + timeout_cycles;
@@ -396,8 +485,8 @@ std::size_t NetStack::PollWait(std::uint16_t queue, std::uint64_t timeout_cycles
     if (woken) {
       ++wait_stats_.frame_wakeups;
       handled = drain();  // this RxBurst also re-arms drained lines
-      if (handled > 0) {
-        break;
+      if (handled > 0 || event_seq_ != events_at_entry) {
+        break;  // frames in hand, or a registered socket has pending events
       }
       // Spurious (another loop drained the frames first): sleep again.
     } else {
@@ -502,6 +591,7 @@ bool NetStack::HandleUdp(NetIf* netif, std::uint16_t queue, uknetdev::NetBuf* nb
     view.nb = nullptr;
   }
   sock.rx_.push_back(std::move(view));
+  sock.RaiseEvent(kEvtReadable);  // demux push: the datagram is readable now
   if (sock.rx_cb_) {
     sock.rx_cb_();
   }
@@ -606,6 +696,7 @@ void NetStack::NotifyAccepted(TcpSocket* sock) {
       ConnKey{sock->local_port_, sock->remote_ip_, sock->remote_port_});
   if (conn != tcp_conns_.end()) {
     listener->second->accept_queue_.push_back(conn->second);
+    listener->second->RaiseEvent(kEvtAcceptable);  // handshake completed
   }
 }
 

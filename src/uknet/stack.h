@@ -32,6 +32,52 @@ namespace uknet {
 
 class NetStack;
 
+// ---- readiness events --------------------------------------------------------------
+//
+// One notification contract for the whole tree: sockets raise *edges* from
+// the paths where state actually changes (demux pushes, ACKs that reopen the
+// send buffer, FIN/RST teardown, accept-queue pushes), and consumers derive
+// *level-triggered* readiness from the edge plus current socket state. The
+// posix poll/epoll layer builds its interest lists on these sinks; the apps'
+// event loop multiplexes many connections from one PollWait sleep on top.
+
+using EventMask = std::uint32_t;
+inline constexpr EventMask kEvtReadable = 1u << 0;    // data (or EOF) to read
+inline constexpr EventMask kEvtWritable = 1u << 1;    // send buffer reopened
+inline constexpr EventMask kEvtAcceptable = 1u << 2;  // accept queue non-empty
+inline constexpr EventMask kEvtHup = 1u << 3;         // peer FIN received
+inline constexpr EventMask kEvtErr = 1u << 4;         // reset / hard failure
+
+// Edge sink registered per socket (SetEventSink). Raised from inside stack
+// dispatch, so implementations must do wakeup-grade work only: record the
+// edge and return — no socket calls back into the stack, no blocking.
+// |token| is the opaque cookie the subscriber registered (posix uses the fd).
+class SocketEventSink {
+ public:
+  virtual ~SocketEventSink() = default;
+  virtual void OnSocketEvent(std::uint64_t token, EventMask events) = 0;
+};
+
+// Shared edge-source state every socket kind inherits: one registered sink,
+// one opaque token, one Raise path (deliver to the sink, then bump the
+// stack's event sequence so PollWait sleepers rescan). A socket with no sink
+// costs nothing and perturbs no wakeup accounting.
+class SocketEventSource {
+ public:
+  // Registers the readiness-edge sink (one per socket; nullptr detaches).
+  void SetEventSink(SocketEventSink* sink, std::uint64_t token = 0) {
+    sink_ = sink;
+    sink_token_ = token;
+  }
+
+ protected:
+  void Raise(NetStack* stack, EventMask events);  // defined in stack.cpp
+
+ private:
+  SocketEventSink* sink_ = nullptr;
+  std::uint64_t sink_token_ = 0;
+};
+
 class NetIf {
  public:
   struct Config {
@@ -124,6 +170,15 @@ class NetIf {
   std::uint16_t SendEthBatch(uknetdev::MacAddr dst, std::uint16_t ethertype,
                              uknetdev::NetBuf** pkts, std::uint16_t cnt,
                              std::uint16_t queue = 0);
+  // Batch IPv4 send to ONE destination: prepends each buffer's IP header in
+  // place, resolves the next hop once, and hands the whole batch to a single
+  // TxBurst (the UDP reply-flood path: N replies, one device doorbell).
+  // Takes ownership of all |cnt| buffers. Returns packets accepted (sent or,
+  // on an unresolved next hop, parked behind the ARP request); the rest are
+  // freed.
+  std::uint16_t SendIpBatch(Ip4Addr dst, std::uint8_t proto,
+                            uknetdev::NetBuf** pkts, std::uint16_t cnt,
+                            std::uint16_t queue = 0);
 
   // Copying compatibility shim over SendIpBuf for payloads that only exist
   // as a contiguous span (ICMP echo bodies, tests).
@@ -217,7 +272,7 @@ struct DatagramView {
   std::uint16_t rx_queue = 0;       // device queue the datagram arrived on
 };
 
-class UdpSocket {
+class UdpSocket : public SocketEventSource {
  public:
   ~UdpSocket();
 
@@ -229,6 +284,16 @@ class UdpSocket {
   // prepended in place around it (no intermediate datagram buffer).
   std::int64_t SendTo(Ip4Addr dst, std::uint16_t dst_port,
                       std::span<const std::uint8_t> payload);
+
+  // Batched send to one destination: builds one netbuf per payload and hands
+  // the lot to NetIf::SendIpBatch — one TxBurst for the whole reply flood.
+  // Returns datagrams accepted (stops early when the TX pool runs dry).
+  struct DatagramVec {
+    const std::uint8_t* data = nullptr;
+    std::size_t len = 0;
+  };
+  std::int64_t SendToBatch(Ip4Addr dst, std::uint16_t dst_port,
+                           std::span<const DatagramVec> msgs);
 
   // Zero-allocation receive: copies the payload straight from the netbuf
   // into |out| and releases the buffer. Bytes copied, or -EAGAIN when empty.
@@ -250,12 +315,15 @@ class UdpSocket {
   // Device queue of the most recently delivered datagram (flow affinity).
   std::uint16_t last_rx_queue() const { return last_rx_queue_; }
 
-  // Optional callback invoked on datagram arrival (event-loop integration).
+  // Optional callback invoked on datagram arrival (legacy event-loop hook;
+  // new consumers should register a SocketEventSink instead — the demux
+  // raises kEvtReadable on every datagram push).
   void SetRxCallback(std::function<void()> cb) { rx_cb_ = std::move(cb); }
 
  private:
   friend class NetStack;
   explicit UdpSocket(NetStack* stack) : stack_(stack) {}
+  void RaiseEvent(EventMask events) { Raise(stack_, events); }
 
   NetStack* stack_;
   std::uint16_t port_ = 0;
@@ -287,7 +355,7 @@ struct TcpTxSegment {
   uknetdev::NetBuf* nb = nullptr;      // retained buffer (one queue reference)
 };
 
-class TcpSocket {
+class TcpSocket : public SocketEventSource {
  public:
   ~TcpSocket();
 
@@ -312,6 +380,14 @@ class TcpSocket {
   std::size_t send_space() const { return kSendBufCap - send_buffered_; }
   bool connected() const { return state_ == TcpState::kEstablished; }
   bool failed() const { return reset_; }
+  // Peer sent its FIN (the level behind kEvtHup). Queued data stays readable;
+  // Recv returns 0 only once it is drained.
+  bool peer_closed() const { return fin_received_; }
+
+  // Edges raised to the registered sink: kEvtReadable when the receive
+  // buffer turns non-empty (or EOF arrives), kEvtWritable when an ACK
+  // reopens a full send buffer or the handshake completes, kEvtHup on the
+  // peer's FIN, kEvtErr on RST.
 
   // Graceful close (FIN). Data already in the send buffer is flushed first.
   void Close();
@@ -332,6 +408,7 @@ class TcpSocket {
  private:
   friend class NetStack;
   TcpSocket(NetStack* stack, NetIf* netif) : stack_(stack), netif_(netif) {}
+  void RaiseEvent(EventMask events) { Raise(stack_, events); }
 
   void OnSegment(std::uint16_t rx_queue, const TcpHeader& hdr,
                  std::span<const std::uint8_t> payload);
@@ -406,7 +483,9 @@ class TcpSocket {
   TcpStats tcp_stats_;
 };
 
-class TcpListener {
+// The handshake-completion path raises kEvtAcceptable to the registered
+// sink on every accept-queue push.
+class TcpListener : public SocketEventSource {
  public:
   std::uint16_t port() const { return port_; }
   std::shared_ptr<TcpSocket> Accept();  // nullptr when queue empty
@@ -415,6 +494,7 @@ class TcpListener {
  private:
   friend class NetStack;
   TcpListener(NetStack* stack, std::uint16_t port) : stack_(stack), port_(port) {}
+  void RaiseEvent(EventMask events) { Raise(stack_, events); }
   NetStack* stack_;
   std::uint16_t port_;
   std::deque<std::shared_ptr<TcpSocket>> accept_queue_;
@@ -475,6 +555,17 @@ class NetStack {
   // Earliest absolute cycle at which a TCP timer needs service, or
   // kNoDeadline when no connection is waiting on time.
   std::uint64_t NextTimerDeadline() const;
+
+  // ---- readiness-event fan-in ---------------------------------------------
+  // Called by every socket RaiseEvent once a registered sink consumed the
+  // edge: bumps the stack-wide event sequence and wakes ALL PollWait
+  // sleepers. A waiter that finds the sequence advanced across its sleep
+  // returns (frames or not) so its caller can rescan readiness — that is
+  // what makes PollWait wake on *pending socket events*, not only on frames
+  // landing on its own queue. Sockets without sinks never reach this path,
+  // so pure frame-driven waiters keep their exact wakeup counts.
+  void NotifySocketEvent();
+  std::uint64_t event_seq() const { return event_seq_; }
 
   struct WaitStats {
     std::uint64_t poll_iterations = 0;  // drain passes PollWait executed
@@ -568,6 +659,7 @@ class NetStack {
   // per-queue sibling (that would be a lost wakeup).
   std::vector<std::uint32_t> rx_arm_counts_;
   WaitStats wait_stats_;
+  std::uint64_t event_seq_ = 0;  // delivered readiness edges (registered sinks)
 };
 
 }  // namespace uknet

@@ -348,6 +348,7 @@ void TcpSocket::OnSegment(std::uint16_t rx_queue, const TcpHeader& hdr,
     reset_ = true;
     EnterState(TcpState::kClosed);
     ReleaseAllSegments();
+    RaiseEvent(kEvtErr | kEvtHup);  // hard error edge: wake any multiplexer
     stack_->RemoveConnection(this);
     return;
   }
@@ -360,6 +361,7 @@ void TcpSocket::OnSegment(std::uint16_t rx_queue, const TcpHeader& hdr,
       snd_una_ = hdr.ack;
       snd_wnd_ = hdr.window;
       EnterState(TcpState::kEstablished);
+      RaiseEvent(kEvtWritable);  // connect completed: the socket can send now
       EmitSegment(kTcpAck, snd_nxt_);
       Output();
     }
@@ -378,6 +380,7 @@ void TcpSocket::OnSegment(std::uint16_t rx_queue, const TcpHeader& hdr,
   }
 
   // --- ACK processing ---
+  const bool send_was_full = send_space() == 0;
   if ((hdr.flags & kTcpAck) != 0) {
     if (SeqLt(snd_una_, hdr.ack) && SeqLe(hdr.ack, snd_nxt_)) {
       // Cumulative ACK: release fully-covered segments back to the pool.
@@ -387,6 +390,11 @@ void TcpSocket::OnSegment(std::uint16_t rx_queue, const TcpHeader& hdr,
       ReleaseAcked(hdr.ack);
       snd_una_ = hdr.ack;
       dup_ack_count_ = 0;
+      if (send_was_full && send_space() > 0) {
+        // Send-window reopen edge: a writer parked on a full send buffer
+        // (Send() accepting 0) can make progress again.
+        RaiseEvent(kEvtWritable);
+      }
       // FIN fully acknowledged: advance teardown.
       if (fin_sent_ && snd_una_ == snd_nxt_) {
         if (state_ == TcpState::kFinWait1) {
@@ -417,6 +425,7 @@ void TcpSocket::OnSegment(std::uint16_t rx_queue, const TcpHeader& hdr,
   }
 
   // --- payload ---
+  const bool was_readable = readable();
   bool advanced = false;
   if (!payload.empty()) {
     if (hdr.seq == rcv_nxt_) {
@@ -440,6 +449,9 @@ void TcpSocket::OnSegment(std::uint16_t rx_queue, const TcpHeader& hdr,
     rcv_nxt_ += 1;
     fin_received_ = true;
     advanced = true;
+    // Orderly-shutdown edge. Data already queued stays readable: consumers
+    // drain it first and only then observe the EOF (Recv() returning 0).
+    RaiseEvent(kEvtHup);
     if (state_ == TcpState::kEstablished) {
       EnterState(TcpState::kCloseWait);
     } else if (state_ == TcpState::kFinWait1) {
@@ -450,6 +462,9 @@ void TcpSocket::OnSegment(std::uint16_t rx_queue, const TcpHeader& hdr,
       // and gets a fresh ACK instead of a RST.
       EnterState(TcpState::kTimeWait);
       time_wait_polls_left_ = stack_->time_wait_poll_budget;
+      if (!was_readable && readable()) {
+        RaiseEvent(kEvtReadable);
+      }
       EmitSegment(kTcpAck, snd_nxt_);
       return;
     }
@@ -462,6 +477,9 @@ void TcpSocket::OnSegment(std::uint16_t rx_queue, const TcpHeader& hdr,
     }
   }
 
+  if (!was_readable && readable()) {
+    RaiseEvent(kEvtReadable);  // empty -> readable (data or EOF) transition
+  }
   if (advanced) {
     EmitSegment(kTcpAck, snd_nxt_);
   }

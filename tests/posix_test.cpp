@@ -73,6 +73,18 @@ TEST(FdTableTest, InstallCloseReuse) {
   EXPECT_EQ(tab.Install(std::make_shared<PendingSocket>()), 3);  // lowest reused
 }
 
+TEST(FdTableTest, Dup2ClosesTargetButSelfDupIsNoOp) {
+  FdTable tab(16);
+  int fd = tab.Install(std::make_shared<PendingSocket>());
+  int other = tab.Install(std::make_shared<PendingSocket>());
+  // POSIX: dup2 with equal descriptors returns newfd and closes nothing.
+  EXPECT_EQ(tab.Dup2(fd, fd), fd);
+  EXPECT_TRUE(tab.InUse(fd));
+  // Distinct descriptors: the target is implicitly closed, then replaced.
+  EXPECT_EQ(tab.Dup2(fd, other), other);
+  EXPECT_EQ(tab.Get<PendingSocket>(other), tab.Get<PendingSocket>(fd));
+}
+
 TEST(FdTableTest, ExhaustionGivesEmfile) {
   FdTable tab(5);  // fds 3,4 usable
   EXPECT_EQ(tab.Install(std::make_shared<PendingSocket>()), 3);
