@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -40,19 +41,16 @@ inline constexpr double kSimNormalization = 0.10;
 inline constexpr double kRedisSyscallsPerRequest = 0.6;
 inline constexpr double kNginxSyscallsPerRequest = 5.0;
 
-// One valid Ethernet+IPv4+UDP GET frame for the kv server, as injected by
-// the load-generator side of the kvstore benches. |src_port| selects the
-// flow (and with it, the RSS queue the request lands on).
-inline std::vector<std::uint8_t> BuildKvGetFrame(uknetdev::MacAddr dst_mac,
-                                                 uknet::Ip4Addr src_ip,
-                                                 uknet::Ip4Addr dst_ip,
-                                                 std::uint16_t dst_port,
-                                                 std::uint16_t src_port = 40000) {
+// One valid Ethernet+IPv4+UDP frame carrying |payload| to the kv server, as
+// injected by the load-generator side of the kvstore benches. |src_port|
+// selects the flow (and with it, the RSS queue the request lands on).
+inline std::vector<std::uint8_t> BuildKvFrame(uknetdev::MacAddr dst_mac,
+                                              uknet::Ip4Addr src_ip,
+                                              uknet::Ip4Addr dst_ip,
+                                              std::uint16_t dst_port,
+                                              std::uint16_t src_port,
+                                              std::span<const std::uint8_t> payload) {
   using namespace uknet;
-  apps::KvRequest req;
-  req.is_set = false;
-  req.key = 7;
-  std::vector<std::uint8_t> payload = apps::EncodeKvRequest(req);
   std::vector<std::uint8_t> frame(kEthHdrBytes + kIp4HdrBytes + kUdpHdrBytes +
                                   payload.size());
   EthHeader eth{dst_mac, uknetdev::MacAddr{{2, 0, 0, 0, 0, 9}}, kEthTypeIp4};
@@ -70,6 +68,21 @@ inline std::vector<std::uint8_t> BuildKvGetFrame(uknetdev::MacAddr dst_mac,
               payload.data(), payload.size());
   udp.Serialize(frame.data() + kEthHdrBytes + kIp4HdrBytes, src_ip, dst_ip, payload);
   return frame;
+}
+
+// The classic single-key GET frame (|key| must align with the flow's shard
+// for the request to stay loop-local on a sharded server).
+inline std::vector<std::uint8_t> BuildKvGetFrame(uknetdev::MacAddr dst_mac,
+                                                 uknet::Ip4Addr src_ip,
+                                                 uknet::Ip4Addr dst_ip,
+                                                 std::uint16_t dst_port,
+                                                 std::uint16_t src_port = 40000,
+                                                 std::uint16_t key = 7) {
+  apps::KvRequest req;
+  req.is_set = false;
+  req.key = key;
+  std::vector<std::uint8_t> payload = apps::EncodeKvRequest(req);
+  return BuildKvFrame(dst_mac, src_ip, dst_ip, dst_port, src_port, payload);
 }
 
 // ---- interrupt-driven idle harness (fig_idle_wakeup, tab4/fig_rss --wait) --------

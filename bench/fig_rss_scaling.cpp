@@ -1,11 +1,18 @@
-// RSS scaling: per-queue throughput of the specialized uknetdev kvstore as
-// the queue count grows (the §4 claim the multi-queue uknetdev API exists
-// for). 16 client flows flood the server; the device's RSS hash shards them
-// across N queues, and the server runs one pump loop per queue over private
-// per-queue pools — no locks, no shared state. The table reports aggregate
-// throughput (this simulation runs the loops round-robin on one thread, so
-// the number to watch is per-queue balance and the flat zero-alloc column:
-// the properties that make the loops embarrassingly parallel on real SMP).
+// RSS scaling: cores-vs-throughput of the specialized uknetdev kvstore as
+// the queue count grows (the §4/§6 SMP claim the multi-queue uknetdev API and
+// the sharded store exist for). 16 client flows flood the server; the
+// device's RSS hash shards them across N queues, and the server runs one
+// event loop per queue over a private store shard — no locks, no shared
+// state, no foreign cache lines.
+//
+// Time accounting models one core per loop: each queue's pump work — the
+// modeled device costs its RxBurst/TxBurst charge plus its real loop time —
+// accrues to that queue's own ledger, and the run's elapsed time is the
+// SLOWEST shard's ledger (loops run concurrently on real SMP; the laggard
+// sets the finish line). Aggregate throughput therefore scales with queue
+// count exactly as far as the flows balance and the loops stay independent,
+// which is precisely what the bench is gating: ≥1.7x at 2 queues, ≥3x at 4.
+// Results are also emitted as BENCH_rss_scaling.json for the CI trendline.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -14,16 +21,20 @@
 
 #include "apps/kvstore.h"
 #include "bench/common.h"
+#include "ukarch/hash.h"
 
 namespace {
 
 using namespace uknet;
 
 struct ScalingRow {
+  std::uint16_t queues = 0;
   double kreq_s = 0.0;
-  double min_share = 0.0;  // lightest queue's share of requests (of 1.0/N ideal)
+  double speedup = 1.0;    // vs the 1-queue row
+  double min_share = 0.0;  // lightest queue's share of requests (1.0/N ideal)
   double max_share = 0.0;
-  std::uint64_t tx_allocs = 0;  // in-place replies: must stay 0
+  std::uint64_t requests = 0;
+  std::uint64_t tx_allocs = 0;  // in-place replies: must stay 0 on every shard
 };
 
 ScalingRow Run(std::uint16_t queues, int rounds = 1200) {
@@ -42,34 +53,95 @@ ScalingRow Run(std::uint16_t queues, int rounds = 1200) {
   apps::KvServer server(&nic, &mem, alloc.get(), MakeIp(10, 0, 0, 1), 7777,
                         apps::KvMode::kUkNetdev, queues);
   ScalingRow row;
+  row.queues = queues;
   if (!server.Start()) {
     return row;
   }
+
+  // Balanced, shard-aligned load: exactly kFlows/N flows per queue (ports
+  // scanned against the same flow hash the device RSS uses), each flow
+  // GETting a key its own queue's shard owns — every request is parsed,
+  // executed and answered inside one loop.
   constexpr int kFlows = 16;
-  std::vector<std::vector<std::uint8_t>> frames;
-  for (int f = 0; f < kFlows; ++f) {
-    frames.push_back(bench::BuildKvGetFrame(
-        nic.mac(), MakeIp(10, 0, 0, 2), MakeIp(10, 0, 0, 1), 7777,
-        static_cast<std::uint16_t>(41000 + f * 7)));
+  const int flows_per_queue = kFlows / queues;
+  std::vector<std::uint16_t> shard_key(queues);
+  for (std::uint16_t q = 0; q < queues; ++q) {
+    std::uint16_t k = 0;
+    while (apps::KvServer::ShardForKey(k, queues) != q) {
+      ++k;
+    }
+    shard_key[q] = k;
   }
+  std::vector<std::vector<std::uint8_t>> frames;
+  std::vector<std::uint16_t> warm_ports(queues, 0);  // one flow per queue (SETs)
+  {
+    std::vector<int> picked(queues, 0);
+    std::uint16_t port = 41000;
+    while (frames.size() < kFlows) {
+      const std::uint16_t q = static_cast<std::uint16_t>(
+          ukarch::FlowHash4(MakeIp(10, 0, 0, 2), port, MakeIp(10, 0, 0, 1), 7777) %
+          queues);
+      if (picked[q] < flows_per_queue) {
+        if (picked[q] == 0) {
+          warm_ports[q] = port;
+        }
+        frames.push_back(bench::BuildKvGetFrame(nic.mac(), MakeIp(10, 0, 0, 2),
+                                                MakeIp(10, 0, 0, 1), 7777, port,
+                                                shard_key[q]));
+        ++picked[q];
+      }
+      ++port;
+    }
+  }
+  // Warm each shard with a SET over its own flow (in-place 'K' replies: the
+  // pools stay flat from the very first frame).
+  for (std::uint16_t q = 0; q < queues; ++q) {
+    apps::KvRequest set{true, shard_key[q], "0123456789abcdef"};
+    wire.Send(1, bench::BuildKvFrame(nic.mac(), MakeIp(10, 0, 0, 2),
+                                     MakeIp(10, 0, 0, 1), 7777, warm_ports[q],
+                                     apps::EncodeKvRequest(set)));
+  }
+  for (std::uint16_t q = 0; q < queues; ++q) {
+    server.PumpQueue(q);
+  }
+  while (wire.Receive(1).has_value()) {
+  }
+
   std::uint64_t tx_allocs_before = 0;
   for (std::uint16_t q = 0; q < server.queue_count(); ++q) {
     tx_allocs_before += server.tx_pool(q)->total_allocs();
   }
-  bench::RealTimer timer;
+
+  // Per-shard ledgers: virtual cycles the queue's pump charged (device model)
+  // plus its real loop time, normalized like every kv bench. The backend
+  // demux (BackendPoll — the vhost IO thread's work in a real system, and
+  // identical at every queue count) runs before the ledgered region so the
+  // first loop polled does not get billed for classifying its siblings'
+  // frames.
+  std::vector<double> shard_ns(queues, 0.0);
+  std::size_t rr = 0;
   for (int i = 0; i < rounds; ++i) {
     for (int k = 0; k < 32; ++k) {
-      wire.Send(1, frames[static_cast<std::size_t>(k) % kFlows]);
+      wire.Send(1, frames[rr++ % kFlows]);
     }
+    nic.BackendPoll();  // vhost-thread demux: off every loop's ledger
     for (std::uint16_t q = 0; q < server.queue_count(); ++q) {
+      const std::uint64_t c0 = clock.cycles();
+      bench::RealTimer timer;
       server.PumpQueue(q);
+      shard_ns[q] += clock.model().CyclesToNs(clock.cycles() - c0) +
+                     timer.ElapsedNs() * bench::kSimNormalization;
     }
     while (wire.Receive(1).has_value()) {
     }
   }
-  clock.Charge(clock.model().NsToCycles(timer.ElapsedNs() * bench::kSimNormalization));
-  double seconds = clock.nanoseconds() / 1e9;
-  row.kreq_s = seconds > 0 ? static_cast<double>(server.requests()) / seconds / 1000.0
+  double slowest_ns = 0.0;
+  for (std::uint16_t q = 0; q < queues; ++q) {
+    slowest_ns = shard_ns[q] > slowest_ns ? shard_ns[q] : slowest_ns;
+  }
+  const double seconds = slowest_ns / 1e9;
+  row.requests = server.requests();
+  row.kreq_s = seconds > 0 ? static_cast<double>(row.requests) / seconds / 1000.0
                            : 0.0;
   row.min_share = 1.0;
   for (std::uint16_t q = 0; q < server.queue_count(); ++q) {
@@ -85,6 +157,30 @@ ScalingRow Run(std::uint16_t queues, int rounds = 1200) {
   return row;
 }
 
+void WriteJson(const std::vector<ScalingRow>& rows) {
+  std::FILE* f = std::fopen("BENCH_rss_scaling.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "fig_rss_scaling: cannot write BENCH_rss_scaling.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"rss_scaling\",\n");
+  std::fprintf(f, "  \"workload\": \"kvstore shard-aligned GET, 16 flows\",\n");
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ScalingRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"queues\": %u, \"kreq_s\": %.1f, \"speedup\": %.2f, "
+                 "\"min_share\": %.3f, \"max_share\": %.3f, \"requests\": %llu, "
+                 "\"tx_allocs\": %llu}%s\n",
+                 static_cast<unsigned>(r.queues), r.kreq_s, r.speedup, r.min_share,
+                 r.max_share, static_cast<unsigned long long>(r.requests),
+                 static_cast<unsigned long long>(r.tx_allocs),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -94,18 +190,41 @@ int main(int argc, char** argv) {
       wait_mode = true;
     }
   }
-  bench::PrintHeader("RSS scaling: multi-queue uknetdev kvstore, 16 flows");
-  std::printf("%-8s %12s %12s %12s %12s\n", "queues", "Kreq/s", "min share",
-              "max share", "tx allocs");
+  bench::PrintHeader("RSS scaling: sharded uknetdev kvstore, one loop per queue");
+  std::printf("%-8s %12s %10s %12s %12s %12s\n", "queues", "Kreq/s", "speedup",
+              "min share", "max share", "tx allocs");
+  std::vector<ScalingRow> rows;
   for (std::uint16_t q : {1, 2, 4}) {
     ScalingRow row = Run(q);
-    std::printf("%-8u %12.0f %11.0f%% %11.0f%% %12llu\n", static_cast<unsigned>(q),
-                row.kreq_s, row.min_share * 100.0, row.max_share * 100.0,
+    if (!rows.empty() && rows.front().kreq_s > 0) {
+      row.speedup = row.kreq_s / rows.front().kreq_s;
+    }
+    std::printf("%-8u %12.0f %9.2fx %11.0f%% %11.0f%% %12llu\n",
+                static_cast<unsigned>(row.queues), row.kreq_s, row.speedup,
+                row.min_share * 100.0, row.max_share * 100.0,
                 static_cast<unsigned long long>(row.tx_allocs));
+    rows.push_back(row);
   }
-  std::printf("(shape criteria: per-queue request shares stay near 1/N — the RSS "
-              "hash balances flows — and tx allocs stay 0: in-place replies never "
-              "churn a pool, so each queue's loop scales to its own core)\n");
+  WriteJson(rows);
+  std::printf("(elapsed = slowest shard's ledger — the one-core-per-loop model; "
+              "shape criteria: speedup >= 1.7x at 2 queues and >= 3x at 4, "
+              "per-queue shares near 1/N, tx allocs 0: in-place replies never "
+              "churn a pool, so each loop scales to its own core)\n");
+  bool ok = true;
+  for (const ScalingRow& r : rows) {
+    if (r.tx_allocs != 0) {
+      std::printf("FAIL: %u-queue run churned a TX pool (%llu allocs)\n",
+                  static_cast<unsigned>(r.queues),
+                  static_cast<unsigned long long>(r.tx_allocs));
+      ok = false;
+    }
+    const double want = r.queues == 2 ? 1.7 : r.queues == 4 ? 3.0 : 0.0;
+    if (r.speedup < want) {
+      std::printf("FAIL: %u-queue speedup %.2fx below the %.1fx gate\n",
+                  static_cast<unsigned>(r.queues), r.speedup, want);
+      ok = false;
+    }
+  }
   if (wait_mode) {
     // Per-queue BLOCKING loops under a bursty duty cycle: the sharded
     // interrupt story — each queue arms, sleeps and wakes independently, and
@@ -128,5 +247,5 @@ int main(int argc, char** argv) {
     std::printf("(idle polls stay ~2 per burst per active queue at every width; "
                 "wakeups are per-queue and O(1) per burst)\n");
   }
-  return 0;
+  return ok ? 0 : 1;
 }

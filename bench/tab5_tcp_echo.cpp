@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "apps/event_loop.h"
+#include "apps/stream_server.h"
 #include "bench/common.h"
 #include "uknet/stack.h"
 #include "uknetdev/virtio_net.h"
@@ -394,49 +395,16 @@ EventLoopEchoResult RunEchoEventLoop(std::size_t conns, std::size_t bytes_per_co
   posix::PosixApi api(&clock, &vfs, b.stack.get(), posix::DispatchMode::kDirectCall,
                       &sched);
 
-  // A minimal echo server over the shared event loop: accept on the
-  // listener's kEvtAcceptable, echo on each connection's kEvtReadable
-  // (pending bytes ride kEvtWritable until flushed).
+  // The echo server is the StreamServer scaffold with the identity protocol:
+  // accept drain, recv loop, interest-tracked flush and close-after-drain all
+  // come from the shared machinery; echo is one on_data callback.
   apps::EventLoop loop(&api);
-  std::map<int, std::string> pending;
-  int lfd = api.Socket(posix::SockType::kStream);
-  api.Bind(lfd, 7);
-  api.Listen(lfd);
-  std::function<void(int, uknet::EventMask)> on_conn =
-      [&](int fd, uknet::EventMask ev) {
-        if ((ev & uknet::kEvtErr) != 0) {
-          loop.Del(fd);
-          api.Close(fd);
-          pending.erase(fd);
-          return;
-        }
-        std::string& out = pending[fd];
-        std::uint8_t buf[8192];
-        std::int64_t r;
-        while ((r = api.Recv(fd, buf)) > 0) {
-          out.append(reinterpret_cast<char*>(buf), static_cast<std::size_t>(r));
-        }
-        while (!out.empty()) {
-          std::int64_t n = api.Send(
-              fd, std::span(reinterpret_cast<const std::uint8_t*>(out.data()),
-                            out.size()));
-          if (n <= 0) {
-            break;  // send buffer full: the writable edge resumes the flush
-          }
-          out.erase(0, static_cast<std::size_t>(n));
-        }
-        loop.Mod(fd, out.empty() ? uknet::kEvtReadable
-                                 : (uknet::kEvtReadable | uknet::kEvtWritable));
-      };
-  loop.Add(lfd, uknet::kEvtAcceptable, [&](int, uknet::EventMask) {
-    for (;;) {
-      int fd = api.Accept(lfd);
-      if (fd < 0) {
-        break;
-      }
-      loop.Add(fd, uknet::kEvtReadable, on_conn);
-    }
-  });
+  apps::StreamServer::Handler echo;
+  echo.on_data = [](apps::StreamServer::Conn& c, std::string_view data) {
+    c.out.append(data);
+  };
+  apps::StreamServer server(&api, &loop, echo);
+  server.Listen(7);
 
   bool done = false;
   std::uint64_t done_cycles = 0;

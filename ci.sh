@@ -9,8 +9,12 @@
 # every push, not just the dedicated multi-queue suite. The leg finishes with
 # a blocking-mode bench pass (--wait: uksched wait queues + RX interrupt
 # arming over 2 queues) so the wakeup path gets sanitizer coverage too.
+# SMP legs: the plain suite reruns at UKRAFT_QUEUES=4 plus the RSS-scaling
+# throughput gate, and a ThreadSanitizer flavor covers the sharded suites
+# (SPSC rings, doorbells, per-queue loops).
 # Markdown hygiene: every relative link in every *.md must resolve.
-# Usage: ./ci.sh [build-dir]   (default: build-ci; sanitizer leg appends -asan)
+# Usage: ./ci.sh [build-dir]   (default: build-ci; sanitizer legs append
+# -asan / -tsan)
 set -euo pipefail
 
 BUILD_DIR="${1:-build-ci}"
@@ -49,6 +53,14 @@ cmake -B "$BUILD_DIR" -S . -DUKRAFT_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
+# SMP scale-out leg: the same suite at full RSS width (every TestBed-based
+# test runs 4 queues / 4 shards), then the cores-vs-throughput gate — the
+# scaling bench self-checks >=1.7x aggregate throughput at 2 queues and >=3x
+# at 4 vs 1, with zero TX-pool churn on every shard, and emits
+# BENCH_rss_scaling.json next to the build dir.
+UKRAFT_QUEUES=4 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+(cd "$BUILD_DIR" && ./bench_fig_rss_scaling)
+
 cmake -B "$ASAN_BUILD_DIR" -S . -DUKRAFT_WERROR=ON -DUKRAFT_SANITIZE=ON
 cmake --build "$ASAN_BUILD_DIR" -j "$JOBS"
 UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=0" UKRAFT_QUEUES=2 \
@@ -69,4 +81,17 @@ UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=0" UKRAFT_QUEUES=2 \
 UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=0" UKRAFT_QUEUES=2 \
   "$ASAN_BUILD_DIR"/bench_tab4_kvstore --eventloop
 
-echo "ci: OK (src/ built with -Wall -Wextra -Werror; markdown links checked; tests passed plain and under ASan+UBSan with UKRAFT_QUEUES=2, incl. the blocking --wait and --eventloop legs)"
+# ThreadSanitizer flavor over the sharded/concurrency suites: the SPSC ring
+# acquire/release protocol, the per-queue doorbells and the 4-shard scale
+# test are exactly the code whose correctness on real SMP rests on memory
+# ordering; the scheduler's fiber annotations make the ucontext switches
+# visible to TSan so cross-loop accesses are actually checked.
+TSAN_BUILD_DIR="${BUILD_DIR}-tsan"
+cmake -B "$TSAN_BUILD_DIR" -S . -DUKRAFT_WERROR=ON -DUKRAFT_SANITIZE=tsan
+cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" --target \
+  smp_shard_test uknet_multiqueue_test uknet_wait_test
+UKRAFT_QUEUES=4 "$TSAN_BUILD_DIR"/smp_shard_test
+UKRAFT_QUEUES=4 "$TSAN_BUILD_DIR"/uknet_multiqueue_test
+UKRAFT_QUEUES=4 "$TSAN_BUILD_DIR"/uknet_wait_test
+
+echo "ci: OK (src/ built with -Wall -Wextra -Werror; markdown links checked; tests passed plain, at UKRAFT_QUEUES=4 with the RSS-scaling gate, and under ASan+UBSan with UKRAFT_QUEUES=2, incl. the blocking --wait and --eventloop legs; TSan covered the sharded suites)"

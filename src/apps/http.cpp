@@ -29,23 +29,28 @@ std::optional<HttpRequest> ParseHttpRequest(std::string* buf) {
 }
 
 HttpServer::HttpServer(posix::PosixApi* api, std::uint16_t port, vfscore::Vfs* vfs)
-    : api_(api), port_(port), mode_(ContentMode::kVfs), vfs_(vfs), loop_(api) {}
+    : api_(api), port_(port), mode_(ContentMode::kVfs), vfs_(vfs), loop_(api),
+      server_(api, &loop_, MakeHandler()) {}
 
 HttpServer::HttpServer(posix::PosixApi* api, std::uint16_t port,
                        const shfs::Shfs* volume)
-    : api_(api), port_(port), mode_(ContentMode::kShfs), volume_(volume), loop_(api) {}
+    : api_(api), port_(port), mode_(ContentMode::kShfs), volume_(volume), loop_(api),
+      server_(api, &loop_, MakeHandler()) {}
 
-bool HttpServer::Start() {
-  listen_fd_ = api_->Socket(posix::SockType::kStream);
-  if (listen_fd_ < 0 || api_->Bind(listen_fd_, port_) != 0) {
-    return false;
-  }
-  if (api_->Listen(listen_fd_) != 0) {
-    return false;
-  }
-  return loop_.Add(listen_fd_, uknet::kEvtAcceptable,
-                   [this](int, uknet::EventMask) { OnAcceptable(); });
+StreamServer::Handler HttpServer::MakeHandler() {
+  StreamServer::Handler h;
+  h.on_data = [this](StreamServer::Conn& c, std::string_view data) {
+    c.in.append(data);
+    while (auto req = ParseHttpRequest(&c.in)) {
+      c.out += BuildResponse(*req);
+      ++requests_;
+      c.want_close = c.want_close || !req->keep_alive;
+    }
+  };
+  return h;
 }
+
+bool HttpServer::Start() { return server_.Listen(port_); }
 
 namespace {
 
@@ -101,76 +106,6 @@ std::string HttpServer::BuildResponse(const HttpRequest& req) {
   }
   api_->Close(fd);
   return WithHeaders(200, body, req.keep_alive);
-}
-
-void HttpServer::OnAcceptable() {
-  for (;;) {
-    int fd = api_->Accept(listen_fd_);
-    if (fd < 0) {
-      break;
-    }
-    if (!loop_.Add(fd, uknet::kEvtReadable,
-                   [this](int cfd, uknet::EventMask ev) { OnConnEvent(cfd, ev); })) {
-      api_->Close(fd);  // cannot watch it: an unregistered conn would leak
-      continue;
-    }
-    conns_.emplace(fd, Conn{});
-  }
-}
-
-void HttpServer::CloseConn(int fd) {
-  loop_.Del(fd);
-  api_->Close(fd);
-  conns_.erase(fd);
-}
-
-void HttpServer::FlushOut(int fd, Conn& conn) {
-  while (!conn.out.empty()) {
-    std::int64_t n = api_->Send(
-        fd, std::span(reinterpret_cast<const std::uint8_t*>(conn.out.data()),
-                      conn.out.size()));
-    if (n <= 0) {
-      break;  // send buffer full; the kEvtWritable edge resumes the flush
-    }
-    conn.out.erase(0, static_cast<std::size_t>(n));
-  }
-  const uknet::EventMask want =
-      conn.out.empty() ? uknet::kEvtReadable
-                       : (uknet::kEvtReadable | uknet::kEvtWritable);
-  if (want != conn.interest && loop_.Mod(fd, want)) {
-    conn.interest = want;
-  }
-}
-
-void HttpServer::OnConnEvent(int fd, uknet::EventMask events) {
-  auto it = conns_.find(fd);
-  if (it == conns_.end()) {
-    return;
-  }
-  Conn& conn = it->second;
-  if ((events & uknet::kEvtErr) != 0) {
-    CloseConn(fd);
-    return;
-  }
-  std::uint8_t buf[8192];
-  for (;;) {
-    std::int64_t n = api_->Recv(fd, buf);
-    if (n > 0) {
-      conn.in.append(reinterpret_cast<char*>(buf), static_cast<std::size_t>(n));
-      continue;
-    }
-    conn.peer_eof = conn.peer_eof || n == 0;
-    break;
-  }
-  while (auto req = ParseHttpRequest(&conn.in)) {
-    conn.out += BuildResponse(*req);
-    ++requests_;
-    conn.want_close = conn.want_close || !req->keep_alive;
-  }
-  FlushOut(fd, conn);
-  if ((conn.peer_eof || conn.want_close) && conn.out.empty()) {
-    CloseConn(fd);
-  }
 }
 
 std::size_t HttpServer::PumpOnce() { return PumpWait(0); }

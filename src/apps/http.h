@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "apps/event_loop.h"
+#include "apps/stream_server.h"
 #include "posix/api.h"
 #include "shfs/shfs.h"
 #include "uknet/stack.h"
@@ -47,34 +48,22 @@ class HttpServer {
   std::size_t PumpWait(std::uint64_t timeout_cycles = EventLoop::kNoTimeout);
 
   std::uint64_t requests_served() const { return requests_; }
-  std::size_t connections() const { return conns_.size(); }
+  std::size_t connections() const { return server_.connections(); }
   EventLoop& loop() { return loop_; }
 
  private:
-  struct Conn {
-    std::string in;
-    std::string out;
-    bool peer_eof = false;
-    bool want_close = false;  // Connection: close requested
-    // Current epoll interest; Mod is issued only on change (no redundant
-    // epoll_ctl syscall on the per-request hot path).
-    uknet::EventMask interest = uknet::kEvtReadable;
-  };
-
-  void OnAcceptable();
-  void OnConnEvent(int fd, uknet::EventMask events);
-  void CloseConn(int fd);
+  // The connection machinery is the shared StreamServer scaffold; this class
+  // is only the HTTP protocol (request framing in Conn::in, BuildResponse).
   std::string BuildResponse(const HttpRequest& req);
-  void FlushOut(int fd, Conn& conn);
+  StreamServer::Handler MakeHandler();
 
   posix::PosixApi* api_;
   std::uint16_t port_;
   ContentMode mode_;
   vfscore::Vfs* vfs_ = nullptr;
   const shfs::Shfs* volume_ = nullptr;
-  int listen_fd_ = -1;
   EventLoop loop_;
-  std::map<int, Conn> conns_;
+  StreamServer server_;
   std::uint64_t requests_ = 0;
 };
 

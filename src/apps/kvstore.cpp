@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "ukarch/hash.h"
+
 namespace apps {
 
 const char* KvModeName(KvMode mode) {
@@ -28,6 +30,28 @@ std::vector<std::uint8_t> EncodeKvRequest(const KvRequest& req) {
   return out;
 }
 
+std::vector<std::uint8_t> EncodeKvMultiGet(std::span<const std::uint16_t> keys) {
+  std::vector<std::uint8_t> out;
+  out.push_back('M');
+  out.push_back(static_cast<std::uint8_t>(keys.size()));
+  for (std::uint16_t k : keys) {
+    out.push_back(static_cast<std::uint8_t>(k));
+    out.push_back(static_cast<std::uint8_t>(k >> 8));
+  }
+  return out;
+}
+
+std::uint16_t KvServer::ShardForKey(std::uint16_t key, std::uint16_t nshards) {
+  if (nshards <= 1) {
+    return 0;
+  }
+  // Same Toeplitz machinery that steers flows to queues: a client that picks
+  // keys whose shard matches its flow's queue gets the all-local fast path.
+  const std::uint8_t bytes[2] = {static_cast<std::uint8_t>(key),
+                                 static_cast<std::uint8_t>(key >> 8)};
+  return static_cast<std::uint16_t>(ukarch::Toeplitz32(bytes, 2) % nshards);
+}
+
 KvServer::KvServer(posix::PosixApi* api, std::uint16_t port, KvMode mode)
     : mode_(mode), api_(api), port_(port) {}
 
@@ -39,6 +63,10 @@ KvServer::KvServer(uknetdev::NetDev* dev, ukplat::MemRegion* mem,
 
 bool KvServer::Start() {
   if (mode_ == KvMode::kSocketSingle || mode_ == KvMode::kSocketBatch) {
+    // One queue, one shard: the sharding machinery degenerates to the old
+    // single-store server (every key hashes to shard 0).
+    shards_.assign(1, {});
+    shard_accesses_.assign(1, 0);
     fd_ = api_->Socket(posix::SockType::kDgram);
     if (fd_ < 0 || api_->Bind(fd_, port_) != 0) {
       return false;
@@ -65,6 +93,18 @@ bool KvServer::Start() {
   }
   const std::uint32_t bufs_per_q = std::max<std::uint32_t>(512 / queues_, 32);
   queue_requests_.assign(queues_, 0);
+  // Shared-nothing state: one shard per queue plus the full queues_^2 ring
+  // mesh (the diagonal rings stay unused — a loop never messages itself).
+  shards_.assign(queues_, {});
+  shard_accesses_.assign(static_cast<std::size_t>(queues_) * queues_, 0);
+  rings_.clear();
+  for (std::size_t i = 0; i < static_cast<std::size_t>(queues_) * queues_; ++i) {
+    rings_.push_back(std::make_unique<ShardRing>());
+  }
+  outbox_.assign(static_cast<std::size_t>(queues_) * queues_, {});
+  pending_.assign(queues_, {});
+  next_req_id_.assign(queues_, 1);
+  ring_doorbells_.assign(queues_, 0);
   uknetdev::DevConf conf;
   conf.nb_rx_queues = queues_;
   conf.nb_tx_queues = queues_;
@@ -150,11 +190,19 @@ std::size_t KvServer::PumpQueueWait(std::uint16_t queue,
   for (;;) {
     // Arm-then-check: the line goes live before the verifying pump, so a
     // request that lands in between either shows up here or fires the
-    // interrupt we are about to sleep on.
+    // interrupt we are about to sleep on. The ring doorbell follows the same
+    // contract: capture the sequence before the pump, and a bump observed
+    // after an empty pump means a sibling rang while we drained — spin once
+    // more instead of sleeping through the (already-fired) WakeOne.
     dev_->RxIntrEnable(queue);
+    const std::uint64_t bell =
+        queue < ring_doorbells_.size() ? ring_doorbells_[queue] : 0;
     handled = PumpQueue(queue);
     if (handled > 0) {
       break;
+    }
+    if (queue < ring_doorbells_.size() && ring_doorbells_[queue] != bell) {
+      continue;
     }
     ++wait_stats_.empty_pumps;
     ++wait_stats_.blocked_waits;
@@ -173,9 +221,297 @@ std::size_t KvServer::PumpQueueWait(std::uint16_t queue,
   return handled;
 }
 
-std::size_t KvServer::HandleInto(std::span<const std::uint8_t> payload,
-                                 std::uint8_t* out, std::size_t cap) {
+std::string* KvServer::StoreFind(std::uint16_t accessor, std::uint16_t shard,
+                                 std::uint16_t key) {
+  ++shard_accesses_[static_cast<std::size_t>(accessor) * queues_ + shard];
+  auto& map = shards_[shard];
+  auto it = map.find(key);
+  return it == map.end() ? nullptr : &it->second;
+}
+
+void KvServer::StoreSet(std::uint16_t accessor, std::uint16_t shard,
+                        std::uint16_t key, std::span<const std::uint8_t> value) {
+  ++shard_accesses_[static_cast<std::size_t>(accessor) * queues_ + shard];
+  shards_[shard][key].assign(reinterpret_cast<const char*>(value.data()),
+                             value.size());
+}
+
+void KvServer::RingSend(std::uint16_t from, std::uint16_t to, const ShardMsg& msg) {
+  ++ring_messages_;
+  if (!RingTo(from, to)->Push(msg)) {
+    // Ring full: park in the outbox, retried at the head of every DrainRings
+    // turn of |from|. Backpressure, never loss.
+    outbox_[static_cast<std::size_t>(from) * queues_ + to].push_back(msg);
+  }
+}
+
+void KvServer::WakeShard(std::uint16_t to) {
+  if (to < ring_doorbells_.size()) {
+    ++ring_doorbells_[to];
+  }
+  // WakeOne, not Wake: exactly one loop owns queue |to|, waking more sleepers
+  // would be a thundering herd against consumers that find nothing.
+  if (to < rx_waits_.size() && rx_waits_[to] != nullptr) {
+    rx_waits_[to]->WakeOne();
+  }
+}
+
+std::size_t KvServer::DrainRings(std::uint16_t queue) {
+  if (queues_ <= 1 || rings_.empty()) {
+    return 0;
+  }
+  // Retry backpressured sends first: slots may have freed since last turn.
+  for (std::uint16_t to = 0; to < queues_; ++to) {
+    if (to == queue) {
+      continue;
+    }
+    auto& ob = outbox_[static_cast<std::size_t>(queue) * queues_ + to];
+    bool flushed = false;
+    while (!ob.empty() && RingTo(queue, to)->Push(ob.front())) {
+      ob.pop_front();
+      flushed = true;
+    }
+    if (flushed) {
+      WakeShard(to);
+    }
+  }
+  std::size_t processed = 0;
+  for (std::uint16_t from = 0; from < queues_; ++from) {
+    if (from == queue) {
+      continue;
+    }
+    ShardRing* ring = RingTo(from, queue);
+    ShardMsg m;
+    while (ring->Pop(&m)) {
+      ++processed;
+      switch (m.type) {
+        case ShardMsg::kGet: {
+          // Foreign loop asks for one of OUR keys: the only store touch is
+          // the diagonal (queue, queue) — shared-nothing holds.
+          std::string* v = StoreFind(queue, queue, m.key);
+          ShardMsg r;
+          r.type = ShardMsg::kResp;
+          r.from = queue;
+          r.req_id = m.req_id;
+          r.slot = m.slot;
+          r.key = m.key;
+          r.found = v != nullptr;
+          if (v != nullptr) {
+            r.vlen = static_cast<std::uint8_t>(std::min(v->size(), kMaxInlineValue));
+            std::memcpy(r.val, v->data(), r.vlen);
+          }
+          RingSend(queue, m.from, r);
+          WakeShard(m.from);
+          break;
+        }
+        case ShardMsg::kSet: {
+          StoreSet(queue, queue, m.key, std::span(m.val, m.vlen));
+          ShardMsg r;
+          r.type = ShardMsg::kResp;
+          r.from = queue;
+          r.req_id = m.req_id;
+          r.slot = m.slot;
+          r.key = m.key;
+          r.found = true;
+          RingSend(queue, m.from, r);
+          WakeShard(m.from);
+          break;
+        }
+        case ShardMsg::kResp: {
+          auto& pend = pending_[queue];
+          for (auto it = pend.begin(); it != pend.end(); ++it) {
+            if (it->id != m.req_id) {
+              continue;
+            }
+            auto& slot = it->slots[m.slot];
+            slot.found = m.found;
+            slot.vlen = m.vlen;
+            std::memcpy(slot.val, m.val, m.vlen);
+            if (--it->remaining == 0) {
+              EmitDeferredReply(*it);
+              pend.erase(it);
+            }
+            break;
+          }
+          break;
+        }
+      }
+    }
+  }
+  return processed;
+}
+
+void KvServer::EmitDeferredReply(const PendingOp& op) {
+  using namespace uknet;
+  constexpr std::size_t kHdrs = kEthHdrBytes + kIp4HdrBytes + kUdpHdrBytes;
+  uknetdev::NetBuf* out = tx_pools_[op.queue]->Alloc();
+  if (out == nullptr) {
+    return;  // TX pool dry: drop like a NIC would, the client retries
+  }
+  std::uint32_t cap = out->capacity - out->headroom;
+  std::uint8_t* odata =
+      reinterpret_cast<std::uint8_t*>(mem_->At(out->data_gpa(), cap));
+  if (odata == nullptr || cap < kHdrs + 2 + kMaxMultiKeys * (2 + kMaxInlineValue)) {
+    tx_pools_[op.queue]->Free(out);
+    return;
+  }
+  std::uint8_t* p = odata + kHdrs;
+  std::size_t reply_len = 0;
+  if (op.op == 'G') {
+    const PendingOp::Slot& s = op.slots[0];
+    if (s.found) {
+      std::memcpy(p, s.val, s.vlen);
+      reply_len = s.vlen;
+    } else {
+      p[0] = 'E';
+      reply_len = 1;
+    }
+  } else if (op.op == 'S') {
+    p[0] = 'K';
+    reply_len = 1;
+  } else {  // 'M'
+    p[0] = 'V';
+    p[1] = op.nkeys;
+    std::size_t w = 2;
+    for (std::uint8_t i = 0; i < op.nkeys; ++i) {
+      const PendingOp::Slot& s = op.slots[i];
+      if (!s.found) {
+        p[w++] = 0xff;
+        p[w++] = 0xff;
+        continue;
+      }
+      p[w++] = s.vlen;
+      p[w++] = 0;
+      std::memcpy(p + w, s.val, s.vlen);
+      w += s.vlen;
+    }
+    reply_len = w;
+  }
+  const std::size_t total = kHdrs + reply_len;
+  EthHeader oeth{op.dst_mac, dev_->mac(), kEthTypeIp4};
+  oeth.Serialize(odata);
+  Ip4Header oip;
+  oip.total_len = static_cast<std::uint16_t>(total - kEthHdrBytes);
+  oip.id = ip_id_++;
+  oip.proto = kIpProtoUdp;
+  oip.src = ip_;
+  oip.dst = op.dst_ip;
+  oip.Serialize(odata + kEthHdrBytes);
+  UdpHeader oudp;
+  oudp.src_port = port_;
+  oudp.dst_port = op.dst_port;
+  oudp.Serialize(odata + kEthHdrBytes + kIp4HdrBytes, ip_, op.dst_ip,
+                 std::span(p, reply_len));
+  out->len = static_cast<std::uint32_t>(total);
+  // The reply bursts from the ARRIVAL queue's loop — flow affinity holds even
+  // for cross-shard ops; foreign shards only ever touched the rings.
+  std::uint16_t sent = 1;
+  uknetdev::NetBuf* bufs[1] = {out};
+  dev_->TxBurst(op.queue, bufs, &sent);
+  if (sent == 0) {
+    tx_pools_[op.queue]->Free(out);
+    return;
+  }
+  ++requests_;
+  ++queue_requests_[op.queue];
+}
+
+std::size_t KvServer::HandleInto(std::uint16_t queue,
+                                 std::span<const std::uint8_t> payload,
+                                 std::uint8_t* out, std::size_t cap,
+                                 const ReplyTo* reply_to, bool* deferred) {
+  if (deferred != nullptr) {
+    *deferred = false;
+  }
   if (cap < 1) {
+    return 0;
+  }
+  if (payload.size() < 2) {
+    out[0] = 'E';
+    return 1;
+  }
+  // Deferral needs somewhere to send the eventual reply; socket modes pass
+  // no reply_to but run queues_ == 1, where every key is local anyway.
+  const bool can_defer = reply_to != nullptr && queues_ > 1;
+  if (payload[0] == 'M') {
+    const std::uint8_t n = payload[1];
+    if (n == 0 || n > kMaxMultiKeys || payload.size() < 2u + 2u * n) {
+      out[0] = 'E';
+      return 1;
+    }
+    // Parse every key up front: the reply may be written in place over the
+    // request buffer, which would clobber keys still unread.
+    std::uint16_t keys[kMaxMultiKeys];
+    for (std::uint8_t i = 0; i < n; ++i) {
+      keys[i] = static_cast<std::uint16_t>(payload[2 + 2 * i] |
+                                           (payload[3 + 2 * i] << 8));
+    }
+    PendingOp op;
+    op.op = 'M';
+    op.queue = queue;
+    op.nkeys = n;
+    for (std::uint8_t i = 0; i < n; ++i) {
+      op.slots[i].key = keys[i];
+      const std::uint16_t shard = ShardForKey(keys[i], queues_);
+      if (shard == queue) {
+        std::string* v = StoreFind(queue, shard, keys[i]);
+        op.slots[i].found = v != nullptr;
+        if (v != nullptr) {
+          op.slots[i].vlen =
+              static_cast<std::uint8_t>(std::min(v->size(), kMaxInlineValue));
+          std::memcpy(op.slots[i].val, v->data(), op.slots[i].vlen);
+        }
+      } else {
+        ++op.remaining;  // foreign key: resolved by the owner over the rings
+      }
+    }
+    if (op.remaining == 0) {
+      // All keys local: answer synchronously, no ring traffic.
+      if (cap < 2 + n * (2 + kMaxInlineValue)) {
+        return 0;
+      }
+      out[0] = 'V';
+      out[1] = n;
+      std::size_t w = 2;
+      for (std::uint8_t i = 0; i < n; ++i) {
+        const PendingOp::Slot& s = op.slots[i];
+        if (!s.found) {
+          out[w++] = 0xff;
+          out[w++] = 0xff;
+          continue;
+        }
+        out[w++] = s.vlen;
+        out[w++] = 0;
+        std::memcpy(out + w, s.val, s.vlen);
+        w += s.vlen;
+      }
+      return w;
+    }
+    if (!can_defer) {
+      out[0] = 'E';  // unreachable when queues_ == 1 (all keys hash local)
+      return 1;
+    }
+    op.id = next_req_id_[queue]++;
+    op.dst_mac = reply_to->mac;
+    op.dst_ip = reply_to->ip;
+    op.dst_port = reply_to->port;
+    ++cross_shard_ops_;
+    for (std::uint8_t i = 0; i < n; ++i) {
+      const std::uint16_t shard = ShardForKey(keys[i], queues_);
+      if (shard == queue) {
+        continue;
+      }
+      ShardMsg m;
+      m.type = ShardMsg::kGet;
+      m.from = queue;
+      m.req_id = op.id;
+      m.slot = i;
+      m.key = keys[i];
+      RingSend(queue, shard, m);
+      WakeShard(shard);
+    }
+    pending_[queue].push_back(op);
+    *deferred = true;
     return 0;
   }
   if (payload.size() < 3) {
@@ -183,6 +519,7 @@ std::size_t KvServer::HandleInto(std::span<const std::uint8_t> payload,
     return 1;
   }
   std::uint16_t key = static_cast<std::uint16_t>(payload[1] | (payload[2] << 8));
+  const std::uint16_t shard = ShardForKey(key, queues_);
   if (payload[0] == 'S') {
     if (payload.size() < 5) {
       out[0] = 'E';
@@ -193,23 +530,79 @@ std::size_t KvServer::HandleInto(std::span<const std::uint8_t> payload,
       out[0] = 'E';
       return 1;
     }
-    store_[key].assign(reinterpret_cast<const char*>(payload.data() + 5), len);
-    out[0] = 'K';
-    return 1;
-  }
-  if (payload[0] == 'G') {
-    auto it = store_.find(key);
-    if (it == store_.end()) {
+    if (shard == queue || !can_defer) {
+      StoreSet(queue, shard, key, payload.subspan(5, len));
+      out[0] = 'K';
+      return 1;
+    }
+    if (len > kMaxInlineValue) {
+      // Cross-shard values must fit a ring slot. Clients keep values this
+      // large on their home flow (shard == queue), where there is no cap.
       out[0] = 'E';
       return 1;
     }
-    if (it->second.size() > cap) {
-      return 0;
+    PendingOp op;
+    op.id = next_req_id_[queue]++;
+    op.op = 'S';
+    op.queue = queue;
+    op.dst_mac = reply_to->mac;
+    op.dst_ip = reply_to->ip;
+    op.dst_port = reply_to->port;
+    op.nkeys = 1;
+    op.remaining = 1;
+    op.slots[0].key = key;
+    ShardMsg m;
+    m.type = ShardMsg::kSet;
+    m.from = queue;
+    m.req_id = op.id;
+    m.slot = 0;
+    m.key = key;
+    m.vlen = static_cast<std::uint8_t>(len);
+    std::memcpy(m.val, payload.data() + 5, len);
+    ++cross_shard_ops_;
+    pending_[queue].push_back(op);
+    RingSend(queue, shard, m);
+    WakeShard(shard);
+    *deferred = true;
+    return 0;
+  }
+  if (payload[0] == 'G') {
+    if (shard == queue || !can_defer) {
+      std::string* v = StoreFind(queue, shard, key);
+      if (v == nullptr) {
+        out[0] = 'E';
+        return 1;
+      }
+      if (v->size() > cap) {
+        return 0;
+      }
+      // The value is copied straight into the wire buffer. |out| may overlap
+      // the request payload; the key was already read above.
+      std::memmove(out, v->data(), v->size());
+      return v->size();
     }
-    // The value is copied straight into the wire buffer. |out| may overlap
-    // the request payload; the key was already read above.
-    std::memmove(out, it->second.data(), it->second.size());
-    return it->second.size();
+    PendingOp op;
+    op.id = next_req_id_[queue]++;
+    op.op = 'G';
+    op.queue = queue;
+    op.dst_mac = reply_to->mac;
+    op.dst_ip = reply_to->ip;
+    op.dst_port = reply_to->port;
+    op.nkeys = 1;
+    op.remaining = 1;
+    op.slots[0].key = key;
+    ShardMsg m;
+    m.type = ShardMsg::kGet;
+    m.from = queue;
+    m.req_id = op.id;
+    m.slot = 0;
+    m.key = key;
+    ++cross_shard_ops_;
+    pending_[queue].push_back(op);
+    RingSend(queue, shard, m);
+    WakeShard(shard);
+    *deferred = true;
+    return 0;
   }
   out[0] = 'E';
   return 1;
@@ -226,8 +619,8 @@ std::size_t KvServer::PumpSocketSingle() {
     if (n < 0) {
       break;
     }
-    std::size_t len =
-        HandleInto(std::span(buf, static_cast<std::size_t>(n)), reply, sizeof(reply));
+    std::size_t len = HandleInto(0, std::span(buf, static_cast<std::size_t>(n)),
+                                 reply, sizeof(reply), nullptr, nullptr);
     api_->SendTo(fd_, src_ip, src_port, std::span(reply, len));
     ++requests_;
     ++handled;
@@ -250,8 +643,8 @@ std::size_t KvServer::PumpSocketBatch() {
   // are written in place over the request buffers — no reply allocations.
   posix::MmsgVec vecs[kBatch];
   for (std::int64_t i = 0; i < got; ++i) {
-    std::size_t len = HandleInto(std::span(msgs[i].data, msgs[i].len), msgs[i].data,
-                                 msgs[i].cap);
+    std::size_t len = HandleInto(0, std::span(msgs[i].data, msgs[i].len),
+                                 msgs[i].data, msgs[i].cap, nullptr, nullptr);
     vecs[i] = posix::MmsgVec{msgs[i].data, len};
   }
   api_->SendMmsg(fd_, msgs[0].src_ip, msgs[0].src_port,
@@ -289,6 +682,10 @@ std::size_t KvServer::PumpNetdev(std::uint16_t queue) {
         if (udp.has_value() && udp->dst_port == port_) {
           auto request = body.subspan(kUdpHdrBytes, udp->length - kUdpHdrBytes);
           constexpr std::size_t kHdrs = kEthHdrBytes + kIp4HdrBytes + kUdpHdrBytes;
+          // Reply addressing snapshot: if the request defers to a foreign
+          // shard, the RX buffer goes back to its pool before the reply exists.
+          const ReplyTo rt{eth.src, ip->src, udp->src_port};
+          bool deferred = false;
           if (dpdk_style) {
             // DPDK-framework path: per-packet mbuf churn through the TX pool
             // plus the copy into the fresh mbuf — the framework overhead that
@@ -300,7 +697,8 @@ std::size_t KvServer::PumpNetdev(std::uint16_t queue) {
                   reinterpret_cast<std::uint8_t*>(mem_->At(out->data_gpa(), cap));
               std::size_t reply_len =
                   odata != nullptr
-                      ? HandleInto(request, odata + kHdrs, cap - kHdrs)
+                      ? HandleInto(queue, request, odata + kHdrs, cap - kHdrs,
+                                   &rt, &deferred)
                       : 0;
               if (reply_len > 0) {
                 std::size_t total = kHdrs + reply_len;
@@ -335,7 +733,8 @@ std::size_t KvServer::PumpNetdev(std::uint16_t queue) {
             std::uint32_t cap = nb->capacity - nb->headroom;
             std::uint8_t* payload_at = raw + kHdrs;
             std::size_t reply_len =
-                HandleInto(request, payload_at, cap - kHdrs);
+                HandleInto(queue, request, payload_at, cap - kHdrs, &rt,
+                           &deferred);
             if (reply_len > 0) {
               std::size_t total = kHdrs + reply_len;
               EthHeader oeth{eth.src, dev_->mac(), kEthTypeIp4};
@@ -395,8 +794,14 @@ std::size_t KvServer::PumpQueue(std::uint16_t queue) {
     case KvMode::kSocketBatch:
       return queue == 0 ? PumpSocket(0) : 0;
     case KvMode::kUkNetdev:
-    case KvMode::kDpdkStyle:
-      return queue < queues_ ? PumpNetdev(queue) : 0;
+    case KvMode::kDpdkStyle: {
+      if (queue >= queues_) {
+        return 0;
+      }
+      // Ring work counts as progress: a drained message keeps the loop from
+      // sleeping while a response (or a foreign request) is in flight.
+      return PumpNetdev(queue) + DrainRings(queue);
+    }
   }
   return 0;
 }
@@ -410,7 +815,7 @@ std::size_t KvServer::PumpOnce() {
     case KvMode::kDpdkStyle: {
       std::size_t handled = 0;
       for (std::uint16_t q = 0; q < queues_; ++q) {
-        handled += PumpNetdev(q);
+        handled += PumpQueue(q);
       }
       return handled;
     }

@@ -16,11 +16,15 @@
 #include <unordered_map>
 #include <vector>
 
+#include <array>
+#include <deque>
+
 #include "apps/event_loop.h"
 #include "posix/api.h"
 #include "uknet/wire_format.h"
 #include "uknetdev/netdev.h"
 #include "uksched/scheduler.h"
+#include "uksched/spsc_ring.h"
 
 namespace apps {
 
@@ -28,12 +32,16 @@ enum class KvMode { kSocketSingle, kSocketBatch, kUkNetdev, kDpdkStyle };
 const char* KvModeName(KvMode mode);
 
 // Wire format: 'G'/'S' + u16 key [+ u16 value len + bytes]. Reply: value or 'E'.
+// Multi-get: 'M' + u8 n + n*u16 keys; reply 'V' + u8 n + n*(u16 len + bytes),
+// len 0xffff marking a missing key. Multi-get values are capped at
+// KvServer::kMaxInlineValue bytes (they must fit a cross-shard ring slot).
 struct KvRequest {
   bool is_set = false;
   std::uint16_t key = 0;
   std::string value;
 };
 std::vector<std::uint8_t> EncodeKvRequest(const KvRequest& req);
+std::vector<std::uint8_t> EncodeKvMultiGet(std::span<const std::uint16_t> keys);
 
 class KvServer {
  public:
@@ -82,6 +90,31 @@ class KvServer {
   }
   std::uint16_t queue_count() const { return queues_; }
   KvMode mode() const { return mode_; }
+
+  // ---- shared-nothing sharding (§6 SMP scale-out) --------------------------
+  // The store is split into one shard per queue, keyed by the same Toeplitz
+  // machinery that steers frames: a client that sends key K over a flow
+  // hashing to ShardForKey(K) gets parse→execute→reply entirely inside one
+  // loop, no foreign cache lines. Requests for foreign keys (and multi-key
+  // 'M' ops) travel between loops as messages over per-pair SPSC rings; the
+  // owning loop executes against its own shard and rings the answer back.
+  static std::uint16_t ShardForKey(std::uint16_t key, std::uint16_t nshards);
+  std::size_t shard_size(std::uint16_t shard) const {
+    return shard < shards_.size() ? shards_[shard].size() : 0;
+  }
+  // Shared-nothing audit counter: store accesses bucketed by (executing loop,
+  // shard). The invariant the scale test asserts: every off-diagonal bucket
+  // stays 0 — no loop ever touches a foreign shard, not even for cross-shard
+  // ops (those execute on the owner via ring messages).
+  std::uint64_t shard_accesses(std::uint16_t accessor, std::uint16_t shard) const {
+    const std::size_t i = static_cast<std::size_t>(accessor) * queues_ + shard;
+    return i < shard_accesses_.size() ? shard_accesses_[i] : 0;
+  }
+  std::uint64_t ring_messages() const { return ring_messages_; }
+  std::uint64_t cross_shard_ops() const { return cross_shard_ops_; }
+
+  static constexpr std::size_t kMaxMultiKeys = 8;
+  static constexpr std::size_t kMaxInlineValue = 64;  // ring-slot value cap
   // Pool introspection for zero-alloc assertions (netdev modes).
   const uknetdev::NetBufPool* tx_pool(std::uint16_t queue = 0) const {
     return queue < tx_pools_.size() ? tx_pools_[queue].get() : nullptr;
@@ -91,17 +124,86 @@ class KvServer {
   }
 
  private:
+  // Cross-shard ring message: a foreign-key GET/SET shipped to the shard
+  // owner, or the owner's response. Plain data with an inline value so ring
+  // slots never point into another loop's memory.
+  struct ShardMsg {
+    enum Type : std::uint8_t { kGet, kSet, kResp };
+    std::uint8_t type = kGet;
+    std::uint16_t from = 0;    // origin queue: responses ring back here
+    std::uint32_t req_id = 0;  // origin's pending-op id
+    std::uint8_t slot = 0;     // key index within the origin's op
+    std::uint16_t key = 0;
+    bool found = false;  // kResp: the key existed
+    std::uint8_t vlen = 0;
+    std::uint8_t val[kMaxInlineValue] = {};
+  };
+  using ShardRing = uksched::SpscRing<ShardMsg, 64>;
+
+  // A request whose reply waits on foreign shards: reply addressing is
+  // snapshotted (the RX buffer goes back to its pool), local keys resolve
+  // immediately, and each kResp fills one slot until none remain.
+  struct PendingOp {
+    std::uint32_t id = 0;
+    char op = 'G';  // 'G' single get, 'S' single set, 'M' multi-get
+    std::uint16_t queue = 0;  // arrival queue: the reply bursts from here
+    uknetdev::MacAddr dst_mac{};
+    uknet::Ip4Addr dst_ip = 0;
+    std::uint16_t dst_port = 0;
+    std::uint8_t nkeys = 0;
+    std::uint8_t remaining = 0;  // outstanding ring responses
+    struct Slot {
+      std::uint16_t key = 0;
+      bool found = false;
+      std::uint8_t vlen = 0;
+      std::uint8_t val[kMaxInlineValue] = {};
+    };
+    std::array<Slot, kMaxMultiKeys> slots{};
+  };
+
   std::size_t PumpSocketSingle();
   std::size_t PumpSocketBatch();
   // One event-loop turn over the server fd (socket modes): blocks up to
   // |timeout_cycles| in EpollWait, returns requests answered.
   std::size_t PumpSocket(std::uint64_t timeout_cycles);
   std::size_t PumpNetdev(std::uint16_t queue);
-  // Executes one request and writes the reply bytes straight into |out|
-  // (usually the wire buffer itself). Returns reply length, 0 when |cap| is
-  // too small. Never allocates.
-  std::size_t HandleInto(std::span<const std::uint8_t> payload, std::uint8_t* out,
-                         std::size_t cap);
+  // Executes one request against |queue|'s shard and writes the reply bytes
+  // straight into |out| (usually the wire buffer itself). Returns reply
+  // length, 0 when |cap| is too small. Never allocates on the shard-local
+  // path. A request touching foreign shards returns len 0 with |*deferred|
+  // set: a PendingOp was parked and ring messages are in flight (|reply_to|
+  // supplies the snapshot; null |reply_to| — socket modes — forces every key
+  // local, which holds by construction when queues_ == 1).
+  struct ReplyTo {
+    uknetdev::MacAddr mac{};
+    uknet::Ip4Addr ip = 0;
+    std::uint16_t port = 0;
+  };
+  std::size_t HandleInto(std::uint16_t queue, std::span<const std::uint8_t> payload,
+                         std::uint8_t* out, std::size_t cap,
+                         const ReplyTo* reply_to, bool* deferred);
+  // Shard access helpers: the ONLY paths that touch shards_, so the
+  // (accessor, shard) audit counters see every access.
+  std::string* StoreFind(std::uint16_t accessor, std::uint16_t shard,
+                         std::uint16_t key);
+  void StoreSet(std::uint16_t accessor, std::uint16_t shard, std::uint16_t key,
+                std::span<const std::uint8_t> value);
+  // Ring plumbing (netdev modes, queues_ > 1).
+  ShardRing* RingTo(std::uint16_t from, std::uint16_t to) {
+    return rings_[static_cast<std::size_t>(from) * queues_ + to].get();
+  }
+  // Push with backpressure: a full ring parks the message in the per-pair
+  // outbox, flushed at the head of every DrainRings turn.
+  void RingSend(std::uint16_t from, std::uint16_t to, const ShardMsg& msg);
+  // Doorbell: bump |to|'s sequence and wake exactly one sleeper of that loop.
+  void WakeShard(std::uint16_t to);
+  // Drains every inbound ring of |queue| (and retries its outboxes):
+  // executes foreign GET/SETs against the local shard, completes pending ops
+  // on responses. Returns messages processed.
+  std::size_t DrainRings(std::uint16_t queue);
+  // Builds and bursts the reply frame of a completed PendingOp from its
+  // arrival queue's TX pool.
+  void EmitDeferredReply(const PendingOp& op);
 
   KvMode mode_;
   posix::PosixApi* api_ = nullptr;
@@ -119,10 +221,24 @@ class KvServer {
   std::vector<std::unique_ptr<uknetdev::NetBufPool>> tx_pools_;
   std::vector<std::unique_ptr<uknetdev::NetBufPool>> rx_pools_;
 
-  std::unordered_map<std::uint16_t, std::string> store_;
+  // One shard per queue; shards_[q] is owned by queue q's loop and only ever
+  // touched by it (StoreFind/StoreSet assert the discipline via the audit
+  // counters). Socket modes degenerate to one shard.
+  std::vector<std::unordered_map<std::uint16_t, std::string>> shards_;
+  std::vector<std::uint64_t> shard_accesses_;  // accessor-major [q][shard]
   std::uint64_t requests_ = 0;
   std::vector<std::uint64_t> queue_requests_;
   std::uint16_t ip_id_ = 1;
+
+  // Cross-shard transport: queues_^2 SPSC rings (from-major), per-pair
+  // overflow outboxes, per-queue pending ops and doorbell sequences.
+  std::vector<std::unique_ptr<ShardRing>> rings_;
+  std::vector<std::deque<ShardMsg>> outbox_;
+  std::vector<std::deque<PendingOp>> pending_;
+  std::vector<std::uint32_t> next_req_id_;
+  std::vector<std::uint64_t> ring_doorbells_;
+  std::uint64_t ring_messages_ = 0;
+  std::uint64_t cross_shard_ops_ = 0;
 
   uksched::Scheduler* sched_ = nullptr;
   std::vector<std::unique_ptr<uksched::WaitQueue>> rx_waits_;  // netdev modes

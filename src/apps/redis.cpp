@@ -70,22 +70,33 @@ void ValueStore::Clear() {
 
 RedisServer::RedisServer(posix::PosixApi* api, ukalloc::Allocator* alloc,
                          std::uint16_t port)
-    : api_(api), port_(port), loop_(api), store_(alloc) {}
+    : api_(api), port_(port), loop_(api), active_loop_(&loop_),
+      server_(api, &loop_, MakeHandler()), store_(alloc) {}
 
-bool RedisServer::Start() {
-  listen_fd_ = api_->Socket(posix::SockType::kStream);
-  if (listen_fd_ < 0) {
-    return false;
-  }
-  if (api_->Bind(listen_fd_, port_) != 0) {
-    return false;
-  }
-  if (api_->Listen(listen_fd_) != 0) {
-    return false;
-  }
-  return loop_.Add(listen_fd_, uknet::kEvtAcceptable,
-                   [this](int, uknet::EventMask) { OnAcceptable(); });
+RedisServer::RedisServer(posix::PosixApi* api, ukalloc::Allocator* alloc,
+                         std::uint16_t port, EventLoop* loop)
+    : api_(api), port_(port), loop_(api), active_loop_(loop),
+      server_(api, loop, MakeHandler()), store_(alloc) {}
+
+StreamServer::Handler RedisServer::MakeHandler() {
+  StreamServer::Handler h;
+  h.on_open = [](StreamServer::Conn& c) {
+    c.user = std::make_shared<RespCommandParser>();
+  };
+  // Zero-allocation request path: the parser yields string_view argv over
+  // its buffer, replies are encoded straight into the out string.
+  h.on_data = [this](StreamServer::Conn& c, std::string_view data) {
+    auto* parser = static_cast<RespCommandParser*>(c.user.get());
+    parser->Feed(data);
+    while (const auto* argv = parser->NextView()) {
+      ExecuteInto(*argv, c.out);
+      ++commands_;
+    }
+  };
+  return h;
 }
+
+bool RedisServer::Start() { return server_.Listen(port_); }
 
 void RedisServer::ExecuteInto(std::span<const std::string_view> argv,
                               std::string& out) {
@@ -172,89 +183,11 @@ void RedisServer::ExecuteInto(std::span<const std::string_view> argv,
   RespErrorInto(out, "unknown command");
 }
 
-void RedisServer::OnAcceptable() {
-  // Drain the whole accept queue: one readiness event may cover several
-  // completed handshakes (level-triggered, but why take extra turns).
-  for (;;) {
-    int fd = api_->Accept(listen_fd_);
-    if (fd < 0) {
-      break;
-    }
-    if (!loop_.Add(fd, uknet::kEvtReadable,
-                   [this](int cfd, uknet::EventMask ev) { OnConnEvent(cfd, ev); })) {
-      api_->Close(fd);  // cannot watch it: an unregistered conn would leak
-      continue;
-    }
-    conns_.emplace(fd, Conn{});
-  }
-}
-
-void RedisServer::CloseConn(int fd) {
-  loop_.Del(fd);
-  api_->Close(fd);
-  conns_.erase(fd);
-}
-
-void RedisServer::FlushOut(int fd, Conn& conn) {
-  while (!conn.out.empty()) {
-    std::int64_t n = api_->Send(
-        fd, std::span(reinterpret_cast<const std::uint8_t*>(conn.out.data()),
-                      conn.out.size()));
-    if (n <= 0) {
-      break;  // send buffer full; the kEvtWritable edge resumes the flush
-    }
-    conn.out.erase(0, static_cast<std::size_t>(n));
-  }
-  // Interest tracks the backlog: watch for writable only while bytes are
-  // pending, so an idle connection reports nothing and the loop can sleep.
-  const uknet::EventMask want =
-      conn.out.empty() ? uknet::kEvtReadable
-                       : (uknet::kEvtReadable | uknet::kEvtWritable);
-  if (want != conn.interest && loop_.Mod(fd, want)) {
-    conn.interest = want;
-  }
-}
-
-void RedisServer::OnConnEvent(int fd, uknet::EventMask events) {
-  auto it = conns_.find(fd);
-  if (it == conns_.end()) {
-    return;
-  }
-  Conn& conn = it->second;
-  if ((events & uknet::kEvtErr) != 0) {
-    CloseConn(fd);  // reset: nothing left to flush
-    return;
-  }
-  std::uint8_t buf[8192];
-  for (;;) {
-    std::int64_t n = api_->Recv(fd, buf);
-    if (n > 0) {
-      conn.parser.Feed(std::string_view(reinterpret_cast<char*>(buf),
-                                        static_cast<std::size_t>(n)));
-      continue;
-    }
-    if (n == 0) {
-      conn.peer_eof = true;  // orderly FIN: answer what was pipelined, then close
-    }
-    break;
-  }
-  // Zero-allocation request path: the parser yields string_view argv over
-  // its buffer, replies are encoded straight into the out string.
-  while (const auto* argv = conn.parser.NextView()) {
-    ExecuteInto(*argv, conn.out);
-    ++commands_;
-  }
-  FlushOut(fd, conn);
-  if (conn.peer_eof && conn.out.empty()) {
-    CloseConn(fd);
-  }
-}
-
 std::size_t RedisServer::PumpOnce() { return PumpWait(0); }
 
 std::size_t RedisServer::PumpWait(std::uint64_t timeout_cycles) {
   const std::uint64_t before = commands_;
-  loop_.PumpOnce(timeout_cycles);
+  active_loop_->PumpOnce(timeout_cycles);
   return static_cast<std::size_t>(commands_ - before);
 }
 

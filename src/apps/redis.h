@@ -16,6 +16,7 @@
 
 #include "apps/event_loop.h"
 #include "apps/resp.h"
+#include "apps/stream_server.h"
 #include "posix/api.h"
 #include "uknet/stack.h"
 
@@ -55,9 +56,21 @@ class ValueStore {
 // apps::EventLoop: the listener's kEvtAcceptable and each connection's
 // kEvtReadable/kEvtWritable drive one dispatch loop — under a scheduler the
 // whole server sleeps in one EpollWait between bursts.
+//
+// The connection machinery (accept drain, recv loop, interest-tracked flush,
+// close-after-drain) lives in the shared apps::StreamServer scaffold; this
+// class is only the RESP protocol: a per-connection parser plus ExecuteInto
+// over its ValueStore. In sharded deployments N instances ride N per-queue
+// loops; instance 0 listens and steers each accepted fd to the instance
+// owning the connection's RSS queue, so every loop runs one code path.
 class RedisServer {
  public:
   RedisServer(posix::PosixApi* api, ukalloc::Allocator* alloc, std::uint16_t port);
+  // Sharded instance riding an external per-queue loop. Only the instance
+  // that calls Start() listens; siblings receive fds through the steering
+  // hook (SetSteer on the listener, targets returned by stream()).
+  RedisServer(posix::PosixApi* api, ukalloc::Allocator* alloc, std::uint16_t port,
+              EventLoop* loop);
 
   // Starts listening and registers with the event loop. False on failure.
   bool Start();
@@ -68,35 +81,25 @@ class RedisServer {
   std::size_t PumpWait(std::uint64_t timeout_cycles = EventLoop::kNoTimeout);
 
   std::uint64_t commands_processed() const { return commands_; }
-  std::size_t connections() const { return conns_.size(); }
+  std::size_t connections() const { return server_.connections(); }
   ValueStore& store() { return store_; }
-  EventLoop& loop() { return loop_; }
+  EventLoop& loop() { return *active_loop_; }
+  StreamServer& stream() { return server_; }
+  // Steering hook for sharded accept-steer-dispatch (listener instance only).
+  void SetSteer(StreamServer::Steer steer) { server_.SetSteer(std::move(steer)); }
 
  private:
-  struct Conn {
-    RespCommandParser parser;
-    std::string out;        // pending reply bytes
-    bool peer_eof = false;  // Recv returned 0: close once replies drain
-    // Current epoll interest; Mod is issued only on change (no redundant
-    // epoll_ctl syscall on the per-request hot path).
-    uknet::EventMask interest = uknet::kEvtReadable;
-  };
-
-  void OnAcceptable();
-  void OnConnEvent(int fd, uknet::EventMask events);
-  void CloseConn(int fd);
   // Appends the reply straight into |out| (the connection's pending buffer):
   // constant replies are precomputed byte strings, values are encoded in
   // place — no per-command reply allocation.
   void ExecuteInto(std::span<const std::string_view> argv, std::string& out);
-  // Flushes pending replies; keeps kEvtWritable interest while bytes remain.
-  void FlushOut(int fd, Conn& conn);
+  StreamServer::Handler MakeHandler();
 
   posix::PosixApi* api_;
   std::uint16_t port_;
-  int listen_fd_ = -1;
-  EventLoop loop_;
-  std::map<int, Conn> conns_;
+  EventLoop loop_;            // owned loop (single-loop deployments)
+  EventLoop* active_loop_;    // the loop this instance actually rides
+  StreamServer server_;
   ValueStore store_;
   std::uint64_t commands_ = 0;
 };

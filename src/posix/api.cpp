@@ -498,6 +498,31 @@ void PosixApi::RegisterHandlers() {
     }
     const std::uint64_t timeout = a.a3;
     const std::uint64_t deadline = DeadlineFor(timeout);
+    // Queue affinity: when every live interest entry is a TCP connection
+    // pinned to the same RSS queue, this loop owns that queue outright and
+    // can sleep on its private wait line instead of the shared any-queue one
+    // (no thundering herd across per-queue loops; socket edges and ring
+    // doorbells still end a pinned sleep). One non-affine fd — a listener,
+    // a UDP socket, a file — forces kAllQueues: its events can originate on
+    // any queue.
+    std::uint16_t wait_queue = uknet::NetStack::kAllQueues;
+    bool affine = true;
+    for (const auto& [ifd, interest] : inst->interest) {
+      if (!fdtab_.InUse(ifd) || fdtab_.generation(ifd) != interest.gen) {
+        continue;  // stale entry: delivers nothing, constrains nothing
+      }
+      const int q = fdtab_.FdQueue(ifd);
+      if (q == FdTable::kNoQueueAffinity ||
+          (wait_queue != uknet::NetStack::kAllQueues &&
+           wait_queue != static_cast<std::uint16_t>(q))) {
+        affine = false;
+        break;
+      }
+      wait_queue = static_cast<std::uint16_t>(q);
+    }
+    if (!affine) {
+      wait_queue = uknet::NetStack::kAllQueues;
+    }
     if (net_ != nullptr) {
       net_->Poll();
     }
@@ -513,7 +538,7 @@ void PosixApi::RegisterHandlers() {
       // The multiplexed sleep of the whole design: one thread, any number of
       // watched descriptors, parked in PollWait until a frame, a TCP timer,
       // or a registered socket edge ends it.
-      net_->PollWait(uknet::NetStack::kAllQueues,
+      net_->PollWait(wait_queue,
                      deadline == kNoTimeout ? uknet::NetStack::kNoDeadline
                                             : deadline - now);
     }

@@ -144,6 +144,13 @@ uknet::EventMask FdTable::TakeEdges(int fd) {
   return ev;
 }
 
+int FdTable::FdQueue(int fd) const {
+  if (auto tcp = Get<uknet::TcpSocket>(fd)) {
+    return static_cast<int>(tcp->tx_queue());
+  }
+  return kNoQueueAffinity;
+}
+
 void FdTable::OnSocketEvent(std::uint64_t token, uknet::EventMask events) {
   // Wakeup-grade work only (raised from inside stack dispatch): accumulate
   // the edge; level scanning happens on the consumer's side of the wake.

@@ -125,6 +125,13 @@ class FdTable : public uknet::SocketEventSink {
                : 0;
   }
   uknet::EventMask TakeEdges(int fd);
+  // Device-queue affinity of |fd|'s socket: the RSS queue a TCP connection's
+  // flow is pinned to (fixed at connect/accept). kNoQueueAffinity for
+  // listeners (SYNs can land on any queue), UDP sockets, files, and free
+  // slots. This is what lets a per-queue event loop prove its whole interest
+  // set lives on one queue and sleep in PollWait(queue) instead of kAllQueues.
+  static constexpr int kNoQueueAffinity = -1;
+  int FdQueue(int fd) const;
   // Slot generation: bumped at Close so interest lists can detect fd reuse.
   std::uint32_t generation(int fd) const {
     return fd >= 0 && static_cast<std::size_t>(fd) < gens_.size()

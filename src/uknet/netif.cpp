@@ -48,6 +48,10 @@ ukarch::Status NetIf::Init() {
     if (tx_pools_.back() == nullptr || rx_pools_.back() == nullptr) {
       return ukarch::Status::kNoMem;
     }
+    // TX writability interrupt: a dry pool regaining a buffer notifies the
+    // stack, which turns it into kEvtWritable edges / a queue doorbell.
+    tx_pools_.back()->SetRefillCallback(
+        [this, q] { stack_->OnTxPoolRefill(this, q); });
   }
 
   uknetdev::DevConf conf;

@@ -407,6 +407,47 @@ void NetStack::WakeRxWaiters(std::uint16_t queue) {
   }
 }
 
+void NetStack::OnTxPoolRefill(NetIf* netif, std::uint16_t queue) {
+  bool raised = false;
+  for (auto& [key, conn] : tcp_conns_) {
+    if (conn->netif_ == netif && conn->tx_queue_ == queue &&
+        conn->tx_pool_starved_) {
+      conn->tx_pool_starved_ = false;
+      conn->RaiseEvent(kEvtWritable);
+      raised = true;
+    }
+  }
+  if (raised) {
+    // The kEvtWritable edges above already woke every PollWait sleeper via
+    // NotifySocketEvent; nothing more to do.
+    return;
+  }
+  // No starved connection registered (raw netdev apps, UDP senders): ring the
+  // queue doorbell so a loop parked on this queue re-runs its TX backlog.
+  RaiseQueueEvent(queue);
+}
+
+void NetStack::RaiseQueueEvent(std::uint16_t queue) {
+  EnsureWaitQueues();
+  if (queue_event_seq_.size() < rx_waits_.size()) {
+    queue_event_seq_.resize(rx_waits_.size(), 0);
+  }
+  if (queue >= queue_event_seq_.size()) {
+    queue_event_seq_.resize(queue + 1, 0);
+  }
+  ++queue_event_seq_[queue];
+  ++queue_event_total_;
+  // Targeted wake: one doorbell, one consumer. The queue's pinned loop is the
+  // intended recipient; a single kAllQueues waiter also qualifies (a
+  // single-loop deployment parks there). Anything else keeps sleeping.
+  if (queue < rx_waits_.size() && rx_waits_[queue] != nullptr) {
+    rx_waits_[queue]->WakeOne();
+  }
+  if (any_wait_ != nullptr) {
+    any_wait_->WakeOne();
+  }
+}
+
 std::uint64_t NetStack::NextTimerDeadline() const {
   std::uint64_t earliest = kNoDeadline;
   for (const auto& [key, conn] : tcp_conns_) {
@@ -467,6 +508,16 @@ std::size_t NetStack::PollWait(std::uint16_t queue, std::uint64_t timeout_cycles
   // acceptable) still belongs to this caller's sockets — return so it can
   // rescan instead of sleeping through its own readiness.
   const std::uint64_t events_at_entry = event_seq_;
+  // Soft per-queue doorbells (RaiseQueueEvent) end this wait the same way: a
+  // pinned waiter watches its own queue's sequence, a kAllQueues waiter the
+  // stack-wide sum.
+  auto soft_seq = [&]() -> std::uint64_t {
+    if (all) {
+      return queue_event_total_;
+    }
+    return queue < queue_event_seq_.size() ? queue_event_seq_[queue] : 0;
+  };
+  const std::uint64_t soft_at_entry = soft_seq();
   const std::uint64_t now = clock_->cycles();
   const std::uint64_t caller_deadline =
       timeout_cycles >= kNoDeadline - now ? kNoDeadline : now + timeout_cycles;
@@ -485,6 +536,10 @@ std::size_t NetStack::PollWait(std::uint16_t queue, std::uint64_t timeout_cycles
     if (woken) {
       ++wait_stats_.frame_wakeups;
       handled = drain();  // this RxBurst also re-arms drained lines
+      if (soft_seq() != soft_at_entry) {
+        ++wait_stats_.queue_event_wakeups;
+        break;  // a doorbell rang for this queue: caller drains its rings
+      }
       if (handled > 0 || event_seq_ != events_at_entry) {
         break;  // frames in hand, or a registered socket has pending events
       }

@@ -472,6 +472,11 @@ class TcpSocket : public SocketEventSource {
   std::deque<std::uint8_t> recv_buf_;
   bool fin_received_ = false;
   bool reset_ = false;
+  // Send() hit a dry TX pool: the socket could not buffer everything the app
+  // offered even though send_space() remained. The pool-refill edge
+  // (NetStack::OnTxPoolRefill) clears this and raises kEvtWritable so the
+  // app's flush resumes on the buffer return instead of a busy retry.
+  bool tx_pool_starved_ = false;
 
   std::uint64_t last_send_cycles_ = 0;
   std::uint32_t dup_ack_count_ = 0;
@@ -567,11 +572,33 @@ class NetStack {
   void NotifySocketEvent();
   std::uint64_t event_seq() const { return event_seq_; }
 
+  // Per-queue doorbell for non-frame work (SPSC ring messages, steered fds):
+  // bumps |queue|'s soft-event sequence and wakes exactly ONE sleeper of that
+  // queue (WakeOne — one message has one consumer; waking the whole herd
+  // would cost every other loop a spurious drain) plus one kAllQueues waiter.
+  // Same arm-then-check contract as frames: the raise only ends waits entered
+  // before it, so producers must push the work *before* ringing and consumers
+  // must check their rings before calling PollWait. A PollWait(queue) sleeper
+  // returns (possibly with 0 frames) when the sequence advanced across its
+  // sleep so its caller can drain the ring.
+  void RaiseQueueEvent(std::uint16_t queue);
+  std::uint64_t queue_event_seq(std::uint16_t queue) const {
+    return queue < queue_event_seq_.size() ? queue_event_seq_[queue] : 0;
+  }
+
+  // TX-pool refill edge (NetBufPool::SetRefillCallback, registered per queue
+  // by NetIf::Init): |netif|'s queue |queue| TX pool went dry under demand and
+  // just regained a buffer. Raises kEvtWritable on every connection starved
+  // on that pool and rings the queue's doorbell, so writable-interested loops
+  // sleep through pool exhaustion instead of taking busy turns.
+  void OnTxPoolRefill(NetIf* netif, std::uint16_t queue);
+
   struct WaitStats {
     std::uint64_t poll_iterations = 0;  // drain passes PollWait executed
     std::uint64_t blocked_waits = 0;    // times a caller actually slept
     std::uint64_t frame_wakeups = 0;    // woken by an RX interrupt
     std::uint64_t timer_wakeups = 0;    // woken by RTO/timeout deadline
+    std::uint64_t queue_event_wakeups = 0;  // ended by RaiseQueueEvent
   };
   const WaitStats& wait_stats() const { return wait_stats_; }
 
@@ -660,6 +687,10 @@ class NetStack {
   std::vector<std::uint32_t> rx_arm_counts_;
   WaitStats wait_stats_;
   std::uint64_t event_seq_ = 0;  // delivered readiness edges (registered sinks)
+  // Per-queue soft-event sequences (RaiseQueueEvent doorbells) plus their sum;
+  // a kAllQueues waiter watches the sum, a pinned waiter its own slot.
+  std::vector<std::uint64_t> queue_event_seq_;
+  std::uint64_t queue_event_total_ = 0;
 };
 
 }  // namespace uknet

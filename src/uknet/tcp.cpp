@@ -90,7 +90,11 @@ std::int64_t TcpSocket::Send(std::span<const std::uint8_t> data) {
     }
     uknetdev::NetBuf* nb = netif_->AllocTxBuf(kTcpHdrBytes, tx_queue_);
     if (nb == nullptr) {
-      break;  // TX pool dry: report what was accepted; the app retries
+      // TX pool dry: report what was accepted. Mark the socket starved so the
+      // pool-refill edge raises kEvtWritable — the app's flush loop parks on
+      // writability instead of spinning retries against an empty pool.
+      tx_pool_starved_ = true;
+      break;
     }
     std::uint32_t take = want < kMss ? want : kMss;
     if (take > nb->tailroom()) {

@@ -39,6 +39,7 @@ NetBufPool::~NetBufPool() {
 
 NetBuf* NetBufPool::Alloc() {
   if (free_.empty()) {
+    starved_ = true;  // arm the refill edge: someone wanted a buffer and lost
     return nullptr;
   }
   NetBuf* nb = free_.back();
@@ -72,6 +73,15 @@ void NetBufPool::Free(NetBuf* nb) {
   }
   nb->refcnt = 1;
   free_.push_back(nb);
+  if (starved_) {
+    // Dry-pool refill edge: the first buffer returning after a failed Alloc
+    // is the TX "writability interrupt" — deliver it once per dry spell.
+    starved_ = false;
+    ++refill_edges_;
+    if (refill_cb_) {
+      refill_cb_();
+    }
+  }
 }
 
 }  // namespace uknetdev

@@ -9,6 +9,7 @@
 #define UKNETDEV_NETBUF_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "ukalloc/allocator.h"
@@ -138,6 +139,17 @@ class NetBufPool {
   // (e.g. retransmission re-bursts retained buffers without pool churn).
   std::uint64_t total_allocs() const { return total_allocs_; }
 
+  // Pool-refill edge: fires from Free() when a pool that previously FAILED an
+  // Alloc() (went dry while someone wanted a buffer) regains its first free
+  // buffer. Writable-interested loops use this to sleep through TX-pool
+  // exhaustion instead of taking busy retry turns — the buffer returning IS
+  // the writability interrupt. Edge-triggered and starvation-gated: a pool
+  // that never failed an Alloc never fires, so steady-state Free() stays one
+  // branch.
+  void SetRefillCallback(std::function<void()> cb) { refill_cb_ = std::move(cb); }
+  std::uint64_t refill_edges() const { return refill_edges_; }
+  bool starved() const { return starved_; }
+
  private:
   NetBufPool(ukalloc::Allocator* alloc, std::uint32_t count, std::uint32_t buf_size,
              std::uint32_t headroom)
@@ -151,6 +163,10 @@ class NetBufPool {
   std::vector<NetBuf> bufs_;
   std::vector<NetBuf*> free_;
   std::uint64_t total_allocs_ = 0;
+  // Set when Alloc() came up empty; cleared when the refill edge fires.
+  bool starved_ = false;
+  std::uint64_t refill_edges_ = 0;
+  std::function<void()> refill_cb_;
 };
 
 }  // namespace uknetdev

@@ -2,9 +2,52 @@
 
 #include <algorithm>
 
+// ThreadSanitizer cannot follow raw swapcontext(): every switch looks like one
+// OS thread suddenly running on a foreign stack, which trips false positives
+// (and breaks TSan's shadow-stack bookkeeping). Its fiber API exists exactly
+// for ucontext/green-thread runtimes: announce each stack as a fiber and tell
+// TSan about every switch. All of this compiles away outside tsan builds.
+#if defined(__SANITIZE_THREAD__)
+#define UKSCHED_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define UKSCHED_TSAN 1
+#endif
+#endif
+
+#if defined(UKSCHED_TSAN)
+extern "C" {
+void* __tsan_get_current_fiber(void);
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+}
+#endif
+
 namespace uksched {
 
 namespace {
+
+#if defined(UKSCHED_TSAN)
+void* TsanCreateFiber() { return __tsan_create_fiber(0); }
+void TsanDestroyFiber(void* f) {
+  if (f != nullptr) {
+    __tsan_destroy_fiber(f);
+  }
+}
+void TsanSwitchTo(void* f) {
+  if (f != nullptr) {
+    __tsan_switch_to_fiber(f, 0);
+  }
+}
+void* TsanCurrentFiber() { return __tsan_get_current_fiber(); }
+#else
+void* TsanCreateFiber() { return nullptr; }
+void TsanDestroyFiber(void* /*f*/) {}
+void TsanSwitchTo(void* /*f*/) {}
+void* TsanCurrentFiber() { return nullptr; }
+#endif
+
 // makecontext() entries take int arguments; split/join the Thread pointer.
 Thread* JoinPtr(unsigned hi, unsigned lo) {
   std::uintptr_t v = (static_cast<std::uintptr_t>(hi) << 32) | lo;
@@ -31,6 +74,8 @@ Scheduler::~Scheduler() {
     if (t->stack_ != nullptr) {
       alloc_->Free(t->stack_);
     }
+    TsanDestroyFiber(t->tsan_fiber_);
+    t->tsan_fiber_ = nullptr;
   }
 }
 
@@ -52,6 +97,7 @@ Thread* Scheduler::CreateThread(std::string tname, std::function<void()> entry,
   auto addr = reinterpret_cast<std::uintptr_t>(t);
   makecontext(&t->ctx_, reinterpret_cast<void (*)()>(&Thread::Trampoline), 2,
               static_cast<unsigned>(addr >> 32), static_cast<unsigned>(addr & 0xffffffffu));
+  t->tsan_fiber_ = TsanCreateFiber();
 
   threads_.push_back(std::move(thread));
   ++stats_.threads_created;
@@ -144,11 +190,18 @@ void Scheduler::SwitchTo(Thread* t) {
   t->state_ = ThreadState::kRunning;
   t->slice_start_cycles_ = clock_->cycles();
   ++stats_.context_switches;
+  if (tsan_sched_fiber_ == nullptr) {
+    tsan_sched_fiber_ = TsanCurrentFiber();
+  }
+  TsanSwitchTo(t->tsan_fiber_);
   swapcontext(&sched_ctx_, &t->ctx_);
   current_ = nullptr;
 }
 
-void Scheduler::SwitchBack() { swapcontext(&current_->ctx_, &sched_ctx_); }
+void Scheduler::SwitchBack() {
+  TsanSwitchTo(tsan_sched_fiber_);
+  swapcontext(&current_->ctx_, &sched_ctx_);
+}
 
 void Scheduler::Yield() {
   Thread* t = current_;
@@ -187,6 +240,8 @@ void Scheduler::ReapExited() {
     if (t->state_ == ThreadState::kExited && t->stack_ != nullptr) {
       alloc_->Free(t->stack_);
       t->stack_ = nullptr;
+      TsanDestroyFiber(t->tsan_fiber_);
+      t->tsan_fiber_ = nullptr;
     }
   }
 }

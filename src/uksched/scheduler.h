@@ -68,6 +68,10 @@ class Thread {
   std::uint64_t wake_deadline_ = 0;
   bool has_deadline_ = false;
   bool timed_out_ = false;
+  // ThreadSanitizer fiber handle: TSan models each ucontext stack as a fiber
+  // so the swapcontext pairs don't look like wild cross-stack accesses.
+  // Unused (stays null) outside -fsanitize=thread builds.
+  void* tsan_fiber_ = nullptr;
 };
 
 // FIFO queue of blocked threads, the building block for mutexes, semaphores
@@ -92,6 +96,11 @@ class WaitQueue {
   bool WaitTimeout(std::uint64_t deadline_cycles);
   // Wakes up to |n| waiters (all when n == SIZE_MAX). Returns number woken.
   std::size_t Wake(std::size_t n = SIZE_MAX);
+  // Wakes exactly the oldest waiter (FIFO). The targeted form for doorbell
+  // notifications (SPSC rings): one message has one consumer, so waking the
+  // whole queue would thundering-herd every sleeping loop only for all but
+  // one to go straight back to sleep.
+  std::size_t WakeOne() { return Wake(1); }
   bool empty() const { return waiters_.empty(); }
   std::size_t size() const { return waiters_.size(); }
 
@@ -182,6 +191,10 @@ class Scheduler {
   // check O(1): the full scan only runs when a deadline can actually be due.
   std::size_t timed_waiters_ = 0;
   std::uint64_t next_deadline_hint_ = kNoDeadline;
+  // TSan fiber handle for the scheduler's own context (the OS thread's
+  // original stack); captured lazily on the first dispatch. Null outside
+  // -fsanitize=thread builds.
+  void* tsan_sched_fiber_ = nullptr;
 };
 
 // Cooperative: run-to-block, never preempts (the policy the paper selects for

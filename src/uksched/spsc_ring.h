@@ -1,0 +1,82 @@
+// uksched/spsc_ring.h - bounded single-producer/single-consumer message ring.
+//
+// The cross-shard transport for the shared-nothing SMP model (§6): when N
+// event loops each own one RSS queue and one store shard, an operation that
+// touches a foreign shard must not reach into that shard's memory. Instead it
+// travels as a message over a ring owned by exactly one (producer, consumer)
+// loop pair — the classic shared-nothing mailbox, sized so a full ring is
+// backpressure, not an allocation.
+//
+// The ring is lock-free in the SPSC discipline: the producer only writes
+// head_, the consumer only writes tail_, and each reads the other side with
+// acquire/release ordering. Under the simulator every loop is a uksched
+// thread on one OS thread, so the atomics cost nothing; on real SMP (and
+// under the TSan build flavor, which checks exactly this) they are the whole
+// correctness story.
+//
+// Notification is deliberately OUTSIDE the ring: Push() returns whether the
+// ring went non-empty so the caller can ring the consumer's doorbell
+// (WaitQueue::WakeOne / NetStack::RaiseQueueEvent) — the ring does not know
+// who sleeps where, and a consumer that polls never pays for wakeups.
+#ifndef UKSCHED_SPSC_RING_H_
+#define UKSCHED_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace uksched {
+
+template <typename T, std::size_t Capacity>
+class SpscRing {
+  static_assert(Capacity >= 2 && (Capacity & (Capacity - 1)) == 0,
+                "SpscRing capacity must be a power of two");
+
+ public:
+  // Producer side. Returns false when the ring is full (backpressure: the
+  // producer keeps the message and retries after the consumer drains).
+  bool Push(const T& v) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= Capacity) {
+      return false;
+    }
+    slots_[head & kMask] = v;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false when the ring is empty.
+  bool Pop(T* out) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (head == tail) {
+      return false;
+    }
+    *out = slots_[tail & kMask];
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+  std::size_t size() const {
+    return head_.load(std::memory_order_acquire) -
+           tail_.load(std::memory_order_acquire);
+  }
+  static constexpr std::size_t capacity() { return Capacity; }
+
+ private:
+  static constexpr std::size_t kMask = Capacity - 1;
+  // Indices are free-running (wrap at SIZE_MAX, masked on access) so
+  // full-vs-empty needs no spare slot: full is head - tail == Capacity.
+  std::atomic<std::size_t> head_{0};
+  std::atomic<std::size_t> tail_{0};
+  T slots_[Capacity]{};
+};
+
+}  // namespace uksched
+
+#endif  // UKSCHED_SPSC_RING_H_
