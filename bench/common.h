@@ -124,7 +124,8 @@ inline KvWaitRow RunKvScheduled(std::uint16_t queues, bool blocking,
   uknetdev::VirtioNet nic(&mem, &clock, &wire, cfg);
   apps::KvServer server(&nic, &mem, alloc.get(), uknet::MakeIp(10, 0, 0, 1), 7777,
                         apps::KvMode::kUkNetdev, queues);
-  uksched::CoopScheduler sched(alloc.get(), &clock);
+  auto sched_owner = uksched::MakeScheduler(alloc.get(), &clock);
+  auto& sched = *sched_owner;
   if (blocking) {
     server.EnableWait(&sched);  // before Start(): queue setup hooks the intrs
   }

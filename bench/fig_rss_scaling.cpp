@@ -13,6 +13,7 @@
 // count exactly as far as the flows balance and the loops stay independent,
 // which is precisely what the bench is gating: ≥1.7x at 2 queues, ≥3x at 4.
 // Results are also emitted as BENCH_rss_scaling.json for the CI trendline.
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +23,7 @@
 #include "apps/kvstore.h"
 #include "bench/common.h"
 #include "ukarch/hash.h"
+#include "uksched/scheduler.h"
 
 namespace {
 
@@ -37,7 +39,11 @@ struct ScalingRow {
   std::uint64_t tx_allocs = 0;  // in-place replies: must stay 0 on every shard
 };
 
-ScalingRow Run(std::uint16_t queues, int rounds = 1200) {
+// |scheduled| hosts each queue's pump loop on a uksched thread (fiber
+// backend by default, real pinned std::threads under UKRAFT_THREADS=real)
+// instead of calling PumpQueue inline — the same loops, rings and doorbells,
+// now owned by scheduler contexts, with the identical per-shard ledger.
+ScalingRow Run(std::uint16_t queues, bool scheduled, int rounds = 1200) {
   ukplat::Clock clock;
   ukplat::Wire::Config wire_cfg;
   wire_cfg.queue_depth = 100000;
@@ -120,20 +126,76 @@ ScalingRow Run(std::uint16_t queues, int rounds = 1200) {
   // frames.
   std::vector<double> shard_ns(queues, 0.0);
   std::size_t rr = 0;
-  for (int i = 0; i < rounds; ++i) {
-    for (int k = 0; k < 32; ++k) {
-      wire.Send(1, frames[rr++ % kFlows]);
+  if (!scheduled) {
+    for (int i = 0; i < rounds; ++i) {
+      for (int k = 0; k < 32; ++k) {
+        wire.Send(1, frames[rr++ % kFlows]);
+      }
+      nic.BackendPoll();  // vhost-thread demux: off every loop's ledger
+      for (std::uint16_t q = 0; q < server.queue_count(); ++q) {
+        const std::uint64_t c0 = clock.cycles();
+        bench::RealTimer timer;
+        server.PumpQueue(q);
+        shard_ns[q] += clock.model().CyclesToNs(clock.cycles() - c0) +
+                       timer.ElapsedNs() * bench::kSimNormalization;
+      }
+      while (wire.Receive(1).has_value()) {
+      }
     }
-    nic.BackendPoll();  // vhost-thread demux: off every loop's ledger
+  } else {
+    // Scheduler-hosted flavor: one pump loop per queue, each a uksched
+    // thread, plus a generator thread playing the burst source. The
+    // generator publishes a round (atomics: under UKRAFT_THREADS=real the
+    // pump loops live on other OS threads), every queue loop pumps it
+    // exactly once onto its own ledger, and the generator waits for all of
+    // them before draining replies — the same round structure as the inline
+    // path, so the rows compare directly.
+    auto sched_owner = uksched::MakeScheduler(alloc.get(), &clock);
+    auto& sched = *sched_owner;
+    std::atomic<int> round{0};
+    std::atomic<bool> done{false};
+    std::vector<std::atomic<int>> pumped(queues);
     for (std::uint16_t q = 0; q < server.queue_count(); ++q) {
-      const std::uint64_t c0 = clock.cycles();
-      bench::RealTimer timer;
-      server.PumpQueue(q);
-      shard_ns[q] += clock.model().CyclesToNs(clock.cycles() - c0) +
-                     timer.ElapsedNs() * bench::kSimNormalization;
+      sched.CreateThread("pump", [&, q] {
+        while (!done.load(std::memory_order_acquire)) {
+          if (pumped[q].load(std::memory_order_relaxed) <
+              round.load(std::memory_order_acquire)) {
+            const std::uint64_t c0 = clock.cycles();
+            bench::RealTimer timer;
+            server.PumpQueue(q);
+            shard_ns[q] += clock.model().CyclesToNs(clock.cycles() - c0) +
+                           timer.ElapsedNs() * bench::kSimNormalization;
+            pumped[q].fetch_add(1, std::memory_order_release);
+          }
+          sched.Yield();
+        }
+      });
     }
-    while (wire.Receive(1).has_value()) {
-    }
+    sched.CreateThread("generator", [&] {
+      for (int i = 0; i < rounds; ++i) {
+        for (int k = 0; k < 32; ++k) {
+          wire.Send(1, frames[rr++ % kFlows]);
+        }
+        nic.BackendPoll();
+        round.fetch_add(1, std::memory_order_release);
+        bool all_pumped = false;
+        while (!all_pumped) {
+          sched.Yield();
+          all_pumped = true;
+          for (std::uint16_t q = 0; q < server.queue_count(); ++q) {
+            if (pumped[q].load(std::memory_order_acquire) <
+                round.load(std::memory_order_relaxed)) {
+              all_pumped = false;
+              break;
+            }
+          }
+        }
+        while (wire.Receive(1).has_value()) {
+        }
+      }
+      done.store(true, std::memory_order_release);
+    });
+    sched.Run();
   }
   double slowest_ns = 0.0;
   for (std::uint16_t q = 0; q < queues; ++q) {
@@ -157,13 +219,14 @@ ScalingRow Run(std::uint16_t queues, int rounds = 1200) {
   return row;
 }
 
-void WriteJson(const std::vector<ScalingRow>& rows) {
-  std::FILE* f = std::fopen("BENCH_rss_scaling.json", "w");
+void WriteJson(const std::vector<ScalingRow>& rows, const char* path,
+               const char* bench_name) {
+  std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
-    std::fprintf(stderr, "fig_rss_scaling: cannot write BENCH_rss_scaling.json\n");
+    std::fprintf(stderr, "fig_rss_scaling: cannot write %s\n", path);
     return;
   }
-  std::fprintf(f, "{\n  \"bench\": \"rss_scaling\",\n");
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench_name);
   std::fprintf(f, "  \"workload\": \"kvstore shard-aligned GET, 16 flows\",\n");
   std::fprintf(f, "  \"rows\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -185,17 +248,30 @@ void WriteJson(const std::vector<ScalingRow>& rows) {
 
 int main(int argc, char** argv) {
   bool wait_mode = false;
+  bool threads_mode = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--wait") == 0) {
       wait_mode = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      threads_mode = true;
     }
   }
-  bench::PrintHeader("RSS scaling: sharded uknetdev kvstore, one loop per queue");
+  if (threads_mode && std::getenv("UKRAFT_THREADS") == nullptr) {
+    // --threads means the real-OS-thread flavor unless the caller pinned a
+    // backend explicitly (UKRAFT_THREADS=fiber gates the fiber-scheduled
+    // flavor of the same loops).
+    setenv("UKRAFT_THREADS", "real", 1);
+  }
+  bench::PrintHeader(threads_mode
+                         ? "RSS scaling: sharded uknetdev kvstore, one "
+                           "scheduler-hosted loop per queue"
+                         : "RSS scaling: sharded uknetdev kvstore, one loop "
+                           "per queue");
   std::printf("%-8s %12s %10s %12s %12s %12s\n", "queues", "Kreq/s", "speedup",
               "min share", "max share", "tx allocs");
   std::vector<ScalingRow> rows;
   for (std::uint16_t q : {1, 2, 4}) {
-    ScalingRow row = Run(q);
+    ScalingRow row = Run(q, threads_mode);
     if (!rows.empty() && rows.front().kreq_s > 0) {
       row.speedup = row.kreq_s / rows.front().kreq_s;
     }
@@ -205,7 +281,10 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(row.tx_allocs));
     rows.push_back(row);
   }
-  WriteJson(rows);
+  WriteJson(rows,
+            threads_mode ? "BENCH_rss_scaling_threads.json"
+                         : "BENCH_rss_scaling.json",
+            threads_mode ? "rss_scaling_threads" : "rss_scaling");
   std::printf("(elapsed = slowest shard's ledger — the one-core-per-loop model; "
               "shape criteria: speedup >= 1.7x at 2 queues and >= 3x at 4, "
               "per-queue shares near 1/N, tx allocs 0: in-place replies never "

@@ -31,7 +31,8 @@ struct KvEventLoopRow {
 
 KvEventLoopRow RunKvEventLoop(int rounds = 400, int think_turns = 32) {
   env::TestBed bed(env::Profile::UnikraftKvm());
-  uksched::CoopScheduler sched(bed.server().alloc.get(), &bed.clock());
+  auto sched_owner = uksched::MakeScheduler(bed.server().alloc.get(), &bed.clock());
+  auto& sched = *sched_owner;
   apps::KvServer server(&bed.api(), 7777, apps::KvMode::kSocketBatch);
   server.EnableWait(&sched);  // attaches the scheduler to the stack too
   KvEventLoopRow row;

@@ -173,7 +173,8 @@ WaitEchoResult RunEchoWait(std::size_t total_bytes) {
   b.stack->rto_cycles = 20'000'000;
   a.netif->AddArpEntry(MakeIp(10, 0, 0, 2), b.nic->mac());
   b.netif->AddArpEntry(MakeIp(10, 0, 0, 1), a.nic->mac());
-  uksched::CoopScheduler sched(b.alloc.get(), &clock);
+  auto sched_owner = uksched::MakeScheduler(b.alloc.get(), &clock);
+  auto& sched = *sched_owner;
   b.stack->SetScheduler(&sched);
 
   auto listener = b.stack->TcpListen(7);
@@ -389,7 +390,8 @@ EventLoopEchoResult RunEchoEventLoop(std::size_t conns, std::size_t bytes_per_co
   b.stack->rto_cycles = 20'000'000;
   a.netif->AddArpEntry(MakeIp(10, 0, 0, 2), b.nic->mac());
   b.netif->AddArpEntry(MakeIp(10, 0, 0, 1), a.nic->mac());
-  uksched::CoopScheduler sched(b.alloc.get(), &clock);
+  auto sched_owner = uksched::MakeScheduler(b.alloc.get(), &clock);
+  auto& sched = *sched_owner;
   b.stack->SetScheduler(&sched);
   vfscore::Vfs vfs;
   posix::PosixApi api(&clock, &vfs, b.stack.get(), posix::DispatchMode::kDirectCall,

@@ -94,4 +94,21 @@ UKRAFT_QUEUES=4 "$TSAN_BUILD_DIR"/smp_shard_test
 UKRAFT_QUEUES=4 "$TSAN_BUILD_DIR"/uknet_multiqueue_test
 UKRAFT_QUEUES=4 "$TSAN_BUILD_DIR"/uknet_wait_test
 
-echo "ci: OK (src/ built with -Wall -Wextra -Werror; markdown links checked; tests passed plain, at UKRAFT_QUEUES=4 with the RSS-scaling gate, and under ASan+UBSan with UKRAFT_QUEUES=2, incl. the blocking --wait and --eventloop legs; TSan covered the sharded suites)"
+# Real-OS-thread stress leg: the same TSan build reruns the concurrency
+# suites with UKRAFT_THREADS=real — every uksched loop on its own pinned
+# std::thread, no fiber annotations, only native mutex/condvar edges. This is
+# the strongest check in the file: TSan sees the per-loop counters, the RCU
+# registry grace periods, the SPSC rings and the doorbell protocol as genuine
+# cross-thread traffic and validates every ordering claim the comments make.
+cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" --target uksched_test
+UKRAFT_THREADS=real "$TSAN_BUILD_DIR"/uksched_test
+UKRAFT_THREADS=real UKRAFT_QUEUES=4 "$TSAN_BUILD_DIR"/smp_shard_test
+UKRAFT_THREADS=real UKRAFT_QUEUES=4 "$TSAN_BUILD_DIR"/uknet_multiqueue_test
+UKRAFT_THREADS=real UKRAFT_QUEUES=4 "$TSAN_BUILD_DIR"/uknet_wait_test
+
+# Real-thread scaling gate: the same >=1.7x/>=3x speedups and zero TX-pool
+# churn with every per-queue pump loop hosted on a real pinned thread
+# (emits BENCH_rss_scaling_threads.json next to the fiber-mode trendline).
+(cd "$BUILD_DIR" && UKRAFT_THREADS=real ./bench_fig_rss_scaling --threads)
+
+echo "ci: OK (src/ built with -Wall -Wextra -Werror; markdown links checked; tests passed plain, at UKRAFT_QUEUES=4 with the RSS-scaling gate, and under ASan+UBSan with UKRAFT_QUEUES=2, incl. the blocking --wait and --eventloop legs; TSan covered the sharded suites in fiber AND real-thread mode, and the scaling gate held on real threads)"

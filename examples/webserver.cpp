@@ -20,7 +20,8 @@ int main() {
   f->Write(std::as_bytes(std::span(body.data(), body.size())));
 
   // The scheduler the event-loop thread blocks under.
-  uksched::CoopScheduler sched(bed.server().alloc.get(), &bed.clock());
+  auto sched_owner = uksched::MakeScheduler(bed.server().alloc.get(), &bed.clock());
+  auto& sched = *sched_owner;
   bed.server().stack->SetScheduler(&sched);
 
   apps::HttpServer server(&bed.api(), 80, &bed.vfs());

@@ -66,7 +66,7 @@ bool KvServer::Start() {
     // One queue, one shard: the sharding machinery degenerates to the old
     // single-store server (every key hashes to shard 0).
     shards_.assign(1, {});
-    shard_accesses_.assign(1, 0);
+    shard_accesses_ = std::vector<std::atomic<std::uint64_t>>(1);
     fd_ = api_->Socket(posix::SockType::kDgram);
     if (fd_ < 0 || api_->Bind(fd_, port_) != 0) {
       return false;
@@ -92,11 +92,11 @@ bool KvServer::Start() {
     queues_ = dev_max == 0 ? 1 : dev_max;
   }
   const std::uint32_t bufs_per_q = std::max<std::uint32_t>(512 / queues_, 32);
-  queue_requests_.assign(queues_, 0);
   // Shared-nothing state: one shard per queue plus the full queues_^2 ring
   // mesh (the diagonal rings stay unused — a loop never messages itself).
   shards_.assign(queues_, {});
-  shard_accesses_.assign(static_cast<std::size_t>(queues_) * queues_, 0);
+  shard_accesses_ = std::vector<std::atomic<std::uint64_t>>(
+      static_cast<std::size_t>(queues_) * queues_);
   rings_.clear();
   for (std::size_t i = 0; i < static_cast<std::size_t>(queues_) * queues_; ++i) {
     rings_.push_back(std::make_unique<ShardRing>());
@@ -104,7 +104,7 @@ bool KvServer::Start() {
   outbox_.assign(static_cast<std::size_t>(queues_) * queues_, {});
   pending_.assign(queues_, {});
   next_req_id_.assign(queues_, 1);
-  ring_doorbells_.assign(queues_, 0);
+  ring_doorbells_ = std::vector<std::atomic<std::uint64_t>>(queues_);
   uknetdev::DevConf conf;
   conf.nb_rx_queues = queues_;
   conf.nb_tx_queues = queues_;
@@ -127,7 +127,8 @@ bool KvServer::Start() {
       // driver's interrupt fire wakes exactly that queue's pump loop.
       rx_waits_.push_back(std::make_unique<uksched::WaitQueue>(sched_));
       rxc.intr_handler = [this](std::uint16_t rxq) {
-        ++wait_stats_.intr_fires;
+        loops_[LoopSlotFor(rxq)].intr_fires.fetch_add(1,
+                                                      std::memory_order_relaxed);
         if (rxq < rx_waits_.size() && rx_waits_[rxq] != nullptr) {
           rx_waits_[rxq]->Wake();
         }
@@ -153,21 +154,23 @@ void KvServer::EnableWait(uksched::Scheduler* sched) {
 std::size_t KvServer::PumpQueueWait(std::uint16_t queue,
                                     std::uint64_t timeout_cycles) {
   std::size_t handled = PumpQueue(queue);
+  LoopCounters& lc = loops_[LoopSlotFor(queue)];
   if (handled > 0) {
     return handled;
   }
-  ++wait_stats_.empty_pumps;
+  lc.empty_pumps.fetch_add(1, std::memory_order_relaxed);
   if (sched_ == nullptr || sched_->current() == nullptr) {
     return handled;  // no scheduler: stay a plain (spinning) pump
   }
   if (mode_ == KvMode::kSocketSingle || mode_ == KvMode::kSocketBatch) {
-    ++wait_stats_.blocked_waits;
+    lc.blocked_waits.fetch_add(1, std::memory_order_relaxed);
     if (queue != 0) {
       // The single server fd lives on queue 0's loop; the event loop is not
       // reentrant (one shared ready array), so sibling pump threads sleep on
       // the stack directly instead of entering it.
       if (api_->net()->PollWait(uknet::NetStack::kAllQueues, timeout_cycles) == 0) {
-        ++wait_stats_.timeouts;  // deadline wake; frames woke it otherwise
+        // deadline wake; frames woke it otherwise
+        lc.timeouts.fetch_add(1, std::memory_order_relaxed);
       }
       return 0;
     }
@@ -176,7 +179,7 @@ std::size_t KvServer::PumpQueueWait(std::uint16_t queue,
     // kNoWaitDeadline sentinel is the same ~0 as EventLoop::kNoTimeout.
     handled = PumpSocket(timeout_cycles);
     if (handled == 0) {
-      ++wait_stats_.timeouts;
+      lc.timeouts.fetch_add(1, std::memory_order_relaxed);
     }
     return handled;
   }
@@ -196,20 +199,23 @@ std::size_t KvServer::PumpQueueWait(std::uint16_t queue,
     // more instead of sleeping through the (already-fired) WakeOne.
     dev_->RxIntrEnable(queue);
     const std::uint64_t bell =
-        queue < ring_doorbells_.size() ? ring_doorbells_[queue] : 0;
+        queue < ring_doorbells_.size()
+            ? ring_doorbells_[queue].load(std::memory_order_acquire)
+            : 0;
     handled = PumpQueue(queue);
     if (handled > 0) {
       break;
     }
-    if (queue < ring_doorbells_.size() && ring_doorbells_[queue] != bell) {
+    if (queue < ring_doorbells_.size() &&
+        ring_doorbells_[queue].load(std::memory_order_acquire) != bell) {
       continue;
     }
-    ++wait_stats_.empty_pumps;
-    ++wait_stats_.blocked_waits;
+    lc.empty_pumps.fetch_add(1, std::memory_order_relaxed);
+    lc.blocked_waits.fetch_add(1, std::memory_order_relaxed);
     const bool woken = rx_waits_[queue]->WaitTimeout(deadline);
     handled = PumpQueue(queue);
     if (!woken) {
-      ++wait_stats_.timeouts;
+      lc.timeouts.fetch_add(1, std::memory_order_relaxed);
       break;
     }
     if (handled > 0) {
@@ -223,7 +229,8 @@ std::size_t KvServer::PumpQueueWait(std::uint16_t queue,
 
 std::string* KvServer::StoreFind(std::uint16_t accessor, std::uint16_t shard,
                                  std::uint16_t key) {
-  ++shard_accesses_[static_cast<std::size_t>(accessor) * queues_ + shard];
+  shard_accesses_[static_cast<std::size_t>(accessor) * queues_ + shard]
+      .fetch_add(1, std::memory_order_relaxed);
   auto& map = shards_[shard];
   auto it = map.find(key);
   return it == map.end() ? nullptr : &it->second;
@@ -231,13 +238,15 @@ std::string* KvServer::StoreFind(std::uint16_t accessor, std::uint16_t shard,
 
 void KvServer::StoreSet(std::uint16_t accessor, std::uint16_t shard,
                         std::uint16_t key, std::span<const std::uint8_t> value) {
-  ++shard_accesses_[static_cast<std::size_t>(accessor) * queues_ + shard];
+  shard_accesses_[static_cast<std::size_t>(accessor) * queues_ + shard]
+      .fetch_add(1, std::memory_order_relaxed);
   shards_[shard][key].assign(reinterpret_cast<const char*>(value.data()),
                              value.size());
 }
 
 void KvServer::RingSend(std::uint16_t from, std::uint16_t to, const ShardMsg& msg) {
-  ++ring_messages_;
+  loops_[LoopSlotFor(from)].ring_messages.fetch_add(1,
+                                                    std::memory_order_relaxed);
   if (!RingTo(from, to)->Push(msg)) {
     // Ring full: park in the outbox, retried at the head of every DrainRings
     // turn of |from|. Backpressure, never loss.
@@ -247,7 +256,9 @@ void KvServer::RingSend(std::uint16_t from, std::uint16_t to, const ShardMsg& ms
 
 void KvServer::WakeShard(std::uint16_t to) {
   if (to < ring_doorbells_.size()) {
-    ++ring_doorbells_[to];
+    // Release: the ring Push above happens-before a consumer that observes
+    // the bumped bell (acquire) and drains.
+    ring_doorbells_[to].fetch_add(1, std::memory_order_release);
   }
   // WakeOne, not Wake: exactly one loop owns queue |to|, waking more sleepers
   // would be a thundering herd against consumers that find nothing.
@@ -412,8 +423,8 @@ void KvServer::EmitDeferredReply(const PendingOp& op) {
     tx_pools_[op.queue]->Free(out);
     return;
   }
-  ++requests_;
-  ++queue_requests_[op.queue];
+  loops_[LoopSlotFor(op.queue)].requests.fetch_add(1,
+                                                   std::memory_order_relaxed);
 }
 
 std::size_t KvServer::HandleInto(std::uint16_t queue,
@@ -495,7 +506,8 @@ std::size_t KvServer::HandleInto(std::uint16_t queue,
     op.dst_mac = reply_to->mac;
     op.dst_ip = reply_to->ip;
     op.dst_port = reply_to->port;
-    ++cross_shard_ops_;
+    loops_[LoopSlotFor(queue)].cross_shard_ops.fetch_add(
+        1, std::memory_order_relaxed);
     for (std::uint8_t i = 0; i < n; ++i) {
       const std::uint16_t shard = ShardForKey(keys[i], queues_);
       if (shard == queue) {
@@ -559,7 +571,8 @@ std::size_t KvServer::HandleInto(std::uint16_t queue,
     m.key = key;
     m.vlen = static_cast<std::uint8_t>(len);
     std::memcpy(m.val, payload.data() + 5, len);
-    ++cross_shard_ops_;
+    loops_[LoopSlotFor(queue)].cross_shard_ops.fetch_add(
+        1, std::memory_order_relaxed);
     pending_[queue].push_back(op);
     RingSend(queue, shard, m);
     WakeShard(shard);
@@ -597,7 +610,8 @@ std::size_t KvServer::HandleInto(std::uint16_t queue,
     m.req_id = op.id;
     m.slot = 0;
     m.key = key;
-    ++cross_shard_ops_;
+    loops_[LoopSlotFor(queue)].cross_shard_ops.fetch_add(
+        1, std::memory_order_relaxed);
     pending_[queue].push_back(op);
     RingSend(queue, shard, m);
     WakeShard(shard);
@@ -622,7 +636,7 @@ std::size_t KvServer::PumpSocketSingle() {
     std::size_t len = HandleInto(0, std::span(buf, static_cast<std::size_t>(n)),
                                  reply, sizeof(reply), nullptr, nullptr);
     api_->SendTo(fd_, src_ip, src_port, std::span(reply, len));
-    ++requests_;
+    loops_[0].requests.fetch_add(1, std::memory_order_relaxed);
     ++handled;
   }
   return handled;
@@ -649,7 +663,8 @@ std::size_t KvServer::PumpSocketBatch() {
   }
   api_->SendMmsg(fd_, msgs[0].src_ip, msgs[0].src_port,
                  std::span(vecs, static_cast<std::size_t>(got)));
-  requests_ += static_cast<std::uint64_t>(got);
+  loops_[0].requests.fetch_add(static_cast<std::uint64_t>(got),
+                               std::memory_order_relaxed);
   return static_cast<std::size_t>(got);
 }
 
@@ -718,8 +733,8 @@ std::size_t KvServer::PumpNetdev(std::uint16_t queue) {
                                std::span(odata + kHdrs, reply_len));
                 out->len = static_cast<std::uint32_t>(total);
                 replies[nreplies++] = out;
-                ++requests_;
-                ++queue_requests_[queue];
+                loops_[LoopSlotFor(queue)].requests.fetch_add(
+                    1, std::memory_order_relaxed);
                 replied = true;
               } else {
                 tx_pools_[queue]->Free(out);
@@ -753,8 +768,8 @@ std::size_t KvServer::PumpNetdev(std::uint16_t queue) {
                              std::span(payload_at, reply_len));
               nb->len = static_cast<std::uint32_t>(total);
               replies[nreplies++] = nb;  // ownership rides to TxBurst
-              ++requests_;
-              ++queue_requests_[queue];
+              loops_[LoopSlotFor(queue)].requests.fetch_add(
+                  1, std::memory_order_relaxed);
               replied = true;
               continue;  // do not free: the RX buffer is the TX buffer now
             }
@@ -783,9 +798,9 @@ std::size_t KvServer::PumpSocket(std::uint64_t timeout_cycles) {
   if (loop_ == nullptr) {
     return 0;  // Start() not run (or failed): degrade like the old fd_=-1 path
   }
-  const std::uint64_t before = requests_;
+  const std::uint64_t before = requests();
   loop_->PumpOnce(timeout_cycles);
-  return static_cast<std::size_t>(requests_ - before);
+  return static_cast<std::size_t>(requests() - before);
 }
 
 std::size_t KvServer::PumpQueue(std::uint16_t queue) {
@@ -821,6 +836,53 @@ std::size_t KvServer::PumpOnce() {
     }
   }
   return 0;
+}
+
+// ---- per-loop counter snapshots ---------------------------------------------------
+
+KvServer::Stats KvServer::stats(std::uint16_t queue) const {
+  const LoopCounters& lc = loops_[LoopSlotFor(queue)];
+  return Stats{
+      .requests = lc.requests.load(std::memory_order_relaxed),
+      .ring_messages = lc.ring_messages.load(std::memory_order_relaxed),
+      .cross_shard_ops = lc.cross_shard_ops.load(std::memory_order_relaxed),
+      .waits =
+          WaitStats{
+              .empty_pumps = lc.empty_pumps.load(std::memory_order_relaxed),
+              .blocked_waits = lc.blocked_waits.load(std::memory_order_relaxed),
+              .intr_fires = lc.intr_fires.load(std::memory_order_relaxed),
+              .timeouts = lc.timeouts.load(std::memory_order_relaxed),
+          },
+  };
+}
+
+KvServer::Stats KvServer::stats() const {
+  Stats sum;
+  for (std::uint16_t q = 0; q < kMaxLoopSlots; ++q) {
+    const Stats one = stats(q);
+    sum.requests += one.requests;
+    sum.ring_messages += one.ring_messages;
+    sum.cross_shard_ops += one.cross_shard_ops;
+    sum.waits.empty_pumps += one.waits.empty_pumps;
+    sum.waits.blocked_waits += one.waits.blocked_waits;
+    sum.waits.intr_fires += one.waits.intr_fires;
+    sum.waits.timeouts += one.waits.timeouts;
+  }
+  return sum;
+}
+
+KvServer::WaitStats KvServer::wait_stats() const { return stats().waits; }
+
+KvServer::WaitStats KvServer::wait_stats(std::uint16_t queue) const {
+  return stats(queue).waits;
+}
+
+std::uint64_t KvServer::requests() const { return stats().requests; }
+
+std::uint64_t KvServer::ring_messages() const { return stats().ring_messages; }
+
+std::uint64_t KvServer::cross_shard_ops() const {
+  return stats().cross_shard_ops;
 }
 
 }  // namespace apps

@@ -11,6 +11,7 @@
 #ifndef APPS_KVSTORE_H_
 #define APPS_KVSTORE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -76,17 +77,34 @@ class KvServer {
                             std::uint64_t timeout_cycles = kNoWaitDeadline);
   static constexpr std::uint64_t kNoWaitDeadline = uksched::Scheduler::kNoDeadline;
 
+  // Snapshot type. The live counters are PER-LOOP (one cacheline-padded slot
+  // per queue's loop); wait_stats() sums the slots at read time and
+  // wait_stats(queue) slices out one loop's view, so concurrent loops never
+  // write-share a counter line and readers never race a writer.
   struct WaitStats {
     std::uint64_t empty_pumps = 0;    // pump passes that found no request
     std::uint64_t blocked_waits = 0;  // times a pump loop actually slept
     std::uint64_t intr_fires = 0;     // RX interrupt handler invocations
     std::uint64_t timeouts = 0;       // waits ended by the caller's deadline
   };
-  const WaitStats& wait_stats() const { return wait_stats_; }
+  WaitStats wait_stats() const;                     // all loops, summed
+  WaitStats wait_stats(std::uint16_t queue) const;  // one loop's slot
 
-  std::uint64_t requests() const { return requests_; }
+  // Full snapshot: every aggregate the benches and tests read, captured from
+  // the per-loop slots in one call. stats() sums across loops; stats(queue)
+  // is one loop's slice.
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t ring_messages = 0;
+    std::uint64_t cross_shard_ops = 0;
+    WaitStats waits;
+  };
+  Stats stats() const;
+  Stats stats(std::uint16_t queue) const;
+
+  std::uint64_t requests() const;
   std::uint64_t queue_requests(std::uint16_t queue) const {
-    return queue < queue_requests_.size() ? queue_requests_[queue] : 0;
+    return loops_[LoopSlotFor(queue)].requests.load(std::memory_order_relaxed);
   }
   std::uint16_t queue_count() const { return queues_; }
   KvMode mode() const { return mode_; }
@@ -108,10 +126,12 @@ class KvServer {
   // ops (those execute on the owner via ring messages).
   std::uint64_t shard_accesses(std::uint16_t accessor, std::uint16_t shard) const {
     const std::size_t i = static_cast<std::size_t>(accessor) * queues_ + shard;
-    return i < shard_accesses_.size() ? shard_accesses_[i] : 0;
+    return i < shard_accesses_.size()
+               ? shard_accesses_[i].load(std::memory_order_relaxed)
+               : 0;
   }
-  std::uint64_t ring_messages() const { return ring_messages_; }
-  std::uint64_t cross_shard_ops() const { return cross_shard_ops_; }
+  std::uint64_t ring_messages() const;   // summed over per-loop slots
+  std::uint64_t cross_shard_ops() const; // summed over per-loop slots
 
   static constexpr std::size_t kMaxMultiKeys = 8;
   static constexpr std::size_t kMaxInlineValue = 64;  // ring-slot value cap
@@ -221,13 +241,34 @@ class KvServer {
   std::vector<std::unique_ptr<uknetdev::NetBufPool>> tx_pools_;
   std::vector<std::unique_ptr<uknetdev::NetBufPool>> rx_pools_;
 
+  // ---- per-loop counters ---------------------------------------------------
+  // Every aggregate the server exposes (requests, ring messages, cross-shard
+  // ops, wait accounting) lives in one cacheline-padded slot per loop; the
+  // loop pumping queue q is the only writer of loops_[q], and the public
+  // accessors sum the slots at read time. Socket modes use slot 0.
+  static constexpr std::size_t kMaxLoopSlots = 16;
+  static std::uint16_t LoopSlotFor(std::uint16_t queue) {
+    return queue < kMaxLoopSlots ? queue
+                                 : static_cast<std::uint16_t>(kMaxLoopSlots - 1);
+  }
+  struct alignas(64) LoopCounters {
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> ring_messages{0};
+    std::atomic<std::uint64_t> cross_shard_ops{0};
+    std::atomic<std::uint64_t> empty_pumps{0};
+    std::atomic<std::uint64_t> blocked_waits{0};
+    std::atomic<std::uint64_t> intr_fires{0};
+    std::atomic<std::uint64_t> timeouts{0};
+  };
+  std::array<LoopCounters, kMaxLoopSlots> loops_;
+
   // One shard per queue; shards_[q] is owned by queue q's loop and only ever
   // touched by it (StoreFind/StoreSet assert the discipline via the audit
   // counters). Socket modes degenerate to one shard.
   std::vector<std::unordered_map<std::uint16_t, std::string>> shards_;
-  std::vector<std::uint64_t> shard_accesses_;  // accessor-major [q][shard]
-  std::uint64_t requests_ = 0;
-  std::vector<std::uint64_t> queue_requests_;
+  // Audit counters, accessor-major [q][shard]. Atomic so a reader summing the
+  // matrix never races the loops bumping their diagonal.
+  std::vector<std::atomic<std::uint64_t>> shard_accesses_;
   std::uint16_t ip_id_ = 1;
 
   // Cross-shard transport: queues_^2 SPSC rings (from-major), per-pair
@@ -236,13 +277,13 @@ class KvServer {
   std::vector<std::deque<ShardMsg>> outbox_;
   std::vector<std::deque<PendingOp>> pending_;
   std::vector<std::uint32_t> next_req_id_;
-  std::vector<std::uint64_t> ring_doorbells_;
-  std::uint64_t ring_messages_ = 0;
-  std::uint64_t cross_shard_ops_ = 0;
+  // Doorbell sequences: written by the PRODUCING loop (WakeShard, release),
+  // read by the target loop's arm-then-check (acquire) — the one counter here
+  // that is a protocol word, not a statistic.
+  std::vector<std::atomic<std::uint64_t>> ring_doorbells_;
 
   uksched::Scheduler* sched_ = nullptr;
   std::vector<std::unique_ptr<uksched::WaitQueue>> rx_waits_;  // netdev modes
-  WaitStats wait_stats_;
 
   static constexpr int kBatch = 32;
 };

@@ -6,7 +6,7 @@ namespace posix {
 
 FdTable::~FdTable() {
   for (std::size_t fd = 0; fd < entries_.size(); ++fd) {
-    if (watched_[fd] != 0) {
+    if (watched_[fd].load(std::memory_order_acquire) != 0) {
       DetachSink(static_cast<int>(fd));
     }
   }
@@ -16,8 +16,8 @@ int FdTable::Install(FdEntry entry) {
   for (std::size_t fd = 3; fd < entries_.size(); ++fd) {
     if (std::holds_alternative<std::monostate>(entries_[fd])) {
       entries_[fd] = std::move(entry);
-      edges_[fd] = 0;
-      watched_[fd] = 0;
+      edges_[fd].store(0, std::memory_order_relaxed);
+      watched_[fd].store(0, std::memory_order_relaxed);
       return static_cast<int>(fd);
     }
   }
@@ -44,12 +44,12 @@ bool FdTable::Replace(int fd, FdEntry entry) {
     return false;
   }
   const auto slot = static_cast<std::size_t>(fd);
-  const bool was_watched = watched_[slot] != 0;
+  const bool was_watched = watched_[slot].load(std::memory_order_acquire) != 0;
   if (was_watched) {
     DetachSink(fd);
   }
   entries_[slot] = std::move(entry);
-  edges_[slot] = 0;
+  edges_[slot].store(0, std::memory_order_relaxed);
   if (was_watched) {
     // Same descriptor, same open description (pending -> bound/connected):
     // the watch carries over to the materialized socket.
@@ -89,7 +89,7 @@ ukarch::Status FdTable::Close(int fd) {
         continue;
       }
       sharer = static_cast<int>(other);
-      if (watched_[other] != 0) {
+      if (watched_[other].load(std::memory_order_acquire) != 0) {
         watched_sharer = sharer;
         break;
       }
@@ -104,8 +104,8 @@ ukarch::Status FdTable::Close(int fd) {
     }
   }
   entries_[slot] = std::monostate{};
-  edges_[slot] = 0;
-  watched_[slot] = 0;
+  edges_[slot].store(0, std::memory_order_relaxed);
+  watched_[slot].store(0, std::memory_order_relaxed);
   ++gens_[slot];  // stale epoll interest for this number stops matching here
   // A socket has ONE sink slot. If a dup'd descriptor still watches this
   // socket, re-home the sink to the survivor so its edge delivery (and with
@@ -130,7 +130,7 @@ bool FdTable::Watch(int fd) {
   if (!InUse(fd)) {
     return false;
   }
-  watched_[static_cast<std::size_t>(fd)] = 1;
+  watched_[static_cast<std::size_t>(fd)].store(1, std::memory_order_release);
   Subscribe(fd);
   return true;
 }
@@ -139,9 +139,10 @@ uknet::EventMask FdTable::TakeEdges(int fd) {
   if (fd < 0 || static_cast<std::size_t>(fd) >= edges_.size()) {
     return 0;
   }
-  uknet::EventMask ev = edges_[static_cast<std::size_t>(fd)];
-  edges_[static_cast<std::size_t>(fd)] = 0;
-  return ev;
+  // Exchange, not load+store: a foreign loop's fetch_or landing between the
+  // two would be erased — the classic lost-edge race this PR closes.
+  return edges_[static_cast<std::size_t>(fd)].exchange(
+      0, std::memory_order_acquire);
 }
 
 int FdTable::FdQueue(int fd) const {
@@ -157,8 +158,11 @@ void FdTable::OnSocketEvent(std::uint64_t token, uknet::EventMask events) {
   if (token >= edges_.size()) {
     return;
   }
-  edges_[static_cast<std::size_t>(token)] |= events;
-  ++edges_delivered_;
+  // May run on a foreign loop's thread (the queue that dispatched the
+  // packet); release pairs with the owner's acquire exchange in TakeEdges.
+  edges_[static_cast<std::size_t>(token)].fetch_or(events,
+                                                   std::memory_order_release);
+  edges_delivered_.fetch_add(1, std::memory_order_relaxed);
 }
 
 uknet::SocketEventSource* FdTable::EventSourceOf(int fd) const {

@@ -10,6 +10,7 @@
 #ifndef POSIX_FDTAB_H_
 #define POSIX_FDTAB_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <variant>
@@ -58,9 +59,9 @@ class FdTable : public uknet::SocketEventSink {
  public:
   explicit FdTable(int max_fds = 1024)
       : entries_(static_cast<std::size_t>(max_fds)),
-        edges_(static_cast<std::size_t>(max_fds), 0),
+        edges_(static_cast<std::size_t>(max_fds)),
         gens_(static_cast<std::size_t>(max_fds), 0),
-        watched_(static_cast<std::size_t>(max_fds), 0) {}
+        watched_(static_cast<std::size_t>(max_fds)) {}
   // Sockets can outlive the table (shared_ptrs held by the stack or the
   // app); detach every sink so no socket raises into freed memory.
   ~FdTable() override;
@@ -115,13 +116,15 @@ class FdTable : public uknet::SocketEventSink {
   bool Watch(int fd);
   bool watched(int fd) const {
     return fd >= 0 && static_cast<std::size_t>(fd) < watched_.size() &&
-           watched_[static_cast<std::size_t>(fd)] != 0;
+           watched_[static_cast<std::size_t>(fd)].load(
+               std::memory_order_acquire) != 0;
   }
   // Accumulated readiness edges since the last TakeEdges (level state lives
   // on the sockets; the edge mask is for wake bookkeeping and tests).
   uknet::EventMask edges(int fd) const {
     return fd >= 0 && static_cast<std::size_t>(fd) < edges_.size()
-               ? edges_[static_cast<std::size_t>(fd)]
+               ? edges_[static_cast<std::size_t>(fd)].load(
+                     std::memory_order_acquire)
                : 0;
   }
   uknet::EventMask TakeEdges(int fd);
@@ -138,7 +141,9 @@ class FdTable : public uknet::SocketEventSink {
                ? gens_[static_cast<std::size_t>(fd)]
                : 0;
   }
-  std::uint64_t edges_delivered() const { return edges_delivered_; }
+  std::uint64_t edges_delivered() const {
+    return edges_delivered_.load(std::memory_order_relaxed);
+  }
 
   // uknet::SocketEventSink: |token| is the watched fd.
   void OnSocketEvent(std::uint64_t token, uknet::EventMask events) override;
@@ -150,10 +155,15 @@ class FdTable : public uknet::SocketEventSink {
   void DetachSink(int fd);
 
   std::vector<FdEntry> entries_;
-  std::vector<uknet::EventMask> edges_;  // accumulated edges per fd
-  std::vector<std::uint32_t> gens_;      // slot generation (fd-reuse guard)
-  std::vector<std::uint8_t> watched_;    // fd has a live readiness watch
-  std::uint64_t edges_delivered_ = 0;
+  // Edge accumulation is the one FdTable path a FOREIGN loop touches: a
+  // socket's OnSocketEvent can fire from whichever queue's loop dispatched
+  // the packet, concurrent with the owner loop draining TakeEdges. The mask
+  // and watch flag are atomics (fetch_or vs exchange); everything else in the
+  // table (install/close/dup) stays owner-loop-only by contract.
+  std::vector<std::atomic<uknet::EventMask>> edges_;  // accumulated edges
+  std::vector<std::uint32_t> gens_;  // slot generation (fd-reuse guard)
+  std::vector<std::atomic<std::uint8_t>> watched_;  // live readiness watch
+  std::atomic<std::uint64_t> edges_delivered_{0};
 };
 
 }  // namespace posix

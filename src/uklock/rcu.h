@@ -1,0 +1,201 @@
+// uklock/rcu.h - quiescent-state-based reclamation (QSBR) for the event loops.
+//
+// The paper's uklock names RCU as the multi-core synchronization idiom; this
+// is the flavor that fits a run-to-completion runtime. Readers (the per-queue
+// event loops) take NO lock and write NO shared word on the hot path: they
+// acquire-load a published pointer and use it for the remainder of the
+// current loop turn. What makes that safe is the quiescent contract: a loop
+// announces a quiescent state at its turn boundaries (end of Poll /
+// PollWait), promising it holds no reference from an earlier turn. Writers
+// are serialized on a plain mutex, publish a new version with a release
+// store, and *retire* the old one — it is reclaimed only after every online
+// loop has announced a quiescent state that postdates the publication (one
+// grace period).
+//
+// RcuDomain is the grace-period machinery (epoch counter, per-slot
+// announcements, retire list). RcuRegistry<K,V> is the copy-on-write std::map
+// the stack's connection/port registries build on: Read() is the lock-free
+// demux path, mutations copy the map, publish the copy, and retire the old.
+// Registry values are typically shared_ptr, so a snapshot iterated by one
+// loop keeps its sockets alive even while a writer unlinks them.
+#ifndef UKLOCK_RCU_H_
+#define UKLOCK_RCU_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace uklock {
+
+class RcuDomain {
+ public:
+  // One slot per reader loop. The stack maps queue q to slot q and the
+  // Poll()/PollWait(kAllQueues) caller to its own slot; anything wider
+  // shares the last slot (correct, just coarser).
+  static constexpr std::size_t kMaxSlots = 18;
+  static std::size_t Slot(std::size_t i) {
+    return i < kMaxSlots ? i : kMaxSlots - 1;
+  }
+
+  std::uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  // Reader side: |slot|'s loop announces it holds no reference obtained in an
+  // earlier turn. First announcement brings the slot online; it stays online
+  // until Offline (an exited loop that never offlines only DELAYS
+  // reclamation — Synchronize at teardown still drains).
+  void Quiescent(std::size_t slot) {
+    SlotState& s = slots_[Slot(slot)];
+    s.online.store(true, std::memory_order_relaxed);
+    // Acquire the epoch then release-publish it: a writer that reads this
+    // announcement (acquire) knows every read of this loop's previous turn
+    // happened-before it.
+    s.announced.store(epoch_.load(std::memory_order_acquire),
+                      std::memory_order_release);
+    TryReclaim();
+  }
+  void Offline(std::size_t slot) {
+    slots_[Slot(slot)].online.store(false, std::memory_order_release);
+  }
+
+  // Writer side (call with the writer serialized externally or not at all —
+  // the domain locks its own retire list): defers |reclaim| until one grace
+  // period after now.
+  void Retire(std::function<void()> reclaim) {
+    std::lock_guard<std::mutex> lk(mu_);
+    // The publication this retirement protects used a release store; bumping
+    // the epoch afterwards (release) lets readers pair an acquire epoch load
+    // with it. +1: the grace period ends when every online slot has announced
+    // an epoch >= the post-bump value.
+    const std::uint64_t target =
+        epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    pending_.push_back(Pending{target, std::move(reclaim)});
+  }
+
+  // Runs every retirement whose grace period has elapsed. Called from
+  // Quiescent (amortized, try-lock so reader turns never contend) and usable
+  // directly. Returns callbacks run.
+  std::size_t TryReclaim() {
+    std::unique_lock<std::mutex> lk(mu_, std::try_to_lock);
+    if (!lk.owns_lock()) {
+      return 0;
+    }
+    return ReclaimLocked();
+  }
+
+  // Teardown/writer barrier: treats the world as quiescent-by-construction
+  // (the caller guarantees no reader loop is mid-turn — e.g. ~NetStack, where
+  // the run-to-block scheduler has no runnable loop) and drains everything.
+  std::size_t Synchronize() {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (SlotState& s : slots_) {
+      s.online.store(false, std::memory_order_relaxed);
+    }
+    return ReclaimLocked();
+  }
+
+  std::size_t pending() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return pending_.size();
+  }
+
+  ~RcuDomain() { Synchronize(); }
+
+ private:
+  struct Pending {
+    std::uint64_t epoch = 0;
+    std::function<void()> reclaim;
+  };
+  struct alignas(64) SlotState {
+    std::atomic<bool> online{false};
+    std::atomic<std::uint64_t> announced{0};
+  };
+
+  bool GraceElapsed(std::uint64_t target) const {
+    for (const SlotState& s : slots_) {
+      if (s.online.load(std::memory_order_acquire) &&
+          s.announced.load(std::memory_order_acquire) < target) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::size_t ReclaimLocked() {
+    std::size_t ran = 0;
+    // Retirements are epoch-ordered; stop at the first one still in grace.
+    while (!pending_.empty() && GraceElapsed(pending_.front().epoch)) {
+      Pending p = std::move(pending_.front());
+      pending_.erase(pending_.begin());
+      p.reclaim();
+      ++ran;
+    }
+    return ran;
+  }
+
+  std::atomic<std::uint64_t> epoch_{1};
+  std::array<SlotState, kMaxSlots> slots_;
+  mutable std::mutex mu_;
+  std::vector<Pending> pending_;
+};
+
+// Copy-on-write map published through an RcuDomain. Readers: Read() is one
+// acquire load; the returned snapshot is valid until the reader's next
+// Quiescent announcement. Writers: serialized on the registry's own mutex,
+// each mutation copies the current map, applies the change, publishes the
+// copy and retires the old version into the domain.
+template <typename K, typename V>
+class RcuRegistry {
+ public:
+  using Map = std::map<K, V>;
+
+  explicit RcuRegistry(RcuDomain* domain)
+      : domain_(domain), current_(new Map()) {}
+
+  ~RcuRegistry() {
+    // The domain outlives the registry in every embedding here; retired
+    // versions drain through it. The live version dies with us.
+    delete current_.load(std::memory_order_relaxed);
+  }
+
+  RcuRegistry(const RcuRegistry&) = delete;
+  RcuRegistry& operator=(const RcuRegistry&) = delete;
+
+  // Lock-free reader snapshot (demux hot path).
+  const Map* Read() const { return current_.load(std::memory_order_acquire); }
+
+  // Generic serialized copy-on-write mutation. |mutate| runs against a
+  // private copy; the copy is published whole.
+  template <typename Fn>
+  void Update(Fn&& mutate) {
+    std::lock_guard<std::mutex> lk(writer_mu_);
+    const Map* old = current_.load(std::memory_order_relaxed);
+    Map* next = new Map(*old);
+    mutate(*next);
+    current_.store(next, std::memory_order_release);
+    domain_->Retire([old] { delete old; });
+  }
+
+  void Insert(const K& key, V value) {
+    Update([&](Map& m) { m.insert_or_assign(key, std::move(value)); });
+  }
+  void Erase(const K& key) {
+    Update([&](Map& m) { m.erase(key); });
+  }
+
+  bool empty() const { return Read()->empty(); }
+  std::size_t size() const { return Read()->size(); }
+
+ private:
+  RcuDomain* domain_;
+  std::mutex writer_mu_;
+  std::atomic<const Map*> current_;
+};
+
+}  // namespace uklock
+
+#endif  // UKLOCK_RCU_H_

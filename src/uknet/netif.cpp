@@ -61,7 +61,9 @@ ukarch::Status NetIf::Init() {
   if (!Ok(st)) {
     return st;
   }
-  rx_wakeups_.assign(nb_queues_, 0);
+  for (auto& w : rx_wakeups_) {
+    w.store(0, std::memory_order_relaxed);
+  }
   for (std::uint16_t q = 0; q < nb_queues_; ++q) {
     st = dev_->TxQueueSetup(q, uknetdev::TxQueueConf{});
     if (!Ok(st)) {
@@ -94,9 +96,9 @@ void NetIf::DisarmRx(std::uint16_t queue) {
 }
 
 void NetIf::OnRxInterrupt(std::uint16_t queue) {
-  if (queue < rx_wakeups_.size()) {
-    ++rx_wakeups_[queue];
-  }
+  // May fire on a foreign loop (device backend thread): the slot is atomic
+  // and fixed-size, so no coordination with the owning loop is needed.
+  rx_wakeups_[QueueSlot(queue)].fetch_add(1, std::memory_order_relaxed);
   stack_->WakeRxWaiters(queue);
 }
 

@@ -37,7 +37,9 @@ void SocketEventSource::Raise(NetStack* stack, EventMask events) {
 }
 
 void NetStack::NotifySocketEvent() {
-  ++event_seq_;
+  // Release: the socket-state change behind the edge happens-before any
+  // waiter that observes the bumped sequence (acquire) and rescans.
+  event_seq_.fetch_add(1, std::memory_order_release);
   // Wake every sleeper: the socket an edge belongs to is not tied to the
   // queue a waiter picked (a server socket fans in flows from all queues).
   // Spurious wakes are resolved by the waiters' own readiness rescans.
@@ -66,21 +68,26 @@ ukarch::Status UdpSocket::Bind(std::uint16_t port) {
   if (explicitly_bound_) {
     return ukarch::Status::kInval;  // one explicit bind per socket
   }
-  if (stack_->udp_ports_.contains(port)) {
+  if (stack_->udp_ports_.Read()->contains(port)) {
     return ukarch::Status::kAddrInUse;
   }
-  // Re-register under the requested port (the stack holds the shared_ptr).
-  for (auto it = stack_->udp_ports_.begin(); it != stack_->udp_ports_.end(); ++it) {
-    if (it->second.get() == this) {
-      auto self = it->second;
-      stack_->udp_ports_.erase(it);
-      port_ = port;
-      explicitly_bound_ = true;
-      stack_->udp_ports_[port] = std::move(self);
-      return ukarch::Status::kOk;
+  // Re-register under the requested port (the stack holds the shared_ptr):
+  // one copy-on-write pass unlinks the old key and publishes the new one.
+  ukarch::Status result = ukarch::Status::kBadF;
+  stack_->udp_ports_.Update([&](auto& ports) {
+    for (auto it = ports.begin(); it != ports.end(); ++it) {
+      if (it->second.get() == this) {
+        auto self = it->second;
+        ports.erase(it);
+        port_ = port;
+        explicitly_bound_ = true;
+        ports[port] = std::move(self);
+        result = ukarch::Status::kOk;
+        return;
+      }
     }
-  }
-  return ukarch::Status::kBadF;
+  });
+  return result;
 }
 
 std::int64_t UdpSocket::SendTo(Ip4Addr dst, std::uint16_t dst_port,
@@ -259,9 +266,13 @@ NetStack::~NetStack() {
   // Application code may hold socket shared_ptrs beyond the stack's life.
   // Release their retained TX netbufs now, while the NetIf pools still
   // exist; the eventual ~TcpSocket then has nothing to free.
-  for (auto& [key, conn] : tcp_conns_) {
+  for (const auto& [key, conn] : *tcp_conns_.Read()) {
     conn->ReleaseAllSegments();
   }
+  // No loop can be mid-turn here (destruction is single-threaded under the
+  // run-to-block contract): drain every retired registry version now, while
+  // the sockets they reference still have live pools underneath them.
+  rcu_.Synchronize();
 }
 
 NetIf* NetStack::AddInterface(uknetdev::NetDev* dev, NetIf::Config config) {
@@ -293,16 +304,16 @@ std::shared_ptr<UdpSocket> NetStack::UdpOpen() {
   auto sock = std::shared_ptr<UdpSocket>(new UdpSocket(this));
   std::uint16_t port = AllocEphemeralPort();
   sock->port_ = port;
-  udp_ports_[port] = sock;
+  udp_ports_.Insert(port, sock);
   return sock;
 }
 
 std::shared_ptr<TcpListener> NetStack::TcpListen(std::uint16_t port) {
-  if (tcp_listeners_.contains(port)) {
+  if (tcp_listeners_.Read()->contains(port)) {
     return nullptr;
   }
   auto listener = std::shared_ptr<TcpListener>(new TcpListener(this, port));
-  tcp_listeners_[port] = listener;
+  tcp_listeners_.Insert(port, listener);
   return listener;
 }
 
@@ -320,7 +331,7 @@ std::shared_ptr<TcpSocket> NetStack::TcpConnect(Ip4Addr dst, std::uint16_t port)
   sock->snd_una_ = iss;
   sock->snd_nxt_ = iss + 1;  // SYN consumes one
   sock->EnterState(TcpState::kSynSent);
-  tcp_conns_[ConnKey{sock->local_port_, dst, port}] = sock;
+  tcp_conns_.Insert(ConnKey{sock->local_port_, dst, port}, sock);
   // SYN segment.
   TcpHeader hdr;
   hdr.src_port = sock->local_port_;
@@ -352,23 +363,34 @@ void NetStack::Poll() {
     netif->Poll();
   }
   RunTcpTimers();
+  // Turn boundary: this caller holds no registry snapshot anymore.
+  rcu_.Quiescent(kAllQueuesSlot);
 }
 
 void NetStack::RunTcpTimers() {
   // Timers, plus TIME_WAIT reaping: a connection lingers registered for a
   // 2MSL-equivalent number of poll cycles so retransmitted FINs are re-ACKed
   // instead of RST; afterwards the key is reclaimed.
-  for (auto it = tcp_conns_.begin(); it != tcp_conns_.end();) {
-    TcpSocket& conn = *it->second;
+  // Iterate the published snapshot (safe even if CheckTimer unlinks a
+  // connection — that publishes a NEW version, the one under our feet is
+  // immutable) and reap in a single copy-on-write pass.
+  std::vector<ConnKey> reap;
+  for (const auto& [key, connp] : *tcp_conns_.Read()) {
+    TcpSocket& conn = *connp;
     conn.CheckTimer();
     if (conn.state() == TcpState::kTimeWait &&
         (conn.time_wait_polls_left_ == 0 || --conn.time_wait_polls_left_ == 0)) {
       // A zero budget (entry value or counted down) reaps on the next poll,
       // so the knob's minimum means "shortest linger", never "forever".
-      it = tcp_conns_.erase(it);
-    } else {
-      ++it;
+      reap.push_back(key);
     }
+  }
+  if (!reap.empty()) {
+    tcp_conns_.Update([&](auto& conns) {
+      for (const ConnKey& k : reap) {
+        conns.erase(k);
+      }
+    });
   }
 }
 
@@ -390,9 +412,6 @@ void NetStack::EnsureWaitQueues() {
   while (rx_waits_.size() < max_queues) {
     rx_waits_.push_back(std::make_unique<uksched::WaitQueue>(sched_));
   }
-  if (rx_arm_counts_.size() < rx_waits_.size()) {
-    rx_arm_counts_.resize(rx_waits_.size(), 0);
-  }
   if (any_wait_ == nullptr) {
     any_wait_ = std::make_unique<uksched::WaitQueue>(sched_);
   }
@@ -409,7 +428,7 @@ void NetStack::WakeRxWaiters(std::uint16_t queue) {
 
 void NetStack::OnTxPoolRefill(NetIf* netif, std::uint16_t queue) {
   bool raised = false;
-  for (auto& [key, conn] : tcp_conns_) {
+  for (const auto& [key, conn] : *tcp_conns_.Read()) {
     if (conn->netif_ == netif && conn->tx_queue_ == queue &&
         conn->tx_pool_starved_) {
       conn->tx_pool_starved_ = false;
@@ -429,14 +448,12 @@ void NetStack::OnTxPoolRefill(NetIf* netif, std::uint16_t queue) {
 
 void NetStack::RaiseQueueEvent(std::uint16_t queue) {
   EnsureWaitQueues();
-  if (queue_event_seq_.size() < rx_waits_.size()) {
-    queue_event_seq_.resize(rx_waits_.size(), 0);
-  }
-  if (queue >= queue_event_seq_.size()) {
-    queue_event_seq_.resize(queue + 1, 0);
-  }
-  ++queue_event_seq_[queue];
-  ++queue_event_total_;
+  // Release on both sequences: the producer's work (ring push, fd steer) was
+  // published before the ring — a waiter that observes the bump (acquire)
+  // sees the work. The arrays are fixed-size, so a producer on a foreign
+  // loop never races a resize.
+  queue_event_seq_[QueueSlot(queue)].fetch_add(1, std::memory_order_release);
+  queue_event_total_.fetch_add(1, std::memory_order_release);
   // Targeted wake: one doorbell, one consumer. The queue's pinned loop is the
   // intended recipient; a single kAllQueues waiter also qualifies (a
   // single-loop deployment parks there). Anything else keeps sleeping.
@@ -450,7 +467,7 @@ void NetStack::RaiseQueueEvent(std::uint16_t queue) {
 
 std::uint64_t NetStack::NextTimerDeadline() const {
   std::uint64_t earliest = kNoDeadline;
-  for (const auto& [key, conn] : tcp_conns_) {
+  for (const auto& [key, conn] : *tcp_conns_.Read()) {
     std::uint64_t d = kNoDeadline;
     if (SeqLt(conn->snd_una_, conn->snd_nxt_)) {
       d = conn->last_send_cycles_ + rto_cycles;  // RTO of in-flight data
@@ -466,8 +483,15 @@ std::uint64_t NetStack::NextTimerDeadline() const {
 
 std::size_t NetStack::PollWait(std::uint16_t queue, std::uint64_t timeout_cycles) {
   const bool all = queue == kAllQueues;
+  // Per-loop accounting: a pinned waiter owns its queue's slot, a kAllQueues
+  // waiter the shared extra slot. Relaxed — each slot has one writer (this
+  // loop); readers sum snapshots.
+  WaitSlot& ws = wait_slots_[all ? kAllQueuesSlot : QueueSlot(queue)];
+  // This loop's RCU slot: announced quiescent at every point where the turn
+  // provably holds no registry snapshot (before parking, and on return).
+  const std::size_t rcu_slot = all ? kAllQueuesSlot : QueueSlot(queue);
   auto drain = [&]() -> std::size_t {
-    ++wait_stats_.poll_iterations;
+    ws.poll_iterations.fetch_add(1, std::memory_order_relaxed);
     std::size_t n = 0;
     for (auto& netif : netifs_) {
       n += all ? netif->Poll() : netif->Poll(queue);
@@ -478,7 +502,7 @@ std::size_t NetStack::PollWait(std::uint16_t queue, std::uint64_t timeout_cycles
   auto for_each_queue = [&](auto&& fn) {
     const std::uint16_t lo = all ? 0 : queue;
     const std::uint16_t hi =
-        all ? static_cast<std::uint16_t>(rx_arm_counts_.size())
+        all ? static_cast<std::uint16_t>(rx_waits_.size())
             : static_cast<std::uint16_t>(queue + 1);
     for (std::uint16_t q = lo; q < hi; ++q) {
       fn(q);
@@ -492,6 +516,7 @@ std::size_t NetStack::PollWait(std::uint16_t queue, std::uint64_t timeout_cycles
 
   std::size_t handled = drain();
   if (handled > 0 || !CanBlock()) {
+    rcu_.Quiescent(rcu_slot);
     return handled;  // degrades to one Poll-equivalent pass
   }
   uksched::WaitQueue* wq = all ? any_wait_.get()
@@ -502,20 +527,24 @@ std::size_t NetStack::PollWait(std::uint16_t queue, std::uint64_t timeout_cycles
   }
   // This sleeper holds the affected lines armed for the whole blocking phase;
   // the matching release on return only disarms lines nobody else holds.
-  for_each_queue([&](std::uint16_t q) { ++rx_arm_counts_[q]; });
+  for_each_queue([&](std::uint16_t q) {
+    rx_arm_counts_[QueueSlot(q)].fetch_add(1, std::memory_order_acq_rel);
+  });
   // Readiness edges delivered to registered sinks also end this wait: a
   // sibling loop may consume the frames, but the *event* (readable/writable/
   // acceptable) still belongs to this caller's sockets — return so it can
   // rescan instead of sleeping through its own readiness.
-  const std::uint64_t events_at_entry = event_seq_;
+  const std::uint64_t events_at_entry =
+      event_seq_.load(std::memory_order_acquire);
   // Soft per-queue doorbells (RaiseQueueEvent) end this wait the same way: a
   // pinned waiter watches its own queue's sequence, a kAllQueues waiter the
-  // stack-wide sum.
+  // stack-wide sum. Acquire pairs with the producer's release so the woken
+  // consumer sees the pushed work.
   auto soft_seq = [&]() -> std::uint64_t {
     if (all) {
-      return queue_event_total_;
+      return queue_event_total_.load(std::memory_order_acquire);
     }
-    return queue < queue_event_seq_.size() ? queue_event_seq_[queue] : 0;
+    return queue_event_seq_[QueueSlot(queue)].load(std::memory_order_acquire);
   };
   const std::uint64_t soft_at_entry = soft_seq();
   const std::uint64_t now = clock_->cycles();
@@ -531,21 +560,24 @@ std::size_t NetStack::PollWait(std::uint16_t queue, std::uint64_t timeout_cycles
       break;
     }
     const std::uint64_t deadline = std::min(caller_deadline, NextTimerDeadline());
-    ++wait_stats_.blocked_waits;
+    ws.blocked_waits.fetch_add(1, std::memory_order_relaxed);
+    // Parking is a quiescent state: every snapshot this turn read is done.
+    rcu_.Quiescent(rcu_slot);
     const bool woken = wq->WaitTimeout(deadline);
     if (woken) {
-      ++wait_stats_.frame_wakeups;
+      ws.frame_wakeups.fetch_add(1, std::memory_order_relaxed);
       handled = drain();  // this RxBurst also re-arms drained lines
       if (soft_seq() != soft_at_entry) {
-        ++wait_stats_.queue_event_wakeups;
+        ws.queue_event_wakeups.fetch_add(1, std::memory_order_relaxed);
         break;  // a doorbell rang for this queue: caller drains its rings
       }
-      if (handled > 0 || event_seq_ != events_at_entry) {
+      if (handled > 0 ||
+          event_seq_.load(std::memory_order_acquire) != events_at_entry) {
         break;  // frames in hand, or a registered socket has pending events
       }
       // Spurious (another loop drained the frames first): sleep again.
     } else {
-      ++wait_stats_.timer_wakeups;
+      ws.timer_wakeups.fetch_add(1, std::memory_order_relaxed);
       handled = drain();  // run the due timer work (RTO retransmit, 2MSL)
       break;  // a deadline fired: hand control back to the caller
     }
@@ -554,13 +586,42 @@ std::size_t NetStack::PollWait(std::uint16_t queue, std::uint64_t timeout_cycles
   // caller held once its count drops to zero. A still-blocked sibling
   // (per-queue waiter vs a kAllQueues waiter) keeps its line armed.
   for_each_queue([&](std::uint16_t q) {
-    if (rx_arm_counts_[q] > 0 && --rx_arm_counts_[q] == 0) {
+    auto& holders = rx_arm_counts_[QueueSlot(q)];
+    if (holders.load(std::memory_order_acquire) > 0 &&
+        holders.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       for (auto& netif : netifs_) {
         netif->DisarmRx(q);
       }
     }
   });
+  rcu_.Quiescent(rcu_slot);
   return handled;
+}
+
+NetStack::WaitStats NetStack::wait_stats() const {
+  WaitStats sum;
+  for (const WaitSlot& s : wait_slots_) {
+    sum.poll_iterations += s.poll_iterations.load(std::memory_order_relaxed);
+    sum.blocked_waits += s.blocked_waits.load(std::memory_order_relaxed);
+    sum.frame_wakeups += s.frame_wakeups.load(std::memory_order_relaxed);
+    sum.timer_wakeups += s.timer_wakeups.load(std::memory_order_relaxed);
+    sum.queue_event_wakeups +=
+        s.queue_event_wakeups.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+NetStack::WaitStats NetStack::wait_stats(std::uint16_t queue) const {
+  const WaitSlot& s =
+      wait_slots_[queue == kAllQueues ? kAllQueuesSlot : QueueSlot(queue)];
+  return WaitStats{
+      .poll_iterations = s.poll_iterations.load(std::memory_order_relaxed),
+      .blocked_waits = s.blocked_waits.load(std::memory_order_relaxed),
+      .frame_wakeups = s.frame_wakeups.load(std::memory_order_relaxed),
+      .timer_wakeups = s.timer_wakeups.load(std::memory_order_relaxed),
+      .queue_event_wakeups =
+          s.queue_event_wakeups.load(std::memory_order_relaxed),
+  };
 }
 
 bool NetStack::PollUntil(const std::function<bool()>& pred, int max_iters) {
@@ -577,8 +638,9 @@ std::uint16_t NetStack::AllocEphemeralPort() {
   for (int tries = 0; tries < 20000; ++tries) {
     std::uint16_t port = next_ephemeral_;
     next_ephemeral_ = next_ephemeral_ >= 65534 ? 49152 : next_ephemeral_ + 1;
-    bool used = udp_ports_.contains(port) || tcp_listeners_.contains(port);
-    for (const auto& [key, conn] : tcp_conns_) {
+    bool used = udp_ports_.Read()->contains(port) ||
+                tcp_listeners_.Read()->contains(port);
+    for (const auto& [key, conn] : *tcp_conns_.Read()) {
       used = used || key.local_port == port;
     }
     if (!used) {
@@ -613,8 +675,9 @@ bool NetStack::HandleUdp(NetIf* netif, std::uint16_t queue, uknetdev::NetBuf* nb
     return false;
   }
   ++stats_.udp_rx;
-  auto it = udp_ports_.find(hdr->dst_port);
-  if (it == udp_ports_.end()) {
+  const auto* udp_ports = udp_ports_.Read();  // lock-free demux
+  auto it = udp_ports->find(hdr->dst_port);
+  if (it == udp_ports->end()) {
     ++stats_.no_socket_drops;
     return false;
   }
@@ -693,8 +756,9 @@ void NetStack::HandleTcp(NetIf* netif, std::uint16_t queue, const Ip4Header& ip,
   std::span<const std::uint8_t> data = payload.subspan(header_len);
 
   // Established-connection demux first.
-  auto conn = tcp_conns_.find(ConnKey{hdr->dst_port, ip.src, hdr->src_port});
-  if (conn != tcp_conns_.end()) {
+  const auto* conns = tcp_conns_.Read();  // lock-free demux
+  auto conn = conns->find(ConnKey{hdr->dst_port, ip.src, hdr->src_port});
+  if (conn != conns->end()) {
     // Keep the socket alive through the callback even if it removes itself.
     auto sock = conn->second;
     sock->OnSegment(queue, *hdr, data);
@@ -703,8 +767,9 @@ void NetStack::HandleTcp(NetIf* netif, std::uint16_t queue, const Ip4Header& ip,
 
   // New connection for a listener?
   if ((hdr->flags & kTcpSyn) != 0 && (hdr->flags & kTcpAck) == 0) {
-    auto listener = tcp_listeners_.find(hdr->dst_port);
-    if (listener != tcp_listeners_.end()) {
+    const auto* listeners = tcp_listeners_.Read();
+    auto listener = listeners->find(hdr->dst_port);
+    if (listener != listeners->end()) {
       auto sock = std::shared_ptr<TcpSocket>(new TcpSocket(this, netif));
       sock->remote_ip_ = ip.src;
       sock->remote_port_ = hdr->src_port;
@@ -719,7 +784,7 @@ void NetStack::HandleTcp(NetIf* netif, std::uint16_t queue, const Ip4Header& ip,
       sock->snd_una_ = iss;
       sock->snd_nxt_ = iss + 1;
       sock->EnterState(TcpState::kSynRcvd);
-      tcp_conns_[ConnKey{hdr->dst_port, ip.src, hdr->src_port}] = sock;
+      tcp_conns_.Insert(ConnKey{hdr->dst_port, ip.src, hdr->src_port}, sock);
       // SYN|ACK
       TcpHeader synack;
       synack.src_port = hdr->dst_port;
@@ -742,21 +807,24 @@ void NetStack::HandleTcp(NetIf* netif, std::uint16_t queue, const Ip4Header& ip,
 }
 
 void NetStack::NotifyAccepted(TcpSocket* sock) {
-  auto listener = tcp_listeners_.find(sock->local_port_);
-  if (listener == tcp_listeners_.end()) {
+  const auto* listeners = tcp_listeners_.Read();
+  auto listener = listeners->find(sock->local_port_);
+  if (listener == listeners->end()) {
     return;
   }
   // Find the shared_ptr for this socket.
-  auto conn = tcp_conns_.find(
+  const auto* conns = tcp_conns_.Read();
+  auto conn = conns->find(
       ConnKey{sock->local_port_, sock->remote_ip_, sock->remote_port_});
-  if (conn != tcp_conns_.end()) {
+  if (conn != conns->end()) {
     listener->second->accept_queue_.push_back(conn->second);
     listener->second->RaiseEvent(kEvtAcceptable);  // handshake completed
   }
 }
 
 void NetStack::RemoveConnection(TcpSocket* sock) {
-  tcp_conns_.erase(ConnKey{sock->local_port_, sock->remote_ip_, sock->remote_port_});
+  tcp_conns_.Erase(
+      ConnKey{sock->local_port_, sock->remote_ip_, sock->remote_port_});
 }
 
 }  // namespace uknet

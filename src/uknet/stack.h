@@ -13,6 +13,8 @@
 #ifndef UKNET_STACK_H_
 #define UKNET_STACK_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -22,6 +24,7 @@
 
 #include "ukalloc/allocator.h"
 #include "ukarch/status.h"
+#include "uklock/rcu.h"
 #include "uknet/wire_format.h"
 #include "uknetdev/netdev.h"
 #include "ukplat/clock.h"
@@ -31,6 +34,15 @@
 namespace uknet {
 
 class NetStack;
+
+// Widest per-queue counter tracking the stack supports. Queues beyond this
+// (no device here advertises close to it) share the last slot; the arrays are
+// fixed-size so foreign-loop publishers never race a resize.
+inline constexpr std::size_t kMaxQueueSlots = 16;
+inline std::uint16_t QueueSlot(std::uint16_t queue) {
+  return queue < kMaxQueueSlots ? queue
+                                : static_cast<std::uint16_t>(kMaxQueueSlots - 1);
+}
 
 // ---- readiness events --------------------------------------------------------------
 //
@@ -135,7 +147,7 @@ class NetIf {
   void ArmRx(std::uint16_t queue);
   void DisarmRx(std::uint16_t queue);
   std::uint64_t rx_wakeups(std::uint16_t queue = 0) const {
-    return queue < rx_wakeups_.size() ? rx_wakeups_[queue] : 0;
+    return rx_wakeups_[QueueSlot(queue)].load(std::memory_order_relaxed);
   }
 
   // ---- zero-copy TX --------------------------------------------------------
@@ -190,6 +202,8 @@ class NetIf {
     return (dst & config_.netmask) == (config_.ip & config_.netmask);
   }
 
+  // Snapshot type: if_stats() returns it BY VALUE so per-queue loops can bump
+  // the live (atomic) counters while a reader aggregates.
   struct IfStats {
     std::uint64_t arp_requests = 0;
     std::uint64_t arp_replies = 0;
@@ -198,7 +212,18 @@ class NetIf {
     std::uint64_t rx_checksum_drops = 0;
     std::uint64_t pending_dropped = 0;
   };
-  const IfStats& if_stats() const { return if_stats_; }
+  IfStats if_stats() const {
+    return IfStats{
+        .arp_requests = if_stats_.arp_requests.load(std::memory_order_relaxed),
+        .arp_replies = if_stats_.arp_replies.load(std::memory_order_relaxed),
+        .ip_rx = if_stats_.ip_rx.load(std::memory_order_relaxed),
+        .ip_tx = if_stats_.ip_tx.load(std::memory_order_relaxed),
+        .rx_checksum_drops =
+            if_stats_.rx_checksum_drops.load(std::memory_order_relaxed),
+        .pending_dropped =
+            if_stats_.pending_dropped.load(std::memory_order_relaxed),
+    };
+  }
 
  private:
   friend class NetStack;
@@ -243,9 +268,21 @@ class NetIf {
     std::uint16_t queue = 0;
   };
   std::map<Ip4Addr, std::vector<PendingTx>> arp_pending_;
-  IfStats if_stats_;
+  // Live counters. Relaxed atomics: each is bumped on exactly one loop's hot
+  // path but read (and summed into an IfStats snapshot) from any loop.
+  struct IfCounters {
+    std::atomic<std::uint64_t> arp_requests{0};
+    std::atomic<std::uint64_t> arp_replies{0};
+    std::atomic<std::uint64_t> ip_rx{0};
+    std::atomic<std::uint64_t> ip_tx{0};
+    std::atomic<std::uint64_t> rx_checksum_drops{0};
+    std::atomic<std::uint64_t> pending_dropped{0};
+  };
+  IfCounters if_stats_;
   std::uint16_t ip_id_ = 1;
-  std::vector<std::uint64_t> rx_wakeups_;  // interrupt fires, per queue
+  // Interrupt fires, one slot per queue: the handler may run on a foreign
+  // loop (device backend) while the owning loop reads its own slot.
+  std::array<std::atomic<std::uint64_t>, kMaxQueueSlots> rx_wakeups_{};
 };
 
 // ---- UDP -----------------------------------------------------------------------
@@ -524,7 +561,9 @@ class NetStack {
 
   // ICMP echo client: sends a ping; replies are counted.
   bool Ping(Ip4Addr dst, std::uint16_t seq);
-  std::uint64_t pings_answered() const { return pings_answered_; }
+  std::uint64_t pings_answered() const {
+    return pings_answered_.load(std::memory_order_relaxed);
+  }
 
   // One pump: interface RX, TCP timers. Call in the application loop.
   void Poll();
@@ -570,7 +609,9 @@ class NetStack {
   // landing on its own queue. Sockets without sinks never reach this path,
   // so pure frame-driven waiters keep their exact wakeup counts.
   void NotifySocketEvent();
-  std::uint64_t event_seq() const { return event_seq_; }
+  std::uint64_t event_seq() const {
+    return event_seq_.load(std::memory_order_acquire);
+  }
 
   // Per-queue doorbell for non-frame work (SPSC ring messages, steered fds):
   // bumps |queue|'s soft-event sequence and wakes exactly ONE sleeper of that
@@ -583,7 +624,7 @@ class NetStack {
   // sleep so its caller can drain the ring.
   void RaiseQueueEvent(std::uint16_t queue);
   std::uint64_t queue_event_seq(std::uint16_t queue) const {
-    return queue < queue_event_seq_.size() ? queue_event_seq_[queue] : 0;
+    return queue_event_seq_[QueueSlot(queue)].load(std::memory_order_acquire);
   }
 
   // TX-pool refill edge (NetBufPool::SetRefillCallback, registered per queue
@@ -593,6 +634,11 @@ class NetStack {
   // sleep through pool exhaustion instead of taking busy turns.
   void OnTxPoolRefill(NetIf* netif, std::uint16_t queue);
 
+  // Snapshot type. The live counters are PER-LOOP: each PollWait(queue) bumps
+  // its own queue's cacheline-padded slot (PollWait(kAllQueues) and Poll()
+  // share one extra slot), so sharded loops never bounce a counter line.
+  // wait_stats() sums the slots into a snapshot at read time;
+  // wait_stats(queue) slices out one loop's view.
   struct WaitStats {
     std::uint64_t poll_iterations = 0;  // drain passes PollWait executed
     std::uint64_t blocked_waits = 0;    // times a caller actually slept
@@ -600,10 +646,17 @@ class NetStack {
     std::uint64_t timer_wakeups = 0;    // woken by RTO/timeout deadline
     std::uint64_t queue_event_wakeups = 0;  // ended by RaiseQueueEvent
   };
-  const WaitStats& wait_stats() const { return wait_stats_; }
+  WaitStats wait_stats() const;                     // all slots, summed
+  WaitStats wait_stats(std::uint16_t queue) const;  // one queue's slot
 
   ukplat::Clock* clock() { return clock_; }
   ukplat::MemRegion* mem() { return mem_; }
+
+  // RCU introspection (tests): registered TCP connections in the current
+  // published snapshot, and retired registry versions still awaiting a grace
+  // period.
+  std::size_t tcp_conn_count() const { return tcp_conns_.size(); }
+  std::size_t rcu_pending() const { return rcu_.pending(); }
 
   // Retransmission timeout, virtual time. Exposed for loss tests.
   std::uint64_t rto_cycles = 720'000'000;  // 200 ms at 3.6 GHz
@@ -611,6 +664,8 @@ class NetStack {
   // run-to-completion loop). Exposed so teardown tests stay fast.
   std::uint32_t time_wait_poll_budget = 64;
 
+  // Snapshot type; the live counters are relaxed atomics bumped from whatever
+  // loop demuxes the packet.
   struct StackStats {
     std::uint64_t udp_rx = 0;
     std::uint64_t udp_tx = 0;
@@ -619,7 +674,16 @@ class NetStack {
     std::uint64_t no_socket_drops = 0;
     std::uint64_t rst_sent = 0;
   };
-  const StackStats& stats() const { return stats_; }
+  StackStats stats() const {
+    return StackStats{
+        .udp_rx = stats_.udp_rx.load(std::memory_order_relaxed),
+        .udp_tx = stats_.udp_tx.load(std::memory_order_relaxed),
+        .tcp_rx = stats_.tcp_rx.load(std::memory_order_relaxed),
+        .icmp_rx = stats_.icmp_rx.load(std::memory_order_relaxed),
+        .no_socket_drops = stats_.no_socket_drops.load(std::memory_order_relaxed),
+        .rst_sent = stats_.rst_sent.load(std::memory_order_relaxed),
+    };
+  }
 
  private:
   friend class NetIf;
@@ -670,27 +734,65 @@ class NetStack {
   ukplat::Clock* clock_;
   ukalloc::Allocator* alloc_;
   std::vector<std::unique_ptr<NetIf>> netifs_;
-  std::map<std::uint16_t, std::shared_ptr<UdpSocket>> udp_ports_;
-  std::map<std::uint16_t, std::shared_ptr<TcpListener>> tcp_listeners_;
-  std::map<ConnKey, std::shared_ptr<TcpSocket>> tcp_conns_;
+  // RCU-published registries: the demux hot path (HandleUdp/HandleTcp finds,
+  // timer scans) acquire-loads a snapshot and never takes a lock; writers
+  // (bind/connect/accept/teardown) are serialized inside each registry and
+  // publish copy-on-write. Grace periods are tied to event-loop turn
+  // boundaries: Poll()/PollWait announce quiescence on their loop's slot
+  // (queue q -> slot q, Poll()/kAllQueues -> the shared extra slot). The
+  // domain is declared first so it outlives the registries; retired map
+  // versions drain in ~RcuDomain at the latest.
+  uklock::RcuDomain rcu_;
+  uklock::RcuRegistry<std::uint16_t, std::shared_ptr<UdpSocket>> udp_ports_{
+      &rcu_};
+  uklock::RcuRegistry<std::uint16_t, std::shared_ptr<TcpListener>>
+      tcp_listeners_{&rcu_};
+  uklock::RcuRegistry<ConnKey, std::shared_ptr<TcpSocket>> tcp_conns_{&rcu_};
   std::uint16_t next_ephemeral_ = 49152;
   std::uint32_t iss_counter_ = 10'000;
-  std::uint64_t pings_answered_ = 0;
-  StackStats stats_;
+  std::atomic<std::uint64_t> pings_answered_{0};
+  struct StackCounters {
+    std::atomic<std::uint64_t> udp_rx{0};
+    std::atomic<std::uint64_t> udp_tx{0};
+    std::atomic<std::uint64_t> tcp_rx{0};
+    std::atomic<std::uint64_t> icmp_rx{0};
+    std::atomic<std::uint64_t> no_socket_drops{0};
+    std::atomic<std::uint64_t> rst_sent{0};
+  };
+  StackCounters stats_;
   uksched::Scheduler* sched_ = nullptr;
   std::vector<std::unique_ptr<uksched::WaitQueue>> rx_waits_;  // one per queue
   std::unique_ptr<uksched::WaitQueue> any_wait_;  // PollWait(kAllQueues)
   // Sleepers currently holding each queue's interrupt armed. PollWait only
   // disarms a line on return when the last holder lets go — a kAllQueues
   // waiter returning must not kill the armed line of a still-blocked
-  // per-queue sibling (that would be a lost wakeup).
-  std::vector<std::uint32_t> rx_arm_counts_;
-  WaitStats wait_stats_;
-  std::uint64_t event_seq_ = 0;  // delivered readiness edges (registered sinks)
+  // per-queue sibling (that would be a lost wakeup). Atomic because a
+  // kAllQueues waiter and a pinned waiter on different loops hold the same
+  // slot concurrently.
+  std::array<std::atomic<std::uint32_t>, kMaxQueueSlots> rx_arm_counts_{};
+  // Per-loop wait accounting: slot q belongs to the loop pumping
+  // PollWait(q); the extra slot at kMaxQueueSlots belongs to
+  // Poll()/PollWait(kAllQueues) callers. Cacheline-padded so neighboring
+  // loops never write-share a line; wait_stats() sums at read time.
+  struct alignas(64) WaitSlot {
+    std::atomic<std::uint64_t> poll_iterations{0};
+    std::atomic<std::uint64_t> blocked_waits{0};
+    std::atomic<std::uint64_t> frame_wakeups{0};
+    std::atomic<std::uint64_t> timer_wakeups{0};
+    std::atomic<std::uint64_t> queue_event_wakeups{0};
+  };
+  static constexpr std::size_t kAllQueuesSlot = kMaxQueueSlots;
+  std::array<WaitSlot, kMaxQueueSlots + 1> wait_slots_;
+  // Delivered readiness edges (registered sinks). Release on publish,
+  // acquire on the PollWait re-check: the edge's cause happens-before the
+  // woken waiter's rescan.
+  std::atomic<std::uint64_t> event_seq_{0};
   // Per-queue soft-event sequences (RaiseQueueEvent doorbells) plus their sum;
-  // a kAllQueues waiter watches the sum, a pinned waiter its own slot.
-  std::vector<std::uint64_t> queue_event_seq_;
-  std::uint64_t queue_event_total_ = 0;
+  // a kAllQueues waiter watches the sum, a pinned waiter its own slot. Fixed
+  // size: a foreign-loop producer ringing a doorbell must never race a
+  // resize.
+  std::array<std::atomic<std::uint64_t>, kMaxQueueSlots> queue_event_seq_{};
+  std::atomic<std::uint64_t> queue_event_total_{0};
 };
 
 }  // namespace uknet

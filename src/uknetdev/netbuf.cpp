@@ -39,7 +39,9 @@ NetBufPool::~NetBufPool() {
 
 NetBuf* NetBufPool::Alloc() {
   if (free_.empty()) {
-    starved_ = true;  // arm the refill edge: someone wanted a buffer and lost
+    // Arm the refill edge: someone wanted a buffer and lost. Release pairs
+    // with the acquire side of the exchange in Free().
+    starved_.store(true, std::memory_order_release);
     return nullptr;
   }
   NetBuf* nb = free_.back();
@@ -48,7 +50,7 @@ NetBuf* NetBufPool::Alloc() {
   nb->len = 0;
   nb->refcnt = 1;
   nb->priv = nullptr;
-  ++total_allocs_;
+  total_allocs_.fetch_add(1, std::memory_order_relaxed);
   return nb;
 }
 
@@ -73,11 +75,14 @@ void NetBufPool::Free(NetBuf* nb) {
   }
   nb->refcnt = 1;
   free_.push_back(nb);
-  if (starved_) {
-    // Dry-pool refill edge: the first buffer returning after a failed Alloc
-    // is the TX "writability interrupt" — deliver it once per dry spell.
-    starved_ = false;
-    ++refill_edges_;
+  total_frees_.fetch_add(1, std::memory_order_relaxed);
+  // Dry-pool refill edge: the first buffer returning after a failed Alloc is
+  // the TX "writability interrupt" — deliver it once per dry spell. The
+  // relaxed pre-check keeps steady-state Free at one branch (no RMW); the
+  // exchange makes the edge single-fire when two Frees race it.
+  if (starved_.load(std::memory_order_relaxed) &&
+      starved_.exchange(false, std::memory_order_acq_rel)) {
+    refill_edges_.fetch_add(1, std::memory_order_relaxed);
     if (refill_cb_) {
       refill_cb_();
     }

@@ -8,6 +8,7 @@
 #ifndef UKNETDEV_NETBUF_H_
 #define UKNETDEV_NETBUF_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -135,9 +136,17 @@ class NetBufPool {
   std::uint32_t available() const { return static_cast<std::uint32_t>(free_.size()); }
   std::uint32_t buf_size() const { return buf_size_; }
   std::uint32_t default_headroom() const { return default_headroom_; }
-  // Lifetime alloc counter: lets tests and benches assert zero-alloc paths
-  // (e.g. retransmission re-bursts retained buffers without pool churn).
-  std::uint64_t total_allocs() const { return total_allocs_; }
+  // Lifetime alloc/free counters: let tests and benches assert zero-alloc
+  // paths (e.g. retransmission re-bursts retained buffers without pool
+  // churn). Atomic because a buffer freed by a FOREIGN loop (cross-queue TX
+  // completion under the real-thread scheduler) bumps the free counter
+  // concurrently with the owner loop allocating.
+  std::uint64_t total_allocs() const {
+    return total_allocs_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_frees() const {
+    return total_frees_.load(std::memory_order_relaxed);
+  }
 
   // Pool-refill edge: fires from Free() when a pool that previously FAILED an
   // Alloc() (went dry while someone wanted a buffer) regains its first free
@@ -147,8 +156,10 @@ class NetBufPool {
   // that never failed an Alloc never fires, so steady-state Free() stays one
   // branch.
   void SetRefillCallback(std::function<void()> cb) { refill_cb_ = std::move(cb); }
-  std::uint64_t refill_edges() const { return refill_edges_; }
-  bool starved() const { return starved_; }
+  std::uint64_t refill_edges() const {
+    return refill_edges_.load(std::memory_order_relaxed);
+  }
+  bool starved() const { return starved_.load(std::memory_order_acquire); }
 
  private:
   NetBufPool(ukalloc::Allocator* alloc, std::uint32_t count, std::uint32_t buf_size,
@@ -162,10 +173,12 @@ class NetBufPool {
   void* backing_ = nullptr;  // single slab for all buffers
   std::vector<NetBuf> bufs_;
   std::vector<NetBuf*> free_;
-  std::uint64_t total_allocs_ = 0;
-  // Set when Alloc() came up empty; cleared when the refill edge fires.
-  bool starved_ = false;
-  std::uint64_t refill_edges_ = 0;
+  std::atomic<std::uint64_t> total_allocs_{0};
+  std::atomic<std::uint64_t> total_frees_{0};
+  // Set when Alloc() came up empty; cleared (exchange — single-fire even when
+  // two foreign-loop Frees race the edge) when the refill edge fires.
+  std::atomic<bool> starved_{false};
+  std::atomic<std::uint64_t> refill_edges_{0};
   std::function<void()> refill_cb_;
 };
 

@@ -26,7 +26,7 @@ VirtioNet::~VirtioNet() {
 }
 
 void VirtioNet::OnWireSignal() {
-  if (!started_ || in_backend_poll_) {
+  if (!started_ || in_backend_poll_.load(std::memory_order_acquire)) {
     return;
   }
   // Only spend device-side work when some queue actually wants wakeups; a
@@ -170,7 +170,7 @@ int VirtioNet::TxBurst(std::uint16_t queue, NetBuf** pkt, std::uint16_t* cnt) {
     // Notify the vhost thread: VM exit + eventfd signal.
     clock_->Charge(clock_->model().vm_exit + clock_->model().vhost_kick);
     txq.vq->MarkKicked();
-    ++kicks_;
+    kicks_.fetch_add(1, std::memory_order_relaxed);
   } else if (config_.backend == VirtioBackend::kVhostUser) {
     txq.vq->MarkKicked();  // poller needs no notification
   }
@@ -197,10 +197,12 @@ int VirtioNet::TxBurst(std::uint16_t queue, NetBuf** pkt, std::uint16_t* cnt) {
 }
 
 void VirtioNet::BackendPoll() {
-  if (!started_ || in_backend_poll_) {
+  // Single-step claim: check-then-set as two operations would let two
+  // entrants (recursive signal, or a sibling loop's thread) both pass the
+  // check and pump the rings concurrently.
+  if (!started_ || in_backend_poll_.exchange(true, std::memory_order_acquire)) {
     return;
   }
-  in_backend_poll_ = true;
   const ukplat::CostModel& m = clock_->model();
   std::uint64_t per_pkt = config_.backend == VirtioBackend::kVhostNet
                               ? m.vhost_net_per_packet
@@ -273,7 +275,7 @@ void VirtioNet::BackendPoll() {
       }
     }
   }
-  in_backend_poll_ = false;
+  in_backend_poll_.store(false, std::memory_order_release);
 }
 
 void VirtioNet::RaiseRxInterruptIfArmed(std::uint16_t queue) {

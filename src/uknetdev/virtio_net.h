@@ -17,6 +17,7 @@
 #ifndef UKNETDEV_VIRTIO_NET_H_
 #define UKNETDEV_VIRTIO_NET_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -71,7 +72,9 @@ class VirtioNet final : public NetDev {
   // from world polls.
   void BackendPoll();
 
-  std::uint64_t kicks() const { return kicks_; }
+  std::uint64_t kicks() const {
+    return kicks_.load(std::memory_order_relaxed);
+  }
 
   static constexpr std::uint32_t kVirtioHdrBytes = 12;
 
@@ -109,12 +112,14 @@ class VirtioNet final : public NetDev {
   std::vector<TxQueue> txqs_;
   std::vector<RxQueue> rxqs_;
 
-  std::uint64_t kicks_ = 0;
+  std::atomic<std::uint64_t> kicks_{0};
   bool signal_registered_ = false;
   // BackendPoll re-entrancy guard: wire signals can arrive while the backend
-  // is already pumping (a peer replying from inside its own signal callback);
-  // the in-progress pass will pick the frames up.
-  bool in_backend_poll_ = false;
+  // is already pumping (a peer replying from inside its own signal callback,
+  // or — under the real-thread scheduler — from another loop's OS thread);
+  // the in-progress pass will pick the frames up. Atomic exchange makes the
+  // claim a single step, so two concurrent entrants can never both pump.
+  std::atomic<bool> in_backend_poll_{false};
 };
 
 }  // namespace uknetdev

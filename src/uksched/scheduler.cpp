@@ -6,7 +6,9 @@
 // OS thread suddenly running on a foreign stack, which trips false positives
 // (and breaks TSan's shadow-stack bookkeeping). Its fiber API exists exactly
 // for ucontext/green-thread runtimes: announce each stack as a fiber and tell
-// TSan about every switch. All of this compiles away outside tsan builds.
+// TSan about every switch. All of this compiles away outside tsan builds, and
+// none of it is used by the ThreadScheduler backend — real std::threads hand
+// off through a mutex/condvar pair TSan understands natively.
 #if defined(__SANITIZE_THREAD__)
 #define UKSCHED_TSAN 1
 #elif defined(__has_feature)
@@ -71,6 +73,14 @@ void Thread::Trampoline(unsigned hi, unsigned lo) {
 
 Scheduler::~Scheduler() {
   for (auto& t : threads_) {
+    if (t->waitq_ != nullptr) {
+      // Unlink leftover blocked threads from their queues: a WaitQueue may
+      // legitimately outlive its scheduler (member destruction order), and
+      // its own dtor must then find nothing pointing back here.
+      auto& w = t->waitq_->waiters_;
+      w.erase(std::remove(w.begin(), w.end(), t.get()), w.end());
+      t->waitq_ = nullptr;
+    }
     if (t->stack_ != nullptr) {
       alloc_->Free(t->stack_);
     }
@@ -79,17 +89,15 @@ Scheduler::~Scheduler() {
   }
 }
 
-Thread* Scheduler::CreateThread(std::string tname, std::function<void()> entry,
-                                std::size_t stack_size) {
+// ---- fiber backend (default) -------------------------------------------------------
+
+bool Scheduler::PrepareThread(Thread* t, std::size_t stack_size) {
   auto* stack = static_cast<std::byte*>(alloc_->Memalign(16, stack_size));
   if (stack == nullptr) {
-    return nullptr;
+    return false;
   }
-  auto thread = std::make_unique<Thread>(this, std::move(tname), std::move(entry), stack,
-                                         stack_size);
-  Thread* t = thread.get();
-  t->id_ = next_id_++;
-
+  t->stack_ = stack;
+  t->stack_size_ = stack_size;
   getcontext(&t->ctx_);
   t->ctx_.uc_stack.ss_sp = stack;
   t->ctx_.uc_stack.ss_size = stack_size;
@@ -98,7 +106,45 @@ Thread* Scheduler::CreateThread(std::string tname, std::function<void()> entry,
   makecontext(&t->ctx_, reinterpret_cast<void (*)()>(&Thread::Trampoline), 2,
               static_cast<unsigned>(addr >> 32), static_cast<unsigned>(addr & 0xffffffffu));
   t->tsan_fiber_ = TsanCreateFiber();
+  return true;
+}
 
+void Scheduler::SwitchTo(Thread* t) {
+  if (tsan_sched_fiber_ == nullptr) {
+    tsan_sched_fiber_ = TsanCurrentFiber();
+  }
+  TsanSwitchTo(t->tsan_fiber_);
+  swapcontext(&sched_ctx_, &t->ctx_);
+}
+
+void Scheduler::SwitchBack() {
+  TsanSwitchTo(tsan_sched_fiber_);
+  swapcontext(&current_->ctx_, &sched_ctx_);
+}
+
+void Scheduler::ReleaseThread(Thread* t) {
+  // Stacks of exited threads are returned to the allocator promptly so
+  // minimum-memory runs can recycle them.
+  if (t->stack_ != nullptr) {
+    alloc_->Free(t->stack_);
+    t->stack_ = nullptr;
+  }
+  TsanDestroyFiber(t->tsan_fiber_);
+  t->tsan_fiber_ = nullptr;
+}
+
+// ---- backend-agnostic dispatch -----------------------------------------------------
+
+Thread* Scheduler::CreateThread(std::string tname, std::function<void()> entry,
+                                std::size_t stack_size) {
+  auto thread = std::make_unique<Thread>(this, std::move(tname), std::move(entry),
+                                         nullptr, stack_size);
+  Thread* t = thread.get();
+  Guard g(this);
+  if (!PrepareThread(t, stack_size)) {
+    return nullptr;
+  }
+  t->id_ = next_id_++;
   threads_.push_back(std::move(thread));
   ++stats_.threads_created;
   ++live_threads_;
@@ -113,21 +159,36 @@ void Scheduler::Enqueue(Thread* t) {
 
 std::size_t Scheduler::Run() {
   for (;;) {
+    Lock();
     WakeExpired();
     if (ready_.empty()) {
-      // Nothing runnable. If a blocked thread holds a wake deadline, this is
-      // the unikernel's idle state: halt and let the virtual clock jump to
-      // the next timer interrupt. Otherwise the world is done (or deadlocked
-      // on waits that nothing can satisfy) and Run() reports the leftovers.
-      if (!AdvanceToNextDeadline()) {
+      // Nothing runnable. A real-thread backend first parks briefly in real
+      // time (IdleWait) so an external producer's Wake can land. After that:
+      // if a blocked thread holds a wake deadline, this is the unikernel's
+      // idle state — halt and let the virtual clock jump to the next timer
+      // interrupt. Otherwise the world is done (or deadlocked on waits that
+      // nothing can satisfy) and Run() reports the leftovers.
+      if (IdleWait()) {
+        Unlock();
+        continue;
+      }
+      const bool advanced = AdvanceToNextDeadline();
+      Unlock();
+      if (!advanced) {
         break;
       }
       continue;
     }
     Thread* t = ready_.front();
     ready_.pop_front();
+    current_ = t;
+    t->state_ = ThreadState::kRunning;
+    t->slice_start_cycles_ = clock_->cycles();
+    ++stats_.context_switches;
     SwitchTo(t);
+    current_ = nullptr;
     ReapExited();
+    Unlock();
   }
   return live_threads_;
 }
@@ -185,29 +246,12 @@ bool Scheduler::AdvanceToNextDeadline() {
   return true;
 }
 
-void Scheduler::SwitchTo(Thread* t) {
-  current_ = t;
-  t->state_ = ThreadState::kRunning;
-  t->slice_start_cycles_ = clock_->cycles();
-  ++stats_.context_switches;
-  if (tsan_sched_fiber_ == nullptr) {
-    tsan_sched_fiber_ = TsanCurrentFiber();
-  }
-  TsanSwitchTo(t->tsan_fiber_);
-  swapcontext(&sched_ctx_, &t->ctx_);
-  current_ = nullptr;
-}
-
-void Scheduler::SwitchBack() {
-  TsanSwitchTo(tsan_sched_fiber_);
-  swapcontext(&current_->ctx_, &sched_ctx_);
-}
-
 void Scheduler::Yield() {
   Thread* t = current_;
   if (t == nullptr) {
     return;  // not on a scheduler thread
   }
+  Guard g(this);
   ++t->voluntary_switches_;
   Enqueue(t);
   SwitchBack();
@@ -215,33 +259,31 @@ void Scheduler::Yield() {
 
 void Scheduler::PreemptPoint() {
   Thread* t = current_;
-  if (t == nullptr) {
+  if (t == nullptr || !ShouldPreempt(*t)) {
     return;
   }
-  if (ShouldPreempt(*t)) {
-    ++stats_.preemptions;
-    ++t->involuntary_switches_;
-    Enqueue(t);
-    SwitchBack();
-  }
+  Guard g(this);
+  ++stats_.preemptions;
+  ++t->involuntary_switches_;
+  Enqueue(t);
+  SwitchBack();
 }
 
 void Scheduler::Exit() {
+  Guard g(this);
   Thread* t = current_;
   t->state_ = ThreadState::kExited;
   --live_threads_;
   SwitchBack();
+  // Fiber backend: never reached (the context is abandoned). Thread backend:
+  // returns so the OS thread can unwind out of its main function.
 }
 
 void Scheduler::ReapExited() {
-  // Stacks of exited threads are returned to the allocator promptly so
-  // minimum-memory runs can recycle them.
   for (auto& t : threads_) {
-    if (t->state_ == ThreadState::kExited && t->stack_ != nullptr) {
-      alloc_->Free(t->stack_);
-      t->stack_ = nullptr;
-      TsanDestroyFiber(t->tsan_fiber_);
-      t->tsan_fiber_ = nullptr;
+    if (t->state_ == ThreadState::kExited && !t->reaped_) {
+      t->reaped_ = true;
+      ReleaseThread(t.get());
     }
   }
 }
@@ -250,51 +292,83 @@ bool PreemptScheduler::ShouldPreempt(const Thread& t) const {
   return clock()->cycles() - t.slice_start_cycles() >= quantum_;
 }
 
+// ---- WaitQueue protocol ------------------------------------------------------------
+
 WaitQueue::~WaitQueue() {
-  for (Thread* t : waiters_) {
+  // Touch the scheduler only when there is something to detach: an empty
+  // queue may legitimately outlive its scheduler (member destruction order),
+  // while parked waiters imply the scheduler is still alive.
+  if (!waiters_.empty()) {
+    sched_->DetachQueue(this);
+  }
+}
+
+void WaitQueue::Wait() { sched_->ParkCurrent(this, nullptr, 0, Scheduler::kNoDeadline); }
+
+bool WaitQueue::WaitTimeout(std::uint64_t deadline_cycles) {
+  return sched_->ParkCurrent(this, nullptr, 0, deadline_cycles);
+}
+
+bool WaitQueue::WaitTimeoutUnless(const std::atomic<std::uint64_t>& seq,
+                                  std::uint64_t last_seen,
+                                  std::uint64_t deadline_cycles) {
+  return sched_->ParkCurrent(this, &seq, last_seen, deadline_cycles);
+}
+
+std::size_t WaitQueue::Wake(std::size_t n) { return sched_->WakeFromQueue(this, n); }
+
+bool Scheduler::ParkCurrent(WaitQueue* q, const std::atomic<std::uint64_t>* seq,
+                            std::uint64_t last_seen, std::uint64_t deadline_cycles) {
+  Thread* t = current_;
+  if (t == nullptr) {
+    return true;  // not on a scheduler thread: nothing to block
+  }
+  Guard g(this);
+  // The doorbell check runs under the scheduler lock, so a producer's bump is
+  // either visible here (skip the park) or ordered before its WakeOne (which
+  // will find this thread already in waiters_). No window to lose a wake.
+  if (seq != nullptr && seq->load(std::memory_order_acquire) != last_seen) {
+    return true;
+  }
+  t->state_ = ThreadState::kBlocked;
+  t->waitq_ = q;
+  t->wake_deadline_ = deadline_cycles;
+  t->has_deadline_ = deadline_cycles != kNoDeadline;
+  t->timed_out_ = false;
+  if (t->has_deadline_) {
+    ++timed_waiters_;
+    next_deadline_hint_ = std::min(next_deadline_hint_, deadline_cycles);
+  }
+  q->waiters_.push_back(t);
+  SwitchBack();
+  return !t->timed_out_;
+}
+
+std::size_t Scheduler::WakeFromQueue(WaitQueue* q, std::size_t n) {
+  Guard g(this);
+  std::size_t woken = 0;
+  while (woken < n && !q->waiters_.empty()) {
+    Thread* t = q->waiters_.front();
+    q->waiters_.pop_front();
+    t->waitq_ = nullptr;
+    if (t->has_deadline_) {
+      t->has_deadline_ = false;
+      --timed_waiters_;
+    }
+    t->timed_out_ = false;
+    Enqueue(t);
+    ++woken;
+  }
+  return woken;
+}
+
+void Scheduler::DetachQueue(WaitQueue* q) {
+  Guard g(this);
+  for (Thread* t : q->waiters_) {
     // Detach: WakeExpired/Wake must never follow a pointer into this object
     // again. The deadline stays, so a timed waiter still times out normally.
     t->waitq_ = nullptr;
   }
-}
-
-void WaitQueue::Wait() { WaitTimeout(Scheduler::kNoDeadline); }
-
-bool WaitQueue::WaitTimeout(std::uint64_t deadline_cycles) {
-  Thread* t = sched_->current();
-  if (t == nullptr) {
-    return true;  // not on a scheduler thread: nothing to block
-  }
-  t->state_ = ThreadState::kBlocked;
-  t->waitq_ = this;
-  t->wake_deadline_ = deadline_cycles;
-  t->has_deadline_ = deadline_cycles != Scheduler::kNoDeadline;
-  t->timed_out_ = false;
-  if (t->has_deadline_) {
-    ++sched_->timed_waiters_;
-    sched_->next_deadline_hint_ =
-        std::min(sched_->next_deadline_hint_, deadline_cycles);
-  }
-  waiters_.push_back(t);
-  sched_->SwitchBack();
-  return !t->timed_out_;
-}
-
-std::size_t WaitQueue::Wake(std::size_t n) {
-  std::size_t woken = 0;
-  while (woken < n && !waiters_.empty()) {
-    Thread* t = waiters_.front();
-    waiters_.pop_front();
-    t->waitq_ = nullptr;
-    if (t->has_deadline_) {
-      t->has_deadline_ = false;
-      --sched_->timed_waiters_;
-    }
-    t->timed_out_ = false;
-    sched_->Enqueue(t);
-    ++woken;
-  }
-  return woken;
 }
 
 }  // namespace uksched

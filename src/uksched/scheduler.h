@@ -12,11 +12,19 @@
 // scheduler forces a yield once the thread has consumed its virtual-time
 // quantum. This keeps runs reproducible while still exercising involuntary
 // context switches.
+//
+// Backends: the dispatch loop, ready queue, timed-wait bookkeeping and the
+// WaitQueue protocol live here; HOW a context is created, entered and left is
+// a virtual seam. The default backend is the ucontext fiber simulator; the
+// ThreadScheduler backend (thread_scheduler.h) runs the same threads on real
+// std::threads with run-to-block baton handoff, selected at runtime with
+// UKRAFT_THREADS=real via MakeScheduler().
 #ifndef UKSCHED_SCHEDULER_H_
 #define UKSCHED_SCHEDULER_H_
 
 #include <ucontext.h>
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -30,6 +38,7 @@
 namespace uksched {
 
 class Scheduler;
+class ThreadScheduler;
 class WaitQueue;
 
 enum class ThreadState { kReady, kRunning, kBlocked, kExited };
@@ -46,6 +55,7 @@ class Thread {
 
  private:
   friend class Scheduler;
+  friend class ThreadScheduler;
   friend class WaitQueue;
 
   static void Trampoline(unsigned hi, unsigned lo);
@@ -61,6 +71,7 @@ class Thread {
   std::uint64_t slice_start_cycles_ = 0;
   std::uint64_t voluntary_switches_ = 0;
   std::uint64_t involuntary_switches_ = 0;
+  bool reaped_ = false;  // backend resources (stack / OS thread) released
   // Timed-wait bookkeeping (WaitQueue::WaitTimeout): the queue the thread is
   // parked on, its absolute wake deadline, and whether the wake was a timeout
   // (vs an explicit Wake()).
@@ -70,7 +81,9 @@ class Thread {
   bool timed_out_ = false;
   // ThreadSanitizer fiber handle: TSan models each ucontext stack as a fiber
   // so the swapcontext pairs don't look like wild cross-stack accesses.
-  // Unused (stays null) outside -fsanitize=thread builds.
+  // Unused (stays null) outside -fsanitize=thread builds and on the real
+  // std::thread backend (which needs no annotation crutch: every handoff is
+  // an ordinary mutex/condvar edge TSan understands natively).
   void* tsan_fiber_ = nullptr;
 };
 
@@ -94,7 +107,18 @@ class WaitQueue {
   // instead of spinning, which is the idle model interrupt-driven unikernels
   // rely on. Returns true when woken by Wake(), false on timeout.
   bool WaitTimeout(std::uint64_t deadline_cycles);
+  // Check-and-park: atomically verifies |seq| still reads |last_seen| and
+  // parks only then; returns true immediately (no block) when the sequence
+  // moved. This closes the lost-doorbell race with producers on OTHER OS
+  // threads — a producer publishes work, bumps |seq| (release) and rings
+  // WakeOne; because the check and the park happen under the scheduler lock,
+  // the bump is either observed here (no sleep) or ordered before the wake
+  // (the sleeper is already in the queue). Same return contract as
+  // WaitTimeout.
+  bool WaitTimeoutUnless(const std::atomic<std::uint64_t>& seq,
+                         std::uint64_t last_seen, std::uint64_t deadline_cycles);
   // Wakes up to |n| waiters (all when n == SIZE_MAX). Returns number woken.
+  // Safe to call from a foreign OS thread on the ThreadScheduler backend.
   std::size_t Wake(std::size_t n = SIZE_MAX);
   // Wakes exactly the oldest waiter (FIFO). The targeted form for doorbell
   // notifications (SPSC rings): one message has one consumer, so waking the
@@ -134,9 +158,14 @@ class Scheduler {
   Scheduler& operator=(const Scheduler&) = delete;
 
   virtual const char* name() const = 0;
+  // True when scheduler threads are real OS threads (ThreadScheduler). The
+  // dispatch discipline is identical either way (run-to-block, FIFO baton);
+  // what changes is that WaitQueue wakes may arrive from foreign OS threads.
+  virtual bool real_threads() const { return false; }
 
   // Creates a thread; it becomes runnable immediately. Returns nullptr when
-  // the stack allocation fails (Fig 11's minimum-memory runs hit this).
+  // the backend cannot prepare it (fiber stacks come from the allocator, so
+  // Fig 11's minimum-memory runs hit this).
   Thread* CreateThread(std::string tname, std::function<void()> entry,
                        std::size_t stack_size = kDefaultStackSize);
 
@@ -164,13 +193,32 @@ class Scheduler {
   // Policy hook: whether |t| must be preempted at a preemption point.
   virtual bool ShouldPreempt(const Thread& t) const = 0;
 
- private:
-  friend class Thread;
-  friend class WaitQueue;
+  // ---- backend seam ---------------------------------------------------------
+  // Default implementations are the ucontext fiber simulator. All are called
+  // with the scheduler lock held (a no-op lock on the fiber backend).
+  // Allocates/binds the execution context for a new thread.
+  virtual bool PrepareThread(Thread* t, std::size_t stack_size);
+  // Dispatcher -> thread handoff; returns when the thread yields, blocks or
+  // exits.
+  virtual void SwitchTo(Thread* t);
+  // Thread -> dispatcher handoff (the other half of SwitchTo).
+  virtual void SwitchBack();
+  // Releases backend resources of an exited thread (stack / OS thread join).
+  virtual void ReleaseThread(Thread* t);
+  // Serializes scheduler state against foreign-OS-thread callers (WaitQueue
+  // wakes). The fiber backend runs on one OS thread: no-ops.
+  virtual void Lock() const {}
+  virtual void Unlock() const {}
+  // Idle hook, called with nothing runnable (lock held): a real-thread
+  // backend parks briefly in real time so an external producer's Wake can
+  // land before the virtual clock jumps a timed wait to its deadline.
+  // Returns true when something became runnable.
+  virtual bool IdleWait() { return false; }
 
-  void Enqueue(Thread* t);
-  void SwitchTo(Thread* t);
-  void SwitchBack();  // thread -> scheduler context
+  // Makes |t| runnable (lock held). The real-thread backend also pokes its
+  // condvar so an idle dispatcher notices external wakes.
+  virtual void Enqueue(Thread* t);
+
   void ReapExited();
   // Timed waits: wake every blocked thread whose deadline has passed; when
   // nothing is runnable, jump the clock to the earliest pending deadline.
@@ -195,6 +243,23 @@ class Scheduler {
   // original stack); captured lazily on the first dispatch. Null outside
   // -fsanitize=thread builds.
   void* tsan_sched_fiber_ = nullptr;
+
+ private:
+  friend class Thread;
+  friend class WaitQueue;
+
+  struct Guard {
+    explicit Guard(const Scheduler* s) : s_(s) { s_->Lock(); }
+    ~Guard() { s_->Unlock(); }
+    const Scheduler* s_;
+  };
+
+  // WaitQueue protocol (the queue owns waiters_; the scheduler owns the
+  // locking and the dispatch bookkeeping).
+  bool ParkCurrent(WaitQueue* q, const std::atomic<std::uint64_t>* seq,
+                   std::uint64_t last_seen, std::uint64_t deadline_cycles);
+  std::size_t WakeFromQueue(WaitQueue* q, std::size_t n);
+  void DetachQueue(WaitQueue* q);
 };
 
 // Cooperative: run-to-block, never preempts (the policy the paper selects for
@@ -222,6 +287,14 @@ class PreemptScheduler final : public Scheduler {
  private:
   std::uint64_t quantum_;
 };
+
+// True when UKRAFT_THREADS=real selects the real-OS-thread backend.
+bool RealThreadsRequested();
+// Cooperative scheduler factory honoring UKRAFT_THREADS: the ucontext fiber
+// simulator by default, the baton-passing ThreadScheduler over real pinned
+// std::threads when UKRAFT_THREADS=real. Defined in thread_scheduler.cpp.
+std::unique_ptr<Scheduler> MakeScheduler(ukalloc::Allocator* alloc,
+                                         ukplat::Clock* clock);
 
 }  // namespace uksched
 

@@ -1,0 +1,92 @@
+// uksched/thread_scheduler.h - the real-OS-thread scheduler backend.
+//
+// Same dispatch discipline as the fiber simulator — run-to-block, FIFO ready
+// queue, virtual-clock idle jumps — but every uksched::Thread is a real
+// std::thread and every handoff is a baton pass under one mutex/condvar pair:
+// the dispatcher marks a thread running and sleeps until it hands back; the
+// thread sleeps until marked running. Exactly one context executes at a time,
+// so the deterministic semantics every test asserts (wake counts, FIFO order,
+// run-to-block interleavings) are preserved bit-for-bit, while the memory
+// model becomes the real one: every cross-thread edge is an ordinary
+// mutex/condvar acquire-release that ThreadSanitizer checks natively — no
+// fiber annotations anywhere on this path.
+//
+// What the baton buys beyond the simulator: WaitQueue wakes may arrive from
+// FOREIGN OS threads (a vhost backend thread, a producer ringing a doorbell).
+// Wake() takes the scheduler lock, and an idle dispatcher parks on the condvar
+// in real time before jumping the virtual clock, so external doorbells land
+// instead of being outrun by the clock. WaitQueue::WaitTimeoutUnless closes
+// the check-then-park race against such producers.
+//
+// Threads that are still blocked when the scheduler dies stay parked forever
+// (fiber parity: a blocked fiber's stack was simply never resumed); their OS
+// threads are detached and keep only a shared_ptr to the baton, never to the
+// scheduler.
+#ifndef UKSCHED_THREAD_SCHEDULER_H_
+#define UKSCHED_THREAD_SCHEDULER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "uksched/scheduler.h"
+
+namespace uksched {
+
+class ThreadScheduler final : public Scheduler {
+ public:
+  struct Config {
+    // Real time an idle dispatcher waits for an external Wake before jumping
+    // the virtual clock (timed waiters) or giving up a strike (untimed).
+    std::chrono::microseconds idle_grace{500};
+    // Consecutive fruitless idle graces tolerated while only UNtimed waiters
+    // remain before Run() declares the world stuck and returns the leftovers
+    // (the fiber backend returns immediately; the budget exists so external
+    // producers get a real-time window to ring their doorbell).
+    int idle_strike_limit = 100;
+  };
+
+  ThreadScheduler(ukalloc::Allocator* alloc, ukplat::Clock* clock)
+      : ThreadScheduler(alloc, clock, Config{}) {}
+  ThreadScheduler(ukalloc::Allocator* alloc, ukplat::Clock* clock,
+                  Config config);
+  ~ThreadScheduler() override;
+
+  const char* name() const override { return "ukthread"; }
+  bool real_threads() const override { return true; }
+
+ protected:
+  bool ShouldPreempt(const Thread& /*t*/) const override { return false; }
+
+  bool PrepareThread(Thread* t, std::size_t stack_size) override;
+  void SwitchTo(Thread* t) override;
+  void SwitchBack() override;
+  void ReleaseThread(Thread* t) override;
+  void Lock() const override;
+  void Unlock() const override;
+  bool IdleWait() override;
+  void Enqueue(Thread* t) override;
+
+ private:
+  // The handoff state. Owned by shared_ptr so a detached, forever-blocked
+  // thread can keep waiting on it after the scheduler object is gone.
+  struct Baton {
+    std::mutex mu;
+    std::condition_variable cv;
+    Thread* running = nullptr;  // nullptr: the dispatcher's turn
+    bool shutdown = false;      // wakes never-dispatched threads at teardown
+  };
+
+  void ThreadMain(Thread* t, std::shared_ptr<Baton> baton);
+
+  Config config_;
+  std::shared_ptr<Baton> baton_;
+  std::unordered_map<Thread*, std::thread> os_threads_;
+  int idle_strikes_ = 0;
+};
+
+}  // namespace uksched
+
+#endif  // UKSCHED_THREAD_SCHEDULER_H_

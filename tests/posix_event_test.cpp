@@ -374,7 +374,8 @@ TEST_F(EpollTcpTest, CloseOfDupedTcpFdDoesNotFinSurvivor) {
 }
 
 TEST_F(EpollTcpTest, RstWakesBlockedEpollWait) {
-  uksched::CoopScheduler sched(host_.alloc.get(), &clock_);
+  auto sched_owner = uksched::MakeScheduler(host_.alloc.get(), &clock_);
+  auto& sched = *sched_owner;
   host_.stack->SetScheduler(&sched);
 
   int lfd = api_.Socket(posix::SockType::kStream);
@@ -417,7 +418,8 @@ TEST(EventLoopScale, Serves64ConnectionsFromOneBlockedThread) {
   Host b(&clock, &wire, 1, MakeIp(10, 0, 0, 2), /*queues=*/1, /*pool_bufs=*/512);
   a.netif->AddArpEntry(MakeIp(10, 0, 0, 2), b.nic->mac());
   b.netif->AddArpEntry(MakeIp(10, 0, 0, 1), a.nic->mac());
-  uksched::CoopScheduler sched(b.alloc.get(), &clock);
+  auto sched_owner = uksched::MakeScheduler(b.alloc.get(), &clock);
+  auto& sched = *sched_owner;
   b.stack->SetScheduler(&sched);
   vfscore::Vfs vfs;
   posix::PosixApi api(&clock, &vfs, b.stack.get(), posix::DispatchMode::kDirectCall,

@@ -40,7 +40,7 @@ struct LoopWorld {
     cfg.queues = queues;
     netif = stack->AddInterface(dev.get(), cfg);
     netif->AddArpEntry(MakeIp(10, 0, 0, 1), dev->mac());  // self-send
-    sched = std::make_unique<uksched::CoopScheduler>(alloc.get(), &clock);
+    sched = uksched::MakeScheduler(alloc.get(), &clock);
     stack->SetScheduler(sched.get());
   }
 
@@ -50,7 +50,7 @@ struct LoopWorld {
   std::unique_ptr<uknetdev::Loopback> dev;
   std::unique_ptr<NetStack> stack;
   NetIf* netif = nullptr;
-  std::unique_ptr<uksched::CoopScheduler> sched;
+  std::unique_ptr<uksched::Scheduler> sched;
 };
 
 TEST(PollWait, IdlePollWaitBlocksWithoutSpinning) {
@@ -238,7 +238,8 @@ TEST(PollWait, RtoDeadlineWakesBlockedPollerWithoutTraffic) {
   peer.ip = MakeIp(10, 0, 0, 2);
   peer.host_ip = MakeIp(10, 0, 0, 1);
   host.netif->AddArpEntry(peer.ip, peer.mac);
-  uksched::CoopScheduler sched(host.alloc.get(), &clock);
+  auto sched_owner = uksched::MakeScheduler(host.alloc.get(), &clock);
+  auto& sched = *sched_owner;
   host.stack->SetScheduler(&sched);
   host.stack->rto_cycles = 200'000;
 
@@ -285,7 +286,8 @@ TEST(PollWait, VirtioWireSignalWakesBlockedHost) {
   Host b(&clock, &wire, 1, MakeIp(10, 0, 0, 2));
   a.netif->AddArpEntry(MakeIp(10, 0, 0, 2), b.nic->mac());
   b.netif->AddArpEntry(MakeIp(10, 0, 0, 1), a.nic->mac());
-  uksched::CoopScheduler sched(b.alloc.get(), &clock);
+  auto sched_owner = uksched::MakeScheduler(b.alloc.get(), &clock);
+  auto& sched = *sched_owner;
   b.stack->SetScheduler(&sched);
 
   auto server = b.stack->UdpOpen();
@@ -322,7 +324,8 @@ TEST(PollWait, BlockingUdpEchoHoldsZeroAllocInvariants) {
   Host b(&clock, &wire, 1, MakeIp(10, 0, 0, 2));
   a.netif->AddArpEntry(MakeIp(10, 0, 0, 2), b.nic->mac());
   b.netif->AddArpEntry(MakeIp(10, 0, 0, 1), a.nic->mac());
-  uksched::CoopScheduler sched(b.alloc.get(), &clock);
+  auto sched_owner = uksched::MakeScheduler(b.alloc.get(), &clock);
+  auto& sched = *sched_owner;
   b.stack->SetScheduler(&sched);
 
   auto server = b.stack->UdpOpen();
@@ -387,7 +390,8 @@ TEST(PollWait, KvServerSocketModePumpQueueWaitBlocks) {
   Host b(&clock, &wire, 1, MakeIp(10, 0, 0, 2));
   a.netif->AddArpEntry(MakeIp(10, 0, 0, 2), b.nic->mac());
   b.netif->AddArpEntry(MakeIp(10, 0, 0, 1), a.nic->mac());
-  uksched::CoopScheduler sched(b.alloc.get(), &clock);
+  auto sched_owner = uksched::MakeScheduler(b.alloc.get(), &clock);
+  auto& sched = *sched_owner;
   vfscore::Vfs vfs;
   posix::PosixApi api(&clock, &vfs, b.stack.get(), posix::DispatchMode::kDirectCall,
                       &sched);
@@ -425,7 +429,8 @@ TEST(PosixBlocking, RecvFromSleepsUntilDatagram) {
   Host b(&clock, &wire, 1, MakeIp(10, 0, 0, 2));
   a.netif->AddArpEntry(MakeIp(10, 0, 0, 2), b.nic->mac());
   b.netif->AddArpEntry(MakeIp(10, 0, 0, 1), a.nic->mac());
-  uksched::CoopScheduler sched(b.alloc.get(), &clock);
+  auto sched_owner = uksched::MakeScheduler(b.alloc.get(), &clock);
+  auto& sched = *sched_owner;
   b.stack->SetScheduler(&sched);
   vfscore::Vfs vfs;
   posix::PosixApi api(&clock, &vfs, b.stack.get(), posix::DispatchMode::kDirectCall,
@@ -463,7 +468,8 @@ TEST(PosixBlocking, AcceptSleepsUntilConnection) {
   Host b(&clock, &wire, 1, MakeIp(10, 0, 0, 2));
   a.netif->AddArpEntry(MakeIp(10, 0, 0, 2), b.nic->mac());
   b.netif->AddArpEntry(MakeIp(10, 0, 0, 1), a.nic->mac());
-  uksched::CoopScheduler sched(b.alloc.get(), &clock);
+  auto sched_owner = uksched::MakeScheduler(b.alloc.get(), &clock);
+  auto& sched = *sched_owner;
   b.stack->SetScheduler(&sched);
   vfscore::Vfs vfs;
   posix::PosixApi api(&clock, &vfs, b.stack.get(), posix::DispatchMode::kDirectCall,

@@ -1,13 +1,17 @@
 // Tests for uksched (cooperative/preemptive threads) and uklock primitives.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ukalloc/registry.h"
 #include "uklock/lock.h"
 #include "uksched/scheduler.h"
+#include "uksched/thread_scheduler.h"
 #include "ukplat/clock.h"
 
 namespace {
@@ -290,6 +294,167 @@ TEST_F(SchedTest, SemaphoreTryDown) {
   EXPECT_FALSE(sem.TryDown());
   sem.Up();
   EXPECT_TRUE(sem.TryDown());
+}
+
+// ---- WaitTimeoutUnless (both backends) --------------------------------------------
+
+TEST_F(SchedTest, WaitTimeoutUnlessSkipsParkWhenSeqAlreadyMoved) {
+  CoopScheduler sched(alloc_.get(), &clock_);
+  WaitQueue wq(&sched);
+  std::atomic<std::uint64_t> seq{0};
+  bool woken = false;
+  sched.CreateThread("reader", [&] {
+    seq.fetch_add(1, std::memory_order_release);  // doorbell already rung
+    woken = wq.WaitTimeoutUnless(seq, /*last_seen=*/0, Scheduler::kNoDeadline);
+  });
+  EXPECT_EQ(sched.Run(), 0u);
+  EXPECT_TRUE(woken);  // never parked: the seq check under the lock fired
+  EXPECT_EQ(sched.stats().idle_advances, 0u);
+}
+
+TEST_F(SchedTest, WaitTimeoutUnlessParksWhenSeqUnchanged) {
+  CoopScheduler sched(alloc_.get(), &clock_);
+  WaitQueue wq(&sched);
+  std::atomic<std::uint64_t> seq{7};
+  bool woken = true;
+  sched.CreateThread("reader",
+                     [&] { woken = wq.WaitTimeoutUnless(seq, 7, 500'000); });
+  EXPECT_EQ(sched.Run(), 0u);
+  EXPECT_FALSE(woken);  // parked and timed out like a plain WaitTimeout
+  EXPECT_GE(clock_.cycles(), 500'000u);
+}
+
+// ---- ThreadScheduler: the same contracts on real OS threads -----------------------
+
+TEST_F(SchedTest, RealThreadsYieldInterleavesFifo) {
+  ThreadScheduler sched(alloc_.get(), &clock_);
+  std::string trace;
+  sched.CreateThread("a", [&] {
+    trace += 'a';
+    sched.Yield();
+    trace += 'A';
+  });
+  sched.CreateThread("b", [&] {
+    trace += 'b';
+    sched.Yield();
+    trace += 'B';
+  });
+  EXPECT_EQ(sched.Run(), 0u);
+  EXPECT_EQ(trace, "abAB");  // identical interleaving to the fiber backend
+}
+
+TEST_F(SchedTest, RealThreadsWaitQueueBlocksUntilWoken) {
+  ThreadScheduler sched(alloc_.get(), &clock_);
+  WaitQueue wq(&sched);
+  std::string trace;
+  sched.CreateThread("waiter", [&] {
+    trace += 'w';
+    wq.Wait();
+    trace += 'W';
+  });
+  sched.CreateThread("waker", [&] {
+    trace += 'k';
+    wq.Wake();
+  });
+  EXPECT_EQ(sched.Run(), 0u);
+  EXPECT_EQ(trace, "wkW");
+}
+
+TEST_F(SchedTest, RealThreadsTimedWaitStillJumpsVirtualClock) {
+  ThreadScheduler::Config cfg;
+  cfg.idle_grace = std::chrono::microseconds(100);  // keep the test fast
+  ThreadScheduler sched(alloc_.get(), &clock_, cfg);
+  WaitQueue wq(&sched);
+  constexpr std::uint64_t kDeadline = 750'000;
+  bool woken = true;
+  sched.CreateThread("sleeper", [&] { woken = wq.WaitTimeout(kDeadline); });
+  EXPECT_EQ(sched.Run(), 0u);
+  EXPECT_FALSE(woken);
+  EXPECT_GE(clock_.cycles(), kDeadline);
+  EXPECT_EQ(sched.stats().idle_advances, 1u);
+}
+
+TEST_F(SchedTest, RealThreadsExternalWakeLandsWhileIdle) {
+  // A foreign OS thread (device backend, producer shard) rings a doorbell
+  // while every managed thread is parked: the idle dispatcher must hold the
+  // world in real time long enough for the Wake to land, like an interrupt
+  // ending a HLT.
+  ThreadScheduler sched(alloc_.get(), &clock_);
+  WaitQueue wq(&sched);
+  bool woken = false;
+  sched.CreateThread("sleeper", [&] {
+    wq.Wait();
+    woken = true;
+  });
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    wq.Wake();
+  });
+  EXPECT_EQ(sched.Run(), 0u);  // not stuck: the external wake unblocked it
+  producer.join();
+  EXPECT_TRUE(woken);
+}
+
+TEST_F(SchedTest, RealThreadsNoLostDoorbellFromForeignProducer) {
+  // Publish-then-wake from a raw std::thread against WaitTimeoutUnless: every
+  // published item is consumed, no wake is lost to the check-then-park race.
+  ThreadScheduler sched(alloc_.get(), &clock_);
+  WaitQueue wq(&sched);
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<int> published{0};
+  constexpr int kItems = 64;
+  int consumed = 0;
+  sched.CreateThread("consumer", [&] {
+    std::uint64_t seen = 0;
+    while (consumed < kItems) {
+      wq.WaitTimeoutUnless(seq, seen, Scheduler::kNoDeadline);
+      seen = seq.load(std::memory_order_acquire);
+      consumed = published.load(std::memory_order_acquire);
+    }
+  });
+  std::thread producer([&] {
+    for (int i = 1; i <= kItems; ++i) {
+      published.store(i, std::memory_order_release);
+      seq.fetch_add(1, std::memory_order_release);
+      wq.Wake();
+      if (i % 8 == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+  });
+  EXPECT_EQ(sched.Run(), 0u);
+  producer.join();
+  EXPECT_EQ(consumed, kItems);
+}
+
+TEST_F(SchedTest, RealThreadsReportBlockedAndDetachAtTeardown) {
+  ThreadScheduler::Config cfg;
+  cfg.idle_grace = std::chrono::microseconds(100);
+  cfg.idle_strike_limit = 3;  // give up on the stuck thread quickly
+  auto sched = std::make_unique<ThreadScheduler>(alloc_.get(), &clock_, cfg);
+  WaitQueue wq(sched.get());
+  sched->CreateThread("stuck", [&] { wq.Wait(); });
+  EXPECT_EQ(sched->Run(), 1u);  // reported, exactly like the fiber backend
+  sched.reset();  // dtor detaches the parked thread; must not hang or crash
+}
+
+TEST_F(SchedTest, RealThreadsManyThreadsAllComplete) {
+  ThreadScheduler sched(alloc_.get(), &clock_);
+  int done = 0;
+  for (int i = 0; i < 32; ++i) {
+    sched.CreateThread("worker", [&] {
+      sched.Yield();
+      ++done;
+    });
+  }
+  EXPECT_EQ(sched.Run(), 0u);
+  EXPECT_EQ(done, 32);
+}
+
+TEST_F(SchedTest, FactorySelectsBackendFromEnvironment) {
+  auto sched = MakeScheduler(alloc_.get(), &clock_);
+  ASSERT_NE(sched, nullptr);
+  EXPECT_EQ(sched->real_threads(), RealThreadsRequested());
 }
 
 }  // namespace
