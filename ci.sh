@@ -81,6 +81,17 @@ UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=0" UKRAFT_QUEUES=2 \
 UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=0" UKRAFT_QUEUES=2 \
   "$ASAN_BUILD_DIR"/bench_tab4_kvstore --eventloop
 
+# TCP loss-recovery leg: a 1 MB echo at 1% deterministic frame loss, modern
+# (NewReno + SACK + delayed ACKs + window scaling) vs legacy stop-and-wait.
+# The binary self-checks: modern must beat legacy by >=5x, recover via fast
+# retransmit (not RTO stalls), and complete every retransmission on the
+# retained-segment zero-copy path (rexmit_copy_allocs == 0). Running it under
+# ASan+UBSan puts the recovery machinery -- scoreboard marking, retained-netbuf
+# re-emission, OOO range merging -- under lifetime/offset checking on every
+# push, and emits BENCH_tab5_tcp_loss.json next to the build dir.
+UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=0" \
+  "$ASAN_BUILD_DIR"/bench_tab5_tcp_echo --loss
+
 # ThreadSanitizer flavor over the sharded/concurrency suites: the SPSC ring
 # acquire/release protocol, the per-queue doorbells and the 4-shard scale
 # test are exactly the code whose correctness on real SMP rests on memory
@@ -89,10 +100,11 @@ UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=0" UKRAFT_QUEUES=2 \
 TSAN_BUILD_DIR="${BUILD_DIR}-tsan"
 cmake -B "$TSAN_BUILD_DIR" -S . -DUKRAFT_WERROR=ON -DUKRAFT_SANITIZE=tsan
 cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" --target \
-  smp_shard_test uknet_multiqueue_test uknet_wait_test
+  smp_shard_test uknet_multiqueue_test uknet_wait_test uknet_tcp_loss_test
 UKRAFT_QUEUES=4 "$TSAN_BUILD_DIR"/smp_shard_test
 UKRAFT_QUEUES=4 "$TSAN_BUILD_DIR"/uknet_multiqueue_test
 UKRAFT_QUEUES=4 "$TSAN_BUILD_DIR"/uknet_wait_test
+UKRAFT_QUEUES=4 "$TSAN_BUILD_DIR"/uknet_tcp_loss_test
 
 # Real-OS-thread stress leg: the same TSan build reruns the concurrency
 # suites with UKRAFT_THREADS=real — every uksched loop on its own pinned
@@ -111,4 +123,4 @@ UKRAFT_THREADS=real UKRAFT_QUEUES=4 "$TSAN_BUILD_DIR"/uknet_wait_test
 # (emits BENCH_rss_scaling_threads.json next to the fiber-mode trendline).
 (cd "$BUILD_DIR" && UKRAFT_THREADS=real ./bench_fig_rss_scaling --threads)
 
-echo "ci: OK (src/ built with -Wall -Wextra -Werror; markdown links checked; tests passed plain, at UKRAFT_QUEUES=4 with the RSS-scaling gate, and under ASan+UBSan with UKRAFT_QUEUES=2, incl. the blocking --wait and --eventloop legs; TSan covered the sharded suites in fiber AND real-thread mode, and the scaling gate held on real threads)"
+echo "ci: OK (src/ built with -Wall -Wextra -Werror; markdown links checked; tests passed plain, at UKRAFT_QUEUES=4 with the RSS-scaling gate, and under ASan+UBSan with UKRAFT_QUEUES=2, incl. the blocking --wait, --eventloop and TCP --loss legs; TSan covered the sharded suites plus the loss-pattern suite in fiber AND real-thread mode, and the scaling gate held on real threads)"

@@ -9,17 +9,34 @@ namespace uknet {
 
 bool NetStack::SendTcpHeaderOnly(NetIf* netif, Ip4Addr dst, const TcpHeader& hdr,
                                  std::uint16_t queue) {
-  uknetdev::NetBuf* nb = netif->AllocTxBuf(kTcpHdrBytes, queue);
+  // Sized to the header the caller built: SYN/SYN|ACK segments carry the
+  // MSS/wscale/SACK-permitted offers, ACKs may carry SACK blocks — the data
+  // offset and checksum come out of Serialize either way.
+  const std::uint32_t hdr_bytes = static_cast<std::uint32_t>(hdr.HeaderBytes());
+  uknetdev::NetBuf* nb = netif->AllocTxBuf(hdr_bytes, queue);
   if (nb == nullptr) {
     return false;
   }
-  std::uint8_t* at = nb->PrependHeader(*mem_, kTcpHdrBytes);
+  std::uint8_t* at = nb->PrependHeader(*mem_, hdr_bytes);
   if (at == nullptr) {
     netif->FreeTxBuf(nb);
     return false;
   }
   hdr.Serialize(at, netif->ip(), dst, {});
   return netif->SendIpBuf(dst, kIpProtoTcp, nb, queue);
+}
+
+// The wscale shift to offer for a receive buffer of |recv_cap| bytes: the
+// smallest shift whose scaled 16-bit field can still advertise the whole
+// buffer (RFC 7323 caps the shift at 14). A 64KB default buffer yields
+// shift 0 — the option is still sent (it enables the peer's side), and the
+// window values stay bit-identical to the unscaled stack.
+static std::int8_t WscaleFor(std::size_t recv_cap) {
+  std::int8_t s = 0;
+  while (s < 14 && ((recv_cap - 1) >> s) > 0xffff) {
+    ++s;
+  }
+  return s;
 }
 
 // ---- readiness events -------------------------------------------------------------
@@ -332,16 +349,26 @@ std::shared_ptr<TcpSocket> NetStack::TcpConnect(Ip4Addr dst, std::uint16_t port)
   sock->snd_nxt_ = iss + 1;  // SYN consumes one
   sock->EnterState(TcpState::kSynSent);
   tcp_conns_.Insert(ConnKey{sock->local_port_, dst, port}, sock);
-  // SYN segment.
+  // SYN segment. The modern stack offers its options here; negotiation
+  // completes when the SYN|ACK arrives (TcpSocket::OnSegment). The window
+  // field of a SYN is always unscaled — rcv_wscale_ is still 0 here, so
+  // AdvertisedWindow() is the raw clamped space.
   TcpHeader hdr;
   hdr.src_port = sock->local_port_;
   hdr.dst_port = port;
   hdr.seq = iss;
   hdr.flags = kTcpSyn;
   hdr.window = sock->AdvertisedWindow();
+  if (tcp_modern) {
+    hdr.mss = static_cast<std::uint16_t>(TcpSocket::kMss);
+    hdr.wscale = WscaleFor(sock->recv_cap_);
+    hdr.sack_permitted = true;
+    sock->rcv_wscale_offer_ = hdr.wscale;
+    sock->sack_offered_ = true;
+  }
   ++sock->tcp_stats_.segments_sent;
   SendTcpHeaderOnly(netif, dst, hdr, sock->tx_queue_);
-  sock->last_send_cycles_ = clock_->cycles();
+  sock->rtx_epoch_cycles_ = clock_->cycles();
   return sock;
 }
 
@@ -470,11 +497,26 @@ std::uint64_t NetStack::NextTimerDeadline() const {
   for (const auto& [key, conn] : *tcp_conns_.Read()) {
     std::uint64_t d = kNoDeadline;
     if (SeqLt(conn->snd_una_, conn->snd_nxt_)) {
-      d = conn->last_send_cycles_ + rto_cycles;  // RTO of in-flight data
+      // RTO of in-flight data, at the connection's current backoff.
+      d = conn->rtx_epoch_cycles_ + rto_cycles * conn->rto_backoff_;
+      if (tcp_modern && conn->sack_enabled_ && !conn->tlp_probe_sent_ &&
+          conn->rto_backoff_ == 1) {
+        // Tail-loss probe fires at a quarter RTO; a blocked loop has to wake
+        // for it or the probe degenerates back into the full RTO stall it
+        // exists to avoid.
+        d = std::min(d, conn->rtx_epoch_cycles_ + rto_cycles / 4);
+      }
     } else if (conn->state() == TcpState::kTimeWait) {
       // TIME_WAIT reaping counts poll passes, not cycles; bound the sleep so
       // a blocking loop still retires the connection in finite virtual time.
       d = clock_->cycles() + rto_cycles;
+    }
+    if (conn->delack_pending_ && conn->delack_deadline_ < d) {
+      // An owed ACK bounds the sleep too. In practice the end-of-turn flush
+      // in RunTcpTimers pays the debt before any loop ever parks, but the
+      // deadline keeps the contract airtight for callers that block between
+      // RX and the timer pass.
+      d = conn->delack_deadline_;
     }
     earliest = std::min(earliest, d);
   }
@@ -779,13 +821,20 @@ void NetStack::HandleTcp(NetIf* netif, std::uint16_t queue, const Ip4Header& ip,
       sock->tx_queue_ = netif->TxQueueFor(ip.src, hdr->dst_port, hdr->src_port);
       sock->last_rx_queue_ = queue;
       sock->rcv_nxt_ = hdr->seq + 1;
-      sock->snd_wnd_ = hdr->window;
+      // Buffer caps are inherited from the listener BEFORE the wscale offer
+      // below is computed from recv_cap_.
+      sock->SetBufferCaps(listener->second->accept_send_cap_,
+                          listener->second->accept_recv_cap_);
+      sock->UpdateSendWindow(*hdr);  // SYN window: never scaled
       std::uint32_t iss = NewIss();
       sock->snd_una_ = iss;
       sock->snd_nxt_ = iss + 1;
       sock->EnterState(TcpState::kSynRcvd);
       tcp_conns_.Insert(ConnKey{hdr->dst_port, ip.src, hdr->src_port}, sock);
-      // SYN|ACK
+      // SYN|ACK, echoing the extensions the client offered (each one is on
+      // only when both SYNs carry it; a plain SYN gets a plain SYN|ACK).
+      // Its window field is unscaled by definition — rcv_wscale_ is still 0
+      // when AdvertisedWindow() is read here.
       TcpHeader synack;
       synack.src_port = hdr->dst_port;
       synack.dst_port = hdr->src_port;
@@ -793,9 +842,24 @@ void NetStack::HandleTcp(NetIf* netif, std::uint16_t queue, const Ip4Header& ip,
       synack.ack = sock->rcv_nxt_;
       synack.flags = kTcpSyn | kTcpAck;
       synack.window = sock->AdvertisedWindow();
+      if (tcp_modern) {
+        synack.mss = static_cast<std::uint16_t>(TcpSocket::kMss);
+        if (hdr->mss != 0) {
+          sock->peer_mss_ = hdr->mss;
+        }
+        if (hdr->wscale >= 0) {
+          synack.wscale = WscaleFor(sock->recv_cap_);
+          sock->snd_wscale_ = hdr->wscale;
+          sock->rcv_wscale_ = synack.wscale;
+        }
+        if (hdr->sack_permitted) {
+          synack.sack_permitted = true;
+          sock->sack_enabled_ = true;
+        }
+      }
       ++sock->tcp_stats_.segments_sent;
       SendTcpHeaderOnly(netif, ip.src, synack, sock->tx_queue_);
-      sock->last_send_cycles_ = clock_->cycles();
+      sock->rtx_epoch_cycles_ = clock_->cycles();
       return;
     }
   }

@@ -390,6 +390,11 @@ struct TcpTxSegment {
   std::uint32_t len = 0;               // payload bytes
   std::uint32_t payload_headroom = 0;  // nb->headroom at which the payload starts
   uknetdev::NetBuf* nb = nullptr;      // retained buffer (one queue reference)
+  // SACK scoreboard bit: the peer reported this whole segment received.
+  // Retransmission passes skip sacked segments; a cumulative ACK still owns
+  // the release. Cleared only with the segment (RFC 2018 reneging is not
+  // modeled on this wire).
+  bool sacked = false;
 };
 
 class TcpSocket : public SocketEventSource {
@@ -414,7 +419,7 @@ class TcpSocket : public SocketEventSource {
   std::int64_t Recv(std::span<std::uint8_t> out);
 
   bool readable() const { return !recv_buf_.empty() || fin_received_; }
-  std::size_t send_space() const { return kSendBufCap - send_buffered_; }
+  std::size_t send_space() const { return send_cap_ - send_buffered_; }
   bool connected() const { return state_ == TcpState::kEstablished; }
   bool failed() const { return reset_; }
   // Peer sent its FIN (the level behind kEvtHup). Queued data stays readable;
@@ -432,11 +437,47 @@ class TcpSocket : public SocketEventSource {
   struct TcpStats {
     std::uint64_t segments_sent = 0;
     std::uint64_t segments_received = 0;
-    std::uint64_t retransmissions = 0;
+    std::uint64_t retransmissions = 0;  // recovery events (RTO fires + fast rexmits)
     std::uint64_t dup_acks = 0;
     std::uint64_t out_of_order_dropped = 0;
+    // Fast-path accounting: data vs pure-ACK frames on the wire (the
+    // delayed-ACK win shows up as pure_acks_sent falling while
+    // data_segments_sent holds), plus per-mechanism recovery counters.
+    std::uint64_t data_segments_sent = 0;
+    std::uint64_t pure_acks_sent = 0;
+    std::uint64_t acks_coalesced = 0;       // ACK-owing arrivals folded away
+    std::uint64_t fast_retransmits = 0;     // 3-dup-ACK entries into recovery
+    std::uint64_t rto_retransmits = 0;      // RTO timer fires
+    std::uint64_t sack_rexmit_segments = 0; // data segments skipped as SACKed
+    std::uint64_t ooo_queued = 0;           // out-of-order segments buffered
+    std::uint64_t tlp_probes = 0;           // tail-loss probes sent
+    // Retransmissions that could NOT reuse the retained netbuf (snd_una_
+    // landed mid-segment, so the suffix copies into a fresh buffer). The
+    // loss bench gates this at zero: recovery must run on retained buffers.
+    std::uint64_t rexmit_copy_allocs = 0;
   };
   const TcpStats& tcp_stats() const { return tcp_stats_; }
+
+  // Congestion-state introspection (loss tests assert trajectories).
+  std::uint32_t cwnd() const { return cwnd_; }
+  std::uint32_t ssthresh() const { return ssthresh_; }
+  std::uint32_t in_flight() const { return snd_nxt_ - snd_una_; }
+  bool in_fast_recovery() const { return in_fast_recovery_; }
+  // Effective peer window after the negotiated scale shift.
+  std::uint32_t send_window() const { return snd_wnd_; }
+  bool sack_enabled() const { return sack_enabled_; }
+  int send_wscale() const { return snd_wscale_; }
+  int recv_wscale() const { return rcv_wscale_; }
+
+  // Per-socket buffer caps (default kSendBufCap/kRecvBufCap). Raising the
+  // receive cap before connect/listen is what makes window scaling matter:
+  // the wscale shift offered at SYN is computed from recv_cap so the scaled
+  // advertised window can expose the whole buffer. A listener's caps
+  // (TcpListener::SetBufferCaps) are inherited by accepted sockets. Caps are
+  // clamped to >= 2*kMss; shrinking below queued data is not supported.
+  void SetBufferCaps(std::size_t send_cap, std::size_t recv_cap);
+  std::size_t send_cap() const { return send_cap_; }
+  std::size_t recv_cap() const { return recv_cap_; }
 
   static constexpr std::size_t kSendBufCap = 64 * 1024;
   static constexpr std::size_t kRecvBufCap = 64 * 1024;
@@ -449,14 +490,38 @@ class TcpSocket : public SocketEventSource {
 
   void OnSegment(std::uint16_t rx_queue, const TcpHeader& hdr,
                  std::span<const std::uint8_t> payload);
-  void Output();            // transmit what window + buffer allow
-  void CheckTimer();        // RTO-based retransmission
+  void Output();            // transmit what window + cwnd + buffer allow
+  void CheckTimer();        // RTO-based retransmission + delayed-ACK flush
   // Re-sends the retained ranges overlapping [snd_una_, snd_nxt_) — the
   // whole window (go-back-N RTO) or just the first unacked segment (fast
-  // retransmit). Returns whether any data segment went out.
+  // retransmit). SACKed segments are skipped in both modes: the scoreboard
+  // turns the full-window re-burst into a holes-only re-burst. Returns
+  // whether any data segment went out.
   bool RetransmitWindow(bool first_unacked_only);
-  // Control segment (ACK/FIN/window update): header only, no payload.
+  // Control segment (ACK/FIN/window update): header only, no payload. ACKs
+  // carry the receiver's current SACK blocks when the peer negotiated SACK.
   void EmitSegment(std::uint8_t flags, std::uint32_t seq);
+  // Satellite of the wscale work: every path that learns the peer's window
+  // funnels through here, so the scale shift applies in exactly one place.
+  // SYN/SYN|ACK windows are never scaled (RFC 7323).
+  void UpdateSendWindow(const TcpHeader& hdr);
+  // NewReno ACK-clocking: grows cwnd in slow start / congestion avoidance,
+  // enters and exits fast recovery, handles NewReno partial ACKs.
+  void OnAckProgress(std::uint32_t acked_bytes, std::uint32_t ack);
+  void OnDupAck();
+  // Marks retained segments covered by the ACK's SACK blocks.
+  void ApplySackBlocks(const TcpHeader& hdr);
+  // Receive-side reassembly: queues an out-of-order payload (bounded), or
+  // drains contiguous ranges into recv_buf_ once the hole fills.
+  bool QueueOutOfOrder(std::uint32_t seq, std::span<const std::uint8_t> payload);
+  void DrainOutOfOrder();
+  // Delayed-ACK machinery: NoteAckOwed records that rcv_nxt_ advanced
+  // (flushing immediately past the 2*MSS coalescing budget); AckNow emits a
+  // pure ACK and clears the owed state; FlushDelayedAck is the end-of-turn /
+  // timer-deadline flush NetStack::RunTcpTimers drives.
+  void NoteAckOwed(std::size_t payload_bytes);
+  void AckNow();
+  void FlushDelayedAck();
   // (Re)transmits |take| payload bytes of a retained segment starting at
   // sequence |from| (SeqLe(seg.seq, from), from+take within the segment).
   // Segment-aligned sends (from == seg.seq — every first transmission and
@@ -465,7 +530,7 @@ class TcpSocket : public SocketEventSource {
   // copies. Mid-segment suffix sends would prepend headers over the
   // segment's own earlier payload bytes, so they copy into a fresh buffer.
   void EmitRetained(TcpTxSegment& seg, std::uint32_t from, std::uint32_t take,
-                    std::uint8_t flags);
+                    std::uint8_t flags, bool retransmit = false);
   // Sequence number one past the last byte queued for transmission.
   std::uint32_t DataEnd() const {
     return retx_queue_.empty() ? snd_una_
@@ -477,9 +542,16 @@ class TcpSocket : public SocketEventSource {
   // sockets it still tracks so that app-held socket handles outliving the
   // stack never touch the (by then destroyed) NetIf pools in ~TcpSocket.
   void ReleaseAllSegments();
+  // Raw receive window in bytes (free buffer space).
+  std::size_t RecvSpace() const {
+    std::size_t used = recv_buf_.size() + ooo_buffered_;
+    return used < recv_cap_ ? recv_cap_ - used : 0;
+  }
+  // The 16-bit window field for a non-SYN segment: space >> rcv_wscale_,
+  // saturated. With no scale negotiated this is the classic 64KB clamp.
   std::uint16_t AdvertisedWindow() const {
-    std::size_t space = kRecvBufCap - recv_buf_.size();
-    return static_cast<std::uint16_t>(space > 0xffff ? 0xffff : space);
+    std::size_t wnd = RecvSpace() >> rcv_wscale_;
+    return static_cast<std::uint16_t>(wnd > 0xffff ? 0xffff : wnd);
   }
   void EnterState(TcpState s) { state_ = s; }
 
@@ -499,23 +571,84 @@ class TcpSocket : public SocketEventSource {
   // slot can never underflow a buffer index.
   std::uint32_t snd_una_ = 0;
   std::uint32_t snd_nxt_ = 0;
-  std::uint32_t snd_wnd_ = 0;
+  std::uint32_t snd_wnd_ = 0;  // peer window, already scaled (UpdateSendWindow)
   std::deque<TcpTxSegment> retx_queue_;
   std::size_t send_buffered_ = 0;  // payload bytes across retx_queue_
   bool fin_queued_ = false;
   bool fin_sent_ = false;
 
+  // ---- congestion control (NewReno) ----------------------------------------
+  // Byte-denominated cwnd/ssthresh, RFC 5681/6582. Slow start while
+  // cwnd < ssthresh (cwnd += min(acked, MSS) per ACK), congestion avoidance
+  // above it (cwnd += MSS*MSS/cwnd per ACK). Fast recovery inflates cwnd by
+  // one MSS per dup ACK and deflates to ssthresh when |recover_| is fully
+  // ACKed; partial ACKs retransmit the next hole without leaving recovery.
+  // Legacy mode (NetStack::tcp_modern == false) pins cwnd wide open so the
+  // pre-modern stop-and-go behavior stays available as a bench baseline.
+  std::uint32_t cwnd_ = 10 * kMss;        // IW10
+  std::uint32_t ssthresh_ = 0x7fffffff;   // "infinite" until first loss
+  bool in_fast_recovery_ = false;
+  std::uint32_t recover_ = 0;             // snd_nxt_ at recovery entry
+  std::uint32_t rto_backoff_ = 1;         // RTO multiplier, doubles per fire
+  // One tail-loss probe per stall (CheckTimer, at rto_cycles/4): re-sends the
+  // highest outstanding segment so a tail loss raises a SACK reply instead of
+  // sitting out the RTO. Re-armed by forward ACK progress.
+  bool tlp_probe_sent_ = false;
+
+  // ---- negotiated options --------------------------------------------------
+  bool sack_enabled_ = false;      // both sides sent SACK-permitted
+  bool sack_offered_ = false;      // we sent SACK-permitted on our SYN
+  int snd_wscale_ = 0;             // shift applied to the peer's window field
+  int rcv_wscale_ = 0;             // shift the peer applies to ours
+  // The shift we offered on our SYN (-1 = none). rcv_wscale_ stays 0 until
+  // the peer echoes the option — the SYN's own window must go out unscaled.
+  std::int8_t rcv_wscale_offer_ = -1;
+  std::uint32_t peer_mss_ = kMss;
+  std::size_t send_cap_ = kSendBufCap;
+  std::size_t recv_cap_ = kRecvBufCap;
+
   std::uint32_t rcv_nxt_ = 0;
   std::deque<std::uint8_t> recv_buf_;
+  // Out-of-order reassembly: disjoint, sorted ranges above rcv_nxt_ waiting
+  // for the hole to fill. Bounded (kMaxOooRanges, and counted against
+  // RecvSpace() via ooo_buffered_) so a hostile sender cannot balloon the
+  // heap. Doubles as the source of the SACK blocks our ACKs advertise.
+  struct OooRange {
+    std::uint32_t seq = 0;
+    std::vector<std::uint8_t> data;
+  };
+  static constexpr std::size_t kMaxOooRanges = 8;
+  std::vector<OooRange> ooo_ranges_;
+  std::size_t ooo_buffered_ = 0;  // payload bytes across ooo_ranges_
+  // Sequence of the most recently received (or re-received) OOO segment: the
+  // SACK span holding it leads the next ACK's blocks, RFC 2018 style.
+  std::uint32_t last_ooo_seq_ = 0;
   bool fin_received_ = false;
   bool reset_ = false;
+
+  // ---- delayed ACK ---------------------------------------------------------
+  // ACK-owing state: set when rcv_nxt_ advances without an immediate ACK.
+  // Flushed by the 2*MSS budget (RFC 1122 "at least every second segment"),
+  // by any segment we emit that carries the current ack, or — at the latest —
+  // by the end-of-turn pass in NetStack::RunTcpTimers. delack_deadline_ folds
+  // into NextTimerDeadline so a blocked PollWait still wakes to flush.
+  bool delack_pending_ = false;
+  std::size_t delack_bytes_ = 0;          // payload bytes since the last ACK
+  std::uint64_t delack_deadline_ = 0;     // absolute cycles, valid when pending
   // Send() hit a dry TX pool: the socket could not buffer everything the app
   // offered even though send_space() remained. The pool-refill edge
   // (NetStack::OnTxPoolRefill) clears this and raises kEvtWritable so the
   // app's flush resumes on the buffer return instead of a busy retry.
   bool tx_pool_starved_ = false;
 
-  std::uint64_t last_send_cycles_ = 0;
+  // Retransmission-timer epoch: when the oldest outstanding, retransmittable
+  // thing (data, SYN, FIN) was last put on the wire — restarted by data
+  // transmission and by forward ACK progress, and NOT by pure-ACK emission.
+  // Timing the RTO off "time since any send" looks equivalent on a quiet
+  // connection, but under bidirectional traffic the ACKs a stalled endpoint
+  // keeps sending for its peer's segments would push its own retransmission
+  // deadline out forever.
+  std::uint64_t rtx_epoch_cycles_ = 0;
   std::uint32_t dup_ack_count_ = 0;
   // Poll cycles left before a TIME_WAIT connection is reaped (2MSL stand-in).
   // While > 0 the connection stays registered so a retransmitted FIN (lost
@@ -532,6 +665,13 @@ class TcpListener : public SocketEventSource {
   std::uint16_t port() const { return port_; }
   std::shared_ptr<TcpSocket> Accept();  // nullptr when queue empty
   std::size_t backlog() const { return accept_queue_.size(); }
+  // Buffer caps inherited by every socket this listener accepts (the SYN|ACK
+  // wscale offer is computed from recv_cap, so it must be set before the
+  // handshake, i.e. here rather than on the accepted socket).
+  void SetBufferCaps(std::size_t send_cap, std::size_t recv_cap) {
+    accept_send_cap_ = send_cap;
+    accept_recv_cap_ = recv_cap;
+  }
 
  private:
   friend class NetStack;
@@ -540,6 +680,8 @@ class TcpListener : public SocketEventSource {
   NetStack* stack_;
   std::uint16_t port_;
   std::deque<std::shared_ptr<TcpSocket>> accept_queue_;
+  std::size_t accept_send_cap_ = TcpSocket::kSendBufCap;
+  std::size_t accept_recv_cap_ = TcpSocket::kRecvBufCap;
 };
 
 // ---- the stack --------------------------------------------------------------------
@@ -658,8 +800,23 @@ class NetStack {
   std::size_t tcp_conn_count() const { return tcp_conns_.size(); }
   std::size_t rcu_pending() const { return rcu_.pending(); }
 
-  // Retransmission timeout, virtual time. Exposed for loss tests.
+  // Retransmission timeout, virtual time. Exposed for loss tests. The
+  // effective per-connection timeout is rto_cycles * the connection's current
+  // backoff multiplier (doubles per consecutive RTO fire, capped, reset on
+  // forward ACK progress).
   std::uint64_t rto_cycles = 720'000'000;  // 200 ms at 3.6 GHz
+  // Upper bound on the per-connection RTO backoff multiplier.
+  std::uint32_t rto_backoff_cap = 64;
+  // Delayed-ACK time bound (RFC 1122's 500ms cap analogue): an ACK owed at
+  // cycle T is guaranteed on the wire by T + delack_cycles even if the owning
+  // loop sleeps — the deadline folds into NextTimerDeadline. In a polled loop
+  // the end-of-turn flush in RunTcpTimers almost always beats it.
+  std::uint64_t delack_cycles = 72'000'000;  // 20 ms at 3.6 GHz
+  // Modern fast path (NewReno + SACK + delayed ACKs + wscale offers). Flip
+  // off to get the pre-modernization stop-and-go stack: no TCP options
+  // offered, no cwnd gate, an ACK per in-order segment — kept as the
+  // baseline the tab5 --loss bench compares against.
+  bool tcp_modern = true;
   // TIME_WAIT linger, measured in Poll() cycles (a 2MSL equivalent for the
   // run-to-completion loop). Exposed so teardown tests stay fast.
   std::uint32_t time_wait_poll_budget = 64;

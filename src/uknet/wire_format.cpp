@@ -201,22 +201,70 @@ std::optional<UdpHeader> UdpHeader::Parse(std::span<const std::uint8_t> datagram
 
 // ---- TCP ------------------------------------------------------------------------
 
+std::size_t TcpHeader::OptionBytes() const {
+  std::size_t raw = 0;
+  if (mss != 0) {
+    raw += 4;
+  }
+  if (wscale >= 0) {
+    raw += 3;
+  }
+  if (sack_permitted) {
+    raw += 2;
+  }
+  if (sack_count > 0) {
+    raw += 2 + 8 * static_cast<std::size_t>(sack_count);
+  }
+  return (raw + 3) & ~std::size_t{3};  // NOP-pad to a 4-byte multiple
+}
+
 void TcpHeader::Serialize(std::uint8_t* out, Ip4Addr src_ip, Ip4Addr dst_ip,
                           std::span<const std::uint8_t> payload) const {
+  const std::size_t hdr_bytes = HeaderBytes();
   PutU16(out, src_port);
   PutU16(out + 2, dst_port);
   PutU32(out + 4, seq);
   PutU32(out + 8, ack);
-  out[12] = 5 << 4;  // data offset 5 words, no options
+  out[12] = static_cast<std::uint8_t>((hdr_bytes / 4) << 4);  // data offset
   out[13] = flags;
   PutU16(out + 14, window);
   PutU16(out + 16, 0);  // checksum placeholder
   PutU16(out + 18, 0);  // urgent
+  std::uint8_t* opt = out + kTcpHdrBytes;
+  if (mss != 0) {
+    opt[0] = 2;
+    opt[1] = 4;
+    PutU16(opt + 2, mss);
+    opt += 4;
+  }
+  if (wscale >= 0) {
+    opt[0] = 3;
+    opt[1] = 3;
+    opt[2] = static_cast<std::uint8_t>(wscale);
+    opt += 3;
+  }
+  if (sack_permitted) {
+    opt[0] = 4;
+    opt[1] = 2;
+    opt += 2;
+  }
+  if (sack_count > 0) {
+    opt[0] = 5;
+    opt[1] = static_cast<std::uint8_t>(2 + 8 * sack_count);
+    for (std::uint8_t i = 0; i < sack_count; ++i) {
+      PutU32(opt + 2 + 8 * i, sacks[i].start);
+      PutU32(opt + 6 + 8 * i, sacks[i].end);
+    }
+    opt += 2 + 8 * sack_count;
+  }
+  while (opt < out + hdr_bytes) {
+    *opt++ = 1;  // NOP padding
+  }
   std::uint32_t init = PseudoHeaderSum(
       src_ip, dst_ip, kIpProtoTcp,
-      static_cast<std::uint16_t>(kTcpHdrBytes + payload.size()));
+      static_cast<std::uint16_t>(hdr_bytes + payload.size()));
   std::uint32_t sum = init;
-  for (std::size_t i = 0; i < kTcpHdrBytes; i += 2) {
+  for (std::size_t i = 0; i < hdr_bytes; i += 2) {
     sum += static_cast<std::uint32_t>((out[i] << 8) | out[i + 1]);
   }
   std::uint16_t csum = InternetChecksum(payload, sum);
@@ -248,6 +296,59 @@ std::optional<TcpHeader> TcpHeader::Parse(std::span<const std::uint8_t> segment,
   h.ack = GetU32(segment.data() + 8);
   h.flags = segment[13];
   h.window = GetU16(segment.data() + 14);
+  // Walk the option area: END stops, NOP is 1 byte, everything else is TLV.
+  // Unknown kinds are skipped; a zero/truncated length aborts the walk (the
+  // header stays usable — options parsed so far are kept).
+  std::size_t i = kTcpHdrBytes;
+  while (i < off) {
+    std::uint8_t kind = segment[i];
+    if (kind == 0) {
+      break;
+    }
+    if (kind == 1) {
+      ++i;
+      continue;
+    }
+    if (i + 1 >= off) {
+      break;
+    }
+    std::size_t len = segment[i + 1];
+    if (len < 2 || i + len > off) {
+      break;
+    }
+    switch (kind) {
+      case 2:
+        if (len == 4) {
+          h.mss = GetU16(segment.data() + i + 2);
+        }
+        break;
+      case 3:
+        if (len == 3) {
+          // RFC 7323 caps the shift at 14; clamp rather than reject.
+          h.wscale = static_cast<std::int8_t>(
+              segment[i + 2] > 14 ? 14 : segment[i + 2]);
+        }
+        break;
+      case 4:
+        if (len == 2) {
+          h.sack_permitted = true;
+        }
+        break;
+      case 5:
+        if (len >= 10 && (len - 2) % 8 == 0) {
+          std::size_t n = (len - 2) / 8;
+          for (std::size_t b = 0; b < n && h.sack_count < h.sacks.size(); ++b) {
+            h.sacks[h.sack_count].start = GetU32(segment.data() + i + 2 + 8 * b);
+            h.sacks[h.sack_count].end = GetU32(segment.data() + i + 6 + 8 * b);
+            ++h.sack_count;
+          }
+        }
+        break;
+      default:
+        break;
+    }
+    i += len;
+  }
   *header_len = off;
   return h;
 }

@@ -5,6 +5,7 @@
 #ifndef UKNET_WIRE_FORMAT_H_
 #define UKNET_WIRE_FORMAT_H_
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -98,6 +99,13 @@ inline constexpr std::uint8_t kTcpRst = 0x04;
 inline constexpr std::uint8_t kTcpPsh = 0x08;
 inline constexpr std::uint8_t kTcpAck = 0x10;
 
+// One SACK block: [start, end) in sequence space, RFC 2018 semantics (left
+// edge received, right edge is first byte NOT covered).
+struct TcpSackBlock {
+  std::uint32_t start = 0;
+  std::uint32_t end = 0;
+};
+
 struct TcpHeader {
   std::uint16_t src_port = 0;
   std::uint16_t dst_port = 0;
@@ -105,6 +113,22 @@ struct TcpHeader {
   std::uint32_t ack = 0;
   std::uint8_t flags = 0;
   std::uint16_t window = 0;
+
+  // TCP options. kTcpHdrBytes stays the 20-byte base header; segments that
+  // carry options have HeaderBytes() > kTcpHdrBytes and a data offset > 5.
+  // Serialize emits exactly the options set here (MSS/wscale/SACK-permitted
+  // only make sense on SYNs; SACK blocks only on established-state ACKs) and
+  // Parse fills them back in, skipping unknown kinds.
+  std::uint16_t mss = 0;         // kind 2; 0 = absent
+  std::int8_t wscale = -1;       // kind 3; -1 = absent, else shift count
+  bool sack_permitted = false;   // kind 4
+  std::uint8_t sack_count = 0;   // number of valid entries in |sacks|
+  std::array<TcpSackBlock, 4> sacks{};  // kind 5
+
+  // Option area size in bytes, NOP-padded to a 4-byte multiple.
+  std::size_t OptionBytes() const;
+  // Total header size: base 20 bytes + options.
+  std::size_t HeaderBytes() const { return kTcpHdrBytes + OptionBytes(); }
 
   void Serialize(std::uint8_t* out, Ip4Addr src_ip, Ip4Addr dst_ip,
                  std::span<const std::uint8_t> payload) const;

@@ -197,8 +197,16 @@ struct RawPeer {
   Ip4Addr host_ip = 0;
 
   struct Seg {
-    uknet::TcpHeader hdr;
+    uknet::TcpHeader hdr;  // options parsed into the header fields
     std::vector<std::uint8_t> payload;
+    std::vector<std::uint8_t> raw_header;  // base header + raw option bytes
+
+    // Option-area introspection: the raw bytes after the 20-byte base
+    // header, exactly as they crossed the wire (byte-exact SYN asserts).
+    std::span<const std::uint8_t> OptionBytes() const {
+      return std::span(raw_header).subspan(uknet::kTcpHdrBytes);
+    }
+    bool HasOptions() const { return raw_header.size() > uknet::kTcpHdrBytes; }
   };
   std::vector<Seg> segs;   // every TCP segment seen, in arrival order
   std::uint64_t rsts = 0;  // RSTs among them
@@ -245,16 +253,21 @@ struct RawPeer {
       if ((tcp->flags & kTcpRst) != 0) {
         ++rsts;
       }
-      segs.push_back(Seg{*tcp, {seg.begin() + static_cast<std::ptrdiff_t>(hlen),
-                                seg.end()}});
+      segs.push_back(Seg{*tcp,
+                         {seg.begin() + static_cast<std::ptrdiff_t>(hlen),
+                          seg.end()},
+                         {seg.begin(),
+                          seg.begin() + static_cast<std::ptrdiff_t>(hlen)}});
     }
   }
 
-  void SendTcp(std::uint16_t src_port, std::uint16_t dst_port, std::uint8_t flags,
-               std::uint32_t seq, std::uint32_t ack, std::uint16_t window,
-               std::span<const std::uint8_t> payload = {}) {
+  // Core injector: builds the frame around a fully-specified TcpHeader, so
+  // callers control every option byte (the frame is sized to HeaderBytes()).
+  void SendTcpHeader(const uknet::TcpHeader& tcp,
+                     std::span<const std::uint8_t> payload = {}) {
     using namespace uknet;
-    std::vector<std::uint8_t> frame(kEthHdrBytes + kIp4HdrBytes + kTcpHdrBytes +
+    const std::size_t tcp_bytes = tcp.HeaderBytes();
+    std::vector<std::uint8_t> frame(kEthHdrBytes + kIp4HdrBytes + tcp_bytes +
                                     payload.size());
     EthHeader eth{host_mac, mac, kEthTypeIp4};
     eth.Serialize(frame.data());
@@ -264,20 +277,69 @@ struct RawPeer {
     iph.src = ip;
     iph.dst = host_ip;
     iph.Serialize(frame.data() + kEthHdrBytes);
-    std::uint8_t* body = frame.data() + kEthHdrBytes + kIp4HdrBytes + kTcpHdrBytes;
+    std::uint8_t* body = frame.data() + kEthHdrBytes + kIp4HdrBytes + tcp_bytes;
     if (!payload.empty()) {
       std::memcpy(body, payload.data(), payload.size());
     }
-    TcpHeader tcp;
+    tcp.Serialize(frame.data() + kEthHdrBytes + kIp4HdrBytes, ip, host_ip,
+                  std::span<const std::uint8_t>(body, payload.size()));
+    wire->Send(1, std::move(frame));
+  }
+
+  void SendTcp(std::uint16_t src_port, std::uint16_t dst_port, std::uint8_t flags,
+               std::uint32_t seq, std::uint32_t ack, std::uint16_t window,
+               std::span<const std::uint8_t> payload = {}) {
+    uknet::TcpHeader tcp;
     tcp.src_port = src_port;
     tcp.dst_port = dst_port;
     tcp.seq = seq;
     tcp.ack = ack;
     tcp.flags = flags;
     tcp.window = window;
-    tcp.Serialize(frame.data() + kEthHdrBytes + kIp4HdrBytes, ip, host_ip,
-                  std::span<const std::uint8_t>(body, payload.size()));
-    wire->Send(1, std::move(frame));
+    SendTcpHeader(tcp, payload);
+  }
+
+  // Injects a segment carrying handshake options (0 mss / -1 wscale / false
+  // sack_permitted = omit that option). Tests drive SYN negotiation with
+  // exact option bytes through this.
+  void SendTcpWithOptions(std::uint16_t src_port, std::uint16_t dst_port,
+                          std::uint8_t flags, std::uint32_t seq,
+                          std::uint32_t ack, std::uint16_t window,
+                          std::uint16_t mss, std::int8_t wscale,
+                          bool sack_permitted,
+                          std::span<const std::uint8_t> payload = {}) {
+    uknet::TcpHeader tcp;
+    tcp.src_port = src_port;
+    tcp.dst_port = dst_port;
+    tcp.seq = seq;
+    tcp.ack = ack;
+    tcp.flags = flags;
+    tcp.window = window;
+    tcp.mss = mss;
+    tcp.wscale = wscale;
+    tcp.sack_permitted = sack_permitted;
+    SendTcpHeader(tcp, payload);
+  }
+
+  // Injects an ACK carrying SACK blocks (the scripted receiver side of the
+  // sender-scoreboard tests).
+  void SendTcpSack(std::uint16_t src_port, std::uint16_t dst_port,
+                   std::uint32_t seq, std::uint32_t ack, std::uint16_t window,
+                   std::span<const uknet::TcpSackBlock> blocks) {
+    uknet::TcpHeader tcp;
+    tcp.src_port = src_port;
+    tcp.dst_port = dst_port;
+    tcp.seq = seq;
+    tcp.ack = ack;
+    tcp.flags = uknet::kTcpAck;
+    tcp.window = window;
+    for (const uknet::TcpSackBlock& b : blocks) {
+      if (tcp.sack_count >= tcp.sacks.size()) {
+        break;
+      }
+      tcp.sacks[tcp.sack_count++] = b;
+    }
+    SendTcpHeader(tcp);
   }
 };
 
