@@ -12,6 +12,9 @@
 # SMP legs: the plain suite reruns at UKRAFT_QUEUES=4 plus the RSS-scaling
 # throughput gate, and a ThreadSanitizer flavor covers the sharded suites
 # (SPSC rings, doorbells, per-queue loops).
+# Fleet legs: ctest is split into tier1 (fast, everything) and tier2 (the
+# multi-instance fleet scenarios); the fleet-scaling bench gates >=3x churn
+# at 4 backends plus cold-start-under-load, and reruns under ASan+UBSan.
 # Markdown hygiene: every relative link in every *.md must resolve.
 # Usage: ./ci.sh [build-dir]   (default: build-ci; sanitizer legs append
 # -asan / -tsan)
@@ -51,7 +54,11 @@ echo "ci: markdown links OK"
 
 cmake -B "$BUILD_DIR" -S . -DUKRAFT_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$JOBS"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+# Fast feedback first: tier1 (everything but the fleet scenarios) fails the
+# push within seconds, then tier2 runs the heavyweight multi-instance
+# scenarios — balancer steering, kill/respawn cold-start, churn at scale.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -L tier1
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -L tier2
 
 # SMP scale-out leg: the same suite at full RSS width (every TestBed-based
 # test runs 4 queues / 4 shards), then the cores-vs-throughput gate — the
@@ -60,6 +67,12 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 # BENCH_rss_scaling.json next to the build dir.
 UKRAFT_QUEUES=4 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 (cd "$BUILD_DIR" && ./bench_fig_rss_scaling)
+
+# Fleet scaling gate: churn through the L4 balancer must reach >=3x the
+# 1-backend rate at 4 backends with zero aborted connections, and the
+# cold-start leg must see a killed backend's replacement serve its first
+# reply while the survivors never stop (emits BENCH_fleet_scaling.json).
+(cd "$BUILD_DIR" && ./bench_fleet_scaling)
 
 cmake -B "$ASAN_BUILD_DIR" -S . -DUKRAFT_WERROR=ON -DUKRAFT_SANITIZE=ON
 cmake --build "$ASAN_BUILD_DIR" -j "$JOBS"
@@ -80,6 +93,15 @@ UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=0" UKRAFT_QUEUES=2 \
   "$ASAN_BUILD_DIR"/bench_tab5_tcp_echo --eventloop
 UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=0" UKRAFT_QUEUES=2 \
   "$ASAN_BUILD_DIR"/bench_tab4_kvstore --eventloop
+
+# Fleet leg under ASan+UBSan: the full multi-instance lifecycle — Instance
+# boot/shutdown/reboot, wire port reset, balancer flow teardown on MarkDown,
+# per-connection splice state — is exactly where lifetime bugs would hide.
+# The scenario suite and the scaling/cold-start gate both run sanitized.
+UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=0" \
+  ctest --test-dir "$ASAN_BUILD_DIR" --output-on-failure -L tier2
+(cd "$ASAN_BUILD_DIR" && UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=0" \
+  ./bench_fleet_scaling)
 
 # TCP loss-recovery leg: a 1 MB echo at 1% deterministic frame loss, modern
 # (NewReno + SACK + delayed ACKs + window scaling) vs legacy stop-and-wait.
@@ -112,15 +134,18 @@ UKRAFT_QUEUES=4 "$TSAN_BUILD_DIR"/uknet_tcp_loss_test
 # the strongest check in the file: TSan sees the per-loop counters, the RCU
 # registry grace periods, the SPSC rings and the doorbell protocol as genuine
 # cross-thread traffic and validates every ordering claim the comments make.
-cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" --target uksched_test
+cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" --target uksched_test fleet_test
 UKRAFT_THREADS=real "$TSAN_BUILD_DIR"/uksched_test
 UKRAFT_THREADS=real UKRAFT_QUEUES=4 "$TSAN_BUILD_DIR"/smp_shard_test
 UKRAFT_THREADS=real UKRAFT_QUEUES=4 "$TSAN_BUILD_DIR"/uknet_multiqueue_test
 UKRAFT_THREADS=real UKRAFT_QUEUES=4 "$TSAN_BUILD_DIR"/uknet_wait_test
+# The fleet scenarios reboot Instances whose boot path spins up a scheduler;
+# with real threads that is genuine cross-thread lifecycle traffic.
+UKRAFT_THREADS=real "$TSAN_BUILD_DIR"/fleet_test
 
 # Real-thread scaling gate: the same >=1.7x/>=3x speedups and zero TX-pool
 # churn with every per-queue pump loop hosted on a real pinned thread
 # (emits BENCH_rss_scaling_threads.json next to the fiber-mode trendline).
 (cd "$BUILD_DIR" && UKRAFT_THREADS=real ./bench_fig_rss_scaling --threads)
 
-echo "ci: OK (src/ built with -Wall -Wextra -Werror; markdown links checked; tests passed plain, at UKRAFT_QUEUES=4 with the RSS-scaling gate, and under ASan+UBSan with UKRAFT_QUEUES=2, incl. the blocking --wait, --eventloop and TCP --loss legs; TSan covered the sharded suites plus the loss-pattern suite in fiber AND real-thread mode, and the scaling gate held on real threads)"
+echo "ci: OK (src/ built with -Wall -Wextra -Werror; markdown links checked; tests passed tier1+tier2 plain, at UKRAFT_QUEUES=4 with the RSS-scaling and fleet-scaling gates, and under ASan+UBSan with UKRAFT_QUEUES=2, incl. the blocking --wait, --eventloop, TCP --loss and fleet legs; TSan covered the sharded suites plus the loss-pattern and fleet suites in fiber AND real-thread mode, and the scaling gate held on real threads)"

@@ -437,6 +437,13 @@ std::size_t KvServer::HandleInto(std::uint16_t queue,
   if (cap < 1) {
     return 0;
   }
+  // Health probe: the balancer's liveness check. Answered like any request
+  // but callers tally it under probe_requests, not requests, so load stats
+  // see only real client traffic.
+  if (!payload.empty() && payload[0] == 'P') {
+    out[0] = 'P';
+    return 1;
+  }
   if (payload.size() < 2) {
     out[0] = 'E';
     return 1;
@@ -633,10 +640,12 @@ std::size_t KvServer::PumpSocketSingle() {
     if (n < 0) {
       break;
     }
+    const bool probe = n > 0 && buf[0] == 'P';
     std::size_t len = HandleInto(0, std::span(buf, static_cast<std::size_t>(n)),
                                  reply, sizeof(reply), nullptr, nullptr);
     api_->SendTo(fd_, src_ip, src_port, std::span(reply, len));
-    loops_[0].requests.fetch_add(1, std::memory_order_relaxed);
+    (probe ? loops_[0].probe_requests : loops_[0].requests)
+        .fetch_add(1, std::memory_order_relaxed);
     ++handled;
   }
   return handled;
@@ -656,15 +665,18 @@ std::size_t KvServer::PumpSocketBatch() {
   // One reply batch back (all to the same client in this workload). Replies
   // are written in place over the request buffers — no reply allocations.
   posix::MmsgVec vecs[kBatch];
+  std::uint64_t probes = 0;
   for (std::int64_t i = 0; i < got; ++i) {
+    probes += msgs[i].len > 0 && msgs[i].data[0] == 'P' ? 1 : 0;
     std::size_t len = HandleInto(0, std::span(msgs[i].data, msgs[i].len),
                                  msgs[i].data, msgs[i].cap, nullptr, nullptr);
     vecs[i] = posix::MmsgVec{msgs[i].data, len};
   }
   api_->SendMmsg(fd_, msgs[0].src_ip, msgs[0].src_port,
                  std::span(vecs, static_cast<std::size_t>(got)));
-  loops_[0].requests.fetch_add(static_cast<std::uint64_t>(got),
+  loops_[0].requests.fetch_add(static_cast<std::uint64_t>(got) - probes,
                                std::memory_order_relaxed);
+  loops_[0].probe_requests.fetch_add(probes, std::memory_order_relaxed);
   return static_cast<std::size_t>(got);
 }
 
@@ -701,6 +713,8 @@ std::size_t KvServer::PumpNetdev(std::uint16_t queue) {
           // shard, the RX buffer goes back to its pool before the reply exists.
           const ReplyTo rt{eth.src, ip->src, udp->src_port};
           bool deferred = false;
+          // Opcode snapshot: the in-place reply below overwrites the request.
+          const bool probe = !request.empty() && request[0] == 'P';
           if (dpdk_style) {
             // DPDK-framework path: per-packet mbuf churn through the TX pool
             // plus the copy into the fresh mbuf — the framework overhead that
@@ -733,8 +747,9 @@ std::size_t KvServer::PumpNetdev(std::uint16_t queue) {
                                std::span(odata + kHdrs, reply_len));
                 out->len = static_cast<std::uint32_t>(total);
                 replies[nreplies++] = out;
-                loops_[LoopSlotFor(queue)].requests.fetch_add(
-                    1, std::memory_order_relaxed);
+                (probe ? loops_[LoopSlotFor(queue)].probe_requests
+                       : loops_[LoopSlotFor(queue)].requests)
+                    .fetch_add(1, std::memory_order_relaxed);
                 replied = true;
               } else {
                 tx_pools_[queue]->Free(out);
@@ -768,8 +783,9 @@ std::size_t KvServer::PumpNetdev(std::uint16_t queue) {
                              std::span(payload_at, reply_len));
               nb->len = static_cast<std::uint32_t>(total);
               replies[nreplies++] = nb;  // ownership rides to TxBurst
-              loops_[LoopSlotFor(queue)].requests.fetch_add(
-                  1, std::memory_order_relaxed);
+              (probe ? loops_[LoopSlotFor(queue)].probe_requests
+                     : loops_[LoopSlotFor(queue)].requests)
+                  .fetch_add(1, std::memory_order_relaxed);
               replied = true;
               continue;  // do not free: the RX buffer is the TX buffer now
             }
@@ -844,6 +860,7 @@ KvServer::Stats KvServer::stats(std::uint16_t queue) const {
   const LoopCounters& lc = loops_[LoopSlotFor(queue)];
   return Stats{
       .requests = lc.requests.load(std::memory_order_relaxed),
+      .probe_requests = lc.probe_requests.load(std::memory_order_relaxed),
       .ring_messages = lc.ring_messages.load(std::memory_order_relaxed),
       .cross_shard_ops = lc.cross_shard_ops.load(std::memory_order_relaxed),
       .waits =
@@ -861,6 +878,7 @@ KvServer::Stats KvServer::stats() const {
   for (std::uint16_t q = 0; q < kMaxLoopSlots; ++q) {
     const Stats one = stats(q);
     sum.requests += one.requests;
+    sum.probe_requests += one.probe_requests;
     sum.ring_messages += one.ring_messages;
     sum.cross_shard_ops += one.cross_shard_ops;
     sum.waits.empty_pumps += one.waits.empty_pumps;

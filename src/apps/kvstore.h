@@ -94,7 +94,8 @@ class KvServer {
   // the per-loop slots in one call. stats() sums across loops; stats(queue)
   // is one loop's slice.
   struct Stats {
-    std::uint64_t requests = 0;
+    std::uint64_t requests = 0;        // real client traffic only
+    std::uint64_t probe_requests = 0;  // balancer health probes ('P' opcode)
     std::uint64_t ring_messages = 0;
     std::uint64_t cross_shard_ops = 0;
     WaitStats waits;
@@ -253,6 +254,7 @@ class KvServer {
   }
   struct alignas(64) LoopCounters {
     std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> probe_requests{0};
     std::atomic<std::uint64_t> ring_messages{0};
     std::atomic<std::uint64_t> cross_shard_ops{0};
     std::atomic<std::uint64_t> empty_pumps{0};

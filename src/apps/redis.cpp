@@ -90,7 +90,10 @@ StreamServer::Handler RedisServer::MakeHandler() {
     parser->Feed(data);
     while (const auto* argv = parser->NextView()) {
       ExecuteInto(*argv, c.out);
-      ++commands_;
+      // Balancer health probes (StreamServer::kProbePreamble connections)
+      // answer like any client but are tallied separately so scenario
+      // assertions on commands_processed() see only real traffic.
+      ++(c.probe ? probe_commands_ : commands_);
     }
   };
   return h;

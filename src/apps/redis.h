@@ -81,6 +81,9 @@ class RedisServer {
   std::size_t PumpWait(std::uint64_t timeout_cycles = EventLoop::kNoTimeout);
 
   std::uint64_t commands_processed() const { return commands_; }
+  // Commands arriving on probe-marked connections (balancer health checks):
+  // kept out of commands_processed() so load assertions can exclude them.
+  std::uint64_t probe_commands() const { return probe_commands_; }
   std::size_t connections() const { return server_.connections(); }
   ValueStore& store() { return store_; }
   EventLoop& loop() { return *active_loop_; }
@@ -102,6 +105,7 @@ class RedisServer {
   StreamServer server_;
   ValueStore store_;
   std::uint64_t commands_ = 0;
+  std::uint64_t probe_commands_ = 0;
 };
 
 // redis-benchmark work-alike: N connections, pipelined GET/SET mix.

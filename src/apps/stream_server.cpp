@@ -92,6 +92,38 @@ void StreamServer::FlushOut(int fd, Conn& conn) {
   }
 }
 
+bool StreamServer::Submit(int fd, std::string_view data) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) {
+    return false;
+  }
+  Conn& conn = it->second;
+  conn.out.append(data);
+  FlushOut(fd, conn);
+  if ((conn.peer_eof || conn.want_close) && conn.out.empty()) {
+    CloseConn(fd);
+  }
+  return true;
+}
+
+void StreamServer::CloseAfterFlush(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) {
+    return;
+  }
+  it->second.want_close = true;
+  FlushOut(fd, it->second);
+  if (it->second.out.empty()) {
+    CloseConn(fd);
+  }
+}
+
+void StreamServer::Close(int fd) {
+  if (conns_.count(fd) != 0) {
+    CloseConn(fd);
+  }
+}
+
 void StreamServer::OnConnEvent(int fd, uknet::EventMask events) {
   auto it = conns_.find(fd);
   if (it == conns_.end()) {
@@ -106,9 +138,18 @@ void StreamServer::OnConnEvent(int fd, uknet::EventMask events) {
   for (;;) {
     std::int64_t n = api_->Recv(fd, buf);
     if (n > 0) {
-      if (handler_.on_data) {
-        handler_.on_data(conn, std::string_view(reinterpret_cast<char*>(buf),
-                                                static_cast<std::size_t>(n)));
+      std::string_view data(reinterpret_cast<char*>(buf),
+                            static_cast<std::size_t>(n));
+      if (!conn.preamble_checked) {
+        conn.preamble_checked = true;
+        if (data.substr(0, kProbePreamble.size()) == kProbePreamble) {
+          conn.probe = true;
+          ++probe_conns_;
+          data.remove_prefix(kProbePreamble.size());
+        }
+      }
+      if (!data.empty() && handler_.on_data) {
+        handler_.on_data(conn, data);
       }
       continue;
     }

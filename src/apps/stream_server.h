@@ -42,6 +42,11 @@ class StreamServer {
     std::string out;
     bool peer_eof = false;
     bool want_close = false;
+    // Scaffold-owned: set when the connection announced itself as balancer
+    // health-probe traffic (kProbePreamble as its first bytes). Protocol
+    // handlers consult it to keep probes out of their request stats.
+    bool probe = false;
+    bool preamble_checked = false;
     uknet::EventMask interest = uknet::kEvtReadable;
   };
 
@@ -78,8 +83,35 @@ class StreamServer {
   // (the fd is closed — an unregistered conn would leak).
   bool Adopt(int fd);
 
+  // Health-probe announcement: a connection whose first received bytes are
+  // exactly this preamble is marked Conn::probe and counted in probe_conns()
+  // instead of polluting protocol stats; the bytes after the preamble flow to
+  // the handler as normal. The balancer sends preamble+request in one write,
+  // so the scaffold only tests the first chunk of a connection.
+  static constexpr std::string_view kProbePreamble = "\x01PROBE\x01";
+
+  // Appends bytes to |fd|'s pending output and flushes with interest
+  // tracking — for proxy-style apps that produce data for a connection from
+  // outside its own on_data dispatch (an upstream replied). Returns false if
+  // the fd is not a connection of this server.
+  bool Submit(int fd, std::string_view data);
+
+  // Closes |fd| once its pending output drains (immediately if none).
+  void CloseAfterFlush(int fd);
+
+  // Immediate teardown: runs on_close, deregisters and closes the fd now,
+  // discarding any unflushed output (dead-upstream path).
+  void Close(int fd);
+
+  // The connection state for |fd|, or nullptr. Valid until the next close.
+  Conn* Find(int fd) {
+    auto it = conns_.find(fd);
+    return it == conns_.end() ? nullptr : &it->second;
+  }
+
   std::size_t connections() const { return conns_.size(); }
   std::uint64_t accepted() const { return accepted_; }
+  std::uint64_t probe_conns() const { return probe_conns_; }
   int listen_fd() const { return listen_fd_; }
   EventLoop* loop() { return loop_; }
 
@@ -97,6 +129,7 @@ class StreamServer {
   int listen_fd_ = -1;
   std::map<int, Conn> conns_;
   std::uint64_t accepted_ = 0;
+  std::uint64_t probe_conns_ = 0;
 };
 
 }  // namespace apps

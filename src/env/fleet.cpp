@@ -1,0 +1,298 @@
+#include "env/fleet.h"
+
+#include <cstdlib>
+
+namespace env {
+
+namespace {
+
+uknetdev::MacAddr MacForPort(int port) {
+  return uknetdev::MacAddr{
+      {2, 0, 0, 0, 0, static_cast<std::uint8_t>(port + 1)}};
+}
+
+}  // namespace
+
+// ---- BackendHost ------------------------------------------------------------
+
+FleetTestBed::BackendHost::BackendHost(FleetTestBed* owner, int idx)
+    : fleet(owner),
+      index(idx),
+      wire_port(2 + idx),
+      ip(BackendIp(idx)) {
+  ukboot::InstanceConfig icfg;
+  icfg.name = "b" + std::to_string(idx);
+  icfg.memory_bytes = owner->config_.backend_memory_bytes;
+  icfg.nics = 1;
+  instance = std::make_unique<ukboot::Instance>(icfg);
+
+  // The inittab below is registered once and replayed by every Boot() —
+  // including reboots after Shutdown() — so cold-start under load runs the
+  // same stages as first boot and reports fresh timings for each.
+  instance->RegisterInit(
+      ukboot::InitStage::kBus, "virtio-net", [this](ukboot::Instance& inst) {
+        uknetdev::VirtioNet::Config cfg;
+        cfg.backend = uknetdev::VirtioBackend::kVhostUser;
+        cfg.wire_side = wire_port;
+        cfg.mac = MacForPort(wire_port);
+        cfg.queue_size = 256;
+        nic = std::make_unique<uknetdev::VirtioNet>(
+            &inst.mem(), &fleet->clock_, fleet->wire_.get(), cfg);
+        return ukarch::Status::kOk;
+      });
+  instance->RegisterInit(
+      ukboot::InitStage::kSys, "netstack", [this](ukboot::Instance& inst) {
+        stack = std::make_unique<uknet::NetStack>(&inst.mem(), &fleet->clock_,
+                                                  inst.heap());
+        uknet::NetIf::Config ifcfg;
+        ifcfg.ip = ip;
+        ifcfg.queues = 1;
+        netif = stack->AddInterface(nic.get(), ifcfg);
+        return netif != nullptr ? ukarch::Status::kOk : ukarch::Status::kNoMem;
+      });
+  instance->RegisterInit(
+      ukboot::InitStage::kLate, "redis", [this](ukboot::Instance& inst) {
+        api = std::make_unique<posix::PosixApi>(&fleet->clock_, &vfs,
+                                                stack.get(),
+                                                posix::DispatchMode::kDirectCall);
+        server = std::make_unique<apps::RedisServer>(
+            api.get(), inst.heap(), fleet->config_.backend_port);
+        if (!server->Start()) {
+          return ukarch::Status::kNoMem;
+        }
+        // Serving identity: clients GET "id" to learn which incarnation of
+        // which backend answered them.
+        return server->store().Set("id", id()) ? ukarch::Status::kOk
+                                               : ukarch::Status::kNoMem;
+      });
+}
+
+std::string FleetTestBed::BackendHost::id() const {
+  std::string s = "b" + std::to_string(index);
+  if (incarnation > 1) {
+    s += "-r" + std::to_string(incarnation - 1);
+  }
+  return s;
+}
+
+// ---- FleetTestBed -----------------------------------------------------------
+
+FleetTestBed::FleetTestBed(Config config) : config_(config) {
+  ukplat::Wire::Config wcfg;
+  wcfg.queue_depth = 4096;  // the switch carries the whole fleet's traffic
+  wire_ = std::make_unique<ukplat::Wire>(&clock_, wcfg);
+
+  client_ = std::make_unique<SimHost>(&clock_, wire_.get(), 0, kClientIp,
+                                      ukalloc::Backend::kTlsf,
+                                      uknetdev::VirtioBackend::kVhostUser,
+                                      64ull << 20, 1);
+  balancer_host_ = std::make_unique<SimHost>(&clock_, wire_.get(), 1,
+                                             kBalancerIp,
+                                             ukalloc::Backend::kTlsf,
+                                             uknetdev::VirtioBackend::kVhostUser,
+                                             64ull << 20, 1);
+  balancer_api_ = std::make_unique<posix::PosixApi>(
+      &clock_, &balancer_vfs_, balancer_host_->stack.get(),
+      posix::DispatchMode::kDirectCall);
+
+  apps::L4Balancer::Config bcfg;
+  bcfg.vip_port = config_.vip_port;
+  bcfg.probe_interval_cycles = config_.probe_interval_cycles;
+  bcfg.probe_timeout_cycles = config_.probe_timeout_cycles;
+  balancer_ = std::make_unique<apps::L4Balancer>(balancer_api_.get(), &clock_,
+                                                 bcfg);
+
+  client_->netif->AddArpEntry(kBalancerIp, MacForPort(1));
+  balancer_host_->netif->AddArpEntry(kClientIp, MacForPort(0));
+
+  for (int i = 0; i < config_.backends; ++i) {
+    backends_.push_back(std::make_unique<BackendHost>(this, i));
+    balancer_->AddBackend({BackendIp(i), config_.backend_port});
+    BootBackend(i);
+  }
+  balancer_->Start();
+}
+
+FleetTestBed::~FleetTestBed() {
+  for (auto& b : backends_) {
+    if (b->alive) {
+      KillBackend(b->index);
+    }
+  }
+}
+
+ukboot::BootReport FleetTestBed::BootBackend(int i) {
+  BackendHost& b = *backends_[i];
+  // Bump before Boot(): the inittab's kLate stage seeds the store with id(),
+  // which must already name the new incarnation ("b<i>-r<n>").
+  ++b.incarnation;
+  b.report = b.instance->Boot();
+  if (!b.report.ok) {
+    --b.incarnation;
+    return b.report;
+  }
+  b.alive = true;
+  // ARP warm-up: the balancer already knows this port's MAC (it is derived
+  // from the port and survives respawns), but a fresh stack knows nobody.
+  b.netif->AddArpEntry(kBalancerIp, MacForPort(1));
+  balancer_host_->netif->AddArpEntry(b.ip, MacForPort(b.wire_port));
+  return b.report;
+}
+
+void FleetTestBed::KillBackend(int i) {
+  BackendHost& b = *backends_[i];
+  if (!b.alive) {
+    return;
+  }
+  // Reverse bring-up order; everything below lives on the instance heap or
+  // guest RAM, so it must be gone before Shutdown() wipes both.
+  b.server.reset();
+  b.api.reset();
+  b.netif = nullptr;
+  b.stack.reset();
+  b.nic.reset();
+  wire_->ResetPort(b.wire_port);
+  b.instance->Shutdown();
+  b.alive = false;
+}
+
+void FleetTestBed::PumpAll() {
+  // Every turn costs CPU time even when no frame moves; without this the
+  // virtual clock freezes the moment traffic stalls and the balancer's probe
+  // interval/timeout (both cycle deadlines) could never expire — exactly the
+  // window where a dead backend must be detected. ~5.6us per turn keeps
+  // probe rounds hundreds of turns apart while staying far below rto_cycles.
+  clock_.Charge(kTurnCycles);
+  client_->stack->Poll();
+  balancer_host_->stack->Poll();
+  balancer_->PumpOnce();
+  for (auto& b : backends_) {
+    if (!b->alive) {
+      continue;
+    }
+    b->stack->Poll();
+    b->server->PumpOnce();
+  }
+}
+
+bool FleetTestBed::PumpUntil(const std::function<bool()>& done, int max_turns) {
+  for (int i = 0; i < max_turns; ++i) {
+    if (done()) {
+      return true;
+    }
+    PumpAll();
+  }
+  return done();
+}
+
+// ---- FleetChurnClient -------------------------------------------------------
+
+namespace {
+
+constexpr std::string_view kGetIdRequest = "*2\r\n$3\r\nGET\r\n$2\r\nid\r\n";
+
+// Parses a complete RESP bulk-string reply out of |rx|. Returns true and
+// fills |value| when one is fully buffered.
+bool ParseBulk(const std::string& rx, std::string* value) {
+  if (rx.size() < 4 || rx[0] != '$') {
+    return false;
+  }
+  const std::size_t eol = rx.find("\r\n");
+  if (eol == std::string::npos) {
+    return false;
+  }
+  const long len = std::strtol(rx.c_str() + 1, nullptr, 10);
+  if (len < 0) {
+    *value = "";  // $-1: null bulk (unseeded backend)
+    return true;
+  }
+  const std::size_t need = eol + 2 + static_cast<std::size_t>(len) + 2;
+  if (rx.size() < need) {
+    return false;
+  }
+  value->assign(rx, eol + 2, static_cast<std::size_t>(len));
+  return true;
+}
+
+}  // namespace
+
+FleetChurnClient::FleetChurnClient(uknet::NetStack* stack, uknet::Ip4Addr vip,
+                                   std::uint16_t port, int concurrency)
+    : stack_(stack), vip_(vip), port_(port),
+      slots_(static_cast<std::size_t>(concurrency)) {}
+
+bool FleetChurnClient::idle() const {
+  for (const Slot& s : slots_) {
+    if (s.sock != nullptr) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void FleetChurnClient::StepSlot(Slot& slot, std::size_t* done) {
+  if (slot.sock == nullptr) {
+    if (!running_) {
+      return;
+    }
+    slot.sock = stack_->TcpConnect(vip_, port_);
+    slot.rx.clear();
+    slot.sent = false;
+    return;
+  }
+  if (slot.sock->failed()) {
+    // RST before the reply: the balancer had no healthy slot, or tore the
+    // flow down when its backend died mid-request. The slot retries.
+    ++aborted_;
+    slot.sock->Close();
+    slot.sock = nullptr;
+    return;
+  }
+  if (!slot.sock->connected() && !slot.sock->peer_closed()) {
+    return;  // handshake in flight
+  }
+  if (!slot.sent && slot.sock->connected()) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(kGetIdRequest.data());
+    if (slot.sock->Send(std::span(p, kGetIdRequest.size())) > 0) {
+      slot.sent = true;
+    }
+  }
+  std::uint8_t buf[512];
+  for (;;) {
+    const std::int64_t n = slot.sock->Recv(buf);
+    if (n > 0) {
+      slot.rx.append(reinterpret_cast<char*>(buf),
+                     static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0 && !slot.rx.empty()) {
+      break;  // peer closed after replying; parse what arrived
+    }
+    if (n == 0) {
+      // Closed before any reply (balancer teardown): aborted flow.
+      ++aborted_;
+      slot.sock->Close();
+      slot.sock = nullptr;
+      return;
+    }
+    break;  // -EAGAIN
+  }
+  std::string value;
+  if (ParseBulk(slot.rx, &value)) {
+    ++completed_;
+    ++by_backend_[value];
+    ++*done;
+    slot.sock->Close();
+    slot.sock = nullptr;
+  }
+}
+
+std::size_t FleetChurnClient::Pump() {
+  std::size_t done = 0;
+  for (Slot& slot : slots_) {
+    StepSlot(slot, &done);
+  }
+  return done;
+}
+
+}  // namespace env

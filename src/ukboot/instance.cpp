@@ -166,7 +166,20 @@ BootReport Instance::Boot() {
   report.guest_us = ElapsedNs(boot_start) / 1e3;
   report.ok = true;
   booted_ = true;
+  ++generation_;
   return report;
+}
+
+void Instance::Shutdown() {
+  // Reverse boot order: the scheduler's stacks and the page table both live
+  // inside the heap/guest RAM, so they go first, then the heap itself, then
+  // the RAM is wiped for the next boot.
+  sched_.reset();
+  heap_.reset();
+  pt_.reset();
+  pt_root_ = PageTableBuilder::kBadGpa;
+  mem_.Reset();
+  booted_ = false;
 }
 
 }  // namespace ukboot

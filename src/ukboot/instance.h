@@ -73,8 +73,21 @@ class Instance {
                     std::function<ukarch::Status(Instance&)> fn);
 
   // Runs the boot sequence: paging -> allocator -> scheduler -> inittab.
+  // Call again after Shutdown() to reboot the same config: the inittab is
+  // retained and replayed, and the report carries fresh per-stage timings.
   BootReport Boot();
   bool booted() const { return booted_; }
+
+  // Tears the instance down to its pre-boot state: scheduler, heap and page
+  // table are destroyed in reverse boot order and guest RAM is wiped (carve
+  // pointer rewound, bytes zeroed). Everything the instance's inittab built
+  // on the heap — stacks, sockets, servers — must be destroyed by its owner
+  // *before* Shutdown(); afterwards heap() is null until the next Boot().
+  void Shutdown();
+
+  // Boots completed over this instance's lifetime (bumped by each successful
+  // Boot); lets tests assert a reboot actually re-ran the sequence.
+  int generation() const { return generation_; }
 
   // Accessors for the assembled system. heap() is null before Boot().
   ukplat::MemRegion& mem() { return mem_; }
@@ -110,6 +123,7 @@ class Instance {
   };
   std::vector<InitEntry> inittab_;
   bool booted_ = false;
+  int generation_ = 0;
 };
 
 }  // namespace ukboot

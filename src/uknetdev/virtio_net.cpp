@@ -17,6 +17,9 @@ VirtioNet::VirtioNet(ukplat::MemRegion* mem, ukplat::Clock* clock, ukplat::Wire*
   }
   txqs_.resize(1);
   rxqs_.resize(1);
+  // Make the switch port exist now: a polled NIC may never register a signal
+  // fn, and a port the switch has never seen receives no flooded frames.
+  wire_->AttachPort(config_.wire_side);
 }
 
 VirtioNet::~VirtioNet() {

@@ -81,6 +81,15 @@ class MemRegion {
   std::uint64_t Carve(std::size_t bytes, std::size_t align);
   std::uint64_t carve_brk() const { return carve_brk_; }
 
+  // Returns the region to its power-on state: every byte zeroed and the boot
+  // carve pointer rewound. Instance reboot uses this so the same guest RAM
+  // can host a fresh boot sequence; callers must have dropped every pointer
+  // into the region first (heaps, rings, page tables).
+  void Reset() {
+    std::memset(mem_.get(), 0, size_);
+    carve_brk_ = 0;
+  }
+
   static constexpr std::uint64_t kBadGpa = UINT64_MAX;
 
  private:

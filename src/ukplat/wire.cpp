@@ -2,9 +2,43 @@
 
 namespace ukplat {
 
-bool Wire::Send(int dir, std::vector<std::uint8_t> frame) {
+namespace {
+
+// Packs a 6-byte MAC starting at |p| into a table key. Returns 0 for the
+// all-zero MAC, which is never a valid station address, so 0 doubles as
+// "no key".
+std::uint64_t MacKey(const std::uint8_t* p) {
+  std::uint64_t k = 0;
+  for (int i = 0; i < 6; ++i) k = (k << 8) | p[i];
+  return k;
+}
+
+bool IsBroadcast(const std::uint8_t* p) {
+  for (int i = 0; i < 6; ++i) {
+    if (p[i] != 0xff) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Wire::DeliverTo(std::size_t port, const std::vector<std::uint8_t>& frame) {
+  Port& dst = ports_[port];
+  if (dst.rx.size() >= config_.queue_depth) {
+    return false;
+  }
+  dst.rx.push_back(frame);
+  if (dst.signal) {
+    dst.signal();
+  }
+  return true;
+}
+
+bool Wire::Send(int port, std::vector<std::uint8_t> frame) {
   ++send_seq_;
-  if (frame.size() > config_.mtu + 14 || q_[dir].size() >= config_.queue_depth) {
+  EnsurePort(port);
+  const auto src_port = static_cast<std::size_t>(port);
+  if (frame.size() > config_.mtu + 14) {
     ++frames_dropped_;
     return false;
   }
@@ -20,25 +54,58 @@ bool Wire::Send(int dir, std::vector<std::uint8_t> frame) {
   const CostModel& m = clock_->model();
   double ns = static_cast<double>(frame.size()) * 8.0 / m.link_gbps;
   clock_->Charge(m.NsToCycles(ns));
+
+  // Learn the sender's station address and resolve the destination port.
+  std::size_t unicast_dst = ports_.size();  // sentinel: flood
+  if (frame.size() >= 14) {
+    const std::uint64_t src_key = MacKey(frame.data() + 6);
+    if (src_key != 0) mac_table_[src_key] = src_port;
+    if (!IsBroadcast(frame.data())) {
+      auto it = mac_table_.find(MacKey(frame.data()));
+      if (it != mac_table_.end() && it->second != src_port &&
+          it->second < ports_.size()) {
+        unicast_dst = it->second;
+      }
+    }
+  }
+
+  bool delivered = false;
+  if (unicast_dst < ports_.size()) {
+    delivered = DeliverTo(unicast_dst, frame);
+  } else {
+    // Broadcast / unknown unicast: flood every port except the sender.
+    for (std::size_t p = 0; p < ports_.size(); ++p) {
+      if (p == src_port) continue;
+      delivered |= DeliverTo(p, frame);
+    }
+  }
+  if (!delivered) {
+    ++frames_dropped_;
+    return false;
+  }
   bytes_sent_ += frame.size();
   ++frames_sent_;
-  q_[dir].push_back(std::move(frame));
-  // dir-0 frames arrive at side 1 and vice versa (see Pending()).
-  const int rx_side = dir == 0 ? 1 : 0;
-  if (signal_fn_[rx_side]) {
-    signal_fn_[rx_side]();
-  }
   return true;
 }
 
-std::optional<std::vector<std::uint8_t>> Wire::Receive(int side) {
-  auto& q = q_[side == 1 ? 0 : 1];
-  if (q.empty()) {
+std::optional<std::vector<std::uint8_t>> Wire::Receive(int port) {
+  const auto idx = static_cast<std::size_t>(port);
+  if (idx >= ports_.size() || ports_[idx].rx.empty()) {
     return std::nullopt;
   }
-  std::vector<std::uint8_t> f = std::move(q.front());
-  q.pop_front();
+  std::vector<std::uint8_t> f = std::move(ports_[idx].rx.front());
+  ports_[idx].rx.pop_front();
   return f;
+}
+
+void Wire::ResetPort(int port) {
+  const auto idx = static_cast<std::size_t>(port);
+  if (idx >= ports_.size()) return;
+  ports_[idx].rx.clear();
+  ports_[idx].signal = nullptr;
+  for (auto it = mac_table_.begin(); it != mac_table_.end();) {
+    it = it->second == idx ? mac_table_.erase(it) : std::next(it);
+  }
 }
 
 }  // namespace ukplat

@@ -1,0 +1,555 @@
+// Fleet scenario tests: the L4 balancer fronting Instance-booted redis
+// backends on one Wire switch. Covers consistent steering under connection
+// churn, probe traffic staying out of backend request stats, kill/respawn
+// cold-start under load with zero resets on survivors' established
+// connections, bounded TIME_WAIT/fd state across thousands of short-lived
+// connections, and slow-client / partial-write abuse of the stream scaffold.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/l4_balancer.h"
+#include "apps/redis.h"
+#include "apps/resp.h"
+#include "env/fleet.h"
+#include "env/testbed.h"
+#include "net_harness.h"
+
+namespace {
+
+using apps::L4Balancer;
+using apps::RespCommand;
+
+constexpr std::string_view kPing = "*1\r\n$4\r\nPING\r\n";
+constexpr std::string_view kPong = "+PONG\r\n";
+
+std::uint64_t SumCounts(
+    const std::unordered_map<std::string, std::uint64_t>& m) {
+  std::uint64_t total = 0;
+  for (const auto& [k, v] : m) {
+    total += v;
+  }
+  return total;
+}
+
+// A long-lived client connection through the VIP: opened once, then pinged
+// repeatedly across fleet events. `failed()` flipping true on one of these is
+// exactly the "survivor reset" the scenarios must rule out.
+struct LongLived {
+  std::shared_ptr<uknet::TcpSocket> sock;
+  std::string rx;
+  int slot = -1;  // steering slot predicted by the balancer
+
+  bool SendPing() {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(kPing.data());
+    return sock->Send(std::span(p, kPing.size())) ==
+           static_cast<std::int64_t>(kPing.size());
+  }
+  void Drain() {
+    std::uint8_t buf[256];
+    for (;;) {
+      const std::int64_t n = sock->Recv(buf);
+      if (n <= 0) {
+        break;
+      }
+      rx.append(reinterpret_cast<char*>(buf), static_cast<std::size_t>(n));
+    }
+  }
+  bool TakePong() {
+    Drain();
+    if (rx.rfind(kPong, 0) != 0) {
+      return false;
+    }
+    rx.erase(0, kPong.size());
+    return true;
+  }
+};
+
+class FleetTest : public ::testing::Test {
+ protected:
+  void Build(env::FleetTestBed::Config cfg) {
+    fleet_ = std::make_unique<env::FleetTestBed>(cfg);
+  }
+
+  // Opens |n| long-lived connections and waits until each one answered a
+  // PING — proof the full client->balancer->backend splice is established.
+  std::vector<LongLived> OpenLongLived(int n) {
+    std::vector<LongLived> conns(static_cast<std::size_t>(n));
+    for (LongLived& c : conns) {
+      c.sock = fleet_->client_stack()->TcpConnect(
+          env::FleetTestBed::kBalancerIp, fleet_->config().vip_port);
+    }
+    EXPECT_TRUE(fleet_->PumpUntil([&] {
+      return std::all_of(conns.begin(), conns.end(),
+                         [](const LongLived& c) { return c.sock->connected(); });
+    }));
+    for (LongLived& c : conns) {
+      c.slot = fleet_->balancer().SteerSlot(env::FleetTestBed::kClientIp,
+                                            c.sock->local_port());
+      EXPECT_TRUE(c.SendPing());
+    }
+    EXPECT_TRUE(PumpPongs(conns));
+    return conns;
+  }
+
+  // Waits for every connection in |conns| to deliver one +PONG.
+  bool PumpPongs(std::vector<LongLived>& conns) {
+    std::vector<bool> got(conns.size(), false);
+    return fleet_->PumpUntil([&] {
+      bool all = true;
+      for (std::size_t i = 0; i < conns.size(); ++i) {
+        if (!got[i]) {
+          got[i] = conns[i].TakePong();
+        }
+        all = all && got[i];
+      }
+      return all;
+    });
+  }
+
+  std::unique_ptr<env::FleetTestBed> fleet_;
+};
+
+// ---- churn steering + probe stat exclusion ---------------------------------
+
+TEST_F(FleetTest, ChurnSteersAcrossBackendsAndProbesStayOutOfStats) {
+  env::FleetTestBed::Config cfg;
+  cfg.backends = 2;
+  Build(cfg);
+
+  env::FleetChurnClient churn(fleet_->client_stack(),
+                              env::FleetTestBed::kBalancerIp,
+                              fleet_->config().vip_port, 8);
+  ASSERT_TRUE(fleet_->PumpUntil([&] {
+    churn.Pump();
+    return churn.completed() >= 400;
+  }));
+  churn.set_running(false);
+  ASSERT_TRUE(fleet_->PumpUntil([&] {
+    churn.Pump();
+    return churn.idle();
+  }));
+
+  // Healthy fleet: every connection completed, none aborted, and the flow
+  // hash spread the churn over both backends.
+  EXPECT_EQ(churn.aborted(), 0u);
+  EXPECT_EQ(SumCounts(churn.by_backend()), churn.completed());
+  ASSERT_EQ(churn.by_backend().size(), 2u);
+  EXPECT_GT(churn.by_backend().at("b0"), 0u);
+  EXPECT_GT(churn.by_backend().at("b1"), 0u);
+  EXPECT_GE(fleet_->balancer().stats().flows_opened, churn.completed());
+  EXPECT_EQ(fleet_->balancer().stats().flows_failed, 0u);
+
+  // Health checks ran the whole time...
+  EXPECT_GT(fleet_->balancer().stats().probes_sent, 0u);
+  EXPECT_GT(fleet_->balancer().stats().probes_ok, 0u);
+  EXPECT_EQ(fleet_->balancer().stats().probes_failed, 0u);
+
+  // ...but never leaked into the backends' request stats: each backend's
+  // command count is exactly its share of real GETs, with probe PINGs
+  // tallied separately off probe-marked connections.
+  for (int i = 0; i < 2; ++i) {
+    const auto& b = fleet_->backend(i);
+    EXPECT_EQ(b.server->commands_processed(), churn.by_backend().at(b.id()))
+        << b.id();
+    EXPECT_GT(b.server->probe_commands(), 0u) << b.id();
+    EXPECT_GT(b.server->stream().probe_conns(), 0u) << b.id();
+  }
+}
+
+TEST_F(FleetTest, SteeringIsConsistentPerFlowTuple) {
+  env::FleetTestBed::Config cfg;
+  cfg.backends = 4;
+  Build(cfg);
+
+  // The steering decision is a pure function of the client tuple: the same
+  // port always lands on the same slot, and with all slots up every slot is
+  // reachable from some tuple.
+  std::vector<int> hits(4, 0);
+  for (std::uint16_t port = 40000; port < 40256; ++port) {
+    const int s1 =
+        fleet_->balancer().SteerSlot(env::FleetTestBed::kClientIp, port);
+    const int s2 =
+        fleet_->balancer().SteerSlot(env::FleetTestBed::kClientIp, port);
+    ASSERT_EQ(s1, s2);
+    ASSERT_GE(s1, 0);
+    ASSERT_LT(s1, 4);
+    ++hits[static_cast<std::size_t>(s1)];
+  }
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_GT(hits[static_cast<std::size_t>(s)], 0) << "slot " << s;
+  }
+}
+
+// ---- kill / respawn under load ---------------------------------------------
+
+TEST_F(FleetTest, KillRespawnColdStartUnderLoadLeavesSurvivorsUntouched) {
+  env::FleetTestBed::Config cfg;
+  cfg.backends = 4;
+  Build(cfg);
+
+  std::vector<LongLived> conns = OpenLongLived(8);
+  const int victim = conns[0].slot;
+  ASSERT_GE(victim, 0);
+  std::vector<LongLived*> survivors;
+  std::vector<LongLived*> victims;
+  for (LongLived& c : conns) {
+    (c.slot == victim ? victims : survivors).push_back(&c);
+  }
+  ASSERT_FALSE(survivors.empty());
+
+  env::FleetChurnClient churn(fleet_->client_stack(),
+                              env::FleetTestBed::kBalancerIp,
+                              fleet_->config().vip_port, 8);
+  ASSERT_TRUE(fleet_->PumpUntil([&] {
+    churn.Pump();
+    return churn.completed() >= 100;
+  }));
+
+  // Hard-kill the victim mid-traffic: its NIC, stack and server are gone and
+  // its wire port forgets the MAC. Nothing answers — the balancer must
+  // notice by probe timeout.
+  fleet_->KillBackend(victim);
+  ASSERT_TRUE(fleet_->PumpUntil([&] {
+    churn.Pump();
+    return fleet_->balancer().state(victim) == L4Balancer::BackendState::kDown;
+  }));
+  EXPECT_GE(fleet_->balancer().stats().backend_down_events, 1u);
+  EXPECT_GE(fleet_->balancer().stats().probes_failed, 1u);
+
+  // The dead slot's flows were torn down; the victim's long-lived conns see
+  // an orderly close, never a half-dead hang.
+  ASSERT_TRUE(fleet_->PumpUntil([&] {
+    churn.Pump();
+    return std::all_of(victims.begin(), victims.end(), [](LongLived* c) {
+      c->Drain();
+      return c->sock->peer_closed() || c->sock->failed();
+    });
+  }));
+  for (LongLived* c : victims) {
+    c->sock->Close();
+  }
+
+  // Churn keeps completing against the survivors while the slot is down.
+  const std::uint64_t at_down = churn.completed();
+  ASSERT_TRUE(fleet_->PumpUntil([&] {
+    churn.Pump();
+    return churn.completed() >= at_down + 100;
+  }));
+
+  // Cold-start the replacement under load: a full inittab replay against the
+  // same guest RAM, re-admitted by the next successful probe.
+  const ukboot::BootReport report = fleet_->BootBackend(victim);
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_FALSE(report.stages.empty());
+  EXPECT_GT(report.guest_us, 0.0);
+  ASSERT_TRUE(fleet_->PumpUntil([&] {
+    churn.Pump();
+    return fleet_->balancer().state(victim) == L4Balancer::BackendState::kUp;
+  }));
+
+  // The respawned incarnation serves: churn replies start carrying its
+  // "-r1" identity.
+  const std::string reborn = fleet_->backend(victim).id();
+  ASSERT_EQ(reborn, "b" + std::to_string(victim) + "-r1");
+  ASSERT_TRUE(fleet_->PumpUntil([&] {
+    churn.Pump();
+    return churn.by_backend().count(reborn) != 0;
+  }));
+
+  // The acceptance bar: across kill, detection, cold boot and re-admission,
+  // no surviving backend's established connection was ever reset — they all
+  // still answer PINGs on the same socket.
+  for (LongLived* c : survivors) {
+    EXPECT_FALSE(c->sock->failed());
+    EXPECT_FALSE(c->sock->peer_closed());
+    EXPECT_TRUE(c->SendPing());
+  }
+  std::vector<LongLived> alive;
+  for (LongLived* c : survivors) {
+    alive.push_back(*c);
+  }
+  EXPECT_TRUE(PumpPongs(alive));
+  for (LongLived& c : alive) {
+    EXPECT_FALSE(c.sock->failed());
+  }
+
+  // Aborted flows are bounded by the kill window (in-flight conns on the
+  // dead slot), not proportional to total churn.
+  EXPECT_LE(churn.aborted(), 64u);
+  EXPECT_GT(churn.completed(), at_down + 100);
+}
+
+TEST_F(FleetTest, DrainStopsNewFlowsButKeepsEstablishedOnes) {
+  env::FleetTestBed::Config cfg;
+  cfg.backends = 2;
+  Build(cfg);
+
+  std::vector<LongLived> conns = OpenLongLived(4);
+  auto drained_it =
+      std::find_if(conns.begin(), conns.end(),
+                   [](const LongLived& c) { return c.slot == 0; });
+  ASSERT_NE(drained_it, conns.end());
+  LongLived& pinned = *drained_it;
+
+  fleet_->balancer().SetDrain(0, true);
+  EXPECT_EQ(fleet_->balancer().state(0), L4Balancer::BackendState::kDraining);
+
+  // New churn steers only to the healthy slot...
+  env::FleetChurnClient churn(fleet_->client_stack(),
+                              env::FleetTestBed::kBalancerIp,
+                              fleet_->config().vip_port, 4);
+  ASSERT_TRUE(fleet_->PumpUntil([&] {
+    churn.Pump();
+    return churn.completed() >= 60;
+  }));
+  EXPECT_EQ(churn.by_backend().count("b0"), 0u);
+  EXPECT_GT(churn.by_backend().at("b1"), 0u);
+  EXPECT_GT(fleet_->balancer().stats().fallback_steers, 0u);
+
+  // ...while the established flow on the draining slot keeps serving.
+  EXPECT_TRUE(pinned.SendPing());
+  std::vector<LongLived> just_pinned{pinned};
+  EXPECT_TRUE(PumpPongs(just_pinned));
+  EXPECT_FALSE(just_pinned[0].sock->failed());
+
+  fleet_->balancer().SetDrain(0, false);
+  EXPECT_EQ(fleet_->balancer().state(0), L4Balancer::BackendState::kUp);
+}
+
+// ---- churn at scale: bounded tables, no per-connection leak ----------------
+
+TEST_F(FleetTest, ThousandsOfShortLivedConnectionsStayBounded) {
+  env::FleetTestBed::Config cfg;
+  cfg.backends = 1;
+  // One probe round at boot, then silence: the steady-state portion must be
+  // pure churn so the leak check sees quiescent snapshots.
+  cfg.probe_interval_cycles = 1ull << 62;
+  Build(cfg);
+
+  env::FleetChurnClient churn(fleet_->client_stack(),
+                              env::FleetTestBed::kBalancerIp,
+                              fleet_->config().vip_port, 16);
+
+  // Warm-up: get every pool, table and arena to steady-state size, then
+  // drain to a quiescent point (no live churn conns, TIME_WAIT reaped).
+  ASSERT_TRUE(fleet_->PumpUntil([&] {
+    churn.Pump();
+    return churn.completed() >= 300;
+  }));
+  churn.set_running(false);
+  ASSERT_TRUE(fleet_->PumpUntil([&] {
+    churn.Pump();
+    return churn.idle();
+  }));
+  for (int i = 0; i < 300; ++i) {
+    fleet_->PumpAll();  // let TIME_WAIT poll budgets run out everywhere
+  }
+
+  const std::size_t client_base = fleet_->client_stack()->tcp_conn_count();
+  const std::size_t lb_base = fleet_->balancer_sim().stack->tcp_conn_count();
+  const std::size_t be_base = fleet_->backend(0).stack->tcp_conn_count();
+  const std::size_t lb_fds = fleet_->balancer_api().fdtab().open_count();
+  const std::size_t be_fds = fleet_->backend(0).api->fdtab().open_count();
+  netharness::ZeroAllocGuard lb_guard({}, fleet_->balancer_sim().alloc.get());
+  netharness::ZeroAllocGuard be_guard({}, fleet_->backend(0).instance->heap());
+
+  // Steady state: 2000 more short-lived connections through the same
+  // backend, with bounds enforced mid-flight.
+  churn.set_running(true);
+  const std::uint64_t target = churn.completed() + 2000;
+  std::uint64_t next_check = churn.completed() + 250;
+  ASSERT_TRUE(fleet_->PumpUntil(
+      [&] {
+        churn.Pump();
+        if (churn.completed() >= next_check) {
+          next_check += 250;
+          // Active conns (<=16 per hop side) + TIME_WAIT backlog bounded by
+          // its poll budget — never proportional to total churn.
+          EXPECT_LE(fleet_->client_stack()->tcp_conn_count(), 200u);
+          EXPECT_LE(fleet_->balancer_sim().stack->tcp_conn_count(), 400u);
+          EXPECT_LE(fleet_->backend(0).stack->tcp_conn_count(), 200u);
+          EXPECT_LE(fleet_->balancer_api().fdtab().open_count(), lb_fds + 40);
+          EXPECT_LE(fleet_->backend(0).api->fdtab().open_count(), be_fds + 40);
+        }
+        return churn.completed() >= target;
+      },
+      600000));
+  churn.set_running(false);
+  ASSERT_TRUE(fleet_->PumpUntil([&] {
+    churn.Pump();
+    return churn.idle();
+  }));
+  for (int i = 0; i < 300; ++i) {
+    fleet_->PumpAll();
+  }
+
+  EXPECT_EQ(churn.aborted(), 0u);
+
+  // Quiescent again: every per-connection object was returned. Conn tables,
+  // fd tables and both heaps are exactly back at the warm-up baseline —
+  // 2000 connections left no residue.
+  EXPECT_EQ(fleet_->client_stack()->tcp_conn_count(), client_base);
+  EXPECT_EQ(fleet_->balancer_sim().stack->tcp_conn_count(), lb_base);
+  EXPECT_EQ(fleet_->backend(0).stack->tcp_conn_count(), be_base);
+  EXPECT_EQ(fleet_->balancer_api().fdtab().open_count(), lb_fds);
+  EXPECT_EQ(fleet_->backend(0).api->fdtab().open_count(), be_fds);
+  EXPECT_EQ(lb_guard.heap_bytes(), 0) << "balancer heap drifted";
+  EXPECT_EQ(be_guard.heap_bytes(), 0) << "backend heap drifted";
+
+  // Fd slots were recycled, not grown: generations prove reuse.
+  bool reused = false;
+  for (int fd = 0; fd < 32 && !reused; ++fd) {
+    reused = fleet_->balancer_api().fdtab().generation(fd) > 4;
+  }
+  EXPECT_TRUE(reused);
+}
+
+// ---- slow-client / partial-write abuse (plain testbed + redis) -------------
+
+class StreamAbuseTest : public ::testing::Test {
+ protected:
+  StreamAbuseTest()
+      : bed_(env::Profile::UnikraftKvm()),
+        server_(&bed_.api(), bed_.server().alloc.get(), 6379) {
+    EXPECT_TRUE(server_.Start());
+  }
+
+  void Pump(int rounds = 300) {
+    for (int i = 0; i < rounds; ++i) {
+      bed_.Poll();
+      server_.PumpOnce();
+    }
+  }
+
+  std::shared_ptr<uknet::TcpSocket> Connect() {
+    auto sock = bed_.client().stack->TcpConnect(env::TestBed::kServerIp, 6379);
+    Pump();
+    EXPECT_TRUE(sock->connected());
+    return sock;
+  }
+
+  static void SendAll(uknet::TcpSocket& sock, std::string_view data) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(data.data());
+    ASSERT_EQ(sock.Send(std::span(p, data.size())),
+              static_cast<std::int64_t>(data.size()));
+  }
+
+  env::TestBed bed_;
+  apps::RedisServer server_;
+};
+
+TEST_F(StreamAbuseTest, OneByteReaderDoesNotStarveOtherConnections) {
+  // A 4 KB value makes the slow reader's reply span many send-buffer flushes.
+  const std::string big(4096, 'x');
+  auto slow = Connect();
+  auto fast = Connect();
+  SendAll(*slow, RespCommand({"SET", "big", big}));
+  Pump();
+  SendAll(*slow, RespCommand({"GET", "big"}));
+  Pump(20);
+
+  // The abusive peer takes one byte per event-loop turn; the well-behaved
+  // peer must keep completing PINGs at full speed in between (epoll rotor
+  // fairness — the stalled flush cannot monopolize the loop).
+  std::string slow_rx;
+  std::string fast_rx;
+  int pongs = 0;
+  bool fast_waiting = false;
+  const std::string expect_reply =
+      apps::RespSimpleString("OK");  // from the SET above
+  int turns = 0;
+  while (pongs < 50 && turns < 30000) {
+    ++turns;
+    bed_.Poll();
+    server_.PumpOnce();
+    std::uint8_t one;
+    const std::int64_t n = slow->Recv(std::span(&one, 1));
+    if (n > 0) {
+      slow_rx.push_back(static_cast<char>(one));
+    }
+    if (!fast_waiting) {
+      SendAll(*fast, std::string(kPing));
+      fast_waiting = true;
+    }
+    std::uint8_t buf[128];
+    const std::int64_t fn = fast->Recv(buf);
+    if (fn > 0) {
+      fast_rx.append(reinterpret_cast<char*>(buf),
+                     static_cast<std::size_t>(fn));
+      while (fast_rx.rfind(kPong, 0) == 0) {
+        fast_rx.erase(0, kPong.size());
+        ++pongs;
+        fast_waiting = false;
+      }
+    }
+  }
+  EXPECT_EQ(pongs, 50);
+  // The slow reader is still mid-transfer (it only took `turns` bytes of a
+  // >4 KB reply) yet its connection is intact and still draining.
+  EXPECT_FALSE(slow->failed());
+  EXPECT_FALSE(slow_rx.empty());
+  EXPECT_LT(slow_rx.size(), expect_reply.size() + 4096 + 32);
+
+  // Let it finish at full speed: the complete OK + $4096 bulk arrives.
+  for (int i = 0; i < 20000 && slow_rx.find(big) == std::string::npos; ++i) {
+    bed_.Poll();
+    server_.PumpOnce();
+    std::uint8_t buf[512];
+    const std::int64_t n = slow->Recv(buf);
+    if (n > 0) {
+      slow_rx.append(reinterpret_cast<char*>(buf),
+                     static_cast<std::size_t>(n));
+    }
+  }
+  EXPECT_NE(slow_rx.find(expect_reply), std::string::npos);
+  EXPECT_NE(slow_rx.find(big), std::string::npos);
+  EXPECT_FALSE(slow->failed());
+}
+
+TEST_F(StreamAbuseTest, MidRequestStallerDoesNotWedgeTheLoop) {
+  auto staller = Connect();
+  auto worker = Connect();
+
+  // The staller sends half a RESP command and then goes silent forever. The
+  // server must hold the partial parse state and move on.
+  const std::string full = RespCommand({"SET", "stalled-key", "never"});
+  SendAll(*staller, std::string_view(full).substr(0, full.size() / 2));
+  Pump(50);
+
+  const std::uint64_t before = server_.commands_processed();
+  std::string rx;
+  for (int i = 0; i < 40; ++i) {
+    SendAll(*worker, std::string(kPing));
+    Pump(30);
+    std::uint8_t buf[128];
+    std::int64_t n;
+    while ((n = worker->Recv(buf)) > 0) {
+      rx.append(reinterpret_cast<char*>(buf), static_cast<std::size_t>(n));
+    }
+  }
+  std::size_t pongs = 0;
+  for (std::size_t at = 0; (at = rx.find(kPong, at)) != std::string::npos;
+       at += kPong.size()) {
+    ++pongs;
+  }
+  EXPECT_EQ(pongs, 40u);
+  EXPECT_EQ(server_.commands_processed(), before + 40);
+
+  // The stalled half-command never executed and never will — but the
+  // connection is still open (no spurious teardown) and completing it later
+  // still works.
+  EXPECT_EQ(server_.store().Get("stalled-key"), std::nullopt);
+  EXPECT_FALSE(staller->failed());
+  EXPECT_FALSE(staller->peer_closed());
+  SendAll(*staller, std::string_view(full).substr(full.size() / 2));
+  Pump(50);
+  auto v = server_.store().Get("stalled-key");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "never");
+}
+
+}  // namespace

@@ -213,4 +213,85 @@ TEST(InstanceBoot, StageTimingsRecorded) {
   EXPECT_TRUE(found);
 }
 
+// ---- Instance reboot (fleet lifecycle) ----------------------------------------
+
+TEST(InstanceReboot, ShutdownReturnsToPreBootState) {
+  Instance vm(InstanceConfig{});
+  ASSERT_TRUE(vm.Boot().ok);
+  ASSERT_TRUE(vm.booted());
+  ASSERT_GT(vm.mem().carve_brk(), 0u);
+  vm.Shutdown();
+  EXPECT_FALSE(vm.booted());
+  EXPECT_EQ(vm.heap(), nullptr);
+  EXPECT_EQ(vm.scheduler(), nullptr);
+  EXPECT_EQ(vm.pagetable(), nullptr);
+  EXPECT_EQ(vm.mem().carve_brk(), 0u);  // guest RAM back at power-on
+}
+
+TEST(InstanceReboot, RebootReplaysInittabWithFreshTimings) {
+  Instance vm(InstanceConfig{});
+  int serve_runs = 0;
+  vm.RegisterInit(InitStage::kSys, "serve", [&](Instance& inst) {
+    // Model a server bringing state up on the heap each boot.
+    void* p = inst.heap()->Malloc(1 << 12);
+    if (p == nullptr) {
+      return ukarch::Status::kNoMem;
+    }
+    inst.heap()->Free(p);
+    ++serve_runs;
+    return ukarch::Status::kOk;
+  });
+
+  BootReport first = vm.Boot();
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_EQ(vm.generation(), 1);
+  const std::uint64_t first_in_use = vm.heap()->stats().bytes_in_use;
+  const std::uint64_t first_brk = vm.mem().carve_brk();
+
+  // Serve: leave allocator churn behind so the reboot has real state to
+  // reclaim (freed before Shutdown, as an app teardown would).
+  void* held = vm.heap()->Malloc(1 << 16);
+  ASSERT_NE(held, nullptr);
+  vm.heap()->Free(held);
+
+  vm.Shutdown();
+  BootReport second = vm.Boot();
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_EQ(vm.generation(), 2);
+  EXPECT_EQ(serve_runs, 2);  // inittab replayed
+
+  // Per-stage timings are reported again, stage for stage.
+  ASSERT_EQ(second.stages.size(), first.stages.size());
+  for (std::size_t i = 0; i < second.stages.size(); ++i) {
+    EXPECT_EQ(second.stages[i].name, first.stages[i].name);
+    EXPECT_GE(second.stages[i].real_ns, 0.0);
+  }
+  EXPECT_GT(second.guest_us, 0.0);
+
+  // Allocator state fully reclaimed: the fresh heap's live bytes and the
+  // guest RAM carve point match the first boot exactly.
+  EXPECT_EQ(vm.heap()->stats().bytes_in_use, first_in_use);
+  EXPECT_EQ(vm.mem().carve_brk(), first_brk);
+}
+
+TEST(InstanceReboot, RebootSurvivesManyCycles) {
+  InstanceConfig cfg;
+  cfg.memory_bytes = 8ull << 20;
+  Instance vm(cfg);
+  std::uint64_t brk_after_first = 0;
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    BootReport r = vm.Boot();
+    ASSERT_TRUE(r.ok) << "cycle " << cycle << ": " << r.error;
+    if (cycle == 0) {
+      brk_after_first = vm.mem().carve_brk();
+    } else {
+      // No creeping carve growth across reboots (the old MemRegion bump
+      // allocator would exhaust guest RAM after a handful of cycles).
+      EXPECT_EQ(vm.mem().carve_brk(), brk_after_first) << "cycle " << cycle;
+    }
+    vm.Shutdown();
+  }
+  EXPECT_EQ(vm.generation(), 5);
+}
+
 }  // namespace
