@@ -74,6 +74,14 @@ UKRAFT_QUEUES=4 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 # reply while the survivors never stop (emits BENCH_fleet_scaling.json).
 (cd "$BUILD_DIR" && ./bench_fleet_scaling)
 
+# Persistence gate: the per-turn AOF must hold >=70% of the AOF-off SET
+# throughput (batching amortizes the log to one write+flush per turn), and
+# replay-on-boot must restore snapshot + AOF tail exactly at >=10k keys/s
+# across 1k/5k/20k-key datasets (emits BENCH_persist.json). The persistence
+# unit suite (persist_test, storage_test) already rides every ctest tier1 leg
+# above, and the durable-reboot fleet scenario rides tier2.
+(cd "$BUILD_DIR" && ./bench_persist)
+
 cmake -B "$ASAN_BUILD_DIR" -S . -DUKRAFT_WERROR=ON -DUKRAFT_SANITIZE=ON
 cmake --build "$ASAN_BUILD_DIR" -j "$JOBS"
 UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=0" UKRAFT_QUEUES=2 \
@@ -102,6 +110,12 @@ UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=0" \
   ctest --test-dir "$ASAN_BUILD_DIR" --output-on-failure -L tier2
 (cd "$ASAN_BUILD_DIR" && UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=0" \
   ./bench_fleet_scaling)
+
+# Persistence leg under ASan+UBSan: snapshot chunking, COW-lite pre-images,
+# AOF segment rotation and the CRC replay path all shuffle byte buffers
+# through the blockfs bounce region — lifetime/offset territory.
+(cd "$ASAN_BUILD_DIR" && UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=0" \
+  ./bench_persist)
 
 # TCP loss-recovery leg: a 1 MB echo at 1% deterministic frame loss, modern
 # (NewReno + SACK + delayed ACKs + window scaling) vs legacy stop-and-wait.
@@ -148,4 +162,4 @@ UKRAFT_THREADS=real "$TSAN_BUILD_DIR"/fleet_test
 # (emits BENCH_rss_scaling_threads.json next to the fiber-mode trendline).
 (cd "$BUILD_DIR" && UKRAFT_THREADS=real ./bench_fig_rss_scaling --threads)
 
-echo "ci: OK (src/ built with -Wall -Wextra -Werror; markdown links checked; tests passed tier1+tier2 plain, at UKRAFT_QUEUES=4 with the RSS-scaling and fleet-scaling gates, and under ASan+UBSan with UKRAFT_QUEUES=2, incl. the blocking --wait, --eventloop, TCP --loss and fleet legs; TSan covered the sharded suites plus the loss-pattern and fleet suites in fiber AND real-thread mode, and the scaling gate held on real threads)"
+echo "ci: OK (src/ built with -Wall -Wextra -Werror; markdown links checked; tests passed tier1+tier2 plain, at UKRAFT_QUEUES=4 with the RSS-scaling, fleet-scaling and persistence gates, and under ASan+UBSan with UKRAFT_QUEUES=2, incl. the blocking --wait, --eventloop, TCP --loss, fleet and persistence legs; TSan covered the sharded suites plus the loss-pattern and fleet suites in fiber AND real-thread mode, and the scaling gate held on real threads)"

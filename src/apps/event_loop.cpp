@@ -37,6 +37,11 @@ void EventLoop::Del(int fd) {
 
 std::size_t EventLoop::PumpOnce(std::uint64_t timeout_cycles) {
   if (epfd_ < 0 || handlers_.empty()) {
+    // Even an idle loop finishes its turn: batched persistence work (AOF
+    // buffers, snapshot chunks) must drain whether or not a socket was ready.
+    for (const auto& hook : turn_hooks_) {
+      hook();
+    }
     return 0;
   }
   ++turns_;
@@ -59,6 +64,9 @@ std::size_t EventLoop::PumpOnce(std::uint64_t timeout_cycles) {
     handler(ev.fd, ev.events);
     ++dispatched;
     ++dispatches_;
+  }
+  for (const auto& hook : turn_hooks_) {
+    hook();
   }
   return dispatched;
 }

@@ -38,6 +38,17 @@ class EventLoop {
   // every ready descriptor's handler once. Returns handlers dispatched.
   std::size_t PumpOnce(std::uint64_t timeout_cycles = 0);
 
+  // Registers a callback that runs at the END of every PumpOnce turn, after
+  // all ready handlers dispatched. This is the persistence tier's batching
+  // point: per-command work appends into memory, the turn hook does the one
+  // file write (+ optional fsync) and advances the background-snapshot cursor
+  // by its per-turn budget — so durability costs are amortized per turn, and
+  // pause bounds are enforced at turn granularity. Hooks run in registration
+  // order and cannot be removed (lifetime: owner outlives the loop's use).
+  void AddTurnEndHook(std::function<void()> hook) {
+    turn_hooks_.push_back(std::move(hook));
+  }
+
   std::size_t watched() const { return handlers_.size(); }
   std::uint64_t turns() const { return turns_; }
   std::uint64_t dispatches() const { return dispatches_; }
@@ -57,6 +68,7 @@ class EventLoop {
   int epfd_ = -1;
   std::map<int, Registration> handlers_;
   std::vector<posix::EpollEvent> ready_;  // reused across turns (no per-turn alloc)
+  std::vector<std::function<void()>> turn_hooks_;
   std::uint64_t turns_ = 0;
   std::uint64_t dispatches_ = 0;
 };

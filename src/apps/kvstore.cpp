@@ -1,6 +1,7 @@
 #include "apps/kvstore.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cstring>
 
 #include "ukarch/hash.h"
@@ -240,8 +241,84 @@ void KvServer::StoreSet(std::uint16_t accessor, std::uint16_t shard,
                         std::uint16_t key, std::span<const std::uint8_t> value) {
   shard_accesses_[static_cast<std::size_t>(accessor) * queues_ + shard]
       .fetch_add(1, std::memory_order_relaxed);
+  if (persist_ != nullptr) {
+    // AOF choke point: keys canonicalize to decimal text, values pass as-is.
+    // PreMutate first (the COW-lite pre-image), then log the post-image.
+    char digits[8];
+    auto [ptr, ec] = std::to_chars(digits, digits + sizeof(digits), key);
+    (void)ec;
+    std::string_view key_text(digits, static_cast<std::size_t>(ptr - digits));
+    persist_->PreMutate(shard, key_text);
+    shards_[shard][key].assign(reinterpret_cast<const char*>(value.data()),
+                               value.size());
+    persist_->AppendSet(shard, key_text,
+                        std::string_view(reinterpret_cast<const char*>(value.data()),
+                                         value.size()));
+    return;
+  }
   shards_[shard][key].assign(reinterpret_cast<const char*>(value.data()),
                              value.size());
+}
+
+void KvServer::AttachPersist(Persist* persist) {
+  persist_ = persist;
+  persist_->SetSource(Persist::Source{
+      .capture = [this](std::uint16_t shard, std::vector<std::string>* keys) {
+        if (shard >= shards_.size()) {
+          return;
+        }
+        keys->reserve(keys->size() + shards_[shard].size());
+        for (const auto& [key, value] : shards_[shard]) {
+          keys->push_back(std::to_string(key));
+        }
+      },
+      .lookup = [this](std::uint16_t shard,
+                       std::string_view key) -> std::optional<std::string_view> {
+        std::uint16_t k = 0;
+        auto [ptr, ec] = std::from_chars(key.data(), key.data() + key.size(), k);
+        if (ec != std::errc{} || ptr != key.data() + key.size()) {
+          return std::nullopt;
+        }
+        const std::string* v = StoreFind(shard, shard, k);
+        if (v == nullptr) {
+          return std::nullopt;
+        }
+        return std::string_view(*v);
+      },
+  });
+}
+
+Persist::RecoverStats KvServer::RecoverFromPersist() {
+  if (persist_ == nullptr) {
+    return {};
+  }
+  // Recovery writes shards directly (not through StoreSet): it runs before
+  // traffic, and going through the choke point would re-log every replayed
+  // command into the fresh AOF segment.
+  auto parse_key = [](std::string_view key, std::uint16_t* out) {
+    auto [ptr, ec] = std::from_chars(key.data(), key.data() + key.size(), *out);
+    return ec == std::errc{} && ptr == key.data() + key.size();
+  };
+  return persist_->Recover(Persist::Applier{
+      .set = [this, parse_key](std::uint16_t shard, std::string_view key,
+                               std::string_view value) {
+        std::uint16_t k = 0;
+        if (shard < shards_.size() && parse_key(key, &k)) {
+          shards_[shard][k].assign(value.data(), value.size());
+        }
+      },
+      .del = [this, parse_key](std::uint16_t shard, std::string_view key) {
+        std::uint16_t k = 0;
+        if (shard < shards_.size() && parse_key(key, &k)) {
+          shards_[shard].erase(k);
+        }
+      },
+      .clear = [this](std::uint16_t shard) {
+        if (shard < shards_.size()) {
+          shards_[shard].clear();
+        }
+      },
+  });
 }
 
 void KvServer::RingSend(std::uint16_t from, std::uint16_t to, const ShardMsg& msg) {
@@ -816,6 +893,9 @@ std::size_t KvServer::PumpSocket(std::uint64_t timeout_cycles) {
   }
   const std::uint64_t before = requests();
   loop_->PumpOnce(timeout_cycles);
+  if (persist_ != nullptr) {
+    persist_->FlushShard(0);  // socket modes are single-sharded
+  }
   return static_cast<std::size_t>(requests() - before);
 }
 
@@ -831,7 +911,13 @@ std::size_t KvServer::PumpQueue(std::uint16_t queue) {
       }
       // Ring work counts as progress: a drained message keeps the loop from
       // sleeping while a response (or a foreign request) is in flight.
-      return PumpNetdev(queue) + DrainRings(queue);
+      const std::size_t handled = PumpNetdev(queue) + DrainRings(queue);
+      if (persist_ != nullptr) {
+        // Per-queue turn end: this loop's AOF shard writes out exactly once
+        // per pump, whatever the batch size was.
+        persist_->FlushShard(queue);
+      }
+      return handled;
     }
   }
   return 0;

@@ -21,6 +21,7 @@
 #include <deque>
 
 #include "apps/event_loop.h"
+#include "apps/persist.h"
 #include "posix/api.h"
 #include "uknet/wire_format.h"
 #include "uknetdev/netdev.h"
@@ -133,6 +134,17 @@ class KvServer {
   }
   std::uint64_t ring_messages() const;   // summed over per-loop slots
   std::uint64_t cross_shard_ops() const; // summed over per-loop slots
+
+  // ---- durability (apps::Persist) ------------------------------------------
+  // Wires the persistence tier in with one persist shard per queue: every
+  // StoreSet is AOF-logged (keys canonicalized to decimal text) and each
+  // PumpQueue flushes its own shard's buffer at turn end — the sharded
+  // equivalent of the event-loop turn hook. |persist| must be configured with
+  // shards == queue_count().
+  void AttachPersist(Persist* persist);
+  // Replays snapshot + AOF into the (empty) shards. Call before traffic.
+  Persist::RecoverStats RecoverFromPersist();
+  Persist* persist() { return persist_; }
 
   static constexpr std::size_t kMaxMultiKeys = 8;
   static constexpr std::size_t kMaxInlineValue = 64;  // ring-slot value cap
@@ -266,8 +278,11 @@ class KvServer {
 
   // One shard per queue; shards_[q] is owned by queue q's loop and only ever
   // touched by it (StoreFind/StoreSet assert the discipline via the audit
-  // counters). Socket modes degenerate to one shard.
+  // counters; the cold persistence paths — snapshot capture and boot-time
+  // recovery — read/write shards directly but run before/outside loop
+  // traffic). Socket modes degenerate to one shard.
   std::vector<std::unordered_map<std::uint16_t, std::string>> shards_;
+  Persist* persist_ = nullptr;  // optional durability tier (unowned)
   // Audit counters, accessor-major [q][shard]. Atomic so a reader summing the
   // matrix never races the loops bumping their diagonal.
   std::vector<std::atomic<std::uint64_t>> shard_accesses_;

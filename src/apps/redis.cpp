@@ -66,6 +66,13 @@ void ValueStore::Clear() {
   map_.clear();
 }
 
+void ValueStore::CaptureKeys(std::vector<std::string>* keys) const {
+  keys->reserve(keys->size() + map_.size());
+  for (const auto& [key, slot] : map_) {
+    keys->push_back(key);
+  }
+}
+
 // ---- RedisServer ------------------------------------------------------------------
 
 RedisServer::RedisServer(posix::PosixApi* api, ukalloc::Allocator* alloc,
@@ -101,6 +108,36 @@ StreamServer::Handler RedisServer::MakeHandler() {
 
 bool RedisServer::Start() { return server_.Listen(port_); }
 
+void RedisServer::AttachPersist(Persist* persist) {
+  persist_ = persist;
+  // ukredis is single-sharded: the whole store is persist shard 0.
+  persist_->SetSource(Persist::Source{
+      .capture = [this](std::uint16_t, std::vector<std::string>* keys) {
+        store_.CaptureKeys(keys);
+      },
+      .lookup = [this](std::uint16_t, std::string_view key) {
+        return store_.Get(key);
+      },
+  });
+  // The batching point: per-command appends stay in memory, the turn hook
+  // does the one segment write (+ fsync per policy) and advances any
+  // background save by its per-turn chunk budget.
+  active_loop_->AddTurnEndHook([persist] { persist->OnTurnEnd(); });
+}
+
+Persist::RecoverStats RedisServer::RecoverFromPersist() {
+  if (persist_ == nullptr) {
+    return {};
+  }
+  return persist_->Recover(Persist::Applier{
+      .set = [this](std::uint16_t, std::string_view key, std::string_view value) {
+        store_.Set(key, value);
+      },
+      .del = [this](std::uint16_t, std::string_view key) { store_.Del(key); },
+      .clear = [this](std::uint16_t) { store_.Clear(); },
+  });
+}
+
 void RedisServer::ExecuteInto(std::span<const std::string_view> argv,
                               std::string& out) {
   const std::string_view cmd = argv[0];
@@ -120,7 +157,13 @@ void RedisServer::ExecuteInto(std::span<const std::string_view> argv,
     return;
   }
   if (eq(cmd, "set") && argv.size() >= 3) {
+    if (persist_ != nullptr) {
+      persist_->PreMutate(0, argv[1]);
+    }
     if (store_.Set(argv[1], argv[2])) {
+      if (persist_ != nullptr) {
+        persist_->AppendSet(0, argv[1], argv[2]);
+      }
       RespOkInto(out);
     } else {
       RespErrorInto(out, "out of memory");
@@ -139,7 +182,15 @@ void RedisServer::ExecuteInto(std::span<const std::string_view> argv,
   if (eq(cmd, "del") && argv.size() >= 2) {
     std::int64_t n = 0;
     for (std::size_t i = 1; i < argv.size(); ++i) {
-      n += store_.Del(argv[i]) ? 1 : 0;
+      if (persist_ != nullptr) {
+        persist_->PreMutate(0, argv[i]);
+      }
+      if (store_.Del(argv[i])) {
+        ++n;
+        if (persist_ != nullptr) {
+          persist_->AppendDel(0, argv[i]);
+        }
+      }
     }
     RespIntegerInto(out, n);
     return;
@@ -149,9 +200,21 @@ void RedisServer::ExecuteInto(std::span<const std::string_view> argv,
     return;
   }
   if (eq(cmd, "incr") && argv.size() >= 2) {
+    if (persist_ != nullptr) {
+      persist_->PreMutate(0, argv[1]);
+    }
     bool ok = true;
     std::int64_t v = store_.Incr(argv[1], &ok);
     if (ok) {
+      if (persist_ != nullptr) {
+        // Canonicalized AOF: INCR is logged as its post-image SET, so replay
+        // needs no command semantics beyond SET/DEL/FLUSHALL.
+        char digits[24];
+        auto [ptr, ec] = std::to_chars(digits, digits + sizeof(digits), v);
+        (void)ec;
+        persist_->AppendSet(
+            0, argv[1], std::string_view(digits, static_cast<std::size_t>(ptr - digits)));
+      }
       RespIntegerInto(out, v);
     } else {
       RespErrorInto(out, "out of memory");
@@ -159,6 +222,9 @@ void RedisServer::ExecuteInto(std::span<const std::string_view> argv,
     return;
   }
   if (eq(cmd, "append") && argv.size() >= 3) {
+    if (persist_ != nullptr) {
+      persist_->PreMutate(0, argv[1]);
+    }
     std::string merged;
     auto cur = store_.Get(argv[1]);
     if (cur.has_value()) {
@@ -166,6 +232,9 @@ void RedisServer::ExecuteInto(std::span<const std::string_view> argv,
     }
     merged += argv[2];
     store_.Set(argv[1], merged);
+    if (persist_ != nullptr) {
+      persist_->AppendSet(0, argv[1], merged);  // post-image, like INCR
+    }
     RespIntegerInto(out, static_cast<std::int64_t>(merged.size()));
     return;
   }
@@ -175,12 +244,50 @@ void RedisServer::ExecuteInto(std::span<const std::string_view> argv,
     return;
   }
   if (eq(cmd, "flushall")) {
+    if (persist_ != nullptr) {
+      // A store-wide clear invalidates a background save's captured key list
+      // wholesale; aborting is cheaper (and simpler) than pre-imaging every
+      // key. The clear itself is AOF-logged so replay reproduces it.
+      persist_->AbortSave();
+      persist_->AppendClear(0);
+    }
     store_.Clear();
     RespOkInto(out);
     return;
   }
   if (eq(cmd, "dbsize")) {
     RespIntegerInto(out, static_cast<std::int64_t>(store_.size()));
+    return;
+  }
+  if (eq(cmd, "save")) {
+    if (persist_ != nullptr && persist_->SaveNow()) {
+      RespOkInto(out);
+    } else {
+      RespErrorInto(out, persist_ == nullptr ? "persistence not configured"
+                                             : "save failed");
+    }
+    return;
+  }
+  if (eq(cmd, "bgsave")) {
+    if (persist_ == nullptr) {
+      RespErrorInto(out, "persistence not configured");
+    } else if (persist_->save_active()) {
+      RespErrorInto(out, "background save already in progress");
+    } else if (persist_->StartBackgroundSave()) {
+      RespSimpleStringInto(out, "Background saving started");
+    } else {
+      RespErrorInto(out, "bgsave failed");
+    }
+    return;
+  }
+  if (eq(cmd, "waitaof")) {
+    // WAIT-style fsync barrier: everything appended so far is written through
+    // and flushed to the device before the reply, regardless of policy.
+    if (persist_ != nullptr && persist_->FsyncNow()) {
+      RespIntegerInto(out, 1);
+    } else {
+      RespIntegerInto(out, 0);
+    }
     return;
   }
   RespErrorInto(out, "unknown command");

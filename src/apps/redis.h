@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "apps/event_loop.h"
+#include "apps/persist.h"
 #include "apps/resp.h"
 #include "apps/stream_server.h"
 #include "posix/api.h"
@@ -36,6 +37,9 @@ class ValueStore {
   std::int64_t Incr(std::string_view key, bool* ok);
   std::size_t size() const { return map_.size(); }
   void Clear();
+  // Copies every key (snapshot capture — the point-in-time key list a
+  // background save walks).
+  void CaptureKeys(std::vector<std::string>* keys) const;
 
  private:
   struct Slot {
@@ -88,6 +92,15 @@ class RedisServer {
   ValueStore& store() { return store_; }
   EventLoop& loop() { return *active_loop_; }
   StreamServer& stream() { return server_; }
+
+  // Wires the durability tier in: the store becomes the persist Source, every
+  // mutation is AOF-logged (and COW-guarded during background saves), and the
+  // active loop gets a turn-end hook that batches the file I/O. Enables the
+  // SAVE / BGSAVE / WAITAOF commands. Call before traffic.
+  void AttachPersist(Persist* persist);
+  // Replays snapshot + AOF into the (empty) store — the kLate boot step.
+  Persist::RecoverStats RecoverFromPersist();
+  Persist* persist() { return persist_; }
   // Steering hook for sharded accept-steer-dispatch (listener instance only).
   void SetSteer(StreamServer::Steer steer) { server_.SetSteer(std::move(steer)); }
 
@@ -104,6 +117,7 @@ class RedisServer {
   EventLoop* active_loop_;    // the loop this instance actually rides
   StreamServer server_;
   ValueStore store_;
+  Persist* persist_ = nullptr;  // optional durability tier (unowned)
   std::uint64_t commands_ = 0;
   std::uint64_t probe_commands_ = 0;
 };

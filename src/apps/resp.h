@@ -67,6 +67,9 @@ class RespCommandParser {
 
   bool error() const { return error_; }
   std::size_t buffered() const { return buf_.size(); }
+  // Bytes fed but not yet consumed by a complete command — nonzero after the
+  // stream ends means a torn final record (the AOF replay truncation check).
+  std::size_t pending() const { return buf_.size() - pos_; }
 
  private:
   std::string buf_;

@@ -41,6 +41,23 @@ FleetTestBed::BackendHost::BackendHost(FleetTestBed* owner, int idx)
         return ukarch::Status::kOk;
       });
   instance->RegisterInit(
+      ukboot::InitStage::kRootfs, "blockfs", [this](ukboot::Instance& inst) {
+        // The disk outlives every incarnation (host-side backing bytes); the
+        // filesystem object is rebuilt each boot — its bounce buffer must be
+        // re-carved from the freshly reset guest RAM. First boot formats,
+        // reboots mount what the previous incarnation wrote.
+        if (disk == nullptr) {
+          disk = std::make_unique<ukblockdev::RamDisk>(&inst.mem(),
+                                                       /*sectors=*/8192);
+        }
+        blockfs = std::make_unique<vfscore::BlockFs>(disk.get(), &inst.mem());
+        auto st = blockfs->EnsureFormatted();
+        if (!ukarch::Ok(st)) {
+          return st;
+        }
+        return vfs.Mount("/persist", blockfs.get());
+      });
+  instance->RegisterInit(
       ukboot::InitStage::kSys, "netstack", [this](ukboot::Instance& inst) {
         stack = std::make_unique<uknet::NetStack>(&inst.mem(), &fleet->clock_,
                                                   inst.heap());
@@ -60,8 +77,18 @@ FleetTestBed::BackendHost::BackendHost(FleetTestBed* owner, int idx)
         if (!server->Start()) {
           return ukarch::Status::kNoMem;
         }
+        // Durability: attach the persistence tier over /persist and replay
+        // whatever the previous incarnation saved (newest valid snapshot,
+        // then the AOF tail) — the reborn backend serves its pre-kill data.
+        apps::Persist::Config pcfg;
+        pcfg.dir = "/persist";
+        persist = std::make_unique<apps::Persist>(&vfs, pcfg);
+        server->AttachPersist(persist.get());
+        last_recover = server->RecoverFromPersist();
         // Serving identity: clients GET "id" to learn which incarnation of
-        // which backend answered them.
+        // which backend answered them. Seeded AFTER recovery (it must name
+        // THIS incarnation) and straight into the store, bypassing the AOF —
+        // identity is ephemeral by design.
         return server->store().Set("id", id()) ? ukarch::Status::kOk
                                                : ukarch::Status::kNoMem;
       });
@@ -145,12 +172,18 @@ void FleetTestBed::KillBackend(int i) {
     return;
   }
   // Reverse bring-up order; everything below lives on the instance heap or
-  // guest RAM, so it must be gone before Shutdown() wipes both.
+  // guest RAM, so it must be gone before Shutdown() wipes both. This is a
+  // HARD kill: persist still holds un-flushed turn buffers and possibly a
+  // half-written snapshot — exactly what replay-on-boot must tolerate. Only
+  // the disk (host-side backing) survives.
   b.server.reset();
+  b.persist.reset();
   b.api.reset();
   b.netif = nullptr;
   b.stack.reset();
   b.nic.reset();
+  b.vfs.Unmount("/persist");
+  b.blockfs.reset();
   wire_->ResetPort(b.wire_port);
   b.instance->Shutdown();
   b.alive = false;

@@ -23,14 +23,17 @@
 #include <vector>
 
 #include "apps/l4_balancer.h"
+#include "apps/persist.h"
 #include "apps/redis.h"
 #include "env/testbed.h"
 #include "posix/api.h"
+#include "ukblockdev/ramdisk.h"
 #include "ukboot/instance.h"
 #include "uknet/stack.h"
 #include "uknetdev/virtio_net.h"
 #include "ukplat/clock.h"
 #include "ukplat/wire.h"
+#include "vfscore/blockfs.h"
 #include "vfscore/vfs.h"
 
 namespace env {
@@ -63,6 +66,16 @@ class FleetTestBed {
     std::unique_ptr<uknet::NetStack> stack;
     uknet::NetIf* netif = nullptr;
     vfscore::Vfs vfs;
+    // The durable root: the ramdisk's backing bytes live host-side, so —
+    // like a cloud block volume — they survive Shutdown()+Boot(). Created
+    // once per BackendHost, never torn down by KillBackend.
+    std::unique_ptr<ukblockdev::RamDisk> disk;
+    // Per-boot persistence stack over |disk|: the kRootfs inittab stage
+    // formats-or-mounts blockfs at /persist, the kLate stage recovers the
+    // store through apps::Persist (snapshot + AOF tail replay).
+    std::unique_ptr<vfscore::BlockFs> blockfs;
+    std::unique_ptr<apps::Persist> persist;
+    apps::Persist::RecoverStats last_recover;
     std::unique_ptr<posix::PosixApi> api;
     std::unique_ptr<apps::RedisServer> server;
     ukboot::BootReport report;

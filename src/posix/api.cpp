@@ -238,8 +238,15 @@ void PosixApi::RegisterHandlers() {
     auto* path = AsPtr<const char>(a.a0);
     return Err(vfs_->Mkdir(std::string_view(path, a.a1)));
   });
-  shim_.Register(SyscallNumber("fsync"), [](const SyscallArgs&) -> std::int64_t {
-    return 0;  // everything is RAM- or host-backed; nothing to flush
+  shim_.Register(SyscallNumber("fsync"), [this](const SyscallArgs& a) -> std::int64_t {
+    auto file = fdtab_.Get<vfscore::File>(static_cast<int>(a.a0));
+    if (file == nullptr) {
+      return Err(ukarch::Status::kBadF);
+    }
+    // File::Fsync enforces the write-mode check (EBADF on a read-only fd)
+    // and forwards to the node — a ukblockdev flush barrier on block-backed
+    // filesystems, a no-op on memory-backed ones.
+    return Err(file->Fsync());
   });
   shim_.Register(SyscallNumber("getpid"), [](const SyscallArgs&) -> std::int64_t {
     return 1;  // single-application domain: PID 1, always

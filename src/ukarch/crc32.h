@@ -1,0 +1,65 @@
+// ukarch/crc32.h - CRC-32C (Castagnoli) over byte spans.
+//
+// Used by the persistence tier to checksum snapshot files: a snapshot is only
+// eligible for replay-on-boot when its trailer CRC matches the body, so a
+// crash mid-BGSAVE (or a torn sector) demotes the file instead of loading
+// garbage. Table-driven, incremental (feed chunks as they are produced), no
+// hardware dependency.
+#ifndef UKARCH_CRC32_H_
+#define UKARCH_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace ukarch {
+
+namespace crc32_detail {
+
+inline const std::array<std::uint32_t, 256>& Table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) != 0 ? 0x82F63B78u ^ (c >> 1) : c >> 1;  // reflected CRC-32C
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace crc32_detail
+
+// Incremental accumulator: construct, Update() over chunks, value().
+class Crc32 {
+ public:
+  void Update(std::span<const std::byte> data) {
+    const auto& table = crc32_detail::Table();
+    for (std::byte b : data) {
+      state_ = table[(state_ ^ static_cast<std::uint8_t>(b)) & 0xFFu] ^ (state_ >> 8);
+    }
+  }
+  void Update(const void* data, std::size_t len) {
+    Update(std::span(static_cast<const std::byte*>(data), len));
+  }
+
+  std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+  void Reset() { state_ = 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+inline std::uint32_t Crc32Of(std::span<const std::byte> data) {
+  Crc32 c;
+  c.Update(data);
+  return c.value();
+}
+
+}  // namespace ukarch
+
+#endif  // UKARCH_CRC32_H_

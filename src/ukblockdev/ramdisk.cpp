@@ -12,6 +12,7 @@ RamDisk::RamDisk(ukplat::MemRegion* guest_mem, std::uint64_t sectors,
 
 std::int32_t RamDisk::Execute(Request* req) {
   if (req->op == Request::Op::kFlush) {
+    ++flushes_;  // no write cache to drain; acknowledged immediately
     return 0;
   }
   std::uint64_t offset = req->sector * geom_.sector_bytes;

@@ -25,6 +25,11 @@ class RamDisk final : public BlockDev {
   // Test hook: direct access to backing bytes.
   std::vector<std::uint8_t>& backing() { return disk_; }
 
+  // Flush requests completed. The ramdisk has no volatile write cache, so a
+  // flush is a counted no-op — vfscore::File::Fsync still reaches it and the
+  // counter lets tests assert the plumbing end to end.
+  std::uint64_t flushes() const { return flushes_; }
+
  private:
   std::int32_t Execute(Request* req);
 
@@ -32,6 +37,7 @@ class RamDisk final : public BlockDev {
   Geometry geom_;
   std::vector<std::uint8_t> disk_;
   std::deque<Request*> completed_;
+  std::uint64_t flushes_ = 0;
 };
 
 }  // namespace ukblockdev

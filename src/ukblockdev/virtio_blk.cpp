@@ -97,6 +97,12 @@ void VirtioBlk::DeviceRun() {
             clock_->ChargeCopy(data_seg.len);
           }
         }
+      } else if (hdr.type == kVirtioBlkTFlush) {
+        // Barrier: all writes acknowledged before this chain are stable once
+        // the status byte lands. The simulated disk image is a host vector,
+        // so the only observable effect is the modeled drain cost + counter.
+        clock_->Charge(kFlushBarrierCycles);
+        ++flushes_;
       }
     }
     // Status byte lives in the last (device-writable) segment.

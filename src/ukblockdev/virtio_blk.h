@@ -37,6 +37,14 @@ class VirtioBlk final : public BlockDev {
   std::vector<std::uint8_t>& backing() { return disk_; }
   std::uint64_t kicks() const { return kicks_; }
   std::uint64_t irqs() const { return irqs_; }
+  // Write-cache barriers executed by the device side (VIRTIO_BLK_T_FLUSH
+  // chains). Unlike the ramdisk's no-op, each barrier charges the modeled
+  // cost of draining the host-side cache before the status byte is written.
+  std::uint64_t flushes() const { return flushes_; }
+
+  // Modeled cycles for one cache barrier: the device thread must issue and
+  // wait out a host-side fdatasync-equivalent before acknowledging.
+  static constexpr std::uint64_t kFlushBarrierCycles = 12'000;
 
   static constexpr std::size_t kReqSlotBytes = 32;  // 16B header + status + pad
 
@@ -61,6 +69,7 @@ class VirtioBlk final : public BlockDev {
   std::unordered_map<Request*, std::uint64_t> slot_of_;  // outstanding requests
   std::uint64_t kicks_ = 0;
   std::uint64_t irqs_ = 0;
+  std::uint64_t flushes_ = 0;
 };
 
 }  // namespace ukblockdev

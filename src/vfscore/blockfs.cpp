@@ -1,0 +1,519 @@
+#include "vfscore/blockfs.h"
+
+#include <algorithm>
+
+namespace vfscore {
+
+// ---- node classes -----------------------------------------------------------
+
+// A regular file: all state lives in the filesystem's inode cache (index
+// |idx|) and on disk; the node object itself is a stateless handle, so any
+// number of opens — across remounts of the same BlockFs — stay coherent.
+class BlockFsFile final : public Node {
+ public:
+  BlockFsFile(BlockFs* fs, std::uint32_t idx) : fs_(fs), idx_(idx) {}
+
+  NodeType type() const override { return NodeType::kRegular; }
+  NodeStat Stat() const override {
+    return NodeStat{NodeType::kRegular, fs_->inodes_[idx_].size, idx_ + 1};
+  }
+  std::int64_t Read(std::uint64_t offset, std::span<std::byte> out) override;
+  std::int64_t Write(std::uint64_t offset, std::span<const std::byte> in) override;
+  ukarch::Status Truncate(std::uint64_t size) override;
+  ukarch::Status Fsync() override { return fs_->Flush(); }
+
+ private:
+  BlockFs* fs_;
+  std::uint32_t idx_;
+};
+
+// The flat root directory: names map straight onto inode-table slots.
+class BlockFsDir final : public Node {
+ public:
+  explicit BlockFsDir(BlockFs* fs) : fs_(fs) {}
+
+  NodeType type() const override { return NodeType::kDirectory; }
+  NodeStat Stat() const override {
+    std::uint64_t n = 0;
+    for (const auto& ino : fs_->inodes_) {
+      n += ino.used != 0 ? 1 : 0;
+    }
+    return NodeStat{NodeType::kDirectory, n, 0};
+  }
+  ukarch::Status Lookup(std::string_view name, std::shared_ptr<Node>* out) override;
+  ukarch::Status Create(std::string_view name, NodeType ntype,
+                        std::shared_ptr<Node>* out) override;
+  ukarch::Status Remove(std::string_view name) override;
+  ukarch::Status ReadDir(std::vector<DirEntry>* out) override;
+  ukarch::Status Fsync() override { return fs_->Flush(); }
+
+ private:
+  std::int32_t Find(std::string_view name) const;
+
+  BlockFs* fs_;
+};
+
+// ---- BlockFs: device plumbing ----------------------------------------------
+
+BlockFs::BlockFs(ukblockdev::BlockDev* dev, ukplat::MemRegion* mem)
+    : dev_(dev), mem_(mem), bounce_gpa_(mem->Carve(kBlockBytes, 512)) {
+  const ukblockdev::Geometry geom = dev_->geometry();
+  if (geom.sector_bytes != 0 && kBlockBytes % geom.sector_bytes == 0) {
+    sectors_per_block_ = kBlockBytes / geom.sector_bytes;
+    total_blocks_ = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(geom.TotalBytes() / kBlockBytes, kBlockBytes));
+  }
+}
+
+ukarch::Status BlockFs::ReadBlock(std::uint32_t block, void* out) {
+  ukblockdev::Request req;
+  req.op = ukblockdev::Request::Op::kRead;
+  req.sector = std::uint64_t{block} * sectors_per_block_;
+  req.count = sectors_per_block_;
+  req.data_gpa = bounce_gpa_;
+  if (ukblockdev::SubmitAndWait(*dev_, &req) != 0) {
+    return ukarch::Status::kIo;
+  }
+  const std::byte* p = mem_->At(bounce_gpa_, kBlockBytes);
+  if (p == nullptr) {
+    return ukarch::Status::kFault;
+  }
+  std::memcpy(out, p, kBlockBytes);
+  return ukarch::Status::kOk;
+}
+
+ukarch::Status BlockFs::WriteBlock(std::uint32_t block, const void* in) {
+  std::byte* p = mem_->At(bounce_gpa_, kBlockBytes);
+  if (p == nullptr) {
+    return ukarch::Status::kFault;
+  }
+  std::memcpy(p, in, kBlockBytes);
+  ukblockdev::Request req;
+  req.op = ukblockdev::Request::Op::kWrite;
+  req.sector = std::uint64_t{block} * sectors_per_block_;
+  req.count = sectors_per_block_;
+  req.data_gpa = bounce_gpa_;
+  return ukblockdev::SubmitAndWait(*dev_, &req) == 0 ? ukarch::Status::kOk
+                                                     : ukarch::Status::kIo;
+}
+
+ukarch::Status BlockFs::Flush() {
+  if (!mounted_) {
+    return ukarch::Status::kInval;
+  }
+  ukblockdev::Request req;
+  req.op = ukblockdev::Request::Op::kFlush;
+  return ukblockdev::SubmitAndWait(*dev_, &req) == 0 ? ukarch::Status::kOk
+                                                     : ukarch::Status::kIo;
+}
+
+// ---- BlockFs: format / mount ------------------------------------------------
+
+ukarch::Status BlockFs::Format() {
+  if (bounce_gpa_ == ukplat::MemRegion::kBadGpa || sectors_per_block_ == 0 ||
+      total_blocks_ <= kDataStart) {
+    return ukarch::Status::kInval;
+  }
+  std::vector<std::uint8_t> block(kBlockBytes, 0);
+
+  Super super{};
+  std::memcpy(super.magic, kMagic, sizeof(kMagic));
+  super.block_bytes = kBlockBytes;
+  super.total_blocks = total_blocks_;
+  super.inode_count = kMaxInodes;
+  super.data_start = kDataStart;
+  std::memcpy(block.data(), &super, sizeof(super));
+  ukarch::Status st = WriteBlock(kSuperBlock, block.data());
+  if (!Ok(st)) {
+    return st;
+  }
+
+  // Bitmap: metadata blocks are born allocated, everything after is free.
+  std::fill(block.begin(), block.end(), 0);
+  for (std::uint32_t b = 0; b < kDataStart; ++b) {
+    block[b] = 1;
+  }
+  st = WriteBlock(kBitmapBlock, block.data());
+  if (!Ok(st)) {
+    return st;
+  }
+
+  std::fill(block.begin(), block.end(), 0);
+  for (std::uint32_t b = 0; b < kInodeBlocks; ++b) {
+    st = WriteBlock(kInodeStart + b, block.data());
+    if (!Ok(st)) {
+      return st;
+    }
+  }
+  mounted_ = false;  // force a metadata reload on the next Mount()
+  return ukarch::Status::kOk;
+}
+
+ukarch::Status BlockFs::EnsureFormatted() {
+  if (bounce_gpa_ == ukplat::MemRegion::kBadGpa || sectors_per_block_ == 0 ||
+      total_blocks_ <= kDataStart) {
+    return ukarch::Status::kInval;
+  }
+  std::vector<std::uint8_t> block(kBlockBytes, 0);
+  ukarch::Status st = ReadBlock(kSuperBlock, block.data());
+  if (!Ok(st)) {
+    return st;
+  }
+  Super super{};
+  std::memcpy(&super, block.data(), sizeof(super));
+  if (std::memcmp(super.magic, kMagic, sizeof(kMagic)) == 0 &&
+      super.block_bytes == kBlockBytes) {
+    return ukarch::Status::kOk;
+  }
+  return Format();
+}
+
+ukarch::Status BlockFs::Mount(std::shared_ptr<Node>* root) {
+  if (!mounted_) {
+    if (bounce_gpa_ == ukplat::MemRegion::kBadGpa || sectors_per_block_ == 0 ||
+        total_blocks_ <= kDataStart) {
+      return ukarch::Status::kInval;
+    }
+    std::vector<std::uint8_t> block(kBlockBytes, 0);
+    ukarch::Status st = ReadBlock(kSuperBlock, block.data());
+    if (!Ok(st)) {
+      return st;
+    }
+    Super super{};
+    std::memcpy(&super, block.data(), sizeof(super));
+    if (std::memcmp(super.magic, kMagic, sizeof(kMagic)) != 0 ||
+        super.block_bytes != kBlockBytes || super.inode_count != kMaxInodes ||
+        super.total_blocks > total_blocks_) {
+      return ukarch::Status::kInval;
+    }
+    total_blocks_ = super.total_blocks;
+
+    st = ReadBlock(kBitmapBlock, block.data());
+    if (!Ok(st)) {
+      return st;
+    }
+    bitmap_.assign(block.begin(), block.end());
+
+    inodes_.assign(kMaxInodes, Inode{});
+    for (std::uint32_t b = 0; b < kInodeBlocks; ++b) {
+      st = ReadBlock(kInodeStart + b, block.data());
+      if (!Ok(st)) {
+        return st;
+      }
+      std::memcpy(inodes_.data() + b * (kBlockBytes / sizeof(Inode)),
+                  block.data(), kBlockBytes);
+    }
+    mounted_ = true;
+  }
+  *root = std::make_shared<BlockFsDir>(this);
+  return ukarch::Status::kOk;
+}
+
+// ---- BlockFs: metadata write-through ---------------------------------------
+
+ukarch::Status BlockFs::WriteInode(std::uint32_t idx) {
+  const std::uint32_t per_block = kBlockBytes / sizeof(Inode);
+  const std::uint32_t block = kInodeStart + idx / per_block;
+  return WriteBlock(block, inodes_.data() + (idx / per_block) * per_block);
+}
+
+ukarch::Status BlockFs::WriteBitmap() {
+  return WriteBlock(kBitmapBlock, bitmap_.data());
+}
+
+std::uint32_t BlockFs::AllocBlock() {
+  for (std::uint32_t b = kDataStart; b < total_blocks_; ++b) {
+    if (bitmap_[b] == 0) {
+      bitmap_[b] = 1;
+      return b;
+    }
+  }
+  return 0;
+}
+
+void BlockFs::FreeBlock(std::uint32_t block) {
+  if (block >= kDataStart && block < total_blocks_) {
+    bitmap_[block] = 0;
+  }
+}
+
+std::uint32_t BlockFs::free_blocks() const {
+  std::uint32_t n = 0;
+  for (std::uint32_t b = kDataStart; b < total_blocks_; ++b) {
+    n += bitmap_[b] == 0 ? 1 : 0;
+  }
+  return n;
+}
+
+std::uint32_t BlockFs::GetPtr(const Inode& ino, std::uint32_t pos) {
+  if (pos < kDirectPtrs) {
+    return ino.direct[pos];
+  }
+  if (ino.indirect == 0 || pos >= kDirectPtrs + kIndirectPtrs) {
+    return 0;
+  }
+  std::uint32_t ptrs[kIndirectPtrs];
+  if (!Ok(ReadBlock(ino.indirect, ptrs))) {
+    return 0;
+  }
+  return ptrs[pos - kDirectPtrs];
+}
+
+ukarch::Status BlockFs::SetPtr(std::uint32_t inode_idx, std::uint32_t pos,
+                               std::uint32_t block) {
+  Inode& ino = inodes_[inode_idx];
+  if (pos < kDirectPtrs) {
+    ino.direct[pos] = block;
+    return WriteInode(inode_idx);
+  }
+  if (pos >= kDirectPtrs + kIndirectPtrs) {
+    return ukarch::Status::kNoSpc;
+  }
+  if (ino.indirect == 0) {
+    const std::uint32_t ind = AllocBlock();
+    if (ind == 0) {
+      return ukarch::Status::kNoSpc;
+    }
+    std::uint32_t zero[kIndirectPtrs] = {};
+    ukarch::Status st = WriteBlock(ind, zero);
+    if (!Ok(st)) {
+      return st;
+    }
+    ino.indirect = ind;
+    st = WriteInode(inode_idx);
+    if (!Ok(st)) {
+      return st;
+    }
+    st = WriteBitmap();
+    if (!Ok(st)) {
+      return st;
+    }
+  }
+  std::uint32_t ptrs[kIndirectPtrs];
+  ukarch::Status st = ReadBlock(ino.indirect, ptrs);
+  if (!Ok(st)) {
+    return st;
+  }
+  ptrs[pos - kDirectPtrs] = block;
+  return WriteBlock(ino.indirect, ptrs);
+}
+
+ukarch::Status BlockFs::FreeRange(std::uint32_t inode_idx, std::uint32_t first_pos) {
+  Inode& ino = inodes_[inode_idx];
+  for (std::uint32_t p = first_pos; p < kDirectPtrs; ++p) {
+    FreeBlock(ino.direct[p]);
+    ino.direct[p] = 0;
+  }
+  if (ino.indirect != 0) {
+    std::uint32_t ptrs[kIndirectPtrs];
+    ukarch::Status st = ReadBlock(ino.indirect, ptrs);
+    if (!Ok(st)) {
+      return st;
+    }
+    bool any_kept = false;
+    const std::uint32_t ind_first =
+        first_pos > kDirectPtrs ? first_pos - kDirectPtrs : 0;
+    for (std::uint32_t p = 0; p < kIndirectPtrs; ++p) {
+      if (p >= ind_first) {
+        FreeBlock(ptrs[p]);
+        ptrs[p] = 0;
+      } else if (ptrs[p] != 0) {
+        any_kept = true;
+      }
+    }
+    if (any_kept) {
+      st = WriteBlock(ino.indirect, ptrs);
+      if (!Ok(st)) {
+        return st;
+      }
+    } else {
+      FreeBlock(ino.indirect);
+      ino.indirect = 0;
+    }
+  }
+  ukarch::Status st = WriteInode(inode_idx);
+  if (!Ok(st)) {
+    return st;
+  }
+  return WriteBitmap();
+}
+
+// ---- BlockFsFile ------------------------------------------------------------
+
+std::int64_t BlockFsFile::Read(std::uint64_t offset, std::span<std::byte> out) {
+  const BlockFs::Inode& ino = fs_->inodes_[idx_];
+  if (offset >= ino.size) {
+    return 0;
+  }
+  const std::size_t want =
+      std::min<std::uint64_t>(out.size(), ino.size - offset);
+  std::size_t done = 0;
+  std::uint8_t block[BlockFs::kBlockBytes];
+  while (done < want) {
+    const std::uint64_t at = offset + done;
+    const auto pos = static_cast<std::uint32_t>(at / BlockFs::kBlockBytes);
+    const std::size_t in_block = static_cast<std::size_t>(at % BlockFs::kBlockBytes);
+    const std::size_t n = std::min(want - done, BlockFs::kBlockBytes - in_block);
+    const std::uint32_t blk = fs_->GetPtr(ino, pos);
+    if (blk == 0) {
+      std::memset(out.data() + done, 0, n);  // hole reads as zeros
+    } else {
+      if (!Ok(fs_->ReadBlock(blk, block))) {
+        return done > 0 ? static_cast<std::int64_t>(done)
+                        : ukarch::Raw(ukarch::Status::kIo);
+      }
+      std::memcpy(out.data() + done, block + in_block, n);
+    }
+    done += n;
+  }
+  return static_cast<std::int64_t>(done);
+}
+
+std::int64_t BlockFsFile::Write(std::uint64_t offset, std::span<const std::byte> in) {
+  if (offset + in.size() > BlockFs::kMaxFileBytes) {
+    return ukarch::Raw(ukarch::Status::kNoSpc);
+  }
+  std::size_t done = 0;
+  std::uint8_t block[BlockFs::kBlockBytes];
+  while (done < in.size()) {
+    const std::uint64_t at = offset + done;
+    const auto pos = static_cast<std::uint32_t>(at / BlockFs::kBlockBytes);
+    const std::size_t in_block = static_cast<std::size_t>(at % BlockFs::kBlockBytes);
+    const std::size_t n =
+        std::min(in.size() - done, BlockFs::kBlockBytes - in_block);
+    std::uint32_t blk = fs_->GetPtr(fs_->inodes_[idx_], pos);
+    const bool fresh = blk == 0;
+    if (fresh) {
+      blk = fs_->AllocBlock();
+      if (blk == 0 || !Ok(fs_->SetPtr(idx_, pos, blk)) ||
+          !Ok(fs_->WriteBitmap())) {
+        if (blk != 0) {
+          fs_->FreeBlock(blk);
+        }
+        break;  // out of space: report the partial write below
+      }
+    }
+    if (n == BlockFs::kBlockBytes) {
+      std::memcpy(block, in.data() + done, n);
+    } else {
+      if (fresh) {
+        std::memset(block, 0, sizeof(block));
+      } else if (!Ok(fs_->ReadBlock(blk, block))) {
+        break;
+      }
+      std::memcpy(block + in_block, in.data() + done, n);
+    }
+    if (!Ok(fs_->WriteBlock(blk, block))) {
+      break;
+    }
+    done += n;
+  }
+  if (done == 0 && !in.empty()) {
+    return ukarch::Raw(ukarch::Status::kNoSpc);
+  }
+  BlockFs::Inode& ino = fs_->inodes_[idx_];
+  if (offset + done > ino.size) {
+    ino.size = offset + done;
+    if (!Ok(fs_->WriteInode(idx_))) {
+      return ukarch::Raw(ukarch::Status::kIo);
+    }
+  }
+  return static_cast<std::int64_t>(done);
+}
+
+ukarch::Status BlockFsFile::Truncate(std::uint64_t size) {
+  if (size > BlockFs::kMaxFileBytes) {
+    return ukarch::Status::kNoSpc;
+  }
+  BlockFs::Inode& ino = fs_->inodes_[idx_];
+  if (size < ino.size) {
+    const auto keep = static_cast<std::uint32_t>(
+        (size + BlockFs::kBlockBytes - 1) / BlockFs::kBlockBytes);
+    ukarch::Status st = fs_->FreeRange(idx_, keep);
+    if (!Ok(st)) {
+      return st;
+    }
+  }
+  ino.size = size;  // growth leaves a hole; reads return zeros
+  return fs_->WriteInode(idx_);
+}
+
+// ---- BlockFsDir -------------------------------------------------------------
+
+std::int32_t BlockFsDir::Find(std::string_view name) const {
+  for (std::uint32_t i = 0; i < BlockFs::kMaxInodes; ++i) {
+    const BlockFs::Inode& ino = fs_->inodes_[i];
+    if (ino.used != 0 &&
+        std::string_view(ino.name, ino.name_len) == name) {
+      return static_cast<std::int32_t>(i);
+    }
+  }
+  return -1;
+}
+
+ukarch::Status BlockFsDir::Lookup(std::string_view name,
+                                  std::shared_ptr<Node>* out) {
+  const std::int32_t idx = Find(name);
+  if (idx < 0) {
+    return ukarch::Status::kNoEnt;
+  }
+  *out = std::make_shared<BlockFsFile>(fs_, static_cast<std::uint32_t>(idx));
+  return ukarch::Status::kOk;
+}
+
+ukarch::Status BlockFsDir::Create(std::string_view name, NodeType ntype,
+                                  std::shared_ptr<Node>* out) {
+  if (ntype != NodeType::kRegular) {
+    return ukarch::Status::kNoSys;  // flat namespace: no subdirectories
+  }
+  if (name.empty() || name.size() > BlockFs::kNameMax) {
+    return ukarch::Status::kInval;
+  }
+  if (Find(name) >= 0) {
+    return ukarch::Status::kExist;
+  }
+  for (std::uint32_t i = 0; i < BlockFs::kMaxInodes; ++i) {
+    BlockFs::Inode& ino = fs_->inodes_[i];
+    if (ino.used == 0) {
+      ino = BlockFs::Inode{};
+      ino.used = 1;
+      ino.name_len = static_cast<std::uint8_t>(name.size());
+      std::memcpy(ino.name, name.data(), name.size());
+      ukarch::Status st = fs_->WriteInode(i);
+      if (!Ok(st)) {
+        ino.used = 0;
+        return st;
+      }
+      *out = std::make_shared<BlockFsFile>(fs_, i);
+      return ukarch::Status::kOk;
+    }
+  }
+  return ukarch::Status::kNoSpc;
+}
+
+ukarch::Status BlockFsDir::Remove(std::string_view name) {
+  const std::int32_t idx = Find(name);
+  if (idx < 0) {
+    return ukarch::Status::kNoEnt;
+  }
+  const auto i = static_cast<std::uint32_t>(idx);
+  ukarch::Status st = fs_->FreeRange(i, 0);
+  if (!Ok(st)) {
+    return st;
+  }
+  fs_->inodes_[i] = BlockFs::Inode{};
+  return fs_->WriteInode(i);
+}
+
+ukarch::Status BlockFsDir::ReadDir(std::vector<DirEntry>* out) {
+  out->clear();
+  for (const BlockFs::Inode& ino : fs_->inodes_) {
+    if (ino.used != 0) {
+      out->push_back(DirEntry{std::string(ino.name, ino.name_len),
+                              NodeType::kRegular});
+    }
+  }
+  return ukarch::Status::kOk;
+}
+
+}  // namespace vfscore

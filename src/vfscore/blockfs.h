@@ -1,0 +1,130 @@
+// vfscore/blockfs.h - a writable filesystem over the ukblockdev queue API.
+//
+// This is the persistence tier's root: where ramfs keeps file bytes on the
+// instance heap (wiped by every ukboot::Instance reboot), blockfs keeps them
+// on a BlockDev whose backing image lives host-side and therefore *survives*
+// Shutdown()+Boot(). The fleet testbed mounts one per backend at the kRootfs
+// inittab stage so snapshot/AOF files written before a kill are readable by
+// the reborn incarnation.
+//
+// On-disk layout (4 KiB blocks over 512 B sectors):
+//   block 0            superblock (magic, geometry, inode count)
+//   block 1            allocation bitmap (one byte per block)
+//   blocks 2..3        inode table: 64 fixed slots, flat root directory
+//   blocks 4..         data, addressed by 12 direct + 1 single-indirect
+//                      pointer per inode (max file ≈ 4.04 MiB)
+//
+// Metadata is write-through: every namespace or size change rewrites the
+// affected metadata block synchronously (SubmitAndWait), so a remount —
+// even from a brand-new BlockFs object after a reboot — reconstructs the
+// exact tree from disk. Node::Fsync issues a Request::Op::kFlush barrier,
+// which is what vfscore::File::Fsync rides.
+#ifndef VFSCORE_BLOCKFS_H_
+#define VFSCORE_BLOCKFS_H_
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "ukblockdev/blockdev.h"
+#include "ukplat/memregion.h"
+#include "vfscore/node.h"
+
+namespace vfscore {
+
+class BlockFs final : public FsDriver {
+ public:
+  static constexpr std::uint32_t kBlockBytes = 4096;
+  static constexpr std::uint32_t kMaxInodes = 64;
+  static constexpr std::uint32_t kNameMax = 62;
+  static constexpr std::uint32_t kDirectPtrs = 12;
+  static constexpr std::uint32_t kIndirectPtrs = kBlockBytes / 4;
+  static constexpr std::uint64_t kMaxFileBytes =
+      std::uint64_t{kDirectPtrs + kIndirectPtrs} * kBlockBytes;
+
+  // |mem| provides the bounce buffer the block requests address (devices
+  // speak guest-physical); one block is carved at construction.
+  BlockFs(ukblockdev::BlockDev* dev, ukplat::MemRegion* mem);
+
+  const char* fs_name() const override { return "blockfs"; }
+  // Loads the superblock + metadata from disk. kInval when the device does
+  // not carry a valid blockfs image (callers format first).
+  ukarch::Status Mount(std::shared_ptr<Node>* root) override;
+
+  // Writes a fresh empty filesystem over the device.
+  ukarch::Status Format();
+  // Format() only when no valid superblock is present — the idempotent boot
+  // entry point: first boot formats, reboots find their data.
+  ukarch::Status EnsureFormatted();
+
+  // Device write-cache barrier (Request::Op::kFlush through the queue).
+  ukarch::Status Flush();
+
+  std::uint32_t total_blocks() const { return total_blocks_; }
+  std::uint32_t free_blocks() const;
+
+ private:
+  friend class BlockFsFile;
+  friend class BlockFsDir;
+
+#pragma pack(push, 1)
+  struct Super {
+    char magic[8];
+    std::uint32_t block_bytes;
+    std::uint32_t total_blocks;
+    std::uint32_t inode_count;
+    std::uint32_t data_start;
+  };
+  struct Inode {
+    std::uint8_t used;
+    std::uint8_t name_len;
+    char name[kNameMax];
+    std::uint64_t size;
+    std::uint32_t direct[kDirectPtrs];
+    std::uint32_t indirect;
+    std::uint32_t pad;
+  };
+#pragma pack(pop)
+  static_assert(sizeof(Inode) == 128, "inode slots must pack 32 per block");
+
+  static constexpr std::uint32_t kSuperBlock = 0;
+  static constexpr std::uint32_t kBitmapBlock = 1;
+  static constexpr std::uint32_t kInodeStart = 2;
+  static constexpr std::uint32_t kInodeBlocks =
+      kMaxInodes * sizeof(Inode) / kBlockBytes;
+  static constexpr std::uint32_t kDataStart = kInodeStart + kInodeBlocks;
+  static constexpr char kMagic[8] = {'U', 'K', 'B', 'F', 'S', '0', '1', '\0'};
+
+  // Whole-block transfers through the bounce buffer.
+  ukarch::Status ReadBlock(std::uint32_t block, void* out);
+  ukarch::Status WriteBlock(std::uint32_t block, const void* in);
+
+  // Write-through metadata updaters (cache is authoritative in memory,
+  // mirrored to disk on every change).
+  ukarch::Status WriteInode(std::uint32_t idx);
+  ukarch::Status WriteBitmap();
+
+  std::uint32_t AllocBlock();            // 0 when full (0 is never a data block)
+  void FreeBlock(std::uint32_t block);
+
+  // Block-pointer plumbing for one inode; |pos| indexes the file's blocks.
+  std::uint32_t GetPtr(const Inode& ino, std::uint32_t pos);
+  ukarch::Status SetPtr(std::uint32_t inode_idx, std::uint32_t pos,
+                        std::uint32_t block);
+  // Frees every data block from |first_pos| on (plus the indirect block when
+  // it empties) and mirrors the metadata.
+  ukarch::Status FreeRange(std::uint32_t inode_idx, std::uint32_t first_pos);
+
+  ukblockdev::BlockDev* dev_;
+  ukplat::MemRegion* mem_;
+  std::uint64_t bounce_gpa_;
+  std::uint32_t sectors_per_block_ = 0;
+  std::uint32_t total_blocks_ = 0;
+  bool mounted_ = false;
+  std::vector<Inode> inodes_;
+  std::vector<std::uint8_t> bitmap_;
+};
+
+}  // namespace vfscore
+
+#endif  // VFSCORE_BLOCKFS_H_

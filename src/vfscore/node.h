@@ -46,6 +46,11 @@ class Node {
   virtual std::int64_t Read(std::uint64_t offset, std::span<std::byte> out);
   virtual std::int64_t Write(std::uint64_t offset, std::span<const std::byte> in);
   virtual ukarch::Status Truncate(std::uint64_t size);
+
+  // Pushes the node's dirty state to stable storage. Memory-backed
+  // filesystems (ramfs, shfs) have nothing below them and inherit this no-op;
+  // block-backed filesystems override it to issue a ukblockdev flush barrier.
+  virtual ukarch::Status Fsync() { return ukarch::Status::kOk; }
 };
 
 // Mountable filesystem: produces a root directory node.

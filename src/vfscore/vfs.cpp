@@ -59,6 +59,13 @@ std::int64_t File::WriteAt(std::uint64_t offset, std::span<const std::byte> in) 
   return node_->Write(offset, in);
 }
 
+ukarch::Status File::Fsync() {
+  if ((flags_ & kWrite) == 0) {
+    return ukarch::Status::kBadF;
+  }
+  return node_->Fsync();
+}
+
 std::int64_t File::Seek(std::int64_t offset, Whence whence) {
   std::int64_t base = 0;
   switch (whence) {
@@ -264,6 +271,15 @@ ukarch::Status Vfs::Unlink(std::string_view path) {
     return st;
   }
   return parent->Remove(leaf);
+}
+
+ukarch::Status Vfs::Fsync(std::string_view path) {
+  std::shared_ptr<Node> node;
+  ukarch::Status st = Resolve(path, &node);
+  if (!Ok(st)) {
+    return st;
+  }
+  return node->Fsync();
 }
 
 ukarch::Status Vfs::Stat(std::string_view path, NodeStat* out) {

@@ -43,6 +43,11 @@ class File {
   enum class Whence { kSet, kCur, kEnd };
   std::int64_t Seek(std::int64_t offset, Whence whence);
 
+  // fsync(fd): flushes the node to stable storage. kBadF on a descriptor not
+  // opened for writing (nothing of this handle's can be dirty — mirrors the
+  // POSIX EBADF contract the posix layer tests pin down).
+  ukarch::Status Fsync();
+
   Node& node() { return *node_; }
   std::uint64_t offset() const { return offset_; }
   std::uint32_t flags() const { return flags_; }
@@ -64,6 +69,8 @@ class Vfs {
                       std::shared_ptr<File>* out);
   ukarch::Status Mkdir(std::string_view path);
   ukarch::Status Unlink(std::string_view path);
+  // Path-addressed flush (sync of one file without holding a descriptor).
+  ukarch::Status Fsync(std::string_view path);
   ukarch::Status Stat(std::string_view path, NodeStat* out);
   ukarch::Status ReadDir(std::string_view path, std::vector<DirEntry>* out);
 

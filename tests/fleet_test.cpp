@@ -320,6 +320,110 @@ TEST_F(FleetTest, DrainStopsNewFlowsButKeepsEstablishedOnes) {
   EXPECT_EQ(fleet_->balancer().state(0), L4Balancer::BackendState::kUp);
 }
 
+// ---- durable reboot: the persistence tier end-to-end ------------------------
+
+// KillBackend is a HARD kill (server, persist, filesystem object all torn
+// down with no goodbye); only the backend's disk survives. The reborn
+// incarnation must replay its snapshot + AOF tail at the kLate boot stage
+// and serve the pre-kill dataset over the network.
+TEST_F(FleetTest, RebornBackendServesItsPreKillDataset) {
+  env::FleetTestBed::Config cfg;
+  cfg.backends = 2;
+  Build(cfg);
+
+  // Speak RESP straight to backend 0 (bypassing the VIP) so the dataset
+  // lands deterministically on the instance we are about to kill.
+  env::FleetTestBed::BackendHost& b0 = fleet_->backend(0);
+  fleet_->client_host().netif->AddArpEntry(b0.ip, b0.nic->mac());
+  b0.netif->AddArpEntry(env::FleetTestBed::kClientIp,
+                        fleet_->client_host().nic->mac());
+
+  auto exchange = [&](std::shared_ptr<uknet::TcpSocket>& sock,
+                      const std::string& cmds, const std::string& expect) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(cmds.data());
+    ASSERT_EQ(sock->Send(std::span(p, cmds.size())),
+              static_cast<std::int64_t>(cmds.size()));
+    std::string rx;
+    std::uint8_t buf[512];
+    ASSERT_TRUE(fleet_->PumpUntil([&] {
+      std::int64_t n;
+      while ((n = sock->Recv(buf)) > 0) {
+        rx.append(reinterpret_cast<char*>(buf), static_cast<std::size_t>(n));
+      }
+      return rx.size() >= expect.size();
+    }));
+    EXPECT_EQ(rx, expect);
+  };
+
+  auto sock = fleet_->client_stack()->TcpConnect(b0.ip,
+                                                 fleet_->config().backend_port);
+  ASSERT_TRUE(fleet_->PumpUntil([&] { return sock->connected(); }));
+  // Dataset: three keys, a snapshot, then a tail (one SET + one DEL) the
+  // snapshot does not cover, sealed by the WAITAOF barrier.
+  exchange(sock,
+           RespCommand({"SET", "a", "1"}) + RespCommand({"SET", "b", "2"}) +
+               RespCommand({"SET", "c", "3"}),
+           "+OK\r\n+OK\r\n+OK\r\n");
+  exchange(sock, RespCommand({"SAVE"}), "+OK\r\n");
+  exchange(sock, RespCommand({"SET", "d", "4"}) + RespCommand({"DEL", "b"}),
+           "+OK\r\n:1\r\n");
+  exchange(sock, RespCommand({"WAITAOF"}), ":1\r\n");
+
+  // Kill mid-traffic: churn through the VIP is live when the backend dies.
+  env::FleetChurnClient churn(fleet_->client_stack(),
+                              env::FleetTestBed::kBalancerIp,
+                              fleet_->config().vip_port, 6);
+  ASSERT_TRUE(fleet_->PumpUntil([&] {
+    churn.Pump();
+    return churn.completed() >= 50;
+  }));
+  fleet_->KillBackend(0);
+  ASSERT_TRUE(fleet_->PumpUntil([&] {
+    churn.Pump();
+    return fleet_->balancer().state(0) == L4Balancer::BackendState::kDown;
+  }));
+
+  // Cold boot: the full inittab replays, including the kRootfs blockfs mount
+  // (finds the previous incarnation's image) and the kLate recovery.
+  const ukboot::BootReport report = fleet_->BootBackend(0);
+  ASSERT_TRUE(report.ok) << report.error;
+  const apps::Persist::RecoverStats& rs = b0.last_recover;
+  EXPECT_TRUE(rs.snapshot_loaded);
+  EXPECT_EQ(rs.snapshot_gen, 1u);
+  EXPECT_GE(rs.aof_commands, 2u);  // SET d + DEL b ride the tail
+  EXPECT_FALSE(rs.aof_tail_truncated);
+
+  // The reborn store: snapshot keys, tail applied on top, fresh identity.
+  apps::ValueStore& store = b0.server->store();
+  EXPECT_EQ(store.Get("a"), "1");
+  EXPECT_FALSE(store.Get("b").has_value());
+  EXPECT_EQ(store.Get("c"), "3");
+  EXPECT_EQ(store.Get("d"), "4");
+  EXPECT_EQ(store.Get("id"), "b0-r1");
+
+  // And it serves that dataset over the network on a fresh connection (the
+  // backend's MAC is derived from its wire port, so the client's ARP entry
+  // is still right; the reborn netif needs the client's).
+  b0.netif->AddArpEntry(env::FleetTestBed::kClientIp,
+                        fleet_->client_host().nic->mac());
+  auto sock2 = fleet_->client_stack()->TcpConnect(b0.ip,
+                                                  fleet_->config().backend_port);
+  ASSERT_TRUE(fleet_->PumpUntil([&] { return sock2->connected(); }));
+  exchange(sock2, RespCommand({"GET", "a"}) + RespCommand({"GET", "d"}),
+           "$1\r\n1\r\n$1\r\n4\r\n");
+
+  // The balancer re-admits it and churn reaches the new incarnation.
+  ASSERT_TRUE(fleet_->PumpUntil([&] {
+    churn.Pump();
+    return fleet_->balancer().state(0) == L4Balancer::BackendState::kUp &&
+           churn.by_backend().count("b0-r1") != 0;
+  }));
+
+  // The survivor never recovered anything and never saw the dataset.
+  EXPECT_FALSE(fleet_->backend(1).last_recover.snapshot_loaded);
+  EXPECT_FALSE(fleet_->backend(1).server->store().Get("a").has_value());
+}
+
 // ---- churn at scale: bounded tables, no per-connection leak ----------------
 
 TEST_F(FleetTest, ThousandsOfShortLivedConnectionsStayBounded) {

@@ -145,6 +145,23 @@ TEST_F(PosixApiTest, PreadPwriteAndSeek) {
   api.Close(fd);
 }
 
+TEST_F(PosixApiTest, FsyncErrnoSemantics) {
+  posix::PosixApi& api = bed_.api();
+  // Unknown fd: EBADF.
+  EXPECT_EQ(api.Fsync(99), ukarch::Raw(ukarch::Status::kBadF));
+  // Read-only descriptor: EBADF (nothing of this handle's can be dirty).
+  int wr = api.Open("/sync.txt", vfscore::kWrite | vfscore::kCreate);
+  ASSERT_GE(wr, 3);
+  const char text[] = "dirty";
+  api.Write(wr, std::as_bytes(std::span(text, 5)));
+  EXPECT_EQ(api.Fsync(wr), 0);  // ramfs: Node::Fsync no-op, still success
+  int rd = api.Open("/sync.txt", vfscore::kRead);
+  ASSERT_GE(rd, 3);
+  EXPECT_EQ(api.Fsync(rd), ukarch::Raw(ukarch::Status::kBadF));
+  api.Close(wr);
+  api.Close(rd);
+}
+
 TEST_F(PosixApiTest, EveryCallChargesDispatchCost) {
   posix::PosixApi& api = bed_.api();
   std::uint64_t calls_before = api.shim().calls();
